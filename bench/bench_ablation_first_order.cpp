@@ -1,0 +1,81 @@
+// Ablation: how much energy does the paper's first-order machinery
+// (Theorem 1 + Eqs. (2)/(3)) leave on the table compared with numerically
+// optimizing the exact expectations? Evaluated at the paper's error rates
+// and at artificially inflated rates where λW is no longer small — the
+// regime where the Taylor truncation starts to bite.
+
+#include <cstdio>
+
+#include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/core/exact_expectations.hpp"
+#include "rexspeed/io/table_writer.hpp"
+#include "rexspeed/platform/configuration.hpp"
+
+using namespace rexspeed;
+
+namespace {
+
+void run_block(const char* title, double lambda_boost) {
+  std::printf("%s\n", title);
+  io::TableWriter table({"configuration", "pair (FO)", "Wopt FO",
+                         "Wopt exact", "E/W of FO policy", "T/W of FO",
+                         "E/W exact opt", "regret %", "FO meets rho?"});
+  bool any = false;
+  for (const auto& config : platform::all_configurations()) {
+    auto params = core::ModelParams::from_configuration(config);
+    params.lambda_silent *= lambda_boost;
+    const core::BiCritSolver solver(params);
+    const auto fo = solver.solve(3.0, core::SpeedPolicy::kTwoSpeed,
+                                 core::EvalMode::kFirstOrder);
+    const auto exact = solver.solve(3.0, core::SpeedPolicy::kTwoSpeed,
+                                    core::EvalMode::kExactOptimize);
+    if (!fo.feasible || !exact.feasible) continue;
+    any = true;
+    // The FO policy's true cost under the exact model. At high λ the
+    // first-order feasible interval over-estimates the exact one, so the
+    // FO policy can undercut the exact optimum's energy while *violating*
+    // the exact time bound — the honest failure mode of the expansion.
+    const double fo_true_energy = core::energy_overhead(
+        params, fo.best.w_opt, fo.best.sigma1, fo.best.sigma2);
+    const double fo_true_time = core::time_overhead(
+        params, fo.best.w_opt, fo.best.sigma1, fo.best.sigma2);
+    const bool meets_bound = fo_true_time <= 3.0 * (1.0 + 1e-9);
+    char pair[32];
+    std::snprintf(pair, sizeof pair, "(%.2f,%.2f)", fo.best.sigma1,
+                  fo.best.sigma2);
+    table.add_row(
+        {config.name(), pair, io::TableWriter::cell(fo.best.w_opt, 0),
+         io::TableWriter::cell(exact.best.w_opt, 0),
+         io::TableWriter::cell(fo_true_energy, 2),
+         io::TableWriter::cell(fo_true_time, 3),
+         io::TableWriter::cell(exact.best.energy_overhead, 2),
+         meets_bound
+             ? io::TableWriter::cell(
+                   100.0 * (fo_true_energy / exact.best.energy_overhead -
+                            1.0),
+                   4)
+             : "n/a",
+         meets_bound ? "yes" : "NO (bound violated)"});
+  }
+  if (!any) {
+    std::printf("  (no speed pair achieves rho = 3 at this error rate)\n");
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== Ablation: first-order closed form vs exact numeric "
+              "optimization (rho = 3) ====\n\n");
+  run_block("Paper error rates (lambda x1):", 1.0);
+  run_block("Inflated rates (lambda x100, MTBF of hours):", 100.0);
+  run_block("Extreme rates (lambda x1000):", 1000.0);
+  std::printf("Regret = extra energy of deploying the Theorem-1 policy "
+              "instead of the exact optimum.\nAt the paper's rates the "
+              "closed form is essentially free, justifying its use; at\n"
+              "MTBFs of hours the first-order feasible interval drifts "
+              "and the policy can\nviolate the exact bound — use "
+              "EvalMode::kExactOptimize there.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: the paper assumes *guaranteed* verifications (every silent
+// error is detected before checkpointing). Its related work studies
+// partial verifications with recall r < 1. This bench measures, by fault
+// injection, the probability that a campaign commits silently corrupted
+// checkpoints as a function of the recall and the pattern size — the risk
+// the guaranteed-verification assumption removes.
+
+#include <cstdio>
+
+#include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/io/table_writer.hpp"
+#include "rexspeed/platform/configuration.hpp"
+#include "rexspeed/sim/monte_carlo.hpp"
+
+using namespace rexspeed;
+
+int main() {
+  auto params = core::ModelParams::from_configuration(
+      platform::configuration_by_name("Hera/XScale"));
+  params.lambda_silent *= 100.0;  // errors frequent enough to measure risk
+  const auto sol = core::BiCritSolver(params).solve(3.0);
+  if (!sol.feasible) return 1;
+  const double w = sol.best.w_opt;
+  const auto policy = sim::ExecutionPolicy::from_solution(sol.best);
+
+  std::printf("==== Silent-corruption risk vs verification recall "
+              "(Hera/XScale, lambda x100, W = %.0f, 100-pattern runs) "
+              "====\n\n",
+              w);
+  io::TableWriter table({"recall", "P[corrupted campaign]",
+                         "corrupted ckpts/run", "detected errors/run",
+                         "T/W", "E/W"});
+  for (const double recall : {1.0, 0.999, 0.99, 0.95, 0.9, 0.5}) {
+    sim::SimulatorOptions options;
+    options.verification_recall = recall;
+    const sim::Simulator simulator(params, sim::FaultInjector(params),
+                                   options);
+    sim::MonteCarloOptions mc_options;
+    mc_options.replications = 400;
+    mc_options.total_work = 100.0 * w;
+    mc_options.base_seed = 0x7EC0;
+    const auto mc = sim::run_monte_carlo(simulator, policy, mc_options);
+    table.add_row({io::TableWriter::cell(recall, 3),
+                   io::TableWriter::cell(mc.corrupted_runs.mean(), 3),
+                   io::TableWriter::cell(mc.corrupted_checkpoints.mean(), 3),
+                   io::TableWriter::cell(mc.silent_errors.mean(), 1),
+                   io::TableWriter::cell(mc.time_overhead.mean(), 4),
+                   io::TableWriter::cell(mc.energy_overhead.mean(), 1)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("recall 1.0 is the paper's model: zero corruption risk by "
+              "construction.\nEven 99.9%% recall leaves a measurable "
+              "probability of a silently wrong result\nover a long "
+              "campaign — why the paper couples checkpoints with "
+              "*guaranteed* verifications.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation: the model assumes exponentially distributed silent errors
+// (§2.1). Real machines often show Weibull-distributed failures with
+// shape < 1 (clustered errors). This bench runs the exponential-optimal
+// policy under Weibull injections at the same MTBF and measures how far
+// the realized overheads drift from the exponential prediction — i.e.
+// how robust the paper's policy is to its key stochastic assumption.
+
+#include <cstdio>
+
+#include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/core/exact_expectations.hpp"
+#include "rexspeed/io/table_writer.hpp"
+#include "rexspeed/platform/configuration.hpp"
+#include "rexspeed/sim/monte_carlo.hpp"
+
+using namespace rexspeed;
+
+int main() {
+  const auto& config = platform::configuration_by_name("Hera/XScale");
+  auto params = core::ModelParams::from_configuration(config);
+  const core::BiCritSolver solver(params);
+  const auto sol = solver.solve(3.0);
+  if (!sol.feasible) return 1;
+
+  // Boost the rate so each run sees many errors; re-solve for that rate.
+  params.lambda_silent *= 100.0;
+  const auto hot_sol = core::BiCritSolver(params).solve(3.0);
+  const double w = hot_sol.best.w_opt;
+  const double s1 = hot_sol.best.sigma1;
+  const double s2 = hot_sol.best.sigma2;
+
+  std::printf("==== Exponential-optimal policy under Weibull errors "
+              "(Hera/XScale, lambda x100, rho = 3) ====\n\n");
+  std::printf("policy: W = %.0f, (sigma1, sigma2) = (%.2f, %.2f); "
+              "exponential model predicts T/W = %.4f, E/W = %.1f\n\n",
+              w, s1, s2, core::time_overhead(params, w, s1, s2),
+              core::energy_overhead(params, w, s1, s2));
+
+  io::TableWriter table({"shape k", "T/W measured", "vs model %",
+                         "E/W measured", "vs model %", "errors/run"});
+  const double t_model = core::time_overhead(params, w, s1, s2);
+  const double e_model = core::energy_overhead(params, w, s1, s2);
+  for (const double shape : {1.0, 0.9, 0.7, 0.5}) {
+    const sim::FaultInjector injector(
+        sim::ArrivalSampler::weibull(shape, params.lambda_silent),
+        sim::ArrivalSampler::exponential(0.0));
+    const sim::Simulator simulator(params, injector);
+    sim::MonteCarloOptions options;
+    options.replications = 300;
+    options.total_work = 60.0 * w;
+    options.base_seed = 0x5EED + static_cast<std::uint64_t>(shape * 100);
+    const auto mc = sim::run_monte_carlo(
+        simulator, sim::ExecutionPolicy::two_speed(w, s1, s2), options);
+    char label[16];
+    std::snprintf(label, sizeof label, "%.1f", shape);
+    table.add_row(
+        {label, io::TableWriter::cell(mc.time_overhead.mean(), 4),
+         io::TableWriter::cell(
+             100.0 * (mc.time_overhead.mean() / t_model - 1.0), 2),
+         io::TableWriter::cell(mc.energy_overhead.mean(), 1),
+         io::TableWriter::cell(
+             100.0 * (mc.energy_overhead.mean() / e_model - 1.0), 2),
+         io::TableWriter::cell(mc.silent_errors.mean(), 1)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("shape 1.0 = exponential (sanity row; deviations ~0). "
+              "Smaller shapes cluster errors;\nper-attempt renewal keeps "
+              "the mean arrival rate fixed, so deviations quantify the\n"
+              "policy's sensitivity to the exponential assumption.\n");
+  return 0;
+}

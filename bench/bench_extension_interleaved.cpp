@@ -1,0 +1,76 @@
+// Extension: interleaved verifications (the pattern generalization of the
+// paper's related work, §6). For each configuration, compares the paper's
+// verify-then-checkpoint pattern (m = 1) against patterns with m
+// verifications per checkpoint at the optimal W for each m — first at the
+// paper's parameters (where m = 1 should win, validating the paper's
+// design), then at high error rates with cheap verifications (where early
+// detection pays).
+
+#include <cstdio>
+#include <string>
+
+#include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/core/interleaved.hpp"
+#include "rexspeed/io/table_writer.hpp"
+#include "rexspeed/platform/configuration.hpp"
+
+using namespace rexspeed;
+
+namespace {
+
+void run_block(const char* title, double rho, double lambda_boost,
+               double verification_override) {
+  std::printf("%s\n", title);
+  io::TableWriter table({"configuration", "best m", "Wopt", "E/W",
+                         "E/W at m=1", "gain %"});
+  for (const auto& config : platform::all_configurations()) {
+    auto params = core::ModelParams::from_configuration(config);
+    params.lambda_silent *= lambda_boost;
+    if (verification_override >= 0.0) {
+      params.verification_s = verification_override;
+    }
+    // Use the configuration's optimal speeds as a fixed pair so the
+    // comparison isolates the segmentation choice.
+    const core::BiCritSolver solver(params);
+    const auto pair = solver.solve(rho, core::SpeedPolicy::kTwoSpeed,
+                                   core::EvalMode::kExactOptimize);
+    if (!pair.feasible) continue;
+    const double s1 = pair.best.sigma1;
+    const double s2 = pair.best.sigma2;
+    const auto best =
+        core::optimize_interleaved(params, rho, s1, s2, 16);
+    const auto single =
+        core::optimize_interleaved(params, rho, s1, s2, 1);
+    if (!best.feasible || !single.feasible) continue;
+    table.add_row(
+        {config.name(), std::to_string(best.segments),
+         io::TableWriter::cell(best.w_opt, 0),
+         io::TableWriter::cell(best.energy_overhead, 1),
+         io::TableWriter::cell(single.energy_overhead, 1),
+         io::TableWriter::cell(
+             100.0 * (1.0 - best.energy_overhead / single.energy_overhead),
+             2)});
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== Interleaved verifications vs the paper's m = 1 "
+              "pattern ====\n\n");
+  run_block("Paper parameters (errors rare, V as measured, rho = 3):", 3.0,
+            1.0, -1.0);
+  run_block("High error rates (lambda x300, rho = 5), V as measured:", 5.0,
+            300.0, -1.0);
+  run_block("High error rates (lambda x300, rho = 5), cheap checks "
+            "(V = 1 s):",
+            5.0, 300.0, 1.0);
+  std::printf("gain = energy saved by allowing m > 1 verifications per "
+              "checkpoint.\nAt the paper's scales a few extra "
+              "verifications already pay, but the gain over the\npaper's "
+              "m = 1 pattern stays below ~2%% — the simpler pattern loses "
+              "almost nothing.\nEarly detection becomes substantial once "
+              "errors are frequent and checks are cheap.\n");
+  return 0;
+}

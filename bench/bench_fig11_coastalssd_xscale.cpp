@@ -1,0 +1,11 @@
+// Figure 11 — the six parameter sweeps (C, V, lambda, rho, Pidle,
+// Pio) on the CoastalSSD/XScale configuration (paper section 4.3.4). Pass
+// --out-dir=DIR to also export gnuplot .dat/.gp artifacts.
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  rexspeed::bench::run_and_print_all(
+      "CoastalSSD/XScale", rexspeed::bench::out_dir_from_args(argc, argv));
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Regenerates the four speed-pair tables of paper §4.2 (Hera/XScale,
+// ρ ∈ {8, 3, 1.775, 1.4}): for each first speed σ1, the best second speed,
+// the optimal pattern size and the energy overhead; "-" marks infeasible
+// rows and "<== best" the pair the paper prints in bold.
+//
+// Paper values for reference (ρ = 3): (0.4 → 0.4, 2764, 416) best;
+// (0.6 → 0.4, 3639, 674); (0.8 → 0.4, 4627, 1082); (1 → 0.4, 5742, 1625).
+
+#include <cstdio>
+
+#include "rexspeed/core/model_params.hpp"
+#include "rexspeed/io/table_writer.hpp"
+#include "rexspeed/platform/configuration.hpp"
+#include "rexspeed/sweep/section42_tables.hpp"
+
+using namespace rexspeed;
+
+int main() {
+  const auto params = core::ModelParams::from_configuration(
+      platform::configuration_by_name("Hera/XScale"));
+  std::printf("==== Paper section 4.2: best second speed per first speed "
+              "(Hera/XScale) ====\n\n");
+  for (const double rho : sweep::section42_bounds()) {
+    std::printf("rho = %g\n", rho);
+    io::TableWriter table({"sigma1", "best sigma2", "Wopt",
+                           "E(Wopt)/Wopt", ""});
+    for (const auto& row : sweep::speed_pair_table(params, rho)) {
+      if (!row.feasible) {
+        table.add_row({io::TableWriter::cell(row.sigma1, 2), "-", "-", "-",
+                       ""});
+        continue;
+      }
+      table.add_row({io::TableWriter::cell(row.sigma1, 2),
+                     io::TableWriter::cell(row.best_sigma2, 2),
+                     io::TableWriter::cell(row.w_opt, 0),
+                     io::TableWriter::cell(row.energy_overhead, 0),
+                     row.is_global_best ? "<== best" : ""});
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+  return 0;
+}

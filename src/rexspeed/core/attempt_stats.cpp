@@ -1,0 +1,51 @@
+#include "rexspeed/core/attempt_stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rexspeed::core {
+
+double attempt_failure_probability(const ModelParams& params, double work,
+                                   double sigma) {
+  params.validate();
+  if (!(work > 0.0) || !(sigma > 0.0)) {
+    throw std::invalid_argument(
+        "attempt_failure_probability: work and speed must be positive");
+  }
+  const double span = (work + params.verification_s) / sigma;
+  const double exposure = work / sigma;
+  return -std::expm1(
+      -(params.lambda_failstop * span + params.lambda_silent * exposure));
+}
+
+AttemptStats attempt_stats(const ModelParams& params, double work,
+                           double sigma1, double sigma2) {
+  AttemptStats stats;
+  stats.first_failure_probability =
+      attempt_failure_probability(params, work, sigma1);
+  stats.retry_failure_probability =
+      attempt_failure_probability(params, work, sigma2);
+  const double q1 = stats.first_failure_probability;
+  const double q2 = stats.retry_failure_probability;
+  if (q2 >= 1.0) {
+    throw std::domain_error(
+        "attempt_stats: re-execution attempts never succeed (q2 = 1)");
+  }
+  // Retries form a geometric sequence with failure probability q2, entered
+  // with probability q1: E[attempts] = 1 + q1/(1 − q2). Every attempt but
+  // the final (successful) one pays a recovery.
+  stats.expected_attempts = 1.0 + q1 / (1.0 - q2);
+  stats.expected_recoveries = stats.expected_attempts - 1.0;
+  return stats;
+}
+
+double probability_attempts_exceed(const ModelParams& params, double work,
+                                   double sigma1, double sigma2,
+                                   unsigned attempts) {
+  if (attempts == 0) return 1.0;  // every pattern needs at least one
+  const double q1 = attempt_failure_probability(params, work, sigma1);
+  const double q2 = attempt_failure_probability(params, work, sigma2);
+  return q1 * std::pow(q2, static_cast<double>(attempts - 1));
+}
+
+}  // namespace rexspeed::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "rexspeed/core/model_params.hpp"
+
+namespace rexspeed::core {
+
+/// Closed-form statistics of the attempt process of one pattern: how often
+/// the first execution fails, how many re-executions follow, how many
+/// recoveries are paid. Exact for the paper's model (exponential arrivals,
+/// first attempt at σ1, all re-executions at σ2): after the first attempt
+/// the process is a geometric trial sequence with the σ2 failure
+/// probability.
+///
+/// These are the analytical counterparts of the simulator's SimResult
+/// counters, and the cross-check between the two is asserted in
+/// tests/integration.
+struct AttemptStats {
+  /// Probability that an attempt at σ1 fails (either error source).
+  double first_failure_probability = 0.0;
+  /// Probability that a re-execution attempt at σ2 fails.
+  double retry_failure_probability = 0.0;
+  /// Expected attempts per pattern: 1 + q1/(1 − q2).
+  double expected_attempts = 0.0;
+  /// Expected recoveries per pattern (= expected failures).
+  double expected_recoveries = 0.0;
+};
+
+/// Failure probability of a single attempt of `work` units at speed
+/// `sigma`: 1 − e^{−(λf(W+V) + λsW)/σ}. Fail-stop errors are exposed over
+/// compute + verification, silent errors over compute only (§2.2).
+[[nodiscard]] double attempt_failure_probability(const ModelParams& params,
+                                                 double work, double sigma);
+
+/// Full attempt statistics for a (W, σ1, σ2) pattern.
+[[nodiscard]] AttemptStats attempt_stats(const ModelParams& params,
+                                         double work, double sigma1,
+                                         double sigma2);
+
+/// Probability that the pattern needs strictly more than `attempts`
+/// attempts (attempts >= 1): q1 · q2^{attempts−1}.
+[[nodiscard]] double probability_attempts_exceed(const ModelParams& params,
+                                                 double work, double sigma1,
+                                                 double sigma2,
+                                                 unsigned attempts);
+
+}  // namespace rexspeed::core

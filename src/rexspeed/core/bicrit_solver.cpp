@@ -1,0 +1,151 @@
+#include "rexspeed/core/bicrit_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rexspeed/core/exact_expectations.hpp"
+
+namespace rexspeed::core {
+
+PairSolution BiCritSolution::best_for_sigma1(double sigma1) const {
+  PairSolution row;
+  row.sigma1 = sigma1;
+  row.feasible = false;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (const auto& pair : pairs) {
+    if (pair.sigma1 != sigma1 || !pair.feasible) continue;
+    if (pair.energy_overhead < best_energy) {
+      best_energy = pair.energy_overhead;
+      row = pair;
+    }
+  }
+  return row;
+}
+
+BiCritSolver::BiCritSolver(ModelParams params) : params_(std::move(params)) {
+  params_.validate();
+}
+
+PairSolution BiCritSolver::solve_pair(double rho, double sigma1,
+                                      double sigma2, EvalMode mode) const {
+  if (!(rho > 0.0)) {
+    throw std::invalid_argument("BiCritSolver: rho must be positive");
+  }
+  PairSolution sol;
+  sol.sigma1 = sigma1;
+  sol.sigma2 = sigma2;
+
+  if (mode == EvalMode::kExactOptimize) {
+    const ExactPairResult exact =
+        optimize_exact_pair(params_, rho, sigma1, sigma2, numeric_options_);
+    sol.feasible = exact.feasible;
+    sol.first_order_valid = first_order_valid(params_, sigma1, sigma2);
+    sol.rho_min = std::numeric_limits<double>::quiet_NaN();
+    sol.w_opt = exact.w_opt;
+    sol.w_energy = exact.w_opt;
+    sol.w_min = exact.w_min;
+    sol.w_max = exact.w_max;
+    sol.energy_overhead = exact.energy_overhead;
+    sol.time_overhead = exact.time_overhead;
+    return sol;
+  }
+
+  const OverheadExpansion time_exp = time_expansion(params_, sigma1, sigma2);
+  const OverheadExpansion energy_exp =
+      energy_expansion(params_, sigma1, sigma2);
+  sol.first_order_valid = time_exp.y > 0.0 && energy_exp.y > 0.0;
+  sol.rho_min = rho_min(time_exp);
+  if (!sol.first_order_valid) {
+    // Outside the validity window of §5.2 the closed form is meaningless;
+    // callers should switch to kExactOptimize.
+    sol.feasible = false;
+    return sol;
+  }
+
+  const FeasibleInterval interval = feasible_interval(time_exp, rho);
+  if (!interval.feasible()) {
+    sol.feasible = false;
+    return sol;
+  }
+  sol.w_min = interval.w_min;
+  sol.w_max = interval.w_max;
+
+  // Eq. (5): unconstrained energy optimum; Eq. (4): clamp into [W1, W2].
+  sol.w_energy = energy_exp.has_interior_minimum()
+                     ? energy_exp.argmin()
+                     : interval.w_max;
+  if (!std::isfinite(sol.w_energy)) {
+    // Error-free model: energy overhead decreases in W forever; take the
+    // largest bounded pattern if any, else a nominal large pattern.
+    sol.w_energy = std::isfinite(interval.w_max) ? interval.w_max
+                                                 : numeric_options_.w_cap;
+  }
+  sol.w_opt = std::min(std::max(interval.w_min, sol.w_energy),
+                       std::isfinite(interval.w_max)
+                           ? interval.w_max
+                           : std::numeric_limits<double>::max());
+  sol.feasible = true;
+
+  if (mode == EvalMode::kFirstOrder) {
+    sol.energy_overhead = energy_exp.evaluate(sol.w_opt);
+    sol.time_overhead = time_exp.evaluate(sol.w_opt);
+  } else {  // kExactEvaluation
+    sol.energy_overhead = energy_overhead(params_, sol.w_opt, sigma1, sigma2);
+    sol.time_overhead = time_overhead(params_, sol.w_opt, sigma1, sigma2);
+  }
+  return sol;
+}
+
+PairSolution BiCritSolver::min_rho_solution(SpeedPolicy policy) const {
+  PairSolution best;
+  best.feasible = false;
+  double best_rho = std::numeric_limits<double>::infinity();
+  for (const double s1 : params_.speeds) {
+    for (const double s2 : params_.speeds) {
+      if (policy == SpeedPolicy::kSingleSpeed && s1 != s2) continue;
+      const OverheadExpansion time_exp = time_expansion(params_, s1, s2);
+      const OverheadExpansion energy_exp =
+          energy_expansion(params_, s1, s2);
+      if (!(time_exp.y > 0.0) || !(energy_exp.y > 0.0)) continue;
+      const double bound = rho_min(time_exp);
+      if (bound >= best_rho) continue;
+      best_rho = bound;
+      best.feasible = true;
+      best.first_order_valid = true;
+      best.sigma1 = s1;
+      best.sigma2 = s2;
+      best.rho_min = bound;
+      best.w_opt = time_exp.argmin();  // tangency pattern size
+      best.w_energy = energy_exp.argmin();
+      best.w_min = best.w_opt;
+      best.w_max = best.w_opt;
+      best.time_overhead = time_exp.evaluate(best.w_opt);
+      best.energy_overhead = energy_exp.evaluate(best.w_opt);
+    }
+  }
+  return best;
+}
+
+BiCritSolution BiCritSolver::solve(double rho, SpeedPolicy policy,
+                                   EvalMode mode) const {
+  BiCritSolution solution;
+  solution.pairs.reserve(params_.speeds.size() * params_.speeds.size());
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (const double s1 : params_.speeds) {
+    for (const double s2 : params_.speeds) {
+      if (policy == SpeedPolicy::kSingleSpeed && s1 != s2) continue;
+      PairSolution pair = solve_pair(rho, s1, s2, mode);
+      if (pair.feasible && pair.energy_overhead < best_energy) {
+        best_energy = pair.energy_overhead;
+        solution.best = pair;
+        solution.feasible = true;
+      }
+      solution.pairs.push_back(std::move(pair));
+    }
+  }
+  return solution;
+}
+
+}  // namespace rexspeed::core

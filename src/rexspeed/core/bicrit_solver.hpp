@@ -1,0 +1,97 @@
+#pragma once
+
+#include <vector>
+
+#include "rexspeed/core/feasibility.hpp"
+#include "rexspeed/core/first_order.hpp"
+#include "rexspeed/core/model_params.hpp"
+#include "rexspeed/core/numeric_optimizer.hpp"
+
+namespace rexspeed::core {
+
+/// Which speed pairs the solver may use.
+enum class SpeedPolicy {
+  kTwoSpeed,     ///< any (σ1, σ2) ∈ S × S — the paper's proposal
+  kSingleSpeed,  ///< σ2 = σ1 — the classical baseline (dotted lines in the
+                 ///< paper's figures)
+};
+
+/// How the per-pair optimum is computed and evaluated.
+enum class EvalMode {
+  kFirstOrder,       ///< Theorem 1 closed form, overheads from Eqs. (2)/(3)
+                     ///< — the paper's procedure, O(K²) total
+  kExactEvaluation,  ///< Theorem 1 pattern size, overheads re-evaluated with
+                     ///< the exact expectations
+  kExactOptimize,    ///< full numeric optimization of the exact model
+                     ///< (valid outside the first-order window)
+};
+
+/// Outcome for one speed pair (σ1, σ2).
+struct PairSolution {
+  double sigma1 = 0.0;
+  double sigma2 = 0.0;
+  bool feasible = false;
+  /// True when the first-order expansions have positive W coefficients for
+  /// this pair (always true with silent errors only).
+  bool first_order_valid = true;
+  /// Minimum admissible bound ρ_{i,j} for this pair (Eq. (6) generalized);
+  /// −inf when the first-order expansion is invalid.
+  double rho_min = 0.0;
+  /// Chosen pattern size Wopt (Eq. (4)).
+  double w_opt = 0.0;
+  /// Unconstrained energy minimizer We (Eq. (5)).
+  double w_energy = 0.0;
+  /// Feasible interval [W1, W2] from the performance bound.
+  double w_min = 0.0;
+  double w_max = 0.0;
+  double energy_overhead = 0.0;  ///< E(Wopt)/Wopt
+  double time_overhead = 0.0;    ///< T(Wopt)/Wopt
+};
+
+/// Full solver outcome: the best pair plus every candidate, for reporting.
+struct BiCritSolution {
+  bool feasible = false;
+  PairSolution best;
+  std::vector<PairSolution> pairs;
+
+  /// Best pair restricted to a given first speed (the per-row entries of
+  /// the paper's §4.2 tables). Returns an infeasible PairSolution when no
+  /// second speed satisfies the bound.
+  [[nodiscard]] PairSolution best_for_sigma1(double sigma1) const;
+};
+
+/// The paper's O(K²) BiCrit solver (§3): enumerate speed pairs, discard
+/// those whose ρ_{i,j} exceeds the bound, compute Wopt by Theorem 1, and
+/// return the pair with the smallest energy overhead.
+class BiCritSolver {
+ public:
+  explicit BiCritSolver(ModelParams params);
+
+  /// Solves BiCrit for performance bound `rho`.
+  [[nodiscard]] BiCritSolution solve(
+      double rho, SpeedPolicy policy = SpeedPolicy::kTwoSpeed,
+      EvalMode mode = EvalMode::kFirstOrder) const;
+
+  /// Solves a single speed pair.
+  [[nodiscard]] PairSolution solve_pair(double rho, double sigma1,
+                                        double sigma2,
+                                        EvalMode mode) const;
+
+  /// Best-effort policy when no pair satisfies the bound: the pair with
+  /// the smallest achievable bound ρ_{i,j}, run at its time-optimal
+  /// pattern size (the tangency point of Eq. (6)). This is how the
+  /// paper's figures keep plotting beyond the feasibility horizon (e.g.
+  /// the λ ≥ 10⁻³ region of Figure 4, where the speed curves pin at the
+  /// maximum speed). The returned solution has feasible = true but its
+  /// time_overhead generally exceeds any requested ρ.
+  [[nodiscard]] PairSolution min_rho_solution(
+      SpeedPolicy policy = SpeedPolicy::kTwoSpeed) const;
+
+  [[nodiscard]] const ModelParams& params() const noexcept { return params_; }
+
+ private:
+  ModelParams params_;
+  NumericOptions numeric_options_;
+};
+
+}  // namespace rexspeed::core

@@ -1,0 +1,43 @@
+#include "rexspeed/core/campaign.hpp"
+
+#include <stdexcept>
+
+namespace rexspeed::core {
+
+CampaignPlan plan_campaign_from_solution(const ModelParams& params,
+                                         const PairSolution& solution,
+                                         double total_work) {
+  params.validate();
+  if (!(total_work > 0.0)) {
+    throw std::invalid_argument(
+        "plan_campaign: total work must be positive");
+  }
+  CampaignPlan plan;
+  plan.total_work = total_work;
+  if (!solution.feasible) return plan;
+
+  plan.feasible = true;
+  plan.policy = solution;
+  plan.patterns = total_work / solution.w_opt;
+  plan.expected_makespan_s = solution.time_overhead * total_work;
+  plan.expected_energy_mws = solution.energy_overhead * total_work;
+  plan.ideal_makespan_s = total_work / solution.sigma1;
+  plan.attempts = attempt_stats(params, solution.w_opt, solution.sigma1,
+                                solution.sigma2);
+  plan.expected_errors = plan.attempts.expected_recoveries * plan.patterns;
+  plan.expected_checkpoints = plan.patterns;
+  return plan;
+}
+
+CampaignPlan plan_campaign(const ModelParams& params, double rho,
+                           double total_work, SpeedPolicy policy,
+                           EvalMode mode) {
+  const BiCritSolver solver(params);
+  const BiCritSolution solution = solver.solve(rho, policy, mode);
+  CampaignPlan plan =
+      plan_campaign_from_solution(params, solution.best, total_work);
+  plan.feasible = solution.feasible;
+  return plan;
+}
+
+}  // namespace rexspeed::core

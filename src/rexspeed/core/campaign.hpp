@@ -1,0 +1,41 @@
+#pragma once
+
+#include "rexspeed/core/attempt_stats.hpp"
+#include "rexspeed/core/bicrit_solver.hpp"
+
+namespace rexspeed::core {
+
+/// Application-level plan derived from a pattern-level solution (§2.3:
+/// Ttotal ≈ (T/W)·Wbase, Etotal ≈ (E/W)·Wbase for a long-running divisible
+/// application). This is what an operator reads off before launching a
+/// campaign: wall-clock and energy budgets, checkpoint pressure, expected
+/// error counts.
+struct CampaignPlan {
+  bool feasible = false;
+  PairSolution policy;           ///< the pattern-level optimum
+  double total_work = 0.0;       ///< Wbase (seconds-at-full-speed)
+  double patterns = 0.0;         ///< Wbase / Wopt (fractional)
+  double expected_makespan_s = 0.0;
+  double expected_energy_mws = 0.0;
+  /// Error-free makespan at σ1 (no checkpoints, no errors) — the
+  /// denominator of the "degradation" the ρ bound controls.
+  double ideal_makespan_s = 0.0;
+  AttemptStats attempts;          ///< per-pattern attempt process
+  double expected_errors = 0.0;   ///< expected failures over the campaign
+  double expected_checkpoints = 0.0;
+};
+
+/// Solves BiCrit for `rho` and scales the winning pattern to a campaign of
+/// `total_work` units. Returns feasible = false when no speed pair meets
+/// the bound.
+[[nodiscard]] CampaignPlan plan_campaign(
+    const ModelParams& params, double rho, double total_work,
+    SpeedPolicy policy = SpeedPolicy::kTwoSpeed,
+    EvalMode mode = EvalMode::kFirstOrder);
+
+/// Scales an already-computed pattern solution to a campaign.
+[[nodiscard]] CampaignPlan plan_campaign_from_solution(
+    const ModelParams& params, const PairSolution& solution,
+    double total_work);
+
+}  // namespace rexspeed::core

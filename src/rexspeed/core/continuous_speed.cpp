@@ -1,0 +1,136 @@
+#include "rexspeed/core/continuous_speed.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rexspeed/core/bicrit_solver.hpp"
+
+namespace rexspeed::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Point {
+  double s1 = 0.0;
+  double s2 = 0.0;
+  double value = kInf;
+};
+
+double clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+}  // namespace
+
+ContinuousSolution solve_continuous(const ModelParams& params, double rho,
+                                    const ContinuousOptions& options) {
+  params.validate();
+  if (!(rho > 0.0)) {
+    throw std::invalid_argument("solve_continuous: rho must be positive");
+  }
+  const double lo =
+      options.sigma_min > 0.0 ? options.sigma_min : params.speeds.front();
+  const double hi =
+      options.sigma_max > 0.0 ? options.sigma_max : params.speeds.back();
+  if (!(lo > 0.0) || !(lo <= hi)) {
+    throw std::invalid_argument("solve_continuous: bad speed range");
+  }
+
+  const auto objective = [&](double s1, double s2) -> double {
+    if (s1 < lo || s1 > hi || s2 < lo || s2 > hi) return kInf;
+    const ExactPairResult pair =
+        optimize_exact_pair(params, rho, s1, s2, options.inner);
+    return pair.feasible ? pair.energy_overhead : kInf;
+  };
+
+  // Multi-start seeds: the discrete optimum (when feasible) plus the
+  // rectangle corners and center.
+  std::array<Point, 6> seeds{};
+  std::size_t n_seeds = 0;
+  const BiCritSolution discrete =
+      BiCritSolver(params).solve(rho, SpeedPolicy::kTwoSpeed,
+                                 EvalMode::kFirstOrder);
+  if (discrete.feasible) {
+    seeds[n_seeds++] = {discrete.best.sigma1, discrete.best.sigma2, kInf};
+  }
+  seeds[n_seeds++] = {lo, lo, kInf};
+  seeds[n_seeds++] = {hi, hi, kInf};
+  seeds[n_seeds++] = {hi, lo, kInf};
+  seeds[n_seeds++] = {0.5 * (lo + hi), 0.5 * (lo + hi), kInf};
+
+  Point global_best{0.0, 0.0, kInf};
+  for (std::size_t seed = 0; seed < n_seeds; ++seed) {
+    // Nelder–Mead with a simplex spanning ~10% of the rectangle.
+    const double step = 0.1 * (hi - lo) + 1e-3;
+    std::array<Point, 3> simplex{
+        Point{seeds[seed].s1, seeds[seed].s2, 0.0},
+        Point{clamp(seeds[seed].s1 + step, lo, hi), seeds[seed].s2, 0.0},
+        Point{seeds[seed].s1, clamp(seeds[seed].s2 + step, lo, hi), 0.0}};
+    for (auto& p : simplex) p.value = objective(p.s1, p.s2);
+
+    for (int it = 0; it < options.max_iterations; ++it) {
+      std::sort(simplex.begin(), simplex.end(),
+                [](const Point& a, const Point& b) {
+                  return a.value < b.value;
+                });
+      const Point& best = simplex[0];
+      Point& worst = simplex[2];
+      const double spread =
+          std::abs(simplex[0].s1 - simplex[2].s1) +
+          std::abs(simplex[0].s2 - simplex[2].s2);
+      if (spread < options.tolerance) break;
+
+      const double cx = 0.5 * (simplex[0].s1 + simplex[1].s1);
+      const double cy = 0.5 * (simplex[0].s2 + simplex[1].s2);
+      const auto try_point = [&](double alpha) {
+        Point p{clamp(cx + alpha * (cx - worst.s1), lo, hi),
+                clamp(cy + alpha * (cy - worst.s2), lo, hi), 0.0};
+        p.value = objective(p.s1, p.s2);
+        return p;
+      };
+
+      const Point reflected = try_point(1.0);
+      if (reflected.value < best.value) {
+        const Point expanded = try_point(2.0);
+        worst = expanded.value < reflected.value ? expanded : reflected;
+      } else if (reflected.value < simplex[1].value) {
+        worst = reflected;
+      } else {
+        const Point contracted = try_point(-0.5);
+        if (contracted.value < worst.value) {
+          worst = contracted;
+        } else {
+          // Shrink toward the best vertex.
+          for (std::size_t i = 1; i < simplex.size(); ++i) {
+            simplex[i].s1 = 0.5 * (simplex[i].s1 + simplex[0].s1);
+            simplex[i].s2 = 0.5 * (simplex[i].s2 + simplex[0].s2);
+            simplex[i].value = objective(simplex[i].s1, simplex[i].s2);
+          }
+        }
+      }
+    }
+    std::sort(simplex.begin(), simplex.end(),
+              [](const Point& a, const Point& b) {
+                return a.value < b.value;
+              });
+    if (simplex[0].value < global_best.value) global_best = simplex[0];
+  }
+
+  ContinuousSolution solution;
+  if (!std::isfinite(global_best.value)) return solution;
+  const ExactPairResult pair = optimize_exact_pair(
+      params, rho, global_best.s1, global_best.s2, options.inner);
+  solution.feasible = pair.feasible;
+  solution.sigma1 = global_best.s1;
+  solution.sigma2 = global_best.s2;
+  solution.w_opt = pair.w_opt;
+  solution.energy_overhead = pair.energy_overhead;
+  solution.time_overhead = pair.time_overhead;
+  return solution;
+}
+
+}  // namespace rexspeed::core

@@ -1,0 +1,108 @@
+#include "rexspeed/core/feasibility.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rexspeed::core {
+
+QuadraticRoots solve_quadratic(double a, double b, double c) {
+  QuadraticRoots roots;
+  if (a == 0.0) {
+    if (b == 0.0) return roots;  // constant equation: no roots reported
+    roots.count = 1;
+    roots.lower = roots.upper = -c / b;
+    return roots;
+  }
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return roots;
+  if (disc == 0.0) {
+    roots.count = 1;
+    roots.lower = roots.upper = -b / (2.0 * a);
+    return roots;
+  }
+  const double sqrt_disc = std::sqrt(disc);
+  const double q = -0.5 * (b + std::copysign(sqrt_disc, b));
+  double r1 = q / a;
+  double r2 = (q != 0.0) ? c / q : -b / a - r1;
+  if (r1 > r2) std::swap(r1, r2);
+  roots.count = 2;
+  roots.lower = r1;
+  roots.upper = r2;
+  return roots;
+}
+
+FeasibleInterval feasible_interval(const OverheadExpansion& time_exp,
+                                   double rho) {
+  if (!(rho > 0.0)) {
+    throw std::invalid_argument("feasible_interval: rho must be positive");
+  }
+  const double a = time_exp.y;
+  const double b = time_exp.x - rho;
+  const double c = time_exp.z;
+  FeasibleInterval interval;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  if (a > 0.0) {
+    // Upward parabola: feasible between the roots, when they exist and at
+    // least the larger one is positive (Theorem 1).
+    const QuadraticRoots roots = solve_quadratic(a, b, c);
+    if (roots.count == 0 || roots.upper <= 0.0) {
+      interval.status = FeasibleInterval::Status::kInfeasible;
+      return interval;
+    }
+    interval.status = FeasibleInterval::Status::kFeasible;
+    interval.w_min = std::max(roots.lower, 0.0);
+    interval.w_max = roots.upper;
+    return interval;
+  }
+
+  if (a == 0.0) {
+    // Error-free (or degenerate) case: bW + c ≤ 0.
+    if (b >= 0.0) {
+      // Overhead never drops below x (plus z/W > 0): feasible only if the
+      // asymptote already satisfies the bound, which needs b < 0.
+      interval.status = FeasibleInterval::Status::kInfeasible;
+      return interval;
+    }
+    interval.status = FeasibleInterval::Status::kUnbounded;
+    interval.w_min = c > 0.0 ? c / -b : 0.0;
+    interval.w_max = kInf;
+    return interval;
+  }
+
+  // a < 0: downward parabola — the invalid first-order regime (paper
+  // §5.2). With c = z > 0 the constraint is violated near W = 0 and holds
+  // for every W beyond the unique positive root.
+  const QuadraticRoots roots = solve_quadratic(a, b, c);
+  interval.status = FeasibleInterval::Status::kUnbounded;
+  interval.w_min =
+      roots.count >= 1 ? std::max(roots.upper, 0.0) : 0.0;
+  interval.w_max = kInf;
+  return interval;
+}
+
+double rho_min(const OverheadExpansion& time_exp) {
+  if (time_exp.y <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  if (time_exp.z <= 0.0) return time_exp.x;
+  return time_exp.min_value();
+}
+
+double rho_min_eq6(const ModelParams& params, double sigma_i,
+                   double sigma_j) {
+  params.validate();
+  if (!(sigma_i > 0.0) || !(sigma_j > 0.0)) {
+    throw std::invalid_argument("rho_min_eq6: speeds must be positive");
+  }
+  const double lam = params.lambda_silent;
+  const double c = params.checkpoint_s;
+  const double r = params.recovery_s;
+  const double v = params.verification_s;
+  return 1.0 / sigma_i +
+         2.0 * std::sqrt((c + v / sigma_i) * lam / (sigma_i * sigma_j)) +
+         lam * (r / sigma_i + v / (sigma_i * sigma_j));
+}
+
+}  // namespace rexspeed::core

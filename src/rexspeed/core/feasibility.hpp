@@ -1,0 +1,50 @@
+#pragma once
+
+#include "rexspeed/core/first_order.hpp"
+
+namespace rexspeed::core {
+
+/// Real roots of a·x² + b·x + c = 0, computed with the numerically stable
+/// "q-formula" (avoids catastrophic cancellation when b² ≫ 4ac).
+struct QuadraticRoots {
+  int count = 0;       ///< 0, 1 or 2 real roots
+  double lower = 0.0;  ///< smaller root (valid when count >= 1)
+  double upper = 0.0;  ///< larger root (valid when count >= 1)
+};
+
+[[nodiscard]] QuadraticRoots solve_quadratic(double a, double b, double c);
+
+/// Feasible pattern-size interval induced by the performance bound
+/// T(W)/W ≤ ρ under a first-order expansion (Theorem 1's aW² + bW + c ≤ 0
+/// with a = y, b = x − ρ, c = z).
+struct FeasibleInterval {
+  enum class Status {
+    kFeasible,    ///< non-empty interval [w_min, w_max]
+    kInfeasible,  ///< no W satisfies the bound (ρ < ρ_min)
+    kUnbounded,   ///< y ≤ 0: the expansion decreases forever (invalid
+                  ///< first-order regime, paper §5.2) — w_max is +inf when
+                  ///< the bound is met for large W
+  };
+  Status status = Status::kInfeasible;
+  double w_min = 0.0;
+  double w_max = 0.0;
+
+  [[nodiscard]] bool feasible() const noexcept {
+    return status != Status::kInfeasible;
+  }
+};
+
+[[nodiscard]] FeasibleInterval feasible_interval(
+    const OverheadExpansion& time_exp, double rho);
+
+/// Minimum admissible performance bound for an expansion with y > 0:
+/// ρ_min = x + 2√(yz) (paper Eq. (6) once the silent-only x, y, z are
+/// substituted). Returns x when z = 0 and −inf when y ≤ 0.
+[[nodiscard]] double rho_min(const OverheadExpansion& time_exp);
+
+/// Literal paper Eq. (6) for silent errors only:
+/// ρ_{i,j} = 1/σi + 2√((C + V/σi)·λ/(σiσj)) + λ(R/σi + V/(σiσj)).
+[[nodiscard]] double rho_min_eq6(const ModelParams& params, double sigma_i,
+                                 double sigma_j);
+
+}  // namespace rexspeed::core

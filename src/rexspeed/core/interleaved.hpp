@@ -1,0 +1,51 @@
+#pragma once
+
+#include "rexspeed/core/model_params.hpp"
+
+namespace rexspeed::core {
+
+/// Interleaved-verification patterns — the generalization the paper cites
+/// as related work (§6, Benoit–Robert–Raina "Efficient checkpoint/
+/// verification patterns"): the chunk W is cut into `segments` equal
+/// pieces, each followed by a verification; the checkpoint still closes
+/// the pattern. A silent error is then detected at the end of the segment
+/// it struck, so only a prefix of the attempt is lost instead of the whole
+/// pattern — at the price of `segments` verifications per attempt.
+///
+/// The paper's model is the special case segments = 1. The expectations
+/// below are exact finite sums over the striking segment (silent errors
+/// only, the setting of the original pattern work); re-executions run at
+/// σ2 with the same segmented layout.
+
+/// Expected time of one pattern with `segments` interleaved verifications.
+/// Requires λf = 0 (throws otherwise: the segmented closed form is derived
+/// for silent errors, matching the related work).
+[[nodiscard]] double expected_time_interleaved(const ModelParams& params,
+                                               double work,
+                                               unsigned segments,
+                                               double sigma1, double sigma2);
+
+/// Expected energy of one pattern with `segments` interleaved
+/// verifications.
+[[nodiscard]] double expected_energy_interleaved(const ModelParams& params,
+                                                 double work,
+                                                 unsigned segments,
+                                                 double sigma1,
+                                                 double sigma2);
+
+/// Best segmented pattern under the BiCrit rule: for each segment count in
+/// [1, max_segments], numerically optimize W for minimum energy overhead
+/// subject to T/W ≤ rho, then keep the best count.
+struct InterleavedSolution {
+  bool feasible = false;
+  unsigned segments = 1;
+  double w_opt = 0.0;
+  double energy_overhead = 0.0;
+  double time_overhead = 0.0;
+};
+
+[[nodiscard]] InterleavedSolution optimize_interleaved(
+    const ModelParams& params, double rho, double sigma1, double sigma2,
+    unsigned max_segments = 16);
+
+}  // namespace rexspeed::core

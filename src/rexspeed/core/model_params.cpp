@@ -1,0 +1,59 @@
+#include "rexspeed/core/model_params.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace rexspeed::core {
+
+double ModelParams::failstop_fraction() const noexcept {
+  const double total = total_error_rate();
+  return total > 0.0 ? lambda_failstop / total : 0.0;
+}
+
+ModelParams ModelParams::from_configuration(
+    const platform::Configuration& config) {
+  config.validate();
+  ModelParams params{
+      .lambda_silent = config.platform.error_rate,
+      .lambda_failstop = 0.0,
+      .checkpoint_s = config.platform.checkpoint_s,
+      .recovery_s = config.platform.recovery_s(),
+      .verification_s = config.platform.verification_s,
+      .kappa_mw = config.processor.kappa_mw,
+      .idle_power_mw = config.processor.idle_power_mw,
+      .io_power_mw = config.io_power_mw,
+      .speeds = config.processor.speeds};
+  params.validate();
+  return params;
+}
+
+void ModelParams::validate() const {
+  if (lambda_silent < 0.0 || lambda_failstop < 0.0) {
+    throw std::invalid_argument(
+        "ModelParams: error rates must be non-negative");
+  }
+  if (checkpoint_s < 0.0 || recovery_s < 0.0 || verification_s < 0.0) {
+    throw std::invalid_argument(
+        "ModelParams: resilience costs must be non-negative");
+  }
+  if (kappa_mw < 0.0 || idle_power_mw < 0.0 || io_power_mw < 0.0) {
+    throw std::invalid_argument("ModelParams: powers must be non-negative");
+  }
+  if (speeds.empty()) {
+    throw std::invalid_argument("ModelParams: speed set must not be empty");
+  }
+  double prev = 0.0;
+  for (const double s : speeds) {
+    if (!(s > 0.0) || s > 1.0) {
+      throw std::invalid_argument(
+          "ModelParams: speeds must lie in (0, 1], got " + std::to_string(s));
+    }
+    if (s <= prev) {
+      throw std::invalid_argument(
+          "ModelParams: speeds must be strictly increasing");
+    }
+    prev = s;
+  }
+}
+
+}  // namespace rexspeed::core

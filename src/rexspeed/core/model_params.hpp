@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "rexspeed/platform/configuration.hpp"
+
+namespace rexspeed::core {
+
+/// Full parameter bundle of the BiCrit model (paper §2).
+///
+/// Conventions used throughout the library:
+///  * work `W` is measured in seconds-at-full-speed: executing `W` units at
+///    normalized speed σ takes `W/σ` seconds;
+///  * times (`C`, `R`, `V`) are in seconds; `V` is the verification time at
+///    full speed, so a verification at speed σ costs `V/σ`;
+///  * error rates are per second of wall-clock time;
+///  * powers are in mW, energies in mW·s.
+struct ModelParams {
+  /// Silent-error rate λs (1/s). Zero disables silent errors.
+  double lambda_silent = 0.0;
+  /// Fail-stop error rate λf (1/s). Zero (the paper's §2–§4 setting)
+  /// disables fail-stop errors.
+  double lambda_failstop = 0.0;
+  /// Checkpoint time C (s).
+  double checkpoint_s = 0.0;
+  /// Recovery time R (s).
+  double recovery_s = 0.0;
+  /// Verification time V at full speed (s).
+  double verification_s = 0.0;
+  /// Cubic dynamic-power coefficient κ (mW).
+  double kappa_mw = 0.0;
+  /// Static power Pidle (mW).
+  double idle_power_mw = 0.0;
+  /// Dynamic I/O power Pio (mW).
+  double io_power_mw = 0.0;
+  /// Available normalized speeds S, strictly increasing, each in (0, 1].
+  std::vector<double> speeds;
+
+  /// Combined error rate λ = λs + λf.
+  [[nodiscard]] double total_error_rate() const noexcept {
+    return lambda_silent + lambda_failstop;
+  }
+
+  /// Fraction f of errors that are fail-stop (0 when error-free).
+  [[nodiscard]] double failstop_fraction() const noexcept;
+
+  /// Total power while computing at speed σ: Pidle + κσ³ (mW).
+  [[nodiscard]] double compute_power(double sigma) const noexcept {
+    return idle_power_mw + kappa_mw * sigma * sigma * sigma;
+  }
+
+  /// Total power during checkpoint/recovery: Pidle + Pio (mW).
+  [[nodiscard]] double io_total_power() const noexcept {
+    return idle_power_mw + io_power_mw;
+  }
+
+  /// Bundles a platform/processor configuration into model parameters,
+  /// with R = C (paper §4.1) and silent errors only.
+  [[nodiscard]] static ModelParams from_configuration(
+      const platform::Configuration& config);
+
+  /// Throws std::invalid_argument on malformed parameters (negative rates
+  /// or costs, empty/unsorted speed set, no error source allowed —
+  /// error-free models are valid and mean deterministic execution).
+  void validate() const;
+};
+
+}  // namespace rexspeed::core

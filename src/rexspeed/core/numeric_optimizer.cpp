@@ -1,0 +1,157 @@
+#include "rexspeed/core/numeric_optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rexspeed/core/exact_expectations.hpp"
+
+namespace rexspeed::core {
+
+double golden_section_minimize(const std::function<double(double)>& f,
+                               double lo, double hi,
+                               const NumericOptions& options) {
+  if (!(lo < hi)) {
+    throw std::invalid_argument("golden_section_minimize: empty interval");
+  }
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/φ
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  for (int i = 0; i < options.max_iterations &&
+                  (b - a) > options.relative_tolerance * (std::abs(a) + 1.0);
+       ++i) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double minimize_unimodal_overhead(
+    const std::function<double(double)>& overhead,
+    const NumericOptions& options) {
+  // Exact overheads are convex in W: the 1/W checkpoint term falls, the
+  // e^{λW} re-execution terms rise. Double the upper bracket until the
+  // function increases (or overflows), then golden-section.
+  double lo = 1e-6;
+  double hi = 1.0;
+  double prev = overhead(hi);
+  while (hi < options.w_cap) {
+    const double next = overhead(hi * 2.0);
+    if (next > prev || !std::isfinite(next)) break;
+    prev = next;
+    hi *= 2.0;
+  }
+  return golden_section_minimize(overhead, lo, hi * 2.0, options);
+}
+
+namespace {
+
+/// Bisects for the W where `overhead(W) == rho`, assuming overhead is
+/// monotone between `inside` (overhead ≤ rho) and `outside`
+/// (overhead > rho).
+double bisect_boundary(const std::function<double(double)>& overhead,
+                       double rho, double inside, double outside,
+                       const NumericOptions& options) {
+  for (int i = 0; i < options.max_iterations; ++i) {
+    const double mid = 0.5 * (inside + outside);
+    if (std::abs(outside - inside) <=
+        options.relative_tolerance * (std::abs(mid) + 1.0)) {
+      break;
+    }
+    const double value = overhead(mid);
+    if (std::isfinite(value) && value <= rho) {
+      inside = mid;
+    } else {
+      outside = mid;
+    }
+  }
+  return inside;
+}
+
+}  // namespace
+
+ExactPairResult optimize_exact_pair(const ModelParams& params, double rho,
+                                    double sigma1, double sigma2,
+                                    const NumericOptions& options) {
+  if (!(rho > 0.0)) {
+    throw std::invalid_argument("optimize_exact_pair: rho must be positive");
+  }
+  const auto time_per_work = [&](double w) {
+    return time_overhead(params, w, sigma1, sigma2);
+  };
+  const auto energy_per_work = [&](double w) {
+    return energy_overhead(params, w, sigma1, sigma2);
+  };
+
+  ExactPairResult result;
+  const double w_time_opt = minimize_unimodal_overhead(time_per_work, options);
+  if (time_per_work(w_time_opt) > rho) {
+    return result;  // even the fastest pattern violates the bound
+  }
+
+  // Expand outward from the time-optimal pattern to bracket the feasible
+  // boundary on each side, then bisect.
+  double left_out = w_time_opt;
+  while (left_out > 1e-9 && time_per_work(left_out) <= rho) left_out *= 0.5;
+  const double w_lo = (time_per_work(left_out) <= rho)
+                          ? left_out
+                          : bisect_boundary(time_per_work, rho,
+                                            w_time_opt, left_out, options);
+
+  double right_out = w_time_opt;
+  while (right_out < options.w_cap) {
+    const double probe = right_out * 2.0;
+    const double value = time_per_work(probe);
+    if (!std::isfinite(value) || value > rho) {
+      right_out = probe;
+      break;
+    }
+    right_out = probe;
+  }
+  const double right_value = time_per_work(right_out);
+  const double w_hi = (std::isfinite(right_value) && right_value <= rho)
+                          ? right_out
+                          : bisect_boundary(time_per_work, rho, w_time_opt,
+                                            right_out, options);
+
+  result.feasible = true;
+  result.w_min = w_lo;
+  result.w_max = w_hi;
+  result.w_opt =
+      golden_section_minimize(energy_per_work, w_lo, w_hi, options);
+  result.energy_overhead = energy_per_work(result.w_opt);
+  result.time_overhead = time_per_work(result.w_opt);
+  return result;
+}
+
+double minimize_exact_time_overhead(const ModelParams& params, double sigma1,
+                                    double sigma2,
+                                    const NumericOptions& options) {
+  return minimize_unimodal_overhead(
+      [&](double w) { return time_overhead(params, w, sigma1, sigma2); },
+      options);
+}
+
+double minimize_exact_energy_overhead(const ModelParams& params,
+                                      double sigma1, double sigma2,
+                                      const NumericOptions& options) {
+  return minimize_unimodal_overhead(
+      [&](double w) { return energy_overhead(params, w, sigma1, sigma2); },
+      options);
+}
+
+}  // namespace rexspeed::core

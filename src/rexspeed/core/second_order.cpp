@@ -1,0 +1,105 @@
+#include "rexspeed/core/second_order.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rexspeed::core {
+
+SecondOrderExpansion time_second_order_failstop(const ModelParams& params,
+                                                double sigma1,
+                                                double sigma2) {
+  params.validate();
+  if (!(params.lambda_failstop > 0.0)) {
+    throw std::invalid_argument(
+        "time_second_order_failstop: requires a positive fail-stop rate");
+  }
+  if (!(sigma1 > 0.0) || !(sigma2 > 0.0)) {
+    throw std::invalid_argument(
+        "time_second_order_failstop: speeds must be positive");
+  }
+  const double lam = params.lambda_failstop;
+  const double s1 = sigma1;
+  const double s2 = sigma2;
+  SecondOrderExpansion exp{};
+  exp.x = 1.0 / s1 + lam * params.recovery_s / s1;
+  exp.z = params.checkpoint_s;
+  exp.y1 = (1.0 / (s1 * s2) - 1.0 / (2.0 * s1 * s1)) * lam;
+  exp.y2 = (1.0 / (6.0 * s1 * s1 * s1) - 1.0 / (2.0 * s1 * s1 * s2) +
+            1.0 / (2.0 * s1 * s2 * s2)) *
+           lam * lam;
+  return exp;
+}
+
+SecondOrderExpansion time_second_order_silent(const ModelParams& params,
+                                              double sigma1, double sigma2) {
+  params.validate();
+  if (!(params.lambda_silent > 0.0)) {
+    throw std::invalid_argument(
+        "time_second_order_silent: requires a positive silent-error rate");
+  }
+  if (!(sigma1 > 0.0) || !(sigma2 > 0.0)) {
+    throw std::invalid_argument(
+        "time_second_order_silent: speeds must be positive");
+  }
+  const double lam = params.lambda_silent;
+  const double s1 = sigma1;
+  const double s2 = sigma2;
+  const double rv = params.recovery_s + params.verification_s / s2;
+  SecondOrderExpansion exp{};
+  exp.x = 1.0 / s1 + lam * rv / s1;
+  exp.z = params.checkpoint_s + params.verification_s / s1;
+  exp.y1 = lam / (s1 * s2) +
+           lam * lam * rv * (1.0 / (s1 * s2) - 1.0 / (2.0 * s1 * s1));
+  exp.y2 = lam * lam *
+           (1.0 / (s1 * s2 * s2) - 1.0 / (2.0 * s1 * s1 * s2));
+  return exp;
+}
+
+double theorem2_pattern_size(double checkpoint_s, double lambda_failstop,
+                             double sigma) {
+  if (!(checkpoint_s > 0.0) || !(lambda_failstop > 0.0) || !(sigma > 0.0)) {
+    throw std::invalid_argument(
+        "theorem2_pattern_size: all arguments must be positive");
+  }
+  return std::cbrt(12.0 * checkpoint_s /
+                   (lambda_failstop * lambda_failstop)) *
+         sigma;
+}
+
+double minimize_second_order(const SecondOrderExpansion& exp) {
+  if (!(exp.z > 0.0)) {
+    throw std::invalid_argument("minimize_second_order: z must be positive");
+  }
+  if (!(exp.y2 > 0.0) && !(exp.y2 == 0.0 && exp.y1 > 0.0)) {
+    throw std::invalid_argument(
+        "minimize_second_order: expansion is unbounded below (y2 <= 0)");
+  }
+  if (exp.y2 == 0.0) {
+    return std::sqrt(exp.z / exp.y1);  // degenerate first-order case
+  }
+  // Stationarity: g(W) = 2 y2 W³ + y1 W² − z = 0 has exactly one positive
+  // root (g(0) = −z < 0, g strictly increasing for W large). Bracket it.
+  const auto g = [&](double w) {
+    return 2.0 * exp.y2 * w * w * w + exp.y1 * w * w - exp.z;
+  };
+  double hi = std::cbrt(exp.z / (2.0 * exp.y2));
+  while (g(hi) < 0.0) hi *= 2.0;
+  double lo = 0.0;
+  // Bisection with a Newton polish: robust on the whole y1 sign range.
+  for (int i = 0; i < 200 && (hi - lo) > 1e-12 * hi; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (g(mid) < 0.0 ? lo : hi) = mid;
+  }
+  double w = 0.5 * (lo + hi);
+  for (int i = 0; i < 4; ++i) {
+    const double grad = 6.0 * exp.y2 * w * w + 2.0 * exp.y1 * w;
+    if (grad <= 0.0) break;
+    const double step = g(w) / grad;
+    const double next = w - step;
+    if (!(next > 0.0)) break;
+    w = next;
+  }
+  return w;
+}
+
+}  // namespace rexspeed::core

@@ -1,0 +1,46 @@
+#include "rexspeed/core/young_daly.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rexspeed::core {
+
+namespace {
+
+void check_positive(double checkpoint_s, double error_rate) {
+  if (!(checkpoint_s > 0.0)) {
+    throw std::invalid_argument("period: checkpoint time must be positive");
+  }
+  if (!(error_rate > 0.0)) {
+    throw std::invalid_argument("period: error rate must be positive");
+  }
+}
+
+}  // namespace
+
+double young_period(double checkpoint_s, double error_rate) {
+  check_positive(checkpoint_s, error_rate);
+  return std::sqrt(2.0 * checkpoint_s / error_rate);
+}
+
+double daly_period(double checkpoint_s, double error_rate) {
+  check_positive(checkpoint_s, error_rate);
+  const double mtbf = 1.0 / error_rate;
+  if (checkpoint_s >= 2.0 * mtbf) return mtbf;
+  const double ratio = checkpoint_s / (2.0 * mtbf);
+  return std::sqrt(2.0 * checkpoint_s * mtbf) *
+             (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) -
+         checkpoint_s;
+}
+
+double silent_verified_period(double checkpoint_s, double verification_s,
+                              double error_rate) {
+  check_positive(checkpoint_s, error_rate);
+  if (verification_s < 0.0) {
+    throw std::invalid_argument(
+        "silent_verified_period: verification time must be non-negative");
+  }
+  return std::sqrt((verification_s + checkpoint_s) / error_rate);
+}
+
+}  // namespace rexspeed::core

@@ -1,0 +1,24 @@
+#pragma once
+
+namespace rexspeed::core {
+
+/// Classical checkpointing-period baselines the paper generalizes.
+/// All periods are expressed in the same unit as `checkpoint_s` (seconds of
+/// work at the execution speed).
+
+/// Young's first-order period for fail-stop errors: T = √(2C/λ).
+[[nodiscard]] double young_period(double checkpoint_s, double error_rate);
+
+/// Daly's higher-order period for fail-stop errors (FGCS 2006):
+/// T = √(2Cμ)·[1 + (1/3)√(C/(2μ)) + C/(18μ)] − C for C < 2μ, else μ.
+[[nodiscard]] double daly_period(double checkpoint_s, double error_rate);
+
+/// Optimal period for silent errors with verified checkpoints (paper §1):
+/// T = √((V + C)/λ). The factor 2 of Young's formula disappears because a
+/// silent error is only detected by the verification at the end of the
+/// period, so a full period is always lost.
+[[nodiscard]] double silent_verified_period(double checkpoint_s,
+                                            double verification_s,
+                                            double error_rate);
+
+}  // namespace rexspeed::core

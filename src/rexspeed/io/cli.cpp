@@ -1,0 +1,65 @@
+#include "rexspeed/io/cli.hpp"
+
+#include <stdexcept>
+#include <string_view>
+
+namespace rexspeed::io {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string_view body = arg.substr(2);
+      const std::size_t eq = body.find('=');
+      if (eq == std::string_view::npos) {
+        options_.emplace(std::string(body), "");
+      } else {
+        options_.emplace(std::string(body.substr(0, eq)),
+                         std::string(body.substr(eq + 1)));
+      }
+    } else {
+      positionals_.emplace_back(arg);
+    }
+  }
+}
+
+bool ArgParser::has_flag(const std::string& name) const {
+  return options_.contains(name);
+}
+
+std::optional<std::string> ArgParser::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get_or(const std::string& name,
+                              std::string fallback) const {
+  const auto value = get(name);
+  return value.has_value() ? *value : std::move(fallback);
+}
+
+double ArgParser::get_double_or(const std::string& name,
+                                double fallback) const {
+  const auto value = get(name);
+  if (!value.has_value() || value->empty()) return fallback;
+  try {
+    return std::stod(*value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": expected a number, got '" +
+                                *value + "'");
+  }
+}
+
+long ArgParser::get_long_or(const std::string& name, long fallback) const {
+  const auto value = get(name);
+  if (!value.has_value() || value->empty()) return fallback;
+  try {
+    return std::stol(*value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": expected an integer, got '" +
+                                *value + "'");
+  }
+}
+
+}  // namespace rexspeed::io

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rexspeed::io {
+
+/// Tiny `--key=value` / `--flag` argument parser for the examples.
+/// Unknown arguments are collected as positionals; no abbreviations.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has_flag(const std::string& name) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+  [[nodiscard]] std::string get_or(const std::string& name,
+                                   std::string fallback) const;
+  [[nodiscard]] double get_double_or(const std::string& name,
+                                     double fallback) const;
+  [[nodiscard]] long get_long_or(const std::string& name,
+                                 long fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> options_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace rexspeed::io

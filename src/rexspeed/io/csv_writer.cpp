@@ -1,0 +1,39 @@
+#include "rexspeed/io/csv_writer.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace rexspeed::io {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string escaped = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') escaped += '"';
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  char buffer[64];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os_ << ',';
+    std::snprintf(buffer, sizeof buffer, "%.10g", values[i]);
+    os_ << buffer;
+  }
+  os_ << '\n';
+}
+
+}  // namespace rexspeed::io

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rexspeed::io {
+
+/// Minimal RFC-4180-style CSV writer (quotes cells containing commas,
+/// quotes or newlines; doubles embedded quotes). Used to dump figure data
+/// for external plotting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::vector<double>& values);
+
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace rexspeed::io

@@ -1,0 +1,53 @@
+#include "rexspeed/io/gnuplot_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace rexspeed::io {
+
+namespace {
+
+void emit_value(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << '?';
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  os << buffer;
+}
+
+}  // namespace
+
+void write_gnuplot_dat(std::ostream& os, const sweep::Series& series) {
+  os << "# " << series.x_name();
+  for (const auto& name : series.column_names()) os << ' ' << name;
+  os << '\n';
+  for (std::size_t row = 0; row < series.size(); ++row) {
+    emit_value(os, series.x()[row]);
+    for (std::size_t col = 0; col < series.column_names().size(); ++col) {
+      os << ' ';
+      emit_value(os, series.column(col)[row]);
+    }
+    os << '\n';
+  }
+}
+
+void write_gnuplot_script(std::ostream& os, const sweep::Series& series,
+                          const std::string& dat_filename,
+                          bool logscale_x) {
+  os << "set xlabel '" << series.x_name() << "'\n";
+  if (logscale_x) os << "set logscale x\n";
+  os << "set key outside\n";
+  os << "set datafile missing '?'\n";
+  os << "plot";
+  for (std::size_t col = 0; col < series.column_names().size(); ++col) {
+    if (col != 0) os << ',';
+    os << " '" << dat_filename << "' using 1:" << col + 2
+       << " with linespoints title '" << series.column_names()[col] << "'";
+  }
+  os << '\n';
+}
+
+}  // namespace rexspeed::io

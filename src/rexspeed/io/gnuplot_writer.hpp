@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rexspeed/sweep/series.hpp"
+
+namespace rexspeed::io {
+
+/// Writes a sweep::Series as a gnuplot-friendly whitespace-separated data
+/// block: a commented header line (`# x col1 col2 ...`) followed by one
+/// row per grid point. Infinite/NaN cells are emitted as "?" (gnuplot's
+/// missing-data marker) so infeasible sweep points leave gaps in the
+/// curves, exactly as the paper's figures do.
+void write_gnuplot_dat(std::ostream& os, const sweep::Series& series);
+
+/// Companion helper: a minimal gnuplot script plotting every column of
+/// `dat_filename` against its first column (logscale x when requested).
+/// The benches emit these next to the .dat files so the paper's figures
+/// can be regenerated with a stock gnuplot.
+void write_gnuplot_script(std::ostream& os, const sweep::Series& series,
+                          const std::string& dat_filename,
+                          bool logscale_x = false);
+
+}  // namespace rexspeed::io

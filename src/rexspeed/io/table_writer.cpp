@@ -1,0 +1,70 @@
+#include "rexspeed/io/table_writer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rexspeed::io {
+
+TableWriter::TableWriter(Row header) : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("TableWriter: header must not be empty");
+  }
+}
+
+void TableWriter::add_row(Row row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TableWriter: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TableWriter::cell(double value, int precision) {
+  if (std::isnan(value)) return "-";
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  std::string text = buffer;
+  if (text.find('.') != std::string::npos) {
+    while (!text.empty() && text.back() == '0') text.pop_back();
+    if (!text.empty() && text.back() == '.') text.pop_back();
+  }
+  return text;
+}
+
+void TableWriter::write(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit_row = [&](const Row& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  Row underline(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    underline[c] = std::string(widths[c], '-');
+  }
+  emit_row(underline);
+  for (const Row& row : rows_) emit_row(row);
+}
+
+std::string TableWriter::str() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+}  // namespace rexspeed::io

@@ -1,0 +1,49 @@
+#include "rexspeed/platform/configuration.hpp"
+
+#include <stdexcept>
+
+namespace rexspeed::platform {
+
+void Configuration::validate() const {
+  platform.validate();
+  processor.validate();
+  if (io_power_mw < 0.0) {
+    throw std::invalid_argument(
+        "Configuration: I/O power must be non-negative");
+  }
+}
+
+Configuration make_configuration(PlatformSpec platform,
+                                 ProcessorSpec processor) {
+  processor.validate();
+  const double pio = processor.dynamic_power(processor.min_speed());
+  Configuration config{.platform = std::move(platform),
+                       .processor = std::move(processor),
+                       .io_power_mw = pio};
+  config.validate();
+  return config;
+}
+
+const std::vector<Configuration>& all_configurations() {
+  static const std::vector<Configuration> kConfigs = [] {
+    std::vector<Configuration> configs;
+    configs.reserve(all_platforms().size() * all_processors().size());
+    for (const auto& plat : all_platforms()) {
+      for (const auto& proc : all_processors()) {
+        configs.push_back(make_configuration(plat, proc));
+      }
+    }
+    return configs;
+  }();
+  return kConfigs;
+}
+
+const Configuration& configuration_by_name(const std::string& name) {
+  for (const auto& config : all_configurations()) {
+    if (config.name() == name) return config;
+  }
+  throw std::out_of_range("configuration_by_name: unknown configuration '" +
+                          name + "'");
+}
+
+}  // namespace rexspeed::platform

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rexspeed/platform/platform.hpp"
+#include "rexspeed/platform/processor.hpp"
+
+namespace rexspeed::platform {
+
+/// A platform × processor pairing — one of the paper's eight virtual
+/// experimental configurations.
+struct Configuration {
+  PlatformSpec platform;
+  ProcessorSpec processor;
+  /// Dynamic I/O power Pio (mW), drawn on top of Pidle during checkpoint
+  /// and recovery.
+  double io_power_mw = 0.0;
+
+  /// "Platform/Processor" display name, e.g. "Hera/XScale".
+  [[nodiscard]] std::string name() const {
+    return platform.name + "/" + processor.name;
+  }
+
+  void validate() const;
+};
+
+/// Builds a configuration with the paper's default-Pio rule: Pio equals the
+/// dynamic CPU power at the processor's lowest speed, κ·σmin³.
+[[nodiscard]] Configuration make_configuration(PlatformSpec platform,
+                                               ProcessorSpec processor);
+
+/// The eight virtual configurations used throughout the evaluation
+/// (4 platforms × 2 processors), platform-major order.
+[[nodiscard]] const std::vector<Configuration>& all_configurations();
+
+/// Looks up a configuration by "Platform/Processor" name (case-sensitive).
+/// Throws std::out_of_range when unknown.
+[[nodiscard]] const Configuration& configuration_by_name(
+    const std::string& name);
+
+}  // namespace rexspeed::platform

@@ -1,0 +1,59 @@
+#include "rexspeed/platform/platform.hpp"
+
+#include <stdexcept>
+
+namespace rexspeed::platform {
+
+void PlatformSpec::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("PlatformSpec: name must not be empty");
+  }
+  if (!(error_rate > 0.0)) {
+    throw std::invalid_argument("PlatformSpec: error rate must be positive");
+  }
+  if (!(checkpoint_s > 0.0)) {
+    throw std::invalid_argument(
+        "PlatformSpec: checkpoint time must be positive");
+  }
+  if (verification_s < 0.0) {
+    throw std::invalid_argument(
+        "PlatformSpec: verification time must be non-negative");
+  }
+}
+
+PlatformSpec hera() {
+  return {.name = "Hera",
+          .error_rate = 3.38e-6,
+          .checkpoint_s = 300.0,
+          .verification_s = 15.4};
+}
+
+PlatformSpec atlas() {
+  return {.name = "Atlas",
+          .error_rate = 7.78e-6,
+          .checkpoint_s = 439.0,
+          .verification_s = 9.1};
+}
+
+PlatformSpec coastal() {
+  return {.name = "Coastal",
+          .error_rate = 2.01e-6,
+          .checkpoint_s = 1051.0,
+          .verification_s = 4.5};
+}
+
+PlatformSpec coastal_ssd() {
+  return {.name = "CoastalSSD",
+          .error_rate = 2.01e-6,
+          .checkpoint_s = 2500.0,
+          .verification_s = 180.0};
+}
+
+const std::vector<PlatformSpec>& all_platforms() {
+  static const std::vector<PlatformSpec> kPlatforms = {hera(), atlas(),
+                                                       coastal(),
+                                                       coastal_ssd()};
+  return kPlatforms;
+}
+
+}  // namespace rexspeed::platform

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rexspeed::platform {
+
+/// Checkpointing platform description (paper Table 1).
+///
+/// Parameters come from the multi-level checkpointing study of Moody et al.
+/// (SC'10). `error_rate` is the silent-error rate λ (errors per second);
+/// `checkpoint_s` is the checkpoint write time C; `verification_s` is the
+/// time V of a full verification *at maximum speed* (a verification at
+/// speed σ costs V/σ). Recovery time R is taken equal to C (a read costs
+/// the same as a write, following Quaglia's cost model), which the paper
+/// adopts in its experimental setup.
+struct PlatformSpec {
+  std::string name;
+  /// Silent-error rate λ (1/s). Platform MTBF is 1/λ.
+  double error_rate = 0.0;
+  /// Checkpoint time C (s).
+  double checkpoint_s = 0.0;
+  /// Verification time V at full speed (s).
+  double verification_s = 0.0;
+
+  /// Recovery time R (s); the paper sets R = C.
+  [[nodiscard]] double recovery_s() const noexcept { return checkpoint_s; }
+
+  /// Platform mean time between silent errors, 1/λ (s).
+  [[nodiscard]] double mtbf_s() const noexcept { return 1.0 / error_rate; }
+
+  /// Throws std::invalid_argument when a parameter is non-positive.
+  void validate() const;
+};
+
+/// Hera: λ = 3.38e-6, C = 300 s, V = 15.4 s.
+[[nodiscard]] PlatformSpec hera();
+/// Atlas: λ = 7.78e-6, C = 439 s, V = 9.1 s.
+[[nodiscard]] PlatformSpec atlas();
+/// Coastal: λ = 2.01e-6, C = 1051 s, V = 4.5 s.
+[[nodiscard]] PlatformSpec coastal();
+/// Coastal with SSD storage: λ = 2.01e-6, C = 2500 s, V = 180 s.
+[[nodiscard]] PlatformSpec coastal_ssd();
+
+/// All platforms of paper Table 1, in table order.
+[[nodiscard]] const std::vector<PlatformSpec>& all_platforms();
+
+}  // namespace rexspeed::platform

@@ -1,0 +1,52 @@
+#include "rexspeed/platform/processor.hpp"
+
+#include <stdexcept>
+
+namespace rexspeed::platform {
+
+void ProcessorSpec::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("ProcessorSpec: name must not be empty");
+  }
+  if (speeds.empty()) {
+    throw std::invalid_argument("ProcessorSpec: speed set must not be empty");
+  }
+  double prev = 0.0;
+  for (const double s : speeds) {
+    if (!(s > 0.0) || s > 1.0) {
+      throw std::invalid_argument(
+          "ProcessorSpec: speeds must lie in (0, 1], got " +
+          std::to_string(s));
+    }
+    if (s <= prev) {
+      throw std::invalid_argument(
+          "ProcessorSpec: speeds must be strictly increasing");
+    }
+    prev = s;
+  }
+  if (kappa_mw < 0.0 || idle_power_mw < 0.0) {
+    throw std::invalid_argument("ProcessorSpec: powers must be non-negative");
+  }
+}
+
+ProcessorSpec intel_xscale() {
+  return {.name = "XScale",
+          .speeds = {0.15, 0.4, 0.6, 0.8, 1.0},
+          .kappa_mw = 1550.0,
+          .idle_power_mw = 60.0};
+}
+
+ProcessorSpec transmeta_crusoe() {
+  return {.name = "Crusoe",
+          .speeds = {0.45, 0.6, 0.8, 0.9, 1.0},
+          .kappa_mw = 5756.0,
+          .idle_power_mw = 4.4};
+}
+
+const std::vector<ProcessorSpec>& all_processors() {
+  static const std::vector<ProcessorSpec> kProcessors = {intel_xscale(),
+                                                         transmeta_crusoe()};
+  return kProcessors;
+}
+
+}  // namespace rexspeed::platform

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rexspeed::platform {
+
+/// DVFS-capable processor description (paper Table 2).
+///
+/// The dynamic power law is `Pcpu(σ) = kappa_mw * σ³` with σ a normalized
+/// speed in (0, 1]; `idle_power_mw` is the static power drawn whenever the
+/// platform is on. Powers are in milliwatts, matching the source table
+/// (Rizvandi et al., "Multiple frequency selection in DVFS-enabled
+/// processors to minimize energy consumption", 2012).
+struct ProcessorSpec {
+  std::string name;
+  /// Normalized operating points, strictly increasing, each in (0, 1].
+  std::vector<double> speeds;
+  /// Cubic dynamic-power coefficient κ (mW at σ = 1).
+  double kappa_mw = 0.0;
+  /// Static power Pidle (mW).
+  double idle_power_mw = 0.0;
+
+  /// Dynamic CPU power at normalized speed σ: κσ³ (mW).
+  [[nodiscard]] double dynamic_power(double sigma) const noexcept {
+    return kappa_mw * sigma * sigma * sigma;
+  }
+
+  /// Total compute power at speed σ: Pidle + κσ³ (mW).
+  [[nodiscard]] double compute_power(double sigma) const noexcept {
+    return idle_power_mw + dynamic_power(sigma);
+  }
+
+  [[nodiscard]] double min_speed() const { return speeds.front(); }
+  [[nodiscard]] double max_speed() const { return speeds.back(); }
+
+  /// Throws std::invalid_argument when the spec is malformed (empty or
+  /// non-increasing speed set, speeds outside (0, 1], negative powers).
+  void validate() const;
+};
+
+/// Intel XScale: speeds {0.15, 0.4, 0.6, 0.8, 1}, P(σ) = 1550σ³ + 60 mW.
+[[nodiscard]] ProcessorSpec intel_xscale();
+
+/// Transmeta Crusoe: speeds {0.45, 0.6, 0.8, 0.9, 1},
+/// P(σ) = 5756σ³ + 4.4 mW.
+[[nodiscard]] ProcessorSpec transmeta_crusoe();
+
+/// All processors of paper Table 2, in table order.
+[[nodiscard]] const std::vector<ProcessorSpec>& all_processors();
+
+}  // namespace rexspeed::platform

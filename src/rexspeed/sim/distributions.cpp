@@ -1,0 +1,81 @@
+#include "rexspeed/sim/distributions.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rexspeed::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  if (rate < 0.0) {
+    throw std::invalid_argument("Exponential: rate must be non-negative");
+  }
+}
+
+double Exponential::sample(Xoshiro256& rng) const noexcept {
+  if (rate_ <= 0.0) return kInf;
+  return -std::log(rng.uniform_positive()) / rate_;
+}
+
+double Exponential::mean() const noexcept {
+  return rate_ > 0.0 ? 1.0 / rate_ : kInf;
+}
+
+double weibull_mean_to_scale(double shape, double mean) {
+  if (!(shape > 0.0) || !(mean > 0.0)) {
+    throw std::invalid_argument(
+        "weibull_mean_to_scale: shape and mean must be positive");
+  }
+  // mean = scale · Γ(1 + 1/k)  ⇒  scale = mean / Γ(1 + 1/k).
+  return mean / std::exp(std::lgamma(1.0 + 1.0 / shape));
+}
+
+Weibull::Weibull(double shape, double mean)
+    : shape_(shape), scale_(weibull_mean_to_scale(shape, mean)), mean_(mean) {}
+
+double Weibull::sample(Xoshiro256& rng) const noexcept {
+  // Inverse CDF: scale · (−ln u)^{1/k}.
+  return scale_ * std::pow(-std::log(rng.uniform_positive()), 1.0 / shape_);
+}
+
+ArrivalSampler ArrivalSampler::exponential(double rate) {
+  if (rate < 0.0) {
+    throw std::invalid_argument(
+        "ArrivalSampler: rate must be non-negative");
+  }
+  ArrivalSampler sampler;
+  sampler.kind_ = ArrivalKind::kExponential;
+  sampler.rate_ = rate;
+  return sampler;
+}
+
+ArrivalSampler ArrivalSampler::weibull(double shape, double rate) {
+  if (!(shape > 0.0)) {
+    throw std::invalid_argument("ArrivalSampler: shape must be positive");
+  }
+  if (rate < 0.0) {
+    throw std::invalid_argument("ArrivalSampler: rate must be non-negative");
+  }
+  ArrivalSampler sampler;
+  sampler.kind_ = ArrivalKind::kWeibull;
+  sampler.rate_ = rate;
+  sampler.shape_ = shape;
+  sampler.scale_ =
+      rate > 0.0 ? weibull_mean_to_scale(shape, 1.0 / rate) : 0.0;
+  return sampler;
+}
+
+double ArrivalSampler::sample(Xoshiro256& rng) const noexcept {
+  if (rate_ <= 0.0) return kInf;
+  const double u = rng.uniform_positive();
+  if (kind_ == ArrivalKind::kExponential) {
+    return -std::log(u) / rate_;
+  }
+  return scale_ * std::pow(-std::log(u), 1.0 / shape_);
+}
+
+}  // namespace rexspeed::sim

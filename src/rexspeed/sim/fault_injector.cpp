@@ -1,0 +1,34 @@
+#include "rexspeed/sim/fault_injector.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace rexspeed::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+FaultInjector::FaultInjector(const core::ModelParams& params)
+    : silent_(ArrivalSampler::exponential(params.lambda_silent)),
+      failstop_(ArrivalSampler::exponential(params.lambda_failstop)) {}
+
+FaultInjector::FaultInjector(ArrivalSampler silent, ArrivalSampler failstop)
+    : silent_(silent), failstop_(failstop) {}
+
+AttemptFaults FaultInjector::sample_attempt(double compute_s, double verify_s,
+                                            Xoshiro256& rng) const {
+  if (compute_s < 0.0 || verify_s < 0.0) {
+    throw std::invalid_argument(
+        "FaultInjector: phase durations must be non-negative");
+  }
+  AttemptFaults faults;
+  const double span = compute_s + verify_s;
+  const double failstop_at = failstop_.sample(rng);
+  faults.failstop_at_s = failstop_at < span ? failstop_at : kInf;
+  const double silent_at = silent_.sample(rng);
+  faults.silent_at_s = silent_at < compute_s ? silent_at : kInf;
+  return faults;
+}
+
+}  // namespace rexspeed::sim

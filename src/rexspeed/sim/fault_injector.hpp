@@ -1,0 +1,55 @@
+#pragma once
+
+#include "rexspeed/core/model_params.hpp"
+#include "rexspeed/sim/distributions.hpp"
+#include "rexspeed/sim/rng.hpp"
+
+namespace rexspeed::sim {
+
+/// Outcome of exposing one pattern attempt to both error sources.
+struct AttemptFaults {
+  /// Wall-clock arrival of the first fail-stop error within the attempt
+  /// (+inf when none strikes before the attempt would finish).
+  double failstop_at_s = 0.0;
+  /// Wall-clock arrival of the first silent error within the compute phase
+  /// (+inf when the computation is clean). Silent errors strike during
+  /// computation only (paper §2.2: the verification catches them).
+  double silent_at_s = 0.0;
+};
+
+/// Samples error arrivals for pattern attempts.
+///
+/// The paper's model is exponential (memoryless), so sampling fresh
+/// arrivals per attempt is exact. For Weibull arrivals this corresponds to
+/// the standard renewal-at-restart assumption (the error process restarts
+/// after each recovery), which is how checkpoint simulators typically treat
+/// non-memoryless failures.
+class FaultInjector {
+ public:
+  /// Exponential injector with the rates from `params` (paper model).
+  explicit FaultInjector(const core::ModelParams& params);
+
+  /// Custom arrival samplers (e.g. Weibull ablation).
+  FaultInjector(ArrivalSampler silent, ArrivalSampler failstop);
+
+  /// Samples the first silent / fail-stop arrival for an attempt whose
+  /// compute phase lasts `compute_s` seconds and whose verify phase lasts
+  /// `verify_s` seconds. Arrivals beyond their exposure window are
+  /// reported as +inf.
+  [[nodiscard]] AttemptFaults sample_attempt(double compute_s,
+                                             double verify_s,
+                                             Xoshiro256& rng) const;
+
+  [[nodiscard]] const ArrivalSampler& silent() const noexcept {
+    return silent_;
+  }
+  [[nodiscard]] const ArrivalSampler& failstop() const noexcept {
+    return failstop_;
+  }
+
+ private:
+  ArrivalSampler silent_;
+  ArrivalSampler failstop_;
+};
+
+}  // namespace rexspeed::sim

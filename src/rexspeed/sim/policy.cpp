@@ -1,0 +1,64 @@
+#include "rexspeed/sim/policy.hpp"
+
+#include <stdexcept>
+
+namespace rexspeed::sim {
+
+ExecutionPolicy::ExecutionPolicy(double pattern_work,
+                                 std::vector<double> attempt_speeds,
+                                 unsigned verification_segments)
+    : pattern_work_(pattern_work),
+      attempt_speeds_(std::move(attempt_speeds)),
+      verification_segments_(verification_segments) {
+  if (!(pattern_work_ > 0.0)) {
+    throw std::invalid_argument(
+        "ExecutionPolicy: pattern work must be positive");
+  }
+  if (verification_segments_ == 0) {
+    throw std::invalid_argument(
+        "ExecutionPolicy: need at least one verification segment");
+  }
+  if (attempt_speeds_.empty()) {
+    throw std::invalid_argument(
+        "ExecutionPolicy: at least one attempt speed is required");
+  }
+  for (const double s : attempt_speeds_) {
+    if (!(s > 0.0)) {
+      throw std::invalid_argument(
+          "ExecutionPolicy: attempt speeds must be positive");
+    }
+  }
+}
+
+ExecutionPolicy ExecutionPolicy::two_speed(double pattern_work, double sigma1,
+                                           double sigma2) {
+  return ExecutionPolicy(pattern_work, {sigma1, sigma2});
+}
+
+ExecutionPolicy ExecutionPolicy::single_speed(double pattern_work,
+                                              double sigma) {
+  return ExecutionPolicy(pattern_work, {sigma});
+}
+
+ExecutionPolicy ExecutionPolicy::from_solution(
+    const core::PairSolution& solution) {
+  if (!solution.feasible) {
+    throw std::invalid_argument(
+        "ExecutionPolicy: cannot build a policy from an infeasible "
+        "solution");
+  }
+  return two_speed(solution.w_opt, solution.sigma1, solution.sigma2);
+}
+
+ExecutionPolicy ExecutionPolicy::segmented(double pattern_work,
+                                           unsigned segments, double sigma1,
+                                           double sigma2) {
+  return ExecutionPolicy(pattern_work, {sigma1, sigma2}, segments);
+}
+
+double ExecutionPolicy::speed_for_attempt(std::size_t attempt) const noexcept {
+  if (attempt >= attempt_speeds_.size()) return attempt_speeds_.back();
+  return attempt_speeds_[attempt];
+}
+
+}  // namespace rexspeed::sim

@@ -1,0 +1,219 @@
+#include "rexspeed/sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rexspeed::sim {
+
+namespace {
+
+/// Mutable run state threaded through the pattern loop.
+struct RunState {
+  double clock_s = 0.0;
+  double energy_mws = 0.0;
+  SimResult result;
+  Trace* trace = nullptr;
+
+  void advance(EventType type, double duration, double power, double speed,
+               std::size_t pattern, std::size_t attempt) {
+    if (trace != nullptr && (duration > 0.0 ||
+                             type == EventType::kSilentDetect ||
+                             type == EventType::kFailStop ||
+                             type == EventType::kSilentMissed)) {
+      trace->record({.type = type,
+                     .start_s = clock_s,
+                     .duration_s = duration,
+                     .speed = speed,
+                     .pattern_index = pattern,
+                     .attempt = attempt});
+    }
+    clock_s += duration;
+    energy_mws += duration * power;
+  }
+};
+
+}  // namespace
+
+Simulator::Simulator(core::ModelParams params)
+    : params_(std::move(params)), injector_(params_) {
+  params_.validate();
+}
+
+Simulator::Simulator(core::ModelParams params, FaultInjector injector,
+                     SimulatorOptions options)
+    : params_(std::move(params)),
+      injector_(std::move(injector)),
+      options_(options) {
+  params_.validate();
+  if (!(options_.verification_recall >= 0.0) ||
+      options_.verification_recall > 1.0) {
+    throw std::invalid_argument(
+        "Simulator: verification recall must lie in [0, 1]");
+  }
+}
+
+SimResult Simulator::run(const ExecutionPolicy& policy, double total_work,
+                         Xoshiro256& rng, Trace* trace) const {
+  if (!(total_work > 0.0)) {
+    throw std::invalid_argument("Simulator: total work must be positive");
+  }
+  const double io_power = params_.io_total_power();
+
+  RunState state;
+  state.trace = trace;
+
+  const unsigned segments = policy.verification_segments();
+
+  // Recovery, possibly interrupted by fail-stop errors when the model's
+  // error-free-I/O assumption is dropped: each strike restarts the read.
+  const auto perform_recovery = [&](RunState& run, std::size_t pattern,
+                                    std::size_t attempt) {
+    if (options_.io_vulnerable && params_.lambda_failstop > 0.0) {
+      for (;;) {
+        const double strike = injector_.failstop().sample(rng);
+        if (strike >= params_.recovery_s) break;
+        run.advance(EventType::kRecovery, strike, io_power, 0.0, pattern,
+                    attempt);
+        run.advance(EventType::kFailStop, 0.0, 0.0, 0.0, pattern, attempt);
+        ++run.result.failstop_errors;
+      }
+    }
+    run.advance(EventType::kRecovery, params_.recovery_s, io_power, 0.0,
+                pattern, attempt);
+    ++run.result.recoveries;
+  };
+
+  // Checkpoint write; returns false when a fail-stop voided it (only
+  // possible with io_vulnerable), in which case a recovery has already
+  // been performed and the attempt must be re-executed.
+  const auto perform_checkpoint = [&](RunState& run, std::size_t pattern,
+                                      std::size_t attempt) {
+    if (options_.io_vulnerable && params_.lambda_failstop > 0.0) {
+      const double strike = injector_.failstop().sample(rng);
+      if (strike < params_.checkpoint_s) {
+        run.advance(EventType::kCheckpoint, strike, io_power, 0.0, pattern,
+                    attempt);
+        run.advance(EventType::kFailStop, 0.0, 0.0, 0.0, pattern, attempt);
+        ++run.result.failstop_errors;
+        perform_recovery(run, pattern, attempt);
+        return false;
+      }
+    }
+    run.advance(EventType::kCheckpoint, params_.checkpoint_s, io_power, 0.0,
+                pattern, attempt);
+    ++run.result.checkpoints;
+    return true;
+  };
+
+  double remaining = total_work;
+  std::size_t pattern_index = 0;
+  while (remaining > 0.0) {
+    const double work = std::min(policy.pattern_work(), remaining);
+    std::size_t attempt = 0;
+    for (;;) {
+      const double sigma = policy.speed_for_attempt(attempt);
+      const double compute_power = params_.compute_power(sigma);
+      const double compute_s = work / sigma;
+      const double verify_s = params_.verification_s / sigma;
+      // Segment layout: `segments` compute pieces of c seconds, each
+      // followed by a v-second verification (the paper's pattern is the
+      // m = 1 special case).
+      const double c = compute_s / segments;
+      const double v = verify_s;
+      const AttemptFaults faults = injector_.sample_attempt(
+          compute_s, v * static_cast<double>(segments), rng);
+      ++state.result.attempts;
+
+      // Which verification (if any) catches the silent error: the first
+      // one at or after the struck segment that does not miss. With
+      // recall 1 (the paper's guaranteed verifications) that is the
+      // struck segment's own verification.
+      const bool silent_struck = std::isfinite(faults.silent_at_s);
+      unsigned detect_seg = segments;  // `segments` = never detected
+      if (silent_struck) {
+        const auto struck = std::min(
+            static_cast<unsigned>(faults.silent_at_s / c), segments - 1);
+        for (unsigned j = struck; j < segments; ++j) {
+          if (options_.verification_recall >= 1.0 ||
+              rng.uniform() < options_.verification_recall) {
+            detect_seg = j;
+            break;
+          }
+        }
+      }
+      const double detect_wall =
+          detect_seg < segments
+              ? static_cast<double>(detect_seg + 1) * (c + v)
+              : std::numeric_limits<double>::infinity();
+
+      if (faults.failstop_at_s < detect_wall) {
+        // Fail-stop interrupts mid-attempt (possibly inside a
+        // verification); everything since the last checkpoint is lost.
+        double left = faults.failstop_at_s;
+        for (unsigned seg = 0; seg < segments && left > 0.0; ++seg) {
+          const double ct = std::min(c, left);
+          state.advance(EventType::kCompute, ct, compute_power, sigma,
+                        pattern_index, attempt);
+          left -= ct;
+          if (left <= 0.0) break;
+          const double vt = std::min(v, left);
+          state.advance(EventType::kVerification, vt, compute_power, sigma,
+                        pattern_index, attempt);
+          left -= vt;
+        }
+        state.advance(EventType::kFailStop, 0.0, 0.0, 0.0, pattern_index,
+                      attempt);
+        ++state.result.failstop_errors;
+        perform_recovery(state, pattern_index, attempt);
+        ++attempt;
+        continue;
+      }
+
+      if (detect_seg < segments) {
+        // Full segments up to and including the detecting verification.
+        for (unsigned seg = 0; seg <= detect_seg; ++seg) {
+          state.advance(EventType::kCompute, c, compute_power, sigma,
+                        pattern_index, attempt);
+          state.advance(EventType::kVerification, v, compute_power, sigma,
+                        pattern_index, attempt);
+        }
+        state.advance(EventType::kSilentDetect, 0.0, 0.0, 0.0,
+                      pattern_index, attempt);
+        ++state.result.silent_errors;
+        perform_recovery(state, pattern_index, attempt);
+        ++attempt;
+        continue;
+      }
+
+      // Clean (or silently corrupted) attempt: all segments complete.
+      for (unsigned seg = 0; seg < segments; ++seg) {
+        state.advance(EventType::kCompute, c, compute_power, sigma,
+                      pattern_index, attempt);
+        state.advance(EventType::kVerification, v, compute_power, sigma,
+                      pattern_index, attempt);
+      }
+      if (!perform_checkpoint(state, pattern_index, attempt)) {
+        ++attempt;  // the write was voided; re-execute the attempt
+        continue;
+      }
+      if (silent_struck) {
+        state.advance(EventType::kSilentMissed, 0.0, 0.0, 0.0,
+                      pattern_index, attempt);
+        ++state.result.corrupted_checkpoints;
+      }
+      break;
+    }
+    remaining -= work;
+    ++pattern_index;
+  }
+
+  state.result.makespan_s = state.clock_s;
+  state.result.energy_mws = state.energy_mws;
+  state.result.total_work = total_work;
+  state.result.patterns = pattern_index;
+  return state.result;
+}
+
+}  // namespace rexspeed::sim

@@ -1,0 +1,51 @@
+#include "rexspeed/sim/trace.hpp"
+
+#include <cstdio>
+
+namespace rexspeed::sim {
+
+const char* to_string(EventType type) noexcept {
+  switch (type) {
+    case EventType::kCompute:
+      return "compute";
+    case EventType::kVerification:
+      return "verify";
+    case EventType::kCheckpoint:
+      return "checkpoint";
+    case EventType::kRecovery:
+      return "recovery";
+    case EventType::kSilentDetect:
+      return "silent-detected";
+    case EventType::kFailStop:
+      return "fail-stop";
+    case EventType::kSilentMissed:
+      return "silent-missed";
+  }
+  return "unknown";
+}
+
+void Trace::record(const TraceEvent& event) {
+  if (events_.size() >= capacity_) {
+    truncated_ = true;
+    return;
+  }
+  events_.push_back(event);
+}
+
+std::string Trace::format(const TraceEvent& event) {
+  char buffer[160];
+  if (event.speed > 0.0) {
+    std::snprintf(buffer, sizeof buffer,
+                  "[t=%10.1fs] %-15s %9.1fs @%.2f (pattern %zu, attempt %zu)",
+                  event.start_s, to_string(event.type), event.duration_s,
+                  event.speed, event.pattern_index, event.attempt);
+  } else {
+    std::snprintf(buffer, sizeof buffer,
+                  "[t=%10.1fs] %-15s %9.1fs       (pattern %zu, attempt %zu)",
+                  event.start_s, to_string(event.type), event.duration_s,
+                  event.pattern_index, event.attempt);
+  }
+  return buffer;
+}
+
+}  // namespace rexspeed::sim

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rexspeed::sim {
+
+/// Kind of a simulated execution segment.
+enum class EventType {
+  kCompute,        ///< productive (or wasted-by-silent-error) computation
+  kVerification,   ///< verification at the end of a pattern
+  kCheckpoint,     ///< checkpoint write after a clean verification
+  kRecovery,       ///< rollback read after a detected error
+  kSilentDetect,   ///< instant: verification flagged a silent error
+  kFailStop,       ///< instant: a fail-stop error interrupted execution
+  kSilentMissed,   ///< instant: an imperfect verification (recall < 1)
+                   ///< let a silent error through — the following
+                   ///< checkpoint commits corrupted data
+};
+
+[[nodiscard]] const char* to_string(EventType type) noexcept;
+
+/// One segment (or instantaneous marker) of a simulated execution —
+/// together these reproduce the timeline drawings of the paper's Figure 1.
+struct TraceEvent {
+  EventType type = EventType::kCompute;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  /// Execution speed during the segment (0 for I/O segments and markers).
+  double speed = 0.0;
+  std::size_t pattern_index = 0;
+  std::size_t attempt = 0;
+};
+
+/// Bounded event recording. Recording stops silently once the capacity is
+/// reached so long simulations cannot exhaust memory; `truncated()` tells
+/// whether that happened.
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 65536) : capacity_(capacity) {}
+
+  void record(const TraceEvent& event);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Human-readable rendering of one event ("[t=123.4s] compute 512.0s
+  /// @0.40 (pattern 3, attempt 1)").
+  [[nodiscard]] static std::string format(const TraceEvent& event);
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  bool truncated_ = false;
+};
+
+}  // namespace rexspeed::sim

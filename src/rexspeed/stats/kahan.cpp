@@ -1,0 +1,24 @@
+#include "rexspeed/stats/kahan.hpp"
+
+#include <cmath>
+
+namespace rexspeed::stats {
+
+void KahanSum::add(double value) noexcept {
+  const double t = sum_ + value;
+  if (std::abs(sum_) >= std::abs(value)) {
+    compensation_ += (sum_ - t) + value;
+  } else {
+    compensation_ += (value - t) + sum_;
+  }
+  sum_ = t;
+  ++count_;
+}
+
+void KahanSum::reset() noexcept {
+  sum_ = 0.0;
+  compensation_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace rexspeed::stats

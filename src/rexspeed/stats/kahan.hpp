@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+
+namespace rexspeed::stats {
+
+/// Compensated (Kahan–Neumaier) summation.
+///
+/// Monte-Carlo harnesses accumulate millions of energy/time samples whose
+/// magnitudes span several orders; naive summation loses the low-order bits
+/// that the confidence intervals in `monte_carlo` depend on. Neumaier's
+/// variant also stays accurate when an addend exceeds the running sum.
+class KahanSum {
+ public:
+  KahanSum() = default;
+  explicit KahanSum(double initial) : sum_(initial) {}
+
+  /// Adds `value` with compensation.
+  void add(double value) noexcept;
+
+  /// Adds every element of a range.
+  template <typename It>
+  void add(It first, It last) noexcept {
+    for (; first != last; ++first) add(static_cast<double>(*first));
+  }
+
+  /// Compensated total.
+  [[nodiscard]] double value() const noexcept { return sum_ + compensation_; }
+
+  /// Number of addends seen so far.
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  /// Resets to an empty sum.
+  void reset() noexcept;
+
+  KahanSum& operator+=(double value) noexcept {
+    add(value);
+    return *this;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// One-shot compensated sum of a range.
+template <typename It>
+[[nodiscard]] double kahan_sum(It first, It last) noexcept {
+  KahanSum s;
+  s.add(first, last);
+  return s.value();
+}
+
+}  // namespace rexspeed::stats

@@ -1,0 +1,107 @@
+#include "rexspeed/stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rexspeed::stats {
+
+P2Quantile::P2Quantile(double probability) : probability_(probability) {
+  if (!(probability > 0.0 && probability < 1.0)) {
+    throw std::invalid_argument(
+        "P2Quantile: probability must lie in (0, 1)");
+  }
+  const double p = probability;
+  desired_ = {1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0};
+  increments_ = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const double qp = heights_[static_cast<std::size_t>(i + 1)];
+  const double q = heights_[static_cast<std::size_t>(i)];
+  const double qm = heights_[static_cast<std::size_t>(i - 1)];
+  const double np = positions_[static_cast<std::size_t>(i + 1)];
+  const double n = positions_[static_cast<std::size_t>(i)];
+  const double nm = positions_[static_cast<std::size_t>(i - 1)];
+  return q + d / (np - nm) *
+                 ((n - nm + d) * (qp - q) / (np - n) +
+                  (np - n - d) * (q - qm) / (n - nm));
+}
+
+double P2Quantile::linear(int i, int d) const {
+  const auto idx = static_cast<std::size_t>(i);
+  const auto nbr = static_cast<std::size_t>(i + d);
+  return heights_[idx] + d * (heights_[nbr] - heights_[idx]) /
+                             (positions_[nbr] - positions_[idx]);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) std::sort(heights_.begin(), heights_.end());
+    return;
+  }
+
+  // Locate the cell containing x and clamp the extreme markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x < heights_[1]) {
+    k = 0;
+  } else if (x < heights_[2]) {
+    k = 1;
+  } else if (x < heights_[3]) {
+    k = 2;
+  } else if (x <= heights_[4]) {
+    k = 3;
+  } else {
+    heights_[4] = x;
+    k = 3;
+  }
+
+  for (int i = k + 1; i < 5; ++i) {
+    positions_[static_cast<std::size_t>(i)] += 1.0;
+  }
+  for (int i = 0; i < 5; ++i) {
+    desired_[static_cast<std::size_t>(i)] +=
+        increments_[static_cast<std::size_t>(i)];
+  }
+
+  // Adjust the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double gap = desired_[idx] - positions_[idx];
+    const double right = positions_[idx + 1] - positions_[idx];
+    const double left = positions_[idx - 1] - positions_[idx];
+    if ((gap >= 1.0 && right > 1.0) || (gap <= -1.0 && left < -1.0)) {
+      const int d = gap >= 1.0 ? 1 : -1;
+      double candidate = parabolic(i, d);
+      if (heights_[idx - 1] < candidate && candidate < heights_[idx + 1]) {
+        heights_[idx] = candidate;
+      } else {
+        heights_[idx] = linear(i, d);
+      }
+      positions_[idx] += d;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) {
+    throw std::logic_error("P2Quantile: no samples");
+  }
+  if (count_ < 5) {
+    // Exact order statistic on the sorted prefix.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    const auto rank = static_cast<std::size_t>(std::ceil(
+        probability_ * static_cast<double>(count_)));
+    return sorted[std::min(count_ - 1, std::max<std::size_t>(rank, 1) - 1)];
+  }
+  return heights_[2];
+}
+
+}  // namespace rexspeed::stats

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace rexspeed::stats {
+
+/// Streaming quantile estimator (Jain & Chlamtac's P² algorithm).
+///
+/// Tracks one quantile in O(1) memory without storing the samples — used
+/// to report tail makespans (e.g. the P95 campaign duration) from long
+/// Monte-Carlo runs. Exact while fewer than five samples have been seen;
+/// afterwards the five markers follow piecewise-parabolic updates.
+class P2Quantile {
+ public:
+  /// `probability` in (0, 1), e.g. 0.95 for the 95th percentile.
+  explicit P2Quantile(double probability);
+
+  void add(double x);
+
+  /// Current estimate. Exact (order statistic) until five samples.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double probability() const noexcept { return probability_; }
+
+ private:
+  double probability_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights q_i
+  std::array<double, 5> positions_{};  // actual positions n_i
+  std::array<double, 5> desired_{};    // desired positions n'_i
+  std::array<double, 5> increments_{}; // dn'_i
+
+  [[nodiscard]] double parabolic(int i, double d) const;
+  [[nodiscard]] double linear(int i, int d) const;
+};
+
+}  // namespace rexspeed::stats

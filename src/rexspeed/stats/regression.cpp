@@ -1,0 +1,70 @@
+#include "rexspeed/stats/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "rexspeed/stats/kahan.hpp"
+
+namespace rexspeed::stats {
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("linear_fit: size mismatch");
+  }
+  const std::size_t n = x.size();
+  if (n < 2) {
+    throw std::invalid_argument("linear_fit: need at least two samples");
+  }
+  const double mean_x = kahan_sum(x.begin(), x.end()) / static_cast<double>(n);
+  const double mean_y = kahan_sum(y.begin(), y.end()) / static_cast<double>(n);
+
+  KahanSum sxx;
+  KahanSum sxy;
+  KahanSum syy;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxx.add(dx * dx);
+    sxy.add(dx * dy);
+    syy.add(dy * dy);
+  }
+  if (sxx.value() <= 0.0) {
+    throw std::invalid_argument("linear_fit: x values are all identical");
+  }
+
+  LinearFit fit;
+  fit.slope = sxy.value() / sxx.value();
+  fit.intercept = mean_y - fit.slope * mean_x;
+
+  KahanSum ss_res;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res.add(r * r);
+  }
+  fit.r_squared =
+      syy.value() > 0.0 ? 1.0 - ss_res.value() / syy.value() : 1.0;
+  if (n > 2) {
+    const double mse = ss_res.value() / static_cast<double>(n - 2);
+    fit.slope_stderr = std::sqrt(mse / sxx.value());
+  }
+  return fit;
+}
+
+LinearFit log_log_fit(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("log_log_fit: size mismatch");
+  }
+  std::vector<double> lx(x.size());
+  std::vector<double> ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!(x[i] > 0.0) || !(y[i] > 0.0)) {
+      throw std::domain_error("log_log_fit: inputs must be positive");
+    }
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+}  // namespace rexspeed::stats

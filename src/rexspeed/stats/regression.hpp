@@ -1,0 +1,26 @@
+#pragma once
+
+#include <span>
+
+namespace rexspeed::stats {
+
+/// Result of an ordinary-least-squares fit y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  /// Standard error of the slope estimate.
+  double slope_stderr = 0.0;
+};
+
+/// OLS fit over paired samples. Requires at least two distinct x values.
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x,
+                                   std::span<const double> y);
+
+/// OLS fit of log(y) against log(x); the slope is the power-law exponent.
+/// All inputs must be strictly positive. Used to measure the Θ(λ^-2/3)
+/// checkpointing-period scaling of Theorem 2.
+[[nodiscard]] LinearFit log_log_fit(std::span<const double> x,
+                                    std::span<const double> y);
+
+}  // namespace rexspeed::stats

@@ -1,0 +1,80 @@
+#include "rexspeed/stats/summary.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rexspeed::stats {
+
+namespace {
+
+// Coefficients of Acklam's inverse-normal-CDF approximation.
+constexpr double kA[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                         -2.759285104469687e+02, 1.383577518672690e+02,
+                         -3.066479806614716e+01, 2.506628277459239e+00};
+constexpr double kB[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                         -1.556989798598866e+02, 6.680131188771972e+01,
+                         -1.328068155288572e+01};
+constexpr double kC[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                         -2.400758277161838e+00, -2.549732539343734e+00,
+                         4.374664141464968e+00,  2.938163982698783e+00};
+constexpr double kD[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                         2.445134137142996e+00, 3.754408661907416e+00};
+
+double acklam_tail(double q) {
+  // q in (0, 0.02425]: lower-tail branch.
+  const double r = std::sqrt(-2.0 * std::log(q));
+  return (((((kC[0] * r + kC[1]) * r + kC[2]) * r + kC[3]) * r + kC[4]) * r +
+          kC[5]) /
+         ((((kD[0] * r + kD[1]) * r + kD[2]) * r + kD[3]) * r + 1.0);
+}
+
+}  // namespace
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("normal_quantile: p must lie in (0, 1)");
+  }
+  constexpr double kLow = 0.02425;
+  if (p < kLow) return acklam_tail(p);
+  if (p > 1.0 - kLow) return -acklam_tail(1.0 - p);
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((kA[0] * r + kA[1]) * r + kA[2]) * r + kA[3]) * r + kA[4]) * r +
+          kA[5]) *
+         q /
+         (((((kB[0] * r + kB[1]) * r + kB[2]) * r + kB[3]) * r + kB[4]) * r +
+          1.0);
+}
+
+double student_t_quantile(double p, std::size_t df) {
+  if (df == 0) {
+    throw std::domain_error("student_t_quantile: df must be positive");
+  }
+  const double z = normal_quantile(p);
+  const auto n = static_cast<double>(df);
+  // Cornish–Fisher expansion of the t quantile in powers of 1/df.
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  const double g1 = (z3 + z) / 4.0;
+  const double g2 = (5.0 * z5 + 16.0 * z3 + 3.0 * z) / 96.0;
+  const double g3 = (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / 384.0;
+  return z + g1 / n + g2 / (n * n) + g3 / (n * n * n);
+}
+
+ConfidenceInterval mean_confidence_interval(const Welford& acc,
+                                            double confidence) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::domain_error(
+        "mean_confidence_interval: confidence must lie in (0, 1)");
+  }
+  if (acc.count() < 2) {
+    return {acc.mean(), acc.mean()};
+  }
+  const double alpha = 1.0 - confidence;
+  const double t = student_t_quantile(1.0 - alpha / 2.0, acc.count() - 1);
+  const double half = t * acc.standard_error();
+  return {acc.mean() - half, acc.mean() + half};
+}
+
+}  // namespace rexspeed::stats

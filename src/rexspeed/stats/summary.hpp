@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+
+#include "rexspeed/stats/welford.hpp"
+
+namespace rexspeed::stats {
+
+/// Symmetric confidence interval around a sample mean.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+
+  [[nodiscard]] double half_width() const noexcept {
+    return 0.5 * (upper - lower);
+  }
+  [[nodiscard]] double center() const noexcept {
+    return 0.5 * (upper + lower);
+  }
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return x >= lower && x <= upper;
+  }
+};
+
+/// Upper quantile of the standard normal distribution (Acklam's rational
+/// approximation, relative error < 1.2e-9). `p` must lie in (0, 1).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Upper quantile of Student's t distribution with `df` degrees of freedom
+/// (Cornish–Fisher expansion around the normal quantile; accurate to a few
+/// 1e-4 for df >= 3, exact in the df → ∞ limit).
+[[nodiscard]] double student_t_quantile(double p, std::size_t df);
+
+/// Two-sided confidence interval for the mean of the accumulated samples.
+/// `confidence` is the coverage level, e.g. 0.95.
+[[nodiscard]] ConfidenceInterval mean_confidence_interval(const Welford& acc,
+                                                          double confidence);
+
+}  // namespace rexspeed::stats

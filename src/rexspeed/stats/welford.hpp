@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+
+namespace rexspeed::stats {
+
+/// Streaming mean/variance accumulator (Welford's online algorithm).
+///
+/// Numerically stable for long replication runs; supports O(1) merging so
+/// per-thread accumulators can be combined after a parallel Monte-Carlo
+/// sweep without storing the samples.
+class Welford {
+ public:
+  /// Incorporates one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (Chan et al. parallel update).
+  void merge(const Welford& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (0 when fewer than two observations).
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Standard error of the mean.
+  [[nodiscard]] double standard_error() const noexcept;
+
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  void reset() noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rexspeed::stats

@@ -1,0 +1,174 @@
+#include "rexspeed/sweep/figure_sweeps.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "rexspeed/sweep/grid.hpp"
+
+namespace rexspeed::sweep {
+
+const char* to_string(SweepParameter parameter) noexcept {
+  switch (parameter) {
+    case SweepParameter::kCheckpointTime:
+      return "C";
+    case SweepParameter::kVerificationTime:
+      return "V";
+    case SweepParameter::kErrorRate:
+      return "lambda";
+    case SweepParameter::kPerformanceBound:
+      return "rho";
+    case SweepParameter::kIdlePower:
+      return "Pidle";
+    case SweepParameter::kIoPower:
+      return "Pio";
+  }
+  return "unknown";
+}
+
+double FigurePoint::energy_saving() const noexcept {
+  if (!two_speed.feasible || !single_speed.feasible ||
+      !(single_speed.energy_overhead > 0.0)) {
+    return 0.0;
+  }
+  return 1.0 - two_speed.energy_overhead / single_speed.energy_overhead;
+}
+
+double FigureSeries::max_energy_saving() const noexcept {
+  double best = 0.0;
+  for (const auto& point : points) {
+    best = std::max(best, point.energy_saving());
+  }
+  return best;
+}
+
+std::vector<double> default_grid(SweepParameter parameter,
+                                 std::size_t points) {
+  switch (parameter) {
+    case SweepParameter::kCheckpointTime:
+    case SweepParameter::kVerificationTime:
+    case SweepParameter::kIdlePower:
+    case SweepParameter::kIoPower:
+      return linspace(0.0, 5000.0, points);
+    case SweepParameter::kPerformanceBound:
+      return linspace(1.0, 3.5, points);
+    case SweepParameter::kErrorRate:
+      return logspace(1e-6, 1e-2, points);
+  }
+  throw std::invalid_argument("default_grid: unknown parameter");
+}
+
+core::ModelParams apply_parameter(const core::ModelParams& base,
+                                  SweepParameter parameter, double value) {
+  core::ModelParams params = base;
+  switch (parameter) {
+    case SweepParameter::kCheckpointTime:
+      params.checkpoint_s = value;
+      // The paper keeps R = C while sweeping the checkpoint cost (§4.1
+      // fixes R to the checkpointing time).
+      params.recovery_s = value;
+      break;
+    case SweepParameter::kVerificationTime:
+      params.verification_s = value;
+      break;
+    case SweepParameter::kErrorRate:
+      params.lambda_silent = value;
+      break;
+    case SweepParameter::kPerformanceBound:
+      break;  // handled by the solver call
+    case SweepParameter::kIdlePower:
+      params.idle_power_mw = value;
+      break;
+    case SweepParameter::kIoPower:
+      params.io_power_mw = value;
+      break;
+  }
+  return params;
+}
+
+FigureSeries run_figure_sweep(const platform::Configuration& config,
+                              SweepParameter parameter,
+                              const std::vector<double>& grid,
+                              const SweepOptions& options) {
+  if (grid.empty()) {
+    throw std::invalid_argument("run_figure_sweep: empty grid");
+  }
+  const core::ModelParams base = core::ModelParams::from_configuration(config);
+
+  FigureSeries series;
+  series.parameter = parameter;
+  series.configuration = config.name();
+  series.rho = options.rho;
+  series.points.resize(grid.size());
+
+  parallel_for(options.pool, grid.size(), [&](std::size_t i) {
+    const double x = grid[i];
+    const core::ModelParams params = apply_parameter(base, parameter, x);
+    const double rho =
+        parameter == SweepParameter::kPerformanceBound ? x : options.rho;
+    const core::BiCritSolver solver(params);
+    FigurePoint point;
+    point.x = x;
+    point.two_speed =
+        solver.solve(rho, core::SpeedPolicy::kTwoSpeed, options.mode).best;
+    point.single_speed =
+        solver.solve(rho, core::SpeedPolicy::kSingleSpeed, options.mode).best;
+    if (options.min_rho_fallback && !point.two_speed.feasible) {
+      point.two_speed =
+          solver.min_rho_solution(core::SpeedPolicy::kTwoSpeed);
+      point.two_speed_fallback = point.two_speed.feasible;
+    }
+    if (options.min_rho_fallback && !point.single_speed.feasible) {
+      point.single_speed =
+          solver.min_rho_solution(core::SpeedPolicy::kSingleSpeed);
+      point.single_speed_fallback = point.single_speed.feasible;
+    }
+    series.points[i] = point;
+  });
+  return series;
+}
+
+FigureSeries run_figure_sweep(const platform::Configuration& config,
+                              SweepParameter parameter,
+                              const SweepOptions& options) {
+  return run_figure_sweep(config, parameter,
+                          default_grid(parameter, options.points), options);
+}
+
+Series to_series(const FigureSeries& figure) {
+  Series series(to_string(figure.parameter),
+                {"sigma1", "sigma2", "Wopt2", "energy2", "sigma", "Wopt1",
+                 "energy1", "saving"});
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  for (const auto& point : figure.points) {
+    const auto& two = point.two_speed;
+    const auto& one = point.single_speed;
+    series.add_row(
+        point.x,
+        {two.feasible ? two.sigma1 : kNaN,
+         two.feasible ? two.sigma2 : kNaN,
+         two.feasible ? two.w_opt : kNaN,
+         two.feasible ? two.energy_overhead : kNaN,
+         one.feasible ? one.sigma1 : kNaN,
+         one.feasible ? one.w_opt : kNaN,
+         one.feasible ? one.energy_overhead : kNaN,
+         point.energy_saving()});
+  }
+  return series;
+}
+
+std::vector<FigureSeries> run_all_sweeps(const platform::Configuration& config,
+                                         const SweepOptions& options) {
+  const SweepParameter parameters[] = {
+      SweepParameter::kCheckpointTime, SweepParameter::kVerificationTime,
+      SweepParameter::kErrorRate,      SweepParameter::kPerformanceBound,
+      SweepParameter::kIdlePower,      SweepParameter::kIoPower};
+  std::vector<FigureSeries> all;
+  all.reserve(std::size(parameters));
+  for (const SweepParameter parameter : parameters) {
+    all.push_back(run_figure_sweep(config, parameter, options));
+  }
+  return all;
+}
+
+}  // namespace rexspeed::sweep

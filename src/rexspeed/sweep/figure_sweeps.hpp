@@ -1,0 +1,99 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/platform/configuration.hpp"
+#include "rexspeed/sweep/series.hpp"
+#include "rexspeed/sweep/thread_pool.hpp"
+
+namespace rexspeed::sweep {
+
+/// The six parameters the paper sweeps in Figures 2–14.
+enum class SweepParameter {
+  kCheckpointTime,   ///< C (s)          — Figs. 2, 8–14 row 1
+  kVerificationTime, ///< V (s)          — Figs. 3, 8–14 row 2
+  kErrorRate,        ///< λ (1/s), log   — Figs. 4, 8–14 row 3
+  kPerformanceBound, ///< ρ              — Figs. 5, 8–14 row 4
+  kIdlePower,        ///< Pidle (mW)     — Figs. 6, 8–14 row 5
+  kIoPower,          ///< Pio (mW)       — Figs. 7, 8–14 row 6
+};
+
+[[nodiscard]] const char* to_string(SweepParameter parameter) noexcept;
+
+/// One x position of a figure: the two-speed optimum next to the
+/// single-speed baseline (the paper's solid vs dotted curves).
+struct FigurePoint {
+  double x = 0.0;
+  core::PairSolution two_speed;     ///< best (σ1, σ2) solution
+  core::PairSolution single_speed;  ///< best σ2 = σ1 solution
+  /// True when the bound was unachievable and the min-ρ fallback policy is
+  /// reported instead (the paper's figures keep plotting there; see
+  /// BiCritSolver::min_rho_solution).
+  bool two_speed_fallback = false;
+  bool single_speed_fallback = false;
+
+  /// Energy saved by allowing a different re-execution speed, as a
+  /// fraction of the single-speed overhead (the paper's "up to 35%").
+  [[nodiscard]] double energy_saving() const noexcept;
+};
+
+/// A full figure panel: the swept parameter and one point per x value.
+struct FigureSeries {
+  SweepParameter parameter = SweepParameter::kCheckpointTime;
+  std::string configuration;  ///< e.g. "Atlas/Crusoe"
+  double rho = 0.0;           ///< performance bound (x value when swept)
+  std::vector<FigurePoint> points;
+
+  /// Largest energy_saving() over all points with both solutions feasible.
+  [[nodiscard]] double max_energy_saving() const noexcept;
+};
+
+/// Sweep options; defaults reproduce the paper's setup (§4.1: ρ = 3, Pio =
+/// dynamic power at the lowest speed, default grids matching the figures'
+/// axis ranges).
+struct SweepOptions {
+  double rho = 3.0;
+  std::size_t points = 51;
+  core::EvalMode mode = core::EvalMode::kFirstOrder;
+  /// When the bound is unachievable at some x, report the minimum-ρ
+  /// best-effort policy instead of an empty point (matches the paper's
+  /// figures, which plot the max-speed solution beyond the feasibility
+  /// horizon of the λ and ρ sweeps).
+  bool min_rho_fallback = true;
+  /// Optional pool; null runs serially.
+  ThreadPool* pool = nullptr;
+};
+
+/// Default grid for a parameter, matching the paper's axis ranges:
+/// C, V, Pidle, Pio ∈ [0, 5000]; ρ ∈ [1, 3.5]; λ ∈ [1e-6, 1e-2]
+/// geometrically spaced.
+[[nodiscard]] std::vector<double> default_grid(SweepParameter parameter,
+                                               std::size_t points);
+
+/// Applies one swept value to a parameter bundle (returns a copy).
+/// Sweeping ρ leaves the params untouched (ρ is passed to the solver).
+[[nodiscard]] core::ModelParams apply_parameter(
+    const core::ModelParams& base, SweepParameter parameter, double value);
+
+/// Runs one figure panel for a configuration over an explicit grid.
+[[nodiscard]] FigureSeries run_figure_sweep(
+    const platform::Configuration& config, SweepParameter parameter,
+    const std::vector<double>& grid, const SweepOptions& options = {});
+
+/// Same, with the default grid.
+[[nodiscard]] FigureSeries run_figure_sweep(
+    const platform::Configuration& config, SweepParameter parameter,
+    const SweepOptions& options = {});
+
+/// All six panels of a Figure 8–14 style composite.
+[[nodiscard]] std::vector<FigureSeries> run_all_sweeps(
+    const platform::Configuration& config, const SweepOptions& options = {});
+
+/// Flattens a figure panel into a plain numeric Series (columns: sigma1,
+/// sigma2, Wopt2, energy2, sigma, Wopt1, energy1, saving) for CSV/gnuplot
+/// export. Infeasible points become NaN cells (rendered as gaps).
+[[nodiscard]] Series to_series(const FigureSeries& figure);
+
+}  // namespace rexspeed::sweep

@@ -1,0 +1,42 @@
+#include "rexspeed/sweep/grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rexspeed::sweep {
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  if (count < 2) {
+    throw std::invalid_argument("linspace: need at least two points");
+  }
+  if (!(lo <= hi)) {
+    throw std::invalid_argument("linspace: lo must not exceed hi");
+  }
+  std::vector<double> values(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    values[i] = lo + step * static_cast<double>(i);
+  }
+  values.back() = hi;  // avoid accumulated rounding on the endpoint
+  return values;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t count) {
+  if (count < 2) {
+    throw std::invalid_argument("logspace: need at least two points");
+  }
+  if (!(lo > 0.0) || !(hi > 0.0) || !(lo <= hi)) {
+    throw std::invalid_argument(
+        "logspace: bounds must be positive with lo <= hi");
+  }
+  std::vector<double> values(count);
+  const double log_lo = std::log(lo);
+  const double step = (std::log(hi) - log_lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    values[i] = std::exp(log_lo + step * static_cast<double>(i));
+  }
+  values.back() = hi;
+  return values;
+}
+
+}  // namespace rexspeed::sweep

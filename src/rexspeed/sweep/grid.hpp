@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rexspeed::sweep {
+
+/// `count` evenly spaced values over [lo, hi] (inclusive). count >= 2.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi,
+                                           std::size_t count);
+
+/// `count` geometrically spaced values over [lo, hi] (inclusive); both
+/// bounds must be positive. Matches the log-scale x axes of Figures 4 and
+/// 8–14 (λ sweeps).
+[[nodiscard]] std::vector<double> logspace(double lo, double hi,
+                                           std::size_t count);
+
+}  // namespace rexspeed::sweep

@@ -1,0 +1,44 @@
+#include "rexspeed/sweep/section42_tables.hpp"
+
+#include <limits>
+
+namespace rexspeed::sweep {
+
+std::vector<SpeedPairRow> speed_pair_table(const core::ModelParams& params,
+                                           double rho, core::EvalMode mode) {
+  const core::BiCritSolver solver(params);
+  const core::BiCritSolution solution =
+      solver.solve(rho, core::SpeedPolicy::kTwoSpeed, mode);
+
+  std::vector<SpeedPairRow> rows;
+  rows.reserve(params.speeds.size());
+  double best_energy = std::numeric_limits<double>::infinity();
+  std::size_t best_index = 0;
+  for (const double sigma1 : params.speeds) {
+    const core::PairSolution best = solution.best_for_sigma1(sigma1);
+    SpeedPairRow row;
+    row.sigma1 = sigma1;
+    row.feasible = best.feasible;
+    if (best.feasible) {
+      row.best_sigma2 = best.sigma2;
+      row.w_opt = best.w_opt;
+      row.energy_overhead = best.energy_overhead;
+      if (best.energy_overhead < best_energy) {
+        best_energy = best.energy_overhead;
+        best_index = rows.size();
+      }
+    }
+    rows.push_back(row);
+  }
+  if (best_energy < std::numeric_limits<double>::infinity()) {
+    rows[best_index].is_global_best = true;
+  }
+  return rows;
+}
+
+const std::vector<double>& section42_bounds() {
+  static const std::vector<double> kBounds = {8.0, 3.0, 1.775, 1.4};
+  return kBounds;
+}
+
+}  // namespace rexspeed::sweep

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "rexspeed/core/bicrit_solver.hpp"
+
+namespace rexspeed::sweep {
+
+/// One row of the §4.2 tables: for a fixed first speed σ1, the best second
+/// speed (if any second speed satisfies the bound) with its Wopt and
+/// energy overhead. `is_global_best` marks the row the paper prints bold.
+struct SpeedPairRow {
+  double sigma1 = 0.0;
+  bool feasible = false;
+  double best_sigma2 = 0.0;
+  double w_opt = 0.0;
+  double energy_overhead = 0.0;
+  bool is_global_best = false;
+};
+
+/// Reproduces one §4.2 table for a given performance bound ρ: one row per
+/// available speed σ1 (in speed-set order).
+[[nodiscard]] std::vector<SpeedPairRow> speed_pair_table(
+    const core::ModelParams& params, double rho,
+    core::EvalMode mode = core::EvalMode::kFirstOrder);
+
+/// The four bounds of §4.2, in paper order.
+[[nodiscard]] const std::vector<double>& section42_bounds();
+
+}  // namespace rexspeed::sweep

@@ -1,0 +1,39 @@
+#include "rexspeed/sweep/series.hpp"
+
+#include <stdexcept>
+
+namespace rexspeed::sweep {
+
+Series::Series(std::string x_name, std::vector<std::string> column_names)
+    : x_name_(std::move(x_name)), column_names_(std::move(column_names)) {
+  if (column_names_.empty()) {
+    throw std::invalid_argument("Series: need at least one column");
+  }
+  columns_.resize(column_names_.size());
+}
+
+void Series::add_row(double x, const std::vector<double>& values) {
+  if (values.size() != columns_.size()) {
+    throw std::invalid_argument("Series::add_row: column count mismatch");
+  }
+  x_.push_back(x);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    columns_[i].push_back(values[i]);
+  }
+}
+
+const std::vector<double>& Series::column(std::size_t index) const {
+  if (index >= columns_.size()) {
+    throw std::out_of_range("Series::column: index out of range");
+  }
+  return columns_[index];
+}
+
+const std::vector<double>& Series::column(const std::string& name) const {
+  for (std::size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == name) return columns_[i];
+  }
+  throw std::out_of_range("Series::column: unknown column '" + name + "'");
+}
+
+}  // namespace rexspeed::sweep

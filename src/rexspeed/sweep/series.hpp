@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rexspeed::sweep {
+
+/// Column-oriented numeric table: one x column plus named y columns, all
+/// equally long. This is the common shape of every figure the paper plots
+/// (an x axis and a handful of curves).
+class Series {
+ public:
+  Series(std::string x_name, std::vector<std::string> column_names);
+
+  /// Appends one row; `values` must match the number of y columns.
+  void add_row(double x, const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t size() const noexcept { return x_.size(); }
+  [[nodiscard]] const std::string& x_name() const noexcept { return x_name_; }
+  [[nodiscard]] const std::vector<std::string>& column_names() const noexcept {
+    return column_names_;
+  }
+  [[nodiscard]] const std::vector<double>& x() const noexcept { return x_; }
+
+  /// Column values by index or name (throws std::out_of_range).
+  [[nodiscard]] const std::vector<double>& column(std::size_t index) const;
+  [[nodiscard]] const std::vector<double>& column(
+      const std::string& name) const;
+
+ private:
+  std::string x_name_;
+  std::vector<std::string> column_names_;
+  std::vector<double> x_;
+  std::vector<std::vector<double>> columns_;
+};
+
+}  // namespace rexspeed::sweep

@@ -1,0 +1,110 @@
+#include "rexspeed/core/attempt_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "test_util.hpp"
+
+namespace rexspeed::core {
+namespace {
+
+using test::params_for;
+using test::toy_params;
+
+TEST(AttemptFailureProbability, SilentOnlyMatchesExposure) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 1e-4;
+  // Exposure W/σ = 2000 s: p = 1 − e^{−0.2}.
+  EXPECT_NEAR(attempt_failure_probability(p, 1000.0, 0.5),
+              -std::expm1(-0.2), 1e-12);
+}
+
+TEST(AttemptFailureProbability, FailstopSeesVerificationToo) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 0.0;
+  p.lambda_failstop = 1e-4;
+  // Span (W+V)/σ = 2004 s.
+  EXPECT_NEAR(attempt_failure_probability(p, 1000.0, 0.5),
+              -std::expm1(-1e-4 * 2004.0), 1e-12);
+}
+
+TEST(AttemptFailureProbability, CombinedSourcesMultiply) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 1e-4;
+  p.lambda_failstop = 2e-4;
+  const double span = 1002.0 / 0.5;
+  const double exposure = 1000.0 / 0.5;
+  EXPECT_NEAR(attempt_failure_probability(p, 1000.0, 0.5),
+              -std::expm1(-(2e-4 * span + 1e-4 * exposure)), 1e-12);
+}
+
+TEST(AttemptFailureProbability, ZeroWhenErrorFree) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 0.0;
+  EXPECT_DOUBLE_EQ(attempt_failure_probability(p, 1000.0, 0.5), 0.0);
+}
+
+TEST(AttemptStats, GeometricRetryProcess) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 1e-3;
+  const AttemptStats stats = attempt_stats(p, 500.0, 0.5, 1.0);
+  const double q1 = attempt_failure_probability(p, 500.0, 0.5);
+  const double q2 = attempt_failure_probability(p, 500.0, 1.0);
+  EXPECT_DOUBLE_EQ(stats.first_failure_probability, q1);
+  EXPECT_DOUBLE_EQ(stats.retry_failure_probability, q2);
+  EXPECT_NEAR(stats.expected_attempts, 1.0 + q1 / (1.0 - q2), 1e-15);
+  EXPECT_NEAR(stats.expected_recoveries, stats.expected_attempts - 1.0,
+              1e-15);
+}
+
+TEST(AttemptStats, FasterRetriesReduceExpectedAttempts) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 1e-3;
+  const AttemptStats slow = attempt_stats(p, 500.0, 0.5, 0.5);
+  const AttemptStats fast = attempt_stats(p, 500.0, 0.5, 1.0);
+  EXPECT_LT(fast.expected_attempts, slow.expected_attempts);
+}
+
+TEST(AttemptStats, ErrorFreeIsExactlyOneAttempt) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 0.0;
+  const AttemptStats stats = attempt_stats(p, 500.0, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(stats.expected_attempts, 1.0);
+  EXPECT_DOUBLE_EQ(stats.expected_recoveries, 0.0);
+}
+
+TEST(ProbabilityAttemptsExceed, GeometricTail) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 1e-3;
+  const double q1 = attempt_failure_probability(p, 500.0, 0.5);
+  const double q2 = attempt_failure_probability(p, 500.0, 1.0);
+  EXPECT_DOUBLE_EQ(probability_attempts_exceed(p, 500.0, 0.5, 1.0, 0), 1.0);
+  EXPECT_NEAR(probability_attempts_exceed(p, 500.0, 0.5, 1.0, 1), q1,
+              1e-15);
+  EXPECT_NEAR(probability_attempts_exceed(p, 500.0, 0.5, 1.0, 3),
+              q1 * q2 * q2, 1e-15);
+}
+
+TEST(AttemptStats, MatchesExpectedTimeDecomposition) {
+  // Cross-check against the exact expectation: for silent errors only at
+  // a single speed, E[attempts] = e^{λW/σ} (each attempt succeeds with
+  // probability e^{−λW/σ}).
+  const ModelParams p = params_for("Hera/XScale");
+  const double w = 2764.0;
+  const AttemptStats stats = attempt_stats(p, w, 0.4, 0.4);
+  EXPECT_NEAR(stats.expected_attempts,
+              std::exp(p.lambda_silent * w / 0.4), 1e-12);
+}
+
+TEST(AttemptStats, RejectsBadArguments) {
+  const ModelParams p = toy_params();
+  EXPECT_THROW(attempt_failure_probability(p, 0.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(attempt_failure_probability(p, 100.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::core

@@ -1,0 +1,275 @@
+#include "rexspeed/core/bicrit_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+
+#include "rexspeed/core/exact_expectations.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::core {
+namespace {
+
+using test::params_for;
+using test::toy_params;
+
+TEST(BiCritSolver, HeraXScaleRho3MatchesPaperTable) {
+  // §4.2 second table: global best (0.4, 0.4), Wopt = 2764, E/W = 416.
+  const BiCritSolver solver(params_for("Hera/XScale"));
+  const BiCritSolution sol = solver.solve(3.0);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_DOUBLE_EQ(sol.best.sigma1, 0.4);
+  EXPECT_DOUBLE_EQ(sol.best.sigma2, 0.4);
+  EXPECT_NEAR(sol.best.w_opt, 2764.0, 1.0);
+  EXPECT_NEAR(sol.best.energy_overhead, 416.8, 0.5);
+}
+
+TEST(BiCritSolver, HeraXScaleRho3RowEntries) {
+  const BiCritSolver solver(params_for("Hera/XScale"));
+  const BiCritSolution sol = solver.solve(3.0);
+  // σ1 = 0.15 infeasible; every other row's best σ2 is 0.4.
+  EXPECT_FALSE(sol.best_for_sigma1(0.15).feasible);
+  const struct {
+    double sigma1, w_opt, energy;
+  } rows[] = {{0.4, 2764.0, 416.0},
+              {0.6, 3639.0, 674.0},
+              {0.8, 4627.0, 1082.0},
+              {1.0, 5742.0, 1625.0}};
+  for (const auto& row : rows) {
+    const PairSolution r = sol.best_for_sigma1(row.sigma1);
+    ASSERT_TRUE(r.feasible) << row.sigma1;
+    EXPECT_DOUBLE_EQ(r.sigma2, 0.4) << row.sigma1;
+    EXPECT_NEAR(r.w_opt, row.w_opt, 1.5) << row.sigma1;
+    EXPECT_NEAR(r.energy_overhead, row.energy, 1.0) << row.sigma1;
+  }
+}
+
+TEST(BiCritSolver, HeraXScaleRho8LowestSpeedBecomesFeasible) {
+  // §4.2 first table: at ρ = 8, σ1 = 0.15 pairs with σ2 = 0.4,
+  // Wopt = 1711, E/W = 466 — but (0.4, 0.4) still wins globally.
+  const BiCritSolver solver(params_for("Hera/XScale"));
+  const BiCritSolution sol = solver.solve(8.0);
+  const PairSolution slow = sol.best_for_sigma1(0.15);
+  ASSERT_TRUE(slow.feasible);
+  EXPECT_DOUBLE_EQ(slow.sigma2, 0.4);
+  EXPECT_NEAR(slow.w_opt, 1711.0, 1.0);
+  EXPECT_NEAR(slow.energy_overhead, 466.0, 1.0);
+  EXPECT_DOUBLE_EQ(sol.best.sigma1, 0.4);
+  EXPECT_DOUBLE_EQ(sol.best.sigma2, 0.4);
+}
+
+TEST(BiCritSolver, HeraXScaleRho1775TwoDifferentSpeedsWin) {
+  // §4.2 third table: the global best is the genuinely mixed pair
+  // (0.6, 0.8) with Wopt = 4251, E/W = 690 — the paper's headline case.
+  const BiCritSolver solver(params_for("Hera/XScale"));
+  const BiCritSolution sol = solver.solve(1.775);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_DOUBLE_EQ(sol.best.sigma1, 0.6);
+  EXPECT_DOUBLE_EQ(sol.best.sigma2, 0.8);
+  EXPECT_NEAR(sol.best.w_opt, 4251.0, 1.5);
+  EXPECT_NEAR(sol.best.energy_overhead, 690.0, 1.0);
+  EXPECT_FALSE(sol.best_for_sigma1(0.4).feasible);
+}
+
+TEST(BiCritSolver, HeraXScaleRho14OnlyFastSpeedsSurvive) {
+  // §4.2 fourth table.
+  const BiCritSolver solver(params_for("Hera/XScale"));
+  const BiCritSolution sol = solver.solve(1.4);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_DOUBLE_EQ(sol.best.sigma1, 0.8);
+  EXPECT_DOUBLE_EQ(sol.best.sigma2, 0.4);
+  EXPECT_NEAR(sol.best.w_opt, 4627.0, 1.0);
+  EXPECT_NEAR(sol.best.energy_overhead, 1082.0, 1.0);
+  EXPECT_FALSE(sol.best_for_sigma1(0.6).feasible);
+  EXPECT_TRUE(sol.best_for_sigma1(1.0).feasible);
+}
+
+TEST(BiCritSolver, InfeasibleWhenBoundBelowFastestSpeed) {
+  // Even σ = 1 has time overhead > 1; ρ = 0.99 admits nothing.
+  const BiCritSolver solver(params_for("Hera/XScale"));
+  EXPECT_FALSE(solver.solve(0.99).feasible);
+}
+
+TEST(BiCritSolver, SingleSpeedPolicyOnlyConsidersDiagonal) {
+  const BiCritSolver solver(params_for("Atlas/Crusoe"));
+  const BiCritSolution sol = solver.solve(3.0, SpeedPolicy::kSingleSpeed);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.pairs.size(), 5u);
+  for (const auto& pair : sol.pairs) {
+    EXPECT_DOUBLE_EQ(pair.sigma1, pair.sigma2);
+  }
+}
+
+TEST(BiCritSolver, TwoSpeedEnumeratesAllPairs) {
+  const BiCritSolver solver(params_for("Atlas/Crusoe"));
+  const BiCritSolution sol = solver.solve(3.0, SpeedPolicy::kTwoSpeed);
+  EXPECT_EQ(sol.pairs.size(), 25u);
+}
+
+TEST(BiCritSolver, PairFeasibilityMatchesRhoMin) {
+  const ModelParams p = params_for("Coastal/XScale");
+  const BiCritSolver solver(p);
+  for (const double s1 : p.speeds) {
+    for (const double s2 : p.speeds) {
+      const PairSolution at_least =
+          solver.solve_pair(rho_min_eq6(p, s1, s2) + 1e-6, s1, s2,
+                            EvalMode::kFirstOrder);
+      EXPECT_TRUE(at_least.feasible) << s1 << "," << s2;
+      const PairSolution below =
+          solver.solve_pair(rho_min_eq6(p, s1, s2) - 1e-6, s1, s2,
+                            EvalMode::kFirstOrder);
+      EXPECT_FALSE(below.feasible) << s1 << "," << s2;
+    }
+  }
+}
+
+TEST(BiCritSolver, WoptIsClampedIntoFeasibleInterval) {
+  const BiCritSolver solver(params_for("Hera/XScale"));
+  // Tight bound: the unconstrained We violates it, so Wopt = W1 or W2.
+  const PairSolution sol =
+      solver.solve_pair(1.4, 0.8, 0.4, EvalMode::kFirstOrder);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_GE(sol.w_opt, sol.w_min - 1e-9);
+  EXPECT_LE(sol.w_opt, sol.w_max + 1e-9);
+  EXPECT_LE(sol.time_overhead, 1.4 + 1e-9);
+}
+
+TEST(BiCritSolver, FirstOrderWoptBeatsGridWithinInterval) {
+  const BiCritSolver solver(params_for("Atlas/Crusoe"));
+  const PairSolution sol =
+      solver.solve_pair(3.0, 0.45, 0.6, EvalMode::kFirstOrder);
+  ASSERT_TRUE(sol.feasible);
+  const OverheadExpansion energy =
+      energy_expansion(solver.params(), 0.45, 0.6);
+  const double best = energy.evaluate(sol.w_opt);
+  for (double w = sol.w_min * 1.01; w < sol.w_max; w *= 1.1) {
+    EXPECT_GE(energy.evaluate(w), best - 1e-12 * best);
+  }
+}
+
+TEST(BiCritSolver, ExactEvaluationStaysCloseToFirstOrder) {
+  const BiCritSolver solver(params_for("Hera/XScale"));
+  const PairSolution fo =
+      solver.solve_pair(3.0, 0.4, 0.4, EvalMode::kFirstOrder);
+  const PairSolution exact =
+      solver.solve_pair(3.0, 0.4, 0.4, EvalMode::kExactEvaluation);
+  ASSERT_TRUE(fo.feasible);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_DOUBLE_EQ(fo.w_opt, exact.w_opt);  // same Theorem-1 pattern
+  EXPECT_NEAR(exact.energy_overhead, fo.energy_overhead,
+              1e-3 * fo.energy_overhead);
+}
+
+TEST(BiCritSolver, ExactOptimizeNeverWorseThanExactEvaluation) {
+  const ModelParams p = params_for("Atlas/Crusoe");
+  const BiCritSolver solver(p);
+  for (const double s1 : {0.45, 0.6}) {
+    for (const double s2 : {0.45, 0.8}) {
+      const PairSolution eval =
+          solver.solve_pair(3.0, s1, s2, EvalMode::kExactEvaluation);
+      const PairSolution opt =
+          solver.solve_pair(3.0, s1, s2, EvalMode::kExactOptimize);
+      ASSERT_TRUE(eval.feasible);
+      ASSERT_TRUE(opt.feasible);
+      EXPECT_LE(opt.energy_overhead,
+                eval.energy_overhead + 1e-9 * eval.energy_overhead);
+    }
+  }
+}
+
+TEST(BiCritSolver, MinRhoSolutionIsTheBestEffortPolicy) {
+  ModelParams p = params_for("Atlas/Crusoe");
+  p.lambda_silent = 2e-3;  // beyond the ρ = 3 feasibility horizon
+  const BiCritSolver solver(p);
+  ASSERT_FALSE(solver.solve(3.0).feasible);
+  const PairSolution fallback = solver.min_rho_solution();
+  ASSERT_TRUE(fallback.feasible);
+  // The best-effort pair pins the fastest first speed (Figure 4's high-λ
+  // behaviour) and its tangency time overhead equals its ρ_min.
+  EXPECT_DOUBLE_EQ(fallback.sigma1, 1.0);
+  EXPECT_NEAR(fallback.time_overhead, fallback.rho_min,
+              1e-9 * fallback.rho_min);
+  // No pair can achieve a smaller bound.
+  for (const double s1 : p.speeds) {
+    for (const double s2 : p.speeds) {
+      EXPECT_GE(rho_min(time_expansion(p, s1, s2)),
+                fallback.rho_min * (1.0 - 1e-12));
+    }
+  }
+}
+
+TEST(BiCritSolver, MinRhoSolutionSingleSpeedRestriction) {
+  ModelParams p = params_for("Atlas/Crusoe");
+  p.lambda_silent = 2e-3;
+  const BiCritSolver solver(p);
+  const PairSolution fallback =
+      solver.min_rho_solution(SpeedPolicy::kSingleSpeed);
+  ASSERT_TRUE(fallback.feasible);
+  EXPECT_DOUBLE_EQ(fallback.sigma1, fallback.sigma2);
+}
+
+TEST(BiCritSolver, RejectsNonPositiveRho) {
+  const BiCritSolver solver(toy_params());
+  EXPECT_THROW(solver.solve(0.0), std::invalid_argument);
+  EXPECT_THROW(solver.solve(-1.0), std::invalid_argument);
+}
+
+TEST(BiCritSolver, RejectsInvalidParams) {
+  ModelParams bad = toy_params();
+  bad.speeds.clear();
+  EXPECT_THROW(BiCritSolver{bad}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: across every paper configuration and a grid of bounds,
+// the two-speed optimum never loses to the single-speed baseline, and all
+// reported solutions respect their constraints.
+// ---------------------------------------------------------------------------
+
+class SolverProperties
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(SolverProperties, TwoSpeedNeverWorseAndConstraintsHold) {
+  const auto& [name, rho] = GetParam();
+  const BiCritSolver solver(params_for(name));
+  const BiCritSolution two = solver.solve(rho, SpeedPolicy::kTwoSpeed);
+  const BiCritSolution one = solver.solve(rho, SpeedPolicy::kSingleSpeed);
+
+  if (one.feasible) {
+    ASSERT_TRUE(two.feasible);  // the diagonal is a subset of all pairs
+    EXPECT_LE(two.best.energy_overhead,
+              one.best.energy_overhead * (1.0 + 1e-12));
+  }
+  if (two.feasible) {
+    EXPECT_LE(two.best.time_overhead, rho * (1.0 + 1e-9));
+    EXPECT_GT(two.best.w_opt, 0.0);
+    for (const auto& pair : two.pairs) {
+      if (!pair.feasible) continue;
+      EXPECT_LE(pair.time_overhead, rho * (1.0 + 1e-9));
+      EXPECT_GE(pair.energy_overhead,
+                two.best.energy_overhead * (1.0 - 1e-12));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigsAndBounds, SolverProperties,
+    ::testing::Combine(
+        ::testing::Values("Hera/XScale", "Atlas/XScale", "Coastal/XScale",
+                          "CoastalSSD/XScale", "Hera/Crusoe", "Atlas/Crusoe",
+                          "Coastal/Crusoe", "CoastalSSD/Crusoe"),
+        ::testing::Values(1.2, 1.5, 2.0, 3.0, 8.0)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& ch : name) {
+        if (ch == '/') ch = '_';
+      }
+      const double rho = std::get<1>(info.param);
+      return name + "_rho_" + std::to_string(static_cast<int>(rho * 1000));
+    });
+
+}  // namespace
+}  // namespace rexspeed::core

@@ -1,0 +1,80 @@
+#include "rexspeed/core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_util.hpp"
+
+namespace rexspeed::core {
+namespace {
+
+using test::params_for;
+
+TEST(CampaignPlan, ScalesPatternOverheadsToTheApplication) {
+  const ModelParams p = params_for("Hera/XScale");
+  const double wbase = 30.0 * 86400.0;
+  const CampaignPlan plan = plan_campaign(p, 3.0, wbase);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_DOUBLE_EQ(plan.total_work, wbase);
+  EXPECT_NEAR(plan.patterns, wbase / plan.policy.w_opt, 1e-9);
+  EXPECT_NEAR(plan.expected_makespan_s,
+              plan.policy.time_overhead * wbase, 1e-6);
+  EXPECT_NEAR(plan.expected_energy_mws,
+              plan.policy.energy_overhead * wbase, 1e-3);
+  EXPECT_NEAR(plan.ideal_makespan_s, wbase / plan.policy.sigma1, 1e-6);
+  EXPECT_DOUBLE_EQ(plan.expected_checkpoints, plan.patterns);
+}
+
+TEST(CampaignPlan, DegradationRespectsBound) {
+  const ModelParams p = params_for("Atlas/Crusoe");
+  const CampaignPlan plan = plan_campaign(p, 3.0, 1e7);
+  ASSERT_TRUE(plan.feasible);
+  // T/W ≤ ρ ⇔ makespan ≤ ρ · Wbase.
+  EXPECT_LE(plan.expected_makespan_s, 3.0 * 1e7 * (1.0 + 1e-9));
+}
+
+TEST(CampaignPlan, ExpectedErrorsScaleWithPatterns) {
+  const ModelParams p = params_for("Hera/XScale");
+  const CampaignPlan small = plan_campaign(p, 3.0, 1e6);
+  const CampaignPlan large = plan_campaign(p, 3.0, 2e6);
+  ASSERT_TRUE(small.feasible);
+  ASSERT_TRUE(large.feasible);
+  EXPECT_NEAR(large.expected_errors, 2.0 * small.expected_errors, 1e-9);
+}
+
+TEST(CampaignPlan, InfeasibleBoundYieldsInfeasiblePlan) {
+  const ModelParams p = params_for("Hera/XScale");
+  const CampaignPlan plan = plan_campaign(p, 0.9, 1e6);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(CampaignPlan, SingleSpeedPolicyOption) {
+  const ModelParams p = params_for("Hera/XScale");
+  const CampaignPlan plan =
+      plan_campaign(p, 3.0, 1e6, SpeedPolicy::kSingleSpeed);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_DOUBLE_EQ(plan.policy.sigma1, plan.policy.sigma2);
+}
+
+TEST(CampaignPlan, FromSolutionMatchesSolve) {
+  const ModelParams p = params_for("Coastal/XScale");
+  const BiCritSolver solver(p);
+  const auto sol = solver.solve(2.0);
+  ASSERT_TRUE(sol.feasible);
+  const CampaignPlan direct = plan_campaign(p, 2.0, 5e6);
+  const CampaignPlan via_solution =
+      plan_campaign_from_solution(p, sol.best, 5e6);
+  EXPECT_DOUBLE_EQ(direct.expected_makespan_s,
+                   via_solution.expected_makespan_s);
+  EXPECT_DOUBLE_EQ(direct.expected_energy_mws,
+                   via_solution.expected_energy_mws);
+}
+
+TEST(CampaignPlan, RejectsNonPositiveWork) {
+  const ModelParams p = params_for("Hera/XScale");
+  EXPECT_THROW(plan_campaign(p, 3.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::core

@@ -1,0 +1,103 @@
+#include "rexspeed/core/continuous_speed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rexspeed/core/bicrit_solver.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::core {
+namespace {
+
+using test::params_for;
+using test::toy_params;
+
+TEST(ContinuousSpeed, NeverWorseThanDiscreteOptimum) {
+  for (const char* name : {"Hera/XScale", "Atlas/Crusoe"}) {
+    const ModelParams p = test::params_for(name);
+    const BiCritSolver solver(p);
+    const auto discrete = solver.solve(3.0, SpeedPolicy::kTwoSpeed,
+                                       EvalMode::kExactOptimize);
+    const ContinuousSolution continuous = solve_continuous(p, 3.0);
+    ASSERT_TRUE(discrete.feasible) << name;
+    ASSERT_TRUE(continuous.feasible) << name;
+    EXPECT_LE(continuous.energy_overhead,
+              discrete.best.energy_overhead * (1.0 + 1e-6))
+        << name;
+  }
+}
+
+TEST(ContinuousSpeed, StaysWithinSpeedBounds) {
+  const ModelParams p = params_for("Hera/XScale");
+  const ContinuousSolution sol = solve_continuous(p, 3.0);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_GE(sol.sigma1, p.speeds.front() - 1e-12);
+  EXPECT_LE(sol.sigma1, p.speeds.back() + 1e-12);
+  EXPECT_GE(sol.sigma2, p.speeds.front() - 1e-12);
+  EXPECT_LE(sol.sigma2, p.speeds.back() + 1e-12);
+}
+
+TEST(ContinuousSpeed, RespectsTheTimeBound) {
+  const ModelParams p = params_for("Atlas/Crusoe");
+  for (const double rho : {1.5, 2.0, 3.0}) {
+    const ContinuousSolution sol = solve_continuous(p, rho);
+    ASSERT_TRUE(sol.feasible) << rho;
+    EXPECT_LE(sol.time_overhead, rho * (1.0 + 1e-6)) << rho;
+  }
+}
+
+TEST(ContinuousSpeed, FindsInteriorOptimumOnDenseLadder) {
+  // With a two-point ladder {0.4, 1.0}, the continuous optimum on the
+  // same range should be at least as good and typically interior.
+  ModelParams p = params_for("Hera/XScale");
+  p.speeds = {0.4, 1.0};
+  const BiCritSolver solver(p);
+  const auto discrete =
+      solver.solve(3.0, SpeedPolicy::kTwoSpeed, EvalMode::kExactOptimize);
+  const ContinuousSolution continuous = solve_continuous(p, 3.0);
+  ASSERT_TRUE(discrete.feasible);
+  ASSERT_TRUE(continuous.feasible);
+  EXPECT_LT(continuous.energy_overhead,
+            discrete.best.energy_overhead * (1.0 + 1e-9));
+}
+
+TEST(ContinuousSpeed, MatchesKnownOptimumNearDiscretePoint) {
+  // On Hera/XScale at ρ = 3 the discrete optimum is (0.4, 0.4); the
+  // continuous optimum should sit nearby (the energy landscape is smooth
+  // around the cubic-power sweet spot).
+  const ModelParams p = params_for("Hera/XScale");
+  const ContinuousSolution sol = solve_continuous(p, 3.0);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.sigma1, 0.4, 0.15);
+  EXPECT_NEAR(sol.sigma2, 0.4, 0.15);
+}
+
+TEST(ContinuousSpeed, InfeasibleBelowAchievableBound) {
+  const ModelParams p = params_for("Hera/XScale");
+  const ContinuousSolution sol = solve_continuous(p, 0.9);
+  EXPECT_FALSE(sol.feasible);
+}
+
+TEST(ContinuousSpeed, ExplicitRangeOverridesSpeedSet) {
+  const ModelParams p = params_for("Hera/XScale");
+  ContinuousOptions options;
+  options.sigma_min = 0.8;
+  options.sigma_max = 1.0;
+  const ContinuousSolution sol = solve_continuous(p, 3.0, options);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_GE(sol.sigma1, 0.8 - 1e-12);
+  EXPECT_GE(sol.sigma2, 0.8 - 1e-12);
+}
+
+TEST(ContinuousSpeed, RejectsBadArguments) {
+  const ModelParams p = toy_params();
+  EXPECT_THROW(solve_continuous(p, 0.0), std::invalid_argument);
+  ContinuousOptions bad;
+  bad.sigma_min = 0.9;
+  bad.sigma_max = 0.5;
+  EXPECT_THROW(solve_continuous(p, 3.0, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::core

@@ -1,0 +1,344 @@
+#include "rexspeed/core/exact_expectations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "test_util.hpp"
+
+namespace rexspeed::core {
+namespace {
+
+using test::params_for;
+using test::toy_params;
+
+// ---------------------------------------------------------------------------
+// Independent reference: solves the paper's recursive equations numerically,
+// integrating the fail-stop arrival density with composite Simpson rather
+// than using any closed form. Slow but formula-free.
+// ---------------------------------------------------------------------------
+
+double simpson(const std::function<double(double)>& f, double lo, double hi,
+               int intervals) {
+  const double h = (hi - lo) / intervals;
+  double sum = f(lo) + f(hi);
+  for (int i = 1; i < intervals; ++i) {
+    sum += f(lo + i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+double numeric_expected_time(const ModelParams& p, double work, double s1,
+                             double s2) {
+  const double lf = p.lambda_failstop;
+  const double ls = p.lambda_silent;
+  const auto attempt = [&](double sigma, double tail) {
+    const double span = (work + p.verification_s) / sigma;
+    const double ps = -std::expm1(-ls * work / sigma);
+    double value = 0.0;
+    if (lf > 0.0) {
+      value += simpson(
+          [&](double t) {
+            return lf * std::exp(-lf * t) * (t + p.recovery_s + tail);
+          },
+          0.0, span, 4000);
+    }
+    const double survive = std::exp(-lf * span);
+    value += survive * (span + ps * (p.recovery_s + tail) +
+                        (1.0 - ps) * p.checkpoint_s);
+    return value;
+  };
+  // Tail (all attempts at s2): fixed point of T2 = attempt(s2, T2). The
+  // mapping is affine in the tail, so two evaluations determine it.
+  const double a0 = attempt(s2, 0.0);
+  const double a1 = attempt(s2, 1.0);
+  const double q = a1 - a0;  // failure probability (coefficient of tail)
+  const double tail = a0 / (1.0 - q);
+  return attempt(s1, tail);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ExactTime, ErrorFreeIsDeterministic) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 0.0;
+  const double w = 500.0;
+  const double expected = p.checkpoint_s + (w + p.verification_s) / 0.5;
+  EXPECT_NEAR(expected_time(p, w, 0.5, 1.0), expected, 1e-9);
+}
+
+TEST(ExactEnergy, ErrorFreeIsDeterministic) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 0.0;
+  const double w = 500.0;
+  const double expected = (w + p.verification_s) / 0.5 * p.compute_power(0.5) +
+                          p.checkpoint_s * p.io_total_power();
+  EXPECT_NEAR(expected_energy(p, w, 0.5, 1.0), expected, 1e-9);
+}
+
+TEST(ExactTime, Prop1LiteralFormula) {
+  const ModelParams p = toy_params();
+  const double w = 1000.0;
+  const double sigma = 0.5;
+  const double growth = std::exp(p.lambda_silent * w / sigma);
+  const double expected = p.checkpoint_s +
+                          growth * (w + p.verification_s) / sigma +
+                          (growth - 1.0) * p.recovery_s;
+  EXPECT_NEAR(expected_time_single_speed_silent(p, w, sigma), expected,
+              1e-9);
+}
+
+TEST(ExactTime, TwoSpeedWithEqualSpeedsReducesToProp1) {
+  const ModelParams p = params_for("Hera/XScale");
+  for (const double sigma : p.speeds) {
+    for (const double w : {100.0, 2764.0, 50000.0}) {
+      EXPECT_NEAR(expected_time(p, w, sigma, sigma),
+                  expected_time_single_speed_silent(p, w, sigma),
+                  1e-9 * expected_time(p, w, sigma, sigma))
+          << "sigma=" << sigma << " w=" << w;
+    }
+  }
+}
+
+TEST(ExactTime, MatchesLiteralProp2) {
+  const ModelParams p = params_for("Atlas/Crusoe");
+  const double lam = p.lambda_silent;
+  for (const double s1 : {0.45, 0.8}) {
+    for (const double s2 : {0.6, 1.0}) {
+      for (const double w : {500.0, 5000.0, 20000.0}) {
+        const double literal =
+            p.checkpoint_s + (w + p.verification_s) / s1 +
+            (-std::expm1(-lam * w / s1)) * std::exp(lam * w / s2) *
+                (p.recovery_s + (w + p.verification_s) / s2);
+        EXPECT_NEAR(expected_time(p, w, s1, s2), literal, 1e-9 * literal);
+      }
+    }
+  }
+}
+
+TEST(ExactEnergy, MatchesLiteralProp3) {
+  const ModelParams p = params_for("Atlas/Crusoe");
+  const double lam = p.lambda_silent;
+  const double pio = p.io_total_power();
+  for (const double s1 : {0.45, 0.9}) {
+    for (const double s2 : {0.45, 1.0}) {
+      for (const double w : {1000.0, 10000.0}) {
+        const double fail = -std::expm1(-lam * w / s1);
+        const double growth = std::exp(lam * w / s2);
+        const double literal =
+            (p.checkpoint_s + fail * growth * p.recovery_s) * pio +
+            (w + p.verification_s) / s1 * p.compute_power(s1) +
+            (w + p.verification_s) / s2 * fail * growth *
+                p.compute_power(s2);
+        EXPECT_NEAR(expected_energy(p, w, s1, s2), literal, 1e-9 * literal);
+      }
+    }
+  }
+}
+
+TEST(ExactTime, MatchesNumericRecursionSilentOnly) {
+  const ModelParams p = params_for("Hera/XScale");
+  const double w = 2764.0;
+  EXPECT_NEAR(expected_time(p, w, 0.4, 0.8),
+              numeric_expected_time(p, w, 0.4, 0.8),
+              1e-6 * expected_time(p, w, 0.4, 0.8));
+}
+
+TEST(ExactTime, MatchesNumericRecursionCombinedErrors) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 5e-5;
+  p.lambda_failstop = 5e-5;
+  for (const double s2 : {0.25, 0.5, 1.0}) {
+    const double closed = expected_time(p, 800.0, 0.5, s2);
+    const double numeric = numeric_expected_time(p, 800.0, 0.5, s2);
+    EXPECT_NEAR(closed, numeric, 1e-6 * closed) << "s2=" << s2;
+  }
+}
+
+TEST(ExactTime, MatchesNumericRecursionFailstopOnly) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 0.0;
+  p.lambda_failstop = 1e-4;
+  const double closed = expected_time(p, 1500.0, 0.5, 1.0);
+  const double numeric = numeric_expected_time(p, 1500.0, 0.5, 1.0);
+  EXPECT_NEAR(closed, numeric, 1e-6 * closed);
+}
+
+TEST(ExactTime, CombinedContinuousAsFailstopRateVanishes) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 1e-4;
+  const double silent_only = expected_time(p, 1000.0, 0.5, 1.0);
+  p.lambda_failstop = 1e-12;
+  const double nearly_silent = expected_time(p, 1000.0, 0.5, 1.0);
+  EXPECT_NEAR(nearly_silent, silent_only, 1e-6 * silent_only);
+}
+
+TEST(ExactTime, IncreasingInWorkAndErrorRate) {
+  ModelParams p = params_for("Hera/XScale");
+  double prev = 0.0;
+  for (const double w : {100.0, 1000.0, 10000.0, 100000.0}) {
+    const double t = expected_time(p, w, 0.4, 0.6);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  const double base = expected_time(p, 5000.0, 0.4, 0.6);
+  p.lambda_silent *= 10.0;
+  EXPECT_GT(expected_time(p, 5000.0, 0.4, 0.6), base);
+}
+
+TEST(ExactEnergy, IncreasingInIdlePower) {
+  ModelParams p = params_for("Atlas/Crusoe");
+  const double base = expected_energy(p, 5000.0, 0.6, 0.6);
+  p.idle_power_mw += 1000.0;
+  EXPECT_GT(expected_energy(p, 5000.0, 0.6, 0.6), base);
+}
+
+TEST(ExactEnergy, FasterReexecutionCostsMoreDynamicPowerPerRetry) {
+  // With negligible static power, retrying faster burns more energy per
+  // work unit (σ² law), so E should increase in σ2 at fixed W when errors
+  // are frequent enough to matter.
+  ModelParams p = toy_params();
+  p.idle_power_mw = 0.0;
+  p.lambda_silent = 1e-3;
+  const double slow = expected_energy(p, 1000.0, 0.5, 0.5);
+  const double fast = expected_energy(p, 1000.0, 0.5, 1.0);
+  EXPECT_GT(fast, slow);
+}
+
+TEST(ExpectedTimeLost, HalfDurationLimitForRareErrors) {
+  // λ·d → 0 ⇒ Tlost → d/2 (uniform strike position).
+  EXPECT_NEAR(expected_time_lost(1e-9, 100.0), 50.0, 1e-4);
+}
+
+TEST(ExpectedTimeLost, ApproachesMtbfForFrequentErrors) {
+  // λ·d → ∞ ⇒ Tlost → 1/λ.
+  EXPECT_NEAR(expected_time_lost(10.0, 1000.0), 0.1, 1e-9);
+}
+
+TEST(ExpectedTimeLost, RejectsBadArguments) {
+  EXPECT_THROW(expected_time_lost(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(expected_time_lost(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Overheads, DividePerWorkUnit) {
+  const ModelParams p = params_for("Hera/XScale");
+  const double w = 2764.0;
+  EXPECT_DOUBLE_EQ(time_overhead(p, w, 0.4, 0.4),
+                   expected_time(p, w, 0.4, 0.4) / w);
+  EXPECT_DOUBLE_EQ(energy_overhead(p, w, 0.4, 0.4),
+                   expected_energy(p, w, 0.4, 0.4) / w);
+}
+
+TEST(Arguments, RejectedWhenNonPositive) {
+  const ModelParams p = toy_params();
+  EXPECT_THROW(expected_time(p, 0.0, 0.5, 0.5), std::invalid_argument);
+  EXPECT_THROW(expected_time(p, 100.0, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(expected_energy(p, 100.0, 0.5, -1.0), std::invalid_argument);
+}
+
+// ------------------------ convexity properties ----------------------------
+// The numeric optimizer golden-sections the overheads, which requires
+// unimodality; verify discrete convexity of both overheads in W across
+// every paper configuration and a spread of speed pairs.
+
+class OverheadConvexity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OverheadConvexity, TimeAndEnergyOverheadsAreUnimodalInW) {
+  ModelParams p = params_for(GetParam());
+  p.lambda_silent *= 20.0;  // strengthen the curvature
+  const double s1 = p.speeds[1];
+  const double s2 = p.speeds[2];
+  for (const auto overhead :
+       {+[](const ModelParams& mp, double w, double a, double b) {
+          return time_overhead(mp, w, a, b);
+        },
+        +[](const ModelParams& mp, double w, double a, double b) {
+          return energy_overhead(mp, w, a, b);
+        }}) {
+    // Sample log-spaced W and check the difference sequence changes sign
+    // at most once (decreasing then increasing).
+    double prev = overhead(p, 50.0, s1, s2);
+    int sign_changes = 0;
+    int last_sign = -1;
+    for (double w = 60.0; w < 3e5; w *= 1.2) {
+      const double cur = overhead(p, w, s1, s2);
+      const int sign = cur > prev ? 1 : -1;
+      if (sign != last_sign && sign == 1) ++sign_changes;
+      if (sign == 1) last_sign = 1;
+      prev = cur;
+    }
+    EXPECT_LE(sign_changes, 1) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, OverheadConvexity,
+    ::testing::Values("Hera/XScale", "Atlas/XScale", "Coastal/XScale",
+                      "CoastalSSD/XScale", "Hera/Crusoe", "Atlas/Crusoe",
+                      "Coastal/Crusoe", "CoastalSSD/Crusoe"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (auto& ch : name) {
+        if (ch == '/') ch = '_';
+      }
+      return name;
+    });
+
+// --------------------------- paper erratum --------------------------------
+
+TEST(PaperProp4, DiffersFromRecursionByExactlyTheSpuriousTerm) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 5e-5;
+  p.lambda_failstop = 5e-5;
+  const double w = 800.0;
+  const double s1 = 0.5;
+  const double s2 = 1.0;
+  const double ours = expected_time(p, w, s1, s2);
+  const double paper = paper_forms::prop4_expected_time(p, w, s1, s2);
+  const double fail1 = -std::expm1(
+      -(p.lambda_failstop * (w + p.verification_s) + p.lambda_silent * w) /
+      s1);
+  const double spurious = fail1 * std::exp(p.lambda_silent * w / s2) *
+                          p.verification_s / s2;
+  EXPECT_NEAR(paper - ours, spurious, 1e-9 * ours);
+}
+
+TEST(PaperProp4, NumericallyNegligibleAtRealisticScales) {
+  ModelParams p = params_for("Hera/XScale");
+  p.lambda_failstop = p.lambda_silent;  // half fail-stop, half silent
+  const double w = 3000.0;
+  const double ours = expected_time(p, w, 0.4, 0.8);
+  const double paper = paper_forms::prop4_expected_time(p, w, 0.4, 0.8);
+  EXPECT_NEAR(paper, ours, 1e-3 * ours);
+}
+
+TEST(PaperProp5, DiffersFromRecursionByExactlyTheSpuriousTerm) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 5e-5;
+  p.lambda_failstop = 5e-5;
+  const double w = 800.0;
+  const double s1 = 0.5;
+  const double s2 = 1.0;
+  const double ours = expected_energy(p, w, s1, s2);
+  const double paper = paper_forms::prop5_expected_energy(p, w, s1, s2);
+  const double fail1 = -std::expm1(
+      -(p.lambda_failstop * (w + p.verification_s) + p.lambda_silent * w) /
+      s1);
+  const double spurious = fail1 * std::exp(p.lambda_silent * w / s2) *
+                          p.verification_s / s2 * p.compute_power(s2);
+  EXPECT_NEAR(paper - ours, spurious, 1e-9 * ours);
+}
+
+TEST(PaperProp4, RequiresFailstopRate) {
+  const ModelParams p = toy_params();  // λf = 0
+  EXPECT_THROW(paper_forms::prop4_expected_time(p, 100.0, 0.5, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(paper_forms::prop5_expected_energy(p, 100.0, 0.5, 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::core

@@ -1,0 +1,146 @@
+#include "rexspeed/core/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "test_util.hpp"
+
+namespace rexspeed::core {
+namespace {
+
+TEST(SolveQuadratic, TwoDistinctRoots) {
+  const QuadraticRoots roots = solve_quadratic(1.0, -5.0, 6.0);
+  ASSERT_EQ(roots.count, 2);
+  EXPECT_NEAR(roots.lower, 2.0, 1e-12);
+  EXPECT_NEAR(roots.upper, 3.0, 1e-12);
+}
+
+TEST(SolveQuadratic, DoubleRoot) {
+  const QuadraticRoots roots = solve_quadratic(1.0, -4.0, 4.0);
+  ASSERT_EQ(roots.count, 1);
+  EXPECT_NEAR(roots.lower, 2.0, 1e-12);
+}
+
+TEST(SolveQuadratic, NoRealRoots) {
+  EXPECT_EQ(solve_quadratic(1.0, 0.0, 1.0).count, 0);
+}
+
+TEST(SolveQuadratic, LinearFallback) {
+  const QuadraticRoots roots = solve_quadratic(0.0, 2.0, -8.0);
+  ASSERT_EQ(roots.count, 1);
+  EXPECT_NEAR(roots.lower, 4.0, 1e-12);
+  EXPECT_EQ(solve_quadratic(0.0, 0.0, 1.0).count, 0);
+}
+
+TEST(SolveQuadratic, StableForTinyRoot) {
+  // x² − 1e8·x + 1 = 0: roots ≈ 1e8 and 1e-8. The naive formula loses the
+  // small root to cancellation; the q-formula keeps full precision.
+  const QuadraticRoots roots = solve_quadratic(1.0, -1e8, 1.0);
+  ASSERT_EQ(roots.count, 2);
+  EXPECT_NEAR(roots.lower, 1e-8, 1e-16);
+  EXPECT_NEAR(roots.upper, 1e8, 1.0);
+}
+
+TEST(SolveQuadratic, NegativeLeadingCoefficient) {
+  // −x² + x + 6 = 0 ⇒ roots −2 and 3.
+  const QuadraticRoots roots = solve_quadratic(-1.0, 1.0, 6.0);
+  ASSERT_EQ(roots.count, 2);
+  EXPECT_NEAR(roots.lower, -2.0, 1e-12);
+  EXPECT_NEAR(roots.upper, 3.0, 1e-12);
+}
+
+TEST(FeasibleInterval, StandardTwoRootCase) {
+  // overhead(W) = 1 + 0.01 W + 100/W ≤ 4 ⇔ 0.01W² − 3W + 100 ≤ 0.
+  const OverheadExpansion exp{.x = 1.0, .y = 0.01, .z = 100.0};
+  const FeasibleInterval interval = feasible_interval(exp, 4.0);
+  ASSERT_EQ(interval.status, FeasibleInterval::Status::kFeasible);
+  EXPECT_NEAR(exp.evaluate(interval.w_min), 4.0, 1e-9);
+  EXPECT_NEAR(exp.evaluate(interval.w_max), 4.0, 1e-9);
+  EXPECT_LT(interval.w_min, interval.w_max);
+}
+
+TEST(FeasibleInterval, InfeasibleBelowRhoMin) {
+  const OverheadExpansion exp{.x = 1.0, .y = 0.01, .z = 100.0};
+  const double bound = rho_min(exp);  // 1 + 2·√1 = 3
+  EXPECT_NEAR(bound, 3.0, 1e-12);
+  EXPECT_EQ(feasible_interval(exp, bound - 1e-6).status,
+            FeasibleInterval::Status::kInfeasible);
+  EXPECT_EQ(feasible_interval(exp, bound + 1e-6).status,
+            FeasibleInterval::Status::kFeasible);
+}
+
+TEST(FeasibleInterval, TightAtRhoMinTheIntervalCollapses) {
+  const OverheadExpansion exp{.x = 1.0, .y = 0.01, .z = 100.0};
+  const FeasibleInterval interval = feasible_interval(exp, 3.0 + 1e-9);
+  ASSERT_EQ(interval.status, FeasibleInterval::Status::kFeasible);
+  // Both endpoints collapse onto argmin = √(z/y) = 100.
+  EXPECT_NEAR(interval.w_min, 100.0, 0.5);
+  EXPECT_NEAR(interval.w_max, 100.0, 0.5);
+}
+
+TEST(FeasibleInterval, ErrorFreeCaseIsHalfLine) {
+  const OverheadExpansion exp{.x = 1.0, .y = 0.0, .z = 100.0};
+  const FeasibleInterval interval = feasible_interval(exp, 2.0);
+  ASSERT_EQ(interval.status, FeasibleInterval::Status::kUnbounded);
+  EXPECT_NEAR(interval.w_min, 100.0, 1e-9);  // 100/W ≤ 1 ⇒ W ≥ 100
+  EXPECT_TRUE(std::isinf(interval.w_max));
+}
+
+TEST(FeasibleInterval, ErrorFreeInfeasibleWhenAsymptoteTooSlow) {
+  const OverheadExpansion exp{.x = 3.0, .y = 0.0, .z = 100.0};
+  EXPECT_EQ(feasible_interval(exp, 2.0).status,
+            FeasibleInterval::Status::kInfeasible);
+}
+
+TEST(FeasibleInterval, NegativeYIsUnboundedBeyondCrossing) {
+  // Invalid first-order regime: overhead eventually sinks below any bound.
+  const OverheadExpansion exp{.x = 2.0, .y = -0.001, .z = 100.0};
+  const FeasibleInterval interval = feasible_interval(exp, 2.5);
+  ASSERT_EQ(interval.status, FeasibleInterval::Status::kUnbounded);
+  EXPECT_GT(interval.w_min, 0.0);
+  EXPECT_NEAR(exp.evaluate(interval.w_min), 2.5, 1e-9);
+  EXPECT_TRUE(std::isinf(interval.w_max));
+}
+
+TEST(FeasibleInterval, RejectsNonPositiveRho) {
+  const OverheadExpansion exp{.x = 1.0, .y = 0.01, .z = 100.0};
+  EXPECT_THROW(feasible_interval(exp, 0.0), std::invalid_argument);
+}
+
+TEST(RhoMin, MatchesLiteralEq6OnPaperConfigs) {
+  for (const char* name : {"Hera/XScale", "Atlas/Crusoe", "Coastal/XScale"}) {
+    const ModelParams p = test::params_for(name);
+    for (const double si : p.speeds) {
+      for (const double sj : p.speeds) {
+        const double via_expansion = rho_min(time_expansion(p, si, sj));
+        const double via_eq6 = rho_min_eq6(p, si, sj);
+        EXPECT_NEAR(via_expansion, via_eq6, 1e-9 * via_eq6)
+            << name << " (" << si << "," << sj << ")";
+      }
+    }
+  }
+}
+
+TEST(RhoMin, MinusInfinityWhenExpansionInvalid) {
+  const OverheadExpansion exp{.x = 1.0, .y = -0.1, .z = 10.0};
+  EXPECT_TRUE(std::isinf(rho_min(exp)));
+  EXPECT_LT(rho_min(exp), 0.0);
+}
+
+TEST(RhoMinEq6, HeraXScaleLowestSpeedNeedsLargeBound) {
+  // §4.2: σ1 = 0.15 is infeasible at ρ = 3 but feasible at ρ = 8 —
+  // so ρ_min(0.15, ·) must lie between.
+  const ModelParams p = test::params_for("Hera/XScale");
+  double best = std::numeric_limits<double>::infinity();
+  for (const double sj : p.speeds) {
+    best = std::min(best, rho_min_eq6(p, 0.15, sj));
+  }
+  EXPECT_GT(best, 3.0);
+  EXPECT_LT(best, 8.0);
+}
+
+}  // namespace
+}  // namespace rexspeed::core

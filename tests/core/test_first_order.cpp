@@ -1,0 +1,160 @@
+#include "rexspeed/core/first_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rexspeed/core/exact_expectations.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::core {
+namespace {
+
+using test::params_for;
+using test::toy_params;
+
+TEST(OverheadExpansion, EvaluateAndMinimum) {
+  const OverheadExpansion exp{.x = 2.0, .y = 0.5, .z = 8.0};
+  EXPECT_DOUBLE_EQ(exp.evaluate(4.0), 2.0 + 2.0 + 2.0);
+  EXPECT_TRUE(exp.has_interior_minimum());
+  EXPECT_DOUBLE_EQ(exp.argmin(), 4.0);
+  EXPECT_DOUBLE_EQ(exp.min_value(), 6.0);
+}
+
+TEST(OverheadExpansion, NoInteriorMinimumWithoutPositiveY) {
+  const OverheadExpansion flat{.x = 1.0, .y = 0.0, .z = 5.0};
+  EXPECT_FALSE(flat.has_interior_minimum());
+  EXPECT_THROW(flat.argmin(), std::logic_error);
+  EXPECT_THROW(flat.min_value(), std::logic_error);
+}
+
+TEST(TimeExpansion, SilentCoefficientsMatchEq2) {
+  const ModelParams p = params_for("Hera/XScale");
+  const double s1 = 0.4;
+  const double s2 = 0.8;
+  const double lam = p.lambda_silent;
+  const OverheadExpansion exp = time_expansion(p, s1, s2);
+  EXPECT_NEAR(exp.x,
+              1.0 / s1 + lam * p.recovery_s / s1 +
+                  lam * p.verification_s / (s1 * s2),
+              1e-15);
+  EXPECT_NEAR(exp.y, lam / (s1 * s2), 1e-20);
+  EXPECT_NEAR(exp.z, p.checkpoint_s + p.verification_s / s1, 1e-12);
+}
+
+TEST(EnergyExpansion, SilentCoefficientsMatchCorrectedEq3) {
+  const ModelParams p = params_for("Hera/XScale");
+  const double s1 = 0.4;
+  const double s2 = 0.8;
+  const double lam = p.lambda_silent;
+  const double pc1 = p.compute_power(s1);
+  const double pc2 = p.compute_power(s2);
+  const double pio = p.io_total_power();
+  const OverheadExpansion exp = energy_expansion(p, s1, s2);
+  // The λV term carries Pc(σ2): re-executed verifications run at σ2 (the
+  // paper's Eq. (3) prints κσ1³ there; see the header's erratum note).
+  EXPECT_NEAR(exp.x,
+              pc1 / s1 + lam * p.recovery_s * pio / s1 +
+                  lam * p.verification_s * pc2 / (s1 * s2),
+              1e-10);
+  EXPECT_NEAR(exp.y, lam * pc2 / (s1 * s2), 1e-15);
+  EXPECT_NEAR(exp.z, p.checkpoint_s * pio + p.verification_s * pc1 / s1,
+              1e-9);
+}
+
+TEST(TimeExpansion, HeraXScaleWeMatchesPaperWopt) {
+  // Eq. (5) at (σ1, σ2) = (0.4, 0.4) on Hera/XScale gives the paper's
+  // Wopt = 2764 for ρ = 3 (the bound is inactive there).
+  const ModelParams p = params_for("Hera/XScale");
+  const OverheadExpansion exp = energy_expansion(p, 0.4, 0.4);
+  EXPECT_NEAR(exp.argmin(), 2764.0, 1.0);
+}
+
+TEST(FirstOrder, ConvergesToExactAtSecondOrderRate) {
+  // |exact − expansion| at fixed W should scale like λ² as λ shrinks.
+  ModelParams p = params_for("Atlas/Crusoe");
+  const double w = 4000.0;
+  const double s1 = 0.6;
+  const double s2 = 0.8;
+  double prev_err = 0.0;
+  double prev_lambda = 0.0;
+  for (const double lam : {4e-6, 2e-6, 1e-6}) {
+    p.lambda_silent = lam;
+    const double exact = time_overhead(p, w, s1, s2);
+    const double approx = time_expansion(p, s1, s2).evaluate(w);
+    const double err = std::abs(exact - approx);
+    if (prev_lambda > 0.0) {
+      const double expected_ratio =
+          (lam * lam) / (prev_lambda * prev_lambda);
+      EXPECT_NEAR(err / prev_err, expected_ratio, 0.1 * expected_ratio);
+    }
+    prev_err = err;
+    prev_lambda = lam;
+  }
+}
+
+TEST(FirstOrder, EnergyExpansionConvergesToExact) {
+  ModelParams p = params_for("Hera/XScale");
+  const double w = 2764.0;
+  p.lambda_silent = 3.38e-6;
+  const double exact = energy_overhead(p, w, 0.4, 0.4);
+  const double approx = energy_expansion(p, 0.4, 0.4).evaluate(w);
+  // Truncation error is O(λ²W) ≈ 3e-4 relative at Hera's rate.
+  EXPECT_NEAR(approx, exact, 5e-4 * exact);
+}
+
+TEST(Validity, AlwaysValidWithSilentErrorsOnly) {
+  const ModelParams p = params_for("CoastalSSD/Crusoe");
+  for (const double s1 : p.speeds) {
+    for (const double s2 : p.speeds) {
+      EXPECT_TRUE(first_order_valid(p, s1, s2));
+    }
+  }
+  EXPECT_EQ(max_valid_speed_ratio(p),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(Validity, TimeCoefficientFlipsSignAtPaperBoundary) {
+  // §5.2: y_time > 0 ⟺ σ2/σ1 < 2(1 + s/f). With f = s (half fail-stop),
+  // the boundary ratio is 4.
+  ModelParams p = toy_params();
+  p.lambda_silent = 5e-5;
+  p.lambda_failstop = 5e-5;
+  p.speeds = {0.1, 0.2, 0.39, 0.41, 0.8, 1.0};
+  EXPECT_DOUBLE_EQ(max_valid_speed_ratio(p), 4.0);
+  EXPECT_GT(time_expansion(p, 0.1, 0.39).y, 0.0);  // ratio 3.9 < 4
+  EXPECT_LT(time_expansion(p, 0.1, 0.41).y, 0.0);  // ratio 4.1 > 4
+}
+
+TEST(Validity, FailstopOnlyBoundaryIsTwo) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 0.0;
+  p.lambda_failstop = 1e-4;
+  EXPECT_DOUBLE_EQ(max_valid_speed_ratio(p), 2.0);
+  EXPECT_GT(time_expansion(p, 0.5, 0.99).y, 0.0);
+  EXPECT_DOUBLE_EQ(time_expansion(p, 0.5, 1.0).y, 0.0);  // exactly σ2 = 2σ1
+}
+
+TEST(Validity, EnergyLowerBoundWithZeroIdlePower) {
+  // §5.2 with Pidle = 0: y_energy > 0 ⟺ σ2/σ1 > (2(1+s/f))^{-1/2}.
+  ModelParams p = toy_params();
+  p.idle_power_mw = 0.0;
+  p.lambda_silent = 0.0;
+  p.lambda_failstop = 1e-4;  // boundary ratio: 2^{-1/2} ≈ 0.7071
+  p.speeds = {0.1, 0.7, 0.72, 1.0};
+  EXPECT_LT(energy_expansion(p, 1.0, 0.70).y, 0.0);  // below 0.7071
+  EXPECT_GT(energy_expansion(p, 1.0, 0.72).y, 0.0);  // above 0.7071
+  EXPECT_FALSE(first_order_valid(p, 1.0, 0.70));
+  EXPECT_TRUE(first_order_valid(p, 1.0, 0.72));
+}
+
+TEST(Expansion, RejectsNonPositiveSpeeds) {
+  const ModelParams p = toy_params();
+  EXPECT_THROW(time_expansion(p, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(energy_expansion(p, 0.5, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::core

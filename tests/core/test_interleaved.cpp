@@ -1,0 +1,146 @@
+#include "rexspeed/core/interleaved.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rexspeed/core/exact_expectations.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::core {
+namespace {
+
+using test::params_for;
+using test::toy_params;
+
+TEST(Interleaved, OneSegmentReducesToPaperModel) {
+  const ModelParams p = params_for("Hera/XScale");
+  for (const double s1 : {0.4, 0.8}) {
+    for (const double s2 : {0.4, 1.0}) {
+      for (const double w : {500.0, 2764.0, 20000.0}) {
+        EXPECT_NEAR(expected_time_interleaved(p, w, 1, s1, s2),
+                    expected_time(p, w, s1, s2),
+                    1e-9 * expected_time(p, w, s1, s2));
+        EXPECT_NEAR(expected_energy_interleaved(p, w, 1, s1, s2),
+                    expected_energy(p, w, s1, s2),
+                    1e-9 * expected_energy(p, w, s1, s2));
+      }
+    }
+  }
+}
+
+TEST(Interleaved, ErrorFreeCostGrowsLinearlyWithSegments) {
+  // Without errors each extra segment just adds one verification.
+  ModelParams p = toy_params();
+  p.lambda_silent = 0.0;
+  const double w = 1000.0;
+  const double sigma = 0.5;
+  const double base = expected_time_interleaved(p, w, 1, sigma, sigma);
+  for (unsigned m : {2u, 4u, 8u}) {
+    EXPECT_NEAR(expected_time_interleaved(p, w, m, sigma, sigma),
+                base + (m - 1) * p.verification_s / sigma, 1e-9);
+  }
+}
+
+TEST(Interleaved, MoreSegmentsReduceLostWorkAtHighErrorRates) {
+  // With frequent errors and cheap verifications, detecting early beats
+  // re-executing the whole pattern: expected time decreases from m = 1 to
+  // m = 4.
+  ModelParams p = toy_params();
+  p.lambda_silent = 2e-3;
+  p.verification_s = 0.5;  // cheap checks
+  const double w = 2000.0;
+  const double t1 = expected_time_interleaved(p, w, 1, 0.5, 0.5);
+  const double t4 = expected_time_interleaved(p, w, 4, 0.5, 0.5);
+  EXPECT_LT(t4, t1);
+}
+
+TEST(Interleaved, ExpensiveVerificationsFavorFewSegments) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 1e-5;   // rare errors
+  p.verification_s = 50.0;  // expensive checks
+  const double w = 2000.0;
+  const double t1 = expected_time_interleaved(p, w, 1, 0.5, 0.5);
+  const double t8 = expected_time_interleaved(p, w, 8, 0.5, 0.5);
+  EXPECT_LT(t1, t8);
+}
+
+TEST(Interleaved, SegmentProbabilitiesSumCorrectly) {
+  // Failure probability is independent of m (errors strike the same total
+  // exposure); only the detection latency changes. Verify via the time
+  // expectation at V = 0, where the attempt cost differences vanish and
+  // all m must agree.
+  ModelParams p = toy_params();
+  p.lambda_silent = 1e-3;
+  p.verification_s = 0.0;
+  const double w = 1500.0;
+  const double t1 = expected_time_interleaved(p, w, 1, 0.5, 1.0);
+  const double t5 = expected_time_interleaved(p, w, 5, 0.5, 1.0);
+  // V = 0: detection still happens only at segment ends, so m > 1 detects
+  // *earlier* and must be cheaper or equal.
+  EXPECT_LE(t5, t1 + 1e-9);
+}
+
+TEST(OptimizeInterleaved, SegmentationGainIsModestAtPaperScales) {
+  // At the paper's error rates a second verification per pattern already
+  // pays for itself (the Benoit–Robert–Raina effect), but the gain over
+  // the paper's m = 1 pattern stays in the low percent range — so the
+  // paper's simpler pattern loses very little.
+  const ModelParams p = params_for("Hera/XScale");
+  const InterleavedSolution best = optimize_interleaved(p, 3.0, 0.4, 0.4, 8);
+  const InterleavedSolution single =
+      optimize_interleaved(p, 3.0, 0.4, 0.4, 1);
+  ASSERT_TRUE(best.feasible);
+  ASSERT_TRUE(single.feasible);
+  EXPECT_EQ(single.segments, 1u);
+  EXPECT_NEAR(single.energy_overhead, 416.9, 1.0);  // §4.2 anchor
+  EXPECT_LE(best.energy_overhead, single.energy_overhead * (1.0 + 1e-12));
+  EXPECT_GE(best.energy_overhead, single.energy_overhead * 0.95);
+}
+
+TEST(OptimizeInterleaved, PicksManySegmentsAtHighRateCheapChecks) {
+  ModelParams p = params_for("Hera/XScale");
+  p.lambda_silent *= 300.0;
+  p.verification_s = 1.0;
+  const InterleavedSolution sol = optimize_interleaved(p, 5.0, 0.6, 0.6, 16);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_GT(sol.segments, 1u);
+  // And segmentation beats the single-verification pattern outright.
+  const InterleavedSolution single =
+      optimize_interleaved(p, 5.0, 0.6, 0.6, 1);
+  ASSERT_TRUE(single.feasible);
+  EXPECT_LT(sol.energy_overhead, single.energy_overhead);
+}
+
+TEST(OptimizeInterleaved, RespectsTheBound) {
+  const ModelParams p = params_for("Atlas/Crusoe");
+  const InterleavedSolution sol =
+      optimize_interleaved(p, 2.0, 0.6, 0.45, 8);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_LE(sol.time_overhead, 2.0 * (1.0 + 1e-9));
+}
+
+TEST(OptimizeInterleaved, InfeasibleBound) {
+  const ModelParams p = params_for("Hera/XScale");
+  const InterleavedSolution sol = optimize_interleaved(p, 0.9, 1.0, 1.0, 4);
+  EXPECT_FALSE(sol.feasible);
+}
+
+TEST(Interleaved, RejectsBadArguments) {
+  ModelParams p = toy_params();
+  EXPECT_THROW(expected_time_interleaved(p, 100.0, 0, 0.5, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(expected_time_interleaved(p, 0.0, 1, 0.5, 0.5),
+               std::invalid_argument);
+  p.lambda_failstop = 1e-5;
+  EXPECT_THROW(expected_time_interleaved(p, 100.0, 1, 0.5, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(optimize_interleaved(toy_params(), 0.0, 0.5, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(optimize_interleaved(toy_params(), 3.0, 0.5, 0.5, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::core

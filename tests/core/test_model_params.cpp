@@ -1,0 +1,97 @@
+#include "rexspeed/core/model_params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_util.hpp"
+
+namespace rexspeed::core {
+namespace {
+
+TEST(ModelParams, FromConfigurationMapsAllFields) {
+  const ModelParams p = test::params_for("Hera/XScale");
+  EXPECT_DOUBLE_EQ(p.lambda_silent, 3.38e-6);
+  EXPECT_DOUBLE_EQ(p.lambda_failstop, 0.0);
+  EXPECT_DOUBLE_EQ(p.checkpoint_s, 300.0);
+  EXPECT_DOUBLE_EQ(p.recovery_s, 300.0);  // R = C
+  EXPECT_DOUBLE_EQ(p.verification_s, 15.4);
+  EXPECT_DOUBLE_EQ(p.kappa_mw, 1550.0);
+  EXPECT_DOUBLE_EQ(p.idle_power_mw, 60.0);
+  EXPECT_NEAR(p.io_power_mw, 1550.0 * 0.15 * 0.15 * 0.15, 1e-12);
+  ASSERT_EQ(p.speeds.size(), 5u);
+}
+
+TEST(ModelParams, PowerHelpers) {
+  const ModelParams p = test::toy_params();
+  EXPECT_DOUBLE_EQ(p.compute_power(1.0), 1100.0);
+  EXPECT_DOUBLE_EQ(p.compute_power(0.5), 1000.0 / 8.0 + 100.0);
+  EXPECT_DOUBLE_EQ(p.io_total_power(), 150.0);
+}
+
+TEST(ModelParams, ErrorRateHelpers) {
+  ModelParams p = test::toy_params();
+  p.lambda_silent = 3e-5;
+  p.lambda_failstop = 1e-5;
+  EXPECT_DOUBLE_EQ(p.total_error_rate(), 4e-5);
+  EXPECT_DOUBLE_EQ(p.failstop_fraction(), 0.25);
+
+  p.lambda_silent = 0.0;
+  p.lambda_failstop = 0.0;
+  EXPECT_DOUBLE_EQ(p.failstop_fraction(), 0.0);
+}
+
+TEST(ModelParams, ValidateAcceptsErrorFreeModel) {
+  ModelParams p = test::toy_params();
+  p.lambda_silent = 0.0;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ModelParams, ValidateRejectsNegativeRates) {
+  ModelParams p = test::toy_params();
+  p.lambda_silent = -1e-6;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = test::toy_params();
+  p.lambda_failstop = -1e-6;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ModelParams, ValidateRejectsNegativeCosts) {
+  for (auto field : {&ModelParams::checkpoint_s, &ModelParams::recovery_s,
+                     &ModelParams::verification_s}) {
+    ModelParams p = test::toy_params();
+    p.*field = -1.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+}
+
+TEST(ModelParams, ValidateRejectsNegativePowers) {
+  for (auto field : {&ModelParams::kappa_mw, &ModelParams::idle_power_mw,
+                     &ModelParams::io_power_mw}) {
+    ModelParams p = test::toy_params();
+    p.*field = -1.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+}
+
+TEST(ModelParams, ValidateRejectsBadSpeedSets) {
+  ModelParams p = test::toy_params();
+  p.speeds = {};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.speeds = {0.5, 0.25};  // decreasing
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.speeds = {0.5, 1.25};  // above 1
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.speeds = {0.0, 0.5};  // zero
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ModelParams, AllPaperConfigurationsValidate) {
+  for (const auto& config : platform::all_configurations()) {
+    EXPECT_NO_THROW(ModelParams::from_configuration(config).validate())
+        << config.name();
+  }
+}
+
+}  // namespace
+}  // namespace rexspeed::core

@@ -1,0 +1,128 @@
+#include "rexspeed/core/numeric_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rexspeed/core/exact_expectations.hpp"
+#include "rexspeed/core/first_order.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::core {
+namespace {
+
+using test::params_for;
+using test::toy_params;
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const auto f = [](double x) { return (x - 3.0) * (x - 3.0) + 1.0; };
+  EXPECT_NEAR(golden_section_minimize(f, 0.0, 10.0), 3.0, 1e-7);
+}
+
+TEST(GoldenSection, FindsAsymmetricMinimum) {
+  const auto f = [](double x) { return x + 100.0 / x; };  // min at 10
+  EXPECT_NEAR(golden_section_minimize(f, 0.1, 1000.0), 10.0, 1e-5);
+}
+
+TEST(GoldenSection, HandlesBoundaryMinimum) {
+  const auto f = [](double x) { return x; };
+  EXPECT_NEAR(golden_section_minimize(f, 2.0, 5.0), 2.0, 1e-6);
+}
+
+TEST(GoldenSection, RejectsEmptyInterval) {
+  const auto f = [](double x) { return x; };
+  EXPECT_THROW(golden_section_minimize(f, 5.0, 5.0), std::invalid_argument);
+}
+
+TEST(ExactPair, AgreesWithFirstOrderAtSmallRates) {
+  // With λW ≪ 1 the first-order Wopt and the exact optimum coincide.
+  const ModelParams p = params_for("Hera/XScale");
+  const ExactPairResult exact = optimize_exact_pair(p, 3.0, 0.4, 0.4);
+  ASSERT_TRUE(exact.feasible);
+  // The exact optimum sits ~1.2% below the first-order Wopt = 2764.
+  EXPECT_NEAR(exact.w_opt, 2764.0, 45.0);
+  EXPECT_NEAR(exact.energy_overhead, 416.8, 1.0);
+  EXPECT_LE(exact.time_overhead, 3.0 + 1e-9);
+}
+
+TEST(ExactPair, OptimumBeatsGridSearch) {
+  ModelParams p = toy_params();
+  p.lambda_silent = 1e-3;  // strong curvature so the exact optimum matters
+  const double rho = 5.0;
+  const ExactPairResult result = optimize_exact_pair(p, rho, 0.5, 1.0);
+  ASSERT_TRUE(result.feasible);
+  for (double w = result.w_min * 1.001; w < result.w_max;
+       w *= 1.05) {
+    EXPECT_GE(energy_overhead(p, w, 0.5, 1.0),
+              result.energy_overhead - 1e-9 * result.energy_overhead)
+        << "w=" << w;
+  }
+}
+
+TEST(ExactPair, RespectsTheBoundWhenActive) {
+  // Tight ρ forces Wopt onto the feasibility boundary (ρ_min(0.8, 0.4)
+  // ≈ 1.368 on Hera/XScale, so ρ = 1.4 leaves a sliver of feasibility).
+  const ModelParams p = params_for("Hera/XScale");
+  const double rho = 1.4;
+  const ExactPairResult result = optimize_exact_pair(p, rho, 0.8, 0.4);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.time_overhead, rho + 1e-9);
+}
+
+TEST(ExactPair, InfeasibleWhenBoundBelowBestTime) {
+  const ModelParams p = params_for("Hera/XScale");
+  // 1/σ1 = 2.5 already exceeds ρ = 2 before any resilience overhead.
+  const ExactPairResult result = optimize_exact_pair(p, 2.0, 0.4, 0.4);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(ExactPair, FeasibleIntervalBracketsOptimum) {
+  const ModelParams p = params_for("Atlas/Crusoe");
+  const ExactPairResult result = optimize_exact_pair(p, 3.0, 0.45, 0.6);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.w_min, result.w_opt);
+  EXPECT_GE(result.w_max, result.w_opt);
+  // Boundaries are on the constraint (or at the probe limits).
+  EXPECT_NEAR(time_overhead(p, result.w_min, 0.45, 0.6), 3.0, 1e-3);
+  EXPECT_NEAR(time_overhead(p, result.w_max, 0.45, 0.6), 3.0, 1e-3);
+}
+
+TEST(ExactPair, RejectsNonPositiveRho) {
+  const ModelParams p = toy_params();
+  EXPECT_THROW(optimize_exact_pair(p, 0.0, 0.5, 0.5), std::invalid_argument);
+}
+
+TEST(ExactMinimizers, TimeMinimizerMatchesFirstOrderForSmallLambda) {
+  const ModelParams p = params_for("Coastal/XScale");  // λ = 2.01e-6
+  const double numeric = minimize_exact_time_overhead(p, 0.6, 0.6);
+  const double first_order = time_expansion(p, 0.6, 0.6).argmin();
+  // Second-order effects pull the exact optimum ~2.3% below √(z/y) here.
+  EXPECT_NEAR(numeric, first_order, 0.03 * first_order);
+  EXPECT_LT(numeric, first_order);  // the shift is always downward
+}
+
+TEST(ExactMinimizers, EnergyMinimizerMatchesEq5ForSmallLambda) {
+  const ModelParams p = params_for("Hera/XScale");
+  const double numeric = minimize_exact_energy_overhead(p, 0.4, 0.4);
+  EXPECT_NEAR(numeric, 2764.0, 45.0);
+}
+
+TEST(ExactMinimizers, WorkOutsideFirstOrderWindow) {
+  // Fail-stop only with σ2 = 4σ1 > 2σ1: the first-order expansion is
+  // invalid (§5.2) but the exact model still has a finite optimum.
+  ModelParams p = toy_params();
+  p.lambda_silent = 0.0;
+  p.lambda_failstop = 1e-3;
+  p.speeds = {0.25, 1.0};
+  const double w_star = minimize_exact_time_overhead(p, 0.25, 1.0);
+  EXPECT_GT(w_star, 0.0);
+  EXPECT_TRUE(std::isfinite(w_star));
+  const double f_star = time_overhead(p, w_star, 0.25, 1.0);
+  for (const double w : {0.5 * w_star, 2.0 * w_star}) {
+    EXPECT_GE(time_overhead(p, w, 0.25, 1.0), f_star - 1e-9 * f_star);
+  }
+}
+
+}  // namespace
+}  // namespace rexspeed::core

@@ -1,0 +1,159 @@
+#include "rexspeed/core/second_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rexspeed/core/exact_expectations.hpp"
+#include "rexspeed/core/numeric_optimizer.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::core {
+namespace {
+
+ModelParams failstop_params(double lambda) {
+  ModelParams p = test::toy_params();
+  p.lambda_silent = 0.0;
+  p.lambda_failstop = lambda;
+  p.checkpoint_s = 60.0;
+  p.recovery_s = 60.0;
+  p.verification_s = 0.0;
+  return p;
+}
+
+TEST(SecondOrder, LinearCoefficientVanishesAtDoubleSpeed) {
+  const ModelParams p = failstop_params(1e-4);
+  const SecondOrderExpansion exp = time_second_order_failstop(p, 0.5, 1.0);
+  EXPECT_NEAR(exp.y1, 0.0, 1e-18);
+  // y2 = λ²/(24 σ1³) at σ2 = 2σ1 (paper's T/W = 1/σ + C/W + λ²W²/24σ³).
+  EXPECT_NEAR(exp.y2, 1e-8 / (24.0 * 0.125), 1e-15);
+  EXPECT_NEAR(exp.x, 1.0 / 0.5 + 1e-4 * 60.0 / 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(exp.z, 60.0);
+}
+
+TEST(SecondOrder, EvaluateCombinesAllTerms) {
+  const SecondOrderExpansion exp{.x = 1.0, .z = 10.0, .y1 = 0.1, .y2 = 0.01};
+  EXPECT_DOUBLE_EQ(exp.evaluate(10.0), 1.0 + 1.0 + 1.0 + 1.0);
+}
+
+TEST(SecondOrder, Theorem2ClosedForm) {
+  // Wopt = (12C/λ²)^{1/3} σ.
+  EXPECT_NEAR(theorem2_pattern_size(60.0, 1e-4, 0.5),
+              std::cbrt(12.0 * 60.0 / 1e-8) * 0.5, 1e-6);
+}
+
+TEST(SecondOrder, MinimizerMatchesTheorem2AtDoubleSpeed) {
+  for (const double lambda : {1e-5, 1e-4, 1e-3}) {
+    const ModelParams p = failstop_params(lambda);
+    const SecondOrderExpansion exp = time_second_order_failstop(p, 0.5, 1.0);
+    const double numeric = minimize_second_order(exp);
+    const double closed = theorem2_pattern_size(p.checkpoint_s, lambda, 0.5);
+    EXPECT_NEAR(numeric, closed, 1e-6 * closed) << "lambda=" << lambda;
+  }
+}
+
+TEST(SecondOrder, Theorem2ScalesAsLambdaToMinusTwoThirds) {
+  const double w1 = theorem2_pattern_size(60.0, 1e-4, 0.5);
+  const double w2 = theorem2_pattern_size(60.0, 1e-4 / 8.0, 0.5);
+  // λ → λ/8 ⇒ Wopt × 8^{2/3} = 4.
+  EXPECT_NEAR(w2 / w1, 4.0, 1e-9);
+}
+
+TEST(SecondOrder, MinimizerMatchesGridSearchAwayFromDoubleSpeed) {
+  const ModelParams p = failstop_params(1e-4);
+  const SecondOrderExpansion exp = time_second_order_failstop(p, 0.5, 0.8);
+  ASSERT_GT(exp.y1, 0.0);
+  ASSERT_GT(exp.y2, 0.0);
+  const double w_star = minimize_second_order(exp);
+  const double f_star = exp.evaluate(w_star);
+  for (double w = 0.5 * w_star; w <= 2.0 * w_star; w += 0.01 * w_star) {
+    EXPECT_GE(exp.evaluate(w), f_star - 1e-12 * f_star);
+  }
+}
+
+TEST(SecondOrder, DegenerateQuadraticFallsBackToFirstOrder) {
+  const SecondOrderExpansion exp{.x = 1.0, .z = 16.0, .y1 = 4.0, .y2 = 0.0};
+  EXPECT_NEAR(minimize_second_order(exp), 2.0, 1e-12);
+}
+
+TEST(SecondOrderSilent, CoefficientsMatchHandDerivation) {
+  const ModelParams p = test::params_for("Hera/XScale");
+  const double lam = p.lambda_silent;
+  const double s1 = 0.4;
+  const double s2 = 0.8;
+  const SecondOrderExpansion exp = time_second_order_silent(p, s1, s2);
+  const double rv = p.recovery_s + p.verification_s / s2;
+  EXPECT_NEAR(exp.x, 1.0 / s1 + lam * rv / s1, 1e-15);
+  EXPECT_NEAR(exp.z, p.checkpoint_s + p.verification_s / s1, 1e-12);
+  EXPECT_NEAR(exp.y1,
+              lam / (s1 * s2) +
+                  lam * lam * rv * (1.0 / (s1 * s2) - 0.5 / (s1 * s1)),
+              1e-18);
+  EXPECT_NEAR(exp.y2,
+              lam * lam * (1.0 / (s1 * s2 * s2) - 0.5 / (s1 * s1 * s2)),
+              1e-22);
+}
+
+TEST(SecondOrderSilent, TighterThanFirstOrderAgainstExact) {
+  // The second-order expansion must approximate the exact time overhead
+  // better than the first-order one at every probe, and its minimizer
+  // must land closer to the exact minimizer.
+  ModelParams p = test::params_for("Hera/XScale");
+  p.lambda_silent *= 100.0;  // large λW so the orders separate
+  const double s1 = 0.4;
+  const double s2 = 0.4;
+  const SecondOrderExpansion second = time_second_order_silent(p, s1, s2);
+  // First-order = second-order with the quadratic correction dropped.
+  const SecondOrderExpansion first{
+      .x = second.x, .z = second.z,
+      .y1 = p.lambda_silent / (s1 * s2), .y2 = 0.0};
+  for (const double w : {200.0, 400.0, 800.0}) {
+    const double exact =
+        core::expected_time_single_speed_silent(p, w, s1) / w;
+    EXPECT_LT(std::abs(second.evaluate(w) - exact),
+              std::abs(first.evaluate(w) - exact))
+        << "w=" << w;
+  }
+}
+
+TEST(SecondOrderSilent, MinimizerCloserToExactOptimum) {
+  ModelParams p = test::params_for("Hera/XScale");
+  p.lambda_silent *= 100.0;
+  const SecondOrderExpansion second = time_second_order_silent(p, 0.4, 0.4);
+  ASSERT_GT(second.y2, 0.0);  // σ2 < 2σ1 keeps the quadratic positive
+  const double w2 = minimize_second_order(second);
+  const double w1 = std::sqrt(second.z / (p.lambda_silent / 0.16));
+  const double exact = core::minimize_exact_time_overhead(p, 0.4, 0.4);
+  EXPECT_LT(std::abs(w2 - exact), std::abs(w1 - exact));
+}
+
+TEST(SecondOrderSilent, QuadraticSignFlipsAtDoubleSpeed) {
+  // y2 ∝ 1/σ2 − 1/(2σ1): positive below σ2 = 2σ1, negative above — the
+  // same threshold as the fail-stop linear term.
+  ModelParams p = test::toy_params();
+  p.speeds = {0.25, 0.49, 0.51, 1.0};
+  EXPECT_GT(time_second_order_silent(p, 0.25, 0.49).y2, 0.0);
+  EXPECT_LT(time_second_order_silent(p, 0.25, 0.51).y2, 0.0);
+}
+
+TEST(SecondOrderSilent, RejectsErrorFreeModel) {
+  ModelParams p = test::toy_params();
+  p.lambda_silent = 0.0;
+  EXPECT_THROW(time_second_order_silent(p, 0.5, 1.0),
+               std::invalid_argument);
+}
+
+TEST(SecondOrder, RejectsInvalidInputs) {
+  const ModelParams silent = test::toy_params();  // λf = 0
+  EXPECT_THROW(time_second_order_failstop(silent, 0.5, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(theorem2_pattern_size(0.0, 1e-4, 0.5), std::invalid_argument);
+  EXPECT_THROW(theorem2_pattern_size(60.0, 0.0, 0.5), std::invalid_argument);
+  const SecondOrderExpansion unbounded{
+      .x = 1.0, .z = 10.0, .y1 = -1.0, .y2 = 0.0};
+  EXPECT_THROW(minimize_second_order(unbounded), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::core

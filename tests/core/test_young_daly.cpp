@@ -1,0 +1,57 @@
+#include "rexspeed/core/young_daly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rexspeed::core {
+namespace {
+
+TEST(YoungPeriod, Formula) {
+  EXPECT_NEAR(young_period(300.0, 1e-5), std::sqrt(2.0 * 300.0 / 1e-5),
+              1e-9);
+}
+
+TEST(YoungPeriod, ScalesAsInverseSqrtOfRate) {
+  const double t1 = young_period(300.0, 1e-5);
+  const double t2 = young_period(300.0, 4e-5);
+  EXPECT_NEAR(t1 / t2, 2.0, 1e-12);
+}
+
+TEST(DalyPeriod, CloseToYoungForSmallCheckpointCost) {
+  // C ≪ μ: Daly's correction is small.
+  const double young = young_period(10.0, 1e-6);
+  const double daly = daly_period(10.0, 1e-6);
+  EXPECT_NEAR(daly, young, 0.01 * young);
+  EXPECT_LT(daly, young);  // the −C correction dominates the + terms
+}
+
+TEST(DalyPeriod, SaturatesAtMtbfForHugeCheckpointCost) {
+  EXPECT_DOUBLE_EQ(daly_period(2000.0, 1e-3), 1000.0);  // C ≥ 2μ ⇒ μ
+}
+
+TEST(SilentVerifiedPeriod, Formula) {
+  // √((V + C)/λ) — no factor 2 (paper §1 explains the missing factor).
+  EXPECT_NEAR(silent_verified_period(300.0, 15.4, 3.38e-6),
+              std::sqrt(315.4 / 3.38e-6), 1e-6);
+}
+
+TEST(SilentVerifiedPeriod, ShorterThanYoungEquivalent) {
+  // For equal costs, silent-error periods are shorter by the √2 factor:
+  // a full period is always lost, not half on average.
+  const double silent = silent_verified_period(300.0, 0.0, 1e-5);
+  const double failstop = young_period(300.0, 1e-5);
+  EXPECT_NEAR(failstop / silent, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Periods, RejectBadArguments) {
+  EXPECT_THROW(young_period(0.0, 1e-5), std::invalid_argument);
+  EXPECT_THROW(young_period(300.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(daly_period(-1.0, 1e-5), std::invalid_argument);
+  EXPECT_THROW(silent_verified_period(300.0, -1.0, 1e-5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::core

@@ -1,0 +1,87 @@
+// How much does the paper's first-order machinery lose against exact
+// optimization of the non-expanded model? At the paper's error rates the
+// answer must be "essentially nothing" — this is the ablation the solver's
+// kExactOptimize mode exists for.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/core/exact_expectations.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed {
+namespace {
+
+class FirstOrderAccuracy : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FirstOrderAccuracy, ClosedFormLosesUnderHalfPercent) {
+  const core::BiCritSolver solver(test::params_for(GetParam()));
+  const core::BiCritSolution fo =
+      solver.solve(3.0, core::SpeedPolicy::kTwoSpeed,
+                   core::EvalMode::kFirstOrder);
+  const core::BiCritSolution exact =
+      solver.solve(3.0, core::SpeedPolicy::kTwoSpeed,
+                   core::EvalMode::kExactOptimize);
+  ASSERT_TRUE(fo.feasible);
+  ASSERT_TRUE(exact.feasible);
+
+  // Evaluate the first-order policy under the exact model and compare with
+  // the exact optimum: the regret of using Theorem 1.
+  const double fo_exact_energy = core::energy_overhead(
+      solver.params(), fo.best.w_opt, fo.best.sigma1, fo.best.sigma2);
+  EXPECT_LE(fo_exact_energy,
+            exact.best.energy_overhead * 1.005)
+      << GetParam();
+  // And the exact optimum can never beat itself being re-found by the
+  // closed form by more than that same margin.
+  EXPECT_GE(fo_exact_energy, exact.best.energy_overhead * (1.0 - 1e-9));
+}
+
+TEST_P(FirstOrderAccuracy, PatternSizesAgreeWithinTwoPercent) {
+  const core::BiCritSolver solver(test::params_for(GetParam()));
+  const auto fo = solver.solve(3.0, core::SpeedPolicy::kTwoSpeed,
+                               core::EvalMode::kFirstOrder);
+  ASSERT_TRUE(fo.feasible);
+  const auto exact = solver.solve_pair(3.0, fo.best.sigma1, fo.best.sigma2,
+                                       core::EvalMode::kExactOptimize);
+  ASSERT_TRUE(exact.feasible);
+  // The shift grows with λ·W/σ; CoastalSSD/Crusoe (largest C, slowest
+  // speeds) peaks at ~3.7%.
+  EXPECT_NEAR(exact.w_opt, fo.best.w_opt, 0.05 * fo.best.w_opt)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEightConfigs, FirstOrderAccuracy,
+    ::testing::Values("Hera/XScale", "Atlas/XScale", "Coastal/XScale",
+                      "CoastalSSD/XScale", "Hera/Crusoe", "Atlas/Crusoe",
+                      "Coastal/Crusoe", "CoastalSSD/Crusoe"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (auto& ch : name) {
+        if (ch == '/') ch = '_';
+      }
+      return name;
+    });
+
+TEST(FirstOrderAccuracy, DegradesGracefullyAtHighErrorRates) {
+  // At λ = 1e-3 (MTBF ≈ 17 min) λW is no longer small; the closed form may
+  // drift but should still land within a few percent of the exact optimum.
+  core::ModelParams p = test::params_for("Hera/XScale");
+  p.lambda_silent = 1e-3;
+  const core::BiCritSolver solver(p);
+  const auto fo = solver.solve(3.0, core::SpeedPolicy::kTwoSpeed,
+                               core::EvalMode::kFirstOrder);
+  const auto exact = solver.solve(3.0, core::SpeedPolicy::kTwoSpeed,
+                                  core::EvalMode::kExactOptimize);
+  ASSERT_TRUE(fo.feasible);
+  ASSERT_TRUE(exact.feasible);
+  const double fo_exact_energy = core::energy_overhead(
+      p, fo.best.w_opt, fo.best.sigma1, fo.best.sigma2);
+  EXPECT_LE(fo_exact_energy, exact.best.energy_overhead * 1.05);
+}
+
+}  // namespace
+}  // namespace rexspeed

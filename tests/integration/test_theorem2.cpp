@@ -1,0 +1,89 @@
+// Theorem 2 — the paper's "striking" result: with fail-stop errors only
+// and re-execution at twice the first speed, the optimal pattern size
+// scales as Θ(λ^{-2/3}) instead of the Young/Daly Θ(λ^{-1/2}). We verify
+// the exponent on the *exact* model (not just the printed formula) by
+// regressing log Wopt against log λ.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rexspeed/core/numeric_optimizer.hpp"
+#include "rexspeed/core/second_order.hpp"
+#include "rexspeed/stats/regression.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed {
+namespace {
+
+core::ModelParams failstop_only(double lambda) {
+  core::ModelParams p = test::toy_params();
+  p.lambda_silent = 0.0;
+  p.lambda_failstop = lambda;
+  p.checkpoint_s = 600.0;
+  p.recovery_s = 600.0;
+  p.verification_s = 0.0;
+  return p;
+}
+
+std::vector<double> lambda_grid() {
+  return {1e-7, 2e-7, 5e-7, 1e-6, 2e-6, 5e-6, 1e-5};
+}
+
+stats::LinearFit fit_exponent(double sigma1, double sigma2) {
+  std::vector<double> lambdas;
+  std::vector<double> wopts;
+  for (const double lam : lambda_grid()) {
+    lambdas.push_back(lam);
+    wopts.push_back(core::minimize_exact_time_overhead(failstop_only(lam),
+                                                       sigma1, sigma2));
+  }
+  return stats::log_log_fit(lambdas, wopts);
+}
+
+TEST(Theorem2, ExactModelExponentIsMinusTwoThirdsAtDoubleSpeed) {
+  const stats::LinearFit fit = fit_exponent(0.5, 1.0);  // σ2 = 2σ1
+  EXPECT_NEAR(fit.slope, -2.0 / 3.0, 0.02);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(Theorem2, SingleSpeedExponentIsMinusOneHalf) {
+  // Young/Daly regime for comparison.
+  const stats::LinearFit fit = fit_exponent(0.5, 0.5);
+  EXPECT_NEAR(fit.slope, -0.5, 0.02);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(Theorem2, IntermediateRatioStaysNearOneHalf) {
+  // For σ2/σ1 < 2 the first-order term dominates again.
+  const stats::LinearFit fit = fit_exponent(0.5, 0.75);
+  EXPECT_NEAR(fit.slope, -0.5, 0.05);
+}
+
+TEST(Theorem2, ClosedFormTracksExactMinimizer) {
+  for (const double lam : {1e-7, 1e-6, 1e-5}) {
+    const core::ModelParams p = failstop_only(lam);
+    const double exact = core::minimize_exact_time_overhead(p, 0.5, 1.0);
+    const double closed =
+        core::theorem2_pattern_size(p.checkpoint_s, lam, 0.5);
+    // Second-order truncation: agreement tightens as λ → 0.
+    EXPECT_NEAR(exact, closed, 0.08 * closed) << "lambda=" << lam;
+  }
+}
+
+TEST(Theorem2, ClosedFormConvergesToExactAsLambdaShrinks) {
+  double prev_rel = 1.0;
+  for (const double lam : {1e-5, 1e-6, 1e-7}) {
+    const core::ModelParams p = failstop_only(lam);
+    const double exact = core::minimize_exact_time_overhead(p, 0.5, 1.0);
+    const double closed =
+        core::theorem2_pattern_size(p.checkpoint_s, lam, 0.5);
+    const double rel = std::abs(exact - closed) / closed;
+    EXPECT_LT(rel, prev_rel + 1e-12) << "lambda=" << lam;
+    prev_rel = rel;
+  }
+}
+
+}  // namespace
+}  // namespace rexspeed

@@ -1,0 +1,62 @@
+#include "rexspeed/io/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rexspeed::io {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, KeyValuePairs) {
+  const ArgParser args = parse({"--config=Hera/XScale", "--rho=3.0"});
+  EXPECT_EQ(args.get_or("config", "none"), "Hera/XScale");
+  EXPECT_DOUBLE_EQ(args.get_double_or("rho", 1.0), 3.0);
+}
+
+TEST(ArgParser, FlagsWithoutValues) {
+  const ArgParser args = parse({"--verbose"});
+  EXPECT_TRUE(args.has_flag("verbose"));
+  EXPECT_FALSE(args.has_flag("quiet"));
+  EXPECT_EQ(args.get("verbose").value(), "");
+}
+
+TEST(ArgParser, Positionals) {
+  const ArgParser args = parse({"input.csv", "--n=5", "output.csv"});
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[0], "input.csv");
+  EXPECT_EQ(args.positionals()[1], "output.csv");
+}
+
+TEST(ArgParser, DefaultsWhenAbsent) {
+  const ArgParser args = parse({});
+  EXPECT_EQ(args.get_or("name", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(args.get_double_or("x", 2.5), 2.5);
+  EXPECT_EQ(args.get_long_or("n", 7), 7);
+  EXPECT_FALSE(args.get("missing").has_value());
+}
+
+TEST(ArgParser, NumericParsing) {
+  const ArgParser args = parse({"--lambda=3.38e-6", "--reps=1000"});
+  EXPECT_DOUBLE_EQ(args.get_double_or("lambda", 0.0), 3.38e-6);
+  EXPECT_EQ(args.get_long_or("reps", 0), 1000);
+}
+
+TEST(ArgParser, RejectsMalformedNumbers) {
+  const ArgParser args = parse({"--x=abc"});
+  EXPECT_THROW(args.get_double_or("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(args.get_long_or("x", 0), std::invalid_argument);
+}
+
+TEST(ArgParser, EmptyValueFallsBack) {
+  const ArgParser args = parse({"--x="});
+  EXPECT_DOUBLE_EQ(args.get_double_or("x", 9.0), 9.0);
+}
+
+}  // namespace
+}  // namespace rexspeed::io

@@ -1,0 +1,41 @@
+#include "rexspeed/io/csv_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rexspeed::io {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row(std::vector<std::string>{"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, NumericRowUsesCompactFormat) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row(std::vector<double>{1.5, 2764.0, 3.38e-6});
+  EXPECT_EQ(os.str(), "1.5,2764,3.38e-06\n");
+}
+
+TEST(CsvWriter, EscapesCommasAndQuotes) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+}
+
+TEST(CsvWriter, MixedRowsAccumulate) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row(std::vector<std::string>{"x", "value"});
+  csv.write_row(std::vector<double>{1.0, 2.0});
+  csv.write_row(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(os.str(), "x,value\n1,2\n3,4\n");
+}
+
+}  // namespace
+}  // namespace rexspeed::io

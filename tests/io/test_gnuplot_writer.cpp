@@ -1,0 +1,56 @@
+#include "rexspeed/io/gnuplot_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+namespace rexspeed::io {
+namespace {
+
+sweep::Series sample_series() {
+  sweep::Series series("C", {"sigma1", "energy"});
+  series.add_row(100.0, {0.45, 1200.5});
+  series.add_row(200.0, {0.6, 1300.0});
+  return series;
+}
+
+TEST(GnuplotWriter, DatHeaderAndRows) {
+  std::ostringstream os;
+  write_gnuplot_dat(os, sample_series());
+  const std::string text = os.str();
+  EXPECT_EQ(text,
+            "# C sigma1 energy\n"
+            "100 0.45 1200.5\n"
+            "200 0.6 1300\n");
+}
+
+TEST(GnuplotWriter, NanBecomesMissingMarker) {
+  sweep::Series series("x", {"y"});
+  series.add_row(1.0, {std::numeric_limits<double>::quiet_NaN()});
+  series.add_row(2.0, {5.0});
+  std::ostringstream os;
+  write_gnuplot_dat(os, series);
+  EXPECT_EQ(os.str(), "# x y\n1 ?\n2 5\n");
+}
+
+TEST(GnuplotWriter, ScriptReferencesEveryColumn) {
+  std::ostringstream os;
+  write_gnuplot_script(os, sample_series(), "fig.dat");
+  const std::string text = os.str();
+  EXPECT_NE(text.find("set xlabel 'C'"), std::string::npos);
+  EXPECT_NE(text.find("'fig.dat' using 1:2"), std::string::npos);
+  EXPECT_NE(text.find("using 1:3"), std::string::npos);
+  EXPECT_NE(text.find("title 'sigma1'"), std::string::npos);
+  EXPECT_NE(text.find("set datafile missing '?'"), std::string::npos);
+  EXPECT_EQ(text.find("logscale"), std::string::npos);
+}
+
+TEST(GnuplotWriter, ScriptLogscaleOption) {
+  std::ostringstream os;
+  write_gnuplot_script(os, sample_series(), "fig.dat", true);
+  EXPECT_NE(os.str().find("set logscale x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rexspeed::io

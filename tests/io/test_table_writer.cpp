@@ -1,0 +1,62 @@
+#include "rexspeed/io/table_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace rexspeed::io {
+namespace {
+
+TEST(TableWriter, AlignsColumns) {
+  TableWriter table({"sigma1", "E/W"});
+  table.add_row({"0.4", "416"});
+  table.add_row({"0.15", "1625.5"});
+  const std::string text = table.str();
+  std::istringstream lines(text);
+  std::string header;
+  std::string underline;
+  std::string row1;
+  std::string row2;
+  std::getline(lines, header);
+  std::getline(lines, underline);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_NE(header.find("sigma1"), std::string::npos);
+  EXPECT_NE(underline.find("------"), std::string::npos);
+  // Both data rows render, column 2 starts at the same offset.
+  EXPECT_EQ(row1.find("416"), row2.find("1625.5"));
+}
+
+TEST(TableWriter, CellFormatsDoubles) {
+  EXPECT_EQ(TableWriter::cell(2764.0, 0), "2764");
+  EXPECT_EQ(TableWriter::cell(0.4, 2), "0.4");     // trailing zero trimmed
+  EXPECT_EQ(TableWriter::cell(1.775, 3), "1.775");
+  EXPECT_EQ(TableWriter::cell(416.83, 1), "416.8");
+}
+
+TEST(TableWriter, NanRendersAsDash) {
+  EXPECT_EQ(TableWriter::cell(std::numeric_limits<double>::quiet_NaN()), "-");
+}
+
+TEST(TableWriter, RejectsEmptyHeader) {
+  EXPECT_THROW(TableWriter({}), std::invalid_argument);
+}
+
+TEST(TableWriter, RejectsWidthMismatch) {
+  TableWriter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableWriter, WriteToStream) {
+  TableWriter table({"x"});
+  table.add_row({"1"});
+  std::ostringstream os;
+  table.write(os);
+  EXPECT_EQ(os.str(), table.str());
+}
+
+}  // namespace
+}  // namespace rexspeed::io

@@ -1,0 +1,60 @@
+#include "rexspeed/platform/configuration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace rexspeed::platform {
+namespace {
+
+TEST(Configuration, DefaultPioRuleUsesLowestSpeedDynamicPower) {
+  // Paper §4.1: Pio defaults to the CPU power at the lowest speed.
+  const Configuration hx = make_configuration(hera(), intel_xscale());
+  EXPECT_NEAR(hx.io_power_mw, 1550.0 * 0.15 * 0.15 * 0.15, 1e-12);
+
+  const Configuration hc = make_configuration(hera(), transmeta_crusoe());
+  EXPECT_NEAR(hc.io_power_mw, 5756.0 * 0.45 * 0.45 * 0.45, 1e-9);
+}
+
+TEST(Configuration, NameCombinesPlatformAndProcessor) {
+  const Configuration c = make_configuration(atlas(), transmeta_crusoe());
+  EXPECT_EQ(c.name(), "Atlas/Crusoe");
+}
+
+TEST(Configuration, RegistryHasAllEightCombinations) {
+  const auto& all = all_configurations();
+  ASSERT_EQ(all.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& config : all) names.insert(config.name());
+  EXPECT_EQ(names.size(), 8u);
+  EXPECT_TRUE(names.contains("Hera/XScale"));
+  EXPECT_TRUE(names.contains("Atlas/Crusoe"));
+  EXPECT_TRUE(names.contains("CoastalSSD/Crusoe"));
+}
+
+TEST(Configuration, LookupByName) {
+  const Configuration& c = configuration_by_name("Coastal/XScale");
+  EXPECT_EQ(c.platform.name, "Coastal");
+  EXPECT_EQ(c.processor.name, "XScale");
+}
+
+TEST(Configuration, LookupUnknownThrows) {
+  EXPECT_THROW(configuration_by_name("Sierra/XScale"), std::out_of_range);
+  EXPECT_THROW(configuration_by_name(""), std::out_of_range);
+}
+
+TEST(Configuration, ValidateRejectsNegativeIoPower) {
+  Configuration c = make_configuration(hera(), intel_xscale());
+  c.io_power_mw = -1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Configuration, AllRegistryEntriesValidate) {
+  for (const auto& config : all_configurations()) {
+    EXPECT_NO_THROW(config.validate()) << config.name();
+  }
+}
+
+}  // namespace
+}  // namespace rexspeed::platform

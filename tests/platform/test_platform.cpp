@@ -1,0 +1,71 @@
+#include "rexspeed/platform/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rexspeed::platform {
+namespace {
+
+TEST(Platform, Table1Values) {
+  const PlatformSpec h = hera();
+  EXPECT_EQ(h.name, "Hera");
+  EXPECT_DOUBLE_EQ(h.error_rate, 3.38e-6);
+  EXPECT_DOUBLE_EQ(h.checkpoint_s, 300.0);
+  EXPECT_DOUBLE_EQ(h.verification_s, 15.4);
+
+  const PlatformSpec a = atlas();
+  EXPECT_DOUBLE_EQ(a.error_rate, 7.78e-6);
+  EXPECT_DOUBLE_EQ(a.checkpoint_s, 439.0);
+  EXPECT_DOUBLE_EQ(a.verification_s, 9.1);
+
+  const PlatformSpec c = coastal();
+  EXPECT_DOUBLE_EQ(c.error_rate, 2.01e-6);
+  EXPECT_DOUBLE_EQ(c.checkpoint_s, 1051.0);
+  EXPECT_DOUBLE_EQ(c.verification_s, 4.5);
+
+  const PlatformSpec s = coastal_ssd();
+  EXPECT_DOUBLE_EQ(s.error_rate, 2.01e-6);
+  EXPECT_DOUBLE_EQ(s.checkpoint_s, 2500.0);
+  EXPECT_DOUBLE_EQ(s.verification_s, 180.0);
+}
+
+TEST(Platform, RecoveryEqualsCheckpoint) {
+  for (const auto& p : all_platforms()) {
+    EXPECT_DOUBLE_EQ(p.recovery_s(), p.checkpoint_s) << p.name;
+  }
+}
+
+TEST(Platform, MtbfIsInverseRate) {
+  EXPECT_NEAR(hera().mtbf_s(), 1.0 / 3.38e-6, 1e-3);
+}
+
+TEST(Platform, RegistryOrderMatchesTable1) {
+  const auto& all = all_platforms();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "Hera");
+  EXPECT_EQ(all[1].name, "Atlas");
+  EXPECT_EQ(all[2].name, "Coastal");
+  EXPECT_EQ(all[3].name, "CoastalSSD");
+}
+
+TEST(Platform, ValidateRejectsMalformedSpecs) {
+  PlatformSpec p = hera();
+  p.error_rate = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = hera();
+  p.checkpoint_s = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = hera();
+  p.verification_s = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = hera();
+  p.name.clear();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::platform

@@ -1,0 +1,86 @@
+#include "rexspeed/platform/processor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rexspeed::platform {
+namespace {
+
+TEST(Processor, XScaleMatchesPaperTable2) {
+  const ProcessorSpec p = intel_xscale();
+  EXPECT_EQ(p.name, "XScale");
+  ASSERT_EQ(p.speeds.size(), 5u);
+  EXPECT_DOUBLE_EQ(p.speeds[0], 0.15);
+  EXPECT_DOUBLE_EQ(p.speeds[1], 0.4);
+  EXPECT_DOUBLE_EQ(p.speeds[2], 0.6);
+  EXPECT_DOUBLE_EQ(p.speeds[3], 0.8);
+  EXPECT_DOUBLE_EQ(p.speeds[4], 1.0);
+  EXPECT_DOUBLE_EQ(p.kappa_mw, 1550.0);
+  EXPECT_DOUBLE_EQ(p.idle_power_mw, 60.0);
+}
+
+TEST(Processor, CrusoeMatchesPaperTable2) {
+  const ProcessorSpec p = transmeta_crusoe();
+  EXPECT_EQ(p.name, "Crusoe");
+  ASSERT_EQ(p.speeds.size(), 5u);
+  EXPECT_DOUBLE_EQ(p.speeds[0], 0.45);
+  EXPECT_DOUBLE_EQ(p.speeds[4], 1.0);
+  EXPECT_DOUBLE_EQ(p.kappa_mw, 5756.0);
+  EXPECT_DOUBLE_EQ(p.idle_power_mw, 4.4);
+}
+
+TEST(Processor, PowerLawIsCubic) {
+  const ProcessorSpec p = intel_xscale();
+  // P(1) = 1550 + 60; P(0.5) = 1550/8 + 60.
+  EXPECT_DOUBLE_EQ(p.compute_power(1.0), 1610.0);
+  EXPECT_DOUBLE_EQ(p.compute_power(0.5), 1550.0 / 8.0 + 60.0);
+  EXPECT_DOUBLE_EQ(p.dynamic_power(0.5), 1550.0 / 8.0);
+}
+
+TEST(Processor, MinMaxSpeed) {
+  const ProcessorSpec p = transmeta_crusoe();
+  EXPECT_DOUBLE_EQ(p.min_speed(), 0.45);
+  EXPECT_DOUBLE_EQ(p.max_speed(), 1.0);
+}
+
+TEST(Processor, ValidateAcceptsFactorySpecs) {
+  EXPECT_NO_THROW(intel_xscale().validate());
+  EXPECT_NO_THROW(transmeta_crusoe().validate());
+}
+
+TEST(Processor, ValidateRejectsMalformedSpecs) {
+  ProcessorSpec p = intel_xscale();
+  p.name.clear();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = intel_xscale();
+  p.speeds.clear();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = intel_xscale();
+  p.speeds = {0.5, 0.5};  // not strictly increasing
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = intel_xscale();
+  p.speeds = {0.5, 1.5};  // above normalized range
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = intel_xscale();
+  p.speeds = {0.0, 0.5};  // zero speed
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = intel_xscale();
+  p.kappa_mw = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Processor, RegistryHasBothProcessorsInTableOrder) {
+  const auto& all = all_processors();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].name, "XScale");
+  EXPECT_EQ(all[1].name, "Crusoe");
+}
+
+}  // namespace
+}  // namespace rexspeed::platform

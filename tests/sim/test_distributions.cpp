@@ -1,0 +1,124 @@
+#include "rexspeed/sim/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rexspeed/stats/welford.hpp"
+
+namespace rexspeed::sim {
+namespace {
+
+stats::Welford sample_many(const auto& dist, std::uint64_t seed, int n) {
+  Xoshiro256 rng(seed);
+  stats::Welford acc;
+  for (int i = 0; i < n; ++i) acc.add(dist.sample(rng));
+  return acc;
+}
+
+TEST(Exponential, MeanAndVarianceMatchTheory) {
+  const Exponential dist(0.01);  // mean 100, var 100²
+  const stats::Welford acc = sample_many(dist, 1, 200000);
+  EXPECT_NEAR(acc.mean(), 100.0, 1.5);
+  EXPECT_NEAR(acc.variance(), 10000.0, 300.0);
+  EXPECT_GT(acc.min(), 0.0);
+}
+
+TEST(Exponential, ZeroRateNeverFires) {
+  const Exponential dist(0.0);
+  Xoshiro256 rng(2);
+  EXPECT_TRUE(std::isinf(dist.sample(rng)));
+  EXPECT_TRUE(std::isinf(dist.mean()));
+}
+
+TEST(Exponential, RejectsNegativeRate) {
+  EXPECT_THROW(Exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Exponential, SurvivalProbabilityMatchesClosedForm) {
+  const double rate = 0.002;
+  const double horizon = 400.0;
+  const Exponential dist(rate);
+  Xoshiro256 rng(3);
+  int survived = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (dist.sample(rng) > horizon) ++survived;
+  }
+  EXPECT_NEAR(static_cast<double>(survived) / kN, std::exp(-rate * horizon),
+              0.005);
+}
+
+TEST(WeibullMeanToScale, GammaFactorKnownValues) {
+  // k = 1: Γ(2) = 1 ⇒ scale = mean.
+  EXPECT_NEAR(weibull_mean_to_scale(1.0, 50.0), 50.0, 1e-9);
+  // k = 2: Γ(1.5) = √π/2 ≈ 0.8862269.
+  EXPECT_NEAR(weibull_mean_to_scale(2.0, 100.0), 100.0 / 0.88622692545276,
+              1e-6);
+}
+
+TEST(Weibull, MeanMatchesRequestedMean) {
+  for (const double shape : {0.5, 0.7, 1.0, 2.0}) {
+    const Weibull dist(shape, 100.0);
+    const stats::Welford acc = sample_many(dist, 11, 400000);
+    // Heavy-tailed at small shapes; allow a few percent.
+    EXPECT_NEAR(acc.mean(), 100.0, shape < 1.0 ? 4.0 : 1.0)
+        << "shape=" << shape;
+  }
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const Weibull weibull(1.0, 100.0);
+  const Exponential expo(0.01);
+  const stats::Welford w = sample_many(weibull, 17, 200000);
+  const stats::Welford e = sample_many(expo, 17, 200000);
+  EXPECT_NEAR(w.mean(), e.mean(), 2.0);
+  EXPECT_NEAR(w.variance(), e.variance(), 500.0);
+}
+
+TEST(Weibull, RejectsBadParameters) {
+  EXPECT_THROW(Weibull(0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(Weibull(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ArrivalSampler, ExponentialKindMatchesExponential) {
+  const ArrivalSampler sampler = ArrivalSampler::exponential(0.01);
+  EXPECT_EQ(sampler.kind(), ArrivalKind::kExponential);
+  EXPECT_DOUBLE_EQ(sampler.rate(), 0.01);
+  Xoshiro256 a(5);
+  Xoshiro256 b(5);
+  const Exponential reference(0.01);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(sampler.sample(a), reference.sample(b));
+  }
+}
+
+TEST(ArrivalSampler, WeibullKindMatchesWeibull) {
+  const ArrivalSampler sampler = ArrivalSampler::weibull(0.7, 0.01);
+  EXPECT_EQ(sampler.kind(), ArrivalKind::kWeibull);
+  Xoshiro256 a(6);
+  Xoshiro256 b(6);
+  const Weibull reference(0.7, 100.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(sampler.sample(a), reference.sample(b));
+  }
+}
+
+TEST(ArrivalSampler, DisabledSourceNeverFires) {
+  const ArrivalSampler sampler = ArrivalSampler::exponential(0.0);
+  Xoshiro256 rng(7);
+  EXPECT_TRUE(std::isinf(sampler.sample(rng)));
+  const ArrivalSampler weib = ArrivalSampler::weibull(0.7, 0.0);
+  EXPECT_TRUE(std::isinf(weib.sample(rng)));
+}
+
+TEST(ArrivalSampler, RejectsBadParameters) {
+  EXPECT_THROW(ArrivalSampler::exponential(-1.0), std::invalid_argument);
+  EXPECT_THROW(ArrivalSampler::weibull(0.0, 0.01), std::invalid_argument);
+  EXPECT_THROW(ArrivalSampler::weibull(1.0, -0.01), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::sim

@@ -1,0 +1,96 @@
+#include "rexspeed/sim/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "test_util.hpp"
+
+namespace rexspeed::sim {
+namespace {
+
+TEST(FaultInjector, ErrorFreeModelNeverInjects) {
+  core::ModelParams p = test::toy_params();
+  p.lambda_silent = 0.0;
+  const FaultInjector injector(p);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const AttemptFaults faults = injector.sample_attempt(1e6, 1e3, rng);
+    EXPECT_TRUE(std::isinf(faults.failstop_at_s));
+    EXPECT_TRUE(std::isinf(faults.silent_at_s));
+  }
+}
+
+TEST(FaultInjector, SilentArrivalsConfinedToComputeWindow) {
+  core::ModelParams p = test::toy_params();
+  p.lambda_silent = 1e-2;
+  const FaultInjector injector(p);
+  Xoshiro256 rng(2);
+  const double compute = 200.0;
+  for (int i = 0; i < 10000; ++i) {
+    const AttemptFaults faults = injector.sample_attempt(compute, 50.0, rng);
+    if (std::isfinite(faults.silent_at_s)) {
+      EXPECT_LT(faults.silent_at_s, compute);
+      EXPECT_GE(faults.silent_at_s, 0.0);
+    }
+  }
+}
+
+TEST(FaultInjector, FailstopArrivalsConfinedToFullSpan) {
+  core::ModelParams p = test::toy_params();
+  p.lambda_silent = 0.0;
+  p.lambda_failstop = 1e-2;
+  const FaultInjector injector(p);
+  Xoshiro256 rng(3);
+  const double compute = 200.0;
+  const double verify = 50.0;
+  bool saw_verify_phase_failure = false;
+  for (int i = 0; i < 20000; ++i) {
+    const AttemptFaults faults =
+        injector.sample_attempt(compute, verify, rng);
+    if (std::isfinite(faults.failstop_at_s)) {
+      EXPECT_LT(faults.failstop_at_s, compute + verify);
+      if (faults.failstop_at_s > compute) saw_verify_phase_failure = true;
+    }
+  }
+  EXPECT_TRUE(saw_verify_phase_failure);  // fail-stop can hit verification
+}
+
+TEST(FaultInjector, SilentStrikeProbabilityMatchesModel) {
+  core::ModelParams p = test::toy_params();
+  p.lambda_silent = 2e-4;
+  const FaultInjector injector(p);
+  Xoshiro256 rng(4);
+  const double compute = 3000.0;  // p = 1 − e^{−0.6} ≈ 0.451
+  int struck = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (std::isfinite(injector.sample_attempt(compute, 10.0, rng).silent_at_s))
+      ++struck;
+  }
+  EXPECT_NEAR(static_cast<double>(struck) / kN,
+              -std::expm1(-p.lambda_silent * compute), 0.006);
+}
+
+TEST(FaultInjector, CustomSamplersAreUsed) {
+  const FaultInjector injector(ArrivalSampler::weibull(0.7, 1e-3),
+                               ArrivalSampler::exponential(0.0));
+  EXPECT_EQ(injector.silent().kind(), ArrivalKind::kWeibull);
+  EXPECT_DOUBLE_EQ(injector.failstop().rate(), 0.0);
+  Xoshiro256 rng(5);
+  const AttemptFaults faults = injector.sample_attempt(1e5, 0.0, rng);
+  EXPECT_TRUE(std::isinf(faults.failstop_at_s));
+}
+
+TEST(FaultInjector, RejectsNegativeDurations) {
+  const FaultInjector injector(test::toy_params());
+  Xoshiro256 rng(6);
+  EXPECT_THROW(injector.sample_attempt(-1.0, 10.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(injector.sample_attempt(10.0, -1.0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::sim

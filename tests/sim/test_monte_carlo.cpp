@@ -1,0 +1,118 @@
+#include "rexspeed/sim/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rexspeed/core/exact_expectations.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::sim {
+namespace {
+
+core::ModelParams noisy_params() {
+  core::ModelParams p = test::toy_params();
+  p.lambda_silent = 2e-4;
+  return p;
+}
+
+TEST(MonteCarlo, AggregatesRequestedReplications) {
+  const Simulator sim(noisy_params());
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(500.0, 0.5, 1.0);
+  MonteCarloOptions options;
+  options.replications = 50;
+  options.total_work = 10000.0;
+  const MonteCarloResult result = run_monte_carlo(sim, policy, options);
+  EXPECT_EQ(result.replications, 50u);
+  EXPECT_EQ(result.time_overhead.count(), 50u);
+  EXPECT_GT(result.time_overhead.mean(), 0.0);
+  EXPECT_GT(result.energy_overhead.mean(), 0.0);
+  EXPECT_LE(result.time_ci.lower, result.time_ci.upper);
+}
+
+TEST(MonteCarlo, IndependentOfThreadCount) {
+  const Simulator sim(noisy_params());
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(500.0, 0.5, 1.0);
+  MonteCarloOptions serial;
+  serial.replications = 40;
+  serial.total_work = 5000.0;
+  serial.threads = 1;
+  MonteCarloOptions parallel = serial;
+  parallel.threads = 4;
+  const MonteCarloResult a = run_monte_carlo(sim, policy, serial);
+  const MonteCarloResult b = run_monte_carlo(sim, policy, parallel);
+  // Replication i always uses seed(base, i): only the merge order differs,
+  // so the means agree to floating-point reassociation noise.
+  EXPECT_NEAR(a.time_overhead.mean(), b.time_overhead.mean(),
+              1e-12 * a.time_overhead.mean());
+  EXPECT_NEAR(a.energy_overhead.mean(), b.energy_overhead.mean(),
+              1e-12 * a.energy_overhead.mean());
+  EXPECT_EQ(a.silent_errors.mean(), b.silent_errors.mean());
+}
+
+TEST(MonteCarlo, DifferentSeedsGiveDifferentSamples) {
+  const Simulator sim(noisy_params());
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(500.0, 0.5, 1.0);
+  MonteCarloOptions a;
+  a.replications = 20;
+  a.total_work = 5000.0;
+  MonteCarloOptions b = a;
+  b.base_seed = a.base_seed + 1;
+  const MonteCarloResult ra = run_monte_carlo(sim, policy, a);
+  const MonteCarloResult rb = run_monte_carlo(sim, policy, b);
+  EXPECT_NE(ra.time_overhead.mean(), rb.time_overhead.mean());
+}
+
+TEST(MonteCarlo, ConfidenceIntervalShrinksWithMoreReplications) {
+  const Simulator sim(noisy_params());
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(500.0, 0.5, 1.0);
+  MonteCarloOptions small;
+  small.replications = 20;
+  small.total_work = 5000.0;
+  MonteCarloOptions large = small;
+  large.replications = 320;  // 16× ⇒ roughly 4× narrower
+  const MonteCarloResult rs = run_monte_carlo(sim, policy, small);
+  const MonteCarloResult rl = run_monte_carlo(sim, policy, large);
+  EXPECT_LT(rl.time_ci.half_width(), rs.time_ci.half_width());
+}
+
+TEST(MonteCarlo, MeanTimeOverheadMatchesClosedForm) {
+  const core::ModelParams p = noisy_params();
+  const Simulator sim(p);
+  const double w = 500.0;
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(w, 0.5, 1.0);
+  MonteCarloOptions options;
+  options.replications = 400;
+  options.total_work = 100 * w;  // 100 whole patterns per replication
+  const MonteCarloResult mc = run_monte_carlo(sim, policy, options);
+  const double expected = core::time_overhead(p, w, 0.5, 1.0);
+  // 3σ-style check: the CI is a 95% interval, so widen it slightly.
+  const double slack = 2.0 * mc.time_ci.half_width() + 1e-9;
+  EXPECT_NEAR(mc.time_overhead.mean(), expected, slack);
+}
+
+TEST(MonteCarlo, ErrorCountersTrackRates) {
+  core::ModelParams p = test::toy_params();
+  p.lambda_silent = 1e-4;
+  p.lambda_failstop = 1e-4;
+  const Simulator sim(p);
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(500.0, 0.5, 0.5);
+  MonteCarloOptions options;
+  options.replications = 100;
+  options.total_work = 50000.0;
+  const MonteCarloResult mc = run_monte_carlo(sim, policy, options);
+  EXPECT_GT(mc.silent_errors.mean(), 0.0);
+  EXPECT_GT(mc.failstop_errors.mean(), 0.0);
+  EXPECT_GE(mc.attempts_per_pattern.mean(), 1.0);
+}
+
+TEST(MonteCarlo, RejectsZeroReplications) {
+  const Simulator sim(noisy_params());
+  const ExecutionPolicy policy = ExecutionPolicy::single_speed(100.0, 1.0);
+  MonteCarloOptions options;
+  options.replications = 0;
+  EXPECT_THROW(run_monte_carlo(sim, policy, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::sim

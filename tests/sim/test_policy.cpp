@@ -1,0 +1,58 @@
+#include "rexspeed/sim/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rexspeed::sim {
+namespace {
+
+TEST(ExecutionPolicy, TwoSpeedSchedule) {
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(1000.0, 0.4, 0.8);
+  EXPECT_DOUBLE_EQ(policy.pattern_work(), 1000.0);
+  EXPECT_DOUBLE_EQ(policy.speed_for_attempt(0), 0.4);
+  EXPECT_DOUBLE_EQ(policy.speed_for_attempt(1), 0.8);
+  EXPECT_DOUBLE_EQ(policy.speed_for_attempt(2), 0.8);   // repeats last
+  EXPECT_DOUBLE_EQ(policy.speed_for_attempt(99), 0.8);  // forever
+}
+
+TEST(ExecutionPolicy, SingleSpeedSchedule) {
+  const ExecutionPolicy policy = ExecutionPolicy::single_speed(500.0, 0.6);
+  EXPECT_DOUBLE_EQ(policy.speed_for_attempt(0), 0.6);
+  EXPECT_DOUBLE_EQ(policy.speed_for_attempt(5), 0.6);
+}
+
+TEST(ExecutionPolicy, LadderSchedule) {
+  const ExecutionPolicy policy(1000.0, {0.4, 0.6, 0.8, 1.0});
+  EXPECT_DOUBLE_EQ(policy.speed_for_attempt(0), 0.4);
+  EXPECT_DOUBLE_EQ(policy.speed_for_attempt(2), 0.8);
+  EXPECT_DOUBLE_EQ(policy.speed_for_attempt(3), 1.0);
+  EXPECT_DOUBLE_EQ(policy.speed_for_attempt(10), 1.0);
+}
+
+TEST(ExecutionPolicy, FromSolution) {
+  core::PairSolution sol;
+  sol.feasible = true;
+  sol.sigma1 = 0.4;
+  sol.sigma2 = 0.8;
+  sol.w_opt = 2764.0;
+  const ExecutionPolicy policy = ExecutionPolicy::from_solution(sol);
+  EXPECT_DOUBLE_EQ(policy.pattern_work(), 2764.0);
+  EXPECT_DOUBLE_EQ(policy.speed_for_attempt(0), 0.4);
+  EXPECT_DOUBLE_EQ(policy.speed_for_attempt(1), 0.8);
+}
+
+TEST(ExecutionPolicy, FromInfeasibleSolutionThrows) {
+  core::PairSolution sol;  // feasible = false
+  EXPECT_THROW(ExecutionPolicy::from_solution(sol), std::invalid_argument);
+}
+
+TEST(ExecutionPolicy, RejectsBadArguments) {
+  EXPECT_THROW(ExecutionPolicy(0.0, {0.5}), std::invalid_argument);
+  EXPECT_THROW(ExecutionPolicy(100.0, {}), std::invalid_argument);
+  EXPECT_THROW(ExecutionPolicy(100.0, {0.5, 0.0}), std::invalid_argument);
+  EXPECT_THROW(ExecutionPolicy(100.0, {-0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::sim

@@ -1,0 +1,102 @@
+#include "rexspeed/sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rexspeed::sim {
+namespace {
+
+TEST(SplitMix64, KnownAnswerVector) {
+  // Reference values from the SplitMix64 specification (seed 0).
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(splitmix64(state), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(splitmix64(state), 0x06C45D188009454FULL);
+}
+
+TEST(Xoshiro, DeterministicForEqualSeeds) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, ZeroSeedIsWellMixed) {
+  // SplitMix64 seeding guarantees a non-degenerate state even for seed 0.
+  Xoshiro256 rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Xoshiro, ReseedRestartsTheStream) {
+  Xoshiro256 rng(7);
+  const std::uint64_t first = rng();
+  rng();
+  rng.reseed(7);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(Xoshiro, UniformInHalfOpenUnitInterval) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformPositiveNeverZero) {
+  Xoshiro256 rng(456);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_GT(rng.uniform_positive(), 0.0);
+    ASSERT_LE(rng.uniform_positive(), 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformMomentsAreSane) {
+  Xoshiro256 rng(2024);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+  EXPECT_NEAR(sum_sq / kN - 0.25, 1.0 / 12.0, 0.005);
+}
+
+TEST(Xoshiro, JumpDecorrelatesStreams) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  b.jump();
+  EXPECT_NE(a, b);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  EXPECT_EQ(Xoshiro256::min(), 0u);
+  EXPECT_EQ(Xoshiro256::max(), ~std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace rexspeed::sim

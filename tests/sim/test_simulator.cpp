@@ -1,0 +1,192 @@
+#include "rexspeed/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "test_util.hpp"
+
+namespace rexspeed::sim {
+namespace {
+
+core::ModelParams error_free() {
+  core::ModelParams p = test::toy_params();
+  p.lambda_silent = 0.0;
+  return p;
+}
+
+TEST(Simulator, ErrorFreeRunIsDeterministic) {
+  const core::ModelParams p = error_free();
+  const Simulator sim(p);
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(100.0, 0.5, 1.0);
+  Xoshiro256 rng(1);
+  const SimResult result = sim.run(policy, 1000.0, rng);
+  // 10 patterns, each (100+2)/0.5 s compute+verify plus 10 s checkpoint.
+  EXPECT_EQ(result.patterns, 10u);
+  EXPECT_EQ(result.attempts, 10u);
+  EXPECT_EQ(result.checkpoints, 10u);
+  EXPECT_EQ(result.silent_errors, 0u);
+  EXPECT_EQ(result.recoveries, 0u);
+  EXPECT_NEAR(result.makespan_s, 10.0 * (102.0 / 0.5 + 10.0), 1e-9);
+  const double expected_energy =
+      10.0 * (102.0 / 0.5 * p.compute_power(0.5) +
+              10.0 * p.io_total_power());
+  EXPECT_NEAR(result.energy_mws, expected_energy, 1e-6);
+}
+
+TEST(Simulator, PartialFinalPattern) {
+  const Simulator sim(error_free());
+  const ExecutionPolicy policy = ExecutionPolicy::single_speed(300.0, 1.0);
+  Xoshiro256 rng(2);
+  const SimResult result = sim.run(policy, 750.0, rng);
+  // Two full patterns of 300 plus one of 150.
+  EXPECT_EQ(result.patterns, 3u);
+  EXPECT_NEAR(result.makespan_s,
+              (300.0 + 2.0) * 2 + (150.0 + 2.0) + 3 * 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.total_work, 750.0);
+}
+
+TEST(Simulator, SilentErrorsTriggerRecoveryAndReexecutionSpeed) {
+  core::ModelParams p = test::toy_params();
+  // First attempt runs 200 s (50/0.25) ⇒ error probability 1−e⁻⁴ ≈ 0.98;
+  // retries run 50 s at full speed ⇒ they succeed ~37% of the time, so
+  // the pattern terminates quickly but almost always shows a retry.
+  p.lambda_silent = 0.02;
+  const Simulator sim(p);
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(50.0, 0.25, 1.0);
+  Xoshiro256 rng(3);
+  Trace trace;
+  const SimResult result = sim.run(policy, 50.0, rng, &trace);
+  ASSERT_GE(result.silent_errors, 1u);
+  EXPECT_EQ(result.recoveries, result.silent_errors);
+  EXPECT_EQ(result.attempts, result.silent_errors + 1);
+  // First attempt at σ1, every retry at σ2.
+  bool saw_first = false;
+  bool saw_retry = false;
+  for (const auto& event : trace.events()) {
+    if (event.type != EventType::kCompute) continue;
+    if (event.attempt == 0) {
+      EXPECT_DOUBLE_EQ(event.speed, 0.25);
+      saw_first = true;
+    } else {
+      EXPECT_DOUBLE_EQ(event.speed, 1.0);
+      saw_retry = true;
+    }
+  }
+  EXPECT_TRUE(saw_first);
+  EXPECT_TRUE(saw_retry);
+}
+
+TEST(Simulator, FailStopInterruptsImmediately) {
+  core::ModelParams p = test::toy_params();
+  p.lambda_silent = 0.0;
+  p.lambda_failstop = 0.05;
+  const Simulator sim(p);
+  const ExecutionPolicy policy = ExecutionPolicy::single_speed(100.0, 1.0);
+  Xoshiro256 rng(4);
+  Trace trace;
+  const SimResult result = sim.run(policy, 500.0, rng, &trace);
+  EXPECT_GE(result.failstop_errors, 1u);
+  // A fail-stop attempt's compute segment is shorter than the full span.
+  bool saw_interrupted = false;
+  for (std::size_t i = 0; i + 1 < trace.events().size(); ++i) {
+    if (trace.events()[i + 1].type == EventType::kFailStop &&
+        trace.events()[i].type == EventType::kCompute) {
+      saw_interrupted |= trace.events()[i].duration_s < 100.0;
+    }
+  }
+  EXPECT_TRUE(saw_interrupted);
+}
+
+TEST(Simulator, SameSeedSameResult) {
+  core::ModelParams p = test::toy_params();
+  p.lambda_silent = 1e-3;
+  p.lambda_failstop = 1e-4;
+  const Simulator sim(p);
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(200.0, 0.5, 1.0);
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  const SimResult ra = sim.run(policy, 5000.0, a);
+  const SimResult rb = sim.run(policy, 5000.0, b);
+  EXPECT_EQ(ra.makespan_s, rb.makespan_s);
+  EXPECT_EQ(ra.energy_mws, rb.energy_mws);
+  EXPECT_EQ(ra.silent_errors, rb.silent_errors);
+  EXPECT_EQ(ra.failstop_errors, rb.failstop_errors);
+}
+
+TEST(Simulator, TraceDurationsSumToMakespan) {
+  core::ModelParams p = test::toy_params();
+  p.lambda_silent = 1e-3;
+  p.lambda_failstop = 2e-4;
+  const Simulator sim(p);
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(150.0, 0.5, 1.0);
+  Xoshiro256 rng(7);
+  Trace trace(1 << 20);
+  const SimResult result = sim.run(policy, 3000.0, rng, &trace);
+  ASSERT_FALSE(trace.truncated());
+  double sum = 0.0;
+  for (const auto& event : trace.events()) sum += event.duration_s;
+  EXPECT_NEAR(sum, result.makespan_s, 1e-6 * result.makespan_s);
+}
+
+TEST(Simulator, TraceEnergyReconstruction) {
+  core::ModelParams p = test::toy_params();
+  p.lambda_silent = 5e-4;
+  const Simulator sim(p);
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(150.0, 0.5, 1.0);
+  Xoshiro256 rng(8);
+  Trace trace(1 << 20);
+  const SimResult result = sim.run(policy, 3000.0, rng, &trace);
+  ASSERT_FALSE(trace.truncated());
+  double energy = 0.0;
+  for (const auto& event : trace.events()) {
+    switch (event.type) {
+      case EventType::kCompute:
+      case EventType::kVerification:
+        energy += event.duration_s * p.compute_power(event.speed);
+        break;
+      case EventType::kCheckpoint:
+      case EventType::kRecovery:
+        energy += event.duration_s * p.io_total_power();
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_NEAR(energy, result.energy_mws, 1e-6 * result.energy_mws);
+}
+
+TEST(Simulator, CheckpointCountEqualsPatternCount) {
+  core::ModelParams p = test::toy_params();
+  p.lambda_silent = 1e-3;
+  const Simulator sim(p);
+  const ExecutionPolicy policy = ExecutionPolicy::single_speed(100.0, 0.5);
+  Xoshiro256 rng(9);
+  const SimResult result = sim.run(policy, 2000.0, rng);
+  EXPECT_EQ(result.checkpoints, result.patterns);
+  EXPECT_EQ(result.patterns, 20u);
+}
+
+TEST(Simulator, WeibullInjectorRuns) {
+  core::ModelParams p = test::toy_params();
+  p.lambda_silent = 1e-3;
+  const Simulator sim(
+      p, FaultInjector(ArrivalSampler::weibull(0.7, p.lambda_silent),
+                       ArrivalSampler::exponential(0.0)));
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(200.0, 0.5, 1.0);
+  Xoshiro256 rng(10);
+  const SimResult result = sim.run(policy, 10000.0, rng);
+  EXPECT_GT(result.silent_errors, 0u);
+  EXPECT_EQ(result.failstop_errors, 0u);
+}
+
+TEST(Simulator, RejectsNonPositiveWork) {
+  const Simulator sim(error_free());
+  const ExecutionPolicy policy = ExecutionPolicy::single_speed(100.0, 1.0);
+  Xoshiro256 rng(11);
+  EXPECT_THROW((void)sim.run(policy, 0.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::sim

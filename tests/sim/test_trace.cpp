@@ -1,0 +1,56 @@
+#include "rexspeed/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rexspeed::sim {
+namespace {
+
+TEST(Trace, RecordsEventsInOrder) {
+  Trace trace;
+  trace.record({EventType::kCompute, 0.0, 100.0, 0.5, 0, 0});
+  trace.record({EventType::kVerification, 100.0, 4.0, 0.5, 0, 0});
+  trace.record({EventType::kCheckpoint, 104.0, 10.0, 0.0, 0, 0});
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0].type, EventType::kCompute);
+  EXPECT_EQ(trace.events()[2].type, EventType::kCheckpoint);
+  EXPECT_FALSE(trace.truncated());
+}
+
+TEST(Trace, StopsAtCapacityAndFlagsTruncation) {
+  Trace trace(2);
+  for (int i = 0; i < 5; ++i) {
+    trace.record({EventType::kCompute, static_cast<double>(i), 1.0, 1.0,
+                  0, 0});
+  }
+  EXPECT_EQ(trace.events().size(), 2u);
+  EXPECT_TRUE(trace.truncated());
+}
+
+TEST(Trace, EventTypeNames) {
+  EXPECT_STREQ(to_string(EventType::kCompute), "compute");
+  EXPECT_STREQ(to_string(EventType::kVerification), "verify");
+  EXPECT_STREQ(to_string(EventType::kCheckpoint), "checkpoint");
+  EXPECT_STREQ(to_string(EventType::kRecovery), "recovery");
+  EXPECT_STREQ(to_string(EventType::kSilentDetect), "silent-detected");
+  EXPECT_STREQ(to_string(EventType::kFailStop), "fail-stop");
+}
+
+TEST(Trace, FormatContainsKeyFields) {
+  const TraceEvent event{EventType::kCompute, 1234.5, 500.0, 0.4, 3, 1};
+  const std::string text = Trace::format(event);
+  EXPECT_NE(text.find("compute"), std::string::npos);
+  EXPECT_NE(text.find("1234.5"), std::string::npos);
+  EXPECT_NE(text.find("0.40"), std::string::npos);
+  EXPECT_NE(text.find("pattern 3"), std::string::npos);
+  EXPECT_NE(text.find("attempt 1"), std::string::npos);
+}
+
+TEST(Trace, FormatOmitsSpeedForIoSegments) {
+  const TraceEvent event{EventType::kCheckpoint, 0.0, 300.0, 0.0, 0, 0};
+  const std::string text = Trace::format(event);
+  EXPECT_NE(text.find("checkpoint"), std::string::npos);
+  EXPECT_EQ(text.find('@'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rexspeed::sim

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rexspeed/sim/monte_carlo.hpp"
+#include "rexspeed/sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::sim {
+namespace {
+
+core::ModelParams noisy() {
+  core::ModelParams p = test::toy_params();
+  p.lambda_silent = 5e-4;
+  return p;
+}
+
+Simulator make_simulator(const core::ModelParams& p, double recall) {
+  SimulatorOptions options;
+  options.verification_recall = recall;
+  return Simulator(p, FaultInjector(p), options);
+}
+
+TEST(VerificationRecall, PerfectRecallNeverCorrupts) {
+  const core::ModelParams p = noisy();
+  const Simulator sim = make_simulator(p, 1.0);
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(500.0, 0.5, 1.0);
+  Xoshiro256 rng(1);
+  const SimResult run = sim.run(policy, 50000.0, rng);
+  EXPECT_GT(run.silent_errors, 0u);
+  EXPECT_EQ(run.corrupted_checkpoints, 0u);
+  EXPECT_FALSE(run.result_corrupted());
+}
+
+TEST(VerificationRecall, ZeroRecallCommitsEveryStruckPattern) {
+  const core::ModelParams p = noisy();
+  const Simulator sim = make_simulator(p, 0.0);
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(500.0, 0.5, 1.0);
+  Xoshiro256 rng(2);
+  const SimResult run = sim.run(policy, 50000.0, rng);
+  // Nothing is ever detected: no recoveries, every error is committed.
+  EXPECT_EQ(run.silent_errors, 0u);
+  EXPECT_EQ(run.recoveries, 0u);
+  EXPECT_GT(run.corrupted_checkpoints, 0u);
+  EXPECT_EQ(run.attempts, run.patterns);
+  EXPECT_TRUE(run.result_corrupted());
+}
+
+TEST(VerificationRecall, MissRatioMatchesRecall) {
+  const core::ModelParams p = noisy();
+  const Simulator sim = make_simulator(p, 0.8);
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(500.0, 0.5, 1.0);
+  Xoshiro256 rng(3);
+  std::size_t detected = 0;
+  std::size_t missed = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    const SimResult run = sim.run(policy, 20000.0, rng);
+    detected += run.silent_errors;
+    missed += run.corrupted_checkpoints;
+  }
+  const double total = static_cast<double>(detected + missed);
+  ASSERT_GT(total, 500.0);
+  // Detected fraction ≈ recall.
+  EXPECT_NEAR(static_cast<double>(detected) / total, 0.8, 0.04);
+}
+
+TEST(VerificationRecall, MissedErrorsDoNotPayRecovery) {
+  // A run with recall 0 is exactly an error-free run in time and energy:
+  // nothing is detected, nothing re-executed.
+  core::ModelParams p = noisy();
+  const Simulator with_misses = make_simulator(p, 0.0);
+  core::ModelParams clean = p;
+  clean.lambda_silent = 0.0;
+  const Simulator error_free(clean);
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(500.0, 0.5, 1.0);
+  Xoshiro256 a(4);
+  Xoshiro256 b(5);
+  const SimResult miss_run = with_misses.run(policy, 10000.0, a);
+  const SimResult clean_run = error_free.run(policy, 10000.0, b);
+  EXPECT_NEAR(miss_run.makespan_s, clean_run.makespan_s, 1e-9);
+  EXPECT_NEAR(miss_run.energy_mws, clean_run.energy_mws, 1e-6);
+}
+
+TEST(VerificationRecall, MonteCarloTracksCorruptionProbability) {
+  const core::ModelParams p = noisy();
+  const Simulator sim = make_simulator(p, 0.5);
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(500.0, 0.5, 1.0);
+  MonteCarloOptions options;
+  options.replications = 200;
+  options.total_work = 20000.0;
+  const MonteCarloResult mc = run_monte_carlo(sim, policy, options);
+  EXPECT_GT(mc.corrupted_runs.mean(), 0.5);  // misses are frequent here
+  EXPECT_LE(mc.corrupted_runs.mean(), 1.0);
+  EXPECT_GT(mc.corrupted_checkpoints.mean(), 0.0);
+}
+
+TEST(VerificationRecall, TraceMarksMissedErrors) {
+  const core::ModelParams p = noisy();
+  const Simulator sim = make_simulator(p, 0.0);
+  const ExecutionPolicy policy = ExecutionPolicy::two_speed(500.0, 0.5, 1.0);
+  Xoshiro256 rng(6);
+  Trace trace(1 << 16);
+  const SimResult run = sim.run(policy, 50000.0, rng, &trace);
+  ASSERT_GT(run.corrupted_checkpoints, 0u);
+  std::size_t marks = 0;
+  for (const auto& event : trace.events()) {
+    if (event.type == EventType::kSilentMissed) ++marks;
+  }
+  EXPECT_EQ(marks, run.corrupted_checkpoints);
+  EXPECT_STREQ(to_string(EventType::kSilentMissed), "silent-missed");
+}
+
+TEST(VerificationRecall, RejectsOutOfRangeRecall) {
+  const core::ModelParams p = noisy();
+  SimulatorOptions options;
+  options.verification_recall = 1.5;
+  EXPECT_THROW(Simulator(p, FaultInjector(p), options),
+               std::invalid_argument);
+  options.verification_recall = -0.1;
+  EXPECT_THROW(Simulator(p, FaultInjector(p), options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::sim

@@ -1,0 +1,80 @@
+#include "rexspeed/stats/kahan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rexspeed::stats {
+namespace {
+
+TEST(KahanSum, EmptySumIsZero) {
+  KahanSum sum;
+  EXPECT_EQ(sum.value(), 0.0);
+  EXPECT_EQ(sum.count(), 0u);
+}
+
+TEST(KahanSum, SumsExactValues) {
+  KahanSum sum;
+  sum.add(1.0);
+  sum.add(2.0);
+  sum.add(3.0);
+  EXPECT_DOUBLE_EQ(sum.value(), 6.0);
+  EXPECT_EQ(sum.count(), 3u);
+}
+
+TEST(KahanSum, InitialValueConstructor) {
+  KahanSum sum(10.0);
+  sum.add(5.0);
+  EXPECT_DOUBLE_EQ(sum.value(), 15.0);
+}
+
+TEST(KahanSum, RecoversBitsLostByNaiveSummation) {
+  // 1 + 1e-16 repeated: naive summation never leaves 1.0.
+  KahanSum sum;
+  sum.add(1.0);
+  constexpr int kAdds = 10000;
+  for (int i = 0; i < kAdds; ++i) sum.add(1e-16);
+  EXPECT_DOUBLE_EQ(sum.value(), 1.0 + kAdds * 1e-16);
+
+  double naive = 1.0;
+  for (int i = 0; i < kAdds; ++i) naive += 1e-16;
+  EXPECT_EQ(naive, 1.0);  // demonstrates the failure Kahan avoids
+}
+
+TEST(KahanSum, NeumaierHandlesLargeAddendAfterSmallSum) {
+  // Classic case where plain Kahan (non-Neumaier) fails:
+  // 1 + 1e100 + 1 - 1e100 should be 2.
+  KahanSum sum;
+  sum.add(1.0);
+  sum.add(1e100);
+  sum.add(1.0);
+  sum.add(-1e100);
+  EXPECT_DOUBLE_EQ(sum.value(), 2.0);
+}
+
+TEST(KahanSum, RangeAddAndHelper) {
+  const std::vector<double> values = {0.1, 0.2, 0.3, 0.4};
+  KahanSum sum;
+  sum.add(values.begin(), values.end());
+  EXPECT_NEAR(sum.value(), 1.0, 1e-15);
+  EXPECT_EQ(sum.count(), values.size());
+  EXPECT_NEAR(kahan_sum(values.begin(), values.end()), 1.0, 1e-15);
+}
+
+TEST(KahanSum, ResetClearsState) {
+  KahanSum sum;
+  sum.add(42.0);
+  sum.reset();
+  EXPECT_EQ(sum.value(), 0.0);
+  EXPECT_EQ(sum.count(), 0u);
+}
+
+TEST(KahanSum, OperatorPlusEquals) {
+  KahanSum sum;
+  sum += 1.5;
+  sum += 2.5;
+  EXPECT_DOUBLE_EQ(sum.value(), 4.0);
+}
+
+}  // namespace
+}  // namespace rexspeed::stats

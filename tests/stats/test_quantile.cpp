@@ -1,0 +1,98 @@
+#include "rexspeed/stats/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "rexspeed/sim/rng.hpp"
+
+namespace rexspeed::stats {
+namespace {
+
+double exact_quantile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(xs.size())));
+  return xs[std::max<std::size_t>(rank, 1) - 1];
+}
+
+TEST(P2Quantile, ExactForFewSamples) {
+  P2Quantile q(0.5);
+  q.add(10.0);
+  EXPECT_DOUBLE_EQ(q.value(), 10.0);
+  q.add(20.0);
+  q.add(30.0);
+  EXPECT_DOUBLE_EQ(q.value(), 20.0);  // median of {10,20,30}
+}
+
+TEST(P2Quantile, MedianOfUniformStream) {
+  P2Quantile q(0.5);
+  sim::Xoshiro256 rng(1);
+  for (int i = 0; i < 100000; ++i) q.add(rng.uniform());
+  EXPECT_NEAR(q.value(), 0.5, 0.01);
+}
+
+TEST(P2Quantile, TailQuantileOfUniformStream) {
+  P2Quantile q(0.95);
+  sim::Xoshiro256 rng(2);
+  for (int i = 0; i < 100000; ++i) q.add(rng.uniform());
+  EXPECT_NEAR(q.value(), 0.95, 0.01);
+}
+
+TEST(P2Quantile, ExponentialTail) {
+  // P99 of Exp(1) is −ln(0.01) ≈ 4.605.
+  P2Quantile q(0.99);
+  sim::Xoshiro256 rng(3);
+  for (int i = 0; i < 200000; ++i) {
+    q.add(-std::log(rng.uniform_positive()));
+  }
+  EXPECT_NEAR(q.value(), 4.605, 0.25);
+}
+
+TEST(P2Quantile, CloseToExactOrderStatisticOnModerateSample) {
+  P2Quantile q(0.9);
+  std::vector<double> xs;
+  sim::Xoshiro256 rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform() * rng.uniform();  // skewed
+    xs.push_back(x);
+    q.add(x);
+  }
+  EXPECT_NEAR(q.value(), exact_quantile(xs, 0.9), 0.02);
+}
+
+TEST(P2Quantile, MonotoneInProbability) {
+  P2Quantile q10(0.1);
+  P2Quantile q50(0.5);
+  P2Quantile q90(0.9);
+  sim::Xoshiro256 rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform();
+    q10.add(x);
+    q50.add(x);
+    q90.add(x);
+  }
+  EXPECT_LT(q10.value(), q50.value());
+  EXPECT_LT(q50.value(), q90.value());
+}
+
+TEST(P2Quantile, CountTracksSamples) {
+  P2Quantile q(0.5);
+  EXPECT_EQ(q.count(), 0u);
+  for (int i = 0; i < 17; ++i) q.add(i);
+  EXPECT_EQ(q.count(), 17u);
+  EXPECT_DOUBLE_EQ(q.probability(), 0.5);
+}
+
+TEST(P2Quantile, RejectsBadProbabilityAndEmptyValue) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  P2Quantile q(0.5);
+  EXPECT_THROW(q.value(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rexspeed::stats

@@ -1,0 +1,74 @@
+#include "rexspeed/stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rexspeed::stats {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y;
+  for (const double xi : x) y.push_back(3.0 * xi - 2.0);
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyDataHasPositiveSlopeError) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y = {0.1, 0.9, 2.2, 2.8, 4.1, 4.9};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 1.0, 0.1);
+  EXPECT_GT(fit.slope_stderr, 0.0);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(LinearFit, TwoPointsIsExact) {
+  const std::vector<double> x = {1.0, 3.0};
+  const std::vector<double> y = {2.0, 8.0};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_EQ(fit.slope_stderr, 0.0);  // no residual degrees of freedom
+}
+
+TEST(LinearFit, RejectsDegenerateInput) {
+  const std::vector<double> one = {1.0};
+  const std::vector<double> same = {2.0, 2.0};
+  const std::vector<double> y2 = {1.0, 2.0};
+  EXPECT_THROW(linear_fit(one, one), std::invalid_argument);
+  EXPECT_THROW(linear_fit(same, y2), std::invalid_argument);
+  const std::vector<double> x3 = {1.0, 2.0, 3.0};
+  EXPECT_THROW(linear_fit(x3, y2), std::invalid_argument);
+}
+
+TEST(LogLogFit, RecoversPowerLawExponent) {
+  // y = 5 x^{-2/3}, the Theorem-2 shape.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = 1e-7; v < 1e-3; v *= 2.0) {
+    x.push_back(v);
+    y.push_back(5.0 * std::pow(v, -2.0 / 3.0));
+  }
+  const LinearFit fit = log_log_fit(x, y);
+  EXPECT_NEAR(fit.slope, -2.0 / 3.0, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 5.0, 1e-8);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LogLogFit, RejectsNonPositiveValues) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0, 0.0};
+  EXPECT_THROW(log_log_fit(x, y), std::domain_error);
+  const std::vector<double> xneg = {-1.0, 2.0};
+  const std::vector<double> ypos = {1.0, 2.0};
+  EXPECT_THROW(log_log_fit(xneg, ypos), std::domain_error);
+}
+
+}  // namespace
+}  // namespace rexspeed::stats

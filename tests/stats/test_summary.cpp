@@ -1,0 +1,97 @@
+#include "rexspeed/stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rexspeed::stats {
+namespace {
+
+TEST(NormalQuantile, StandardValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829304, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.8413447461), 1.0, 1e-6);
+}
+
+TEST(NormalQuantile, Symmetry) {
+  for (const double p : {0.6, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-9)
+        << "p = " << p;
+  }
+}
+
+TEST(NormalQuantile, TailBranch) {
+  // Values below the 0.02425 switchover exercise the tail approximation.
+  EXPECT_NEAR(normal_quantile(0.001), -3.090232306, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.999), 3.090232306, 1e-6);
+}
+
+TEST(NormalQuantile, RejectsOutOfRange) {
+  EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(-0.1), std::domain_error);
+}
+
+TEST(StudentTQuantile, ConvergesToNormalForLargeDf) {
+  EXPECT_NEAR(student_t_quantile(0.975, 1000000), normal_quantile(0.975),
+              1e-5);
+}
+
+TEST(StudentTQuantile, TableValues) {
+  // Standard t-table entries, two-sided 95% (p = 0.975).
+  EXPECT_NEAR(student_t_quantile(0.975, 10), 2.228, 4e-3);
+  EXPECT_NEAR(student_t_quantile(0.975, 30), 2.042, 2e-3);
+  EXPECT_NEAR(student_t_quantile(0.975, 100), 1.984, 1e-3);
+}
+
+TEST(StudentTQuantile, RejectsZeroDf) {
+  EXPECT_THROW(student_t_quantile(0.975, 0), std::domain_error);
+}
+
+TEST(ConfidenceInterval, Basics) {
+  const ConfidenceInterval ci{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(ci.half_width(), 1.0);
+  EXPECT_DOUBLE_EQ(ci.center(), 2.0);
+  EXPECT_TRUE(ci.contains(1.0));
+  EXPECT_TRUE(ci.contains(2.5));
+  EXPECT_FALSE(ci.contains(3.5));
+}
+
+TEST(MeanConfidenceInterval, DegenerateWithFewSamples) {
+  Welford acc;
+  acc.add(5.0);
+  const ConfidenceInterval ci = mean_confidence_interval(acc, 0.95);
+  EXPECT_EQ(ci.lower, 5.0);
+  EXPECT_EQ(ci.upper, 5.0);
+}
+
+TEST(MeanConfidenceInterval, MatchesManualComputation) {
+  Welford acc;
+  for (const double x : {10.0, 12.0, 14.0, 16.0, 18.0}) acc.add(x);
+  // mean 14, sd = sqrt(40/4) = sqrt(10), se = sqrt(10/5) = sqrt(2).
+  const ConfidenceInterval ci = mean_confidence_interval(acc, 0.95);
+  const double t = student_t_quantile(0.975, 4);
+  EXPECT_NEAR(ci.center(), 14.0, 1e-12);
+  EXPECT_NEAR(ci.half_width(), t * std::sqrt(2.0), 1e-9);
+}
+
+TEST(MeanConfidenceInterval, WiderAtHigherConfidence) {
+  Welford acc;
+  for (int i = 0; i < 50; ++i) acc.add(static_cast<double>(i % 7));
+  const auto ci95 = mean_confidence_interval(acc, 0.95);
+  const auto ci99 = mean_confidence_interval(acc, 0.99);
+  EXPECT_GT(ci99.half_width(), ci95.half_width());
+}
+
+TEST(MeanConfidenceInterval, RejectsBadConfidence) {
+  Welford acc;
+  acc.add(1.0);
+  acc.add(2.0);
+  EXPECT_THROW(mean_confidence_interval(acc, 0.0), std::domain_error);
+  EXPECT_THROW(mean_confidence_interval(acc, 1.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace rexspeed::stats

@@ -1,0 +1,91 @@
+#include "rexspeed/stats/welford.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rexspeed::stats {
+namespace {
+
+TEST(Welford, EmptyAccumulator) {
+  Welford acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Welford, SingleObservation) {
+  Welford acc;
+  acc.add(7.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 7.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 7.0);
+  EXPECT_EQ(acc.max(), 7.0);
+}
+
+TEST(Welford, MatchesTextbookFormulas) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  Welford acc;
+  for (const double x : xs) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n−1 = 7: Σ(x−5)² = 32, 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_NEAR(acc.standard_error(), std::sqrt(32.0 / 7.0 / 8.0), 1e-12);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+}
+
+TEST(Welford, StableUnderLargeOffset) {
+  // Classic catastrophic-cancellation case for naive two-pass variance.
+  constexpr double kOffset = 1e9;
+  Welford acc;
+  for (const double x : {4.0, 7.0, 13.0, 16.0}) acc.add(kOffset + x);
+  EXPECT_NEAR(acc.variance(), 30.0, 1e-6);
+}
+
+TEST(Welford, MergeEqualsSequential) {
+  Welford sequential;
+  Welford left;
+  Welford right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.1 * i * i - 3.0 * i;
+    sequential.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), sequential.count());
+  EXPECT_NEAR(left.mean(), sequential.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), sequential.variance(), 1e-8);
+  EXPECT_EQ(left.min(), sequential.min());
+  EXPECT_EQ(left.max(), sequential.max());
+}
+
+TEST(Welford, MergeWithEmptySides) {
+  Welford filled;
+  filled.add(1.0);
+  filled.add(3.0);
+
+  Welford empty;
+  Welford copy = filled;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.mean(), 2.0);
+
+  empty.merge(filled);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Welford, ResetClearsState) {
+  Welford acc;
+  acc.add(5.0);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace rexspeed::stats

@@ -1,0 +1,155 @@
+#include "rexspeed/sweep/figure_sweeps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rexspeed/sweep/grid.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::sweep {
+namespace {
+
+const platform::Configuration& atlas_crusoe() {
+  return platform::configuration_by_name("Atlas/Crusoe");
+}
+
+TEST(DefaultGrid, RangesMatchPaperAxes) {
+  const auto c = default_grid(SweepParameter::kCheckpointTime, 11);
+  EXPECT_DOUBLE_EQ(c.front(), 0.0);
+  EXPECT_DOUBLE_EQ(c.back(), 5000.0);
+  const auto rho = default_grid(SweepParameter::kPerformanceBound, 11);
+  EXPECT_DOUBLE_EQ(rho.front(), 1.0);
+  EXPECT_DOUBLE_EQ(rho.back(), 3.5);
+  const auto lam = default_grid(SweepParameter::kErrorRate, 11);
+  EXPECT_NEAR(lam.front(), 1e-6, 1e-18);
+  EXPECT_DOUBLE_EQ(lam.back(), 1e-2);
+}
+
+TEST(ApplyParameter, SetsTheRightField) {
+  const auto base = test::params_for("Atlas/Crusoe");
+  EXPECT_DOUBLE_EQ(
+      apply_parameter(base, SweepParameter::kVerificationTime, 123.0)
+          .verification_s,
+      123.0);
+  EXPECT_DOUBLE_EQ(
+      apply_parameter(base, SweepParameter::kErrorRate, 1e-4).lambda_silent,
+      1e-4);
+  EXPECT_DOUBLE_EQ(
+      apply_parameter(base, SweepParameter::kIdlePower, 77.0).idle_power_mw,
+      77.0);
+  EXPECT_DOUBLE_EQ(
+      apply_parameter(base, SweepParameter::kIoPower, 88.0).io_power_mw,
+      88.0);
+  // ρ leaves the params untouched.
+  const auto same =
+      apply_parameter(base, SweepParameter::kPerformanceBound, 2.0);
+  EXPECT_DOUBLE_EQ(same.checkpoint_s, base.checkpoint_s);
+}
+
+TEST(ApplyParameter, CheckpointSweepKeepsRecoveryEqual) {
+  const auto base = test::params_for("Atlas/Crusoe");
+  const auto p =
+      apply_parameter(base, SweepParameter::kCheckpointTime, 2222.0);
+  EXPECT_DOUBLE_EQ(p.checkpoint_s, 2222.0);
+  EXPECT_DOUBLE_EQ(p.recovery_s, 2222.0);
+}
+
+TEST(FigureSweep, ProducesOnePointPerGridValue) {
+  SweepOptions options;
+  options.points = 9;
+  const FigureSeries series =
+      run_figure_sweep(atlas_crusoe(), SweepParameter::kCheckpointTime,
+                       options);
+  EXPECT_EQ(series.points.size(), 9u);
+  EXPECT_EQ(series.configuration, "Atlas/Crusoe");
+  EXPECT_EQ(series.parameter, SweepParameter::kCheckpointTime);
+  for (const auto& point : series.points) {
+    ASSERT_TRUE(point.two_speed.feasible);
+    ASSERT_TRUE(point.single_speed.feasible);
+    EXPECT_DOUBLE_EQ(point.single_speed.sigma1, point.single_speed.sigma2);
+    EXPECT_LE(point.two_speed.energy_overhead,
+              point.single_speed.energy_overhead * (1.0 + 1e-12));
+  }
+}
+
+TEST(FigureSweep, RhoSweepUsesXAsBound) {
+  const std::vector<double> grid = {1.5, 2.5, 3.5};
+  const FigureSeries series = run_figure_sweep(
+      atlas_crusoe(), SweepParameter::kPerformanceBound, grid, {});
+  ASSERT_EQ(series.points.size(), 3u);
+  for (const auto& point : series.points) {
+    if (point.two_speed.feasible && !point.two_speed_fallback) {
+      EXPECT_LE(point.two_speed.time_overhead, point.x * (1.0 + 1e-9));
+    }
+  }
+}
+
+TEST(FigureSweep, FallbackKicksInBeyondFeasibilityHorizon) {
+  // At ρ = 1 nothing is feasible on Atlas/Crusoe; with the fallback the
+  // point still carries the min-ρ policy (pinned near the fastest speeds).
+  const std::vector<double> grid = {1.0};
+  const FigureSeries with = run_figure_sweep(
+      atlas_crusoe(), SweepParameter::kPerformanceBound, grid, {});
+  ASSERT_TRUE(with.points[0].two_speed.feasible);
+  EXPECT_TRUE(with.points[0].two_speed_fallback);
+  EXPECT_GT(with.points[0].two_speed.time_overhead, 1.0);
+
+  SweepOptions no_fallback;
+  no_fallback.min_rho_fallback = false;
+  const FigureSeries without = run_figure_sweep(
+      atlas_crusoe(), SweepParameter::kPerformanceBound, grid, no_fallback);
+  EXPECT_FALSE(without.points[0].two_speed.feasible);
+  EXPECT_FALSE(without.points[0].two_speed_fallback);
+}
+
+TEST(FigureSweep, ParallelMatchesSerial) {
+  ThreadPool pool(4);
+  SweepOptions serial;
+  serial.points = 11;
+  SweepOptions pooled = serial;
+  pooled.pool = &pool;
+  const FigureSeries a =
+      run_figure_sweep(atlas_crusoe(), SweepParameter::kErrorRate, serial);
+  const FigureSeries b =
+      run_figure_sweep(atlas_crusoe(), SweepParameter::kErrorRate, pooled);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points[i].two_speed.energy_overhead,
+                     b.points[i].two_speed.energy_overhead);
+    EXPECT_DOUBLE_EQ(a.points[i].two_speed.sigma1,
+                     b.points[i].two_speed.sigma1);
+  }
+}
+
+TEST(FigureSweep, EnergySavingIsZeroWhenInfeasible) {
+  FigurePoint point;
+  EXPECT_DOUBLE_EQ(point.energy_saving(), 0.0);
+}
+
+TEST(FigureSweep, RunAllSweepsCoversSixPanels) {
+  SweepOptions options;
+  options.points = 5;
+  const auto all = run_all_sweeps(atlas_crusoe(), options);
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].parameter, SweepParameter::kCheckpointTime);
+  EXPECT_EQ(all[5].parameter, SweepParameter::kIoPower);
+}
+
+TEST(FigureSweep, RejectsEmptyGrid) {
+  EXPECT_THROW(run_figure_sweep(atlas_crusoe(),
+                                SweepParameter::kCheckpointTime, {}, {}),
+               std::invalid_argument);
+}
+
+TEST(SweepParameterNames, AllDistinct) {
+  EXPECT_STREQ(to_string(SweepParameter::kCheckpointTime), "C");
+  EXPECT_STREQ(to_string(SweepParameter::kVerificationTime), "V");
+  EXPECT_STREQ(to_string(SweepParameter::kErrorRate), "lambda");
+  EXPECT_STREQ(to_string(SweepParameter::kPerformanceBound), "rho");
+  EXPECT_STREQ(to_string(SweepParameter::kIdlePower), "Pidle");
+  EXPECT_STREQ(to_string(SweepParameter::kIoPower), "Pio");
+}
+
+}  // namespace
+}  // namespace rexspeed::sweep

@@ -1,0 +1,63 @@
+#include "rexspeed/sweep/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rexspeed::sweep {
+namespace {
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto grid = linspace(0.0, 10.0, 6);
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 10.0);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_NEAR(grid[i], 2.0 * static_cast<double>(i), 1e-12);
+  }
+}
+
+TEST(Linspace, TwoPointsAreTheBounds) {
+  const auto grid = linspace(-5.0, 5.0, 2);
+  ASSERT_EQ(grid.size(), 2u);
+  EXPECT_DOUBLE_EQ(grid[0], -5.0);
+  EXPECT_DOUBLE_EQ(grid[1], 5.0);
+}
+
+TEST(Linspace, DegenerateRange) {
+  const auto grid = linspace(3.0, 3.0, 4);
+  for (const double v : grid) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(Linspace, Rejections) {
+  EXPECT_THROW(linspace(0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(linspace(1.0, 0.0, 5), std::invalid_argument);
+}
+
+TEST(Logspace, GeometricSpacing) {
+  const auto grid = logspace(1.0, 1000.0, 4);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_NEAR(grid[0], 1.0, 1e-12);
+  EXPECT_NEAR(grid[1], 10.0, 1e-9);
+  EXPECT_NEAR(grid[2], 100.0, 1e-8);
+  EXPECT_DOUBLE_EQ(grid[3], 1000.0);
+}
+
+TEST(Logspace, CoversPaperLambdaRange) {
+  const auto grid = logspace(1e-6, 1e-2, 41);
+  EXPECT_NEAR(grid.front(), 1e-6, 1e-18);
+  EXPECT_DOUBLE_EQ(grid.back(), 1e-2);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GT(grid[i], grid[i - 1]);
+  }
+}
+
+TEST(Logspace, Rejections) {
+  EXPECT_THROW(logspace(0.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(logspace(-1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(logspace(1.0, 0.5, 5), std::invalid_argument);
+  EXPECT_THROW(logspace(1.0, 2.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::sweep

@@ -1,0 +1,84 @@
+#include "rexspeed/sweep/section42_tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rexspeed::sweep {
+namespace {
+
+TEST(Section42, BoundsListMatchesPaper) {
+  const auto& bounds = section42_bounds();
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 8.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 3.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 1.775);
+  EXPECT_DOUBLE_EQ(bounds[3], 1.4);
+}
+
+TEST(Section42, OneRowPerSpeed) {
+  const auto params = test::params_for("Hera/XScale");
+  const auto rows = speed_pair_table(params, 3.0);
+  ASSERT_EQ(rows.size(), params.speeds.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rows[i].sigma1, params.speeds[i]);
+  }
+}
+
+TEST(Section42, ExactlyOneGlobalBestWhenFeasible) {
+  const auto params = test::params_for("Hera/XScale");
+  for (const double rho : section42_bounds()) {
+    const auto rows = speed_pair_table(params, rho);
+    int best_count = 0;
+    for (const auto& row : rows) {
+      if (row.is_global_best) {
+        ++best_count;
+        EXPECT_TRUE(row.feasible);
+      }
+    }
+    EXPECT_EQ(best_count, 1) << "rho=" << rho;
+  }
+}
+
+TEST(Section42, NoGlobalBestWhenNothingFeasible) {
+  const auto params = test::params_for("Hera/XScale");
+  const auto rows = speed_pair_table(params, 0.9);
+  for (const auto& row : rows) {
+    EXPECT_FALSE(row.feasible);
+    EXPECT_FALSE(row.is_global_best);
+  }
+}
+
+TEST(Section42, GlobalBestHasSmallestEnergyAmongFeasibleRows) {
+  const auto params = test::params_for("Hera/XScale");
+  for (const double rho : section42_bounds()) {
+    const auto rows = speed_pair_table(params, rho);
+    double best = 0.0;
+    for (const auto& row : rows) {
+      if (row.is_global_best) best = row.energy_overhead;
+    }
+    for (const auto& row : rows) {
+      if (row.feasible) EXPECT_GE(row.energy_overhead, best - 1e-12);
+    }
+  }
+}
+
+TEST(Section42, FeasibilityPatternMatchesPaper) {
+  // Rows become infeasible from the slowest speed up as ρ tightens:
+  // ρ=8: all feasible; ρ=3: 0.15 out; ρ=1.775: 0.15, 0.4 out;
+  // ρ=1.4: 0.15, 0.4, 0.6 out.
+  const auto params = test::params_for("Hera/XScale");
+  const int expected_infeasible[] = {0, 1, 2, 3};
+  const auto& bounds = section42_bounds();
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const auto rows = speed_pair_table(params, bounds[i]);
+    int infeasible = 0;
+    for (const auto& row : rows) {
+      if (!row.feasible) ++infeasible;
+    }
+    EXPECT_EQ(infeasible, expected_infeasible[i]) << "rho=" << bounds[i];
+  }
+}
+
+}  // namespace
+}  // namespace rexspeed::sweep

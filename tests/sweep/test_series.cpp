@@ -1,0 +1,45 @@
+#include "rexspeed/sweep/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rexspeed::sweep {
+namespace {
+
+TEST(Series, StoresRowsColumnwise) {
+  Series s("C", {"sigma1", "sigma2", "energy"});
+  s.add_row(100.0, {0.45, 0.45, 1200.0});
+  s.add_row(200.0, {0.45, 0.6, 1210.0});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.x_name(), "C");
+  EXPECT_DOUBLE_EQ(s.x()[1], 200.0);
+  EXPECT_DOUBLE_EQ(s.column("sigma2")[1], 0.6);
+  EXPECT_DOUBLE_EQ(s.column(2)[0], 1200.0);
+}
+
+TEST(Series, ColumnLookupByNameAndIndex) {
+  Series s("x", {"a", "b"});
+  s.add_row(1.0, {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(s.column("a")[0], 10.0);
+  EXPECT_DOUBLE_EQ(s.column(1)[0], 20.0);
+}
+
+TEST(Series, RejectsMismatchedRowWidth) {
+  Series s("x", {"a", "b"});
+  EXPECT_THROW(s.add_row(1.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(s.add_row(1.0, {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Series, RejectsUnknownColumn) {
+  Series s("x", {"a"});
+  EXPECT_THROW(s.column("zzz"), std::out_of_range);
+  EXPECT_THROW(s.column(5), std::out_of_range);
+}
+
+TEST(Series, RejectsEmptyColumnSet) {
+  EXPECT_THROW(Series("x", {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rexspeed::sweep

@@ -1,0 +1,78 @@
+#include "rexspeed/sweep/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace rexspeed::sweep {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (batch + 1) * 20);
+  }
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelFor, InlineWithoutPool) {
+  std::vector<int> touched(10, 0);
+  parallel_for(nullptr, touched.size(),
+               [&](std::size_t i) { touched[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i], static_cast<int>(i));
+  }
+}
+
+TEST(ParallelFor, PooledMatchesInline) {
+  ThreadPool pool(4);
+  std::vector<double> serial(257);
+  std::vector<double> pooled(257);
+  const auto work = [](std::size_t i) {
+    return static_cast<double>(i) * 1.5 + 1.0;
+  };
+  parallel_for(nullptr, serial.size(),
+               [&](std::size_t i) { serial[i] = work(i); });
+  parallel_for(&pool, pooled.size(),
+               [&](std::size_t i) { pooled[i] = work(i); });
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(ParallelFor, ZeroAndOneIterations) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(&pool, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(&pool, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace rexspeed::sweep

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "rexspeed/core/model_params.hpp"
+#include "rexspeed/platform/configuration.hpp"
+
+namespace rexspeed::test {
+
+/// Model parameters of a named paper configuration (e.g. "Hera/XScale").
+inline core::ModelParams params_for(const std::string& name) {
+  return core::ModelParams::from_configuration(
+      platform::configuration_by_name(name));
+}
+
+/// Small synthetic parameter set with round numbers, handy for hand
+/// calculations in unit tests.
+inline core::ModelParams toy_params() {
+  core::ModelParams params;
+  params.lambda_silent = 1e-4;
+  params.lambda_failstop = 0.0;
+  params.checkpoint_s = 10.0;
+  params.recovery_s = 10.0;
+  params.verification_s = 2.0;
+  params.kappa_mw = 1000.0;
+  params.idle_power_mw = 100.0;
+  params.io_power_mw = 50.0;
+  params.speeds = {0.25, 0.5, 1.0};
+  return params;
+}
+
+}  // namespace rexspeed::test

@@ -1,0 +1,267 @@
+// rexspeed — unified command-line front end for the library.
+//
+//   rexspeed solve     --config=Hera/XScale --rho=3 [--exact] [--single]
+//   rexspeed pairs     --config=Hera/XScale --rho=3
+//   rexspeed sweep     --config=Atlas/Crusoe --param=C [--points=51]
+//                      [--out-dir=DIR]
+//   rexspeed simulate  --config=Hera/XScale --rho=3 --work=1e6
+//                      [--reps=200] [--seed=1] [--boost=50]
+//   rexspeed plan      --config=Coastal/XScale --rho=2 --days=90
+//   rexspeed configs
+//
+// Every subcommand is a thin veneer over the public library API; all of
+// the logic it exercises is unit-tested in tests/.
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/core/campaign.hpp"
+#include "rexspeed/core/exact_expectations.hpp"
+#include "rexspeed/io/cli.hpp"
+#include "rexspeed/io/gnuplot_writer.hpp"
+#include "rexspeed/io/table_writer.hpp"
+#include "rexspeed/platform/configuration.hpp"
+#include "rexspeed/sim/monte_carlo.hpp"
+#include "rexspeed/sweep/figure_sweeps.hpp"
+#include "rexspeed/sweep/section42_tables.hpp"
+
+using namespace rexspeed;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: rexspeed <command> [options]\n"
+      "  solve     optimal speed pair + pattern size for a bound\n"
+      "            --config=NAME --rho=R [--exact] [--single]\n"
+      "  pairs     the per-sigma1 best-second-speed table (paper 4.2)\n"
+      "            --config=NAME --rho=R\n"
+      "  sweep     one paper figure panel\n"
+      "            --config=NAME --param={C,V,lambda,rho,Pidle,Pio}\n"
+      "            [--points=N] [--out-dir=DIR]\n"
+      "  simulate  Monte-Carlo validation of the optimal policy\n"
+      "            --config=NAME --rho=R [--work=W] [--reps=N]\n"
+      "            [--seed=S] [--boost=B]\n"
+      "  plan      application-level campaign plan\n"
+      "            --config=NAME --rho=R --days=D\n"
+      "  configs   list the eight paper configurations\n");
+  return 2;
+}
+
+core::ModelParams params_from(const io::ArgParser& args) {
+  const std::string name = args.get_or("config", "Hera/XScale");
+  return core::ModelParams::from_configuration(
+      platform::configuration_by_name(name));
+}
+
+int cmd_configs() {
+  io::TableWriter table({"configuration", "lambda (1/s)", "C (s)", "V (s)",
+                         "speeds", "kappa (mW)", "Pidle (mW)", "Pio (mW)"});
+  for (const auto& config : platform::all_configurations()) {
+    std::string speeds;
+    for (const double s : config.processor.speeds) {
+      if (!speeds.empty()) speeds += ",";
+      speeds += io::TableWriter::cell(s, 2);
+    }
+    table.add_row({config.name(),
+                   io::TableWriter::cell(config.platform.error_rate, 8),
+                   io::TableWriter::cell(config.platform.checkpoint_s, 0),
+                   io::TableWriter::cell(config.platform.verification_s, 1),
+                   speeds,
+                   io::TableWriter::cell(config.processor.kappa_mw, 0),
+                   io::TableWriter::cell(config.processor.idle_power_mw, 1),
+                   io::TableWriter::cell(config.io_power_mw, 2)});
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+int cmd_solve(const io::ArgParser& args) {
+  const auto params = params_from(args);
+  const double rho = args.get_double_or("rho", 3.0);
+  const auto policy = args.has_flag("single")
+                          ? core::SpeedPolicy::kSingleSpeed
+                          : core::SpeedPolicy::kTwoSpeed;
+  const auto mode = args.has_flag("exact")
+                        ? core::EvalMode::kExactOptimize
+                        : core::EvalMode::kFirstOrder;
+  const core::BiCritSolver solver(params);
+  const auto sol = solver.solve(rho, policy, mode);
+  if (!sol.feasible) {
+    std::printf("infeasible: no speed pair satisfies rho = %g\n", rho);
+    const auto fallback = solver.min_rho_solution(policy);
+    if (fallback.feasible) {
+      std::printf("best-effort minimum bound: rho_min = %.4f at "
+                  "(%.2f, %.2f)\n",
+                  fallback.rho_min, fallback.sigma1, fallback.sigma2);
+    }
+    return 1;
+  }
+  std::printf("sigma1 = %.2f  sigma2 = %.2f  Wopt = %.1f\n",
+              sol.best.sigma1, sol.best.sigma2, sol.best.w_opt);
+  std::printf("E/W = %.2f mW   T/W = %.4f s per work unit (bound %g)\n",
+              sol.best.energy_overhead, sol.best.time_overhead, rho);
+  return 0;
+}
+
+int cmd_pairs(const io::ArgParser& args) {
+  const auto params = params_from(args);
+  const double rho = args.get_double_or("rho", 3.0);
+  io::TableWriter table({"sigma1", "best sigma2", "Wopt", "E/W", ""});
+  for (const auto& row : sweep::speed_pair_table(params, rho)) {
+    if (!row.feasible) {
+      table.add_row(
+          {io::TableWriter::cell(row.sigma1, 2), "-", "-", "-", ""});
+      continue;
+    }
+    table.add_row({io::TableWriter::cell(row.sigma1, 2),
+                   io::TableWriter::cell(row.best_sigma2, 2),
+                   io::TableWriter::cell(row.w_opt, 0),
+                   io::TableWriter::cell(row.energy_overhead, 1),
+                   row.is_global_best ? "<== best" : ""});
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+int cmd_sweep(const io::ArgParser& args) {
+  const std::string name = args.get_or("config", "Atlas/Crusoe");
+  const std::string param = args.get_or("param", "C");
+  sweep::SweepParameter parameter;
+  if (param == "C") {
+    parameter = sweep::SweepParameter::kCheckpointTime;
+  } else if (param == "V") {
+    parameter = sweep::SweepParameter::kVerificationTime;
+  } else if (param == "lambda") {
+    parameter = sweep::SweepParameter::kErrorRate;
+  } else if (param == "rho") {
+    parameter = sweep::SweepParameter::kPerformanceBound;
+  } else if (param == "Pidle") {
+    parameter = sweep::SweepParameter::kIdlePower;
+  } else if (param == "Pio") {
+    parameter = sweep::SweepParameter::kIoPower;
+  } else {
+    std::fprintf(stderr, "unknown --param=%s\n", param.c_str());
+    return 2;
+  }
+  sweep::SweepOptions options;
+  options.points =
+      static_cast<std::size_t>(args.get_long_or("points", 51));
+  options.rho = args.get_double_or("rho", 3.0);
+  const auto series = run_figure_sweep(
+      platform::configuration_by_name(name), parameter, options);
+  const sweep::Series flat = to_series(series);
+  const std::string out_dir = args.get_or("out-dir", "");
+  if (!out_dir.empty()) {
+    std::string stem = name;
+    for (auto& ch : stem) {
+      if (ch == '/') ch = '_';
+    }
+    stem += std::string("_") + sweep::to_string(parameter);
+    std::ofstream dat(out_dir + "/" + stem + ".dat");
+    io::write_gnuplot_dat(dat, flat);
+    std::ofstream script(out_dir + "/" + stem + ".gp");
+    io::write_gnuplot_script(
+        script, flat, stem + ".dat",
+        parameter == sweep::SweepParameter::kErrorRate);
+    std::printf("wrote %s/%s.dat and .gp\n", out_dir.c_str(), stem.c_str());
+    return 0;
+  }
+  // Print the flat series as an aligned table.
+  io::TableWriter table([&] {
+    io::Row header{flat.x_name()};
+    for (const auto& column : flat.column_names()) header.push_back(column);
+    return header;
+  }());
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    io::Row row{io::TableWriter::cell(flat.x()[i], 6)};
+    for (std::size_t c = 0; c < flat.column_names().size(); ++c) {
+      row.push_back(io::TableWriter::cell(flat.column(c)[i], 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+int cmd_simulate(const io::ArgParser& args) {
+  auto params = params_from(args);
+  const double rho = args.get_double_or("rho", 3.0);
+  const double boost = args.get_double_or("boost", 50.0);
+  const core::BiCritSolver solver(params);
+  const auto sol = solver.solve(rho);
+  if (!sol.feasible) {
+    std::printf("infeasible bound\n");
+    return 1;
+  }
+  params.lambda_silent *= boost;
+  const sim::Simulator simulator(params);
+  sim::MonteCarloOptions options;
+  options.replications =
+      static_cast<std::size_t>(args.get_long_or("reps", 200));
+  options.total_work =
+      args.get_double_or("work", 50.0 * sol.best.w_opt);
+  options.base_seed =
+      static_cast<std::uint64_t>(args.get_long_or("seed", 1));
+  const auto mc = sim::run_monte_carlo(
+      simulator, sim::ExecutionPolicy::from_solution(sol.best), options);
+  const double t_model = core::time_overhead(params, sol.best.w_opt,
+                                             sol.best.sigma1,
+                                             sol.best.sigma2);
+  const double e_model = core::energy_overhead(params, sol.best.w_opt,
+                                               sol.best.sigma1,
+                                               sol.best.sigma2);
+  std::printf("policy (%.2f, %.2f), W = %.0f, lambda boosted x%g\n",
+              sol.best.sigma1, sol.best.sigma2, sol.best.w_opt, boost);
+  std::printf("T/W: model %.4f | simulated %.4f +/- %.4f\n", t_model,
+              mc.time_overhead.mean(), mc.time_ci.half_width());
+  std::printf("E/W: model %.2f | simulated %.2f +/- %.2f\n", e_model,
+              mc.energy_overhead.mean(), mc.energy_ci.half_width());
+  std::printf("errors/run: %.1f silent, %.1f fail-stop\n",
+              mc.silent_errors.mean(), mc.failstop_errors.mean());
+  return 0;
+}
+
+int cmd_plan(const io::ArgParser& args) {
+  const auto params = params_from(args);
+  const double rho = args.get_double_or("rho", 3.0);
+  const double days = args.get_double_or("days", 30.0);
+  const auto plan = core::plan_campaign(params, rho, days * 86400.0);
+  if (!plan.feasible) {
+    std::printf("infeasible bound\n");
+    return 1;
+  }
+  std::printf("policy (%.2f, %.2f), W = %.0f, %.0f patterns\n",
+              plan.policy.sigma1, plan.policy.sigma2, plan.policy.w_opt,
+              plan.patterns);
+  std::printf("expected makespan %.2f days (ideal %.2f), energy %.4g "
+              "mW.s\n",
+              plan.expected_makespan_s / 86400.0,
+              plan.ideal_makespan_s / 86400.0, plan.expected_energy_mws);
+  std::printf("E[attempts/pattern] = %.4f, expected errors %.2f\n",
+              plan.attempts.expected_attempts, plan.expected_errors);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const io::ArgParser args(argc - 1, argv + 1);
+  if (command == "configs") return cmd_configs();
+  if (command == "solve") return cmd_solve(args);
+  if (command == "pairs") return cmd_pairs(args);
+  if (command == "sweep") return cmd_sweep(args);
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "plan") return cmd_plan(args);
+  return usage();
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "error: %s\n", error.what());
+  return 1;
+}
