@@ -1,14 +1,13 @@
 // Figure 5 — optimal solution vs performance bound rho in the Atlas/Crusoe
-// configuration (paper section 4.3). Prints the three panels the figure
-// plots (optimal speeds, optimal pattern size, energy overhead) for the
-// two-speed optimum and the single-speed baseline. Pass --out-dir=DIR to
-// also export gnuplot .dat/.gp artifacts.
+// configuration (paper section 4.3).
+// The scenario is data in engine::scenario_registry(); this bench just
+// resolves and prints it. Pass --out-dir=DIR to also export gnuplot
+// .dat/.gp artifacts.
 
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
-  rexspeed::bench::run_and_print(
-      "Atlas/Crusoe", rexspeed::sweep::SweepParameter::kPerformanceBound,
-      rexspeed::bench::out_dir_from_args(argc, argv));
+  rexspeed::bench::run_registered(
+      "fig05", rexspeed::bench::out_dir_from_args(argc, argv));
   return 0;
 }

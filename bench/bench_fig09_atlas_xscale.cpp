@@ -1,11 +1,13 @@
-// Figure 9 — the six parameter sweeps (C, V, lambda, rho, Pidle,
-// Pio) on the Atlas/XScale configuration (paper section 4.3.4). Pass
-// --out-dir=DIR to also export gnuplot .dat/.gp artifacts.
+// Figure 9 — the six parameter sweeps on the Atlas/XScale configuration
+// (paper section 4.3.4).
+// The scenario is data in engine::scenario_registry(); this bench just
+// resolves and prints it. Pass --out-dir=DIR to also export gnuplot
+// .dat/.gp artifacts.
 
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
-  rexspeed::bench::run_and_print_all(
-      "Atlas/XScale", rexspeed::bench::out_dir_from_args(argc, argv));
+  rexspeed::bench::run_registered(
+      "fig09", rexspeed::bench::out_dir_from_args(argc, argv));
   return 0;
 }

@@ -7,9 +7,11 @@
 
 #include "rexspeed/core/bicrit_solver.hpp"
 #include "rexspeed/core/exact_expectations.hpp"
+#include "rexspeed/engine/solver_context.hpp"
 #include "rexspeed/platform/configuration.hpp"
 #include "rexspeed/sim/simulator.hpp"
 #include "rexspeed/sweep/figure_sweeps.hpp"
+#include "rexspeed/sweep/grid.hpp"
 
 using namespace rexspeed;
 
@@ -28,6 +30,52 @@ void BM_SolveFirstOrder(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SolveFirstOrder);
+
+void BM_SolverConstruction(benchmark::State& state) {
+  // Cost of precomputing the K² expansions — what a shared context pays
+  // once and the per-call path used to pay on every solve.
+  const auto params = hera_xscale();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BiCritSolver(params));
+  }
+}
+BENCHMARK(BM_SolverConstruction);
+
+void BM_RhoSweepColdSolverPerPoint(benchmark::State& state) {
+  // The pre-engine sweep shape: every grid point of a ρ sweep rebuilt the
+  // solver, recomputing all first-order expansions 51 times per panel.
+  const auto params = hera_xscale();
+  const auto grid = sweep::linspace(1.0, 3.5, 51);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const double rho : grid) {
+      const core::BiCritSolver solver(params);
+      acc += solver.solve(rho).best.energy_overhead;
+      acc += solver.solve(rho, core::SpeedPolicy::kSingleSpeed)
+                 .best.energy_overhead;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_RhoSweepColdSolverPerPoint);
+
+void BM_RhoSweepSharedContext(benchmark::State& state) {
+  // The engine's ρ-sweep fast path: one SolverContext serves the whole
+  // grid, so repeated solves are cheap lookups + feasibility math.
+  const auto params = hera_xscale();
+  const auto grid = sweep::linspace(1.0, 3.5, 51);
+  for (auto _ : state) {
+    const engine::SolverContext context(params);
+    double acc = 0.0;
+    for (const double rho : grid) {
+      acc += context.solve(rho).best.energy_overhead;
+      acc += context.solve(rho, core::SpeedPolicy::kSingleSpeed)
+                 .best.energy_overhead;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_RhoSweepSharedContext);
 
 void BM_SolveFirstOrderScalesWithK(benchmark::State& state) {
   // Synthetic speed sets of growing size to exhibit the K² scaling.
@@ -91,6 +139,18 @@ void BM_FigureSweepPanel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FigureSweepPanel);
+
+void BM_FigureSweepRhoPanel(benchmark::State& state) {
+  // ρ panel: exercises the shared-context fast path end to end.
+  const auto& config = platform::configuration_by_name("Atlas/Crusoe");
+  sweep::SweepOptions options;
+  options.points = 51;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_figure_sweep(
+        config, sweep::SweepParameter::kPerformanceBound, options));
+  }
+}
+BENCHMARK(BM_FigureSweepRhoPanel);
 
 }  // namespace
 

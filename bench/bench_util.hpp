@@ -9,6 +9,8 @@
 #include <fstream>
 #include <string>
 
+#include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/engine/sweep_engine.hpp"
 #include "rexspeed/io/cli.hpp"
 #include "rexspeed/io/gnuplot_writer.hpp"
 #include "rexspeed/io/table_writer.hpp"
@@ -17,30 +19,25 @@
 
 namespace rexspeed::bench {
 
+/// One engine shared by every bench in the process: sweeps run through its
+/// pool, parallel by default (results are bit-identical to a serial run).
+inline const engine::SweepEngine& shared_engine() {
+  static const engine::SweepEngine kEngine;
+  return kEngine;
+}
+
 /// Dumps a figure panel as <out_dir>/<config>_<param>.dat plus a matching
 /// gnuplot script, so the paper's plots can be regenerated externally.
 inline void export_figure_series(const sweep::FigureSeries& series,
                                  const std::string& out_dir) {
-  std::string stem = series.configuration;
-  for (auto& ch : stem) {
-    if (ch == '/') ch = '_';
+  const auto stem = io::export_gnuplot_figure(series, out_dir);
+  if (!stem) {
+    std::fprintf(stderr, "error: cannot write to out-dir %s\n",
+                 out_dir.c_str());
+    return;
   }
-  stem += "_";
-  stem += sweep::to_string(series.parameter);
-  const std::string dat_name = stem + ".dat";
-  const sweep::Series flat = to_series(series);
-  {
-    std::ofstream dat(out_dir + "/" + dat_name);
-    io::write_gnuplot_dat(dat, flat);
-  }
-  {
-    std::ofstream script(out_dir + "/" + stem + ".gp");
-    io::write_gnuplot_script(
-        script, flat, dat_name,
-        series.parameter == sweep::SweepParameter::kErrorRate);
-  }
-  std::printf("wrote %s/%s and %s/%s.gp\n", out_dir.c_str(),
-              dat_name.c_str(), out_dir.c_str(), stem.c_str());
+  std::printf("wrote %s/%s.dat and %s/%s.gp\n", out_dir.c_str(),
+              stem->c_str(), out_dir.c_str(), stem->c_str());
 }
 
 /// Prints one figure panel as an aligned table, sampling every `stride`-th
@@ -85,15 +82,16 @@ inline void print_figure_series(const sweep::FigureSeries& series,
               100.0 * series.max_energy_saving());
 }
 
-/// Runs one sweep on a named configuration and prints it; when `out_dir`
-/// is non-empty the series is also exported for gnuplot.
+/// Runs one sweep on a named configuration through the shared engine and
+/// prints it; when `out_dir` is non-empty the series is also exported for
+/// gnuplot.
 inline void run_and_print(const std::string& config_name,
                           sweep::SweepParameter parameter,
                           const std::string& out_dir = {},
                           std::size_t points = 51, std::size_t stride = 5) {
   sweep::SweepOptions options;
   options.points = points;
-  const auto series = sweep::run_figure_sweep(
+  const auto series = shared_engine().run_panel(
       platform::configuration_by_name(config_name), parameter, options);
   print_figure_series(series, stride);
   if (!out_dir.empty()) export_figure_series(series, out_dir);
@@ -106,12 +104,28 @@ inline void run_and_print_all(const std::string& config_name,
                               std::size_t stride = 10) {
   std::printf("==== All six parameter sweeps on %s ====\n\n",
               config_name.c_str());
-  sweep::SweepOptions options;
-  options.points = points;
-  const auto panels = sweep::run_all_sweeps(
-      platform::configuration_by_name(config_name), options);
-  for (const auto& panel : panels) {
+  engine::ScenarioSpec spec;
+  spec.configuration = config_name;
+  spec.points = points;
+  for (const auto& panel : shared_engine().run_all(spec)) {
     print_figure_series(panel, stride);
+    if (!out_dir.empty()) export_figure_series(panel, out_dir);
+  }
+}
+
+/// Runs a registered scenario (see engine::scenario_registry) and prints
+/// every panel it produces — the figure benches are one-liners over this.
+inline void run_registered(const std::string& scenario_name,
+                           const std::string& out_dir = {}) {
+  const engine::ScenarioSpec& spec =
+      engine::scenario_by_name(scenario_name);
+  const bool composite = spec.kind() == engine::ScenarioKind::kAllSweeps;
+  if (composite) {
+    std::printf("==== %s: %s ====\n\n", spec.name.c_str(),
+                spec.description.c_str());
+  }
+  for (const auto& panel : shared_engine().run_scenario(spec)) {
+    print_figure_series(panel, composite ? 10 : 5);
     if (!out_dir.empty()) export_figure_series(panel, out_dir);
   }
 }

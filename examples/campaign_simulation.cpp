@@ -12,7 +12,7 @@
 #include <cstdio>
 #include <exception>
 
-#include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/engine/solver_context.hpp"
 #include "rexspeed/core/exact_expectations.hpp"
 #include "rexspeed/io/cli.hpp"
 #include "rexspeed/io/table_writer.hpp"
@@ -62,7 +62,7 @@ int main(int argc, char** argv) try {
 
   auto params = core::ModelParams::from_configuration(
       platform::configuration_by_name(config_name));
-  const core::BiCritSolver solver(params);
+  const engine::SolverContext solver(params);
   const auto two = solver.solve(rho, core::SpeedPolicy::kTwoSpeed);
   const auto one = solver.solve(rho, core::SpeedPolicy::kSingleSpeed);
   if (!two.feasible || !one.feasible) {
@@ -74,7 +74,7 @@ int main(int argc, char** argv) try {
   // Boost the error rate so a laptop-scale simulation sees enough errors;
   // the policy itself is recomputed for the boosted rate to stay optimal.
   params.lambda_silent *= boost;
-  const core::BiCritSolver hot_solver(params);
+  const engine::SolverContext hot_solver(params);
   const auto hot_two = hot_solver.solve(rho, core::SpeedPolicy::kTwoSpeed);
   const auto hot_one = hot_solver.solve(rho, core::SpeedPolicy::kSingleSpeed);
 

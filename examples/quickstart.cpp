@@ -1,6 +1,7 @@
-// Quickstart: solve the BiCrit problem for a paper configuration, print
-// the optimal checkpointing policy, then replay it in the fault-injection
-// simulator and show a Figure-1-style execution trace.
+// Quickstart: describe the workload as an engine scenario, solve the
+// BiCrit problem off a cached solver context, print the optimal
+// checkpointing policy, then replay it in the fault-injection simulator
+// and show a Figure-1-style execution trace.
 //
 // Usage:
 //   quickstart [--config=Hera/XScale] [--rho=3.0] [--seed=1]
@@ -8,9 +9,9 @@
 #include <cstdio>
 #include <exception>
 
-#include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/engine/solver_context.hpp"
 #include "rexspeed/io/cli.hpp"
-#include "rexspeed/platform/configuration.hpp"
 #include "rexspeed/sim/monte_carlo.hpp"
 
 using namespace rexspeed;
@@ -18,11 +19,15 @@ using namespace rexspeed;
 int main(int argc, char** argv) try {
   const io::ArgParser args(argc, argv);
   const std::string config_name = args.get_or("config", "Hera/XScale");
-  const double rho = args.get_double_or("rho", 3.0);
   const auto seed = static_cast<std::uint64_t>(args.get_long_or("seed", 1));
 
-  const auto& config = platform::configuration_by_name(config_name);
-  const auto params = core::ModelParams::from_configuration(config);
+  // The workload is data: a scenario spec the CLI, benches and tests
+  // share. Any model parameter could be overridden the same way.
+  engine::ScenarioSpec scenario;
+  scenario.name = "quickstart";
+  scenario.configuration = config_name;
+  engine::apply_token(scenario, "rho", args.get_or("rho", "3.0"));
+  const auto params = scenario.resolve_params();
 
   std::printf("Configuration %s: lambda=%.3g 1/s, C=%.0f s, V=%.1f s, "
               "kappa=%.0f mW, Pidle=%.1f mW, Pio=%.1f mW\n",
@@ -31,8 +36,9 @@ int main(int argc, char** argv) try {
               params.io_power_mw);
 
   // 1. Solve BiCrit: minimize energy per work unit subject to T/W <= rho.
-  const core::BiCritSolver solver(params);
-  const core::BiCritSolution sol = solver.solve(rho);
+  const double rho = scenario.rho;
+  const engine::SolverContext context(params);
+  const core::BiCritSolution sol = context.solve(rho);
   if (!sol.feasible) {
     std::printf("No speed pair satisfies rho = %.3f on this platform.\n",
                 rho);

@@ -9,13 +9,31 @@
 
 namespace rexspeed::core {
 
-PairSolution BiCritSolution::best_for_sigma1(double sigma1) const {
+PairExpansion PairExpansion::make(const ModelParams& params, double sigma1,
+                                  double sigma2, int index1, int index2) {
+  PairExpansion pair;
+  pair.sigma1 = sigma1;
+  pair.sigma2 = sigma2;
+  pair.index1 = index1;
+  pair.index2 = index2;
+  pair.time_exp = time_expansion(params, sigma1, sigma2);
+  pair.energy_exp = energy_expansion(params, sigma1, sigma2);
+  pair.first_order_valid =
+      pair.time_exp.y > 0.0 && pair.energy_exp.y > 0.0;
+  pair.rho_min = rexspeed::core::rho_min(pair.time_exp);
+  return pair;
+}
+
+PairSolution BiCritSolution::best_for_sigma1_index(std::size_t index) const {
   PairSolution row;
-  row.sigma1 = sigma1;
+  row.sigma1_index = static_cast<int>(index);
   row.feasible = false;
   double best_energy = std::numeric_limits<double>::infinity();
   for (const auto& pair : pairs) {
-    if (pair.sigma1 != sigma1 || !pair.feasible) continue;
+    if (pair.sigma1_index != static_cast<int>(index)) continue;
+    row.sigma1 = pair.sigma1;  // report the actual speed even when no
+                               // second speed is feasible
+    if (!pair.feasible) continue;
     if (pair.energy_overhead < best_energy) {
       best_energy = pair.energy_overhead;
       row = pair;
@@ -24,24 +42,59 @@ PairSolution BiCritSolution::best_for_sigma1(double sigma1) const {
   return row;
 }
 
-BiCritSolver::BiCritSolver(ModelParams params) : params_(std::move(params)) {
-  params_.validate();
+PairSolution BiCritSolution::best_for_sigma1(double sigma1) const {
+  // Resolve the requested speed to an index present in `pairs`, then
+  // select by index — never by floating-point equality.
+  int index = -1;
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (const auto& pair : pairs) {
+    if (pair.sigma1_index < 0) continue;
+    const double gap = std::abs(pair.sigma1 - sigma1);
+    if (gap < best_gap) {
+      best_gap = gap;
+      index = pair.sigma1_index;
+    }
+  }
+  if (index < 0) {
+    PairSolution row;
+    row.sigma1 = sigma1;
+    row.feasible = false;
+    return row;
+  }
+  return best_for_sigma1_index(static_cast<std::size_t>(index));
 }
 
-PairSolution BiCritSolver::solve_pair(double rho, double sigma1,
-                                      double sigma2, EvalMode mode) const {
+BiCritSolver::BiCritSolver(ModelParams params) : params_(std::move(params)) {
+  params_.validate();
+  const std::size_t k = params_.speeds.size();
+  cache_.reserve(k * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      cache_.push_back(PairExpansion::make(params_, params_.speeds[i],
+                                           params_.speeds[j],
+                                           static_cast<int>(i),
+                                           static_cast<int>(j)));
+    }
+  }
+}
+
+PairSolution BiCritSolver::solve_cached_pair(double rho,
+                                             const PairExpansion& pair,
+                                             EvalMode mode) const {
   if (!(rho > 0.0)) {
     throw std::invalid_argument("BiCritSolver: rho must be positive");
   }
   PairSolution sol;
-  sol.sigma1 = sigma1;
-  sol.sigma2 = sigma2;
+  sol.sigma1 = pair.sigma1;
+  sol.sigma2 = pair.sigma2;
+  sol.sigma1_index = pair.index1;
+  sol.sigma2_index = pair.index2;
 
   if (mode == EvalMode::kExactOptimize) {
-    const ExactPairResult exact =
-        optimize_exact_pair(params_, rho, sigma1, sigma2, numeric_options_);
+    const ExactPairResult exact = optimize_exact_pair(
+        params_, rho, pair.sigma1, pair.sigma2, numeric_options_);
     sol.feasible = exact.feasible;
-    sol.first_order_valid = first_order_valid(params_, sigma1, sigma2);
+    sol.first_order_valid = pair.first_order_valid;
     sol.rho_min = std::numeric_limits<double>::quiet_NaN();
     sol.w_opt = exact.w_opt;
     sol.w_energy = exact.w_opt;
@@ -52,11 +105,8 @@ PairSolution BiCritSolver::solve_pair(double rho, double sigma1,
     return sol;
   }
 
-  const OverheadExpansion time_exp = time_expansion(params_, sigma1, sigma2);
-  const OverheadExpansion energy_exp =
-      energy_expansion(params_, sigma1, sigma2);
-  sol.first_order_valid = time_exp.y > 0.0 && energy_exp.y > 0.0;
-  sol.rho_min = rho_min(time_exp);
+  sol.first_order_valid = pair.first_order_valid;
+  sol.rho_min = pair.rho_min;
   if (!sol.first_order_valid) {
     // Outside the validity window of §5.2 the closed form is meaningless;
     // callers should switch to kExactOptimize.
@@ -64,7 +114,7 @@ PairSolution BiCritSolver::solve_pair(double rho, double sigma1,
     return sol;
   }
 
-  const FeasibleInterval interval = feasible_interval(time_exp, rho);
+  const FeasibleInterval interval = feasible_interval(pair.time_exp, rho);
   if (!interval.feasible()) {
     sol.feasible = false;
     return sol;
@@ -73,8 +123,8 @@ PairSolution BiCritSolver::solve_pair(double rho, double sigma1,
   sol.w_max = interval.w_max;
 
   // Eq. (5): unconstrained energy optimum; Eq. (4): clamp into [W1, W2].
-  sol.w_energy = energy_exp.has_interior_minimum()
-                     ? energy_exp.argmin()
+  sol.w_energy = pair.energy_exp.has_interior_minimum()
+                     ? pair.energy_exp.argmin()
                      : interval.w_max;
   if (!std::isfinite(sol.w_energy)) {
     // Error-free model: energy overhead decreases in W forever; take the
@@ -89,41 +139,67 @@ PairSolution BiCritSolver::solve_pair(double rho, double sigma1,
   sol.feasible = true;
 
   if (mode == EvalMode::kFirstOrder) {
-    sol.energy_overhead = energy_exp.evaluate(sol.w_opt);
-    sol.time_overhead = time_exp.evaluate(sol.w_opt);
+    sol.energy_overhead = pair.energy_exp.evaluate(sol.w_opt);
+    sol.time_overhead = pair.time_exp.evaluate(sol.w_opt);
   } else {  // kExactEvaluation
-    sol.energy_overhead = energy_overhead(params_, sol.w_opt, sigma1, sigma2);
-    sol.time_overhead = time_overhead(params_, sol.w_opt, sigma1, sigma2);
+    sol.energy_overhead =
+        energy_overhead(params_, sol.w_opt, pair.sigma1, pair.sigma2);
+    sol.time_overhead =
+        time_overhead(params_, sol.w_opt, pair.sigma1, pair.sigma2);
   }
   return sol;
+}
+
+PairSolution BiCritSolver::solve_pair_by_index(double rho, std::size_t i,
+                                               std::size_t j,
+                                               EvalMode mode) const {
+  const std::size_t k = params_.speeds.size();
+  if (i >= k || j >= k) {
+    throw std::out_of_range("BiCritSolver: speed index out of range");
+  }
+  return solve_cached_pair(rho, cache_[i * k + j], mode);
+}
+
+PairSolution BiCritSolver::solve_pair(double rho, double sigma1,
+                                      double sigma2, EvalMode mode) const {
+  // Hit the cache when both speeds are members of the speed set (bitwise
+  // match: callers pass values read from ModelParams::speeds).
+  const auto& speeds = params_.speeds;
+  const auto it1 = std::find(speeds.begin(), speeds.end(), sigma1);
+  const auto it2 = std::find(speeds.begin(), speeds.end(), sigma2);
+  if (it1 != speeds.end() && it2 != speeds.end()) {
+    return solve_pair_by_index(
+        rho, static_cast<std::size_t>(it1 - speeds.begin()),
+        static_cast<std::size_t>(it2 - speeds.begin()), mode);
+  }
+  return solve_cached_pair(rho, PairExpansion::make(params_, sigma1, sigma2),
+                           mode);
 }
 
 PairSolution BiCritSolver::min_rho_solution(SpeedPolicy policy) const {
   PairSolution best;
   best.feasible = false;
   double best_rho = std::numeric_limits<double>::infinity();
-  for (const double s1 : params_.speeds) {
-    for (const double s2 : params_.speeds) {
-      if (policy == SpeedPolicy::kSingleSpeed && s1 != s2) continue;
-      const OverheadExpansion time_exp = time_expansion(params_, s1, s2);
-      const OverheadExpansion energy_exp =
-          energy_expansion(params_, s1, s2);
-      if (!(time_exp.y > 0.0) || !(energy_exp.y > 0.0)) continue;
-      const double bound = rho_min(time_exp);
-      if (bound >= best_rho) continue;
-      best_rho = bound;
-      best.feasible = true;
-      best.first_order_valid = true;
-      best.sigma1 = s1;
-      best.sigma2 = s2;
-      best.rho_min = bound;
-      best.w_opt = time_exp.argmin();  // tangency pattern size
-      best.w_energy = energy_exp.argmin();
-      best.w_min = best.w_opt;
-      best.w_max = best.w_opt;
-      best.time_overhead = time_exp.evaluate(best.w_opt);
-      best.energy_overhead = energy_exp.evaluate(best.w_opt);
+  for (const PairExpansion& pair : cache_) {
+    if (policy == SpeedPolicy::kSingleSpeed && pair.index1 != pair.index2) {
+      continue;
     }
+    if (!pair.first_order_valid) continue;
+    if (pair.rho_min >= best_rho) continue;
+    best_rho = pair.rho_min;
+    best.feasible = true;
+    best.first_order_valid = true;
+    best.sigma1 = pair.sigma1;
+    best.sigma2 = pair.sigma2;
+    best.sigma1_index = pair.index1;
+    best.sigma2_index = pair.index2;
+    best.rho_min = pair.rho_min;
+    best.w_opt = pair.time_exp.argmin();  // tangency pattern size
+    best.w_energy = pair.energy_exp.argmin();
+    best.w_min = best.w_opt;
+    best.w_max = best.w_opt;
+    best.time_overhead = pair.time_exp.evaluate(best.w_opt);
+    best.energy_overhead = pair.energy_exp.evaluate(best.w_opt);
   }
   return best;
 }
@@ -131,19 +207,20 @@ PairSolution BiCritSolver::min_rho_solution(SpeedPolicy policy) const {
 BiCritSolution BiCritSolver::solve(double rho, SpeedPolicy policy,
                                    EvalMode mode) const {
   BiCritSolution solution;
-  solution.pairs.reserve(params_.speeds.size() * params_.speeds.size());
+  solution.pairs.reserve(cache_.size());
   double best_energy = std::numeric_limits<double>::infinity();
-  for (const double s1 : params_.speeds) {
-    for (const double s2 : params_.speeds) {
-      if (policy == SpeedPolicy::kSingleSpeed && s1 != s2) continue;
-      PairSolution pair = solve_pair(rho, s1, s2, mode);
-      if (pair.feasible && pair.energy_overhead < best_energy) {
-        best_energy = pair.energy_overhead;
-        solution.best = pair;
-        solution.feasible = true;
-      }
-      solution.pairs.push_back(std::move(pair));
+  for (const PairExpansion& cached : cache_) {
+    if (policy == SpeedPolicy::kSingleSpeed &&
+        cached.index1 != cached.index2) {
+      continue;
     }
+    PairSolution pair = solve_cached_pair(rho, cached, mode);
+    if (pair.feasible && pair.energy_overhead < best_energy) {
+      best_energy = pair.energy_overhead;
+      solution.best = pair;
+      solution.feasible = true;
+    }
+    solution.pairs.push_back(std::move(pair));
   }
   return solution;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "rexspeed/core/feasibility.hpp"
@@ -26,16 +27,49 @@ enum class EvalMode {
                      ///< (valid outside the first-order window)
 };
 
+/// Everything about a speed pair (σ1, σ2) that depends only on the model
+/// parameters — not on the performance bound ρ. The solver precomputes one
+/// of these per pair at construction, so every solve afterwards is pure
+/// feasibility math on cached expansions. `index1`/`index2` are positions
+/// in ModelParams::speeds, or -1 for speeds outside the set (the
+/// out-of-set path of solve_pair).
+struct PairExpansion {
+  double sigma1 = 0.0;
+  double sigma2 = 0.0;
+  int index1 = -1;
+  int index2 = -1;
+  OverheadExpansion time_exp;
+  OverheadExpansion energy_exp;
+  /// Both expansions have y > 0 (paper §5.2 validity window).
+  bool first_order_valid = true;
+  /// Minimum admissible bound ρ_{i,j} (Eq. (6) generalized). Derived from
+  /// the time expansion alone: −inf when time_exp.y ≤ 0, but still finite
+  /// when only the energy expansion is invalid — check first_order_valid
+  /// before ranking pairs by this value.
+  double rho_min = 0.0;
+
+  /// Builds the pair-invariant data for one speed pair.
+  [[nodiscard]] static PairExpansion make(const ModelParams& params,
+                                          double sigma1, double sigma2,
+                                          int index1 = -1, int index2 = -1);
+};
+
 /// Outcome for one speed pair (σ1, σ2).
 struct PairSolution {
   double sigma1 = 0.0;
   double sigma2 = 0.0;
+  /// Positions of σ1/σ2 in the speed set (-1 when the pair was solved for
+  /// speeds outside the set). Pair selection — best_for_sigma1, the
+  /// single-speed filter — goes through these indices, never through
+  /// floating-point equality on the speeds themselves.
+  int sigma1_index = -1;
+  int sigma2_index = -1;
   bool feasible = false;
   /// True when the first-order expansions have positive W coefficients for
   /// this pair (always true with silent errors only).
   bool first_order_valid = true;
   /// Minimum admissible bound ρ_{i,j} for this pair (Eq. (6) generalized);
-  /// −inf when the first-order expansion is invalid.
+  /// −inf when the time expansion is invalid (see PairExpansion::rho_min).
   double rho_min = 0.0;
   /// Chosen pattern size Wopt (Eq. (4)).
   double w_opt = 0.0;
@@ -54,15 +88,26 @@ struct BiCritSolution {
   PairSolution best;
   std::vector<PairSolution> pairs;
 
-  /// Best pair restricted to a given first speed (the per-row entries of
-  /// the paper's §4.2 tables). Returns an infeasible PairSolution when no
-  /// second speed satisfies the bound.
+  /// Best pair restricted to a given first-speed index (the per-row
+  /// entries of the paper's §4.2 tables). Returns an infeasible
+  /// PairSolution when no second speed satisfies the bound.
+  [[nodiscard]] PairSolution best_for_sigma1_index(std::size_t index) const;
+
+  /// Same, addressed by speed value: resolves `sigma1` to the nearest
+  /// first speed present in `pairs` (no exact floating-point match
+  /// required), then selects by index.
   [[nodiscard]] PairSolution best_for_sigma1(double sigma1) const;
 };
 
 /// The paper's O(K²) BiCrit solver (§3): enumerate speed pairs, discard
 /// those whose ρ_{i,j} exceeds the bound, compute Wopt by Theorem 1, and
 /// return the pair with the smallest energy overhead.
+///
+/// Construction precomputes the K² first-order expansions (time + energy),
+/// per-pair ρ_min and validity flags; solve/solve_pair/min_rho_solution
+/// afterwards are cheap lookups plus feasibility math. Reusing one solver
+/// across many bounds (a ρ sweep) therefore costs the expansions once —
+/// engine::SolverContext builds on exactly this property.
 class BiCritSolver {
  public:
   explicit BiCritSolver(ModelParams params);
@@ -72,10 +117,16 @@ class BiCritSolver {
       double rho, SpeedPolicy policy = SpeedPolicy::kTwoSpeed,
       EvalMode mode = EvalMode::kFirstOrder) const;
 
-  /// Solves a single speed pair.
+  /// Solves a single speed pair. Speeds from the model's speed set hit the
+  /// precomputed cache; other values are expanded on the fly.
   [[nodiscard]] PairSolution solve_pair(double rho, double sigma1,
                                         double sigma2,
                                         EvalMode mode) const;
+
+  /// Solves the speed pair at positions (i, j) of the speed set.
+  [[nodiscard]] PairSolution solve_pair_by_index(double rho, std::size_t i,
+                                                 std::size_t j,
+                                                 EvalMode mode) const;
 
   /// Best-effort policy when no pair satisfies the bound: the pair with
   /// the smallest achievable bound ρ_{i,j}, run at its time-optimal
@@ -89,9 +140,21 @@ class BiCritSolver {
 
   [[nodiscard]] const ModelParams& params() const noexcept { return params_; }
 
+  /// The cached pair-invariant data, row-major over the K×K speed grid.
+  [[nodiscard]] const std::vector<PairExpansion>& pair_expansions()
+      const noexcept {
+    return cache_;
+  }
+
  private:
+  [[nodiscard]] PairSolution solve_cached_pair(double rho,
+                                               const PairExpansion& pair,
+                                               EvalMode mode) const;
+
   ModelParams params_;
   NumericOptions numeric_options_;
+  /// K² PairExpansions, entry (i, j) at i * K + j.
+  std::vector<PairExpansion> cache_;
 };
 
 }  // namespace rexspeed::core

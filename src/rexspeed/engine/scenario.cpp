@@ -1,0 +1,254 @@
+#include "rexspeed/engine/scenario.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "rexspeed/platform/configuration.hpp"
+
+namespace rexspeed::engine {
+
+core::ModelParams ScenarioSpec::resolve_params() const {
+  core::ModelParams params = core::ModelParams::from_configuration(
+      platform::configuration_by_name(configuration));
+  for (const ParamOverride& override_ : overrides) {
+    apply_override(params, override_);
+  }
+  params.validate();
+  return params;
+}
+
+SolverContext ScenarioSpec::make_context() const {
+  return SolverContext(resolve_params());
+}
+
+sweep::SweepOptions ScenarioSpec::sweep_options(
+    sweep::ThreadPool* pool) const {
+  sweep::SweepOptions options;
+  options.rho = rho;
+  options.points = points;
+  options.mode = mode;
+  options.min_rho_fallback = min_rho_fallback;
+  options.pool = pool;
+  return options;
+}
+
+void apply_override(core::ModelParams& params,
+                    const ParamOverride& override_) {
+  const std::string& key = override_.key;
+  const double value = override_.value;
+  if (key == "lambda") {
+    params.lambda_silent = value;
+  } else if (key == "lambda_failstop") {
+    params.lambda_failstop = value;
+  } else if (key == "C") {
+    params.checkpoint_s = value;
+  } else if (key == "R") {
+    params.recovery_s = value;
+  } else if (key == "V") {
+    params.verification_s = value;
+  } else if (key == "kappa") {
+    params.kappa_mw = value;
+  } else if (key == "Pidle") {
+    params.idle_power_mw = value;
+  } else if (key == "Pio") {
+    params.io_power_mw = value;
+  } else {
+    throw std::invalid_argument(
+        "apply_override: unknown model parameter '" + key + "'");
+  }
+}
+
+namespace {
+
+double parse_double(const std::string& key, const std::string& value) {
+  std::size_t consumed = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != value.size() || value.empty()) {
+    throw std::invalid_argument("scenario: malformed number '" + value +
+                                "' for key '" + key + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+void apply_token(ScenarioSpec& spec, const std::string& key,
+                 const std::string& value) {
+  if (key == "name") {
+    spec.name = value;
+  } else if (key == "config") {
+    spec.configuration = value;
+  } else if (key == "rho") {
+    spec.rho = parse_double(key, value);
+  } else if (key == "points") {
+    const double points = parse_double(key, value);
+    if (!(points >= 1.0)) {
+      throw std::invalid_argument("scenario: points must be >= 1");
+    }
+    spec.points = static_cast<std::size_t>(points);
+  } else if (key == "param") {
+    if (value == "all") {
+      spec.all_panels = true;
+      spec.sweep_parameter.reset();
+    } else if (value == "none") {
+      spec.all_panels = false;
+      spec.sweep_parameter.reset();
+    } else if (const auto parameter = sweep::parse_sweep_parameter(value)) {
+      spec.all_panels = false;
+      spec.sweep_parameter = *parameter;
+    } else {
+      throw std::invalid_argument(
+          "scenario: unknown sweep parameter '" + value +
+          "' (expected C, V, lambda, rho, Pidle, Pio, all or none)");
+    }
+  } else if (key == "policy") {
+    if (value == "two-speed") {
+      spec.policy = core::SpeedPolicy::kTwoSpeed;
+    } else if (value == "single-speed") {
+      spec.policy = core::SpeedPolicy::kSingleSpeed;
+    } else {
+      throw std::invalid_argument("scenario: unknown policy '" + value +
+                                  "' (expected two-speed or single-speed)");
+    }
+  } else if (key == "mode") {
+    if (value == "first-order") {
+      spec.mode = core::EvalMode::kFirstOrder;
+    } else if (value == "exact-eval") {
+      spec.mode = core::EvalMode::kExactEvaluation;
+    } else if (value == "exact-opt") {
+      spec.mode = core::EvalMode::kExactOptimize;
+    } else {
+      throw std::invalid_argument(
+          "scenario: unknown mode '" + value +
+          "' (expected first-order, exact-eval or exact-opt)");
+    }
+  } else if (key == "fallback") {
+    spec.min_rho_fallback = value != "0" && value != "false";
+  } else {
+    // Everything else must be a model-parameter override; validate the
+    // key eagerly so typos fail at parse time, not at resolve time.
+    ParamOverride override_{key, parse_double(key, value)};
+    core::ModelParams probe;
+    probe.speeds = {1.0};
+    apply_override(probe, override_);
+    spec.overrides.push_back(std::move(override_));
+  }
+}
+
+ScenarioSpec parse_scenario(const std::string& text) {
+  ScenarioSpec spec;
+  std::istringstream stream(text);
+  std::string token;
+  while (stream >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument(
+          "parse_scenario: expected key=value, got '" + token + "'");
+    }
+    apply_token(spec, token.substr(0, eq), token.substr(eq + 1));
+  }
+  return spec;
+}
+
+namespace {
+
+ScenarioSpec panel(std::string name, std::string description,
+                   std::string configuration,
+                   sweep::SweepParameter parameter) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.configuration = std::move(configuration);
+  spec.sweep_parameter = parameter;
+  return spec;
+}
+
+ScenarioSpec composite(std::string name, std::string description,
+                       std::string configuration) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.configuration = std::move(configuration);
+  spec.all_panels = true;
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& scenario_registry() {
+  static const std::vector<ScenarioSpec> kRegistry = [] {
+    std::vector<ScenarioSpec> registry;
+    registry.push_back(panel("fig02", "optimum vs checkpoint time C",
+                             "Atlas/Crusoe",
+                             sweep::SweepParameter::kCheckpointTime));
+    registry.push_back(panel("fig03", "optimum vs verification time V",
+                             "Atlas/Crusoe",
+                             sweep::SweepParameter::kVerificationTime));
+    registry.push_back(panel("fig04", "optimum vs error rate lambda",
+                             "Atlas/Crusoe",
+                             sweep::SweepParameter::kErrorRate));
+    registry.push_back(panel("fig05", "optimum vs performance bound rho",
+                             "Atlas/Crusoe",
+                             sweep::SweepParameter::kPerformanceBound));
+    registry.push_back(panel("fig06", "optimum vs idle power Pidle",
+                             "Atlas/Crusoe",
+                             sweep::SweepParameter::kIdlePower));
+    registry.push_back(panel("fig07", "optimum vs I/O power Pio",
+                             "Atlas/Crusoe",
+                             sweep::SweepParameter::kIoPower));
+    registry.push_back(composite(
+        "fig08", "all six sweeps on Hera/XScale", "Hera/XScale"));
+    registry.push_back(composite(
+        "fig09", "all six sweeps on Atlas/XScale", "Atlas/XScale"));
+    registry.push_back(composite(
+        "fig10", "all six sweeps on Coastal/XScale", "Coastal/XScale"));
+    registry.push_back(composite("fig11", "all six sweeps on CoastalSSD/XScale",
+                                 "CoastalSSD/XScale"));
+    registry.push_back(composite(
+        "fig12", "all six sweeps on Hera/Crusoe", "Hera/Crusoe"));
+    registry.push_back(composite(
+        "fig13", "all six sweeps on Coastal/Crusoe", "Coastal/Crusoe"));
+    registry.push_back(composite("fig14", "all six sweeps on CoastalSSD/Crusoe",
+                                 "CoastalSSD/Crusoe"));
+    return registry;
+  }();
+  return kRegistry;
+}
+
+const ScenarioSpec* find_scenario(const std::string& name) {
+  for (const ScenarioSpec& spec : scenario_registry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+const ScenarioSpec& scenario_by_name(const std::string& name) {
+  if (const ScenarioSpec* spec = find_scenario(name)) return *spec;
+  throw std::out_of_range("scenario_by_name: unknown scenario '" + name +
+                          "'");
+}
+
+core::PairSolution solve_scenario(const ScenarioSpec& spec,
+                                  bool* used_fallback) {
+  const SolverContext context = spec.make_context();
+  return context.best(spec.rho, spec.policy, spec.mode,
+                      spec.min_rho_fallback, used_fallback);
+}
+
+sim::ExecutionPolicy make_policy(const ScenarioSpec& spec) {
+  const core::PairSolution solution = solve_scenario(spec);
+  if (!solution.feasible) {
+    throw std::runtime_error(
+        "make_policy: scenario '" + spec.name +
+        "' is infeasible at rho = " + std::to_string(spec.rho) +
+        " and its min-rho fallback is disabled");
+  }
+  return sim::ExecutionPolicy::from_solution(solution);
+}
+
+}  // namespace rexspeed::engine

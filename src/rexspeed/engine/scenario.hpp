@@ -1,0 +1,106 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/engine/solver_context.hpp"
+#include "rexspeed/sim/policy.hpp"
+#include "rexspeed/sweep/figure_sweeps.hpp"
+
+namespace rexspeed::engine {
+
+/// One named model-parameter override. Keys use the CLI vocabulary:
+/// lambda, lambda_failstop, C, R, V, kappa, Pidle, Pio.
+struct ParamOverride {
+  std::string key;
+  double value = 0.0;
+};
+
+/// What running a scenario produces.
+enum class ScenarioKind {
+  kSolve,      ///< one BiCrit solve at the scenario's bound
+  kSweep,      ///< one figure panel over `sweep_parameter`
+  kAllSweeps,  ///< all six panels (a Figure 8–14 composite)
+};
+
+/// A named, parseable description of one workload: which platform
+/// configuration to load, which model parameters to override, how to solve
+/// (speed policy, eval mode, bound) and what to sweep. Scenarios are data,
+/// not code — the CLI, benches and examples all resolve them through the
+/// same registry, and new workloads are added by registering a spec, not
+/// by writing another driver.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  /// "Platform/Processor" configuration name, e.g. "Hera/XScale".
+  std::string configuration = "Hera/XScale";
+  double rho = 3.0;
+  std::size_t points = 51;
+  core::SpeedPolicy policy = core::SpeedPolicy::kTwoSpeed;
+  core::EvalMode mode = core::EvalMode::kFirstOrder;
+  bool min_rho_fallback = true;
+  /// Set for kSweep scenarios; ignored when `all_panels` is true.
+  std::optional<sweep::SweepParameter> sweep_parameter;
+  /// True for a Figure 8–14 style six-panel composite.
+  bool all_panels = false;
+  /// Model-parameter overrides applied on top of the configuration.
+  std::vector<ParamOverride> overrides;
+
+  [[nodiscard]] ScenarioKind kind() const noexcept {
+    if (all_panels) return ScenarioKind::kAllSweeps;
+    return sweep_parameter ? ScenarioKind::kSweep : ScenarioKind::kSolve;
+  }
+
+  /// Configuration lookup + overrides → validated model parameters.
+  [[nodiscard]] core::ModelParams resolve_params() const;
+
+  /// A cached solver context for the resolved parameters.
+  [[nodiscard]] SolverContext make_context() const;
+
+  /// Sweep options carrying this scenario's ρ, grid size, eval mode and
+  /// fallback flag (pool supplied by the caller — usually a SweepEngine).
+  [[nodiscard]] sweep::SweepOptions sweep_options(
+      sweep::ThreadPool* pool = nullptr) const;
+};
+
+/// Applies one override to a parameter bundle. Throws std::invalid_argument
+/// on an unknown key.
+void apply_override(core::ModelParams& params, const ParamOverride& override_);
+
+/// Parses one "key=value" token into a spec. Structural keys: name,
+/// config, rho, points, param (a sweep-parameter name, "all" or "none"),
+/// policy (two-speed | single-speed), mode (first-order | exact-eval |
+/// exact-opt), fallback (0 | 1). Every other key must be a model-parameter
+/// override key (see ParamOverride). Throws std::invalid_argument on an
+/// unknown key or malformed value.
+void apply_token(ScenarioSpec& spec, const std::string& key,
+                 const std::string& value);
+
+/// Parses a whitespace-separated "key=value ..." scenario description,
+/// e.g. "config=Atlas/Crusoe param=C points=21 rho=2.5 V=300".
+[[nodiscard]] ScenarioSpec parse_scenario(const std::string& text);
+
+/// The built-in scenario registry: the paper's Figures 2–14 as data
+/// (fig02…fig07 single panels on Atlas/Crusoe, fig08…fig14 six-panel
+/// composites over the eight configurations).
+[[nodiscard]] const std::vector<ScenarioSpec>& scenario_registry();
+
+/// Registry lookup; null when unknown.
+[[nodiscard]] const ScenarioSpec* find_scenario(const std::string& name);
+
+/// Registry lookup; throws std::out_of_range when unknown.
+[[nodiscard]] const ScenarioSpec& scenario_by_name(const std::string& name);
+
+/// Solves the scenario at its bound (min-ρ fallback applied per the spec).
+/// `used_fallback`, when non-null, reports whether the fallback was taken.
+[[nodiscard]] core::PairSolution solve_scenario(
+    const ScenarioSpec& spec, bool* used_fallback = nullptr);
+
+/// Execution policy induced by the scenario's solution — the bridge into
+/// the fault-injection simulator. Throws std::runtime_error when the
+/// scenario is infeasible and its fallback is disabled.
+[[nodiscard]] sim::ExecutionPolicy make_policy(const ScenarioSpec& spec);
+
+}  // namespace rexspeed::engine

@@ -1,0 +1,27 @@
+#include "rexspeed/engine/solver_context.hpp"
+
+namespace rexspeed::engine {
+
+SolverContext::SolverContext(core::ModelParams params)
+    : solver_(std::move(params)),
+      min_rho_two_(solver_.min_rho_solution(core::SpeedPolicy::kTwoSpeed)),
+      min_rho_single_(
+          solver_.min_rho_solution(core::SpeedPolicy::kSingleSpeed)) {}
+
+core::PairSolution SolverContext::best(double rho, core::SpeedPolicy policy,
+                                       core::EvalMode mode,
+                                       bool min_rho_fallback,
+                                       bool* used_fallback) const {
+  if (used_fallback != nullptr) *used_fallback = false;
+  core::PairSolution best = solver_.solve(rho, policy, mode).best;
+  if (!best.feasible && min_rho_fallback) {
+    const core::PairSolution& fallback = min_rho(policy);
+    if (fallback.feasible) {
+      best = fallback;
+      if (used_fallback != nullptr) *used_fallback = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace rexspeed::engine

@@ -1,0 +1,70 @@
+#pragma once
+
+#include "rexspeed/core/bicrit_solver.hpp"
+
+namespace rexspeed::engine {
+
+/// A reusable, shareable solver context for one ModelParams bundle.
+///
+/// Construction pays the O(K²) first-order expansion work (time + energy
+/// expansions, ρ_min, validity flags — via the cached BiCritSolver) plus
+/// the two ρ-independent min-ρ fallback policies, exactly once. Every
+/// solve afterwards is cheap feasibility math on the cached expansions, so
+/// one context can serve an entire ρ sweep (51 grid points share identical
+/// expansions), both speed policies of a figure point, and the fallback
+/// lookups — the engine-layer currency that SweepEngine, the CLI, benches
+/// and examples all drive.
+///
+/// The context is immutable after construction and therefore safe to share
+/// across ThreadPool workers without synchronization.
+class SolverContext {
+ public:
+  explicit SolverContext(core::ModelParams params);
+
+  [[nodiscard]] const core::ModelParams& params() const noexcept {
+    return solver_.params();
+  }
+  [[nodiscard]] const core::BiCritSolver& solver() const noexcept {
+    return solver_;
+  }
+  [[nodiscard]] std::size_t speed_count() const noexcept {
+    return solver_.params().speeds.size();
+  }
+
+  /// Full BiCrit solve at bound `rho` (cached-expansion path).
+  [[nodiscard]] core::BiCritSolution solve(
+      double rho, core::SpeedPolicy policy = core::SpeedPolicy::kTwoSpeed,
+      core::EvalMode mode = core::EvalMode::kFirstOrder) const {
+    return solver_.solve(rho, policy, mode);
+  }
+
+  /// Solve for the speed pair at positions (i, j) of the speed set.
+  [[nodiscard]] core::PairSolution solve_pair(
+      double rho, std::size_t i, std::size_t j,
+      core::EvalMode mode = core::EvalMode::kFirstOrder) const {
+    return solver_.solve_pair_by_index(rho, i, j, mode);
+  }
+
+  /// The ρ-independent best-effort fallback policy for a speed policy
+  /// (precomputed at construction; see BiCritSolver::min_rho_solution).
+  [[nodiscard]] const core::PairSolution& min_rho(
+      core::SpeedPolicy policy) const noexcept {
+    return policy == core::SpeedPolicy::kSingleSpeed ? min_rho_single_
+                                                     : min_rho_two_;
+  }
+
+  /// Best pair at bound `rho`, optionally degrading to the min-ρ fallback
+  /// when nothing satisfies the bound (the paper's figures do this beyond
+  /// the feasibility horizon). `used_fallback`, when non-null, reports
+  /// whether the fallback was taken.
+  [[nodiscard]] core::PairSolution best(
+      double rho, core::SpeedPolicy policy, core::EvalMode mode,
+      bool min_rho_fallback, bool* used_fallback = nullptr) const;
+
+ private:
+  core::BiCritSolver solver_;
+  core::PairSolution min_rho_two_;
+  core::PairSolution min_rho_single_;
+};
+
+}  // namespace rexspeed::engine

@@ -1,0 +1,50 @@
+#include "rexspeed/engine/sweep_engine.hpp"
+
+#include <stdexcept>
+
+namespace rexspeed::engine {
+
+SweepEngine::SweepEngine(SweepEngineOptions options)
+    : pool_(options.threads) {}
+
+sweep::FigureSeries SweepEngine::run_panel(
+    const platform::Configuration& config, sweep::SweepParameter parameter,
+    sweep::SweepOptions options) const {
+  options.pool = pool();
+  return sweep::run_figure_sweep(config, parameter, options);
+}
+
+sweep::FigureSeries SweepEngine::run(const ScenarioSpec& spec) const {
+  if (!spec.sweep_parameter) {
+    throw std::invalid_argument("SweepEngine::run: scenario '" + spec.name +
+                                "' has no sweep parameter");
+  }
+  return run_panel(platform::configuration_by_name(spec.configuration),
+                   *spec.sweep_parameter, spec.sweep_options());
+}
+
+std::vector<sweep::FigureSeries> SweepEngine::run_all(
+    const ScenarioSpec& spec) const {
+  return sweep::run_all_sweeps(
+      platform::configuration_by_name(spec.configuration),
+      spec.sweep_options(pool()));
+}
+
+std::vector<sweep::FigureSeries> SweepEngine::run_scenario(
+    const ScenarioSpec& spec) const {
+  if (spec.kind() == ScenarioKind::kSweep) return {run(spec)};
+  return run_all(spec);
+}
+
+std::vector<std::vector<sweep::SpeedPairRow>> SweepEngine::speed_pair_tables(
+    const ScenarioSpec& spec, const std::vector<double>& bounds) const {
+  const SolverContext context = spec.make_context();
+  std::vector<std::vector<sweep::SpeedPairRow>> tables(bounds.size());
+  sweep::parallel_for(pool(), bounds.size(), [&](std::size_t i) {
+    tables[i] = sweep::speed_pair_table(context.solver(), bounds[i],
+                                        spec.mode);
+  });
+  return tables;
+}
+
+}  // namespace rexspeed::engine

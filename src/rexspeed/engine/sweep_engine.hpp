@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/platform/configuration.hpp"
+#include "rexspeed/sweep/figure_sweeps.hpp"
+#include "rexspeed/sweep/section42_tables.hpp"
+#include "rexspeed/sweep/thread_pool.hpp"
+
+namespace rexspeed::engine {
+
+struct SweepEngineOptions {
+  /// Worker threads: 0 uses hardware concurrency (the default — sweeps
+  /// are parallel unless asked otherwise), 1 forces a serial engine.
+  unsigned threads = 0;
+};
+
+/// The shared sweep driver: owns the thread pool, resolves scenarios, and
+/// runs every figure panel through the cached-context sweep path. The CLI,
+/// benches and examples all obtain their panels here, so they inherit
+/// parallel-by-default execution with results bit-identical to a serial
+/// run (each grid point writes only its own slot; the per-point math is
+/// deterministic and independent of scheduling).
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepEngineOptions options = {});
+
+  /// One figure panel for a configuration (default grid).
+  [[nodiscard]] sweep::FigureSeries run_panel(
+      const platform::Configuration& config,
+      sweep::SweepParameter parameter,
+      sweep::SweepOptions options = {}) const;
+
+  /// One figure panel for a kSweep scenario.
+  [[nodiscard]] sweep::FigureSeries run(const ScenarioSpec& spec) const;
+
+  /// All six panels of a Figure 8–14 composite for any scenario.
+  [[nodiscard]] std::vector<sweep::FigureSeries> run_all(
+      const ScenarioSpec& spec) const;
+
+  /// Dispatches on the scenario kind: kSweep yields one panel, kAllSweeps
+  /// (and kSolve, which has no sweep parameter) yields all six.
+  [[nodiscard]] std::vector<sweep::FigureSeries> run_scenario(
+      const ScenarioSpec& spec) const;
+
+  /// §4.2-style speed-pair tables for the scenario at each bound, off one
+  /// shared solver context.
+  [[nodiscard]] std::vector<std::vector<sweep::SpeedPairRow>>
+  speed_pair_tables(const ScenarioSpec& spec,
+                    const std::vector<double>& bounds) const;
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return pool_.thread_count();
+  }
+
+  /// The engine's pool — serial engines (threads == 1) hand out null so
+  /// sweep calls take the inline path.
+  [[nodiscard]] sweep::ThreadPool* pool() const noexcept {
+    return pool_.thread_count() > 1 ? &pool_ : nullptr;
+  }
+
+ private:
+  mutable sweep::ThreadPool pool_;
+};
+
+}  // namespace rexspeed::engine

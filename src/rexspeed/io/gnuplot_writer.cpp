@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <ostream>
 
 namespace rexspeed::io {
@@ -48,6 +49,25 @@ void write_gnuplot_script(std::ostream& os, const sweep::Series& series,
        << " with linespoints title '" << series.column_names()[col] << "'";
   }
   os << '\n';
+}
+
+std::optional<std::string> export_gnuplot_figure(
+    const sweep::FigureSeries& series, const std::string& out_dir) {
+  std::string stem = series.configuration;
+  for (auto& ch : stem) {
+    if (ch == '/') ch = '_';
+  }
+  stem += "_";
+  stem += sweep::to_string(series.parameter);
+  const sweep::Series flat = to_series(series);
+  std::ofstream dat(out_dir + "/" + stem + ".dat");
+  write_gnuplot_dat(dat, flat);
+  std::ofstream script(out_dir + "/" + stem + ".gp");
+  write_gnuplot_script(
+      script, flat, stem + ".dat",
+      series.parameter == sweep::SweepParameter::kErrorRate);
+  if (!dat || !script) return std::nullopt;
+  return stem;
 }
 
 }  // namespace rexspeed::io

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
+#include "rexspeed/sweep/figure_sweeps.hpp"
 #include "rexspeed/sweep/series.hpp"
 
 namespace rexspeed::io {
@@ -21,5 +23,13 @@ void write_gnuplot_dat(std::ostream& os, const sweep::Series& series);
 void write_gnuplot_script(std::ostream& os, const sweep::Series& series,
                           const std::string& dat_filename,
                           bool logscale_x = false);
+
+/// Exports a figure panel as <out_dir>/<config>_<param>.dat plus a
+/// matching .gp script ("/" in the configuration name becomes "_"), so
+/// the paper's plots can be regenerated with a stock gnuplot. Returns the
+/// file stem on success, nullopt when out_dir is not writable. Shared by
+/// the CLI and the figure benches.
+std::optional<std::string> export_gnuplot_figure(
+    const sweep::FigureSeries& series, const std::string& out_dir);
 
 }  // namespace rexspeed::io

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "rexspeed/sweep/grid.hpp"
@@ -24,6 +25,18 @@ const char* to_string(SweepParameter parameter) noexcept {
       return "Pio";
   }
   return "unknown";
+}
+
+std::optional<SweepParameter> parse_sweep_parameter(
+    std::string_view name) noexcept {
+  constexpr SweepParameter kParameters[] = {
+      SweepParameter::kCheckpointTime, SweepParameter::kVerificationTime,
+      SweepParameter::kErrorRate,      SweepParameter::kPerformanceBound,
+      SweepParameter::kIdlePower,      SweepParameter::kIoPower};
+  for (const SweepParameter parameter : kParameters) {
+    if (name == to_string(parameter)) return parameter;
+  }
+  return std::nullopt;
 }
 
 double FigurePoint::energy_saving() const noexcept {
@@ -86,6 +99,41 @@ core::ModelParams apply_parameter(const core::ModelParams& base,
   return params;
 }
 
+namespace {
+
+core::PairSolution best_with_fallback(const core::BiCritSolver& solver,
+                                      double rho, core::SpeedPolicy policy,
+                                      const SweepOptions& options,
+                                      bool& used_fallback) {
+  used_fallback = false;
+  core::PairSolution best = solver.solve(rho, policy, options.mode).best;
+  if (!best.feasible && options.min_rho_fallback) {
+    const core::PairSolution fallback = solver.min_rho_solution(policy);
+    if (fallback.feasible) {
+      best = fallback;
+      used_fallback = true;
+    }
+  }
+  return best;
+}
+
+/// One figure point off a cached solver: both speed policies plus their
+/// min-ρ fallbacks resolve against the same precomputed expansions.
+FigurePoint solve_figure_point(const core::BiCritSolver& solver, double x,
+                               double rho, const SweepOptions& options) {
+  FigurePoint point;
+  point.x = x;
+  point.two_speed =
+      best_with_fallback(solver, rho, core::SpeedPolicy::kTwoSpeed, options,
+                         point.two_speed_fallback);
+  point.single_speed =
+      best_with_fallback(solver, rho, core::SpeedPolicy::kSingleSpeed,
+                         options, point.single_speed_fallback);
+  return point;
+}
+
+}  // namespace
+
 FigureSeries run_figure_sweep(const platform::Configuration& config,
                               SweepParameter parameter,
                               const std::vector<double>& grid,
@@ -101,29 +149,22 @@ FigureSeries run_figure_sweep(const platform::Configuration& config,
   series.rho = options.rho;
   series.points.resize(grid.size());
 
+  // ρ sweeps leave the model untouched (apply_parameter is the identity),
+  // so every grid point shares one solver: the O(K²) expansions are
+  // computed once for the whole panel instead of once per point.
+  const bool rho_sweep = parameter == SweepParameter::kPerformanceBound;
+  std::optional<core::BiCritSolver> shared;
+  if (rho_sweep) shared.emplace(base);
+
   parallel_for(options.pool, grid.size(), [&](std::size_t i) {
     const double x = grid[i];
-    const core::ModelParams params = apply_parameter(base, parameter, x);
-    const double rho =
-        parameter == SweepParameter::kPerformanceBound ? x : options.rho;
-    const core::BiCritSolver solver(params);
-    FigurePoint point;
-    point.x = x;
-    point.two_speed =
-        solver.solve(rho, core::SpeedPolicy::kTwoSpeed, options.mode).best;
-    point.single_speed =
-        solver.solve(rho, core::SpeedPolicy::kSingleSpeed, options.mode).best;
-    if (options.min_rho_fallback && !point.two_speed.feasible) {
-      point.two_speed =
-          solver.min_rho_solution(core::SpeedPolicy::kTwoSpeed);
-      point.two_speed_fallback = point.two_speed.feasible;
+    const double rho = rho_sweep ? x : options.rho;
+    if (rho_sweep) {
+      series.points[i] = solve_figure_point(*shared, x, rho, options);
+    } else {
+      const core::BiCritSolver solver(apply_parameter(base, parameter, x));
+      series.points[i] = solve_figure_point(solver, x, rho, options);
     }
-    if (options.min_rho_fallback && !point.single_speed.feasible) {
-      point.single_speed =
-          solver.min_rho_solution(core::SpeedPolicy::kSingleSpeed);
-      point.single_speed_fallback = point.single_speed.feasible;
-    }
-    series.points[i] = point;
   });
   return series;
 }

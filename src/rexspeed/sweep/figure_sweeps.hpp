@@ -1,6 +1,8 @@
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rexspeed/core/bicrit_solver.hpp"
@@ -21,6 +23,11 @@ enum class SweepParameter {
 };
 
 [[nodiscard]] const char* to_string(SweepParameter parameter) noexcept;
+
+/// Inverse of to_string: parses a sweep-parameter name ("C", "V",
+/// "lambda", "rho", "Pidle", "Pio"). Returns nullopt for anything else.
+[[nodiscard]] std::optional<SweepParameter> parse_sweep_parameter(
+    std::string_view name) noexcept;
 
 /// One x position of a figure: the two-speed optimum next to the
 /// single-speed baseline (the paper's solid vs dotted curves).

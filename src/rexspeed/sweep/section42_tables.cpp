@@ -4,20 +4,20 @@
 
 namespace rexspeed::sweep {
 
-std::vector<SpeedPairRow> speed_pair_table(const core::ModelParams& params,
-                                           double rho, core::EvalMode mode) {
-  const core::BiCritSolver solver(params);
+std::vector<SpeedPairRow> speed_pair_table(
+    const core::BiCritSolver& solver, double rho, core::EvalMode mode) {
   const core::BiCritSolution solution =
       solver.solve(rho, core::SpeedPolicy::kTwoSpeed, mode);
+  const std::vector<double>& speeds = solver.params().speeds;
 
   std::vector<SpeedPairRow> rows;
-  rows.reserve(params.speeds.size());
+  rows.reserve(speeds.size());
   double best_energy = std::numeric_limits<double>::infinity();
   std::size_t best_index = 0;
-  for (const double sigma1 : params.speeds) {
-    const core::PairSolution best = solution.best_for_sigma1(sigma1);
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    const core::PairSolution best = solution.best_for_sigma1_index(i);
     SpeedPairRow row;
-    row.sigma1 = sigma1;
+    row.sigma1 = speeds[i];
     row.feasible = best.feasible;
     if (best.feasible) {
       row.best_sigma2 = best.sigma2;
@@ -34,6 +34,11 @@ std::vector<SpeedPairRow> speed_pair_table(const core::ModelParams& params,
     rows[best_index].is_global_best = true;
   }
   return rows;
+}
+
+std::vector<SpeedPairRow> speed_pair_table(const core::ModelParams& params,
+                                           double rho, core::EvalMode mode) {
+  return speed_pair_table(core::BiCritSolver(params), rho, mode);
 }
 
 const std::vector<double>& section42_bounds() {

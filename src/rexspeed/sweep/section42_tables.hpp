@@ -18,8 +18,15 @@ struct SpeedPairRow {
   bool is_global_best = false;
 };
 
-/// Reproduces one §4.2 table for a given performance bound ρ: one row per
-/// available speed σ1 (in speed-set order).
+/// Reproduces one §4.2 table for a given performance bound ρ off a cached
+/// solver: one row per available speed σ1 (in speed-set order). Reusing
+/// one solver across the four paper bounds computes the O(K²) expansions
+/// once (engine::SolverContext::solver() hands one out).
+[[nodiscard]] std::vector<SpeedPairRow> speed_pair_table(
+    const core::BiCritSolver& solver, double rho,
+    core::EvalMode mode = core::EvalMode::kFirstOrder);
+
+/// Convenience overload building a throwaway solver.
 [[nodiscard]] std::vector<SpeedPairRow> speed_pair_table(
     const core::ModelParams& params, double rho,
     core::EvalMode mode = core::EvalMode::kFirstOrder);

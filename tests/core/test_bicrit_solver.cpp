@@ -223,6 +223,83 @@ TEST(BiCritSolver, RejectsInvalidParams) {
   EXPECT_THROW(BiCritSolver{bad}, std::invalid_argument);
 }
 
+TEST(BiCritSolver, PairsCarrySpeedSetIndices) {
+  const ModelParams p = params_for("Atlas/Crusoe");
+  const BiCritSolver solver(p);
+  const BiCritSolution sol = solver.solve(3.0);
+  ASSERT_EQ(sol.pairs.size(), p.speeds.size() * p.speeds.size());
+  for (std::size_t i = 0; i < p.speeds.size(); ++i) {
+    for (std::size_t j = 0; j < p.speeds.size(); ++j) {
+      const auto& pair = sol.pairs[i * p.speeds.size() + j];
+      EXPECT_EQ(pair.sigma1_index, static_cast<int>(i));
+      EXPECT_EQ(pair.sigma2_index, static_cast<int>(j));
+      EXPECT_DOUBLE_EQ(pair.sigma1, p.speeds[i]);
+      EXPECT_DOUBLE_EQ(pair.sigma2, p.speeds[j]);
+    }
+  }
+  EXPECT_GE(sol.best.sigma1_index, 0);
+  EXPECT_GE(sol.best.sigma2_index, 0);
+}
+
+TEST(BiCritSolver, SingleSpeedFilterComparesIndicesNotDoubles) {
+  const BiCritSolver solver(params_for("Hera/XScale"));
+  const BiCritSolution sol = solver.solve(3.0, SpeedPolicy::kSingleSpeed);
+  for (const auto& pair : sol.pairs) {
+    EXPECT_EQ(pair.sigma1_index, pair.sigma2_index);
+  }
+  const PairSolution fallback =
+      solver.min_rho_solution(SpeedPolicy::kSingleSpeed);
+  ASSERT_TRUE(fallback.feasible);
+  EXPECT_EQ(fallback.sigma1_index, fallback.sigma2_index);
+}
+
+TEST(BiCritSolver, BestForSigma1IndexMatchesValueLookup) {
+  const ModelParams p = params_for("Hera/XScale");
+  const BiCritSolver solver(p);
+  const BiCritSolution sol = solver.solve(3.0);
+  for (std::size_t i = 0; i < p.speeds.size(); ++i) {
+    const PairSolution by_index = sol.best_for_sigma1_index(i);
+    const PairSolution by_value = sol.best_for_sigma1(p.speeds[i]);
+    EXPECT_EQ(by_index.feasible, by_value.feasible);
+    EXPECT_DOUBLE_EQ(by_index.sigma1, by_value.sigma1);
+    if (by_index.feasible) {
+      EXPECT_EQ(by_index.sigma2_index, by_value.sigma2_index);
+      EXPECT_EQ(by_index.w_opt, by_value.w_opt);
+    }
+  }
+}
+
+TEST(BiCritSolver, BestForSigma1ToleratesInexactSpeedValues) {
+  // The historical implementation compared doubles with !=, so a value
+  // that went through any arithmetic could silently select nothing.
+  const ModelParams p = params_for("Hera/XScale");
+  const BiCritSolver solver(p);
+  const BiCritSolution sol = solver.solve(3.0);
+  const double perturbed = 0.05 + 0.35;  // 0.4 with representation error
+  ASSERT_NE(perturbed, 0.4);
+  const PairSolution row = sol.best_for_sigma1(perturbed);
+  ASSERT_TRUE(row.feasible);
+  EXPECT_DOUBLE_EQ(row.sigma1, 0.4);
+  EXPECT_DOUBLE_EQ(row.sigma2, 0.4);
+}
+
+TEST(BiCritSolver, SolvePairOutsideSpeedSetStillWorks) {
+  // Out-of-set speeds take the uncached path and must agree with the
+  // cached path on set members.
+  const ModelParams p = params_for("Hera/XScale");
+  const BiCritSolver solver(p);
+  const PairSolution cached =
+      solver.solve_pair(3.0, 0.4, 0.6, EvalMode::kFirstOrder);
+  EXPECT_EQ(cached.sigma1_index, 1);
+  EXPECT_EQ(cached.sigma2_index, 2);
+  const PairSolution foreign =
+      solver.solve_pair(3.0, 0.5, 0.7, EvalMode::kFirstOrder);
+  EXPECT_EQ(foreign.sigma1_index, -1);
+  EXPECT_EQ(foreign.sigma2_index, -1);
+  ASSERT_TRUE(foreign.feasible);
+  EXPECT_GT(foreign.w_opt, 0.0);
+}
+
 // ---------------------------------------------------------------------------
 // Property sweep: across every paper configuration and a grid of bounds,
 // the two-speed optimum never loses to the single-speed baseline, and all

@@ -1,0 +1,151 @@
+#include "rexspeed/engine/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rexspeed/platform/configuration.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::engine {
+namespace {
+
+TEST(ScenarioParse, StructuralKeys) {
+  const ScenarioSpec spec = parse_scenario(
+      "name=demo config=Atlas/Crusoe rho=2.5 points=21 param=C "
+      "policy=single-speed mode=exact-eval fallback=0");
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.configuration, "Atlas/Crusoe");
+  EXPECT_DOUBLE_EQ(spec.rho, 2.5);
+  EXPECT_EQ(spec.points, 21u);
+  ASSERT_TRUE(spec.sweep_parameter.has_value());
+  EXPECT_EQ(*spec.sweep_parameter, sweep::SweepParameter::kCheckpointTime);
+  EXPECT_EQ(spec.policy, core::SpeedPolicy::kSingleSpeed);
+  EXPECT_EQ(spec.mode, core::EvalMode::kExactEvaluation);
+  EXPECT_FALSE(spec.min_rho_fallback);
+  EXPECT_EQ(spec.kind(), ScenarioKind::kSweep);
+}
+
+TEST(ScenarioParse, DefaultsAreASolveOnHeraXScale) {
+  const ScenarioSpec spec = parse_scenario("");
+  EXPECT_EQ(spec.configuration, "Hera/XScale");
+  EXPECT_DOUBLE_EQ(spec.rho, 3.0);
+  EXPECT_EQ(spec.kind(), ScenarioKind::kSolve);
+  EXPECT_TRUE(spec.min_rho_fallback);
+}
+
+TEST(ScenarioParse, ParamAllAndNone) {
+  EXPECT_EQ(parse_scenario("param=all").kind(), ScenarioKind::kAllSweeps);
+  EXPECT_EQ(parse_scenario("param=rho param=none").kind(),
+            ScenarioKind::kSolve);
+  EXPECT_EQ(parse_scenario("param=all param=V").kind(),
+            ScenarioKind::kSweep);
+}
+
+TEST(ScenarioParse, OverridesResolveIntoModelParams) {
+  const ScenarioSpec spec =
+      parse_scenario("config=Hera/XScale V=123 lambda=1e-5 Pio=77");
+  const core::ModelParams params = spec.resolve_params();
+  EXPECT_DOUBLE_EQ(params.verification_s, 123.0);
+  EXPECT_DOUBLE_EQ(params.lambda_silent, 1e-5);
+  EXPECT_DOUBLE_EQ(params.io_power_mw, 77.0);
+  // Untouched fields keep the configuration's values.
+  const core::ModelParams base = test::params_for("Hera/XScale");
+  EXPECT_DOUBLE_EQ(params.checkpoint_s, base.checkpoint_s);
+  EXPECT_EQ(params.speeds, base.speeds);
+}
+
+TEST(ScenarioParse, RejectsMalformedInput) {
+  EXPECT_THROW(parse_scenario("rho"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("=3"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("rho=abc"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("param=bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("policy=warp"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("mode=psychic"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("unknown_key=1"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("points=0"), std::invalid_argument);
+}
+
+TEST(ScenarioParse, OverrideValidationFailsAtResolveTimeForBadValues) {
+  // A negative cost parses (it is a well-formed number) but must be
+  // rejected by ModelParams::validate when the scenario is resolved.
+  const ScenarioSpec spec = parse_scenario("config=Hera/XScale C=-5");
+  EXPECT_THROW(spec.resolve_params(), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, CoversTheThirteenPaperFigures) {
+  const auto& registry = scenario_registry();
+  ASSERT_EQ(registry.size(), 13u);
+  EXPECT_EQ(registry.front().name, "fig02");
+  EXPECT_EQ(registry.back().name, "fig14");
+  int panels = 0;
+  int composites = 0;
+  for (const auto& spec : registry) {
+    ASSERT_FALSE(spec.description.empty()) << spec.name;
+    // Every registered configuration must actually exist.
+    EXPECT_NO_THROW(platform::configuration_by_name(spec.configuration))
+        << spec.name;
+    if (spec.kind() == ScenarioKind::kSweep) ++panels;
+    if (spec.kind() == ScenarioKind::kAllSweeps) ++composites;
+  }
+  EXPECT_EQ(panels, 6);      // Figures 2–7
+  EXPECT_EQ(composites, 7);  // Figures 8–14
+}
+
+TEST(ScenarioRegistry, LookupByName) {
+  EXPECT_EQ(scenario_by_name("fig05").sweep_parameter,
+            sweep::SweepParameter::kPerformanceBound);
+  EXPECT_EQ(find_scenario("fig99"), nullptr);
+  EXPECT_THROW(scenario_by_name("fig99"), std::out_of_range);
+}
+
+TEST(ScenarioSolve, MatchesDirectContextSolve) {
+  const ScenarioSpec spec = parse_scenario("config=Hera/XScale rho=3");
+  const core::PairSolution via_scenario = solve_scenario(spec);
+  const SolverContext context = spec.make_context();
+  const core::PairSolution direct = context.solve(3.0).best;
+  ASSERT_TRUE(via_scenario.feasible);
+  EXPECT_EQ(via_scenario.sigma1, direct.sigma1);
+  EXPECT_EQ(via_scenario.sigma2, direct.sigma2);
+  EXPECT_EQ(via_scenario.w_opt, direct.w_opt);
+  EXPECT_EQ(via_scenario.energy_overhead, direct.energy_overhead);
+}
+
+TEST(ScenarioSolve, ReportsFallbackUse) {
+  bool used_fallback = false;
+  const ScenarioSpec spec = parse_scenario("config=Atlas/Crusoe rho=1.0");
+  const auto sol = solve_scenario(spec, &used_fallback);
+  EXPECT_TRUE(sol.feasible);
+  EXPECT_TRUE(used_fallback);
+}
+
+TEST(ScenarioPolicy, BuildsSimulatorPolicyFromSolution) {
+  const ScenarioSpec spec = parse_scenario("config=Hera/XScale rho=3");
+  const sim::ExecutionPolicy policy = make_policy(spec);
+  const core::PairSolution sol = solve_scenario(spec);
+  EXPECT_DOUBLE_EQ(policy.pattern_work(), sol.w_opt);
+  ASSERT_EQ(policy.attempt_speeds().size(), 2u);
+  EXPECT_DOUBLE_EQ(policy.attempt_speeds()[0], sol.sigma1);
+  EXPECT_DOUBLE_EQ(policy.attempt_speeds()[1], sol.sigma2);
+}
+
+TEST(ScenarioPolicy, ThrowsWhenInfeasibleAndFallbackDisabled) {
+  const ScenarioSpec spec =
+      parse_scenario("config=Atlas/Crusoe rho=1.0 fallback=0");
+  EXPECT_THROW(make_policy(spec), std::runtime_error);
+}
+
+TEST(ScenarioSweepOptions, CarryTheSpecSettings) {
+  const ScenarioSpec spec = parse_scenario(
+      "rho=2.25 points=33 mode=exact-eval fallback=0 param=V");
+  sweep::ThreadPool pool(2);
+  const sweep::SweepOptions options = spec.sweep_options(&pool);
+  EXPECT_DOUBLE_EQ(options.rho, 2.25);
+  EXPECT_EQ(options.points, 33u);
+  EXPECT_EQ(options.mode, core::EvalMode::kExactEvaluation);
+  EXPECT_FALSE(options.min_rho_fallback);
+  EXPECT_EQ(options.pool, &pool);
+}
+
+}  // namespace
+}  // namespace rexspeed::engine

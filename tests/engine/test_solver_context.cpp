@@ -1,0 +1,206 @@
+#include "rexspeed/engine/solver_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "rexspeed/core/exact_expectations.hpp"
+#include "rexspeed/core/feasibility.hpp"
+#include "rexspeed/core/first_order.hpp"
+#include "rexspeed/platform/configuration.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::engine {
+namespace {
+
+using core::EvalMode;
+using core::ModelParams;
+using core::PairSolution;
+using core::SpeedPolicy;
+
+// ---------------------------------------------------------------------
+// Reference implementation: the pre-context per-call solver, which
+// re-derived both first-order expansions on every solve_pair call. The
+// cached context must reproduce it bit for bit.
+// ---------------------------------------------------------------------
+
+PairSolution legacy_solve_pair(const ModelParams& params, double rho,
+                               double sigma1, double sigma2,
+                               EvalMode mode) {
+  PairSolution sol;
+  sol.sigma1 = sigma1;
+  sol.sigma2 = sigma2;
+
+  const core::OverheadExpansion time_exp =
+      core::time_expansion(params, sigma1, sigma2);
+  const core::OverheadExpansion energy_exp =
+      core::energy_expansion(params, sigma1, sigma2);
+  sol.first_order_valid = time_exp.y > 0.0 && energy_exp.y > 0.0;
+  sol.rho_min = core::rho_min(time_exp);
+  if (!sol.first_order_valid) {
+    sol.feasible = false;
+    return sol;
+  }
+
+  const core::FeasibleInterval interval =
+      core::feasible_interval(time_exp, rho);
+  if (!interval.feasible()) {
+    sol.feasible = false;
+    return sol;
+  }
+  sol.w_min = interval.w_min;
+  sol.w_max = interval.w_max;
+  sol.w_energy = energy_exp.has_interior_minimum() ? energy_exp.argmin()
+                                                   : interval.w_max;
+  if (!std::isfinite(sol.w_energy)) {
+    sol.w_energy =
+        std::isfinite(interval.w_max) ? interval.w_max : 1e12;
+  }
+  sol.w_opt = std::min(std::max(interval.w_min, sol.w_energy),
+                       std::isfinite(interval.w_max)
+                           ? interval.w_max
+                           : std::numeric_limits<double>::max());
+  sol.feasible = true;
+
+  if (mode == EvalMode::kFirstOrder) {
+    sol.energy_overhead = energy_exp.evaluate(sol.w_opt);
+    sol.time_overhead = time_exp.evaluate(sol.w_opt);
+  } else {
+    sol.energy_overhead =
+        core::energy_overhead(params, sol.w_opt, sigma1, sigma2);
+    sol.time_overhead =
+        core::time_overhead(params, sol.w_opt, sigma1, sigma2);
+  }
+  return sol;
+}
+
+PairSolution legacy_best(const ModelParams& params, double rho,
+                         SpeedPolicy policy, EvalMode mode) {
+  PairSolution best;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < params.speeds.size(); ++i) {
+    for (std::size_t j = 0; j < params.speeds.size(); ++j) {
+      if (policy == SpeedPolicy::kSingleSpeed && i != j) continue;
+      const PairSolution pair = legacy_solve_pair(
+          params, rho, params.speeds[i], params.speeds[j], mode);
+      if (pair.feasible && pair.energy_overhead < best_energy) {
+        best_energy = pair.energy_overhead;
+        best = pair;
+      }
+    }
+  }
+  return best;
+}
+
+void expect_same_solution(const PairSolution& cached,
+                          const PairSolution& legacy) {
+  EXPECT_EQ(cached.feasible, legacy.feasible);
+  if (!cached.feasible || !legacy.feasible) return;
+  // Bit-identical: the context caches the very same expansions the
+  // per-call path derives, so no tolerance is needed.
+  EXPECT_EQ(cached.sigma1, legacy.sigma1);
+  EXPECT_EQ(cached.sigma2, legacy.sigma2);
+  EXPECT_EQ(cached.w_opt, legacy.w_opt);
+  EXPECT_EQ(cached.w_min, legacy.w_min);
+  EXPECT_EQ(cached.w_max, legacy.w_max);
+  EXPECT_EQ(cached.energy_overhead, legacy.energy_overhead);
+  EXPECT_EQ(cached.time_overhead, legacy.time_overhead);
+  EXPECT_EQ(cached.rho_min, legacy.rho_min);
+}
+
+TEST(SolverContext, MatchesLegacyPerCallSolveOnAllConfigurations) {
+  const double bounds[] = {1.2, 1.4, 1.775, 2.0, 3.0, 8.0};
+  const EvalMode modes[] = {EvalMode::kFirstOrder,
+                            EvalMode::kExactEvaluation};
+  for (const auto& config : platform::all_configurations()) {
+    const ModelParams params = ModelParams::from_configuration(config);
+    const SolverContext context(params);
+    for (const double rho : bounds) {
+      for (const EvalMode mode : modes) {
+        for (const SpeedPolicy policy :
+             {SpeedPolicy::kTwoSpeed, SpeedPolicy::kSingleSpeed}) {
+          SCOPED_TRACE(config.name() + " rho=" + std::to_string(rho));
+          const auto cached = context.solve(rho, policy, mode);
+          const auto legacy = legacy_best(params, rho, policy, mode);
+          EXPECT_EQ(cached.feasible, legacy.feasible);
+          expect_same_solution(cached.best, legacy);
+        }
+      }
+    }
+  }
+}
+
+TEST(SolverContext, PairsMatchLegacyPairByPair) {
+  const ModelParams params = test::params_for("Atlas/Crusoe");
+  const SolverContext context(params);
+  const auto solution = context.solve(3.0);
+  ASSERT_EQ(solution.pairs.size(),
+            params.speeds.size() * params.speeds.size());
+  for (const auto& pair : solution.pairs) {
+    const auto legacy = legacy_solve_pair(params, 3.0, pair.sigma1,
+                                          pair.sigma2, EvalMode::kFirstOrder);
+    expect_same_solution(pair, legacy);
+  }
+}
+
+TEST(SolverContext, MinRhoIsCachedAndMatchesSolver) {
+  const SolverContext context(test::params_for("Hera/XScale"));
+  for (const SpeedPolicy policy :
+       {SpeedPolicy::kTwoSpeed, SpeedPolicy::kSingleSpeed}) {
+    const auto& cached = context.min_rho(policy);
+    const auto fresh = context.solver().min_rho_solution(policy);
+    EXPECT_EQ(cached.feasible, fresh.feasible);
+    EXPECT_EQ(cached.sigma1, fresh.sigma1);
+    EXPECT_EQ(cached.sigma2, fresh.sigma2);
+    EXPECT_EQ(cached.rho_min, fresh.rho_min);
+    EXPECT_EQ(cached.w_opt, fresh.w_opt);
+  }
+}
+
+TEST(SolverContext, BestTakesFallbackBeyondFeasibilityHorizon) {
+  const SolverContext context(test::params_for("Atlas/Crusoe"));
+  bool used_fallback = false;
+  const auto sol = context.best(1.0, SpeedPolicy::kTwoSpeed,
+                                EvalMode::kFirstOrder,
+                                /*min_rho_fallback=*/true, &used_fallback);
+  EXPECT_TRUE(sol.feasible);
+  EXPECT_TRUE(used_fallback);
+  EXPECT_GT(sol.time_overhead, 1.0);
+
+  const auto strict = context.best(1.0, SpeedPolicy::kTwoSpeed,
+                                   EvalMode::kFirstOrder,
+                                   /*min_rho_fallback=*/false,
+                                   &used_fallback);
+  EXPECT_FALSE(strict.feasible);
+  EXPECT_FALSE(used_fallback);
+
+  bool no_fallback_needed = true;
+  const auto feasible = context.best(3.0, SpeedPolicy::kTwoSpeed,
+                                     EvalMode::kFirstOrder, true,
+                                     &no_fallback_needed);
+  EXPECT_TRUE(feasible.feasible);
+  EXPECT_FALSE(no_fallback_needed);
+}
+
+TEST(SolverContext, SolvePairByIndexChecksRange) {
+  const SolverContext context(test::toy_params());
+  EXPECT_NO_THROW(context.solve_pair(3.0, 0, 2));
+  EXPECT_THROW(context.solve_pair(3.0, 0, 3), std::out_of_range);
+  EXPECT_THROW(context.solve_pair(3.0, 7, 0), std::out_of_range);
+}
+
+TEST(SolverContext, SharedAcrossRhoGridMatchesPerPointContexts) {
+  // The engine's ρ-sweep fast path: one context, many bounds.
+  const ModelParams params = test::params_for("Coastal/XScale");
+  const SolverContext shared(params);
+  for (double rho = 1.1; rho < 4.0; rho += 0.3) {
+    const SolverContext fresh(params);
+    expect_same_solution(shared.solve(rho).best, fresh.solve(rho).best);
+  }
+}
+
+}  // namespace
+}  // namespace rexspeed::engine

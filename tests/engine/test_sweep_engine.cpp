@@ -1,0 +1,153 @@
+#include "rexspeed/engine/sweep_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rexspeed/platform/configuration.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::engine {
+namespace {
+
+const platform::Configuration& atlas_crusoe() {
+  return platform::configuration_by_name("Atlas/Crusoe");
+}
+
+void expect_identical_pair(const core::PairSolution& a,
+                           const core::PairSolution& b) {
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.sigma1, b.sigma1);
+  EXPECT_EQ(a.sigma2, b.sigma2);
+  EXPECT_EQ(a.sigma1_index, b.sigma1_index);
+  EXPECT_EQ(a.sigma2_index, b.sigma2_index);
+  EXPECT_EQ(a.w_opt, b.w_opt);
+  EXPECT_EQ(a.w_min, b.w_min);
+  EXPECT_EQ(a.w_max, b.w_max);
+  EXPECT_EQ(a.energy_overhead, b.energy_overhead);
+  EXPECT_EQ(a.time_overhead, b.time_overhead);
+}
+
+void expect_identical_series(const sweep::FigureSeries& a,
+                             const sweep::FigureSeries& b) {
+  EXPECT_EQ(a.parameter, b.parameter);
+  EXPECT_EQ(a.configuration, b.configuration);
+  EXPECT_EQ(a.rho, b.rho);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].x, b.points[i].x);
+    EXPECT_EQ(a.points[i].two_speed_fallback, b.points[i].two_speed_fallback);
+    EXPECT_EQ(a.points[i].single_speed_fallback,
+              b.points[i].single_speed_fallback);
+    expect_identical_pair(a.points[i].two_speed, b.points[i].two_speed);
+    expect_identical_pair(a.points[i].single_speed, b.points[i].single_speed);
+  }
+}
+
+TEST(SweepEngine, RunAllSweepsParallelIsBitIdenticalToSerial) {
+  // The satellite requirement: a multi-thread pool must not change a
+  // single bit of any panel relative to the serial run.
+  sweep::SweepOptions serial;
+  serial.points = 13;
+  const auto reference = sweep::run_all_sweeps(atlas_crusoe(), serial);
+
+  sweep::ThreadPool pool(4);
+  sweep::SweepOptions pooled = serial;
+  pooled.pool = &pool;
+  const auto parallel = sweep::run_all_sweeps(atlas_crusoe(), pooled);
+
+  ASSERT_EQ(reference.size(), parallel.size());
+  for (std::size_t p = 0; p < reference.size(); ++p) {
+    SCOPED_TRACE(sweep::to_string(reference[p].parameter));
+    expect_identical_series(reference[p], parallel[p]);
+  }
+}
+
+TEST(SweepEngine, EngineRunMatchesDirectSweep) {
+  ScenarioSpec spec = scenario_by_name("fig04");
+  spec.points = 9;
+  const SweepEngine engine;  // parallel by default
+  const auto via_engine = engine.run(spec);
+
+  const auto direct = sweep::run_figure_sweep(
+      platform::configuration_by_name(spec.configuration),
+      *spec.sweep_parameter, spec.sweep_options(nullptr));
+  expect_identical_series(via_engine, direct);
+}
+
+TEST(SweepEngine, RunScenarioDispatchesOnKind) {
+  const SweepEngine engine;
+  ScenarioSpec panel = scenario_by_name("fig05");
+  panel.points = 5;
+  EXPECT_EQ(engine.run_scenario(panel).size(), 1u);
+
+  ScenarioSpec composite = scenario_by_name("fig08");
+  composite.points = 3;
+  const auto panels = engine.run_scenario(composite);
+  ASSERT_EQ(panels.size(), 6u);
+  EXPECT_EQ(panels.front().parameter, sweep::SweepParameter::kCheckpointTime);
+  EXPECT_EQ(panels.back().parameter, sweep::SweepParameter::kIoPower);
+}
+
+TEST(SweepEngine, RunRejectsScenariosWithoutASweepParameter) {
+  const SweepEngine engine;
+  EXPECT_THROW(engine.run(ScenarioSpec{}), std::invalid_argument);
+}
+
+TEST(SweepEngine, SerialEngineHandsOutNoPool) {
+  const SweepEngine serial(SweepEngineOptions{.threads = 1});
+  EXPECT_EQ(serial.pool(), nullptr);
+  EXPECT_EQ(serial.thread_count(), 1u);
+
+  const SweepEngine parallel(SweepEngineOptions{.threads = 3});
+  EXPECT_NE(parallel.pool(), nullptr);
+  EXPECT_EQ(parallel.thread_count(), 3u);
+
+  // Serial and parallel engines agree bit for bit.
+  ScenarioSpec spec = scenario_by_name("fig02");
+  spec.points = 7;
+  expect_identical_series(serial.run(spec), parallel.run(spec));
+}
+
+TEST(SweepEngine, SpeedPairTablesMatchPerBoundCalls) {
+  const SweepEngine engine;
+  const ScenarioSpec spec = parse_scenario("config=Hera/XScale");
+  const auto bounds = sweep::section42_bounds();
+  const auto tables = engine.speed_pair_tables(spec, bounds);
+  ASSERT_EQ(tables.size(), bounds.size());
+
+  const SolverContext context = spec.make_context();
+  for (std::size_t b = 0; b < bounds.size(); ++b) {
+    const auto expected = sweep::speed_pair_table(context.solver(), bounds[b]);
+    ASSERT_EQ(tables[b].size(), expected.size());
+    for (std::size_t r = 0; r < expected.size(); ++r) {
+      EXPECT_EQ(tables[b][r].sigma1, expected[r].sigma1);
+      EXPECT_EQ(tables[b][r].feasible, expected[r].feasible);
+      EXPECT_EQ(tables[b][r].best_sigma2, expected[r].best_sigma2);
+      EXPECT_EQ(tables[b][r].w_opt, expected[r].w_opt);
+      EXPECT_EQ(tables[b][r].energy_overhead, expected[r].energy_overhead);
+      EXPECT_EQ(tables[b][r].is_global_best, expected[r].is_global_best);
+    }
+  }
+}
+
+TEST(SweepEngine, RhoSweepSharedContextMatchesPerPointSolves) {
+  // The ρ fast path reuses one SolverContext across the grid; every point
+  // must still equal an independent solve at that bound.
+  const SweepEngine engine;
+  ScenarioSpec spec = scenario_by_name("fig05");
+  spec.points = 11;
+  const auto series = engine.run(spec);
+  const SolverContext context = spec.make_context();
+  for (const auto& point : series.points) {
+    bool used_fallback = false;
+    const auto expected =
+        context.best(point.x, core::SpeedPolicy::kTwoSpeed,
+                     core::EvalMode::kFirstOrder, true, &used_fallback);
+    expect_identical_pair(point.two_speed, expected);
+    EXPECT_EQ(point.two_speed_fallback, used_fallback);
+  }
+}
+
+}  // namespace
+}  // namespace rexspeed::engine

@@ -151,5 +151,25 @@ TEST(SweepParameterNames, AllDistinct) {
   EXPECT_STREQ(to_string(SweepParameter::kIoPower), "Pio");
 }
 
+TEST(SweepParameterNames, ParseIsTheInverseOfToString) {
+  const SweepParameter parameters[] = {
+      SweepParameter::kCheckpointTime, SweepParameter::kVerificationTime,
+      SweepParameter::kErrorRate,      SweepParameter::kPerformanceBound,
+      SweepParameter::kIdlePower,      SweepParameter::kIoPower};
+  for (const SweepParameter parameter : parameters) {
+    const auto parsed = parse_sweep_parameter(to_string(parameter));
+    ASSERT_TRUE(parsed.has_value()) << to_string(parameter);
+    EXPECT_EQ(*parsed, parameter);
+  }
+}
+
+TEST(SweepParameterNames, ParseRejectsUnknownNames) {
+  EXPECT_FALSE(parse_sweep_parameter("").has_value());
+  EXPECT_FALSE(parse_sweep_parameter("c").has_value());
+  EXPECT_FALSE(parse_sweep_parameter("Lambda").has_value());
+  EXPECT_FALSE(parse_sweep_parameter("rho ").has_value());
+  EXPECT_FALSE(parse_sweep_parameter("unknown").has_value());
+}
+
 }  // namespace
 }  // namespace rexspeed::sweep

@@ -3,13 +3,16 @@
 //   rexspeed solve     --config=Hera/XScale --rho=3 [--exact] [--single]
 //   rexspeed pairs     --config=Hera/XScale --rho=3
 //   rexspeed sweep     --config=Atlas/Crusoe --param=C [--points=51]
-//                      [--out-dir=DIR]
+//                      [--threads=N] [--out-dir=DIR]
+//   rexspeed sweep     --scenario=fig08 [--out-dir=DIR]
 //   rexspeed simulate  --config=Hera/XScale --rho=3 --work=1e6
 //                      [--reps=200] [--seed=1] [--boost=50]
 //   rexspeed plan      --config=Coastal/XScale --rho=2 --days=90
+//   rexspeed scenarios
 //   rexspeed configs
 //
-// Every subcommand is a thin veneer over the public library API; all of
+// Every subcommand is a thin veneer over the engine layer (scenario
+// registry + cached solver contexts + the parallel sweep engine); all of
 // the logic it exercises is unit-tested in tests/.
 
 #include <cstdio>
@@ -18,16 +21,16 @@
 #include <fstream>
 #include <string>
 
-#include "rexspeed/core/bicrit_solver.hpp"
 #include "rexspeed/core/campaign.hpp"
 #include "rexspeed/core/exact_expectations.hpp"
+#include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/engine/solver_context.hpp"
+#include "rexspeed/engine/sweep_engine.hpp"
 #include "rexspeed/io/cli.hpp"
 #include "rexspeed/io/gnuplot_writer.hpp"
 #include "rexspeed/io/table_writer.hpp"
 #include "rexspeed/platform/configuration.hpp"
 #include "rexspeed/sim/monte_carlo.hpp"
-#include "rexspeed/sweep/figure_sweeps.hpp"
-#include "rexspeed/sweep/section42_tables.hpp"
 
 using namespace rexspeed;
 
@@ -41,22 +44,42 @@ int usage() {
       "            --config=NAME --rho=R [--exact] [--single]\n"
       "  pairs     the per-sigma1 best-second-speed table (paper 4.2)\n"
       "            --config=NAME --rho=R\n"
-      "  sweep     one paper figure panel\n"
-      "            --config=NAME --param={C,V,lambda,rho,Pidle,Pio}\n"
-      "            [--points=N] [--out-dir=DIR]\n"
+      "  sweep     one paper figure panel (or a full composite)\n"
+      "            --config=NAME --param={C,V,lambda,rho,Pidle,Pio,all}\n"
+      "            [--points=N] [--rho=R] [--threads=N] [--out-dir=DIR]\n"
+      "            or: --scenario=NAME (see `rexspeed scenarios`)\n"
       "  simulate  Monte-Carlo validation of the optimal policy\n"
       "            --config=NAME --rho=R [--work=W] [--reps=N]\n"
       "            [--seed=S] [--boost=B]\n"
       "  plan      application-level campaign plan\n"
       "            --config=NAME --rho=R --days=D\n"
+      "  scenarios list the registered scenarios (paper figures as data)\n"
       "  configs   list the eight paper configurations\n");
   return 2;
 }
 
-core::ModelParams params_from(const io::ArgParser& args) {
-  const std::string name = args.get_or("config", "Hera/XScale");
-  return core::ModelParams::from_configuration(
-      platform::configuration_by_name(name));
+/// Scenario described by the command line: `--scenario=NAME` pulls a
+/// registry entry; every other flag overrides it.
+engine::ScenarioSpec scenario_from(const io::ArgParser& args) {
+  engine::ScenarioSpec spec;
+  if (const auto name = args.get("scenario")) {
+    spec = engine::scenario_by_name(*name);
+  }
+  if (const auto config = args.get("config")) spec.configuration = *config;
+  if (const auto rho = args.get("rho")) {
+    engine::apply_token(spec, "rho", *rho);
+  }
+  if (const auto points = args.get("points")) {
+    engine::apply_token(spec, "points", *points);
+  }
+  if (const auto param = args.get("param")) {
+    engine::apply_token(spec, "param", *param);
+  }
+  if (args.has_flag("single")) {
+    spec.policy = core::SpeedPolicy::kSingleSpeed;
+  }
+  if (args.has_flag("exact")) spec.mode = core::EvalMode::kExactOptimize;
+  return spec;
 }
 
 int cmd_configs() {
@@ -81,20 +104,32 @@ int cmd_configs() {
   return 0;
 }
 
+int cmd_scenarios() {
+  io::TableWriter table(
+      {"scenario", "configuration", "kind", "description"});
+  for (const auto& spec : engine::scenario_registry()) {
+    const char* kind = "solve";
+    if (spec.kind() == engine::ScenarioKind::kSweep) {
+      kind = sweep::to_string(*spec.sweep_parameter);
+    } else if (spec.kind() == engine::ScenarioKind::kAllSweeps) {
+      kind = "all sweeps";
+    }
+    table.add_row({spec.name, spec.configuration, kind, spec.description});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nRun one with `rexspeed sweep --scenario=NAME`; any --config, "
+      "--rho,\n--points or --param flag overrides the registered value.\n");
+  return 0;
+}
+
 int cmd_solve(const io::ArgParser& args) {
-  const auto params = params_from(args);
-  const double rho = args.get_double_or("rho", 3.0);
-  const auto policy = args.has_flag("single")
-                          ? core::SpeedPolicy::kSingleSpeed
-                          : core::SpeedPolicy::kTwoSpeed;
-  const auto mode = args.has_flag("exact")
-                        ? core::EvalMode::kExactOptimize
-                        : core::EvalMode::kFirstOrder;
-  const core::BiCritSolver solver(params);
-  const auto sol = solver.solve(rho, policy, mode);
+  const auto spec = scenario_from(args);
+  const engine::SolverContext context = spec.make_context();
+  const auto sol = context.solve(spec.rho, spec.policy, spec.mode);
   if (!sol.feasible) {
-    std::printf("infeasible: no speed pair satisfies rho = %g\n", rho);
-    const auto fallback = solver.min_rho_solution(policy);
+    std::printf("infeasible: no speed pair satisfies rho = %g\n", spec.rho);
+    const auto& fallback = context.min_rho(spec.policy);
     if (fallback.feasible) {
       std::printf("best-effort minimum bound: rho_min = %.4f at "
                   "(%.2f, %.2f)\n",
@@ -105,15 +140,16 @@ int cmd_solve(const io::ArgParser& args) {
   std::printf("sigma1 = %.2f  sigma2 = %.2f  Wopt = %.1f\n",
               sol.best.sigma1, sol.best.sigma2, sol.best.w_opt);
   std::printf("E/W = %.2f mW   T/W = %.4f s per work unit (bound %g)\n",
-              sol.best.energy_overhead, sol.best.time_overhead, rho);
+              sol.best.energy_overhead, sol.best.time_overhead, spec.rho);
   return 0;
 }
 
 int cmd_pairs(const io::ArgParser& args) {
-  const auto params = params_from(args);
-  const double rho = args.get_double_or("rho", 3.0);
+  const auto spec = scenario_from(args);
+  const engine::SolverContext context = spec.make_context();
   io::TableWriter table({"sigma1", "best sigma2", "Wopt", "E/W", ""});
-  for (const auto& row : sweep::speed_pair_table(params, rho)) {
+  for (const auto& row :
+       sweep::speed_pair_table(context.solver(), spec.rho, spec.mode)) {
     if (!row.feasible) {
       table.add_row(
           {io::TableWriter::cell(row.sigma1, 2), "-", "-", "-", ""});
@@ -129,50 +165,8 @@ int cmd_pairs(const io::ArgParser& args) {
   return 0;
 }
 
-int cmd_sweep(const io::ArgParser& args) {
-  const std::string name = args.get_or("config", "Atlas/Crusoe");
-  const std::string param = args.get_or("param", "C");
-  sweep::SweepParameter parameter;
-  if (param == "C") {
-    parameter = sweep::SweepParameter::kCheckpointTime;
-  } else if (param == "V") {
-    parameter = sweep::SweepParameter::kVerificationTime;
-  } else if (param == "lambda") {
-    parameter = sweep::SweepParameter::kErrorRate;
-  } else if (param == "rho") {
-    parameter = sweep::SweepParameter::kPerformanceBound;
-  } else if (param == "Pidle") {
-    parameter = sweep::SweepParameter::kIdlePower;
-  } else if (param == "Pio") {
-    parameter = sweep::SweepParameter::kIoPower;
-  } else {
-    std::fprintf(stderr, "unknown --param=%s\n", param.c_str());
-    return 2;
-  }
-  sweep::SweepOptions options;
-  options.points =
-      static_cast<std::size_t>(args.get_long_or("points", 51));
-  options.rho = args.get_double_or("rho", 3.0);
-  const auto series = run_figure_sweep(
-      platform::configuration_by_name(name), parameter, options);
+void print_series(const sweep::FigureSeries& series) {
   const sweep::Series flat = to_series(series);
-  const std::string out_dir = args.get_or("out-dir", "");
-  if (!out_dir.empty()) {
-    std::string stem = name;
-    for (auto& ch : stem) {
-      if (ch == '/') ch = '_';
-    }
-    stem += std::string("_") + sweep::to_string(parameter);
-    std::ofstream dat(out_dir + "/" + stem + ".dat");
-    io::write_gnuplot_dat(dat, flat);
-    std::ofstream script(out_dir + "/" + stem + ".gp");
-    io::write_gnuplot_script(
-        script, flat, stem + ".dat",
-        parameter == sweep::SweepParameter::kErrorRate);
-    std::printf("wrote %s/%s.dat and .gp\n", out_dir.c_str(), stem.c_str());
-    return 0;
-  }
-  // Print the flat series as an aligned table.
   io::TableWriter table([&] {
     io::Row header{flat.x_name()};
     for (const auto& column : flat.column_names()) header.push_back(column);
@@ -186,15 +180,59 @@ int cmd_sweep(const io::ArgParser& args) {
     table.add_row(std::move(row));
   }
   std::printf("%s", table.str().c_str());
+}
+
+int export_series(const sweep::FigureSeries& series,
+                  const std::string& out_dir) {
+  const auto stem = io::export_gnuplot_figure(series, out_dir);
+  if (!stem) {
+    std::fprintf(stderr, "error: cannot write to --out-dir=%s\n",
+                 out_dir.c_str());
+    return 1;
+  }
+  std::printf("wrote %s/%s.dat and .gp\n", out_dir.c_str(), stem->c_str());
+  return 0;
+}
+
+int cmd_sweep(const io::ArgParser& args) {
+  engine::ScenarioSpec spec = scenario_from(args);
+  // Bare `rexspeed sweep` keeps its historical defaults: the Figure 2
+  // panel (checkpoint-time sweep on Atlas/Crusoe).
+  if (!args.get("scenario") && !args.get("config")) {
+    spec.configuration = "Atlas/Crusoe";
+  }
+  if (spec.kind() == engine::ScenarioKind::kSolve) {
+    spec.sweep_parameter = sweep::SweepParameter::kCheckpointTime;
+  }
+  const long threads = args.get_long_or("threads", 0);
+  if (threads < 0) {
+    std::fprintf(stderr,
+                 "error: --threads must be >= 0 (0 = hardware "
+                 "concurrency), got %ld\n",
+                 threads);
+    return 2;
+  }
+  engine::SweepEngineOptions engine_options;
+  engine_options.threads = static_cast<unsigned>(threads);
+  const engine::SweepEngine engine(engine_options);
+  const auto panels = engine.run_scenario(spec);
+  const std::string out_dir = args.get_or("out-dir", "");
+  for (const auto& series : panels) {
+    if (out_dir.empty()) {
+      print_series(series);
+    } else if (const int status = export_series(series, out_dir)) {
+      return status;
+    }
+  }
   return 0;
 }
 
 int cmd_simulate(const io::ArgParser& args) {
-  auto params = params_from(args);
-  const double rho = args.get_double_or("rho", 3.0);
+  const auto spec = scenario_from(args);
+  auto params = spec.resolve_params();
   const double boost = args.get_double_or("boost", 50.0);
-  const core::BiCritSolver solver(params);
-  const auto sol = solver.solve(rho);
+  const engine::SolverContext context(params);
+  const auto sol = context.solve(spec.rho, spec.policy, spec.mode);
   if (!sol.feasible) {
     std::printf("infeasible bound\n");
     return 1;
@@ -228,10 +266,10 @@ int cmd_simulate(const io::ArgParser& args) {
 }
 
 int cmd_plan(const io::ArgParser& args) {
-  const auto params = params_from(args);
-  const double rho = args.get_double_or("rho", 3.0);
+  const auto spec = scenario_from(args);
+  const auto params = spec.resolve_params();
   const double days = args.get_double_or("days", 30.0);
-  const auto plan = core::plan_campaign(params, rho, days * 86400.0);
+  const auto plan = core::plan_campaign(params, spec.rho, days * 86400.0);
   if (!plan.feasible) {
     std::printf("infeasible bound\n");
     return 1;
@@ -255,6 +293,7 @@ int main(int argc, char** argv) try {
   const std::string command = argv[1];
   const io::ArgParser args(argc - 1, argv + 1);
   if (command == "configs") return cmd_configs();
+  if (command == "scenarios") return cmd_scenarios();
   if (command == "solve") return cmd_solve(args);
   if (command == "pairs") return cmd_pairs(args);
   if (command == "sweep") return cmd_sweep(args);
