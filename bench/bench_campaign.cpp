@@ -1,0 +1,131 @@
+// Flattened-campaign throughput: the whole scenario registry on small
+// (11-point) grids, run two ways with the same thread budget:
+//
+//   sequential-panel — the pre-campaign path: scenario by scenario,
+//     panel by panel (each panel internally parallel, with a barrier at
+//     every panel boundary — 48 barriers for the registry);
+//   flattened        — CampaignRunner: every (scenario × panel × point)
+//     in ONE task stream with a single barrier at campaign end.
+//
+// Small grids are exactly where the barriers hurt: a panel's tail leaves
+// workers idle while the next panel waits to start. The bench verifies
+// both runs are bit-identical before reporting throughput.
+//
+// Usage: bench_campaign [--points=11] [--threads=0] [--repeats=3]
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+
+#include "rexspeed/engine/campaign_runner.hpp"
+#include "rexspeed/engine/sweep_engine.hpp"
+#include "rexspeed/io/cli.hpp"
+
+using namespace rexspeed;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool identical_point(const core::PairSolution& a,
+                     const core::PairSolution& b) {
+  return a.feasible == b.feasible && a.sigma1 == b.sigma1 &&
+         a.sigma2 == b.sigma2 && a.sigma1_index == b.sigma1_index &&
+         a.sigma2_index == b.sigma2_index && a.w_opt == b.w_opt &&
+         a.w_min == b.w_min && a.w_max == b.w_max &&
+         a.energy_overhead == b.energy_overhead &&
+         a.time_overhead == b.time_overhead;
+}
+
+bool identical_panels(const std::vector<sweep::FigureSeries>& a,
+                      const std::vector<sweep::FigureSeries>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    if (a[p].parameter != b[p].parameter ||
+        a[p].configuration != b[p].configuration || a[p].rho != b[p].rho ||
+        a[p].points.size() != b[p].points.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a[p].points.size(); ++i) {
+      const auto& pa = a[p].points[i];
+      const auto& pb = b[p].points[i];
+      if (pa.x != pb.x || pa.two_speed_fallback != pb.two_speed_fallback ||
+          pa.single_speed_fallback != pb.single_speed_fallback ||
+          !identical_point(pa.two_speed, pb.two_speed) ||
+          !identical_point(pa.single_speed, pb.single_speed)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const io::ArgParser args(argc, argv);
+  const auto points = static_cast<std::size_t>(args.get_long_or("points", 11));
+  const auto threads = static_cast<unsigned>(args.get_long_or("threads", 0));
+  const auto repeats = static_cast<std::size_t>(args.get_long_or("repeats", 3));
+
+  std::vector<engine::ScenarioSpec> specs = engine::scenario_registry();
+  for (auto& spec : specs) spec.points = points;
+
+  const engine::SweepEngine sequential({.threads = threads});
+  const engine::CampaignRunner flattened({.threads = threads});
+
+  // Warm-up + reference results for the bit-identity check.
+  std::vector<std::vector<sweep::FigureSeries>> reference;
+  reference.reserve(specs.size());
+  for (const auto& spec : specs) {
+    reference.push_back(sequential.run_scenario(spec));
+  }
+  const auto campaign = flattened.run(specs);
+
+  std::size_t total_points = 0;
+  bool identical = campaign.size() == specs.size();
+  for (std::size_t s = 0; s < campaign.size() && identical; ++s) {
+    identical = identical_panels(campaign[s].panels, reference[s]);
+  }
+  for (const auto& result : campaign) {
+    for (const auto& panel : result.panels) {
+      total_points += panel.points.size();
+    }
+  }
+  std::printf("registry campaign: %zu scenarios, %zu grid points, "
+              "%u threads, %zu repeats\n",
+              specs.size(), total_points, sequential.thread_count(), repeats);
+  std::printf("flattened vs sequential-panel results bit-identical: %s\n\n",
+              identical ? "yes" : "NO — BUG");
+
+  double sequential_s = 0.0;
+  double flattened_s = 0.0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    auto start = Clock::now();
+    for (const auto& spec : specs) {
+      const auto panels = sequential.run_scenario(spec);
+      if (panels.empty()) return 1;  // keep the work observable
+    }
+    sequential_s += seconds_since(start);
+
+    start = Clock::now();
+    const auto results = flattened.run(specs);
+    if (results.size() != specs.size()) return 1;
+    flattened_s += seconds_since(start);
+  }
+
+  const double total = static_cast<double>(total_points * repeats);
+  std::printf("sequential-panel: %8.3f s  (%8.0f points/s)\n", sequential_s,
+              total / sequential_s);
+  std::printf("flattened:        %8.3f s  (%8.0f points/s)\n", flattened_s,
+              total / flattened_s);
+  std::printf("flattened speedup: %.2fx\n", sequential_s / flattened_s);
+  return identical ? 0 : 1;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "error: %s\n", error.what());
+  return 1;
+}

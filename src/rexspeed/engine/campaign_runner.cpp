@@ -1,0 +1,111 @@
+#include "rexspeed/engine/campaign_runner.hpp"
+
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "rexspeed/engine/solver_context.hpp"
+#include "rexspeed/sweep/figure_sweeps.hpp"
+
+namespace rexspeed::engine {
+
+namespace {
+
+/// A kSolve scenario's single task: params resolved up front, the heavy
+/// SolverContext construction deferred into the task stream.
+struct SolvePlan {
+  core::ModelParams params;
+  ScenarioResult* result = nullptr;
+};
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignRunnerOptions options)
+    : pool_(options.threads) {}
+
+std::vector<ScenarioResult> CampaignRunner::run(
+    const std::vector<ScenarioSpec>& specs) const {
+  // Phase 1 (serial, cheap): resolve every scenario and prepare every
+  // panel through the same sweep::PanelSweep that run_figure_sweep
+  // drives — identical setup and per-point kernel, so campaign results
+  // are bit-identical to per-scenario runs by construction. All
+  // validation errors surface here, before any task is submitted; tasks
+  // themselves are pure solver math on validated inputs and cannot throw.
+  // Plans live in deques so task lambdas hold stable pointers while plans
+  // for later scenarios are still being appended.
+  std::vector<ScenarioResult> results(specs.size());
+  std::deque<sweep::PanelSweep> panel_plans;
+  std::deque<SolvePlan> solve_plans;
+  /// Where each finished panel is moved once the stream drains.
+  std::vector<std::pair<sweep::PanelSweep*, sweep::FigureSeries*>> outputs;
+  std::size_t task_count = 0;
+
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const ScenarioSpec& spec = specs[s];
+    ScenarioResult& result = results[s];
+    result.spec = spec;
+    core::ModelParams base = spec.resolve_params();
+    // Panels validate their bound in the PanelSweep constructor; the
+    // solve task calls the solver directly, so its bound is checked here
+    // (tasks must not throw — the pool has no exception barrier).
+    if (!(spec.rho > 0.0) || !std::isfinite(spec.rho)) {
+      throw std::invalid_argument("CampaignRunner: scenario '" + spec.name +
+                                  "': rho must be positive and finite");
+    }
+
+    if (spec.kind() == ScenarioKind::kSolve) {
+      solve_plans.push_back({std::move(base), &result});
+      ++task_count;
+      continue;
+    }
+
+    const std::vector<sweep::SweepParameter> panels =
+        spec.kind() == ScenarioKind::kSweep
+            ? std::vector<sweep::SweepParameter>{*spec.sweep_parameter}
+            : sweep::all_sweep_parameters();
+    const sweep::SweepOptions options = spec.sweep_options(nullptr);
+    result.panels.resize(panels.size());
+    for (std::size_t p = 0; p < panels.size(); ++p) {
+      sweep::PanelSweep& plan = panel_plans.emplace_back(
+          base, spec.configuration, panels[p],
+          sweep::default_grid(panels[p], spec.points), options);
+      outputs.emplace_back(&plan, &result.panels[p]);
+      task_count += plan.point_count();
+    }
+  }
+
+  // Phase 2: ONE flattened task stream — every (scenario × panel × point)
+  // plus every solve, with no barrier until the campaign's end. Each task
+  // writes only its own slot, so scheduling cannot change a single bit.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(task_count);
+  for (sweep::PanelSweep& plan : panel_plans) {
+    for (std::size_t i = 0; i < plan.point_count(); ++i) {
+      tasks.push_back([&plan, i] { plan.solve_point(i); });
+    }
+  }
+  for (SolvePlan& plan : solve_plans) {
+    tasks.push_back([&plan] {
+      const SolverContext context(plan.params);
+      const ScenarioSpec& spec = plan.result->spec;
+      plan.result->solution =
+          context.best(spec.rho, spec.policy, spec.mode,
+                       spec.min_rho_fallback, &plan.result->used_fallback);
+    });
+  }
+
+  sweep::parallel_for(pool(), tasks.size(),
+                      [&tasks](std::size_t i) { tasks[i](); });
+
+  for (auto& [plan, series] : outputs) *series = plan->take();
+  return results;
+}
+
+ScenarioResult CampaignRunner::run_one(const ScenarioSpec& spec) const {
+  std::vector<ScenarioResult> results = run({spec});
+  return std::move(results.front());
+}
+
+}  // namespace rexspeed::engine

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/sweep/thread_pool.hpp"
+
+namespace rexspeed::engine {
+
+/// Everything one scenario of a campaign produced, dispatched on its kind:
+/// a kSweep scenario fills one panel, a kAllSweeps composite six, and a
+/// kSolve scenario leaves `panels` empty and reports its bound solve in
+/// `solution` / `used_fallback` instead.
+struct ScenarioResult {
+  ScenarioSpec spec;
+  std::vector<sweep::FigureSeries> panels;
+  core::PairSolution solution;  ///< kSolve only; default elsewhere
+  bool used_fallback = false;   ///< kSolve only: min-ρ fallback taken
+};
+
+struct CampaignRunnerOptions {
+  /// Worker threads: 0 uses hardware concurrency, 1 forces a serial run.
+  unsigned threads = 0;
+};
+
+/// Batched multi-scenario driver: flattens every (scenario × panel ×
+/// grid-point) of a campaign into ONE task stream over a shared ThreadPool,
+/// with no per-panel or per-scenario barriers — the tail of one panel no
+/// longer idles workers while the next panel waits to start, which is
+/// where `run_all_sweeps`' sequential panels lose throughput on small
+/// grids.
+///
+/// Determinism: every task writes only its own preallocated slot and runs
+/// the same per-point kernel (`sweep::solve_figure_point`) against the same
+/// per-panel inputs as a per-scenario `SweepEngine` run, so campaign
+/// results are bit-identical to running each scenario alone — serial or
+/// parallel, any thread count, any scheduling.
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignRunnerOptions options = {});
+
+  /// Runs a whole campaign through one flattened task stream. Scenario
+  /// resolution errors (unknown configuration, invalid overrides) throw
+  /// before any task runs.
+  [[nodiscard]] std::vector<ScenarioResult> run(
+      const std::vector<ScenarioSpec>& specs) const;
+
+  /// One-scenario campaign (handles all three kinds, including the
+  /// panel-free kSolve that SweepEngine::run_scenario rejects).
+  [[nodiscard]] ScenarioResult run_one(const ScenarioSpec& spec) const;
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return pool_.thread_count();
+  }
+
+  /// The runner's pool — serial runners (threads == 1) hand out null so
+  /// the flattened stream runs inline.
+  [[nodiscard]] sweep::ThreadPool* pool() const noexcept {
+    return pool_.thread_count() > 1 ? &pool_ : nullptr;
+  }
+
+ private:
+  mutable sweep::ThreadPool pool_;
+};
+
+}  // namespace rexspeed::engine

@@ -1,5 +1,6 @@
 #include "rexspeed/engine/scenario.hpp"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -81,10 +82,19 @@ void apply_token(ScenarioSpec& spec, const std::string& key,
                  const std::string& value) {
   if (key == "name") {
     spec.name = value;
+  } else if (key == "description") {
+    spec.description = value;
   } else if (key == "config") {
     spec.configuration = value;
   } else if (key == "rho") {
-    spec.rho = parse_double(key, value);
+    const double rho = parse_double(key, value);
+    // Validate eagerly: an unchecked bound would first throw inside a
+    // ThreadPool worker (which terminates) instead of at parse time.
+    if (!(rho > 0.0) || !std::isfinite(rho)) {
+      throw std::invalid_argument("scenario: rho must be positive and "
+                                  "finite, got '" + value + "'");
+    }
+    spec.rho = rho;
   } else if (key == "points") {
     const double points = parse_double(key, value);
     if (!(points >= 1.0)) {
@@ -128,7 +138,16 @@ void apply_token(ScenarioSpec& spec, const std::string& key,
           "' (expected first-order, exact-eval or exact-opt)");
     }
   } else if (key == "fallback") {
-    spec.min_rho_fallback = value != "0" && value != "false";
+    if (value == "1" || value == "true") {
+      spec.min_rho_fallback = true;
+    } else if (value == "0" || value == "false") {
+      spec.min_rho_fallback = false;
+    } else {
+      // Anything-but-0-means-true would turn a typo ("off", "flase") into
+      // the opposite policy; reject like every other key does.
+      throw std::invalid_argument("scenario: fallback must be 0, 1, true "
+                                  "or false, got '" + value + "'");
+    }
   } else {
     // Everything else must be a model-parameter override; validate the
     // key eagerly so typos fail at parse time, not at resolve time.

@@ -70,11 +70,11 @@ struct ScenarioSpec {
 void apply_override(core::ModelParams& params, const ParamOverride& override_);
 
 /// Parses one "key=value" token into a spec. Structural keys: name,
-/// config, rho, points, param (a sweep-parameter name, "all" or "none"),
-/// policy (two-speed | single-speed), mode (first-order | exact-eval |
-/// exact-opt), fallback (0 | 1). Every other key must be a model-parameter
-/// override key (see ParamOverride). Throws std::invalid_argument on an
-/// unknown key or malformed value.
+/// description, config, rho, points, param (a sweep-parameter name, "all"
+/// or "none"), policy (two-speed | single-speed), mode (first-order |
+/// exact-eval | exact-opt), fallback (0 | 1). Every other key must be a
+/// model-parameter override key (see ParamOverride). Throws
+/// std::invalid_argument on an unknown key or malformed value.
 void apply_token(ScenarioSpec& spec, const std::string& key,
                  const std::string& value);
 

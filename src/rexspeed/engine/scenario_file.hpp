@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rexspeed/engine/scenario.hpp"
+
+namespace rexspeed::engine {
+
+/// Serializes a spec as newline-separated "key=value" lines understood by
+/// both parse_scenario and load_scenario_file — the inverse of parsing, so
+/// specs round-trip: parse_scenario(write_scenario(spec)) yields an
+/// equivalent spec (same name, kind, grid and resolved parameters). The
+/// description is emitted only when it has no whitespace or '#'
+/// (parse_scenario splits tokens on whitespace, and '#' starts a comment
+/// on reload; spec files loaded per line keep multi-word descriptions).
+/// Throws std::invalid_argument when the name or configuration contains
+/// whitespace or '#' — the format has no escaping, so a reload would
+/// split or truncate them.
+[[nodiscard]] std::string write_scenario(const ScenarioSpec& spec);
+
+/// Writes write_scenario(spec) to `path`, restoring the multi-word
+/// description write_scenario had to drop (the line-based format keeps
+/// it). A description containing '#' is omitted entirely — the format has
+/// no escaping, so it cannot survive a reload; unlike the name/config
+/// identifiers (which write_scenario rejects), a lost description does
+/// not change what the spec computes. Throws std::runtime_error when the
+/// file cannot be written.
+void save_scenario_file(const ScenarioSpec& spec, const std::string& path);
+
+/// Parses one scenario spec file: one "key=value" entry per line (keys as
+/// in apply_token), '#' starts a comment, blank lines are skipped, and
+/// values keep embedded spaces (so `description=six panels` works). When
+/// the file sets no explicit name, the file stem (basename minus
+/// extension) becomes the scenario name. Throws std::invalid_argument
+/// citing "<path>:<line>" for malformed entries, and for files with no
+/// entries at all.
+[[nodiscard]] ScenarioSpec load_scenario_file(const std::string& path);
+
+/// Loads every "*.scenario" file of a directory, sorted by filename, so a
+/// deployment's workload set loads in deterministic order. Other files are
+/// ignored. Throws std::invalid_argument when `dir` is not a directory,
+/// when any spec file is malformed, or when two files register the same
+/// scenario name.
+[[nodiscard]] std::vector<ScenarioSpec> load_scenario_dir(
+    const std::string& dir);
+
+/// Built-in registry + file-loaded extras: an extra whose name matches a
+/// built-in scenario replaces it in place; the rest append in their given
+/// order. The result is a complete campaign-ready registry.
+[[nodiscard]] std::vector<ScenarioSpec> merge_with_registry(
+    const std::vector<ScenarioSpec>& extras);
+
+}  // namespace rexspeed::engine

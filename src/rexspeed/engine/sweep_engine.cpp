@@ -19,21 +19,35 @@ sweep::FigureSeries SweepEngine::run(const ScenarioSpec& spec) const {
     throw std::invalid_argument("SweepEngine::run: scenario '" + spec.name +
                                 "' has no sweep parameter");
   }
-  return run_panel(platform::configuration_by_name(spec.configuration),
-                   *spec.sweep_parameter, spec.sweep_options());
+  const sweep::SweepOptions options = spec.sweep_options(pool());
+  return sweep::run_figure_sweep(
+      spec.resolve_params(), spec.configuration, *spec.sweep_parameter,
+      sweep::default_grid(*spec.sweep_parameter, options.points), options);
 }
 
 std::vector<sweep::FigureSeries> SweepEngine::run_all(
     const ScenarioSpec& spec) const {
-  return sweep::run_all_sweeps(
-      platform::configuration_by_name(spec.configuration),
-      spec.sweep_options(pool()));
+  return sweep::run_all_sweeps(spec.resolve_params(), spec.configuration,
+                               spec.sweep_options(pool()));
 }
 
 std::vector<sweep::FigureSeries> SweepEngine::run_scenario(
     const ScenarioSpec& spec) const {
-  if (spec.kind() == ScenarioKind::kSweep) return {run(spec)};
-  return run_all(spec);
+  switch (spec.kind()) {
+    case ScenarioKind::kSweep:
+      return {run(spec)};
+    case ScenarioKind::kAllSweeps:
+      return run_all(spec);
+    case ScenarioKind::kSolve:
+      break;
+  }
+  // A solve has no panels; silently running all six (the historical
+  // fallthrough) hid scenario-authoring mistakes. Point callers at the
+  // panel-free entry points instead.
+  throw std::invalid_argument(
+      "SweepEngine::run_scenario: scenario '" + spec.name +
+      "' is a solve (param=none) and produces no figure panels; use "
+      "solve_scenario or CampaignRunner::run_one for its solution");
 }
 
 std::vector<std::vector<sweep::SpeedPairRow>> SweepEngine::speed_pair_tables(

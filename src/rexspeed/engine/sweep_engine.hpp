@@ -40,7 +40,9 @@ class SweepEngine {
       const ScenarioSpec& spec) const;
 
   /// Dispatches on the scenario kind: kSweep yields one panel, kAllSweeps
-  /// (and kSolve, which has no sweep parameter) yields all six.
+  /// all six. A kSolve scenario has no panels and is rejected with
+  /// std::invalid_argument (see solve_scenario / CampaignRunner for the
+  /// panel-free result).
   [[nodiscard]] std::vector<sweep::FigureSeries> run_scenario(
       const ScenarioSpec& spec) const;
 

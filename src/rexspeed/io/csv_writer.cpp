@@ -1,7 +1,11 @@
 #include "rexspeed/io/csv_writer.hpp"
 
 #include <cstdio>
+#include <fstream>
 #include <ostream>
+
+#include "rexspeed/io/gnuplot_writer.hpp"
+#include "rexspeed/sweep/figure_sweeps.hpp"
 
 namespace rexspeed::io {
 
@@ -34,6 +38,32 @@ void CsvWriter::write_row(const std::vector<double>& values) {
     os_ << buffer;
   }
   os_ << '\n';
+}
+
+void write_csv_series(std::ostream& os, const sweep::Series& series) {
+  CsvWriter csv(os);
+  std::vector<std::string> header{series.x_name()};
+  header.insert(header.end(), series.column_names().begin(),
+                series.column_names().end());
+  csv.write_row(header);
+  std::vector<double> row(series.column_names().size() + 1);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    row[0] = series.x()[i];
+    for (std::size_t c = 0; c < series.column_names().size(); ++c) {
+      row[c + 1] = series.column(c)[i];
+    }
+    csv.write_row(row);
+  }
+}
+
+std::optional<std::string> export_csv_figure(
+    const sweep::FigureSeries& series, const std::string& out_dir) {
+  const std::string stem = figure_file_stem(series);
+  std::ofstream out(out_dir + "/" + stem + ".csv");
+  write_csv_series(out, to_series(series));
+  out.flush();  // surface late write errors (e.g. disk full) in the check
+  if (!out) return std::nullopt;
+  return stem;
 }
 
 }  // namespace rexspeed::io

@@ -1,8 +1,14 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
+
+namespace rexspeed::sweep {
+class Series;
+struct FigureSeries;
+}  // namespace rexspeed::sweep
 
 namespace rexspeed::io {
 
@@ -21,5 +27,15 @@ class CsvWriter {
  private:
   std::ostream& os_;
 };
+
+/// Writes a flattened figure panel (see sweep::to_series) as a CSV table:
+/// a header row (x name + column names) then one row per grid point.
+void write_csv_series(std::ostream& os, const sweep::Series& series);
+
+/// Exports a figure panel as <out_dir>/<config>_<param>.csv (same stem as
+/// the gnuplot export, see io::figure_file_stem). Returns the stem on
+/// success, nullopt when out_dir is not writable.
+std::optional<std::string> export_csv_figure(
+    const sweep::FigureSeries& series, const std::string& out_dir);
 
 }  // namespace rexspeed::io

@@ -51,14 +51,19 @@ void write_gnuplot_script(std::ostream& os, const sweep::Series& series,
   os << '\n';
 }
 
-std::optional<std::string> export_gnuplot_figure(
-    const sweep::FigureSeries& series, const std::string& out_dir) {
+std::string figure_file_stem(const sweep::FigureSeries& series) {
   std::string stem = series.configuration;
   for (auto& ch : stem) {
     if (ch == '/') ch = '_';
   }
   stem += "_";
   stem += sweep::to_string(series.parameter);
+  return stem;
+}
+
+std::optional<std::string> export_gnuplot_figure(
+    const sweep::FigureSeries& series, const std::string& out_dir) {
+  const std::string stem = figure_file_stem(series);
   const sweep::Series flat = to_series(series);
   std::ofstream dat(out_dir + "/" + stem + ".dat");
   write_gnuplot_dat(dat, flat);
@@ -66,6 +71,8 @@ std::optional<std::string> export_gnuplot_figure(
   write_gnuplot_script(
       script, flat, stem + ".dat",
       series.parameter == sweep::SweepParameter::kErrorRate);
+  dat.flush();  // surface late write errors (e.g. disk full) in the check
+  script.flush();
   if (!dat || !script) return std::nullopt;
   return stem;
 }

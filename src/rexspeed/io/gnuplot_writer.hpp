@@ -24,6 +24,11 @@ void write_gnuplot_script(std::ostream& os, const sweep::Series& series,
                           const std::string& dat_filename,
                           bool logscale_x = false);
 
+/// "<config>_<param>" with "/" flattened to "_" — the file stem shared by
+/// every figure export (gnuplot and CSV), so one panel's artifacts sit
+/// next to each other.
+[[nodiscard]] std::string figure_file_stem(const sweep::FigureSeries& series);
+
 /// Exports a figure panel as <out_dir>/<config>_<param>.dat plus a
 /// matching .gp script ("/" in the configuration name becomes "_"), so
 /// the paper's plots can be regenerated with a stock gnuplot. Returns the

@@ -1,9 +1,11 @@
 #include "rexspeed/sweep/figure_sweeps.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "rexspeed/sweep/grid.hpp"
 
@@ -29,11 +31,7 @@ const char* to_string(SweepParameter parameter) noexcept {
 
 std::optional<SweepParameter> parse_sweep_parameter(
     std::string_view name) noexcept {
-  constexpr SweepParameter kParameters[] = {
-      SweepParameter::kCheckpointTime, SweepParameter::kVerificationTime,
-      SweepParameter::kErrorRate,      SweepParameter::kPerformanceBound,
-      SweepParameter::kIdlePower,      SweepParameter::kIoPower};
-  for (const SweepParameter parameter : kParameters) {
+  for (const SweepParameter parameter : all_sweep_parameters()) {
     if (name == to_string(parameter)) return parameter;
   }
   return std::nullopt;
@@ -99,6 +97,14 @@ core::ModelParams apply_parameter(const core::ModelParams& base,
   return params;
 }
 
+const std::vector<SweepParameter>& all_sweep_parameters() {
+  static const std::vector<SweepParameter> kParameters = {
+      SweepParameter::kCheckpointTime, SweepParameter::kVerificationTime,
+      SweepParameter::kErrorRate,      SweepParameter::kPerformanceBound,
+      SweepParameter::kIdlePower,      SweepParameter::kIoPower};
+  return kParameters;
+}
+
 namespace {
 
 core::PairSolution best_with_fallback(const core::BiCritSolver& solver,
@@ -117,8 +123,8 @@ core::PairSolution best_with_fallback(const core::BiCritSolver& solver,
   return best;
 }
 
-/// One figure point off a cached solver: both speed policies plus their
-/// min-ρ fallbacks resolve against the same precomputed expansions.
+}  // namespace
+
 FigurePoint solve_figure_point(const core::BiCritSolver& solver, double x,
                                double rho, const SweepOptions& options) {
   FigurePoint point;
@@ -132,41 +138,69 @@ FigurePoint solve_figure_point(const core::BiCritSolver& solver, double x,
   return point;
 }
 
-}  // namespace
+PanelSweep::PanelSweep(core::ModelParams base, std::string configuration,
+                       SweepParameter parameter, std::vector<double> grid,
+                       SweepOptions options)
+    : base_(std::move(base)), options_(options), grid_(std::move(grid)) {
+  if (grid_.empty()) {
+    throw std::invalid_argument("PanelSweep: empty grid");
+  }
+  // The pool's workers have no exception barrier (tasks must not throw),
+  // so the bounds the solver would reject are rejected here instead: the
+  // panel's ρ, and — for ρ panels, where each x IS the bound — the grid.
+  if (!(options_.rho > 0.0) || !std::isfinite(options_.rho)) {
+    throw std::invalid_argument("PanelSweep: rho must be positive and "
+                                "finite");
+  }
+  if (parameter == SweepParameter::kPerformanceBound) {
+    for (const double x : grid_) {
+      if (!(x > 0.0) || !std::isfinite(x)) {
+        throw std::invalid_argument(
+            "PanelSweep: rho-sweep grid values must be positive and "
+            "finite");
+      }
+    }
+  }
+  series_.parameter = parameter;
+  series_.configuration = std::move(configuration);
+  series_.rho = options_.rho;
+  series_.points.resize(grid_.size());
+  // ρ sweeps leave the model untouched (apply_parameter is the identity),
+  // so every grid point shares one solver: the O(K²) expansions are
+  // computed once for the whole panel instead of once per point.
+  if (parameter == SweepParameter::kPerformanceBound) {
+    shared_.emplace(base_);
+  }
+}
+
+void PanelSweep::solve_point(std::size_t i) {
+  const double x = grid_[i];
+  if (shared_) {
+    series_.points[i] = solve_figure_point(*shared_, x, x, options_);
+  } else {
+    const core::BiCritSolver solver(
+        apply_parameter(base_, series_.parameter, x));
+    series_.points[i] = solve_figure_point(solver, x, options_.rho, options_);
+  }
+}
+
+FigureSeries run_figure_sweep(const core::ModelParams& base,
+                              std::string configuration,
+                              SweepParameter parameter,
+                              const std::vector<double>& grid,
+                              const SweepOptions& options) {
+  PanelSweep panel(base, std::move(configuration), parameter, grid, options);
+  parallel_for(options.pool, panel.point_count(),
+               [&panel](std::size_t i) { panel.solve_point(i); });
+  return panel.take();
+}
 
 FigureSeries run_figure_sweep(const platform::Configuration& config,
                               SweepParameter parameter,
                               const std::vector<double>& grid,
                               const SweepOptions& options) {
-  if (grid.empty()) {
-    throw std::invalid_argument("run_figure_sweep: empty grid");
-  }
-  const core::ModelParams base = core::ModelParams::from_configuration(config);
-
-  FigureSeries series;
-  series.parameter = parameter;
-  series.configuration = config.name();
-  series.rho = options.rho;
-  series.points.resize(grid.size());
-
-  // ρ sweeps leave the model untouched (apply_parameter is the identity),
-  // so every grid point shares one solver: the O(K²) expansions are
-  // computed once for the whole panel instead of once per point.
-  const bool rho_sweep = parameter == SweepParameter::kPerformanceBound;
-  std::optional<core::BiCritSolver> shared;
-  if (rho_sweep) shared.emplace(base);
-
-  parallel_for(options.pool, grid.size(), [&](std::size_t i) {
-    const double x = grid[i];
-    const double rho = rho_sweep ? x : options.rho;
-    if (rho_sweep) {
-      series.points[i] = solve_figure_point(*shared, x, rho, options);
-    } else {
-      const core::BiCritSolver solver(apply_parameter(base, parameter, x));
-      series.points[i] = solve_figure_point(solver, x, rho, options);
-    }
-  });
-  return series;
+  return run_figure_sweep(core::ModelParams::from_configuration(config),
+                          config.name(), parameter, grid, options);
 }
 
 FigureSeries run_figure_sweep(const platform::Configuration& config,
@@ -198,18 +232,23 @@ Series to_series(const FigureSeries& figure) {
   return series;
 }
 
-std::vector<FigureSeries> run_all_sweeps(const platform::Configuration& config,
+std::vector<FigureSeries> run_all_sweeps(const core::ModelParams& base,
+                                         std::string configuration,
                                          const SweepOptions& options) {
-  const SweepParameter parameters[] = {
-      SweepParameter::kCheckpointTime, SweepParameter::kVerificationTime,
-      SweepParameter::kErrorRate,      SweepParameter::kPerformanceBound,
-      SweepParameter::kIdlePower,      SweepParameter::kIoPower};
   std::vector<FigureSeries> all;
-  all.reserve(std::size(parameters));
-  for (const SweepParameter parameter : parameters) {
-    all.push_back(run_figure_sweep(config, parameter, options));
+  all.reserve(all_sweep_parameters().size());
+  for (const SweepParameter parameter : all_sweep_parameters()) {
+    all.push_back(run_figure_sweep(base, configuration, parameter,
+                                   default_grid(parameter, options.points),
+                                   options));
   }
   return all;
+}
+
+std::vector<FigureSeries> run_all_sweeps(const platform::Configuration& config,
+                                         const SweepOptions& options) {
+  return run_all_sweeps(core::ModelParams::from_configuration(config),
+                        config.name(), options);
 }
 
 }  // namespace rexspeed::sweep

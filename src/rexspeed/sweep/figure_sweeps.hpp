@@ -84,6 +84,61 @@ struct SweepOptions {
 [[nodiscard]] core::ModelParams apply_parameter(
     const core::ModelParams& base, SweepParameter parameter, double value);
 
+/// The six panel parameters of a Figure 8–14 composite, in figure order
+/// (C, V, λ, ρ, Pidle, Pio). This is the panel list every composite runner
+/// iterates, so batched drivers can flatten it themselves.
+[[nodiscard]] const std::vector<SweepParameter>& all_sweep_parameters();
+
+/// One figure point off a cached solver: both speed policies plus their
+/// min-ρ fallbacks resolve against the same precomputed expansions. This
+/// is the per-grid-point kernel of every sweep.
+[[nodiscard]] FigurePoint solve_figure_point(const core::BiCritSolver& solver,
+                                             double x, double rho,
+                                             const SweepOptions& options);
+
+/// One panel prepared for point-by-point execution: base parameters, grid,
+/// the ρ-sweep shared-solver fast path, and the preallocated output
+/// series. `run_figure_sweep` drives one with parallel_for; the campaign
+/// runner flattens many into a single task stream. Both therefore run the
+/// exact same setup and per-point kernel — bit-identical results by
+/// construction, not by parallel maintenance.
+///
+/// solve_point(i) writes only points[i], so distinct indices are safe to
+/// solve concurrently without synchronization.
+class PanelSweep {
+ public:
+  /// Throws std::invalid_argument on an empty grid.
+  PanelSweep(core::ModelParams base, std::string configuration,
+             SweepParameter parameter, std::vector<double> grid,
+             SweepOptions options);
+
+  [[nodiscard]] std::size_t point_count() const noexcept {
+    return grid_.size();
+  }
+
+  /// Solves grid point `i` into its series slot.
+  void solve_point(std::size_t i);
+
+  /// Moves the finished panel out (call once every point is solved).
+  [[nodiscard]] FigureSeries take() { return std::move(series_); }
+
+ private:
+  core::ModelParams base_;
+  std::optional<core::BiCritSolver> shared_;  ///< ρ panels only
+  SweepOptions options_;
+  std::vector<double> grid_;
+  FigureSeries series_;
+};
+
+/// Runs one figure panel over an explicit grid, starting from an explicit
+/// parameter bundle (`configuration` is the label recorded in the series).
+/// This is the primitive the configuration overloads delegate to; scenario
+/// drivers use it so model-parameter overrides reach the sweep.
+[[nodiscard]] FigureSeries run_figure_sweep(
+    const core::ModelParams& base, std::string configuration,
+    SweepParameter parameter, const std::vector<double>& grid,
+    const SweepOptions& options = {});
+
 /// Runs one figure panel for a configuration over an explicit grid.
 [[nodiscard]] FigureSeries run_figure_sweep(
     const platform::Configuration& config, SweepParameter parameter,
@@ -92,6 +147,12 @@ struct SweepOptions {
 /// Same, with the default grid.
 [[nodiscard]] FigureSeries run_figure_sweep(
     const platform::Configuration& config, SweepParameter parameter,
+    const SweepOptions& options = {});
+
+/// All six panels of a Figure 8–14 style composite off an explicit
+/// parameter bundle.
+[[nodiscard]] std::vector<FigureSeries> run_all_sweeps(
+    const core::ModelParams& base, std::string configuration,
     const SweepOptions& options = {});
 
 /// All six panels of a Figure 8–14 style composite.

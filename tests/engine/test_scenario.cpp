@@ -64,6 +64,18 @@ TEST(ScenarioParse, RejectsMalformedInput) {
   EXPECT_THROW(parse_scenario("mode=psychic"), std::invalid_argument);
   EXPECT_THROW(parse_scenario("unknown_key=1"), std::invalid_argument);
   EXPECT_THROW(parse_scenario("points=0"), std::invalid_argument);
+  // A non-positive bound must fail at parse time, not inside a pool
+  // worker (which would terminate the process).
+  EXPECT_THROW(parse_scenario("rho=0"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("rho=-1"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("rho=nan"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("rho=inf"), std::invalid_argument);
+  // fallback accepts only 0/1/true/false — "anything else means true"
+  // would turn typos into the opposite policy.
+  EXPECT_THROW(parse_scenario("fallback=off"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("fallback=flase"), std::invalid_argument);
+  EXPECT_FALSE(parse_scenario("fallback=false").min_rho_fallback);
+  EXPECT_TRUE(parse_scenario("fallback=true").min_rho_fallback);
 }
 
 TEST(ScenarioParse, OverrideValidationFailsAtResolveTimeForBadValues) {

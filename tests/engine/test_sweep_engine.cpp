@@ -14,35 +14,8 @@ const platform::Configuration& atlas_crusoe() {
   return platform::configuration_by_name("Atlas/Crusoe");
 }
 
-void expect_identical_pair(const core::PairSolution& a,
-                           const core::PairSolution& b) {
-  EXPECT_EQ(a.feasible, b.feasible);
-  EXPECT_EQ(a.sigma1, b.sigma1);
-  EXPECT_EQ(a.sigma2, b.sigma2);
-  EXPECT_EQ(a.sigma1_index, b.sigma1_index);
-  EXPECT_EQ(a.sigma2_index, b.sigma2_index);
-  EXPECT_EQ(a.w_opt, b.w_opt);
-  EXPECT_EQ(a.w_min, b.w_min);
-  EXPECT_EQ(a.w_max, b.w_max);
-  EXPECT_EQ(a.energy_overhead, b.energy_overhead);
-  EXPECT_EQ(a.time_overhead, b.time_overhead);
-}
-
-void expect_identical_series(const sweep::FigureSeries& a,
-                             const sweep::FigureSeries& b) {
-  EXPECT_EQ(a.parameter, b.parameter);
-  EXPECT_EQ(a.configuration, b.configuration);
-  EXPECT_EQ(a.rho, b.rho);
-  ASSERT_EQ(a.points.size(), b.points.size());
-  for (std::size_t i = 0; i < a.points.size(); ++i) {
-    EXPECT_EQ(a.points[i].x, b.points[i].x);
-    EXPECT_EQ(a.points[i].two_speed_fallback, b.points[i].two_speed_fallback);
-    EXPECT_EQ(a.points[i].single_speed_fallback,
-              b.points[i].single_speed_fallback);
-    expect_identical_pair(a.points[i].two_speed, b.points[i].two_speed);
-    expect_identical_pair(a.points[i].single_speed, b.points[i].single_speed);
-  }
-}
+using test::expect_identical_pair;
+using test::expect_identical_series;
 
 TEST(SweepEngine, RunAllSweepsParallelIsBitIdenticalToSerial) {
   // The satellite requirement: a multi-thread pool must not change a
@@ -75,18 +48,48 @@ TEST(SweepEngine, EngineRunMatchesDirectSweep) {
   expect_identical_series(via_engine, direct);
 }
 
-TEST(SweepEngine, RunScenarioDispatchesOnKind) {
+TEST(SweepEngine, RunScenarioDispatchesOnAllThreeKinds) {
   const SweepEngine engine;
   ScenarioSpec panel = scenario_by_name("fig05");
   panel.points = 5;
+  ASSERT_EQ(panel.kind(), ScenarioKind::kSweep);
   EXPECT_EQ(engine.run_scenario(panel).size(), 1u);
 
   ScenarioSpec composite = scenario_by_name("fig08");
   composite.points = 3;
+  ASSERT_EQ(composite.kind(), ScenarioKind::kAllSweeps);
   const auto panels = engine.run_scenario(composite);
   ASSERT_EQ(panels.size(), 6u);
   EXPECT_EQ(panels.front().parameter, sweep::SweepParameter::kCheckpointTime);
   EXPECT_EQ(panels.back().parameter, sweep::SweepParameter::kIoPower);
+
+  // A solve has no panels: the historical fallthrough silently ran all six
+  // sweeps; it must be rejected instead (solve_scenario / CampaignRunner
+  // give the panel-free result).
+  const ScenarioSpec solve = parse_scenario("config=Hera/XScale rho=3");
+  ASSERT_EQ(solve.kind(), ScenarioKind::kSolve);
+  EXPECT_THROW(engine.run_scenario(solve), std::invalid_argument);
+}
+
+TEST(SweepEngine, ScenarioOverridesReachTheSweptModel) {
+  // fig03 sweeps V on Atlas/Crusoe; a lambda override must flow into every
+  // grid point (run used to rebuild params from the configuration alone).
+  ScenarioSpec spec = scenario_by_name("fig03");
+  spec.points = 5;
+  const SweepEngine engine(SweepEngineOptions{.threads = 1});
+  const auto base = engine.run(spec);
+
+  spec.overrides.push_back({"lambda", 5e-4});
+  const auto overridden = engine.run(spec);
+  ASSERT_EQ(base.points.size(), overridden.points.size());
+  EXPECT_NE(base.points[2].two_speed.w_opt,
+            overridden.points[2].two_speed.w_opt);
+
+  const auto direct = sweep::run_figure_sweep(
+      spec.resolve_params(), spec.configuration, *spec.sweep_parameter,
+      sweep::default_grid(*spec.sweep_parameter, spec.points),
+      spec.sweep_options(nullptr));
+  expect_identical_series(overridden, direct);
 }
 
 TEST(SweepEngine, RunRejectsScenariosWithoutASweepParameter) {

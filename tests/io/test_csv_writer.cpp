@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+
+#include "rexspeed/sweep/figure_sweeps.hpp"
 
 namespace rexspeed::io {
 namespace {
@@ -35,6 +38,35 @@ TEST(CsvWriter, MixedRowsAccumulate) {
   csv.write_row(std::vector<double>{1.0, 2.0});
   csv.write_row(std::vector<double>{3.0, 4.0});
   EXPECT_EQ(os.str(), "x,value\n1,2\n3,4\n");
+}
+
+TEST(CsvWriter, WriteCsvSeriesEmitsHeaderAndOneRowPerPoint) {
+  sweep::Series series("rho", {"up", "down"});
+  series.add_row(1.0, {10.0, 0.5});
+  series.add_row(2.0, {20.0, 0.25});
+  std::ostringstream os;
+  write_csv_series(os, series);
+  EXPECT_EQ(os.str(), "rho,up,down\n1,10,0.5\n2,20,0.25\n");
+}
+
+TEST(CsvWriter, ExportCsvFigureSharesTheGnuplotStem) {
+  sweep::FigureSeries figure;
+  figure.parameter = sweep::SweepParameter::kVerificationTime;
+  figure.configuration = "Hera/XScale";
+  figure.rho = 3.0;
+  figure.points.resize(2);
+  figure.points[0].x = 0.0;
+  figure.points[1].x = 100.0;
+
+  const auto stem = export_csv_figure(figure, ::testing::TempDir());
+  ASSERT_TRUE(stem.has_value());
+  EXPECT_EQ(*stem, "Hera_XScale_V");
+  std::ifstream in(::testing::TempDir() + "/" + *stem + ".csv");
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header, "V,sigma1,sigma2,Wopt2,energy2,sigma,Wopt1,energy1,saving");
+
+  EXPECT_FALSE(export_csv_figure(figure, "/nonexistent-dir").has_value());
 }
 
 }  // namespace

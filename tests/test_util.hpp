@@ -1,7 +1,11 @@
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include "rexspeed/core/bicrit_solver.hpp"
 #include "rexspeed/core/model_params.hpp"
 #include "rexspeed/platform/configuration.hpp"
+#include "rexspeed/sweep/figure_sweeps.hpp"
 
 namespace rexspeed::test {
 
@@ -25,6 +29,40 @@ inline core::ModelParams toy_params() {
   params.io_power_mw = 50.0;
   params.speeds = {0.25, 0.5, 1.0};
   return params;
+}
+
+/// Field-by-field bit-identity check for a pair solution — THE comparison
+/// behind every "parallel equals serial" guarantee. One definition so a
+/// field added to PairSolution is added to the check exactly once.
+inline void expect_identical_pair(const core::PairSolution& a,
+                                  const core::PairSolution& b) {
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.sigma1, b.sigma1);
+  EXPECT_EQ(a.sigma2, b.sigma2);
+  EXPECT_EQ(a.sigma1_index, b.sigma1_index);
+  EXPECT_EQ(a.sigma2_index, b.sigma2_index);
+  EXPECT_EQ(a.w_opt, b.w_opt);
+  EXPECT_EQ(a.w_min, b.w_min);
+  EXPECT_EQ(a.w_max, b.w_max);
+  EXPECT_EQ(a.energy_overhead, b.energy_overhead);
+  EXPECT_EQ(a.time_overhead, b.time_overhead);
+}
+
+/// Bit-identity check for a whole figure panel.
+inline void expect_identical_series(const sweep::FigureSeries& a,
+                                    const sweep::FigureSeries& b) {
+  EXPECT_EQ(a.parameter, b.parameter);
+  EXPECT_EQ(a.configuration, b.configuration);
+  EXPECT_EQ(a.rho, b.rho);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].x, b.points[i].x);
+    EXPECT_EQ(a.points[i].two_speed_fallback, b.points[i].two_speed_fallback);
+    EXPECT_EQ(a.points[i].single_speed_fallback,
+              b.points[i].single_speed_fallback);
+    expect_identical_pair(a.points[i].two_speed, b.points[i].two_speed);
+    expect_identical_pair(a.points[i].single_speed, b.points[i].single_speed);
+  }
 }
 
 }  // namespace rexspeed::test

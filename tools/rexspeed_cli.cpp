@@ -8,6 +8,8 @@
 //   rexspeed simulate  --config=Hera/XScale --rho=3 --work=1e6
 //                      [--reps=200] [--seed=1] [--boost=50]
 //   rexspeed plan      --config=Coastal/XScale --rho=2 --days=90
+//   rexspeed campaign  [--scenario-dir=DIR] [--scenarios=NAME,NAME,...]
+//                      [--points=N] [--threads=N] [--out-dir=DIR]
 //   rexspeed scenarios
 //   rexspeed configs
 //
@@ -15,18 +17,24 @@
 // registry + cached solver contexts + the parallel sweep engine); all of
 // the logic it exercises is unit-tested in tests/.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "rexspeed/core/campaign.hpp"
 #include "rexspeed/core/exact_expectations.hpp"
+#include "rexspeed/engine/campaign_runner.hpp"
 #include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/engine/scenario_file.hpp"
 #include "rexspeed/engine/solver_context.hpp"
 #include "rexspeed/engine/sweep_engine.hpp"
 #include "rexspeed/io/cli.hpp"
+#include "rexspeed/io/csv_writer.hpp"
 #include "rexspeed/io/gnuplot_writer.hpp"
 #include "rexspeed/io/table_writer.hpp"
 #include "rexspeed/platform/configuration.hpp"
@@ -53,6 +61,9 @@ int usage() {
       "            [--seed=S] [--boost=B]\n"
       "  plan      application-level campaign plan\n"
       "            --config=NAME --rho=R --days=D\n"
+      "  campaign  batch of scenarios through one flattened task stream\n"
+      "            [--scenario-dir=DIR] [--scenarios=NAME,NAME,...]\n"
+      "            [--points=N] [--threads=N] [--out-dir=DIR]\n"
       "  scenarios list the registered scenarios (paper figures as data)\n"
       "  configs   list the eight paper configurations\n");
   return 2;
@@ -202,6 +213,14 @@ int cmd_sweep(const io::ArgParser& args) {
     spec.configuration = "Atlas/Crusoe";
   }
   if (spec.kind() == engine::ScenarioKind::kSolve) {
+    // Bare `rexspeed sweep` defaults to the Figure 2 checkpoint sweep; an
+    // EXPLICIT --param=none asked for no sweep and must not be rewritten.
+    if (args.get("param")) {
+      std::fprintf(stderr,
+                   "error: --param=none is a solve, not a sweep; use "
+                   "`rexspeed solve` (or `rexspeed campaign`)\n");
+      return 2;
+    }
     spec.sweep_parameter = sweep::SweepParameter::kCheckpointTime;
   }
   const long threads = args.get_long_or("threads", 0);
@@ -265,6 +284,115 @@ int cmd_simulate(const io::ArgParser& args) {
   return 0;
 }
 
+int cmd_campaign(const io::ArgParser& args) {
+  std::vector<engine::ScenarioSpec> extras;
+  if (const auto dir = args.get("scenario-dir")) {
+    extras = engine::load_scenario_dir(*dir);
+  }
+  std::vector<engine::ScenarioSpec> specs =
+      engine::merge_with_registry(extras);
+
+  // Accept --scenario too (the flag `sweep` uses) so a singular/plural
+  // mix-up never silently runs the whole registry.
+  const auto names = args.get("scenarios");
+  const auto name_flag = args.get("scenario");
+  if (names || name_flag) {
+    std::string selection = names ? *names : "";
+    if (name_flag) {
+      selection += selection.empty() ? *name_flag : "," + *name_flag;
+    }
+    std::vector<engine::ScenarioSpec> selected;
+    std::istringstream stream(selection);
+    std::string name;
+    while (std::getline(stream, name, ',')) {
+      const auto it = std::find_if(
+          specs.begin(), specs.end(),
+          [&](const auto& spec) { return spec.name == name; });
+      if (it == specs.end()) {
+        std::fprintf(stderr, "error: unknown scenario '%s'\n", name.c_str());
+        return 2;
+      }
+      selected.push_back(*it);
+    }
+    if (selected.empty()) {
+      std::fprintf(stderr,
+                   "error: --scenarios selected nothing (empty list)\n");
+      return 2;
+    }
+    specs = std::move(selected);
+  }
+  if (const auto points = args.get("points")) {
+    for (auto& spec : specs) engine::apply_token(spec, "points", *points);
+  }
+
+  const long threads = args.get_long_or("threads", 0);
+  if (threads < 0) {
+    std::fprintf(stderr, "error: --threads must be >= 0, got %ld\n", threads);
+    return 2;
+  }
+  engine::CampaignRunner runner(
+      {.threads = static_cast<unsigned>(threads)});
+  const auto results = runner.run(specs);
+
+  const std::string out_dir = args.get_or("out-dir", "");
+  io::TableWriter table(
+      {"scenario", "configuration", "kind", "panels", "result"});
+  for (const auto& result : results) {
+    const auto& spec = result.spec;
+    std::string kind = "solve";
+    std::string outcome;
+    if (spec.kind() == engine::ScenarioKind::kSolve) {
+      char buffer[96];
+      if (result.solution.feasible) {
+        std::snprintf(buffer, sizeof buffer,
+                      "(%.2f, %.2f) Wopt=%.0f E/W=%.1f%s",
+                      result.solution.sigma1, result.solution.sigma2,
+                      result.solution.w_opt, result.solution.energy_overhead,
+                      result.used_fallback ? " [min-rho]" : "");
+      } else {
+        std::snprintf(buffer, sizeof buffer, "infeasible at rho=%g",
+                      spec.rho);
+      }
+      outcome = buffer;
+    } else {
+      kind = spec.kind() == engine::ScenarioKind::kSweep
+                 ? sweep::to_string(*spec.sweep_parameter)
+                 : "all sweeps";
+      double max_saving = 0.0;
+      for (const auto& panel : result.panels) {
+        max_saving = std::max(max_saving, panel.max_energy_saving());
+      }
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "max saving %.1f%%",
+                    100.0 * max_saving);
+      outcome = buffer;
+    }
+    table.add_row({spec.name, spec.configuration, kind,
+                   std::to_string(result.panels.size()), outcome});
+
+    if (!out_dir.empty() && !result.panels.empty()) {
+      const std::string scenario_dir = out_dir + "/" + spec.name;
+      std::error_code ec;
+      std::filesystem::create_directories(scenario_dir, ec);
+      for (const auto& panel : result.panels) {
+        const auto gp = io::export_gnuplot_figure(panel, scenario_dir);
+        const auto csv = io::export_csv_figure(panel, scenario_dir);
+        if (!gp || !csv) {
+          std::fprintf(stderr, "error: cannot write to %s\n",
+                       scenario_dir.c_str());
+          return 1;
+        }
+        std::printf("wrote %s/%s.{dat,gp,csv}\n", scenario_dir.c_str(),
+                    gp->c_str());
+      }
+    }
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\n%zu scenarios through one pool (%u threads)\n",
+              results.size(), runner.thread_count());
+  return 0;
+}
+
 int cmd_plan(const io::ArgParser& args) {
   const auto spec = scenario_from(args);
   const auto params = spec.resolve_params();
@@ -299,6 +427,7 @@ int main(int argc, char** argv) try {
   if (command == "sweep") return cmd_sweep(args);
   if (command == "simulate") return cmd_simulate(args);
   if (command == "plan") return cmd_plan(args);
+  if (command == "campaign") return cmd_campaign(args);
   return usage();
 } catch (const std::exception& error) {
   std::fprintf(stderr, "error: %s\n", error.what());
