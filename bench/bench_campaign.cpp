@@ -64,6 +64,62 @@ bool identical_panels(const std::vector<sweep::FigureSeries>& a,
   return true;
 }
 
+bool identical_interleaved(const core::InterleavedSolution& a,
+                           const core::InterleavedSolution& b) {
+  return a.feasible == b.feasible && a.segments == b.segments &&
+         a.sigma1 == b.sigma1 && a.sigma2 == b.sigma2 &&
+         a.w_opt == b.w_opt && a.energy_overhead == b.energy_overhead &&
+         a.time_overhead == b.time_overhead;
+}
+
+bool identical_interleaved_panels(
+    const std::vector<sweep::InterleavedSeries>& a,
+    const std::vector<sweep::InterleavedSeries>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    if (a[p].parameter != b[p].parameter ||
+        a[p].configuration != b[p].configuration || a[p].rho != b[p].rho ||
+        a[p].max_segments != b[p].max_segments ||
+        a[p].points.size() != b[p].points.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a[p].points.size(); ++i) {
+      const auto& pa = a[p].points[i];
+      const auto& pb = b[p].points[i];
+      if (pa.x != pb.x || !identical_interleaved(pa.best, pb.best) ||
+          !identical_interleaved(pa.single, pb.single)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Per-scenario sequential run, dispatching interleaved specs to their
+/// own panel family (SweepEngine::run_scenario rejects them by design).
+struct SequentialPanels {
+  std::vector<sweep::FigureSeries> regular;
+  std::vector<sweep::InterleavedSeries> interleaved;
+
+  [[nodiscard]] std::size_t point_count() const {
+    std::size_t points = 0;
+    for (const auto& panel : regular) points += panel.points.size();
+    for (const auto& panel : interleaved) points += panel.points.size();
+    return points;
+  }
+};
+
+SequentialPanels run_sequential(const engine::SweepEngine& engine,
+                                const engine::ScenarioSpec& spec) {
+  SequentialPanels panels;
+  if (spec.interleaved()) {
+    panels.interleaved = engine.run_interleaved_scenario(spec);
+  } else {
+    panels.regular = engine.run_scenario(spec);
+  }
+  return panels;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -79,20 +135,26 @@ int main(int argc, char** argv) try {
   const engine::CampaignRunner flattened({.threads = threads});
 
   // Warm-up + reference results for the bit-identity check.
-  std::vector<std::vector<sweep::FigureSeries>> reference;
+  std::vector<SequentialPanels> reference;
   reference.reserve(specs.size());
   for (const auto& spec : specs) {
-    reference.push_back(sequential.run_scenario(spec));
+    reference.push_back(run_sequential(sequential, spec));
   }
   const auto campaign = flattened.run(specs);
 
   std::size_t total_points = 0;
   bool identical = campaign.size() == specs.size();
   for (std::size_t s = 0; s < campaign.size() && identical; ++s) {
-    identical = identical_panels(campaign[s].panels, reference[s]);
+    identical =
+        identical_panels(campaign[s].panels, reference[s].regular) &&
+        identical_interleaved_panels(campaign[s].interleaved_panels,
+                                     reference[s].interleaved);
   }
   for (const auto& result : campaign) {
     for (const auto& panel : result.panels) {
+      total_points += panel.points.size();
+    }
+    for (const auto& panel : result.interleaved_panels) {
       total_points += panel.points.size();
     }
   }
@@ -107,8 +169,8 @@ int main(int argc, char** argv) try {
   for (std::size_t r = 0; r < repeats; ++r) {
     auto start = Clock::now();
     for (const auto& spec : specs) {
-      const auto panels = sequential.run_scenario(spec);
-      if (panels.empty()) return 1;  // keep the work observable
+      const auto panels = run_sequential(sequential, spec);
+      if (panels.point_count() == 0) return 1;  // keep the work observable
     }
     sequential_s += seconds_since(start);
 

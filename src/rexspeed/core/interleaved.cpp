@@ -114,6 +114,8 @@ InterleavedSolution optimize_interleaved(const ModelParams& params,
         "optimize_interleaved: need at least one segment");
   }
   InterleavedSolution best;
+  best.sigma1 = sigma1;
+  best.sigma2 = sigma2;
   best.energy_overhead = std::numeric_limits<double>::infinity();
   NumericOptions options;
   for (unsigned m = 1; m <= max_segments; ++m) {
@@ -153,6 +155,141 @@ InterleavedSolution optimize_interleaved(const ModelParams& params,
       best.w_opt = w_opt;
       best.energy_overhead = energy;
       best.time_overhead = time;
+    }
+  }
+  if (!best.feasible) best.energy_overhead = 0.0;
+  return best;
+}
+
+InterleavedSolver::InterleavedSolver(ModelParams params,
+                                     unsigned max_segments)
+    : params_(std::move(params)), max_segments_(max_segments) {
+  params_.validate();
+  if (params_.lambda_failstop > 0.0) {
+    throw std::invalid_argument(
+        "InterleavedSolver: derived for silent errors only (lambda_failstop "
+        "must be 0)");
+  }
+  if (max_segments_ == 0) {
+    throw std::invalid_argument(
+        "InterleavedSolver: need at least one segment");
+  }
+  const std::size_t speed_count = params_.speeds.size();
+  cache_.reserve(speed_count * speed_count * max_segments_);
+  const NumericOptions options;
+  for (std::size_t i = 0; i < speed_count; ++i) {
+    for (std::size_t j = 0; j < speed_count; ++j) {
+      const double sigma1 = params_.speeds[i];
+      const double sigma2 = params_.speeds[j];
+      for (unsigned m = 1; m <= max_segments_; ++m) {
+        InterleavedExpansion expansion;
+        expansion.sigma1 = sigma1;
+        expansion.sigma2 = sigma2;
+        expansion.index1 = static_cast<int>(i);
+        expansion.index2 = static_cast<int>(j);
+        expansion.segments = m;
+        const auto time_per_work = [&](double w) {
+          return expected_time_interleaved(params_, w, m, sigma1, sigma2) / w;
+        };
+        const auto energy_per_work = [&](double w) {
+          return expected_energy_interleaved(params_, w, m, sigma1, sigma2) /
+                 w;
+        };
+        expansion.w_time = minimize_unimodal_overhead(time_per_work, options);
+        expansion.rho_min = time_per_work(expansion.w_time);
+        expansion.w_energy =
+            minimize_unimodal_overhead(energy_per_work, options);
+        expansion.energy_min = energy_per_work(expansion.w_energy);
+        expansion.time_at_we = time_per_work(expansion.w_energy);
+        cache_.push_back(expansion);
+      }
+    }
+  }
+}
+
+InterleavedSolution InterleavedSolver::solve_cached(
+    double rho, const InterleavedExpansion& expansion) const {
+  InterleavedSolution solution;
+  solution.segments = expansion.segments;
+  solution.sigma1 = expansion.sigma1;
+  solution.sigma2 = expansion.sigma2;
+  if (!(expansion.rho_min <= rho)) return solution;  // bound unattainable
+
+  if (expansion.time_at_we <= rho) {
+    // The unconstrained energy optimum already satisfies the bound: the
+    // solve is a pure cache lookup (the common case of loose-ρ grid
+    // points, and the reason one solver serves a whole sweep).
+    solution.feasible = true;
+    solution.w_opt = expansion.w_energy;
+    solution.energy_overhead = expansion.energy_min;
+    solution.time_overhead = expansion.time_at_we;
+    return solution;
+  }
+
+  // The unconstrained energy optimum violates the bound, so the
+  // constrained optimum sits on the feasibility boundary between w_time
+  // (feasible) and w_energy (not): both overhead curves are unimodal, so
+  // energy only decreases toward w_energy and the boundary nearest it
+  // wins. Locate it by bisection, keeping the feasible end.
+  const unsigned m = expansion.segments;
+  const auto time_per_work = [&](double w) {
+    return expected_time_interleaved(params_, w, m, expansion.sigma1,
+                                     expansion.sigma2) /
+           w;
+  };
+  double inside = expansion.w_time;
+  double outside = expansion.w_energy;
+  for (int it = 0; it < 200 && std::abs(outside - inside) >
+                                   1e-9 * (inside + 1.0); ++it) {
+    const double mid = 0.5 * (inside + outside);
+    (time_per_work(mid) <= rho ? inside : outside) = mid;
+  }
+  const double w_opt = inside;
+  solution.feasible = true;
+  solution.w_opt = w_opt;
+  solution.energy_overhead =
+      expected_energy_interleaved(params_, w_opt, m, expansion.sigma1,
+                                  expansion.sigma2) /
+      w_opt;
+  solution.time_overhead = time_per_work(w_opt);
+  return solution;
+}
+
+InterleavedSolution InterleavedSolver::solve(double rho) const {
+  if (!(rho > 0.0)) {
+    throw std::invalid_argument("InterleavedSolver: rho must be positive");
+  }
+  InterleavedSolution best;
+  best.energy_overhead = std::numeric_limits<double>::infinity();
+  for (const InterleavedExpansion& expansion : cache_) {
+    const InterleavedSolution candidate = solve_cached(rho, expansion);
+    if (candidate.feasible &&
+        candidate.energy_overhead < best.energy_overhead) {
+      best = candidate;
+    }
+  }
+  if (!best.feasible) best.energy_overhead = 0.0;
+  return best;
+}
+
+InterleavedSolution InterleavedSolver::solve_segments(
+    double rho, unsigned segments) const {
+  if (!(rho > 0.0)) {
+    throw std::invalid_argument("InterleavedSolver: rho must be positive");
+  }
+  if (segments == 0 || segments > max_segments_) {
+    throw std::invalid_argument(
+        "InterleavedSolver: segments must be in [1, max_segments]");
+  }
+  InterleavedSolution best;
+  best.segments = segments;
+  best.energy_overhead = std::numeric_limits<double>::infinity();
+  for (const InterleavedExpansion& expansion : cache_) {
+    if (expansion.segments != segments) continue;
+    const InterleavedSolution candidate = solve_cached(rho, expansion);
+    if (candidate.feasible &&
+        candidate.energy_overhead < best.energy_overhead) {
+      best = candidate;
     }
   }
   if (!best.feasible) best.energy_overhead = 0.0;

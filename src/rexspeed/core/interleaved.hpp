@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 #include "rexspeed/core/model_params.hpp"
 
 namespace rexspeed::core {
@@ -39,6 +41,8 @@ namespace rexspeed::core {
 struct InterleavedSolution {
   bool feasible = false;
   unsigned segments = 1;
+  double sigma1 = 0.0;
+  double sigma2 = 0.0;
   double w_opt = 0.0;
   double energy_overhead = 0.0;
   double time_overhead = 0.0;
@@ -47,5 +51,70 @@ struct InterleavedSolution {
 [[nodiscard]] InterleavedSolution optimize_interleaved(
     const ModelParams& params, double rho, double sigma1, double sigma2,
     unsigned max_segments = 16);
+
+/// Everything about one (σ1, σ2, m) combination that depends only on the
+/// model parameters — not on the performance bound ρ. Both overhead curves
+/// T(W)/W and E(W)/W are unimodal in W, so their unconstrained minima pin
+/// down every constrained solve: a bound below `rho_min` is infeasible,
+/// a bound admitting `w_energy` is solved by the cached optimum outright,
+/// and anything in between reduces to locating one feasibility boundary.
+struct InterleavedExpansion {
+  double sigma1 = 0.0;
+  double sigma2 = 0.0;
+  int index1 = -1;  ///< positions in ModelParams::speeds
+  int index2 = -1;
+  unsigned segments = 1;
+  double w_time = 0.0;      ///< unconstrained minimizer of T(W)/W
+  double rho_min = 0.0;     ///< T(w_time)/w_time — feasibility threshold
+  double w_energy = 0.0;    ///< unconstrained minimizer of E(W)/W
+  double energy_min = 0.0;  ///< E(w_energy)/w_energy
+  double time_at_we = 0.0;  ///< T(w_energy)/w_energy
+};
+
+/// The interleaved counterpart of BiCritSolver: enumerate every speed pair
+/// (σ1, σ2) ∈ S × S and every segment count m ∈ [1, max_segments], and
+/// pick the segmented pattern with the smallest energy overhead subject to
+/// T/W ≤ ρ.
+///
+/// Construction pays the numeric optimization of both overhead curves once
+/// per (pair, m) — the ρ-independent work. Every solve afterwards is cheap
+/// feasibility math on the cached expansions (plus one bisection per
+/// candidate whose bound is tight), so one solver serves an entire ρ sweep
+/// and every segment count of an overhead-vs-m grid. The solver is
+/// immutable after construction and safe to share across threads.
+class InterleavedSolver {
+ public:
+  /// Throws std::invalid_argument on invalid params, λf ≠ 0 (the segmented
+  /// closed forms are derived for silent errors) or max_segments == 0.
+  InterleavedSolver(ModelParams params, unsigned max_segments);
+
+  /// Best pattern over all pairs and all m ∈ [1, max_segments].
+  [[nodiscard]] InterleavedSolution solve(double rho) const;
+
+  /// Best pattern over all pairs at exactly `segments` verifications
+  /// (1 ≤ segments ≤ max_segments; throws std::invalid_argument outside).
+  [[nodiscard]] InterleavedSolution solve_segments(double rho,
+                                                   unsigned segments) const;
+
+  [[nodiscard]] const ModelParams& params() const noexcept { return params_; }
+  [[nodiscard]] unsigned max_segments() const noexcept {
+    return max_segments_;
+  }
+
+  /// The cached pair-invariant data: entry (i, j, m) at
+  /// (i * K + j) * max_segments + (m - 1) over the K×K speed grid.
+  [[nodiscard]] const std::vector<InterleavedExpansion>& expansions()
+      const noexcept {
+    return cache_;
+  }
+
+ private:
+  [[nodiscard]] InterleavedSolution solve_cached(
+      double rho, const InterleavedExpansion& expansion) const;
+
+  ModelParams params_;
+  unsigned max_segments_;
+  std::vector<InterleavedExpansion> cache_;
+};
 
 }  // namespace rexspeed::core

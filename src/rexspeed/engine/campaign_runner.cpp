@@ -8,6 +8,7 @@
 
 #include "rexspeed/engine/solver_context.hpp"
 #include "rexspeed/sweep/figure_sweeps.hpp"
+#include "rexspeed/sweep/interleaved_sweeps.hpp"
 
 namespace rexspeed::engine {
 
@@ -16,6 +17,14 @@ namespace {
 /// A kSolve scenario's single task: params resolved up front, the heavy
 /// SolverContext construction deferred into the task stream.
 struct SolvePlan {
+  core::ModelParams params;
+  ScenarioResult* result = nullptr;
+};
+
+/// An interleaved kSolve scenario's single task: the (heavier) cached
+/// interleaved-solver construction is likewise deferred into the stream.
+/// Inputs are validated in phase 1, so the task cannot throw.
+struct InterleavedSolvePlan {
   core::ModelParams params;
   ScenarioResult* result = nullptr;
 };
@@ -37,15 +46,21 @@ std::vector<ScenarioResult> CampaignRunner::run(
   // for later scenarios are still being appended.
   std::vector<ScenarioResult> results(specs.size());
   std::deque<sweep::PanelSweep> panel_plans;
+  std::deque<sweep::InterleavedPanelSweep> interleaved_plans;
   std::deque<SolvePlan> solve_plans;
+  std::deque<InterleavedSolvePlan> interleaved_solve_plans;
   /// Where each finished panel is moved once the stream drains.
   std::vector<std::pair<sweep::PanelSweep*, sweep::FigureSeries*>> outputs;
+  std::vector<std::pair<sweep::InterleavedPanelSweep*,
+                        sweep::InterleavedSeries*>>
+      interleaved_outputs;
   std::size_t task_count = 0;
 
   for (std::size_t s = 0; s < specs.size(); ++s) {
     const ScenarioSpec& spec = specs[s];
     ScenarioResult& result = results[s];
     result.spec = spec;
+    spec.validate();
     core::ModelParams base = spec.resolve_params();
     // Panels validate their bound in the PanelSweep constructor; the
     // solve task calls the solver directly, so its bound is checked here
@@ -53,6 +68,38 @@ std::vector<ScenarioResult> CampaignRunner::run(
     if (!(spec.rho > 0.0) || !std::isfinite(spec.rho)) {
       throw std::invalid_argument("CampaignRunner: scenario '" + spec.name +
                                   "': rho must be positive and finite");
+    }
+
+    if (spec.interleaved()) {
+      // Interleaved solves defer the cached-solver construction into the
+      // stream, so every argument it would reject is rejected here.
+      if (base.lambda_failstop > 0.0) {
+        throw std::invalid_argument(
+            "CampaignRunner: scenario '" + spec.name +
+            "': interleaved mode requires lambda_failstop = 0");
+      }
+      if (spec.kind() == ScenarioKind::kSolve) {
+        interleaved_solve_plans.push_back({std::move(base), &result});
+        ++task_count;
+        continue;
+      }
+      // Same axes, grids, options and per-point kernel as
+      // SweepEngine::run_interleaved — bit-identical by construction.
+      const std::vector<sweep::SweepParameter> axes =
+          interleaved_panel_axes(spec);
+      const sweep::SweepOptions options = spec.sweep_options(nullptr);
+      result.interleaved_panels.resize(axes.size());
+      for (std::size_t p = 0; p < axes.size(); ++p) {
+        sweep::InterleavedPanelSweep& plan = interleaved_plans.emplace_back(
+            base, spec.configuration, axes[p],
+            sweep::interleaved_grid(axes[p], spec.points,
+                                    spec.segment_limit()),
+            spec.segment_limit(), spec.segments, options);
+        interleaved_outputs.emplace_back(&plan,
+                                         &result.interleaved_panels[p]);
+        task_count += plan.point_count();
+      }
+      continue;
     }
 
     if (spec.kind() == ScenarioKind::kSolve) {
@@ -76,12 +123,29 @@ std::vector<ScenarioResult> CampaignRunner::run(
     }
   }
 
+  // Phase 1.5: build the interleaved panels' cached solvers across the
+  // pool — each is a heavyweight per-(σ1,σ2,m) curve optimization, the
+  // dominant cost of an interleaved panel, and every plan was fully
+  // validated above so prepare() cannot throw. One extra barrier, paid
+  // only by campaigns that actually carry interleaved panels.
+  if (!interleaved_plans.empty()) {
+    sweep::parallel_for(pool(), interleaved_plans.size(),
+                        [&interleaved_plans](std::size_t i) {
+                          interleaved_plans[i].prepare();
+                        });
+  }
+
   // Phase 2: ONE flattened task stream — every (scenario × panel × point)
   // plus every solve, with no barrier until the campaign's end. Each task
   // writes only its own slot, so scheduling cannot change a single bit.
   std::vector<std::function<void()>> tasks;
   tasks.reserve(task_count);
   for (sweep::PanelSweep& plan : panel_plans) {
+    for (std::size_t i = 0; i < plan.point_count(); ++i) {
+      tasks.push_back([&plan, i] { plan.solve_point(i); });
+    }
+  }
+  for (sweep::InterleavedPanelSweep& plan : interleaved_plans) {
     for (std::size_t i = 0; i < plan.point_count(); ++i) {
       tasks.push_back([&plan, i] { plan.solve_point(i); });
     }
@@ -95,11 +159,22 @@ std::vector<ScenarioResult> CampaignRunner::run(
                        spec.min_rho_fallback, &plan.result->used_fallback);
     });
   }
+  for (InterleavedSolvePlan& plan : interleaved_solve_plans) {
+    tasks.push_back([&plan] {
+      const ScenarioSpec& spec = plan.result->spec;
+      const core::InterleavedSolver solver(plan.params,
+                                           spec.segment_limit());
+      plan.result->interleaved_solution =
+          spec.segments == 0 ? solver.solve(spec.rho)
+                             : solver.solve_segments(spec.rho, spec.segments);
+    });
+  }
 
   sweep::parallel_for(pool(), tasks.size(),
                       [&tasks](std::size_t i) { tasks[i](); });
 
   for (auto& [plan, series] : outputs) *series = plan->take();
+  for (auto& [plan, series] : interleaved_outputs) *series = plan->take();
   return results;
 }
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/sweep/interleaved_sweeps.hpp"
 #include "rexspeed/sweep/thread_pool.hpp"
 
 namespace rexspeed::engine {
@@ -10,11 +11,17 @@ namespace rexspeed::engine {
 /// Everything one scenario of a campaign produced, dispatched on its kind:
 /// a kSweep scenario fills one panel, a kAllSweeps composite six, and a
 /// kSolve scenario leaves `panels` empty and reports its bound solve in
-/// `solution` / `used_fallback` instead.
+/// `solution` / `used_fallback` instead. Interleaved scenarios fill the
+/// `interleaved_*` slots instead of the two-speed ones (their panels are a
+/// different series type).
 struct ScenarioResult {
   ScenarioSpec spec;
   std::vector<sweep::FigureSeries> panels;
+  /// Interleaved scenarios only: one panel per axis (ρ and/or segments).
+  std::vector<sweep::InterleavedSeries> interleaved_panels;
   core::PairSolution solution;  ///< kSolve only; default elsewhere
+  /// Interleaved kSolve only: the best segmented pattern at the bound.
+  core::InterleavedSolution interleaved_solution;
   bool used_fallback = false;   ///< kSolve only: min-ρ fallback taken
 };
 

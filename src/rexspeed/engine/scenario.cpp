@@ -1,5 +1,6 @@
 #include "rexspeed/engine/scenario.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -19,7 +20,33 @@ core::ModelParams ScenarioSpec::resolve_params() const {
 }
 
 SolverContext ScenarioSpec::make_context() const {
-  return SolverContext(resolve_params());
+  return SolverContext(resolve_params(), segment_limit());
+}
+
+void ScenarioSpec::validate() const {
+  if (segments > 0 && max_segments > 0) {
+    throw std::invalid_argument(
+        "scenario '" + name +
+        "': segments and max_segments are mutually exclusive (a fixed "
+        "count or a search cap, not both)");
+  }
+  if (!interleaved()) {
+    if (sweep_parameter == sweep::SweepParameter::kSegments) {
+      throw std::invalid_argument(
+          "scenario '" + name +
+          "': param=segments needs the interleaved solver mode (set "
+          "segments= or max_segments=)");
+    }
+    return;
+  }
+  if (sweep_parameter &&
+      *sweep_parameter != sweep::SweepParameter::kPerformanceBound &&
+      *sweep_parameter != sweep::SweepParameter::kSegments) {
+    throw std::invalid_argument(
+        "scenario '" + name + "': interleaved scenarios sweep rho or "
+        "segments, not '" +
+        std::string(sweep::to_string(*sweep_parameter)) + "'");
+  }
 }
 
 sweep::SweepOptions ScenarioSpec::sweep_options(
@@ -76,6 +103,22 @@ double parse_double(const std::string& key, const std::string& value) {
   return parsed;
 }
 
+/// Segment counts are small positive integers; anything else (zero,
+/// negatives, fractions, absurd caps) is rejected eagerly so the error
+/// carries the offending key — and, through load_scenario_file, its
+/// file:line.
+unsigned parse_segments(const std::string& key, const std::string& value) {
+  constexpr double kMaxSegments = 256.0;
+  const double parsed = parse_double(key, value);
+  if (!(parsed >= 1.0) || parsed != std::floor(parsed) ||
+      parsed > kMaxSegments) {
+    throw std::invalid_argument("scenario: " + key +
+                                " must be an integer in [1, 256], got '" +
+                                value + "'");
+  }
+  return static_cast<unsigned>(parsed);
+}
+
 }  // namespace
 
 void apply_token(ScenarioSpec& spec, const std::string& key,
@@ -114,7 +157,8 @@ void apply_token(ScenarioSpec& spec, const std::string& key,
     } else {
       throw std::invalid_argument(
           "scenario: unknown sweep parameter '" + value +
-          "' (expected C, V, lambda, rho, Pidle, Pio, all or none)");
+          "' (expected C, V, lambda, rho, Pidle, Pio, segments, all or "
+          "none)");
     }
   } else if (key == "policy") {
     if (value == "two-speed") {
@@ -137,6 +181,18 @@ void apply_token(ScenarioSpec& spec, const std::string& key,
           "scenario: unknown mode '" + value +
           "' (expected first-order, exact-eval or exact-opt)");
     }
+  } else if (key == "segments") {
+    if (spec.max_segments > 0) {
+      throw std::invalid_argument(
+          "scenario: segments and max_segments are mutually exclusive");
+    }
+    spec.segments = parse_segments(key, value);
+  } else if (key == "max_segments") {
+    if (spec.segments > 0) {
+      throw std::invalid_argument(
+          "scenario: segments and max_segments are mutually exclusive");
+    }
+    spec.max_segments = parse_segments(key, value);
   } else if (key == "fallback") {
     if (value == "1" || value == "true") {
       spec.min_rho_fallback = true;
@@ -155,7 +211,18 @@ void apply_token(ScenarioSpec& spec, const std::string& key,
     core::ModelParams probe;
     probe.speeds = {1.0};
     apply_override(probe, override_);
-    spec.overrides.push_back(std::move(override_));
+    // A repeated key replaces the earlier entry (last wins, like every
+    // structural key) instead of accumulating: the spec then carries one
+    // override per key, so write_scenario's output never contains the
+    // duplicate lines load_scenario_file rejects.
+    const auto existing = std::find_if(
+        spec.overrides.begin(), spec.overrides.end(),
+        [&](const ParamOverride& entry) { return entry.key == key; });
+    if (existing != spec.overrides.end()) {
+      existing->value = override_.value;
+    } else {
+      spec.overrides.push_back(std::move(override_));
+    }
   }
 }
 
@@ -171,6 +238,7 @@ ScenarioSpec parse_scenario(const std::string& text) {
     }
     apply_token(spec, token.substr(0, eq), token.substr(eq + 1));
   }
+  spec.validate();  // cross-field checks no single token can make
   return spec;
 }
 
@@ -234,6 +302,29 @@ const std::vector<ScenarioSpec>& scenario_registry() {
         "fig13", "all six sweeps on Coastal/Crusoe", "Coastal/Crusoe"));
     registry.push_back(composite("fig14", "all six sweeps on CoastalSSD/Crusoe",
                                  "CoastalSSD/Crusoe"));
+    // Interleaved-verification extensions (related work, §6): the paper's
+    // pattern is the m = 1 special case; these scenarios surface the
+    // general patterns as a solver mode.
+    {
+      ScenarioSpec spec = panel(
+          "interleaved_rho", "interleaved best-m overhead vs rho",
+          "Hera/XScale", sweep::SweepParameter::kPerformanceBound);
+      spec.max_segments = 8;
+      registry.push_back(std::move(spec));
+    }
+    {
+      // Frequent errors + cheap checks: the regime where early detection
+      // pays and the best segment count climbs above 1.
+      ScenarioSpec spec = panel(
+          "interleaved_segments",
+          "overhead vs verifications per pattern (lambda hot, V cheap)",
+          "Hera/XScale", sweep::SweepParameter::kSegments);
+      spec.max_segments = 8;
+      spec.rho = 5.0;
+      spec.overrides.push_back({"lambda", 1e-3});
+      spec.overrides.push_back({"V", 1.0});
+      registry.push_back(std::move(spec));
+    }
     return registry;
   }();
   return kRegistry;
@@ -259,7 +350,61 @@ core::PairSolution solve_scenario(const ScenarioSpec& spec,
                       spec.min_rho_fallback, used_fallback);
 }
 
+core::InterleavedSolution solve_scenario_interleaved(
+    const ScenarioSpec& spec) {
+  if (!spec.interleaved()) {
+    throw std::invalid_argument(
+        "solve_scenario_interleaved: scenario '" + spec.name +
+        "' is not interleaved (set segments= or max_segments=)");
+  }
+  spec.validate();
+  // Only the interleaved cache is needed here — a full SolverContext
+  // would also pay the two-speed expansions and min-ρ fallbacks that an
+  // interleaved solve never reads (the campaign runner's solve task does
+  // the same).
+  const core::InterleavedSolver solver(spec.resolve_params(),
+                                       spec.segment_limit());
+  return spec.segments == 0 ? solver.solve(spec.rho)
+                            : solver.solve_segments(spec.rho, spec.segments);
+}
+
+std::vector<sweep::SweepParameter> interleaved_panel_axes(
+    const ScenarioSpec& spec) {
+  if (!spec.interleaved()) {
+    throw std::invalid_argument(
+        "interleaved_panel_axes: scenario '" + spec.name +
+        "' is not interleaved (set segments= or max_segments=)");
+  }
+  spec.validate();
+  switch (spec.kind()) {
+    case ScenarioKind::kSweep:
+      return {*spec.sweep_parameter};
+    case ScenarioKind::kAllSweeps:
+      return {sweep::SweepParameter::kPerformanceBound,
+              sweep::SweepParameter::kSegments};
+    case ScenarioKind::kSolve:
+      break;
+  }
+  throw std::invalid_argument(
+      "interleaved_panel_axes: scenario '" + spec.name +
+      "' is a solve (param=none) and produces no panels; use "
+      "solve_scenario_interleaved or CampaignRunner::run_one for its "
+      "solution");
+}
+
 sim::ExecutionPolicy make_policy(const ScenarioSpec& spec) {
+  if (spec.interleaved()) {
+    const core::InterleavedSolution solution =
+        solve_scenario_interleaved(spec);
+    if (!solution.feasible) {
+      throw std::runtime_error(
+          "make_policy: interleaved scenario '" + spec.name +
+          "' is infeasible at rho = " + std::to_string(spec.rho) +
+          " (interleaved mode has no min-rho fallback)");
+    }
+    return sim::ExecutionPolicy::segmented(solution.w_opt, solution.segments,
+                                           solution.sigma1, solution.sigma2);
+  }
   const core::PairSolution solution = solve_scenario(spec);
   if (!solution.feasible) {
     throw std::runtime_error(

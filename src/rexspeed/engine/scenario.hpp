@@ -43,8 +43,16 @@ struct ScenarioSpec {
   bool min_rho_fallback = true;
   /// Set for kSweep scenarios; ignored when `all_panels` is true.
   std::optional<sweep::SweepParameter> sweep_parameter;
-  /// True for a Figure 8–14 style six-panel composite.
+  /// True for a Figure 8–14 style six-panel composite — or, on an
+  /// interleaved scenario, for both interleaved panels (ρ + segments).
   bool all_panels = false;
+  /// Fixed interleaved segment count m (0 = unset). A positive value runs
+  /// the interleaved solver mode with exactly m verifications per pattern;
+  /// m = 1 is the paper's own pattern through the interleaved path.
+  unsigned segments = 0;
+  /// Best-segment-count search cap M (0 = unset): the interleaved solver
+  /// searches m ∈ [1, M]. Mutually exclusive with `segments`.
+  unsigned max_segments = 0;
   /// Model-parameter overrides applied on top of the configuration.
   std::vector<ParamOverride> overrides;
 
@@ -53,10 +61,29 @@ struct ScenarioSpec {
     return sweep_parameter ? ScenarioKind::kSweep : ScenarioKind::kSolve;
   }
 
+  /// True when the scenario runs the interleaved solver mode (either
+  /// `segments=` or `max_segments=` was given).
+  [[nodiscard]] bool interleaved() const noexcept {
+    return segments > 0 || max_segments > 0;
+  }
+
+  /// Upper end of the segment counts the solver must cover: the fixed
+  /// count, or the search cap (0 for non-interleaved scenarios).
+  [[nodiscard]] unsigned segment_limit() const noexcept {
+    return segments > 0 ? segments : max_segments;
+  }
+
+  /// Cross-field validation beyond what apply_token can check per key:
+  /// interleaved scenarios may only sweep rho or segments, the segments
+  /// axis requires interleaved mode, and segments/max_segments must not
+  /// both be set. Engine entry points call this before planning any task.
+  void validate() const;
+
   /// Configuration lookup + overrides → validated model parameters.
   [[nodiscard]] core::ModelParams resolve_params() const;
 
-  /// A cached solver context for the resolved parameters.
+  /// A cached solver context for the resolved parameters (with the
+  /// interleaved cache when the scenario is interleaved).
   [[nodiscard]] SolverContext make_context() const;
 
   /// Sweep options carrying this scenario's ρ, grid size, eval mode and
@@ -72,8 +99,9 @@ void apply_override(core::ModelParams& params, const ParamOverride& override_);
 /// Parses one "key=value" token into a spec. Structural keys: name,
 /// description, config, rho, points, param (a sweep-parameter name, "all"
 /// or "none"), policy (two-speed | single-speed), mode (first-order |
-/// exact-eval | exact-opt), fallback (0 | 1). Every other key must be a
-/// model-parameter override key (see ParamOverride). Throws
+/// exact-eval | exact-opt), fallback (0 | 1), segments (≥ 1) and
+/// max_segments (≥ 1, mutually exclusive with segments). Every other key
+/// must be a model-parameter override key (see ParamOverride). Throws
 /// std::invalid_argument on an unknown key or malformed value.
 void apply_token(ScenarioSpec& spec, const std::string& key,
                  const std::string& value);
@@ -98,9 +126,25 @@ void apply_token(ScenarioSpec& spec, const std::string& key,
 [[nodiscard]] core::PairSolution solve_scenario(
     const ScenarioSpec& spec, bool* used_fallback = nullptr);
 
+/// Solves an interleaved scenario at its bound: the best segmented
+/// pattern over every speed pair, at the fixed count (`segments=`) or the
+/// best count in [1, max_segments]. Throws std::invalid_argument when the
+/// scenario is not interleaved.
+[[nodiscard]] core::InterleavedSolution solve_scenario_interleaved(
+    const ScenarioSpec& spec);
+
+/// The interleaved panel axes a scenario asks for: its single sweep
+/// parameter, or {rho, segments} for an all-panels composite. Validates
+/// the spec. Throws std::invalid_argument for non-interleaved scenarios
+/// and for kSolve scenarios (no panels).
+[[nodiscard]] std::vector<sweep::SweepParameter> interleaved_panel_axes(
+    const ScenarioSpec& spec);
+
 /// Execution policy induced by the scenario's solution — the bridge into
-/// the fault-injection simulator. Throws std::runtime_error when the
-/// scenario is infeasible and its fallback is disabled.
+/// the fault-injection simulator. Interleaved scenarios yield a segmented
+/// policy (ExecutionPolicy::segmented) carrying the solved count. Throws
+/// std::runtime_error when the scenario is infeasible and its fallback is
+/// disabled (interleaved mode has no min-ρ fallback).
 [[nodiscard]] sim::ExecutionPolicy make_policy(const ScenarioSpec& spec);
 
 }  // namespace rexspeed::engine

@@ -75,6 +75,13 @@ std::string write_scenario(const ScenarioSpec& spec) {
   if (spec.mode == core::EvalMode::kExactOptimize) mode = "exact-opt";
   out << "mode=" << mode << '\n';
   out << "fallback=" << (spec.min_rho_fallback ? 1 : 0) << '\n';
+  // Interleaved keys only when set: the default (no interleaved mode) has
+  // no line, so pre-existing files and their byte-exact fixtures are
+  // untouched.
+  if (spec.segments > 0) out << "segments=" << spec.segments << '\n';
+  if (spec.max_segments > 0) {
+    out << "max_segments=" << spec.max_segments << '\n';
+  }
   for (const ParamOverride& override_ : spec.overrides) {
     out << override_.key << '=' << format_double(override_.value) << '\n';
   }
@@ -110,6 +117,10 @@ ScenarioSpec load_scenario_file(const std::string& path) {
   std::string line;
   std::size_t line_number = 0;
   std::size_t entries = 0;
+  /// key → line it first appeared on. A repeated key would silently keep
+  /// only the later value (apply_token overwrites; override keys would
+  /// even apply twice), so it is rejected with both lines cited.
+  std::unordered_map<std::string, std::size_t> seen;
   while (std::getline(in, line)) {
     ++line_number;
     if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
@@ -122,8 +133,15 @@ ScenarioSpec load_scenario_file(const std::string& path) {
       throw std::invalid_argument(path + ":" + std::to_string(line_number) +
                                   ": expected key=value, got '" + line + "'");
     }
+    const std::string key = trim(line.substr(0, eq));
+    const auto [it, inserted] = seen.emplace(key, line_number);
+    if (!inserted) {
+      throw std::invalid_argument(
+          path + ":" + std::to_string(line_number) + ": duplicate key '" +
+          key + "' (first set on line " + std::to_string(it->second) + ")");
+    }
     try {
-      apply_token(spec, trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+      apply_token(spec, key, trim(line.substr(eq + 1)));
     } catch (const std::exception& error) {
       throw std::invalid_argument(path + ":" + std::to_string(line_number) +
                                   ": " + error.what());
@@ -133,6 +151,11 @@ ScenarioSpec load_scenario_file(const std::string& path) {
   if (entries == 0) {
     throw std::invalid_argument("load_scenario_file: '" + path +
                                 "' is empty (no key=value entries)");
+  }
+  try {
+    spec.validate();  // cross-field checks have no single line to cite
+  } catch (const std::exception& error) {
+    throw std::invalid_argument(path + ": " + error.what());
   }
   return spec;
 }

@@ -1,12 +1,34 @@
 #include "rexspeed/engine/solver_context.hpp"
 
+#include <stdexcept>
+
 namespace rexspeed::engine {
 
-SolverContext::SolverContext(core::ModelParams params)
+SolverContext::SolverContext(core::ModelParams params, unsigned max_segments)
     : solver_(std::move(params)),
       min_rho_two_(solver_.min_rho_solution(core::SpeedPolicy::kTwoSpeed)),
       min_rho_single_(
-          solver_.min_rho_solution(core::SpeedPolicy::kSingleSpeed)) {}
+          solver_.min_rho_solution(core::SpeedPolicy::kSingleSpeed)) {
+  if (max_segments > 0) {
+    interleaved_.emplace(solver_.params(), max_segments);
+  }
+}
+
+const core::InterleavedSolver& SolverContext::interleaved() const {
+  if (!interleaved_) {
+    throw std::logic_error(
+        "SolverContext: built without an interleaved cache (pass "
+        "max_segments > 0)");
+  }
+  return *interleaved_;
+}
+
+core::InterleavedSolution SolverContext::solve_interleaved(
+    double rho, unsigned segments) const {
+  const core::InterleavedSolver& solver = interleaved();
+  return segments == 0 ? solver.solve(rho)
+                       : solver.solve_segments(rho, segments);
+}
 
 core::PairSolution SolverContext::best(double rho, core::SpeedPolicy policy,
                                        core::EvalMode mode,

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <optional>
+
 #include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/core/interleaved.hpp"
 
 namespace rexspeed::engine {
 
@@ -19,7 +22,13 @@ namespace rexspeed::engine {
 /// across ThreadPool workers without synchronization.
 class SolverContext {
  public:
-  explicit SolverContext(core::ModelParams params);
+  /// `max_segments > 0` additionally precomputes the interleaved
+  /// expansions (one per (σ1, σ2, m) up to that segment count — see
+  /// core::InterleavedSolver), enabling the solve_interleaved path. The
+  /// interleaved cache requires λf = 0 and throws std::invalid_argument
+  /// otherwise, at construction — never inside a pool worker.
+  explicit SolverContext(core::ModelParams params,
+                         unsigned max_segments = 0);
 
   [[nodiscard]] const core::ModelParams& params() const noexcept {
     return solver_.params();
@@ -61,10 +70,27 @@ class SolverContext {
       double rho, core::SpeedPolicy policy, core::EvalMode mode,
       bool min_rho_fallback, bool* used_fallback = nullptr) const;
 
+  /// True when the context was built with an interleaved cache.
+  [[nodiscard]] bool has_interleaved() const noexcept {
+    return interleaved_.has_value();
+  }
+
+  /// The cached interleaved solver. Throws std::logic_error when the
+  /// context was built without one (max_segments == 0).
+  [[nodiscard]] const core::InterleavedSolver& interleaved() const;
+
+  /// Best segmented pattern at bound `rho` off the cached expansions:
+  /// `segments == 0` searches every count in [1, max_segments], a positive
+  /// value pins the count. Throws std::logic_error without an interleaved
+  /// cache.
+  [[nodiscard]] core::InterleavedSolution solve_interleaved(
+      double rho, unsigned segments = 0) const;
+
  private:
   core::BiCritSolver solver_;
   core::PairSolution min_rho_two_;
   core::PairSolution min_rho_single_;
+  std::optional<core::InterleavedSolver> interleaved_;
 };
 
 }  // namespace rexspeed::engine

@@ -33,6 +33,15 @@ std::vector<sweep::FigureSeries> SweepEngine::run_all(
 
 std::vector<sweep::FigureSeries> SweepEngine::run_scenario(
     const ScenarioSpec& spec) const {
+  spec.validate();
+  if (spec.interleaved()) {
+    // Interleaved panels are a different series type; routing them through
+    // the two-speed panels here would silently drop the segmentation.
+    throw std::invalid_argument(
+        "SweepEngine::run_scenario: scenario '" + spec.name +
+        "' runs the interleaved solver mode; use run_interleaved_scenario "
+        "for its panels");
+  }
   switch (spec.kind()) {
     case ScenarioKind::kSweep:
       return {run(spec)};
@@ -48,6 +57,25 @@ std::vector<sweep::FigureSeries> SweepEngine::run_scenario(
       "SweepEngine::run_scenario: scenario '" + spec.name +
       "' is a solve (param=none) and produces no figure panels; use "
       "solve_scenario or CampaignRunner::run_one for its solution");
+}
+
+sweep::InterleavedSeries SweepEngine::run_interleaved(
+    const ScenarioSpec& spec, sweep::SweepParameter parameter) const {
+  const sweep::SweepOptions options = spec.sweep_options(pool());
+  return sweep::run_interleaved_sweep(
+      spec.resolve_params(), spec.configuration, parameter,
+      sweep::interleaved_grid(parameter, options.points,
+                              spec.segment_limit()),
+      spec.segment_limit(), spec.segments, options);
+}
+
+std::vector<sweep::InterleavedSeries> SweepEngine::run_interleaved_scenario(
+    const ScenarioSpec& spec) const {
+  std::vector<sweep::InterleavedSeries> panels;
+  for (const sweep::SweepParameter axis : interleaved_panel_axes(spec)) {
+    panels.push_back(run_interleaved(spec, axis));
+  }
+  return panels;
 }
 
 std::vector<std::vector<sweep::SpeedPairRow>> SweepEngine::speed_pair_tables(

@@ -5,6 +5,7 @@
 #include "rexspeed/engine/scenario.hpp"
 #include "rexspeed/platform/configuration.hpp"
 #include "rexspeed/sweep/figure_sweeps.hpp"
+#include "rexspeed/sweep/interleaved_sweeps.hpp"
 #include "rexspeed/sweep/section42_tables.hpp"
 #include "rexspeed/sweep/thread_pool.hpp"
 
@@ -42,9 +43,21 @@ class SweepEngine {
   /// Dispatches on the scenario kind: kSweep yields one panel, kAllSweeps
   /// all six. A kSolve scenario has no panels and is rejected with
   /// std::invalid_argument (see solve_scenario / CampaignRunner for the
-  /// panel-free result).
+  /// panel-free result), as is an interleaved scenario (its panels are a
+  /// different series type — use run_interleaved_scenario).
   [[nodiscard]] std::vector<sweep::FigureSeries> run_scenario(
       const ScenarioSpec& spec) const;
+
+  /// One interleaved panel (overhead vs ρ or vs segment count) for an
+  /// interleaved kSweep scenario, off one cached interleaved solver.
+  [[nodiscard]] sweep::InterleavedSeries run_interleaved(
+      const ScenarioSpec& spec, sweep::SweepParameter parameter) const;
+
+  /// Every interleaved panel the scenario asks for: its single axis, or
+  /// {rho, segments} for param=all. Rejects non-interleaved and kSolve
+  /// scenarios with std::invalid_argument (see interleaved_panel_axes).
+  [[nodiscard]] std::vector<sweep::InterleavedSeries>
+  run_interleaved_scenario(const ScenarioSpec& spec) const;
 
   /// §4.2-style speed-pair tables for the scenario at each bound, off one
   /// shared solver context.

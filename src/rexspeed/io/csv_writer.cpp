@@ -6,6 +6,7 @@
 
 #include "rexspeed/io/gnuplot_writer.hpp"
 #include "rexspeed/sweep/figure_sweeps.hpp"
+#include "rexspeed/sweep/interleaved_sweeps.hpp"
 
 namespace rexspeed::io {
 
@@ -56,14 +57,28 @@ void write_csv_series(std::ostream& os, const sweep::Series& series) {
   }
 }
 
-std::optional<std::string> export_csv_figure(
-    const sweep::FigureSeries& series, const std::string& out_dir) {
-  const std::string stem = figure_file_stem(series);
+namespace {
+
+std::optional<std::string> export_csv(const std::string& stem,
+                                      const sweep::Series& flat,
+                                      const std::string& out_dir) {
   std::ofstream out(out_dir + "/" + stem + ".csv");
-  write_csv_series(out, to_series(series));
+  write_csv_series(out, flat);
   out.flush();  // surface late write errors (e.g. disk full) in the check
   if (!out) return std::nullopt;
   return stem;
+}
+
+}  // namespace
+
+std::optional<std::string> export_csv_figure(
+    const sweep::FigureSeries& series, const std::string& out_dir) {
+  return export_csv(figure_file_stem(series), to_series(series), out_dir);
+}
+
+std::optional<std::string> export_csv_figure(
+    const sweep::InterleavedSeries& series, const std::string& out_dir) {
+  return export_csv(figure_file_stem(series), to_series(series), out_dir);
 }
 
 }  // namespace rexspeed::io

@@ -8,6 +8,7 @@
 namespace rexspeed::sweep {
 class Series;
 struct FigureSeries;
+struct InterleavedSeries;
 }  // namespace rexspeed::sweep
 
 namespace rexspeed::io {
@@ -37,5 +38,9 @@ void write_csv_series(std::ostream& os, const sweep::Series& series);
 /// success, nullopt when out_dir is not writable.
 std::optional<std::string> export_csv_figure(
     const sweep::FigureSeries& series, const std::string& out_dir);
+
+/// Same for an interleaved panel (stem <config>_interleaved_<param>).
+std::optional<std::string> export_csv_figure(
+    const sweep::InterleavedSeries& series, const std::string& out_dir);
 
 }  // namespace rexspeed::io

@@ -51,30 +51,57 @@ void write_gnuplot_script(std::ostream& os, const sweep::Series& series,
   os << '\n';
 }
 
-std::string figure_file_stem(const sweep::FigureSeries& series) {
-  std::string stem = series.configuration;
+namespace {
+
+std::string flatten_configuration(const std::string& configuration) {
+  std::string stem = configuration;
   for (auto& ch : stem) {
     if (ch == '/') ch = '_';
   }
-  stem += "_";
-  stem += sweep::to_string(series.parameter);
   return stem;
 }
 
-std::optional<std::string> export_gnuplot_figure(
-    const sweep::FigureSeries& series, const std::string& out_dir) {
-  const std::string stem = figure_file_stem(series);
-  const sweep::Series flat = to_series(series);
+}  // namespace
+
+std::string figure_file_stem(const sweep::FigureSeries& series) {
+  return flatten_configuration(series.configuration) + "_" +
+         sweep::to_string(series.parameter);
+}
+
+std::string figure_file_stem(const sweep::InterleavedSeries& series) {
+  return flatten_configuration(series.configuration) + "_interleaved_" +
+         sweep::to_string(series.parameter);
+}
+
+namespace {
+
+std::optional<std::string> export_gnuplot_files(const std::string& stem,
+                                                const sweep::Series& flat,
+                                                const std::string& out_dir,
+                                                bool logscale_x) {
   std::ofstream dat(out_dir + "/" + stem + ".dat");
   write_gnuplot_dat(dat, flat);
   std::ofstream script(out_dir + "/" + stem + ".gp");
-  write_gnuplot_script(
-      script, flat, stem + ".dat",
-      series.parameter == sweep::SweepParameter::kErrorRate);
+  write_gnuplot_script(script, flat, stem + ".dat", logscale_x);
   dat.flush();  // surface late write errors (e.g. disk full) in the check
   script.flush();
   if (!dat || !script) return std::nullopt;
   return stem;
+}
+
+}  // namespace
+
+std::optional<std::string> export_gnuplot_figure(
+    const sweep::FigureSeries& series, const std::string& out_dir) {
+  return export_gnuplot_files(
+      figure_file_stem(series), to_series(series), out_dir,
+      series.parameter == sweep::SweepParameter::kErrorRate);
+}
+
+std::optional<std::string> export_gnuplot_figure(
+    const sweep::InterleavedSeries& series, const std::string& out_dir) {
+  return export_gnuplot_files(figure_file_stem(series), to_series(series),
+                              out_dir, /*logscale_x=*/false);
 }
 
 }  // namespace rexspeed::io

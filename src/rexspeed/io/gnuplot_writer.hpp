@@ -5,6 +5,7 @@
 #include <string>
 
 #include "rexspeed/sweep/figure_sweeps.hpp"
+#include "rexspeed/sweep/interleaved_sweeps.hpp"
 #include "rexspeed/sweep/series.hpp"
 
 namespace rexspeed::io {
@@ -29,6 +30,11 @@ void write_gnuplot_script(std::ostream& os, const sweep::Series& series,
 /// next to each other.
 [[nodiscard]] std::string figure_file_stem(const sweep::FigureSeries& series);
 
+/// Interleaved-panel stem: "<config>_interleaved_<param>", so segmented
+/// panels never collide with the regular panel of the same axis.
+[[nodiscard]] std::string figure_file_stem(
+    const sweep::InterleavedSeries& series);
+
 /// Exports a figure panel as <out_dir>/<config>_<param>.dat plus a
 /// matching .gp script ("/" in the configuration name becomes "_"), so
 /// the paper's plots can be regenerated with a stock gnuplot. Returns the
@@ -36,5 +42,9 @@ void write_gnuplot_script(std::ostream& os, const sweep::Series& series,
 /// the CLI and the figure benches.
 std::optional<std::string> export_gnuplot_figure(
     const sweep::FigureSeries& series, const std::string& out_dir);
+
+/// Same for an interleaved panel.
+std::optional<std::string> export_gnuplot_figure(
+    const sweep::InterleavedSeries& series, const std::string& out_dir);
 
 }  // namespace rexspeed::io

@@ -25,6 +25,8 @@ const char* to_string(SweepParameter parameter) noexcept {
       return "Pidle";
     case SweepParameter::kIoPower:
       return "Pio";
+    case SweepParameter::kSegments:
+      return "segments";
   }
   return "unknown";
 }
@@ -33,6 +35,11 @@ std::optional<SweepParameter> parse_sweep_parameter(
     std::string_view name) noexcept {
   for (const SweepParameter parameter : all_sweep_parameters()) {
     if (name == to_string(parameter)) return parameter;
+  }
+  // The segments axis is not one of the six composite panels, so it is not
+  // in all_sweep_parameters(); it still parses as a first-class dimension.
+  if (name == to_string(SweepParameter::kSegments)) {
+    return SweepParameter::kSegments;
   }
   return std::nullopt;
 }
@@ -65,6 +72,16 @@ std::vector<double> default_grid(SweepParameter parameter,
       return linspace(1.0, 3.5, points);
     case SweepParameter::kErrorRate:
       return logspace(1e-6, 1e-2, points);
+    case SweepParameter::kSegments: {
+      // Integer segment counts 1..points (interleaved panels pass their
+      // max_segments as the point count).
+      std::vector<double> grid;
+      grid.reserve(points);
+      for (std::size_t m = 1; m <= points; ++m) {
+        grid.push_back(static_cast<double>(m));
+      }
+      return grid;
+    }
   }
   throw std::invalid_argument("default_grid: unknown parameter");
 }
@@ -93,6 +110,8 @@ core::ModelParams apply_parameter(const core::ModelParams& base,
     case SweepParameter::kIoPower:
       params.io_power_mw = value;
       break;
+    case SweepParameter::kSegments:
+      break;  // handled by the interleaved solver call, params untouched
   }
   return params;
 }
@@ -144,6 +163,13 @@ PanelSweep::PanelSweep(core::ModelParams base, std::string configuration,
     : base_(std::move(base)), options_(options), grid_(std::move(grid)) {
   if (grid_.empty()) {
     throw std::invalid_argument("PanelSweep: empty grid");
+  }
+  if (parameter == SweepParameter::kSegments) {
+    // The two-speed kernel has no notion of segments; the interleaved
+    // panel family (sweep/interleaved_sweeps.hpp) owns that axis.
+    throw std::invalid_argument(
+        "PanelSweep: the segments axis needs the interleaved solver mode "
+        "(set segments= or max_segments= on the scenario)");
   }
   // The pool's workers have no exception barrier (tasks must not throw),
   // so the bounds the solver would reject are rejected here instead: the

@@ -12,7 +12,8 @@
 
 namespace rexspeed::sweep {
 
-/// The six parameters the paper sweeps in Figures 2–14.
+/// The six parameters the paper sweeps in Figures 2–14, plus the segment
+/// count of the interleaved-verification extension.
 enum class SweepParameter {
   kCheckpointTime,   ///< C (s)          — Figs. 2, 8–14 row 1
   kVerificationTime, ///< V (s)          — Figs. 3, 8–14 row 2
@@ -20,12 +21,16 @@ enum class SweepParameter {
   kPerformanceBound, ///< ρ              — Figs. 5, 8–14 row 4
   kIdlePower,        ///< Pidle (mW)     — Figs. 6, 8–14 row 5
   kIoPower,          ///< Pio (mW)       — Figs. 7, 8–14 row 6
+  kSegments,         ///< verifications per pattern m — interleaved panels
+                     ///< only (see interleaved_sweeps.hpp); rejected by the
+                     ///< regular two-speed PanelSweep kernel
 };
 
 [[nodiscard]] const char* to_string(SweepParameter parameter) noexcept;
 
 /// Inverse of to_string: parses a sweep-parameter name ("C", "V",
-/// "lambda", "rho", "Pidle", "Pio"). Returns nullopt for anything else.
+/// "lambda", "rho", "Pidle", "Pio", "segments"). Returns nullopt for
+/// anything else.
 [[nodiscard]] std::optional<SweepParameter> parse_sweep_parameter(
     std::string_view name) noexcept;
 

@@ -1,0 +1,187 @@
+#include "rexspeed/sweep/interleaved_sweeps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace rexspeed::sweep {
+
+double InterleavedPoint::energy_saving() const noexcept {
+  if (!best.feasible || !single.feasible ||
+      !(single.energy_overhead > 0.0)) {
+    return 0.0;
+  }
+  return 1.0 - best.energy_overhead / single.energy_overhead;
+}
+
+double InterleavedSeries::max_energy_saving() const noexcept {
+  double best = 0.0;
+  for (const auto& point : points) {
+    best = std::max(best, point.energy_saving());
+  }
+  return best;
+}
+
+std::vector<double> interleaved_grid(SweepParameter parameter,
+                                     std::size_t points,
+                                     unsigned max_segments) {
+  if (parameter == SweepParameter::kPerformanceBound) {
+    return default_grid(parameter, points);
+  }
+  if (parameter == SweepParameter::kSegments) {
+    return default_grid(parameter, max_segments);
+  }
+  throw std::invalid_argument(
+      "interleaved_grid: interleaved panels sweep rho or segments, not '" +
+      std::string(to_string(parameter)) + "'");
+}
+
+InterleavedPanelSweep::InterleavedPanelSweep(core::ModelParams base,
+                                             std::string configuration,
+                                             SweepParameter parameter,
+                                             std::vector<double> grid,
+                                             unsigned max_segments,
+                                             unsigned fixed_segments,
+                                             SweepOptions options)
+    : base_(std::move(base)),
+      max_segments_(max_segments),
+      fixed_segments_(fixed_segments),
+      options_(options),
+      grid_(std::move(grid)) {
+  // Everything the deferred prepare() (and the pool's solve_point tasks)
+  // would reject is rejected here instead — the InterleavedSolver
+  // preconditions included, so prepare() cannot throw later.
+  base_.validate();
+  if (base_.lambda_failstop > 0.0) {
+    throw std::invalid_argument(
+        "InterleavedPanelSweep: interleaved panels require "
+        "lambda_failstop = 0 (silent errors only)");
+  }
+  if (max_segments_ == 0) {
+    throw std::invalid_argument(
+        "InterleavedPanelSweep: need at least one segment");
+  }
+  if (grid_.empty()) {
+    throw std::invalid_argument("InterleavedPanelSweep: empty grid");
+  }
+  if (fixed_segments_ > max_segments_) {
+    throw std::invalid_argument(
+        "InterleavedPanelSweep: fixed_segments must be in "
+        "[0, max_segments]");
+  }
+  if (parameter != SweepParameter::kPerformanceBound &&
+      parameter != SweepParameter::kSegments) {
+    throw std::invalid_argument(
+        "InterleavedPanelSweep: interleaved panels sweep rho or segments, "
+        "not '" + std::string(to_string(parameter)) + "'");
+  }
+  // The pool's workers have no exception barrier (tasks must not throw),
+  // so everything the solver would reject is rejected here instead.
+  if (!(options_.rho > 0.0) || !std::isfinite(options_.rho)) {
+    throw std::invalid_argument(
+        "InterleavedPanelSweep: rho must be positive and finite");
+  }
+  for (const double x : grid_) {
+    if (parameter == SweepParameter::kPerformanceBound &&
+        (!(x > 0.0) || !std::isfinite(x))) {
+      throw std::invalid_argument(
+          "InterleavedPanelSweep: rho-sweep grid values must be positive "
+          "and finite");
+    }
+    if (parameter == SweepParameter::kSegments) {
+      const double rounded = std::floor(x + 0.5);
+      if (!(rounded >= 1.0) ||
+          rounded > static_cast<double>(max_segments) ||
+          std::abs(x - rounded) > 1e-9) {
+        throw std::invalid_argument(
+            "InterleavedPanelSweep: segments-sweep grid values must be "
+            "integers in [1, max_segments]");
+      }
+    }
+  }
+  series_.parameter = parameter;
+  series_.configuration = std::move(configuration);
+  series_.rho = options_.rho;
+  series_.max_segments = max_segments_;
+  series_.points.resize(grid_.size());
+}
+
+void InterleavedPanelSweep::prepare() {
+  if (!shared_) shared_.emplace(base_, max_segments_);
+}
+
+void InterleavedPanelSweep::solve_point(std::size_t i) {
+  const double x = grid_[i];
+  InterleavedPoint& point = series_.points[i];
+  point.x = x;
+  if (series_.parameter == SweepParameter::kPerformanceBound) {
+    // A pinned count stays pinned across the bound grid (the `segments=M`
+    // semantics of the solve path); 0 searches every count.
+    point.best = fixed_segments_ > 0
+                     ? shared_->solve_segments(x, fixed_segments_)
+                     : shared_->solve(x);
+    point.single = shared_->solve_segments(x, 1);
+  } else {
+    const auto m = static_cast<unsigned>(std::floor(x + 0.5));
+    point.best = shared_->solve_segments(options_.rho, m);
+    point.single = shared_->solve_segments(options_.rho, 1);
+  }
+}
+
+InterleavedSeries run_interleaved_sweep(const core::ModelParams& base,
+                                        std::string configuration,
+                                        SweepParameter parameter,
+                                        const std::vector<double>& grid,
+                                        unsigned max_segments,
+                                        unsigned fixed_segments,
+                                        const SweepOptions& options) {
+  InterleavedPanelSweep panel(base, std::move(configuration), parameter,
+                              grid, max_segments, fixed_segments, options);
+  panel.prepare();
+  parallel_for(options.pool, panel.point_count(),
+               [&panel](std::size_t i) { panel.solve_point(i); });
+  return panel.take();
+}
+
+InterleavedSeries run_interleaved_sweep(const core::ModelParams& base,
+                                        std::string configuration,
+                                        SweepParameter parameter,
+                                        unsigned max_segments,
+                                        unsigned fixed_segments,
+                                        const SweepOptions& options) {
+  return run_interleaved_sweep(
+      base, std::move(configuration), parameter,
+      interleaved_grid(parameter, options.points, max_segments),
+      max_segments, fixed_segments, options);
+}
+
+Series to_series(const InterleavedSeries& figure) {
+  // "best_m", not "segments": the segments-axis panel's x column already
+  // carries that name, and a duplicate header breaks key-by-name
+  // consumers of the CSV.
+  Series series(to_string(figure.parameter),
+                {"best_m", "sigma1", "sigma2", "Wopt", "energy", "time",
+                 "energy1", "saving"});
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  for (const auto& point : figure.points) {
+    const auto& best = point.best;
+    const auto& one = point.single;
+    series.add_row(
+        point.x,
+        {best.feasible ? static_cast<double>(best.segments) : kNaN,
+         best.feasible ? best.sigma1 : kNaN,
+         best.feasible ? best.sigma2 : kNaN,
+         best.feasible ? best.w_opt : kNaN,
+         best.feasible ? best.energy_overhead : kNaN,
+         best.feasible ? best.time_overhead : kNaN,
+         one.feasible ? one.energy_overhead : kNaN,
+         // A saving only exists where both patterns do; rendering 0 at an
+         // infeasible point would plot as "feasible, no gain".
+         best.feasible && one.feasible ? point.energy_saving() : kNaN});
+  }
+  return series;
+}
+
+}  // namespace rexspeed::sweep

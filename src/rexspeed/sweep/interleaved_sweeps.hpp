@@ -1,0 +1,123 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rexspeed/core/interleaved.hpp"
+#include "rexspeed/sweep/figure_sweeps.hpp"
+#include "rexspeed/sweep/series.hpp"
+
+namespace rexspeed::sweep {
+
+/// One x position of an interleaved panel: the best segmented pattern next
+/// to the single-verification baseline (m = 1 — the paper's own pattern,
+/// playing the role the single-speed curve plays in the regular figures).
+struct InterleavedPoint {
+  double x = 0.0;
+  core::InterleavedSolution best;    ///< best m ∈ [1, max_segments]
+  core::InterleavedSolution single;  ///< m = 1 baseline
+
+  /// Energy saved by allowing m > 1 verifications per checkpoint, as a
+  /// fraction of the baseline overhead.
+  [[nodiscard]] double energy_saving() const noexcept;
+};
+
+/// A full interleaved panel: overhead vs ρ (parameter =
+/// kPerformanceBound) or overhead vs segment count (kSegments).
+struct InterleavedSeries {
+  SweepParameter parameter = SweepParameter::kPerformanceBound;
+  std::string configuration;  ///< e.g. "Hera/XScale"
+  double rho = 0.0;           ///< performance bound (x value when swept)
+  unsigned max_segments = 1;  ///< search cap behind `best`
+  std::vector<InterleavedPoint> points;
+
+  /// Largest energy_saving() over all points with both solutions feasible.
+  [[nodiscard]] double max_energy_saving() const noexcept;
+};
+
+/// Grid for an interleaved axis: ρ reuses the paper's default ρ grid;
+/// segments is the integer grid 1..max_segments. Throws
+/// std::invalid_argument for any other parameter.
+[[nodiscard]] std::vector<double> interleaved_grid(SweepParameter parameter,
+                                                   std::size_t points,
+                                                   unsigned max_segments);
+
+/// One interleaved panel prepared for point-by-point execution — the
+/// interleaved counterpart of PanelSweep, and like it the single setup +
+/// kernel that both run_interleaved_sweep and the campaign runner's
+/// flattened task stream drive, so their results are bit-identical by
+/// construction. Both axes leave the model parameters untouched, so ONE
+/// cached core::InterleavedSolver serves every grid point of the panel.
+///
+/// The construction is two-phase: the constructor validates everything
+/// (cheap, throws), prepare() pays the per-(σ1,σ2,m) curve optimization —
+/// the panel's dominant cost. The split lets the campaign runner build
+/// many panels' solvers across its pool (prepare() cannot throw on a
+/// validated plan) instead of serially at plan time.
+///
+/// prepare() touches only this panel's solver and solve_point(i) writes
+/// only points[i], so distinct panels prepare — and distinct indices
+/// solve — concurrently without synchronization.
+class InterleavedPanelSweep {
+ public:
+  /// `fixed_segments` 0 searches every count in [1, max_segments] at each
+  /// ρ point; a positive value pins the count (a `segments=M` scenario),
+  /// matching the solve path's semantics. The segments axis ignores it
+  /// (there x IS the count). Throws std::invalid_argument on an empty
+  /// grid, a parameter outside {kPerformanceBound, kSegments}, a
+  /// non-positive bound or grid value, invalid model params, λf ≠ 0,
+  /// max_segments == 0, or fixed_segments > max_segments — everything a
+  /// later prepare() or solve_point() would otherwise trip over.
+  InterleavedPanelSweep(core::ModelParams base, std::string configuration,
+                        SweepParameter parameter, std::vector<double> grid,
+                        unsigned max_segments, unsigned fixed_segments,
+                        SweepOptions options);
+
+  [[nodiscard]] std::size_t point_count() const noexcept {
+    return grid_.size();
+  }
+
+  /// Builds the cached solver (idempotent). Must complete before the
+  /// first solve_point; never throws on a constructed plan.
+  void prepare();
+
+  /// Solves grid point `i` into its series slot (prepare() first).
+  void solve_point(std::size_t i);
+
+  /// Moves the finished panel out (call once every point is solved).
+  [[nodiscard]] InterleavedSeries take() { return std::move(series_); }
+
+ private:
+  core::ModelParams base_;
+  std::optional<core::InterleavedSolver> shared_;
+  unsigned max_segments_;
+  unsigned fixed_segments_;
+  SweepOptions options_;
+  std::vector<double> grid_;
+  InterleavedSeries series_;
+};
+
+/// Runs one interleaved panel over an explicit grid, starting from an
+/// explicit parameter bundle (`configuration` is the label recorded in the
+/// series). `fixed_segments` as in InterleavedPanelSweep. Parallel when
+/// options.pool is set, serial otherwise — bit-identical either way.
+[[nodiscard]] InterleavedSeries run_interleaved_sweep(
+    const core::ModelParams& base, std::string configuration,
+    SweepParameter parameter, const std::vector<double>& grid,
+    unsigned max_segments, unsigned fixed_segments = 0,
+    const SweepOptions& options = {});
+
+/// Same, with the default interleaved grid.
+[[nodiscard]] InterleavedSeries run_interleaved_sweep(
+    const core::ModelParams& base, std::string configuration,
+    SweepParameter parameter, unsigned max_segments,
+    unsigned fixed_segments = 0, const SweepOptions& options = {});
+
+/// Flattens an interleaved panel into a plain numeric Series (columns:
+/// best_m, sigma1, sigma2, Wopt, energy, time, energy1, saving — energy1
+/// is the m = 1 baseline) for CSV/gnuplot export. Infeasible points become
+/// NaN cells (rendered as gaps).
+[[nodiscard]] Series to_series(const InterleavedSeries& figure);
+
+}  // namespace rexspeed::sweep

@@ -42,8 +42,9 @@ TEST(CampaignRunner, FlattenedParallelCampaignIsBitIdenticalToSerialRuns) {
 }
 
 TEST(CampaignRunner, WholeRegistryCampaignMatchesPerScenarioSerialRuns) {
-  // The acceptance bar: ALL registry scenarios through one pool, every
-  // FigureSeries bit-identical to running each scenario alone serially.
+  // The acceptance bar: ALL registry scenarios through one pool — the
+  // paper figures and the interleaved extensions alike — every series
+  // bit-identical to running each scenario alone serially.
   std::vector<ScenarioSpec> specs = scenario_registry();
   for (auto& spec : specs) spec.points = 5;
   const auto results =
@@ -53,6 +54,16 @@ TEST(CampaignRunner, WholeRegistryCampaignMatchesPerScenarioSerialRuns) {
   const SweepEngine serial(SweepEngineOptions{.threads = 1});
   for (std::size_t s = 0; s < specs.size(); ++s) {
     SCOPED_TRACE(specs[s].name);
+    if (specs[s].interleaved()) {
+      const auto reference = serial.run_interleaved_scenario(specs[s]);
+      EXPECT_TRUE(results[s].panels.empty());
+      ASSERT_EQ(results[s].interleaved_panels.size(), reference.size());
+      for (std::size_t p = 0; p < reference.size(); ++p) {
+        test::expect_identical_interleaved_series(
+            results[s].interleaved_panels[p], reference[p]);
+      }
+      continue;
+    }
     const auto reference = serial.run_scenario(specs[s]);
     ASSERT_EQ(results[s].panels.size(), reference.size());
     for (std::size_t p = 0; p < reference.size(); ++p) {

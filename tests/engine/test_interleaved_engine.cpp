@@ -1,0 +1,290 @@
+// Interleaved verification through the engine layer: scenario keys,
+// SolverContext's cached path, SweepEngine's interleaved panels
+// (parallel ≡ serial), the campaign runner's flattened stream
+// (campaign ≡ standalone), and the simulator bridge.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rexspeed/engine/campaign_runner.hpp"
+#include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/engine/sweep_engine.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::engine {
+namespace {
+
+using test::expect_identical_interleaved;
+using test::expect_identical_interleaved_series;
+
+/// The hot-regime spec used throughout: frequent errors + cheap checks,
+/// so the solver genuinely segments.
+ScenarioSpec hot_spec() {
+  ScenarioSpec spec = parse_scenario(
+      "name=hot config=Hera/XScale rho=5 max_segments=6 param=rho "
+      "points=7 lambda=1e-3 V=1");
+  return spec;
+}
+
+TEST(InterleavedScenario, ParsesSegmentKeys) {
+  const ScenarioSpec fixed =
+      parse_scenario("config=Hera/XScale segments=4 param=none");
+  EXPECT_TRUE(fixed.interleaved());
+  EXPECT_EQ(fixed.segments, 4u);
+  EXPECT_EQ(fixed.max_segments, 0u);
+  EXPECT_EQ(fixed.segment_limit(), 4u);
+  EXPECT_EQ(fixed.kind(), ScenarioKind::kSolve);
+
+  const ScenarioSpec searched =
+      parse_scenario("config=Hera/XScale max_segments=8 param=segments");
+  EXPECT_TRUE(searched.interleaved());
+  EXPECT_EQ(searched.segment_limit(), 8u);
+  EXPECT_EQ(searched.sweep_parameter, sweep::SweepParameter::kSegments);
+
+  const ScenarioSpec plain = parse_scenario("config=Hera/XScale");
+  EXPECT_FALSE(plain.interleaved());
+  EXPECT_EQ(plain.segment_limit(), 0u);
+}
+
+TEST(InterleavedScenario, RejectsMalformedSegmentKeys) {
+  EXPECT_THROW(parse_scenario("config=Hera/XScale segments=0"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("config=Hera/XScale max_segments=0"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("config=Hera/XScale segments=2.5"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("config=Hera/XScale segments=-3"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("config=Hera/XScale segments=999999"),
+               std::invalid_argument);
+  // Mutually exclusive, both orders.
+  EXPECT_THROW(
+      parse_scenario("config=Hera/XScale segments=2 max_segments=4"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_scenario("config=Hera/XScale max_segments=4 segments=2"),
+      std::invalid_argument);
+  // The segments axis without interleaved mode is caught by validation.
+  EXPECT_THROW(parse_scenario("config=Hera/XScale param=segments"),
+               std::invalid_argument);
+  // Interleaved scenarios only sweep rho or segments.
+  EXPECT_THROW(
+      parse_scenario("config=Hera/XScale max_segments=4 param=C"),
+      std::invalid_argument);
+}
+
+TEST(InterleavedScenario, PanelAxesFollowTheSpec) {
+  ScenarioSpec spec = hot_spec();
+  ASSERT_EQ(interleaved_panel_axes(spec).size(), 1u);
+  EXPECT_EQ(interleaved_panel_axes(spec)[0],
+            sweep::SweepParameter::kPerformanceBound);
+
+  spec.sweep_parameter = sweep::SweepParameter::kSegments;
+  EXPECT_EQ(interleaved_panel_axes(spec)[0],
+            sweep::SweepParameter::kSegments);
+
+  spec.sweep_parameter.reset();
+  spec.all_panels = true;
+  const auto axes = interleaved_panel_axes(spec);
+  ASSERT_EQ(axes.size(), 2u);
+  EXPECT_EQ(axes[0], sweep::SweepParameter::kPerformanceBound);
+  EXPECT_EQ(axes[1], sweep::SweepParameter::kSegments);
+
+  spec.all_panels = false;  // kSolve: no panels
+  EXPECT_THROW((void)interleaved_panel_axes(spec), std::invalid_argument);
+  EXPECT_THROW(
+      (void)interleaved_panel_axes(parse_scenario("config=Hera/XScale")),
+      std::invalid_argument);
+}
+
+TEST(SolverContextInterleaved, OptInCacheMatchesDirectSolver) {
+  const ScenarioSpec spec = hot_spec();
+  const SolverContext context = spec.make_context();
+  ASSERT_TRUE(context.has_interleaved());
+  EXPECT_EQ(context.interleaved().max_segments(), 6u);
+
+  const core::InterleavedSolver direct(spec.resolve_params(), 6);
+  expect_identical_interleaved(context.solve_interleaved(5.0),
+                               direct.solve(5.0));
+  expect_identical_interleaved(context.solve_interleaved(5.0, 3),
+                               direct.solve_segments(5.0, 3));
+
+  // The regular solve path is untouched by the extra cache.
+  const SolverContext plain(spec.resolve_params());
+  EXPECT_FALSE(plain.has_interleaved());
+  EXPECT_THROW((void)plain.interleaved(), std::logic_error);
+  EXPECT_THROW((void)plain.solve_interleaved(5.0), std::logic_error);
+  test::expect_identical_pair(context.solve(3.0).best,
+                              plain.solve(3.0).best);
+}
+
+TEST(InterleavedScenario, SolveUsesFixedOrSearchedCount) {
+  ScenarioSpec spec = hot_spec();
+  spec.sweep_parameter.reset();
+  const core::InterleavedSolution searched =
+      solve_scenario_interleaved(spec);
+  ASSERT_TRUE(searched.feasible);
+  EXPECT_GT(searched.segments, 1u);
+
+  ScenarioSpec pinned = spec;
+  pinned.max_segments = 0;
+  pinned.segments = 2;
+  const core::InterleavedSolution fixed = solve_scenario_interleaved(pinned);
+  ASSERT_TRUE(fixed.feasible);
+  EXPECT_EQ(fixed.segments, 2u);
+
+  EXPECT_THROW(
+      (void)solve_scenario_interleaved(parse_scenario("config=Hera/XScale")),
+      std::invalid_argument);
+}
+
+TEST(SweepEngineInterleaved, ParallelPanelsAreBitIdenticalToSerial) {
+  // Both axes, a multi-worker engine vs a forced-serial one.
+  ScenarioSpec spec = hot_spec();
+  spec.all_panels = true;
+  spec.sweep_parameter.reset();
+  const SweepEngine parallel(SweepEngineOptions{.threads = 4});
+  const SweepEngine serial(SweepEngineOptions{.threads = 1});
+  ASSERT_NE(parallel.pool(), nullptr);
+  EXPECT_EQ(serial.pool(), nullptr);
+  const auto a = parallel.run_interleaved_scenario(spec);
+  const auto b = serial.run_interleaved_scenario(spec);
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    SCOPED_TRACE(sweep::to_string(a[p].parameter));
+    expect_identical_interleaved_series(a[p], b[p]);
+  }
+  // The segments panel carries the baseline at every x and x = m.
+  const sweep::InterleavedSeries& vs_m = a[1];
+  ASSERT_EQ(vs_m.points.size(), 6u);
+  for (std::size_t i = 0; i < vs_m.points.size(); ++i) {
+    EXPECT_EQ(vs_m.points[i].x, static_cast<double>(i + 1));
+    if (vs_m.points[i].best.feasible) {
+      EXPECT_LE(vs_m.points[i].best.energy_overhead,
+                vs_m.points[i].single.energy_overhead * (1.0 + 1e-9));
+    }
+  }
+}
+
+TEST(SweepEngineInterleaved, FixedSegmentCountStaysPinnedAcrossRhoPanel) {
+  // A `segments=M` scenario pins the count in panels exactly as it does
+  // in solves — it must never degrade into a best-m-under-M search.
+  ScenarioSpec pinned = hot_spec();
+  pinned.max_segments = 0;
+  pinned.segments = 3;
+  const SweepEngine engine(SweepEngineOptions{.threads = 1});
+  const sweep::InterleavedSeries panel = engine.run_interleaved(
+      pinned, sweep::SweepParameter::kPerformanceBound);
+  bool any_feasible = false;
+  for (const auto& point : panel.points) {
+    if (!point.best.feasible) continue;
+    any_feasible = true;
+    EXPECT_EQ(point.best.segments, 3u) << "x=" << point.x;
+    // Each panel point agrees with the solve path at the same bound.
+    ScenarioSpec at_x = pinned;
+    at_x.sweep_parameter.reset();
+    at_x.rho = point.x;
+    expect_identical_interleaved(point.best,
+                                 solve_scenario_interleaved(at_x));
+  }
+  EXPECT_TRUE(any_feasible);
+}
+
+TEST(SweepEngineInterleaved, RegularAndInterleavedEntryPointsAreDisjoint) {
+  const SweepEngine engine(SweepEngineOptions{.threads = 1});
+  // run_scenario refuses interleaved specs instead of dropping segments.
+  EXPECT_THROW((void)engine.run_scenario(hot_spec()), std::invalid_argument);
+  // run_interleaved_scenario refuses non-interleaved specs.
+  EXPECT_THROW(
+      (void)engine.run_interleaved_scenario(scenario_by_name("fig02")),
+      std::invalid_argument);
+}
+
+TEST(CampaignRunnerInterleaved, CampaignMatchesStandaloneRuns) {
+  // Acceptance criterion: interleaved panels through the flattened
+  // campaign stream are bit-identical to standalone SweepEngine runs —
+  // mixed with regular scenarios, parallel vs serial.
+  ScenarioSpec panels = hot_spec();
+  panels.all_panels = true;
+  panels.sweep_parameter.reset();
+  ScenarioSpec solve = hot_spec();
+  solve.name = "hot_solve";
+  solve.sweep_parameter.reset();
+  ScenarioSpec regular = scenario_by_name("fig02");
+  regular.points = 5;
+
+  const CampaignRunner runner(CampaignRunnerOptions{.threads = 4});
+  const auto results = runner.run({panels, regular, solve});
+  ASSERT_EQ(results.size(), 3u);
+
+  const SweepEngine serial(SweepEngineOptions{.threads = 1});
+  const auto reference = serial.run_interleaved_scenario(panels);
+  ASSERT_EQ(results[0].interleaved_panels.size(), reference.size());
+  EXPECT_TRUE(results[0].panels.empty());
+  for (std::size_t p = 0; p < reference.size(); ++p) {
+    expect_identical_interleaved_series(results[0].interleaved_panels[p],
+                                        reference[p]);
+  }
+
+  ASSERT_EQ(results[1].panels.size(), 1u);
+  test::expect_identical_series(
+      results[1].panels[0], serial.run_scenario(regular)[0]);
+
+  EXPECT_TRUE(results[2].interleaved_panels.empty());
+  EXPECT_TRUE(results[2].panels.empty());
+  expect_identical_interleaved(results[2].interleaved_solution,
+                               solve_scenario_interleaved(solve));
+
+  // And a serial campaign reproduces the parallel one bit for bit.
+  const auto serial_results =
+      CampaignRunner(CampaignRunnerOptions{.threads = 1})
+          .run({panels, regular, solve});
+  for (std::size_t p = 0; p < reference.size(); ++p) {
+    expect_identical_interleaved_series(
+        serial_results[0].interleaved_panels[p],
+        results[0].interleaved_panels[p]);
+  }
+  expect_identical_interleaved(serial_results[2].interleaved_solution,
+                               results[2].interleaved_solution);
+}
+
+TEST(CampaignRunnerInterleaved, ValidationHappensBeforeAnyTaskRuns) {
+  // λf ≠ 0 cannot reach the segmented closed forms inside a pool worker.
+  ScenarioSpec failstop = hot_spec();
+  failstop.sweep_parameter.reset();  // a solve: construction is deferred
+  failstop.overrides.push_back({"lambda_failstop", 1e-5});
+  EXPECT_THROW(CampaignRunner().run({failstop}), std::invalid_argument);
+
+  ScenarioSpec failstop_panel = hot_spec();
+  failstop_panel.overrides.push_back({"lambda_failstop", 1e-5});
+  EXPECT_THROW(CampaignRunner().run({failstop_panel}),
+               std::invalid_argument);
+
+  // Cross-field validation runs for campaign members too.
+  ScenarioSpec bad_axis = scenario_by_name("fig02");
+  bad_axis.sweep_parameter = sweep::SweepParameter::kSegments;
+  EXPECT_THROW(CampaignRunner().run({bad_axis}), std::invalid_argument);
+}
+
+TEST(InterleavedScenario, RegistryScenariosRunEndToEnd) {
+  // The registered extension scenarios are runnable as shipped (small
+  // grids keep this fast).
+  ScenarioSpec vs_rho = scenario_by_name("interleaved_rho");
+  vs_rho.points = 5;
+  const SweepEngine engine(SweepEngineOptions{.threads = 1});
+  const auto rho_panels = engine.run_interleaved_scenario(vs_rho);
+  ASSERT_EQ(rho_panels.size(), 1u);
+  EXPECT_EQ(rho_panels[0].points.size(), 5u);
+
+  ScenarioSpec vs_m = scenario_by_name("interleaved_segments");
+  const auto m_panels = engine.run_interleaved_scenario(vs_m);
+  ASSERT_EQ(m_panels.size(), 1u);
+  EXPECT_EQ(m_panels[0].points.size(), 8u);
+  // In its hot regime, segmentation strictly beats the paper pattern.
+  EXPECT_GT(m_panels[0].max_energy_saving(), 0.05);
+}
+
+}  // namespace
+}  // namespace rexspeed::engine

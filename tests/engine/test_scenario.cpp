@@ -85,23 +85,40 @@ TEST(ScenarioParse, OverrideValidationFailsAtResolveTimeForBadValues) {
   EXPECT_THROW(spec.resolve_params(), std::invalid_argument);
 }
 
-TEST(ScenarioRegistry, CoversTheThirteenPaperFigures) {
+TEST(ScenarioRegistry, CoversThePaperFiguresAndInterleavedExtensions) {
   const auto& registry = scenario_registry();
-  ASSERT_EQ(registry.size(), 13u);
+  ASSERT_EQ(registry.size(), 15u);
   EXPECT_EQ(registry.front().name, "fig02");
-  EXPECT_EQ(registry.back().name, "fig14");
   int panels = 0;
   int composites = 0;
+  int interleaved = 0;
   for (const auto& spec : registry) {
     ASSERT_FALSE(spec.description.empty()) << spec.name;
     // Every registered configuration must actually exist.
     EXPECT_NO_THROW(platform::configuration_by_name(spec.configuration))
         << spec.name;
+    if (spec.interleaved()) {
+      ++interleaved;
+      continue;
+    }
     if (spec.kind() == ScenarioKind::kSweep) ++panels;
     if (spec.kind() == ScenarioKind::kAllSweeps) ++composites;
   }
-  EXPECT_EQ(panels, 6);      // Figures 2–7
-  EXPECT_EQ(composites, 7);  // Figures 8–14
+  EXPECT_EQ(panels, 6);       // Figures 2–7
+  EXPECT_EQ(composites, 7);   // Figures 8–14
+  EXPECT_EQ(interleaved, 2);  // the related-work extension panels
+
+  // The interleaved extensions are well-formed: a best-m ρ sweep and an
+  // overhead-vs-segments grid, both with a search cap.
+  const ScenarioSpec& vs_rho = scenario_by_name("interleaved_rho");
+  EXPECT_EQ(vs_rho.sweep_parameter,
+            sweep::SweepParameter::kPerformanceBound);
+  EXPECT_EQ(vs_rho.max_segments, 8u);
+  EXPECT_NO_THROW(vs_rho.validate());
+  const ScenarioSpec& vs_m = scenario_by_name("interleaved_segments");
+  EXPECT_EQ(vs_m.sweep_parameter, sweep::SweepParameter::kSegments);
+  EXPECT_EQ(vs_m.max_segments, 8u);
+  EXPECT_NO_THROW(vs_m.validate());
 }
 
 TEST(ScenarioRegistry, LookupByName) {

@@ -44,6 +44,8 @@ void expect_equivalent(const ScenarioSpec& a, const ScenarioSpec& b) {
   EXPECT_EQ(a.kind(), b.kind());
   EXPECT_EQ(a.sweep_parameter, b.sweep_parameter);
   EXPECT_EQ(a.all_panels, b.all_panels);
+  EXPECT_EQ(a.segments, b.segments);
+  EXPECT_EQ(a.max_segments, b.max_segments);
   EXPECT_EQ(a.rho, b.rho);          // same grid: ρ bound...
   EXPECT_EQ(a.points, b.points);    // ...and point count
   EXPECT_EQ(a.policy, b.policy);
@@ -78,6 +80,27 @@ TEST(ScenarioWrite, RoundTripsOverridesAndNonDefaultSettings) {
       "param=lambda policy=single-speed mode=exact-eval fallback=0 "
       "V=123.456 lambda=3.1e-05 Pio=77");
   expect_equivalent(parse_scenario(write_scenario(spec)), spec);
+}
+
+TEST(ScenarioWrite, RoundTripsInterleavedKeys) {
+  // The new scenario dimension survives the full cycle in both flavors:
+  // a fixed count and a search cap (they are mutually exclusive, so two
+  // specs). The default (no interleaved mode) must emit no segments line
+  // at all, keeping pre-existing files byte-stable.
+  const ScenarioSpec fixed = parse_scenario(
+      "name=pinned config=Hera/XScale rho=4 segments=3 param=none");
+  expect_equivalent(parse_scenario(write_scenario(fixed)), fixed);
+  EXPECT_NE(write_scenario(fixed).find("segments=3\n"), std::string::npos);
+
+  const ScenarioSpec searched = parse_scenario(
+      "name=searched config=Hera/XScale rho=5 max_segments=8 "
+      "param=segments lambda=0.001 V=1");
+  expect_equivalent(parse_scenario(write_scenario(searched)), searched);
+  EXPECT_NE(write_scenario(searched).find("max_segments=8\n"),
+            std::string::npos);
+
+  EXPECT_EQ(write_scenario(scenario_by_name("fig02")).find("segments"),
+            std::string::npos);
 }
 
 TEST_F(ScenarioFileTest, LoadsKeysCommentsAndMultiWordDescriptions) {
@@ -183,6 +206,88 @@ TEST_F(ScenarioFileTest, MalformedFilesCiteFileAndLine) {
 
   EXPECT_THROW((void)load_scenario_file((dir_ / "missing.scenario").string()),
                std::invalid_argument);
+}
+
+TEST_F(ScenarioFileTest, InterleavedKeysRoundTripThroughFilesAndAreValidated) {
+  // Happy path: both interleaved panel axes load from a file and survive
+  // save_scenario_file → load_scenario_file.
+  const std::string path = write_file("night_crossval.scenario",
+                                      "config=Hera/XScale\n"
+                                      "rho=5\n"
+                                      "max_segments=8   # search cap\n"
+                                      "param=segments\n"
+                                      "lambda=1e-3\n"
+                                      "V=1\n");
+  const ScenarioSpec spec = load_scenario_file(path);
+  EXPECT_EQ(spec.name, "night_crossval");
+  EXPECT_TRUE(spec.interleaved());
+  EXPECT_EQ(spec.max_segments, 8u);
+  EXPECT_EQ(spec.sweep_parameter, sweep::SweepParameter::kSegments);
+
+  const std::string saved = (dir_ / "resaved.scenario").string();
+  save_scenario_file(spec, saved);
+  expect_equivalent(load_scenario_file(saved), spec);
+
+  // Out-of-range: segments=0 is rejected with the exact file:line.
+  const std::string zero = write_file(
+      "zero.scenario", "config=Hera/XScale\nsegments=0\n");
+  try {
+    (void)load_scenario_file(zero);
+    FAIL() << "segments=0 must throw";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find(zero + ":2"), std::string::npos) << message;
+    EXPECT_NE(message.find("segments"), std::string::npos) << message;
+  }
+
+  // Cross-field validation failures cite the file too.
+  const std::string axis_only = write_file(
+      "axis_only.scenario", "config=Hera/XScale\nparam=segments\n");
+  try {
+    (void)load_scenario_file(axis_only);
+    FAIL() << "param=segments without interleaved mode must throw";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find(axis_only),
+              std::string::npos);
+  }
+}
+
+TEST_F(ScenarioFileTest, DuplicateKeysAreRejectedWithBothLines) {
+  // A repeated key would silently keep only the later value (and apply a
+  // model override twice); the loader rejects it citing both lines.
+  const std::string dup = write_file("dup.scenario",
+                                     "config=Hera/XScale\n"
+                                     "max_segments=4\n"
+                                     "# comment line\n"
+                                     "max_segments=8\n");
+  try {
+    (void)load_scenario_file(dup);
+    FAIL() << "duplicate keys must throw";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find(dup + ":4"), std::string::npos) << message;
+    EXPECT_NE(message.find("duplicate key 'max_segments'"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  }
+
+  // Override keys too — V=500 twice is a lost value, not a merge.
+  const std::string dup_override = write_file(
+      "dup_override.scenario", "config=Hera/XScale\nV=500\nV=600\n");
+  EXPECT_THROW((void)load_scenario_file(dup_override),
+               std::invalid_argument);
+
+  // parse_scenario keeps its lenient last-wins semantics for repeated
+  // override keys, but the spec then carries ONE override per key — so
+  // the program's own save output is always loadable again.
+  const ScenarioSpec spec =
+      parse_scenario("name=dup config=Hera/XScale V=500 V=600");
+  ASSERT_EQ(spec.overrides.size(), 1u);
+  EXPECT_EQ(spec.overrides[0].value, 600.0);
+  const std::string saved = (dir_ / "dedup.scenario").string();
+  save_scenario_file(spec, saved);
+  expect_equivalent(load_scenario_file(saved), spec);
 }
 
 TEST_F(ScenarioFileTest, DirectoryLoadsInSortedOrderIgnoringOtherFiles) {

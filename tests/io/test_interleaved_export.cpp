@@ -1,0 +1,111 @@
+// Golden-file test for the campaign CSV/gnuplot export of an interleaved
+// scenario: the exported artifacts must be BYTE-exact against checked-in
+// fixtures (tests/io/golden/), exercising figure_file_stem and
+// export_csv_figure/export_gnuplot_figure end to end. Any intentional
+// format or solver change must regenerate the fixtures (see the scenario
+// spec in the same directory:
+//   rexspeed campaign --scenario-dir=tests/io/golden
+//                     --scenarios=golden_interleaved --out-dir=...).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "rexspeed/engine/campaign_runner.hpp"
+#include "rexspeed/engine/scenario_file.hpp"
+#include "rexspeed/io/csv_writer.hpp"
+#include "rexspeed/io/gnuplot_writer.hpp"
+
+namespace rexspeed::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The checked-in fixture directory, located relative to this source file
+/// so the test is independent of the ctest working directory.
+fs::path golden_dir() {
+  return fs::path(__FILE__).parent_path() / "golden";
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class InterleavedGolden : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    out_dir_ = fs::temp_directory_path() / "rexspeed_interleaved_golden";
+    fs::remove_all(out_dir_);
+    fs::create_directories(out_dir_);
+  }
+  void TearDown() override { fs::remove_all(out_dir_); }
+
+  fs::path out_dir_;
+};
+
+TEST_F(InterleavedGolden, CampaignExportIsByteExact) {
+  // The spec comes from the checked-in scenario file, so the fixture
+  // directory fully describes how to regenerate itself.
+  const engine::ScenarioSpec spec = engine::load_scenario_file(
+      (golden_dir() / "golden_interleaved.scenario").string());
+  ASSERT_TRUE(spec.interleaved());
+  ASSERT_EQ(spec.kind(), engine::ScenarioKind::kAllSweeps);
+
+  const engine::ScenarioResult result =
+      engine::CampaignRunner(engine::CampaignRunnerOptions{.threads = 2})
+          .run_one(spec);
+  ASSERT_EQ(result.interleaved_panels.size(), 2u);
+
+  EXPECT_EQ(figure_file_stem(result.interleaved_panels[0]),
+            "Hera_XScale_interleaved_rho");
+  EXPECT_EQ(figure_file_stem(result.interleaved_panels[1]),
+            "Hera_XScale_interleaved_segments");
+
+  for (const auto& panel : result.interleaved_panels) {
+    const auto csv_stem = export_csv_figure(panel, out_dir_.string());
+    const auto gp_stem = export_gnuplot_figure(panel, out_dir_.string());
+    ASSERT_TRUE(csv_stem.has_value());
+    ASSERT_TRUE(gp_stem.has_value());
+    EXPECT_EQ(*csv_stem, *gp_stem);  // artifacts share one stem
+    for (const char* extension : {".csv", ".dat", ".gp"}) {
+      const std::string filename = *csv_stem + extension;
+      SCOPED_TRACE(filename);
+      EXPECT_EQ(read_file(out_dir_ / filename),
+                read_file(golden_dir() / filename));
+    }
+  }
+}
+
+TEST_F(InterleavedGolden, GoldenFixturesHaveExpectedShape) {
+  // Guard the fixtures themselves: headers carry the interleaved columns,
+  // infeasible points render as '?' gaps in the .dat (the ρ panel starts
+  // below the feasibility horizon), and the CSV has one row per point.
+  const std::string dat =
+      read_file(golden_dir() / "Hera_XScale_interleaved_rho.dat");
+  EXPECT_EQ(dat.rfind("# rho best_m sigma1 sigma2 Wopt energy time "
+                      "energy1 saving\n",
+                      0),
+            0u);
+  EXPECT_NE(dat.find(" ? "), std::string::npos);
+
+  const std::string csv =
+      read_file(golden_dir() / "Hera_XScale_interleaved_segments.csv");
+  EXPECT_EQ(csv.rfind("segments,best_m,sigma1,sigma2,Wopt,energy,time,"
+                      "energy1,saving\n",
+                      0),
+            0u);
+  // 4 segment counts (max_segments=4) + header.
+  std::size_t lines = 0;
+  for (const char ch : csv) lines += ch == '\n';
+  EXPECT_EQ(lines, 5u);
+}
+
+}  // namespace
+}  // namespace rexspeed::io

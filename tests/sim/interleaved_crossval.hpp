@@ -1,0 +1,70 @@
+#pragma once
+
+// Reusable simulator-vs-model cross-validation fixture for interleaved
+// (segmented) verification patterns: Monte-Carlo-estimates the time and
+// energy overheads of an ExecutionPolicy::segmented run and asserts
+// agreement with the interleaved closed forms within a seeded confidence
+// interval. The tolerance is derived from the replications' Welford
+// standard error (stats/welford.hpp): `sigmas` standard errors of the
+// mean, plus an epsilon for the error-free case where the variance
+// collapses to zero.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "rexspeed/core/interleaved.hpp"
+#include "rexspeed/sim/monte_carlo.hpp"
+#include "rexspeed/sim/simulator.hpp"
+
+namespace rexspeed::test {
+
+struct CrossValOptions {
+  std::size_t replications = 300;
+  /// Whole patterns simulated per replication (more patterns → tighter
+  /// per-replication estimate of the overheads).
+  double patterns_per_replication = 60.0;
+  /// Seeds are fixed so CI runs are reproducible; vary the seed per case,
+  /// never per run.
+  std::uint64_t base_seed = 0x1A7E;
+  /// Widened interval: with many (segment count × metric) combinations
+  /// under test, a plain 95% interval would flake. 4.5 standard errors
+  /// keeps the family-wise false-alarm rate negligible while still
+  /// detecting real model/simulator mismatches (a 1% bias in either is
+  /// many standard errors at these replication counts).
+  double sigmas = 4.5;
+};
+
+/// Runs the segmented policy (work, segments, σ1, σ2) under the
+/// fault-injection simulator and asserts the observed mean time/energy
+/// overheads match expected_time_interleaved / expected_energy_interleaved
+/// within `sigmas` Welford standard errors.
+inline void expect_simulator_matches_interleaved_model(
+    const core::ModelParams& params, double work, unsigned segments,
+    double sigma1, double sigma2, const CrossValOptions& options = {}) {
+  SCOPED_TRACE("segments=" + std::to_string(segments));
+  const sim::Simulator simulator(params);
+  const sim::ExecutionPolicy policy =
+      sim::ExecutionPolicy::segmented(work, segments, sigma1, sigma2);
+  sim::MonteCarloOptions mc_options;
+  mc_options.replications = options.replications;
+  mc_options.total_work = options.patterns_per_replication * work;
+  mc_options.base_seed = options.base_seed + segments;
+  const sim::MonteCarloResult mc =
+      sim::run_monte_carlo(simulator, policy, mc_options);
+
+  const double expected_t =
+      core::expected_time_interleaved(params, work, segments, sigma1,
+                                      sigma2) /
+      work;
+  const double expected_e =
+      core::expected_energy_interleaved(params, work, segments, sigma1,
+                                        sigma2) /
+      work;
+  EXPECT_NEAR(mc.time_overhead.mean(), expected_t,
+              options.sigmas * mc.time_overhead.standard_error() + 1e-12);
+  EXPECT_NEAR(mc.energy_overhead.mean(), expected_e,
+              options.sigmas * mc.energy_overhead.standard_error() + 1e-9);
+}
+
+}  // namespace rexspeed::test

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/core/interleaved.hpp"
 #include "rexspeed/core/model_params.hpp"
 #include "rexspeed/platform/configuration.hpp"
 #include "rexspeed/sweep/figure_sweeps.hpp"
+#include "rexspeed/sweep/interleaved_sweeps.hpp"
 
 namespace rexspeed::test {
 
@@ -62,6 +64,34 @@ inline void expect_identical_series(const sweep::FigureSeries& a,
               b.points[i].single_speed_fallback);
     expect_identical_pair(a.points[i].two_speed, b.points[i].two_speed);
     expect_identical_pair(a.points[i].single_speed, b.points[i].single_speed);
+  }
+}
+
+/// Bit-identity check for an interleaved solution — the segmented
+/// counterpart of expect_identical_pair.
+inline void expect_identical_interleaved(const core::InterleavedSolution& a,
+                                         const core::InterleavedSolution& b) {
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.segments, b.segments);
+  EXPECT_EQ(a.sigma1, b.sigma1);
+  EXPECT_EQ(a.sigma2, b.sigma2);
+  EXPECT_EQ(a.w_opt, b.w_opt);
+  EXPECT_EQ(a.energy_overhead, b.energy_overhead);
+  EXPECT_EQ(a.time_overhead, b.time_overhead);
+}
+
+/// Bit-identity check for a whole interleaved panel.
+inline void expect_identical_interleaved_series(
+    const sweep::InterleavedSeries& a, const sweep::InterleavedSeries& b) {
+  EXPECT_EQ(a.parameter, b.parameter);
+  EXPECT_EQ(a.configuration, b.configuration);
+  EXPECT_EQ(a.rho, b.rho);
+  EXPECT_EQ(a.max_segments, b.max_segments);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].x, b.points[i].x);
+    expect_identical_interleaved(a.points[i].best, b.points[i].best);
+    expect_identical_interleaved(a.points[i].single, b.points[i].single);
   }
 }
 

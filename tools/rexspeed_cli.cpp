@@ -1,12 +1,15 @@
 // rexspeed — unified command-line front end for the library.
 //
 //   rexspeed solve     --config=Hera/XScale --rho=3 [--exact] [--single]
+//                      [--segments=M | --max-segments=M]
 //   rexspeed pairs     --config=Hera/XScale --rho=3
 //   rexspeed sweep     --config=Atlas/Crusoe --param=C [--points=51]
 //                      [--threads=N] [--out-dir=DIR]
 //   rexspeed sweep     --scenario=fig08 [--out-dir=DIR]
+//   rexspeed sweep     --config=Hera/XScale --max-segments=8
+//                      [--param={rho,segments,all}]
 //   rexspeed simulate  --config=Hera/XScale --rho=3 --work=1e6
-//                      [--reps=200] [--seed=1] [--boost=50]
+//                      [--reps=200] [--seed=1] [--boost=50] [--segments=M]
 //   rexspeed plan      --config=Coastal/XScale --rho=2 --days=90
 //   rexspeed campaign  [--scenario-dir=DIR] [--scenarios=NAME,NAME,...]
 //                      [--points=N] [--threads=N] [--out-dir=DIR]
@@ -23,6 +26,7 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -50,15 +54,18 @@ int usage() {
       "usage: rexspeed <command> [options]\n"
       "  solve     optimal speed pair + pattern size for a bound\n"
       "            --config=NAME --rho=R [--exact] [--single]\n"
+      "            [--segments=M | --max-segments=M]  interleaved mode\n"
       "  pairs     the per-sigma1 best-second-speed table (paper 4.2)\n"
       "            --config=NAME --rho=R\n"
       "  sweep     one paper figure panel (or a full composite)\n"
       "            --config=NAME --param={C,V,lambda,rho,Pidle,Pio,all}\n"
       "            [--points=N] [--rho=R] [--threads=N] [--out-dir=DIR]\n"
       "            or: --scenario=NAME (see `rexspeed scenarios`)\n"
+      "            with --segments/--max-segments: interleaved panels\n"
+      "            (--param={rho,segments,all})\n"
       "  simulate  Monte-Carlo validation of the optimal policy\n"
       "            --config=NAME --rho=R [--work=W] [--reps=N]\n"
-      "            [--seed=S] [--boost=B]\n"
+      "            [--seed=S] [--boost=B] [--segments=M]\n"
       "  plan      application-level campaign plan\n"
       "            --config=NAME --rho=R --days=D\n"
       "  campaign  batch of scenarios through one flattened task stream\n"
@@ -85,6 +92,21 @@ engine::ScenarioSpec scenario_from(const io::ArgParser& args) {
   }
   if (const auto param = args.get("param")) {
     engine::apply_token(spec, "param", *param);
+  }
+  const auto segments = args.get("segments");
+  const auto max_segments = args.get("max-segments");
+  if (segments && max_segments) {
+    throw std::invalid_argument(
+        "--segments and --max-segments are mutually exclusive (a fixed "
+        "count or a search cap, not both)");
+  }
+  if (segments) {
+    spec.max_segments = 0;  // the flag overrides a registry search cap
+    engine::apply_token(spec, "segments", *segments);
+  }
+  if (max_segments) {
+    spec.segments = 0;  // and vice versa
+    engine::apply_token(spec, "max_segments", *max_segments);
   }
   if (args.has_flag("single")) {
     spec.policy = core::SpeedPolicy::kSingleSpeed;
@@ -119,12 +141,13 @@ int cmd_scenarios() {
   io::TableWriter table(
       {"scenario", "configuration", "kind", "description"});
   for (const auto& spec : engine::scenario_registry()) {
-    const char* kind = "solve";
+    std::string kind = "solve";
     if (spec.kind() == engine::ScenarioKind::kSweep) {
       kind = sweep::to_string(*spec.sweep_parameter);
     } else if (spec.kind() == engine::ScenarioKind::kAllSweeps) {
       kind = "all sweeps";
     }
+    if (spec.interleaved()) kind = "interleaved " + kind;
     table.add_row({spec.name, spec.configuration, kind, spec.description});
   }
   std::printf("%s", table.str().c_str());
@@ -136,6 +159,21 @@ int cmd_scenarios() {
 
 int cmd_solve(const io::ArgParser& args) {
   const auto spec = scenario_from(args);
+  if (spec.interleaved()) {
+    const auto sol = engine::solve_scenario_interleaved(spec);
+    if (!sol.feasible) {
+      std::printf("infeasible: no segmented pattern satisfies rho = %g "
+                  "(up to %u segments)\n",
+                  spec.rho, spec.segment_limit());
+      return 1;
+    }
+    std::printf("sigma1 = %.2f  sigma2 = %.2f  Wopt = %.1f  "
+                "segments = %u\n",
+                sol.sigma1, sol.sigma2, sol.w_opt, sol.segments);
+    std::printf("E/W = %.2f mW   T/W = %.4f s per work unit (bound %g)\n",
+                sol.energy_overhead, sol.time_overhead, spec.rho);
+    return 0;
+  }
   const engine::SolverContext context = spec.make_context();
   const auto sol = context.solve(spec.rho, spec.policy, spec.mode);
   if (!sol.feasible) {
@@ -176,8 +214,7 @@ int cmd_pairs(const io::ArgParser& args) {
   return 0;
 }
 
-void print_series(const sweep::FigureSeries& series) {
-  const sweep::Series flat = to_series(series);
+void print_series(const sweep::Series& flat) {
   io::TableWriter table([&] {
     io::Row header{flat.x_name()};
     for (const auto& column : flat.column_names()) header.push_back(column);
@@ -193,9 +230,8 @@ void print_series(const sweep::FigureSeries& series) {
   std::printf("%s", table.str().c_str());
 }
 
-int export_series(const sweep::FigureSeries& series,
+int report_export(const std::optional<std::string>& stem,
                   const std::string& out_dir) {
-  const auto stem = io::export_gnuplot_figure(series, out_dir);
   if (!stem) {
     std::fprintf(stderr, "error: cannot write to --out-dir=%s\n",
                  out_dir.c_str());
@@ -203,6 +239,16 @@ int export_series(const sweep::FigureSeries& series,
   }
   std::printf("wrote %s/%s.dat and .gp\n", out_dir.c_str(), stem->c_str());
   return 0;
+}
+
+int export_series(const sweep::FigureSeries& series,
+                  const std::string& out_dir) {
+  return report_export(io::export_gnuplot_figure(series, out_dir), out_dir);
+}
+
+int export_series(const sweep::InterleavedSeries& series,
+                  const std::string& out_dir) {
+  return report_export(io::export_gnuplot_figure(series, out_dir), out_dir);
 }
 
 int cmd_sweep(const io::ArgParser& args) {
@@ -213,15 +259,18 @@ int cmd_sweep(const io::ArgParser& args) {
     spec.configuration = "Atlas/Crusoe";
   }
   if (spec.kind() == engine::ScenarioKind::kSolve) {
-    // Bare `rexspeed sweep` defaults to the Figure 2 checkpoint sweep; an
-    // EXPLICIT --param=none asked for no sweep and must not be rewritten.
+    // Bare `rexspeed sweep` defaults to the Figure 2 checkpoint sweep (or
+    // the ρ panel in interleaved mode); an EXPLICIT --param=none asked
+    // for no sweep and must not be rewritten.
     if (args.get("param")) {
       std::fprintf(stderr,
                    "error: --param=none is a solve, not a sweep; use "
                    "`rexspeed solve` (or `rexspeed campaign`)\n");
       return 2;
     }
-    spec.sweep_parameter = sweep::SweepParameter::kCheckpointTime;
+    spec.sweep_parameter = spec.interleaved()
+                               ? sweep::SweepParameter::kPerformanceBound
+                               : sweep::SweepParameter::kCheckpointTime;
   }
   const long threads = args.get_long_or("threads", 0);
   if (threads < 0) {
@@ -234,11 +283,21 @@ int cmd_sweep(const io::ArgParser& args) {
   engine::SweepEngineOptions engine_options;
   engine_options.threads = static_cast<unsigned>(threads);
   const engine::SweepEngine engine(engine_options);
-  const auto panels = engine.run_scenario(spec);
   const std::string out_dir = args.get_or("out-dir", "");
+  if (spec.interleaved()) {
+    for (const auto& series : engine.run_interleaved_scenario(spec)) {
+      if (out_dir.empty()) {
+        print_series(to_series(series));
+      } else if (const int status = export_series(series, out_dir)) {
+        return status;
+      }
+    }
+    return 0;
+  }
+  const auto panels = engine.run_scenario(spec);
   for (const auto& series : panels) {
     if (out_dir.empty()) {
-      print_series(series);
+      print_series(to_series(series));
     } else if (const int status = export_series(series, out_dir)) {
       return status;
     }
@@ -250,6 +309,46 @@ int cmd_simulate(const io::ArgParser& args) {
   const auto spec = scenario_from(args);
   auto params = spec.resolve_params();
   const double boost = args.get_double_or("boost", 50.0);
+  if (spec.interleaved()) {
+    // Interleaved mode: simulate the segmented policy and compare against
+    // the interleaved closed forms at the boosted error rate.
+    const auto sol = engine::solve_scenario_interleaved(spec);
+    if (!sol.feasible) {
+      std::printf("infeasible bound\n");
+      return 1;
+    }
+    params.lambda_silent *= boost;
+    const sim::Simulator simulator(params);
+    sim::MonteCarloOptions options;
+    options.replications =
+        static_cast<std::size_t>(args.get_long_or("reps", 200));
+    options.total_work = args.get_double_or("work", 50.0 * sol.w_opt);
+    options.base_seed =
+        static_cast<std::uint64_t>(args.get_long_or("seed", 1));
+    const auto mc = sim::run_monte_carlo(
+        simulator,
+        sim::ExecutionPolicy::segmented(sol.w_opt, sol.segments, sol.sigma1,
+                                        sol.sigma2),
+        options);
+    const double t_model = core::expected_time_interleaved(
+                               params, sol.w_opt, sol.segments, sol.sigma1,
+                               sol.sigma2) /
+                           sol.w_opt;
+    const double e_model = core::expected_energy_interleaved(
+                               params, sol.w_opt, sol.segments, sol.sigma1,
+                               sol.sigma2) /
+                           sol.w_opt;
+    std::printf("policy (%.2f, %.2f), W = %.0f, %u segments, lambda "
+                "boosted x%g\n",
+                sol.sigma1, sol.sigma2, sol.w_opt, sol.segments, boost);
+    std::printf("T/W: model %.4f | simulated %.4f +/- %.4f\n", t_model,
+                mc.time_overhead.mean(), mc.time_ci.half_width());
+    std::printf("E/W: model %.2f | simulated %.2f +/- %.2f\n", e_model,
+                mc.energy_overhead.mean(), mc.energy_ci.half_width());
+    std::printf("errors/run: %.1f silent detected\n",
+                mc.silent_errors.mean());
+    return 0;
+  }
   const engine::SolverContext context(params);
   const auto sol = context.solve(spec.rho, spec.policy, spec.mode);
   if (!sol.feasible) {
@@ -339,9 +438,39 @@ int cmd_campaign(const io::ArgParser& args) {
       {"scenario", "configuration", "kind", "panels", "result"});
   for (const auto& result : results) {
     const auto& spec = result.spec;
+    const std::size_t panel_count =
+        result.panels.size() + result.interleaved_panels.size();
     std::string kind = "solve";
     std::string outcome;
-    if (spec.kind() == engine::ScenarioKind::kSolve) {
+    if (spec.interleaved() &&
+        spec.kind() == engine::ScenarioKind::kSolve) {
+      kind = "interleaved solve";
+      char buffer[96];
+      const auto& sol = result.interleaved_solution;
+      if (sol.feasible) {
+        std::snprintf(buffer, sizeof buffer,
+                      "(%.2f, %.2f) m=%u Wopt=%.0f E/W=%.1f", sol.sigma1,
+                      sol.sigma2, sol.segments, sol.w_opt,
+                      sol.energy_overhead);
+      } else {
+        std::snprintf(buffer, sizeof buffer, "infeasible at rho=%g",
+                      spec.rho);
+      }
+      outcome = buffer;
+    } else if (spec.interleaved()) {
+      kind = spec.kind() == engine::ScenarioKind::kSweep
+                 ? std::string("interleaved ") +
+                       sweep::to_string(*spec.sweep_parameter)
+                 : "interleaved all";
+      double max_saving = 0.0;
+      for (const auto& panel : result.interleaved_panels) {
+        max_saving = std::max(max_saving, panel.max_energy_saving());
+      }
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "max saving %.1f%% vs m=1",
+                    100.0 * max_saving);
+      outcome = buffer;
+    } else if (spec.kind() == engine::ScenarioKind::kSolve) {
       char buffer[96];
       if (result.solution.feasible) {
         std::snprintf(buffer, sizeof buffer,
@@ -368,22 +497,29 @@ int cmd_campaign(const io::ArgParser& args) {
       outcome = buffer;
     }
     table.add_row({spec.name, spec.configuration, kind,
-                   std::to_string(result.panels.size()), outcome});
+                   std::to_string(panel_count), outcome});
 
-    if (!out_dir.empty() && !result.panels.empty()) {
+    if (!out_dir.empty() && panel_count > 0) {
       const std::string scenario_dir = out_dir + "/" + spec.name;
       std::error_code ec;
       std::filesystem::create_directories(scenario_dir, ec);
-      for (const auto& panel : result.panels) {
+      const auto export_panel = [&](const auto& panel) {
         const auto gp = io::export_gnuplot_figure(panel, scenario_dir);
         const auto csv = io::export_csv_figure(panel, scenario_dir);
         if (!gp || !csv) {
           std::fprintf(stderr, "error: cannot write to %s\n",
                        scenario_dir.c_str());
-          return 1;
+          return false;
         }
         std::printf("wrote %s/%s.{dat,gp,csv}\n", scenario_dir.c_str(),
                     gp->c_str());
+        return true;
+      };
+      for (const auto& panel : result.panels) {
+        if (!export_panel(panel)) return 1;
+      }
+      for (const auto& panel : result.interleaved_panels) {
+        if (!export_panel(panel)) return 1;
       }
     }
   }
