@@ -109,7 +109,9 @@ PairSolution BiCritSolver::solve_cached_pair(double rho,
   sol.rho_min = pair.rho_min;
   if (!sol.first_order_valid) {
     // Outside the validity window of §5.2 the closed form is meaningless;
-    // callers should switch to kExactOptimize.
+    // this pair only has an answer in kExactOptimize — served cheaply by
+    // the cached ExactSolver backend (exact_solver.hpp), which engine
+    // contexts build for exact-mode scenarios.
     sol.feasible = false;
     return sol;
   }

@@ -24,7 +24,11 @@ enum class EvalMode {
   kExactEvaluation,  ///< Theorem 1 pattern size, overheads re-evaluated with
                      ///< the exact expectations
   kExactOptimize,    ///< full numeric optimization of the exact model
-                     ///< (valid outside the first-order window)
+                     ///< (valid outside the first-order window). Through
+                     ///< BiCritSolver this re-optimizes per bound; repeated
+                     ///< solves (ρ sweeps) should use the cached ExactSolver
+                     ///< backend (exact_solver.hpp) instead — engine
+                     ///< contexts and ρ panels route there automatically.
 };
 
 /// Everything about a speed pair (σ1, σ2) that depends only on the model
@@ -107,7 +111,15 @@ struct BiCritSolution {
 /// per-pair ρ_min and validity flags; solve/solve_pair/min_rho_solution
 /// afterwards are cheap lookups plus feasibility math. Reusing one solver
 /// across many bounds (a ρ sweep) therefore costs the expansions once —
-/// engine::SolverContext builds on exactly this property.
+/// engine::SolverContext builds on exactly this property. The exception
+/// is kExactOptimize, whose per-bound numeric optimization this cache
+/// cannot help; the ExactSolver backend (exact_solver.hpp) is its cached
+/// counterpart.
+///
+/// Thread-safety contract (shared by ExactSolver and InterleavedSolver):
+/// immutable after construction — every member function is const and
+/// reads only the construction-time cache, so one solver is safe to
+/// share across threads without synchronization.
 class BiCritSolver {
  public:
   explicit BiCritSolver(ModelParams params);

@@ -1,0 +1,183 @@
+#include "rexspeed/core/exact_solver.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "rexspeed/core/exact_expectations.hpp"
+#include "rexspeed/core/first_order.hpp"
+
+namespace rexspeed::core {
+
+ExactExpansion ExactExpansion::make(const ModelParams& params, double sigma1,
+                                    double sigma2, int index1, int index2,
+                                    const NumericOptions& options) {
+  ExactExpansion pair;
+  pair.sigma1 = sigma1;
+  pair.sigma2 = sigma2;
+  pair.index1 = index1;
+  pair.index2 = index2;
+
+  // Warm-start seeds: inside the §5.2 validity window the closed-form
+  // argmins √(z/y) land within O(λW) of the exact optima, so the numeric
+  // bracket starts there instead of growing from W = 1. A seed of 0 (no
+  // interior closed-form minimum) falls back to the cold-start bracket.
+  const OverheadExpansion time_exp = time_expansion(params, sigma1, sigma2);
+  const OverheadExpansion energy_exp =
+      energy_expansion(params, sigma1, sigma2);
+  pair.first_order_valid = time_exp.y > 0.0 && energy_exp.y > 0.0;
+  const double time_seed =
+      time_exp.has_interior_minimum() ? time_exp.argmin() : 0.0;
+  const double energy_seed =
+      energy_exp.has_interior_minimum() ? energy_exp.argmin() : 0.0;
+
+  const auto time_per_work = [&](double w) {
+    return time_overhead(params, w, sigma1, sigma2);
+  };
+  const auto energy_per_work = [&](double w) {
+    return energy_overhead(params, w, sigma1, sigma2);
+  };
+  pair.w_time = minimize_unimodal_overhead(time_per_work, time_seed, options);
+  pair.rho_min = time_per_work(pair.w_time);
+  pair.w_energy =
+      minimize_unimodal_overhead(energy_per_work, energy_seed, options);
+  pair.energy_min = energy_per_work(pair.w_energy);
+  pair.time_at_we = time_per_work(pair.w_energy);
+  return pair;
+}
+
+ExactSolver::ExactSolver(ModelParams params, const ParallelFor& parallel_build)
+    : params_(std::move(params)) {
+  params_.validate();
+  const std::size_t k = params_.speeds.size();
+  cache_.resize(k * k);
+  const auto build = [this, k](std::size_t index) {
+    const std::size_t i = index / k;
+    const std::size_t j = index % k;
+    cache_[index] = ExactExpansion::make(
+        params_, params_.speeds[i], params_.speeds[j], static_cast<int>(i),
+        static_cast<int>(j), options_);
+  };
+  if (parallel_build) {
+    // Every entry is computed independently and written to its own slot,
+    // so any schedule yields the same cache bit for bit.
+    parallel_build(cache_.size(), build);
+  } else {
+    for (std::size_t index = 0; index < cache_.size(); ++index) build(index);
+  }
+  min_rho_two_ = compute_min_rho(SpeedPolicy::kTwoSpeed);
+  min_rho_single_ = compute_min_rho(SpeedPolicy::kSingleSpeed);
+}
+
+PairSolution ExactSolver::solve_cached(double rho,
+                                       const ExactExpansion& pair) const {
+  PairSolution sol;
+  sol.sigma1 = pair.sigma1;
+  sol.sigma2 = pair.sigma2;
+  sol.sigma1_index = pair.index1;
+  sol.sigma2_index = pair.index2;
+  sol.first_order_valid = pair.first_order_valid;
+  sol.rho_min = pair.rho_min;
+  sol.w_energy = pair.w_energy;
+  if (!(pair.rho_min <= rho)) return sol;  // bound below the exact floor
+
+  if (pair.time_at_we <= rho) {
+    // The unconstrained energy optimum already satisfies the bound: the
+    // solve is a pure cache lookup (the common case of loose-ρ grid
+    // points, and the reason one solver serves a whole sweep).
+    sol.feasible = true;
+    sol.w_opt = pair.w_energy;
+    sol.w_min = std::min(pair.w_time, pair.w_energy);
+    sol.w_max = std::max(pair.w_time, pair.w_energy);
+    sol.energy_overhead = pair.energy_min;
+    sol.time_overhead = pair.time_at_we;
+    return sol;
+  }
+
+  // The unconstrained energy optimum violates the bound, so the
+  // constrained optimum sits on the feasibility boundary between w_time
+  // (feasible) and w_energy (not): both curves are unimodal, so energy
+  // only decreases toward w_energy and the boundary nearest it wins.
+  // Locate it with the shared boundary bisection (the same routine
+  // optimize_exact_pair uses) — the single warm-started bisection a
+  // tight-bound point costs.
+  const auto time_per_work = [&](double w) {
+    return time_overhead(params_, w, pair.sigma1, pair.sigma2);
+  };
+  const double w_opt = bisect_boundary(time_per_work, rho, pair.w_time,
+                                       pair.w_energy, options_);
+  sol.feasible = true;
+  sol.w_opt = w_opt;
+  sol.w_min = std::min(pair.w_time, w_opt);
+  sol.w_max = std::max(pair.w_time, w_opt);
+  sol.energy_overhead =
+      energy_overhead(params_, w_opt, pair.sigma1, pair.sigma2);
+  sol.time_overhead = time_per_work(w_opt);
+  return sol;
+}
+
+PairSolution ExactSolver::compute_min_rho(SpeedPolicy policy) const {
+  PairSolution best;
+  best.feasible = false;
+  double best_rho = std::numeric_limits<double>::infinity();
+  for (const ExactExpansion& pair : cache_) {
+    if (policy == SpeedPolicy::kSingleSpeed && pair.index1 != pair.index2) {
+      continue;
+    }
+    if (!(pair.rho_min < best_rho)) continue;
+    best_rho = pair.rho_min;
+    best.feasible = true;
+    best.first_order_valid = pair.first_order_valid;
+    best.sigma1 = pair.sigma1;
+    best.sigma2 = pair.sigma2;
+    best.sigma1_index = pair.index1;
+    best.sigma2_index = pair.index2;
+    best.rho_min = pair.rho_min;
+    best.w_opt = pair.w_time;  // tangency pattern size, exact model
+    best.w_energy = pair.w_energy;
+    best.w_min = pair.w_time;
+    best.w_max = pair.w_time;
+    best.time_overhead = pair.rho_min;
+    best.energy_overhead =
+        energy_overhead(params_, pair.w_time, pair.sigma1, pair.sigma2);
+  }
+  return best;
+}
+
+BiCritSolution ExactSolver::solve(double rho, SpeedPolicy policy) const {
+  if (!(rho > 0.0)) {
+    throw std::invalid_argument("ExactSolver: rho must be positive");
+  }
+  BiCritSolution solution;
+  solution.pairs.reserve(cache_.size());
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (const ExactExpansion& cached : cache_) {
+    if (policy == SpeedPolicy::kSingleSpeed &&
+        cached.index1 != cached.index2) {
+      continue;
+    }
+    PairSolution pair = solve_cached(rho, cached);
+    if (pair.feasible && pair.energy_overhead < best_energy) {
+      best_energy = pair.energy_overhead;
+      solution.best = pair;
+      solution.feasible = true;
+    }
+    solution.pairs.push_back(std::move(pair));
+  }
+  return solution;
+}
+
+PairSolution ExactSolver::solve_pair_by_index(double rho, std::size_t i,
+                                              std::size_t j) const {
+  if (!(rho > 0.0)) {
+    throw std::invalid_argument("ExactSolver: rho must be positive");
+  }
+  const std::size_t k = params_.speeds.size();
+  if (i >= k || j >= k) {
+    throw std::out_of_range("ExactSolver: speed index out of range");
+  }
+  return solve_cached(rho, cache_[i * k + j]);
+}
+
+}  // namespace rexspeed::core

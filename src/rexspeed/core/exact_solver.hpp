@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/core/model_params.hpp"
+#include "rexspeed/core/numeric_optimizer.hpp"
+
+namespace rexspeed::core {
+
+/// Everything about one speed pair (σ1, σ2) of the EXACT model that
+/// depends only on the model parameters — not on the performance bound ρ.
+/// Both exact overhead curves T(W)/W and E(W)/W are unimodal in W (the
+/// 1/W checkpoint term falls, the e^{λW} re-execution terms rise), so
+/// their unconstrained minima pin down every constrained solve: a bound
+/// below `rho_min` is infeasible, a bound admitting `w_energy` is solved
+/// by the cached optimum outright, and anything in between reduces to
+/// locating one feasibility boundary by bisection.
+///
+/// This is the exact-model counterpart of PairExpansion (whose closed-form
+/// coefficients are only meaningful inside the §5.2 first-order validity
+/// window) and the m = 1 slice of InterleavedExpansion — but valid for any
+/// λs, λf ≥ 0, including the σ2 > 2σ1(1+s/f) regime where the first-order
+/// machinery breaks down.
+struct ExactExpansion {
+  double sigma1 = 0.0;
+  double sigma2 = 0.0;
+  int index1 = -1;  ///< positions in ModelParams::speeds
+  int index2 = -1;
+  /// True when the pair sits inside the §5.2 first-order validity window.
+  /// The closed-form argmins then seed the numeric bracketing (a warm
+  /// start); outside the window the cold-start bracket is used. Either
+  /// way the cached optima are exact — the flag is carried into
+  /// PairSolution::first_order_valid for reporting only.
+  bool first_order_valid = true;
+  double w_time = 0.0;      ///< unconstrained minimizer of T(W)/W
+  double rho_min = 0.0;     ///< T(w_time)/w_time — exact feasibility floor
+  double w_energy = 0.0;    ///< unconstrained minimizer of E(W)/W
+  double energy_min = 0.0;  ///< E(w_energy)/w_energy
+  double time_at_we = 0.0;  ///< T(w_energy)/w_energy
+
+  /// Builds the pair-invariant exact curve structure for one speed pair:
+  /// two warm-started 1-D minimizations plus three curve evaluations.
+  [[nodiscard]] static ExactExpansion make(const ModelParams& params,
+                                           double sigma1, double sigma2,
+                                           int index1, int index2,
+                                           const NumericOptions& options = {});
+};
+
+/// The cached exact-optimization backend: enumerate every speed pair
+/// (σ1, σ2) ∈ S × S and pick the pattern with the smallest exact energy
+/// overhead subject to T/W ≤ ρ — the same problem
+/// BiCritSolver::solve(…, EvalMode::kExactOptimize) answers, but with the
+/// ρ-independent curve work hoisted out of the per-bound path.
+///
+/// Construction pays the numeric optimization of both exact overhead
+/// curves once per pair (warm-started from the first-order expansions
+/// where §5.2 holds). Every solve afterwards is cheap feasibility math on
+/// the cached expansions plus at most one warm-started bisection per pair
+/// whose bound is tight, so one solver serves an entire ρ sweep — exactly
+/// the property BiCritSolver has for the first-order mode, extended to
+/// the mode that is valid outside the first-order window
+/// (bench_exact measures the gain vs the per-point rebuild path).
+///
+/// Construction can be parallelized by passing a `parallel_build` hook
+/// (e.g. sweep::parallel_for over a ThreadPool): every cache entry is
+/// computed independently and written to its own slot, so the finished
+/// cache is bit-identical to a serial build regardless of scheduling.
+///
+/// The solver is immutable after construction and therefore safe to share
+/// across threads without synchronization.
+class ExactSolver {
+ public:
+  /// Signature of the optional construction parallelizer: call fn(i) for
+  /// every i in [0, count), in any order, and return once all completed.
+  using ParallelFor = std::function<void(
+      std::size_t count, const std::function<void(std::size_t)>& fn)>;
+
+  /// Throws std::invalid_argument on invalid params. `parallel_build`,
+  /// when set, distributes the per-pair curve optimization; it is not
+  /// retained past construction.
+  explicit ExactSolver(ModelParams params,
+                       const ParallelFor& parallel_build = {});
+
+  /// Best pair at bound `rho` plus every candidate, for reporting — the
+  /// cached equivalent of BiCritSolver::solve(rho, policy,
+  /// EvalMode::kExactOptimize), with three reporting differences: rho_min
+  /// carries the pair's exact feasibility floor (the uncached path
+  /// reports NaN there), w_min/w_max carry the bracket the constrained
+  /// search actually proved feasible (not the full feasible window), and
+  /// w_energy carries the true unconstrained energy minimizer (the
+  /// uncached path echoes w_opt). Throws std::invalid_argument when rho
+  /// is not positive.
+  [[nodiscard]] BiCritSolution solve(
+      double rho, SpeedPolicy policy = SpeedPolicy::kTwoSpeed) const;
+
+  /// Solves the speed pair at positions (i, j) of the speed set off the
+  /// cached expansions. Throws std::out_of_range on a bad index.
+  [[nodiscard]] PairSolution solve_pair_by_index(double rho, std::size_t i,
+                                                 std::size_t j) const;
+
+  /// Best-effort policy when no pair satisfies the bound: the pair with
+  /// the smallest EXACT achievable bound rho_min, run at its time-optimal
+  /// pattern size — the exact-model analog of
+  /// BiCritSolver::min_rho_solution (which ranks pairs by the first-order
+  /// tangency and is therefore blind outside the validity window).
+  /// Precomputed at construction; the reference stays valid for the
+  /// solver's lifetime.
+  [[nodiscard]] const PairSolution& min_rho_solution(
+      SpeedPolicy policy = SpeedPolicy::kTwoSpeed) const noexcept {
+    return policy == SpeedPolicy::kSingleSpeed ? min_rho_single_
+                                               : min_rho_two_;
+  }
+
+  [[nodiscard]] const ModelParams& params() const noexcept { return params_; }
+
+  /// The cached pair-invariant data, row-major over the K×K speed grid
+  /// (entry (i, j) at i * K + j).
+  [[nodiscard]] const std::vector<ExactExpansion>& expansions()
+      const noexcept {
+    return cache_;
+  }
+
+ private:
+  [[nodiscard]] PairSolution solve_cached(double rho,
+                                          const ExactExpansion& pair) const;
+  [[nodiscard]] PairSolution compute_min_rho(SpeedPolicy policy) const;
+
+  ModelParams params_;
+  NumericOptions options_;
+  /// K² ExactExpansions, entry (i, j) at i * K + j.
+  std::vector<ExactExpansion> cache_;
+  PairSolution min_rho_two_;
+  PairSolution min_rho_single_;
+};
+
+}  // namespace rexspeed::core

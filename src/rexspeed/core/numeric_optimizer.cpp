@@ -58,11 +58,42 @@ double minimize_unimodal_overhead(
   return golden_section_minimize(overhead, lo, hi * 2.0, options);
 }
 
-namespace {
+double minimize_unimodal_overhead(
+    const std::function<double(double)>& overhead, double seed,
+    const NumericOptions& options) {
+  if (!(seed > 0.0) || !std::isfinite(seed) ||
+      !std::isfinite(overhead(seed))) {
+    // A useless seed — non-positive, non-finite, or sitting in the
+    // e^{λW} overflow region where every nearby probe is ±inf and the
+    // bracket scans below would terminate on garbage comparisons.
+    return minimize_unimodal_overhead(overhead, options);
+  }
+  // Expand a bracket around the seed until the function rises (or stops
+  // being finite) on both sides; unimodality then pins the minimizer
+  // inside [lo/2, hi*2].
+  constexpr double kWFloor = 1e-6;
+  double lo = std::max(seed, kWFloor);
+  double f_lo = overhead(lo);
+  while (lo > kWFloor) {
+    const double probe = std::max(lo * 0.5, kWFloor);
+    const double value = overhead(probe);
+    if (!(value < f_lo)) break;  // rising (or NaN) to the left: bracketed
+    lo = probe;
+    f_lo = value;
+  }
+  double hi = std::max(seed, kWFloor);
+  double f_hi = overhead(hi);
+  while (hi < options.w_cap) {
+    const double probe = hi * 2.0;
+    const double value = overhead(probe);
+    if (!std::isfinite(value) || !(value < f_hi)) break;
+    hi = probe;
+    f_hi = value;
+  }
+  return golden_section_minimize(overhead, std::max(lo * 0.5, kWFloor * 0.5),
+                                 hi * 2.0, options);
+}
 
-/// Bisects for the W where `overhead(W) == rho`, assuming overhead is
-/// monotone between `inside` (overhead ≤ rho) and `outside`
-/// (overhead > rho).
 double bisect_boundary(const std::function<double(double)>& overhead,
                        double rho, double inside, double outside,
                        const NumericOptions& options) {
@@ -81,8 +112,6 @@ double bisect_boundary(const std::function<double(double)>& overhead,
   }
   return inside;
 }
-
-}  // namespace
 
 ExactPairResult optimize_exact_pair(const ModelParams& params, double rho,
                                     double sigma1, double sigma2,

@@ -29,6 +29,27 @@ struct NumericOptions {
     const std::function<double(double)>& overhead,
     const NumericOptions& options = {});
 
+/// Warm-started variant: brackets the minimum outward from `seed` (e.g. a
+/// first-order closed-form argmin) instead of doubling up from W = 1 —
+/// far fewer curve evaluations when the seed lands near the true optimum,
+/// which is what core::ExactSolver exploits when a pair sits inside the
+/// §5.2 validity window. A useless seed — non-positive, non-finite, or
+/// one where overhead(seed) itself is not finite (the e^{λW} overflow
+/// region) — falls back to the cold-start bracket above. Deterministic
+/// for a given (overhead, seed, options) triple.
+[[nodiscard]] double minimize_unimodal_overhead(
+    const std::function<double(double)>& overhead, double seed,
+    const NumericOptions& options);
+
+/// Bisects for the W where `overhead(W) == rho`, assuming the overhead is
+/// monotone between `inside` (overhead ≤ rho, kept) and `outside`
+/// (overhead > rho). Returns the feasible end of the shrunken bracket —
+/// the boundary locator shared by optimize_exact_pair and the cached
+/// ExactSolver solve path (one implementation, so the two cannot drift).
+[[nodiscard]] double bisect_boundary(
+    const std::function<double(double)>& overhead, double rho,
+    double inside, double outside, const NumericOptions& options = {});
+
 /// Solution of the exact (non-expanded) BiCrit problem for one speed pair:
 /// minimize E(W,σ1,σ2)/W subject to T(W,σ1,σ2)/W ≤ ρ, using the exact
 /// expectations of `exact_expectations.hpp`. Valid for any λs, λf ≥ 0 —

@@ -123,16 +123,25 @@ std::vector<ScenarioResult> CampaignRunner::run(
     }
   }
 
-  // Phase 1.5: build the interleaved panels' cached solvers across the
-  // pool — each is a heavyweight per-(σ1,σ2,m) curve optimization, the
-  // dominant cost of an interleaved panel, and every plan was fully
-  // validated above so prepare() cannot throw. One extra barrier, paid
-  // only by campaigns that actually carry interleaved panels.
-  if (!interleaved_plans.empty()) {
-    sweep::parallel_for(pool(), interleaved_plans.size(),
-                        [&interleaved_plans](std::size_t i) {
-                          interleaved_plans[i].prepare();
-                        });
+  // Phase 1.5: build the heavyweight per-panel caches across the pool —
+  // the interleaved solvers (per-(σ1,σ2,m) curve optimization) and the
+  // exact ρ-panel backends (per-(σ1,σ2) exact curve optimization), each
+  // the dominant cost of its panel. Every plan was fully validated above
+  // so prepare() cannot throw. One extra barrier, paid only by campaigns
+  // that actually carry such panels.
+  std::vector<std::function<void()>> prepare_tasks;
+  for (sweep::InterleavedPanelSweep& plan : interleaved_plans) {
+    prepare_tasks.push_back([&plan] { plan.prepare(); });
+  }
+  for (sweep::PanelSweep& plan : panel_plans) {
+    if (plan.needs_prepare()) {
+      prepare_tasks.push_back([&plan] { plan.prepare(); });
+    }
+  }
+  if (!prepare_tasks.empty()) {
+    sweep::parallel_for(
+        pool(), prepare_tasks.size(),
+        [&prepare_tasks](std::size_t i) { prepare_tasks[i](); });
   }
 
   // Phase 2: ONE flattened task stream — every (scenario × panel × point)
@@ -152,8 +161,11 @@ std::vector<ScenarioResult> CampaignRunner::run(
   }
   for (SolvePlan& plan : solve_plans) {
     tasks.push_back([&plan] {
-      const SolverContext context(plan.params);
       const ScenarioSpec& spec = plan.result->spec;
+      // The same cache opt-ins solve_scenario's context gets (one shared
+      // rule — context_options), so campaign and standalone solves stay
+      // bit-identical. Built serially: the task already runs on a worker.
+      const SolverContext context(plan.params, spec.context_options());
       plan.result->solution =
           context.best(spec.rho, spec.policy, spec.mode,
                        spec.min_rho_fallback, &plan.result->used_fallback);

@@ -37,11 +37,19 @@ struct CampaignRunnerOptions {
 /// where `run_all_sweeps`' sequential panels lose throughput on small
 /// grids.
 ///
+/// The stream has three phases: plan (serial, validates everything —
+/// tasks cannot throw), prepare (one pooled barrier building the
+/// heavyweight per-panel caches: interleaved solvers and exact ρ-panel
+/// backends; skipped when no panel needs one), and the flattened point
+/// stream itself. See docs/ARCHITECTURE.md for the full model.
+///
 /// Determinism: every task writes only its own preallocated slot and runs
 /// the same per-point kernel (`sweep::solve_figure_point`) against the same
 /// per-panel inputs as a per-scenario `SweepEngine` run, so campaign
 /// results are bit-identical to running each scenario alone — serial or
-/// parallel, any thread count, any scheduling.
+/// parallel, any thread count, any scheduling. Solvers shared across
+/// workers are immutable after their prepare step (the uniform contract
+/// of BiCritSolver / ExactSolver / InterleavedSolver).
 class CampaignRunner {
  public:
   explicit CampaignRunner(CampaignRunnerOptions options = {});

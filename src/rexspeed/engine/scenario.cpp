@@ -19,8 +19,17 @@ core::ModelParams ScenarioSpec::resolve_params() const {
   return params;
 }
 
-SolverContext ScenarioSpec::make_context() const {
-  return SolverContext(resolve_params(), segment_limit());
+SolverContextOptions ScenarioSpec::context_options(
+    sweep::ThreadPool* pool) const {
+  SolverContextOptions options;
+  options.max_segments = segment_limit();
+  options.exact_cache = mode == core::EvalMode::kExactOptimize;
+  options.pool = pool;
+  return options;
+}
+
+SolverContext ScenarioSpec::make_context(sweep::ThreadPool* pool) const {
+  return SolverContext(resolve_params(), context_options(pool));
 }
 
 void ScenarioSpec::validate() const {

@@ -30,7 +30,13 @@ enum class ScenarioKind {
 /// (speed policy, eval mode, bound) and what to sweep. Scenarios are data,
 /// not code — the CLI, benches and examples all resolve them through the
 /// same registry, and new workloads are added by registering a spec, not
-/// by writing another driver.
+/// by writing another driver. (Full key=value reference: see
+/// docs/scenario_format.md.)
+///
+/// Thread-safety: a plain value type — copy freely; concurrent reads of
+/// one spec are safe, concurrent mutation is the caller's problem. The
+/// contexts it builds (make_context) follow the engine-wide contract:
+/// immutable after construction, shareable across workers.
 struct ScenarioSpec {
   std::string name;
   std::string description;
@@ -82,9 +88,19 @@ struct ScenarioSpec {
   /// Configuration lookup + overrides → validated model parameters.
   [[nodiscard]] core::ModelParams resolve_params() const;
 
-  /// A cached solver context for the resolved parameters (with the
-  /// interleaved cache when the scenario is interleaved).
-  [[nodiscard]] SolverContext make_context() const;
+  /// THE cache opt-in rule, in one place: the interleaved cache when the
+  /// scenario is interleaved, the exact cache when mode=exact-opt.
+  /// Every context built for this spec — make_context here, the campaign
+  /// runner's solve tasks — derives its options from this, so standalone
+  /// and campaign solves stay bit-identical by construction. `pool`,
+  /// when non-null, parallelizes cache construction only.
+  [[nodiscard]] SolverContextOptions context_options(
+      sweep::ThreadPool* pool = nullptr) const;
+
+  /// A cached solver context for the resolved parameters, configured by
+  /// context_options(pool).
+  [[nodiscard]] SolverContext make_context(
+      sweep::ThreadPool* pool = nullptr) const;
 
   /// Sweep options carrying this scenario's ρ, grid size, eval mode and
   /// fallback flag (pool supplied by the caller — usually a SweepEngine).

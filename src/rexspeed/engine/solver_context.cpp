@@ -4,15 +4,24 @@
 
 namespace rexspeed::engine {
 
-SolverContext::SolverContext(core::ModelParams params, unsigned max_segments)
+SolverContext::SolverContext(core::ModelParams params,
+                             const SolverContextOptions& options)
     : solver_(std::move(params)),
       min_rho_two_(solver_.min_rho_solution(core::SpeedPolicy::kTwoSpeed)),
       min_rho_single_(
           solver_.min_rho_solution(core::SpeedPolicy::kSingleSpeed)) {
-  if (max_segments > 0) {
-    interleaved_.emplace(solver_.params(), max_segments);
+  if (options.max_segments > 0) {
+    interleaved_.emplace(solver_.params(), options.max_segments);
+  }
+  if (options.exact_cache) {
+    exact_.emplace(solver_.params(),
+                   sweep::make_parallel_build(options.pool));
   }
 }
+
+SolverContext::SolverContext(core::ModelParams params, unsigned max_segments)
+    : SolverContext(std::move(params),
+                    SolverContextOptions{.max_segments = max_segments}) {}
 
 const core::InterleavedSolver& SolverContext::interleaved() const {
   if (!interleaved_) {
@@ -21,6 +30,15 @@ const core::InterleavedSolver& SolverContext::interleaved() const {
         "max_segments > 0)");
   }
   return *interleaved_;
+}
+
+const core::ExactSolver& SolverContext::exact() const {
+  if (!exact_) {
+    throw std::logic_error(
+        "SolverContext: built without the exact-optimization cache (set "
+        "SolverContextOptions::exact_cache)");
+  }
+  return *exact_;
 }
 
 core::InterleavedSolution SolverContext::solve_interleaved(
@@ -35,9 +53,9 @@ core::PairSolution SolverContext::best(double rho, core::SpeedPolicy policy,
                                        bool min_rho_fallback,
                                        bool* used_fallback) const {
   if (used_fallback != nullptr) *used_fallback = false;
-  core::PairSolution best = solver_.solve(rho, policy, mode).best;
+  core::PairSolution best = solve(rho, policy, mode).best;
   if (!best.feasible && min_rho_fallback) {
-    const core::PairSolution& fallback = min_rho(policy);
+    const core::PairSolution& fallback = min_rho_for(policy, mode);
     if (fallback.feasible) {
       best = fallback;
       if (used_fallback != nullptr) *used_fallback = true;

@@ -80,11 +80,16 @@ std::vector<sweep::InterleavedSeries> SweepEngine::run_interleaved_scenario(
 
 std::vector<std::vector<sweep::SpeedPairRow>> SweepEngine::speed_pair_tables(
     const ScenarioSpec& spec, const std::vector<double>& bounds) const {
-  const SolverContext context = spec.make_context();
+  // make_context builds the exact cache for mode=exact-opt specs (across
+  // the pool), so each bound's table below is feasibility math instead of
+  // a fresh per-pair numeric optimization.
+  const SolverContext context = spec.make_context(pool());
   std::vector<std::vector<sweep::SpeedPairRow>> tables(bounds.size());
   sweep::parallel_for(pool(), bounds.size(), [&](std::size_t i) {
-    tables[i] = sweep::speed_pair_table(context.solver(), bounds[i],
-                                        spec.mode);
+    tables[i] = context.routes_exact(spec.mode)
+                    ? sweep::speed_pair_table(context.exact(), bounds[i])
+                    : sweep::speed_pair_table(context.solver(), bounds[i],
+                                              spec.mode);
   });
   return tables;
 }

@@ -18,11 +18,19 @@ struct SweepEngineOptions {
 };
 
 /// The shared sweep driver: owns the thread pool, resolves scenarios, and
-/// runs every figure panel through the cached-context sweep path. The CLI,
-/// benches and examples all obtain their panels here, so they inherit
-/// parallel-by-default execution with results bit-identical to a serial
-/// run (each grid point writes only its own slot; the per-point math is
-/// deterministic and independent of scheduling).
+/// runs every figure panel through the cached-context sweep path — ρ
+/// panels share one solver per panel (the BiCritSolver expansions for
+/// the closed-form modes, the cached ExactSolver backend for
+/// mode=exact-opt, the InterleavedSolver for segmented scenarios). The
+/// CLI, benches and examples all obtain their panels here, so they
+/// inherit parallel-by-default execution with results bit-identical to a
+/// serial run (each grid point writes only its own slot; the per-point
+/// math is deterministic and independent of scheduling).
+///
+/// Thread-safety: the engine itself is safe to use from one thread at a
+/// time per call, and every solver it shares across its pool workers is
+/// immutable after construction (the uniform contract of BiCritSolver /
+/// ExactSolver / InterleavedSolver / SolverContext).
 class SweepEngine {
  public:
   explicit SweepEngine(SweepEngineOptions options = {});

@@ -126,12 +126,30 @@ const std::vector<SweepParameter>& all_sweep_parameters() {
 
 namespace {
 
-core::PairSolution best_with_fallback(const core::BiCritSolver& solver,
-                                      double rho, core::SpeedPolicy policy,
+// The two overloads below are the only solver-specific lines of the
+// figure-point kernel: how a best pair is solved (BiCritSolver needs the
+// eval mode; ExactSolver has only one). Everything downstream —
+// fallback policy, point assembly — is shared so the first-order and
+// exact panel paths cannot diverge.
+core::PairSolution solve_best(const core::BiCritSolver& solver, double rho,
+                              core::SpeedPolicy policy,
+                              const SweepOptions& options) {
+  return solver.solve(rho, policy, options.mode).best;
+}
+
+core::PairSolution solve_best(const core::ExactSolver& solver, double rho,
+                              core::SpeedPolicy policy,
+                              const SweepOptions& /*options*/) {
+  return solver.solve(rho, policy).best;
+}
+
+template <typename Solver>
+core::PairSolution best_with_fallback(const Solver& solver, double rho,
+                                      core::SpeedPolicy policy,
                                       const SweepOptions& options,
                                       bool& used_fallback) {
   used_fallback = false;
-  core::PairSolution best = solver.solve(rho, policy, options.mode).best;
+  core::PairSolution best = solve_best(solver, rho, policy, options);
   if (!best.feasible && options.min_rho_fallback) {
     const core::PairSolution fallback = solver.min_rho_solution(policy);
     if (fallback.feasible) {
@@ -142,10 +160,10 @@ core::PairSolution best_with_fallback(const core::BiCritSolver& solver,
   return best;
 }
 
-}  // namespace
-
-FigurePoint solve_figure_point(const core::BiCritSolver& solver, double x,
-                               double rho, const SweepOptions& options) {
+template <typename Solver>
+FigurePoint solve_figure_point_impl(const Solver& solver, double x,
+                                    double rho,
+                                    const SweepOptions& options) {
   FigurePoint point;
   point.x = x;
   point.two_speed =
@@ -155,6 +173,18 @@ FigurePoint solve_figure_point(const core::BiCritSolver& solver, double x,
       best_with_fallback(solver, rho, core::SpeedPolicy::kSingleSpeed,
                          options, point.single_speed_fallback);
   return point;
+}
+
+}  // namespace
+
+FigurePoint solve_figure_point(const core::BiCritSolver& solver, double x,
+                               double rho, const SweepOptions& options) {
+  return solve_figure_point_impl(solver, x, rho, options);
+}
+
+FigurePoint solve_figure_point(const core::ExactSolver& solver, double x,
+                               double rho, const SweepOptions& options) {
+  return solve_figure_point_impl(solver, x, rho, options);
 }
 
 PanelSweep::PanelSweep(core::ModelParams base, std::string configuration,
@@ -193,15 +223,29 @@ PanelSweep::PanelSweep(core::ModelParams base, std::string configuration,
   series_.points.resize(grid_.size());
   // ρ sweeps leave the model untouched (apply_parameter is the identity),
   // so every grid point shares one solver: the O(K²) expansions are
-  // computed once for the whole panel instead of once per point.
+  // computed once for the whole panel instead of once per point. In
+  // exact-optimize mode the shared solver is the cached exact backend —
+  // its construction is the panel's dominant cost, so it is deferred to
+  // prepare() (the campaign runner builds many across its pool).
   if (parameter == SweepParameter::kPerformanceBound) {
-    shared_.emplace(base_);
+    if (options_.mode == core::EvalMode::kExactOptimize) {
+      wants_exact_cache_ = true;
+    } else {
+      shared_.emplace(base_);
+    }
   }
+}
+
+void PanelSweep::prepare() {
+  if (!wants_exact_cache_ || shared_exact_) return;
+  shared_exact_.emplace(base_, make_parallel_build(options_.pool));
 }
 
 void PanelSweep::solve_point(std::size_t i) {
   const double x = grid_[i];
-  if (shared_) {
+  if (shared_exact_) {
+    series_.points[i] = solve_figure_point(*shared_exact_, x, x, options_);
+  } else if (shared_) {
     series_.points[i] = solve_figure_point(*shared_, x, x, options_);
   } else {
     const core::BiCritSolver solver(
@@ -216,6 +260,7 @@ FigureSeries run_figure_sweep(const core::ModelParams& base,
                               const std::vector<double>& grid,
                               const SweepOptions& options) {
   PanelSweep panel(base, std::move(configuration), parameter, grid, options);
+  panel.prepare();
   parallel_for(options.pool, panel.point_count(),
                [&panel](std::size_t i) { panel.solve_point(i); });
   return panel.take();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/core/exact_solver.hpp"
 #include "rexspeed/platform/configuration.hpp"
 #include "rexspeed/sweep/series.hpp"
 #include "rexspeed/sweep/thread_pool.hpp"
@@ -101,6 +102,14 @@ struct SweepOptions {
                                              double x, double rho,
                                              const SweepOptions& options);
 
+/// The same kernel off the cached exact backend (options.mode is implied
+/// to be kExactOptimize — the solver has no other mode). Infeasible
+/// bounds degrade to ExactSolver::min_rho_solution, the exact-model
+/// fallback, when options.min_rho_fallback is set.
+[[nodiscard]] FigurePoint solve_figure_point(const core::ExactSolver& solver,
+                                             double x, double rho,
+                                             const SweepOptions& options);
+
 /// One panel prepared for point-by-point execution: base parameters, grid,
 /// the ρ-sweep shared-solver fast path, and the preallocated output
 /// series. `run_figure_sweep` drives one with parallel_for; the campaign
@@ -108,8 +117,21 @@ struct SweepOptions {
 /// exact same setup and per-point kernel — bit-identical results by
 /// construction, not by parallel maintenance.
 ///
-/// solve_point(i) writes only points[i], so distinct indices are safe to
-/// solve concurrently without synchronization.
+/// ρ panels share ONE solver across the whole grid (apply_parameter is
+/// the identity there): the cached BiCritSolver for the closed-form
+/// modes, and — for EvalMode::kExactOptimize — the cached
+/// core::ExactSolver, so exact-mode ρ sweeps are feasibility math on
+/// precomputed curve optima instead of a full numeric optimization per
+/// point (bench_exact measures the difference).
+///
+/// Construction is two-phase like InterleavedPanelSweep: the constructor
+/// validates everything (cheap, throws), prepare() pays the exact cache's
+/// per-pair curve optimization when the panel needs one — the split lets
+/// the campaign runner build many panels' caches across its pool.
+/// prepare() must complete before the first solve_point and touches only
+/// this panel's cache; solve_point(i) writes only points[i], so distinct
+/// panels prepare — and distinct indices solve — concurrently without
+/// synchronization.
 class PanelSweep {
  public:
   /// Throws std::invalid_argument on an empty grid.
@@ -121,7 +143,21 @@ class PanelSweep {
     return grid_.size();
   }
 
-  /// Solves grid point `i` into its series slot.
+  /// True until prepare() has built the cache the panel needs (always
+  /// false for panels that need none) — lets batched drivers skip the
+  /// prepare pass for plans that would no-op.
+  [[nodiscard]] bool needs_prepare() const noexcept {
+    return wants_exact_cache_ && !shared_exact_;
+  }
+
+  /// Builds the exact ρ-panel cache (idempotent; no-op for every other
+  /// panel). Uses options.pool, when set, to parallelize the per-pair
+  /// curve optimization — the cache is bit-identical either way. Must
+  /// complete before the first solve_point; never throws on a
+  /// constructed plan.
+  void prepare();
+
+  /// Solves grid point `i` into its series slot (prepare() first).
   void solve_point(std::size_t i);
 
   /// Moves the finished panel out (call once every point is solved).
@@ -129,7 +165,9 @@ class PanelSweep {
 
  private:
   core::ModelParams base_;
-  std::optional<core::BiCritSolver> shared_;  ///< ρ panels only
+  std::optional<core::BiCritSolver> shared_;       ///< ρ panels only
+  std::optional<core::ExactSolver> shared_exact_;  ///< exact ρ panels only
+  bool wants_exact_cache_ = false;
   SweepOptions options_;
   std::vector<double> grid_;
   FigureSeries series_;

@@ -4,12 +4,12 @@
 
 namespace rexspeed::sweep {
 
-std::vector<SpeedPairRow> speed_pair_table(
-    const core::BiCritSolver& solver, double rho, core::EvalMode mode) {
-  const core::BiCritSolution solution =
-      solver.solve(rho, core::SpeedPolicy::kTwoSpeed, mode);
-  const std::vector<double>& speeds = solver.params().speeds;
+namespace {
 
+/// Shared row builder: one row per first speed off a full solve, with the
+/// global best marked — identical whichever solver produced the solution.
+std::vector<SpeedPairRow> rows_from_solution(
+    const core::BiCritSolution& solution, const std::vector<double>& speeds) {
   std::vector<SpeedPairRow> rows;
   rows.reserve(speeds.size());
   double best_energy = std::numeric_limits<double>::infinity();
@@ -34,6 +34,21 @@ std::vector<SpeedPairRow> speed_pair_table(
     rows[best_index].is_global_best = true;
   }
   return rows;
+}
+
+}  // namespace
+
+std::vector<SpeedPairRow> speed_pair_table(
+    const core::BiCritSolver& solver, double rho, core::EvalMode mode) {
+  return rows_from_solution(
+      solver.solve(rho, core::SpeedPolicy::kTwoSpeed, mode),
+      solver.params().speeds);
+}
+
+std::vector<SpeedPairRow> speed_pair_table(const core::ExactSolver& solver,
+                                           double rho) {
+  return rows_from_solution(solver.solve(rho, core::SpeedPolicy::kTwoSpeed),
+                            solver.params().speeds);
 }
 
 std::vector<SpeedPairRow> speed_pair_table(const core::ModelParams& params,

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/core/exact_solver.hpp"
 
 namespace rexspeed::sweep {
 
@@ -25,6 +26,12 @@ struct SpeedPairRow {
 [[nodiscard]] std::vector<SpeedPairRow> speed_pair_table(
     const core::BiCritSolver& solver, double rho,
     core::EvalMode mode = core::EvalMode::kFirstOrder);
+
+/// The same table off the cached exact backend (mode is implied:
+/// ExactSolver only answers kExactOptimize). Reusing one solver across
+/// the four paper bounds pays the per-pair curve optimization once.
+[[nodiscard]] std::vector<SpeedPairRow> speed_pair_table(
+    const core::ExactSolver& solver, double rho);
 
 /// Convenience overload building a throwaway solver.
 [[nodiscard]] std::vector<SpeedPairRow> speed_pair_table(

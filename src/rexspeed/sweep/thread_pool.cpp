@@ -68,4 +68,13 @@ void parallel_for(ThreadPool* pool, std::size_t count,
   pool->wait_idle();
 }
 
+std::function<void(std::size_t, const std::function<void(std::size_t)>&)>
+make_parallel_build(ThreadPool* pool) {
+  if (pool == nullptr || pool->thread_count() <= 1) return {};
+  return [pool](std::size_t count,
+                const std::function<void(std::size_t)>& fn) {
+    parallel_for(pool, count, fn);
+  };
+}
+
 }  // namespace rexspeed::sweep

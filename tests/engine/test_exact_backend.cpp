@@ -1,0 +1,193 @@
+// The cached exact backend through the engine layer: SolverContext
+// routing, exact-mode ρ sweeps parallel ≡ serial, campaign ≡ standalone,
+// the regression of ExactSolver against the uncached optimize_exact_pair
+// path across every registered scenario, and the paper-regime agreement
+// of exact-opt with first-order at small λ.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rexspeed/core/exact_solver.hpp"
+#include "rexspeed/engine/campaign_runner.hpp"
+#include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/engine/sweep_engine.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::engine {
+namespace {
+
+using test::expect_identical_pair;
+using test::expect_identical_series;
+
+ScenarioSpec exact_rho_spec() {
+  return parse_scenario(
+      "name=exact config=Hera/XScale mode=exact-opt param=rho points=9");
+}
+
+TEST(ExactBackend, ContextBuildsAndRoutesTheCache) {
+  const ScenarioSpec spec = exact_rho_spec();
+  const SolverContext context = spec.make_context();
+  ASSERT_TRUE(context.has_exact());
+  // Routing: the context's exact-opt solve IS the cached backend's solve
+  // (deterministic construction → bit-identical).
+  const core::ExactSolver standalone(spec.resolve_params());
+  expect_identical_pair(
+      context.solve(2.0, core::SpeedPolicy::kTwoSpeed,
+                    core::EvalMode::kExactOptimize).best,
+      standalone.solve(2.0).best);
+  expect_identical_pair(
+      context.solve_pair(2.0, 0, 1, core::EvalMode::kExactOptimize),
+      standalone.solve_pair_by_index(2.0, 0, 1));
+  // Non-exact modes keep the first-order path.
+  expect_identical_pair(
+      context.solve(2.0, core::SpeedPolicy::kTwoSpeed,
+                    core::EvalMode::kFirstOrder).best,
+      context.solver().solve(2.0, core::SpeedPolicy::kTwoSpeed,
+                             core::EvalMode::kFirstOrder).best);
+}
+
+TEST(ExactBackend, ContextWithoutCacheThrowsAndFallsBack) {
+  ScenarioSpec spec = exact_rho_spec();
+  spec.mode = core::EvalMode::kFirstOrder;
+  const SolverContext context = spec.make_context();
+  EXPECT_FALSE(context.has_exact());
+  EXPECT_THROW(context.exact(), std::logic_error);
+  // Exact-opt solves still work without the cache — the per-bound
+  // numeric optimization path.
+  const auto sol = context.solve(2.0, core::SpeedPolicy::kTwoSpeed,
+                                 core::EvalMode::kExactOptimize);
+  EXPECT_TRUE(sol.feasible);
+}
+
+TEST(ExactBackend, PooledConstructionIsBitIdentical) {
+  const ScenarioSpec spec = exact_rho_spec();
+  sweep::ThreadPool pool(4);
+  SolverContextOptions options;
+  options.exact_cache = true;
+  const SolverContext serial(spec.resolve_params(), options);
+  options.pool = &pool;
+  const SolverContext pooled(spec.resolve_params(), options);
+  ASSERT_EQ(serial.exact().expansions().size(),
+            pooled.exact().expansions().size());
+  for (std::size_t i = 0; i < serial.exact().expansions().size(); ++i) {
+    EXPECT_EQ(serial.exact().expansions()[i].w_time,
+              pooled.exact().expansions()[i].w_time);
+    EXPECT_EQ(serial.exact().expansions()[i].w_energy,
+              pooled.exact().expansions()[i].w_energy);
+    EXPECT_EQ(serial.exact().expansions()[i].rho_min,
+              pooled.exact().expansions()[i].rho_min);
+  }
+  expect_identical_pair(serial.exact().solve(1.8).best,
+                        pooled.exact().solve(1.8).best);
+}
+
+TEST(ExactBackend, RhoSweepParallelEqualsSerial) {
+  // The acceptance guarantee: exact-mode ρ sweeps are bit-identical
+  // parallel vs serial, any thread count.
+  const ScenarioSpec spec = exact_rho_spec();
+  const SweepEngine serial({.threads = 1});
+  const SweepEngine parallel({.threads = 4});
+  expect_identical_series(serial.run(spec), parallel.run(spec));
+}
+
+TEST(ExactBackend, CampaignMatchesStandaloneSweep) {
+  // The flattened stream (prepare in phase 1.5, points in phase 2) must
+  // reproduce the standalone engine run bit for bit — serial and
+  // parallel runners alike.
+  const ScenarioSpec spec = exact_rho_spec();
+  const SweepEngine engine({.threads = 1});
+  const sweep::FigureSeries standalone = engine.run(spec);
+  for (const unsigned threads : {1u, 4u}) {
+    SCOPED_TRACE(threads);
+    const CampaignRunner runner({.threads = threads});
+    const ScenarioResult result = runner.run_one(spec);
+    ASSERT_EQ(result.panels.size(), 1u);
+    expect_identical_series(result.panels[0], standalone);
+  }
+}
+
+TEST(ExactBackend, ExactSolveScenarioMatchesCampaign) {
+  // kSolve scenarios in exact-opt mode route through the same cached
+  // context in solve_scenario and in the campaign's task stream.
+  const ScenarioSpec spec = parse_scenario(
+      "name=exact_solve config=Atlas/Crusoe mode=exact-opt param=none "
+      "rho=2.5");
+  bool used_fallback = false;
+  const core::PairSolution direct = solve_scenario(spec, &used_fallback);
+  const CampaignRunner runner({.threads = 1});
+  const ScenarioResult result = runner.run_one(spec);
+  expect_identical_pair(direct, result.solution);
+  EXPECT_EQ(used_fallback, result.used_fallback);
+}
+
+TEST(ExactBackend, RegressionAcrossRegisteredScenarios) {
+  // ExactSolver ≡ the uncached optimize_exact_pair path (through
+  // BiCritSolver::solve in kExactOptimize) for every registered
+  // scenario's resolved parameters at its registered bound.
+  for (const ScenarioSpec& spec : scenario_registry()) {
+    if (spec.interleaved()) continue;  // different solution type
+    SCOPED_TRACE(spec.name);
+    const core::ModelParams params = spec.resolve_params();
+    const core::ExactSolver cached(params);
+    const core::BiCritSolver uncached(params);
+    const core::BiCritSolution a = cached.solve(spec.rho, spec.policy);
+    const core::BiCritSolution b =
+        uncached.solve(spec.rho, spec.policy,
+                       core::EvalMode::kExactOptimize);
+    ASSERT_EQ(a.feasible, b.feasible);
+    if (!a.feasible) continue;
+    EXPECT_EQ(a.best.sigma1_index, b.best.sigma1_index);
+    EXPECT_EQ(a.best.sigma2_index, b.best.sigma2_index);
+    EXPECT_NEAR(a.best.energy_overhead, b.best.energy_overhead,
+                1e-6 * b.best.energy_overhead);
+    EXPECT_NEAR(a.best.time_overhead, b.best.time_overhead,
+                1e-5 * b.best.time_overhead);
+  }
+}
+
+TEST(ExactBackend, ExactOptMatchesFirstOrderInPaperRegime) {
+  // §5.2 agreement through the engine path: at the paper's error rates
+  // the exact-opt backend and the first-order closed forms pick the same
+  // speed pair with energy overheads within 1%.
+  ScenarioSpec exact = parse_scenario(
+      "name=a config=Hera/XScale mode=exact-opt param=none rho=2");
+  ScenarioSpec first = parse_scenario(
+      "name=b config=Hera/XScale mode=first-order param=none rho=2");
+  exact.overrides.push_back({"lambda", 1e-7});
+  first.overrides.push_back({"lambda", 1e-7});
+  const core::PairSolution a = solve_scenario(exact);
+  const core::PairSolution b = solve_scenario(first);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_EQ(a.sigma1_index, b.sigma1_index);
+  EXPECT_EQ(a.sigma2_index, b.sigma2_index);
+  EXPECT_NEAR(a.energy_overhead, b.energy_overhead,
+              1e-2 * b.energy_overhead);
+}
+
+TEST(ExactBackend, SpeedPairTablesRouteThroughTheCache) {
+  // §4.2 tables in exact mode: the cached route agrees with the
+  // uncached per-bound table.
+  const ScenarioSpec spec = parse_scenario(
+      "name=tables config=Hera/XScale mode=exact-opt param=none rho=3");
+  const SweepEngine engine({.threads = 1});
+  const auto tables = engine.speed_pair_tables(spec, {3.0, 1.775});
+  ASSERT_EQ(tables.size(), 2u);
+  const core::BiCritSolver uncached(spec.resolve_params());
+  const auto reference = sweep::speed_pair_table(
+      uncached, 3.0, core::EvalMode::kExactOptimize);
+  ASSERT_EQ(tables[0].size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_EQ(tables[0][i].feasible, reference[i].feasible);
+    EXPECT_EQ(tables[0][i].is_global_best, reference[i].is_global_best);
+    if (!reference[i].feasible) continue;
+    EXPECT_EQ(tables[0][i].best_sigma2, reference[i].best_sigma2);
+    EXPECT_NEAR(tables[0][i].energy_overhead, reference[i].energy_overhead,
+                1e-6 * reference[i].energy_overhead);
+  }
+}
+
+}  // namespace
+}  // namespace rexspeed::engine

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Fails when a relative markdown link in README.md or docs/ points at a
+# file that does not exist. External links (http/https/mailto) and
+# intra-page anchors are skipped; a "path#anchor" link is checked for the
+# path part only. Run from anywhere inside the repository.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+check_file() {
+  local md="$1"
+  local dir
+  dir="$(dirname "$md")"
+  # Pull every inline-link target: [text](target)
+  grep -o '\[[^]]*\]([^)]*)' "$md" | sed 's/.*](\([^)]*\))/\1/' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    local path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $md -> $target"
+      echo broken >> "$root/.linkcheck_failed"
+    fi
+  done
+}
+
+rm -f "$root/.linkcheck_failed"
+for md in "$root"/README.md "$root"/docs/*.md; do
+  [ -e "$md" ] || continue
+  check_file "$md"
+done
+
+if [ -e "$root/.linkcheck_failed" ]; then
+  rm -f "$root/.linkcheck_failed"
+  echo "docs link check FAILED"
+  exit 1
+fi
+echo "docs link check OK"

@@ -53,13 +53,14 @@ int usage() {
       stderr,
       "usage: rexspeed <command> [options]\n"
       "  solve     optimal speed pair + pattern size for a bound\n"
-      "            --config=NAME --rho=R [--exact] [--single]\n"
+      "            --config=NAME --rho=R [--mode=MODE] [--single]\n"
       "            [--segments=M | --max-segments=M]  interleaved mode\n"
       "  pairs     the per-sigma1 best-second-speed table (paper 4.2)\n"
-      "            --config=NAME --rho=R\n"
+      "            --config=NAME --rho=R [--mode=MODE]\n"
       "  sweep     one paper figure panel (or a full composite)\n"
       "            --config=NAME --param={C,V,lambda,rho,Pidle,Pio,all}\n"
       "            [--points=N] [--rho=R] [--threads=N] [--out-dir=DIR]\n"
+      "            [--mode={first-order,exact-eval,exact-opt}]\n"
       "            or: --scenario=NAME (see `rexspeed scenarios`)\n"
       "            with --segments/--max-segments: interleaved panels\n"
       "            (--param={rho,segments,all})\n"
@@ -111,7 +112,20 @@ engine::ScenarioSpec scenario_from(const io::ArgParser& args) {
   if (args.has_flag("single")) {
     spec.policy = core::SpeedPolicy::kSingleSpeed;
   }
-  if (args.has_flag("exact")) spec.mode = core::EvalMode::kExactOptimize;
+  // --mode takes the scenario-file vocabulary (first-order, exact-eval,
+  // exact-opt); --exact stays as shorthand for --mode=exact-opt.
+  const auto mode = args.get("mode");
+  if (mode) engine::apply_token(spec, "mode", *mode);
+  if (args.has_flag("exact")) {
+    if (mode && spec.mode != core::EvalMode::kExactOptimize) {
+      // Silently favoring either flag would hand a script exact-opt
+      // results it believes are first-order (or vice versa).
+      throw std::invalid_argument("--exact conflicts with --mode=" + *mode +
+                                  " (--exact is shorthand for "
+                                  "--mode=exact-opt)");
+    }
+    spec.mode = core::EvalMode::kExactOptimize;
+  }
   return spec;
 }
 
@@ -178,7 +192,8 @@ int cmd_solve(const io::ArgParser& args) {
   const auto sol = context.solve(spec.rho, spec.policy, spec.mode);
   if (!sol.feasible) {
     std::printf("infeasible: no speed pair satisfies rho = %g\n", spec.rho);
-    const auto& fallback = context.min_rho(spec.policy);
+    // In exact mode report the exact-model floor, not the first-order one.
+    const auto& fallback = context.min_rho_for(spec.policy, spec.mode);
     if (fallback.feasible) {
       std::printf("best-effort minimum bound: rho_min = %.4f at "
                   "(%.2f, %.2f)\n",
@@ -197,8 +212,11 @@ int cmd_pairs(const io::ArgParser& args) {
   const auto spec = scenario_from(args);
   const engine::SolverContext context = spec.make_context();
   io::TableWriter table({"sigma1", "best sigma2", "Wopt", "E/W", ""});
-  for (const auto& row :
-       sweep::speed_pair_table(context.solver(), spec.rho, spec.mode)) {
+  const auto rows =
+      context.routes_exact(spec.mode)
+          ? sweep::speed_pair_table(context.exact(), spec.rho)
+          : sweep::speed_pair_table(context.solver(), spec.rho, spec.mode);
+  for (const auto& row : rows) {
     if (!row.feasible) {
       table.add_row(
           {io::TableWriter::cell(row.sigma1, 2), "-", "-", "-", ""});
