@@ -3,13 +3,16 @@
 //
 //   sequential-panel — the pre-campaign path: scenario by scenario,
 //     panel by panel (each panel internally parallel, with a barrier at
-//     every panel boundary — 48 barriers for the registry);
+//     every panel boundary);
 //   flattened        — CampaignRunner: every (scenario × panel × point)
-//     in ONE task stream with a single barrier at campaign end.
+//     in ONE task stream with a single barrier at campaign end, whole
+//     panels ordered longest-first by the backends' cost weights.
 //
 // Small grids are exactly where the barriers hurt: a panel's tail leaves
 // workers idle while the next panel waits to start. The bench verifies
-// both runs are bit-identical before reporting throughput.
+// both runs are bit-identical before reporting throughput — one
+// backend-agnostic comparison now that every mode produces the same
+// sweep::PanelSeries.
 //
 // Usage: bench_campaign [--points=11] [--threads=0] [--repeats=3]
 
@@ -31,53 +34,32 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-bool identical_point(const core::PairSolution& a,
-                     const core::PairSolution& b) {
-  return a.feasible == b.feasible && a.sigma1 == b.sigma1 &&
-         a.sigma2 == b.sigma2 && a.sigma1_index == b.sigma1_index &&
-         a.sigma2_index == b.sigma2_index && a.w_opt == b.w_opt &&
-         a.w_min == b.w_min && a.w_max == b.w_max &&
-         a.energy_overhead == b.energy_overhead &&
-         a.time_overhead == b.time_overhead;
-}
-
-bool identical_panels(const std::vector<sweep::FigureSeries>& a,
-                      const std::vector<sweep::FigureSeries>& b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t p = 0; p < a.size(); ++p) {
-    if (a[p].parameter != b[p].parameter ||
-        a[p].configuration != b[p].configuration || a[p].rho != b[p].rho ||
-        a[p].points.size() != b[p].points.size()) {
-      return false;
-    }
-    for (std::size_t i = 0; i < a[p].points.size(); ++i) {
-      const auto& pa = a[p].points[i];
-      const auto& pb = b[p].points[i];
-      if (pa.x != pb.x || pa.two_speed_fallback != pb.two_speed_fallback ||
-          pa.single_speed_fallback != pb.single_speed_fallback ||
-          !identical_point(pa.two_speed, pb.two_speed) ||
-          !identical_point(pa.single_speed, pb.single_speed)) {
-        return false;
-      }
-    }
+bool identical_solution(const core::Solution& a, const core::Solution& b) {
+  if (a.kind != b.kind || a.used_fallback != b.used_fallback) return false;
+  if (a.kind == core::SolutionKind::kInterleaved) {
+    return a.interleaved.feasible == b.interleaved.feasible &&
+           a.interleaved.segments == b.interleaved.segments &&
+           a.interleaved.sigma1 == b.interleaved.sigma1 &&
+           a.interleaved.sigma2 == b.interleaved.sigma2 &&
+           a.interleaved.w_opt == b.interleaved.w_opt &&
+           a.interleaved.energy_overhead == b.interleaved.energy_overhead &&
+           a.interleaved.time_overhead == b.interleaved.time_overhead;
   }
-  return true;
+  return a.pair.feasible == b.pair.feasible &&
+         a.pair.sigma1 == b.pair.sigma1 && a.pair.sigma2 == b.pair.sigma2 &&
+         a.pair.sigma1_index == b.pair.sigma1_index &&
+         a.pair.sigma2_index == b.pair.sigma2_index &&
+         a.pair.w_opt == b.pair.w_opt && a.pair.w_min == b.pair.w_min &&
+         a.pair.w_max == b.pair.w_max &&
+         a.pair.energy_overhead == b.pair.energy_overhead &&
+         a.pair.time_overhead == b.pair.time_overhead;
 }
 
-bool identical_interleaved(const core::InterleavedSolution& a,
-                           const core::InterleavedSolution& b) {
-  return a.feasible == b.feasible && a.segments == b.segments &&
-         a.sigma1 == b.sigma1 && a.sigma2 == b.sigma2 &&
-         a.w_opt == b.w_opt && a.energy_overhead == b.energy_overhead &&
-         a.time_overhead == b.time_overhead;
-}
-
-bool identical_interleaved_panels(
-    const std::vector<sweep::InterleavedSeries>& a,
-    const std::vector<sweep::InterleavedSeries>& b) {
+bool identical_panels(const std::vector<sweep::PanelSeries>& a,
+                      const std::vector<sweep::PanelSeries>& b) {
   if (a.size() != b.size()) return false;
   for (std::size_t p = 0; p < a.size(); ++p) {
-    if (a[p].parameter != b[p].parameter ||
+    if (a[p].parameter != b[p].parameter || a[p].kind != b[p].kind ||
         a[p].configuration != b[p].configuration || a[p].rho != b[p].rho ||
         a[p].max_segments != b[p].max_segments ||
         a[p].points.size() != b[p].points.size()) {
@@ -86,8 +68,8 @@ bool identical_interleaved_panels(
     for (std::size_t i = 0; i < a[p].points.size(); ++i) {
       const auto& pa = a[p].points[i];
       const auto& pb = b[p].points[i];
-      if (pa.x != pb.x || !identical_interleaved(pa.best, pb.best) ||
-          !identical_interleaved(pa.single, pb.single)) {
+      if (pa.x != pb.x || !identical_solution(pa.primary, pb.primary) ||
+          !identical_solution(pa.baseline, pb.baseline)) {
         return false;
       }
     }
@@ -95,29 +77,10 @@ bool identical_interleaved_panels(
   return true;
 }
 
-/// Per-scenario sequential run, dispatching interleaved specs to their
-/// own panel family (SweepEngine::run_scenario rejects them by design).
-struct SequentialPanels {
-  std::vector<sweep::FigureSeries> regular;
-  std::vector<sweep::InterleavedSeries> interleaved;
-
-  [[nodiscard]] std::size_t point_count() const {
-    std::size_t points = 0;
-    for (const auto& panel : regular) points += panel.points.size();
-    for (const auto& panel : interleaved) points += panel.points.size();
-    return points;
-  }
-};
-
-SequentialPanels run_sequential(const engine::SweepEngine& engine,
-                                const engine::ScenarioSpec& spec) {
-  SequentialPanels panels;
-  if (spec.interleaved()) {
-    panels.interleaved = engine.run_interleaved_scenario(spec);
-  } else {
-    panels.regular = engine.run_scenario(spec);
-  }
-  return panels;
+std::size_t point_count(const std::vector<sweep::PanelSeries>& panels) {
+  std::size_t points = 0;
+  for (const auto& panel : panels) points += panel.points.size();
+  return points;
 }
 
 }  // namespace
@@ -135,28 +98,20 @@ int main(int argc, char** argv) try {
   const engine::CampaignRunner flattened({.threads = threads});
 
   // Warm-up + reference results for the bit-identity check.
-  std::vector<SequentialPanels> reference;
+  std::vector<std::vector<sweep::PanelSeries>> reference;
   reference.reserve(specs.size());
   for (const auto& spec : specs) {
-    reference.push_back(run_sequential(sequential, spec));
+    reference.push_back(sequential.run_scenario(spec));
   }
   const auto campaign = flattened.run(specs);
 
   std::size_t total_points = 0;
   bool identical = campaign.size() == specs.size();
   for (std::size_t s = 0; s < campaign.size() && identical; ++s) {
-    identical =
-        identical_panels(campaign[s].panels, reference[s].regular) &&
-        identical_interleaved_panels(campaign[s].interleaved_panels,
-                                     reference[s].interleaved);
+    identical = identical_panels(campaign[s].panels, reference[s]);
   }
   for (const auto& result : campaign) {
-    for (const auto& panel : result.panels) {
-      total_points += panel.points.size();
-    }
-    for (const auto& panel : result.interleaved_panels) {
-      total_points += panel.points.size();
-    }
+    total_points += point_count(result.panels);
   }
   std::printf("registry campaign: %zu scenarios, %zu grid points, "
               "%u threads, %zu repeats\n",
@@ -169,8 +124,8 @@ int main(int argc, char** argv) try {
   for (std::size_t r = 0; r < repeats; ++r) {
     auto start = Clock::now();
     for (const auto& spec : specs) {
-      const auto panels = run_sequential(sequential, spec);
-      if (panels.point_count() == 0) return 1;  // keep the work observable
+      const auto panels = sequential.run_scenario(spec);
+      if (point_count(panels) == 0) return 1;  // keep the work observable
     }
     sequential_s += seconds_since(start);
 

@@ -25,8 +25,7 @@
 #include <string>
 #include <vector>
 
-#include "rexspeed/core/bicrit_solver.hpp"
-#include "rexspeed/core/exact_solver.hpp"
+#include "rexspeed/core/solver_backend.hpp"
 #include "rexspeed/engine/scenario.hpp"
 #include "rexspeed/engine/sweep_engine.hpp"
 #include "rexspeed/io/cli.hpp"
@@ -93,26 +92,29 @@ int main(int argc, char** argv) try {
               grid.size(), params.speeds.size(),
               params.speeds.size() * params.speeds.size());
 
-  // Per-point rebuild (the pre-cache path): the shared BiCritSolver's
+  // Per-point rebuild (the pre-cache path): the closed-form backend's
   // first-order expansions don't help kExactOptimize — every point pays
   // the full per-pair numeric optimization.
   auto start = Clock::now();
-  const core::BiCritSolver rebuild_solver(params);
+  const core::ClosedFormBackend rebuild_backend(
+      params, core::EvalMode::kExactOptimize);
   std::vector<sweep::FigurePoint> rebuilt;
   rebuilt.reserve(grid.size());
   for (const double rho : grid) {
     rebuilt.push_back(
-        sweep::solve_figure_point(rebuild_solver, rho, rho, options));
+        sweep::solve_figure_point(rebuild_backend, rho, options));
   }
   const double naive_s = seconds_since(start);
 
-  // Cached serial, construction included.
+  // Cached serial, prepare (the per-pair curve optimization) included.
   start = Clock::now();
-  const core::ExactSolver solver(params);
+  core::ExactOptBackend exact_backend(params);
+  exact_backend.prepare();
   std::vector<sweep::FigurePoint> cached;
   cached.reserve(grid.size());
   for (const double rho : grid) {
-    cached.push_back(sweep::solve_figure_point(solver, rho, rho, options));
+    cached.push_back(
+        sweep::solve_figure_point(exact_backend, rho, options));
   }
   const double cached_s = seconds_since(start);
 

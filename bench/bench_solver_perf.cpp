@@ -68,9 +68,9 @@ void BM_RhoSweepSharedContext(benchmark::State& state) {
     const engine::SolverContext context(params);
     double acc = 0.0;
     for (const double rho : grid) {
-      acc += context.solve(rho).best.energy_overhead;
+      acc += context.solve(rho).pair.energy_overhead;
       acc += context.solve(rho, core::SpeedPolicy::kSingleSpeed)
-                 .best.energy_overhead;
+                 .pair.energy_overhead;
     }
     benchmark::DoNotOptimize(acc);
   }

@@ -125,8 +125,9 @@ inline void run_registered(const std::string& scenario_name,
                 spec.description.c_str());
   }
   for (const auto& panel : shared_engine().run_scenario(spec)) {
-    print_figure_series(panel, composite ? 10 : 5);
-    if (!out_dir.empty()) export_figure_series(panel, out_dir);
+    const sweep::FigureSeries figure = sweep::to_figure_series(panel);
+    print_figure_series(figure, composite ? 10 : 5);
+    if (!out_dir.empty()) export_figure_series(figure, out_dir);
   }
 }
 

@@ -65,7 +65,7 @@ int main(int argc, char** argv) try {
   const engine::SolverContext solver(params);
   const auto two = solver.solve(rho, core::SpeedPolicy::kTwoSpeed);
   const auto one = solver.solve(rho, core::SpeedPolicy::kSingleSpeed);
-  if (!two.feasible || !one.feasible) {
+  if (!two.feasible() || !one.feasible()) {
     std::printf("rho = %.3f is unachievable on %s\n", rho,
                 config_name.c_str());
     return 0;
@@ -85,8 +85,8 @@ int main(int argc, char** argv) try {
               config_name.c_str(), days, reps, boost, params.lambda_silent);
 
   const Comparison rows[] = {
-      evaluate("two-speed", params, hot_two.best, total_work, reps, seed),
-      evaluate("one-speed", params, hot_one.best, total_work, reps,
+      evaluate("two-speed", params, hot_two.pair, total_work, reps, seed),
+      evaluate("one-speed", params, hot_one.pair, total_work, reps,
                seed + 1)};
 
   io::TableWriter table({"policy", "(s1,s2)", "Wopt", "T/W model",

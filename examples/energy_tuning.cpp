@@ -24,7 +24,7 @@ void print_speed_pair_table(const engine::SolverContext& context,
                             double rho) {
   std::printf("rho = %g\n", rho);
   io::TableWriter table({"sigma1", "best sigma2", "Wopt", "E/W", ""});
-  for (const auto& row : sweep::speed_pair_table(context.solver(), rho)) {
+  for (const auto& row : sweep::speed_pair_table(context.backend(), rho)) {
     if (!row.feasible) {
       table.add_row({io::TableWriter::cell(row.sigma1, 2), "-", "-", "-",
                      ""});
@@ -66,23 +66,23 @@ int main(int argc, char** argv) try {
   for (const double rho : sweep::linspace(rho_min, rho_max, steps)) {
     const auto two = solver.solve(rho, core::SpeedPolicy::kTwoSpeed);
     const auto one = solver.solve(rho, core::SpeedPolicy::kSingleSpeed);
-    if (!two.feasible) {
+    if (!two.feasible()) {
       table.add_row({io::TableWriter::cell(rho, 3), "-", "-", "-", "-", "-",
                      "-"});
       continue;
     }
     const double saving =
-        one.feasible
-            ? 100.0 * (1.0 - two.best.energy_overhead /
-                                 one.best.energy_overhead)
+        one.feasible()
+            ? 100.0 * (1.0 - two.pair.energy_overhead /
+                                 one.pair.energy_overhead)
             : 0.0;
     table.add_row({io::TableWriter::cell(rho, 3),
-                   io::TableWriter::cell(two.best.sigma1, 2),
-                   io::TableWriter::cell(two.best.sigma2, 2),
-                   io::TableWriter::cell(two.best.w_opt, 0),
-                   io::TableWriter::cell(two.best.energy_overhead, 1),
-                   one.feasible
-                       ? io::TableWriter::cell(one.best.energy_overhead, 1)
+                   io::TableWriter::cell(two.pair.sigma1, 2),
+                   io::TableWriter::cell(two.pair.sigma2, 2),
+                   io::TableWriter::cell(two.pair.w_opt, 0),
+                   io::TableWriter::cell(two.pair.energy_overhead, 1),
+                   one.feasible()
+                       ? io::TableWriter::cell(one.pair.energy_overhead, 1)
                        : "-",
                    io::TableWriter::cell(saving, 1)});
   }

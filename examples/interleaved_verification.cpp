@@ -44,12 +44,12 @@ int main(int argc, char** argv) try {
 
   // 1. Solve: best segmented pattern vs the paper's single verification.
   const core::InterleavedSolution best =
-      engine::solve_scenario_interleaved(spec);
+      engine::solve_scenario(spec).interleaved;
   engine::ScenarioSpec pinned = spec;
   pinned.max_segments = 0;
   pinned.segments = 1;
   const core::InterleavedSolution single =
-      engine::solve_scenario_interleaved(pinned);
+      engine::solve_scenario(pinned).interleaved;
   if (!best.feasible || !single.feasible) {
     std::printf("infeasible at rho = %g\n", spec.rho);
     return 1;

@@ -38,7 +38,7 @@ int main(int argc, char** argv) try {
   // 1. Solve BiCrit: minimize energy per work unit subject to T/W <= rho.
   const double rho = scenario.rho;
   const engine::SolverContext context(params);
-  const core::BiCritSolution sol = context.solve(rho);
+  const core::BiCritSolution sol = context.solve_report(rho);
   if (!sol.feasible) {
     std::printf("No speed pair satisfies rho = %.3f on this platform.\n",
                 rho);

@@ -1,0 +1,378 @@
+#include "rexspeed/core/solver_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace rexspeed::core {
+
+Solution Solution::from_pair(PairSolution solution, bool used_fallback) {
+  Solution out;
+  out.kind = SolutionKind::kPair;
+  out.pair = std::move(solution);
+  out.used_fallback = used_fallback;
+  return out;
+}
+
+Solution Solution::from_interleaved(InterleavedSolution solution) {
+  Solution out;
+  out.kind = SolutionKind::kInterleaved;
+  out.interleaved = solution;
+  return out;
+}
+
+double PanelPoint::energy_saving() const noexcept {
+  if (!primary.feasible() || !baseline.feasible() ||
+      !(baseline.energy_overhead() > 0.0)) {
+    return 0.0;
+  }
+  return 1.0 - primary.energy_overhead() / baseline.energy_overhead();
+}
+
+bool BackendCapabilities::supports(SweepAxis axis) const noexcept {
+  return std::find(axes.begin(), axes.end(), axis) != axes.end();
+}
+
+bool BackendCapabilities::shares_panel_solver(SweepAxis axis) const noexcept {
+  return std::find(shared_axes.begin(), shared_axes.end(), axis) !=
+         shared_axes.end();
+}
+
+Solution SolverBackend::solve_segments(double /*rho*/,
+                                       unsigned /*segments*/) const {
+  throw std::logic_error(std::string("SolverBackend: backend '") + name() +
+                         "' does not solve pinned segment counts (only "
+                         "backends advertising the segments axis do)");
+}
+
+PairSolution SolverBackend::solve_pair(double /*rho*/, std::size_t /*i*/,
+                                       std::size_t /*j*/) const {
+  throw std::logic_error(std::string("SolverBackend: backend '") + name() +
+                         "' has no per-pair solve (capabilities().pair_table "
+                         "is false)");
+}
+
+BiCritSolution SolverBackend::solve_report(double /*rho*/,
+                                           SpeedPolicy /*policy*/) const {
+  throw std::logic_error(std::string("SolverBackend: backend '") + name() +
+                         "' has no speed-pair table (capabilities()."
+                         "pair_table is false)");
+}
+
+PanelPoint SolverBackend::solve_panel_point(SweepAxis axis, double x,
+                                            double panel_rho,
+                                            bool min_rho_fallback) const {
+  PanelPoint point;
+  point.x = x;
+  if (axis == SweepAxis::kSegments) {
+    // x IS the pinned count; the panel's own bound applies throughout.
+    const auto m = static_cast<unsigned>(std::floor(x + 0.5));
+    point.primary = solve_segments(panel_rho, m);
+    point.baseline = solve_baseline(panel_rho, min_rho_fallback);
+    return point;
+  }
+  const double rho =
+      axis == SweepAxis::kPerformanceBound ? x : panel_rho;
+  point.primary = solve(rho, SpeedPolicy::kTwoSpeed, min_rho_fallback);
+  point.baseline = solve_baseline(rho, min_rho_fallback);
+  return point;
+}
+
+namespace {
+
+/// The six figure axes in composite order — what every pair backend
+/// sweeps.
+std::vector<SweepAxis> pair_axes() {
+  return {SweepAxis::kCheckpointTime, SweepAxis::kVerificationTime,
+          SweepAxis::kErrorRate,      SweepAxis::kPerformanceBound,
+          SweepAxis::kIdlePower,      SweepAxis::kIoPower};
+}
+
+/// Shared fallback step of every pair backend's solve: degrade an
+/// infeasible best to the backend's min-ρ policy when asked to — the exact
+/// logic the historical SolverContext::best and panel kernels applied, so
+/// panel and solve paths cannot diverge.
+Solution pair_solution_with_fallback(PairSolution best,
+                                     const PairSolution& fallback,
+                                     bool min_rho_fallback) {
+  if (!best.feasible && min_rho_fallback && fallback.feasible) {
+    return Solution::from_pair(fallback, /*used_fallback=*/true);
+  }
+  return Solution::from_pair(std::move(best));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// ClosedFormBackend
+// ---------------------------------------------------------------------
+
+ClosedFormBackend::ClosedFormBackend(ModelParams params, EvalMode mode)
+    : solver_(std::move(params)), mode_(mode) {
+  capabilities_.kind = SolutionKind::kPair;
+  capabilities_.axes = pair_axes();
+  // ρ sweeps leave the model untouched, so one solver serves the panel;
+  // every other axis rebuilds the model per point (rebind).
+  capabilities_.shared_axes = {SweepAxis::kPerformanceBound};
+  capabilities_.pair_table = true;
+  capabilities_.min_rho_fallback = true;
+  switch (mode_) {
+    case EvalMode::kFirstOrder:
+      capabilities_.cost_weight = 1.0;
+      capabilities_.validity =
+          "first-order closed forms; meaningful inside the paper's 5.2 "
+          "validity window (sigma2 <= 2 sigma1 (1 + s/f))";
+      break;
+    case EvalMode::kExactEvaluation:
+      capabilities_.cost_weight = 2.0;
+      capabilities_.validity =
+          "Theorem 1 pattern size, overheads re-evaluated with the exact "
+          "expectations; pattern choice still first-order";
+      break;
+    case EvalMode::kExactOptimize:
+      capabilities_.cost_weight = 6.0;
+      capabilities_.validity =
+          "full per-bound numeric optimization of the exact model; valid "
+          "for any error rates (prefer the cached exact-opt backend for "
+          "repeated bounds)";
+      break;
+  }
+}
+
+const char* to_mode_name(EvalMode mode) noexcept {
+  switch (mode) {
+    case EvalMode::kFirstOrder:
+      return "first-order";
+    case EvalMode::kExactEvaluation:
+      return "exact-eval";
+    case EvalMode::kExactOptimize:
+      return "exact-opt";
+  }
+  return "first-order";
+}
+
+const char* ClosedFormBackend::name() const noexcept {
+  return to_mode_name(mode_);
+}
+
+void ClosedFormBackend::prepare(const ParallelFor& /*parallel_build*/) {
+  // Construction already paid the O(K²) expansions — nothing deferred.
+}
+
+Solution ClosedFormBackend::solve(double rho, SpeedPolicy policy,
+                                  bool min_rho_fallback) const {
+  // The fallback is derived on demand, only for infeasible bounds — the
+  // common feasible point never pays for it (rebind() builds one of
+  // these per grid point on model-axis panels, so ctor leanness is a hot
+  // path property). min_rho_solution is a pure const read of the cached
+  // expansions, so sharing one backend across workers stays safe.
+  PairSolution best = solver_.solve(rho, policy, mode_).best;
+  if (!best.feasible && min_rho_fallback) {
+    PairSolution fallback = solver_.min_rho_solution(policy);
+    if (fallback.feasible) {
+      return Solution::from_pair(std::move(fallback),
+                                 /*used_fallback=*/true);
+    }
+  }
+  return Solution::from_pair(std::move(best));
+}
+
+Solution ClosedFormBackend::solve_baseline(double rho,
+                                           bool min_rho_fallback) const {
+  return solve(rho, SpeedPolicy::kSingleSpeed, min_rho_fallback);
+}
+
+Solution ClosedFormBackend::min_rho(SpeedPolicy policy) const {
+  return Solution::from_pair(solver_.min_rho_solution(policy));
+}
+
+PairSolution ClosedFormBackend::solve_pair(double rho, std::size_t i,
+                                           std::size_t j) const {
+  return solver_.solve_pair_by_index(rho, i, j, mode_);
+}
+
+BiCritSolution ClosedFormBackend::solve_report(double rho,
+                                               SpeedPolicy policy) const {
+  return solver_.solve(rho, policy, mode_);
+}
+
+std::unique_ptr<SolverBackend> ClosedFormBackend::rebind(
+    ModelParams params) const {
+  return std::make_unique<ClosedFormBackend>(std::move(params), mode_);
+}
+
+// ---------------------------------------------------------------------
+// ExactOptBackend
+// ---------------------------------------------------------------------
+
+ExactOptBackend::ExactOptBackend(ModelParams params)
+    : params_(std::move(params)) {
+  // Everything prepare() or a solve could reject is rejected here — never
+  // inside a pool worker.
+  params_.validate();
+  capabilities_.kind = SolutionKind::kPair;
+  capabilities_.axes = pair_axes();
+  capabilities_.shared_axes = {SweepAxis::kPerformanceBound};
+  capabilities_.pair_table = true;
+  capabilities_.min_rho_fallback = true;
+  capabilities_.cost_weight = 3.0;
+  capabilities_.validity =
+      "cached exact-model curve optima (warm-started from the first-order "
+      "argmins where 5.2 holds); valid for any error rates";
+}
+
+const char* ExactOptBackend::name() const noexcept { return "exact-opt"; }
+
+void ExactOptBackend::prepare(const ParallelFor& parallel_build) {
+  if (!exact_) exact_.emplace(params_, parallel_build);
+}
+
+const ExactSolver& ExactOptBackend::exact() const {
+  if (!exact_) {
+    throw std::logic_error(
+        "ExactOptBackend: prepare() must run before the first solve (the "
+        "per-pair exact curve optimization is deferred)");
+  }
+  return *exact_;
+}
+
+Solution ExactOptBackend::solve(double rho, SpeedPolicy policy,
+                                bool min_rho_fallback) const {
+  const ExactSolver& solver = exact();
+  return pair_solution_with_fallback(solver.solve(rho, policy).best,
+                                     solver.min_rho_solution(policy),
+                                     min_rho_fallback);
+}
+
+Solution ExactOptBackend::solve_baseline(double rho,
+                                         bool min_rho_fallback) const {
+  return solve(rho, SpeedPolicy::kSingleSpeed, min_rho_fallback);
+}
+
+Solution ExactOptBackend::min_rho(SpeedPolicy policy) const {
+  return Solution::from_pair(exact().min_rho_solution(policy));
+}
+
+PairSolution ExactOptBackend::solve_pair(double rho, std::size_t i,
+                                         std::size_t j) const {
+  return exact().solve_pair_by_index(rho, i, j);
+}
+
+BiCritSolution ExactOptBackend::solve_report(double rho,
+                                             SpeedPolicy policy) const {
+  return exact().solve(rho, policy);
+}
+
+std::unique_ptr<SolverBackend> ExactOptBackend::rebind(
+    ModelParams params) const {
+  // Per-point panels on model axes keep the historical per-bound numeric
+  // path (one bound per point makes the cached curve structure useless).
+  return std::make_unique<ClosedFormBackend>(std::move(params),
+                                             EvalMode::kExactOptimize);
+}
+
+// ---------------------------------------------------------------------
+// InterleavedBackend
+// ---------------------------------------------------------------------
+
+InterleavedBackend::InterleavedBackend(ModelParams params,
+                                       unsigned max_segments,
+                                       unsigned fixed_segments)
+    : params_(std::move(params)),
+      max_segments_(max_segments),
+      fixed_segments_(fixed_segments) {
+  // Everything the deferred prepare() (and pool workers) would reject is
+  // rejected here instead — the InterleavedSolver preconditions included,
+  // so prepare() cannot throw later.
+  params_.validate();
+  if (params_.lambda_failstop > 0.0) {
+    throw std::invalid_argument(
+        "InterleavedBackend: interleaved mode requires lambda_failstop = 0 "
+        "(the segmented closed forms are derived for silent errors)");
+  }
+  if (max_segments_ == 0) {
+    throw std::invalid_argument(
+        "InterleavedBackend: need at least one segment");
+  }
+  if (fixed_segments_ > max_segments_) {
+    throw std::invalid_argument(
+        "InterleavedBackend: fixed_segments must be in [0, max_segments]");
+  }
+  capabilities_.kind = SolutionKind::kInterleaved;
+  capabilities_.axes = {SweepAxis::kPerformanceBound, SweepAxis::kSegments};
+  // Both axes leave the model untouched: one prepared solver serves every
+  // grid point of either panel.
+  capabilities_.shared_axes = capabilities_.axes;
+  capabilities_.pair_table = false;
+  capabilities_.min_rho_fallback = false;
+  capabilities_.cost_weight = 8.0;
+  capabilities_.max_segments = max_segments_;
+  capabilities_.validity =
+      "exact segmented expectations (silent errors only, lambda_f = 0); "
+      "m = 1 is the paper's own pattern";
+}
+
+const char* InterleavedBackend::name() const noexcept {
+  return "interleaved";
+}
+
+void InterleavedBackend::prepare(const ParallelFor& /*parallel_build*/) {
+  if (!solver_) solver_.emplace(params_, max_segments_);
+}
+
+const InterleavedSolver& InterleavedBackend::solver() const {
+  if (!solver_) {
+    throw std::logic_error(
+        "InterleavedBackend: prepare() must run before the first solve "
+        "(the per-(pair, m) curve optimization is deferred)");
+  }
+  return *solver_;
+}
+
+Solution InterleavedBackend::solve(double rho, SpeedPolicy /*policy*/,
+                                   bool /*min_rho_fallback*/) const {
+  // Interleaved mode enumerates every pair (no single-speed variant) and
+  // has no min-ρ fallback; both arguments are accepted for interface
+  // uniformity and ignored, as the solve path always has.
+  const InterleavedSolver& cached = solver();
+  return Solution::from_interleaved(
+      fixed_segments_ > 0 ? cached.solve_segments(rho, fixed_segments_)
+                          : cached.solve(rho));
+}
+
+Solution InterleavedBackend::solve_baseline(double rho,
+                                            bool /*min_rho_fallback*/) const {
+  return Solution::from_interleaved(solver().solve_segments(rho, 1));
+}
+
+Solution InterleavedBackend::solve_segments(double rho,
+                                            unsigned segments) const {
+  return Solution::from_interleaved(solver().solve_segments(rho, segments));
+}
+
+Solution InterleavedBackend::min_rho(SpeedPolicy /*policy*/) const {
+  // No min-ρ fallback in interleaved mode: an infeasible Solution.
+  Solution out;
+  out.kind = SolutionKind::kInterleaved;
+  return out;
+}
+
+std::unique_ptr<SolverBackend> InterleavedBackend::rebind(
+    ModelParams params) const {
+  return std::make_unique<InterleavedBackend>(std::move(params),
+                                              max_segments_,
+                                              fixed_segments_);
+}
+
+// ---------------------------------------------------------------------
+
+std::unique_ptr<SolverBackend> make_mode_backend(ModelParams params,
+                                                 EvalMode mode) {
+  if (mode == EvalMode::kExactOptimize) {
+    return std::make_unique<ExactOptBackend>(std::move(params));
+  }
+  return std::make_unique<ClosedFormBackend>(std::move(params), mode);
+}
+
+}  // namespace rexspeed::core

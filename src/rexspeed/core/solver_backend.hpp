@@ -1,0 +1,361 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/core/exact_solver.hpp"
+#include "rexspeed/core/interleaved.hpp"
+#include "rexspeed/core/sweep_axis.hpp"
+
+namespace rexspeed::core {
+
+/// Which payload a unified Solution carries.
+enum class SolutionKind {
+  kPair,         ///< a speed-pair pattern (PairSolution)
+  kInterleaved,  ///< a segmented pattern (InterleavedSolution)
+};
+
+/// The unified solve outcome every SolverBackend returns: a tagged struct
+/// subsuming PairSolution (the closed-form and exact backends) and
+/// InterleavedSolution (the segmented backend) behind one common
+/// feasibility / speeds / overhead view, so engine drivers, panels and the
+/// CLI report any backend's result without mode branches. The payload the
+/// tag does not select is default-constructed.
+struct Solution {
+  SolutionKind kind = SolutionKind::kPair;
+  PairSolution pair;                ///< kPair payload
+  InterleavedSolution interleaved;  ///< kInterleaved payload
+  /// True when the bound was unachievable and the backend degraded to its
+  /// min-ρ best-effort policy (pair backends only; see
+  /// SolverBackend::solve).
+  bool used_fallback = false;
+
+  // ---- the common view -------------------------------------------------
+  [[nodiscard]] bool feasible() const noexcept {
+    return kind == SolutionKind::kPair ? pair.feasible
+                                       : interleaved.feasible;
+  }
+  [[nodiscard]] double sigma1() const noexcept {
+    return kind == SolutionKind::kPair ? pair.sigma1 : interleaved.sigma1;
+  }
+  [[nodiscard]] double sigma2() const noexcept {
+    return kind == SolutionKind::kPair ? pair.sigma2 : interleaved.sigma2;
+  }
+  [[nodiscard]] double w_opt() const noexcept {
+    return kind == SolutionKind::kPair ? pair.w_opt : interleaved.w_opt;
+  }
+  [[nodiscard]] double energy_overhead() const noexcept {
+    return kind == SolutionKind::kPair ? pair.energy_overhead
+                                       : interleaved.energy_overhead;
+  }
+  [[nodiscard]] double time_overhead() const noexcept {
+    return kind == SolutionKind::kPair ? pair.time_overhead
+                                       : interleaved.time_overhead;
+  }
+  /// Verifications per pattern (1 for every pair solution — the paper's
+  /// own pattern).
+  [[nodiscard]] unsigned segments() const noexcept {
+    return kind == SolutionKind::kPair ? 1u : interleaved.segments;
+  }
+
+  [[nodiscard]] static Solution from_pair(PairSolution solution,
+                                          bool used_fallback = false);
+  [[nodiscard]] static Solution from_interleaved(
+      InterleavedSolution solution);
+};
+
+/// One x position of a figure panel, backend-agnostic: the backend's best
+/// solution next to its baseline (single-speed for pair backends, m = 1
+/// for the interleaved backend). The generic sweep::PanelSweep fills a
+/// vector of these; typed figure/interleaved series are views over them.
+struct PanelPoint {
+  double x = 0.0;
+  Solution primary;   ///< the backend's configured best
+  Solution baseline;  ///< the backend's baseline policy
+
+  /// Energy saved by the primary policy relative to the baseline, as a
+  /// fraction of the baseline overhead (the paper's "up to 35%").
+  [[nodiscard]] double energy_saving() const noexcept;
+};
+
+/// What a backend can do — the data the engine's generic drivers dispatch
+/// on instead of mode-specific branches.
+struct BackendCapabilities {
+  SolutionKind kind = SolutionKind::kPair;
+  /// Panel axes the backend sweeps, in composite (figure) order.
+  std::vector<SweepAxis> axes;
+  /// Axes where ONE prepared backend instance serves the whole panel (the
+  /// swept value never touches the model parameters). Other supported
+  /// axes rebuild a cheap per-point backend via rebind().
+  std::vector<SweepAxis> shared_axes;
+  /// True when solve_pair / solve_report (the §4.2 speed-pair tables) are
+  /// available.
+  bool pair_table = false;
+  /// True when the backend has a min-ρ best-effort fallback policy.
+  bool min_rho_fallback = false;
+  /// Relative cost of one panel-point solve, used by campaign-level
+  /// scheduling to order long panels first. 1.0 = a first-order solve.
+  double cost_weight = 1.0;
+  /// Segment-count search cap (1 for pair backends) — the upper end of
+  /// the kSegments axis.
+  unsigned max_segments = 1;
+  /// Human-readable validity-window note (e.g. the §5.2 first-order
+  /// window), surfaced by documentation and diagnostics.
+  std::string validity;
+
+  [[nodiscard]] bool supports(SweepAxis axis) const noexcept;
+  [[nodiscard]] bool shares_panel_solver(SweepAxis axis) const noexcept;
+};
+
+/// Construction parallelizer hook shared by every backend's prepare():
+/// call fn(i) for every i in [0, count), in any order, and return once all
+/// completed. Empty means serial. Identical shape to
+/// ExactSolver::ParallelFor (sweep::make_parallel_build adapts a pool).
+using ParallelFor = std::function<void(
+    std::size_t count, const std::function<void(std::size_t)>& fn)>;
+
+/// The polymorphic solver interface behind every evaluation mode —
+/// first-order closed forms, cached exact optimization, interleaved
+/// verification, and whatever comes next. One backend is bound to one
+/// ModelParams bundle and one mode configuration; the engine's registry
+/// (engine::backend_registry) maps mode names to factories, so adding a
+/// mode is one class plus one registration.
+///
+/// Lifecycle: construction validates everything and is cheap; prepare()
+/// pays the backend's heavy ρ-independent cache (idempotent, cannot throw
+/// on a constructed backend, optionally parallelized — the finished cache
+/// is bit-identical any schedule); solves afterwards are cheap feasibility
+/// math. needs_prepare() is true until prepare() ran for backends that
+/// defer work (a backend whose construction is already complete returns
+/// false throughout).
+///
+/// Thread-safety: after prepare(), a backend is immutable — every solve is
+/// const and touches only the prepared caches, so one backend is safe to
+/// share across ThreadPool workers without synchronization (the uniform
+/// contract of BiCritSolver / ExactSolver / InterleavedSolver).
+class SolverBackend {
+ public:
+  virtual ~SolverBackend() = default;
+
+  /// The registry mode name ("first-order", "exact-opt", ...).
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  [[nodiscard]] virtual const ModelParams& params() const noexcept = 0;
+  [[nodiscard]] virtual const BackendCapabilities& capabilities()
+      const noexcept = 0;
+
+  /// True until prepare() has built the caches this backend defers.
+  [[nodiscard]] virtual bool needs_prepare() const noexcept = 0;
+
+  /// Builds the deferred caches (idempotent; no-op for backends that need
+  /// none). `parallel_build`, when set, distributes independent cache
+  /// entries; it is not retained. Must complete before the first solve on
+  /// backends that defer; never throws on a constructed backend.
+  virtual void prepare(const ParallelFor& parallel_build = {}) = 0;
+
+  /// Best solution at bound `rho`. Pair backends honor `policy`; the
+  /// interleaved backend enumerates every pair regardless (it has no
+  /// single-speed variant). With `min_rho_fallback` set, an unachievable
+  /// bound degrades to the backend's min-ρ best-effort policy when it has
+  /// one (Solution::used_fallback reports this).
+  [[nodiscard]] virtual Solution solve(
+      double rho, SpeedPolicy policy = SpeedPolicy::kTwoSpeed,
+      bool min_rho_fallback = false) const = 0;
+
+  /// The panel baseline at bound `rho`: the single-speed optimum for pair
+  /// backends, the m = 1 pattern for the interleaved backend.
+  [[nodiscard]] virtual Solution solve_baseline(
+      double rho, bool min_rho_fallback = false) const = 0;
+
+  /// Best pattern pinned at exactly `segments` verifications. Only
+  /// backends advertising the kSegments axis implement this; the default
+  /// throws std::logic_error.
+  [[nodiscard]] virtual Solution solve_segments(double rho,
+                                                unsigned segments) const;
+
+  /// The backend's min-ρ best-effort policy (infeasible Solution when
+  /// capabilities().min_rho_fallback is false).
+  [[nodiscard]] virtual Solution min_rho(SpeedPolicy policy) const = 0;
+
+  /// Solves the speed pair at positions (i, j) of the speed set. Requires
+  /// capabilities().pair_table; the default throws std::logic_error.
+  [[nodiscard]] virtual PairSolution solve_pair(double rho, std::size_t i,
+                                                std::size_t j) const;
+
+  /// Full reporting solve (best + every candidate pair — the §4.2
+  /// tables). Requires capabilities().pair_table; the default throws
+  /// std::logic_error.
+  [[nodiscard]] virtual BiCritSolution solve_report(
+      double rho, SpeedPolicy policy = SpeedPolicy::kTwoSpeed) const;
+
+  /// A cheap per-point backend over different model parameters, used by
+  /// panels on non-shared axes (C, V, λ, Pidle, Pio rebuild the model per
+  /// grid point by necessity). The result needs no prepare() beyond a
+  /// no-op call and reproduces the historical per-point path of its mode
+  /// bit for bit.
+  [[nodiscard]] virtual std::unique_ptr<SolverBackend> rebind(
+      ModelParams params) const = 0;
+
+  /// One panel point on any supported axis, off this (already rebound for
+  /// model axes) backend: x is the bound on the ρ axis, the pinned count
+  /// on the segments axis, and recorded-only elsewhere. This is THE
+  /// per-grid-point kernel every sweep and campaign task runs.
+  [[nodiscard]] PanelPoint solve_panel_point(SweepAxis axis, double x,
+                                             double panel_rho,
+                                             bool min_rho_fallback) const;
+};
+
+/// The closed-form backend family: BiCritSolver's cached first-order
+/// expansions, evaluated per the mode (kFirstOrder, kExactEvaluation, or
+/// the per-bound kExactOptimize path that panels use on non-ρ axes).
+/// Construction is the complete preparation (needs_prepare() is false).
+class ClosedFormBackend final : public SolverBackend {
+ public:
+  ClosedFormBackend(ModelParams params, EvalMode mode);
+
+  [[nodiscard]] const char* name() const noexcept override;
+  [[nodiscard]] const ModelParams& params() const noexcept override {
+    return solver_.params();
+  }
+  [[nodiscard]] const BackendCapabilities& capabilities()
+      const noexcept override {
+    return capabilities_;
+  }
+  [[nodiscard]] bool needs_prepare() const noexcept override {
+    return false;
+  }
+  void prepare(const ParallelFor& parallel_build = {}) override;
+  [[nodiscard]] Solution solve(double rho, SpeedPolicy policy,
+                               bool min_rho_fallback) const override;
+  [[nodiscard]] Solution solve_baseline(double rho,
+                                        bool min_rho_fallback) const override;
+  [[nodiscard]] Solution min_rho(SpeedPolicy policy) const override;
+  [[nodiscard]] PairSolution solve_pair(double rho, std::size_t i,
+                                        std::size_t j) const override;
+  [[nodiscard]] BiCritSolution solve_report(
+      double rho, SpeedPolicy policy) const override;
+  [[nodiscard]] std::unique_ptr<SolverBackend> rebind(
+      ModelParams params) const override;
+
+  [[nodiscard]] EvalMode mode() const noexcept { return mode_; }
+  [[nodiscard]] const BiCritSolver& solver() const noexcept {
+    return solver_;
+  }
+
+ private:
+  BiCritSolver solver_;
+  EvalMode mode_;
+  BackendCapabilities capabilities_;
+};
+
+/// The cached exact-optimization backend: construction validates, prepare()
+/// pays the per-(σ1, σ2) exact curve optimization (ExactSolver), solves
+/// afterwards are feasibility math plus at most one warm-started bisection
+/// per tight pair. ρ panels share one prepared instance; other axes rebind
+/// to the per-bound ClosedFormBackend path, exactly as the historical
+/// panel sweep did.
+class ExactOptBackend final : public SolverBackend {
+ public:
+  explicit ExactOptBackend(ModelParams params);
+
+  [[nodiscard]] const char* name() const noexcept override;
+  [[nodiscard]] const ModelParams& params() const noexcept override {
+    return params_;
+  }
+  [[nodiscard]] const BackendCapabilities& capabilities()
+      const noexcept override {
+    return capabilities_;
+  }
+  [[nodiscard]] bool needs_prepare() const noexcept override {
+    return !exact_.has_value();
+  }
+  void prepare(const ParallelFor& parallel_build = {}) override;
+  [[nodiscard]] Solution solve(double rho, SpeedPolicy policy,
+                               bool min_rho_fallback) const override;
+  [[nodiscard]] Solution solve_baseline(double rho,
+                                        bool min_rho_fallback) const override;
+  [[nodiscard]] Solution min_rho(SpeedPolicy policy) const override;
+  [[nodiscard]] PairSolution solve_pair(double rho, std::size_t i,
+                                        std::size_t j) const override;
+  [[nodiscard]] BiCritSolution solve_report(
+      double rho, SpeedPolicy policy) const override;
+  [[nodiscard]] std::unique_ptr<SolverBackend> rebind(
+      ModelParams params) const override;
+
+  /// The prepared cache. Throws std::logic_error before prepare().
+  [[nodiscard]] const ExactSolver& exact() const;
+
+ private:
+  ModelParams params_;
+  std::optional<ExactSolver> exact_;
+  BackendCapabilities capabilities_;
+};
+
+/// The interleaved-verification backend: construction validates (λf = 0,
+/// segment limits), prepare() pays the per-(σ1, σ2, m) curve optimization
+/// (InterleavedSolver). A positive `fixed_segments` pins the count
+/// (a `segments=M` scenario); 0 searches every count in [1, max_segments].
+class InterleavedBackend final : public SolverBackend {
+ public:
+  /// Throws std::invalid_argument on invalid params, λf ≠ 0,
+  /// max_segments == 0, or fixed_segments > max_segments.
+  InterleavedBackend(ModelParams params, unsigned max_segments,
+                     unsigned fixed_segments = 0);
+
+  [[nodiscard]] const char* name() const noexcept override;
+  [[nodiscard]] const ModelParams& params() const noexcept override {
+    return params_;
+  }
+  [[nodiscard]] const BackendCapabilities& capabilities()
+      const noexcept override {
+    return capabilities_;
+  }
+  [[nodiscard]] bool needs_prepare() const noexcept override {
+    return !solver_.has_value();
+  }
+  void prepare(const ParallelFor& parallel_build = {}) override;
+  [[nodiscard]] Solution solve(double rho, SpeedPolicy policy,
+                               bool min_rho_fallback) const override;
+  [[nodiscard]] Solution solve_baseline(double rho,
+                                        bool min_rho_fallback) const override;
+  [[nodiscard]] Solution solve_segments(double rho,
+                                        unsigned segments) const override;
+  [[nodiscard]] Solution min_rho(SpeedPolicy policy) const override;
+  [[nodiscard]] std::unique_ptr<SolverBackend> rebind(
+      ModelParams params) const override;
+
+  [[nodiscard]] unsigned max_segments() const noexcept {
+    return max_segments_;
+  }
+  [[nodiscard]] unsigned fixed_segments() const noexcept {
+    return fixed_segments_;
+  }
+  /// The prepared cache. Throws std::logic_error before prepare().
+  [[nodiscard]] const InterleavedSolver& solver() const;
+
+ private:
+  ModelParams params_;
+  unsigned max_segments_;
+  unsigned fixed_segments_;
+  std::optional<InterleavedSolver> solver_;
+  BackendCapabilities capabilities_;
+};
+
+/// The registry mode name of a closed-form EvalMode ("first-order",
+/// "exact-eval", "exact-opt") — the single vocabulary source that
+/// ClosedFormBackend::name() and the engine's spec→mode-name mapping
+/// share.
+[[nodiscard]] const char* to_mode_name(EvalMode mode) noexcept;
+
+/// Backend for a bare EvalMode over one parameter bundle — the shape the
+/// mode-only entry points (run_figure_sweep, speed_pair_table) use when no
+/// scenario is involved. kFirstOrder/kExactEvaluation yield a (fully
+/// prepared) ClosedFormBackend, kExactOptimize an ExactOptBackend whose
+/// prepare() is still pending.
+[[nodiscard]] std::unique_ptr<SolverBackend> make_mode_backend(
+    ModelParams params, EvalMode mode);
+
+}  // namespace rexspeed::core

@@ -1,0 +1,37 @@
+#include "rexspeed/core/sweep_axis.hpp"
+
+namespace rexspeed::core {
+
+const char* to_string(SweepAxis axis) noexcept {
+  switch (axis) {
+    case SweepAxis::kCheckpointTime:
+      return "C";
+    case SweepAxis::kVerificationTime:
+      return "V";
+    case SweepAxis::kErrorRate:
+      return "lambda";
+    case SweepAxis::kPerformanceBound:
+      return "rho";
+    case SweepAxis::kIdlePower:
+      return "Pidle";
+    case SweepAxis::kIoPower:
+      return "Pio";
+    case SweepAxis::kSegments:
+      return "segments";
+  }
+  return "unknown";
+}
+
+std::optional<SweepAxis> parse_sweep_axis(std::string_view name) noexcept {
+  constexpr SweepAxis kAxes[] = {
+      SweepAxis::kCheckpointTime, SweepAxis::kVerificationTime,
+      SweepAxis::kErrorRate,      SweepAxis::kPerformanceBound,
+      SweepAxis::kIdlePower,      SweepAxis::kIoPower,
+      SweepAxis::kSegments};
+  for (const SweepAxis axis : kAxes) {
+    if (name == to_string(axis)) return axis;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rexspeed::core

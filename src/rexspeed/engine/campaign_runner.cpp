@@ -1,31 +1,26 @@
 #include "rexspeed/engine/campaign_runner.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
-#include "rexspeed/engine/solver_context.hpp"
-#include "rexspeed/sweep/figure_sweeps.hpp"
-#include "rexspeed/sweep/interleaved_sweeps.hpp"
+#include "rexspeed/engine/backend_registry.hpp"
 
 namespace rexspeed::engine {
 
 namespace {
 
-/// A kSolve scenario's single task: params resolved up front, the heavy
-/// SolverContext construction deferred into the task stream.
+/// A kSolve scenario's single task. The backend is built (cheap,
+/// validating) at plan time; its heavyweight cache — the dominant cost of
+/// the exact and interleaved modes — is paid by prepare() in the pooled
+/// phase-1.5 barrier alongside the panels'. Inputs are validated in
+/// phase 1, so the task cannot throw.
 struct SolvePlan {
-  core::ModelParams params;
-  ScenarioResult* result = nullptr;
-};
-
-/// An interleaved kSolve scenario's single task: the (heavier) cached
-/// interleaved-solver construction is likewise deferred into the stream.
-/// Inputs are validated in phase 1, so the task cannot throw.
-struct InterleavedSolvePlan {
-  core::ModelParams params;
+  std::unique_ptr<core::SolverBackend> backend;
   ScenarioResult* result = nullptr;
 };
 
@@ -36,25 +31,19 @@ CampaignRunner::CampaignRunner(CampaignRunnerOptions options)
 
 std::vector<ScenarioResult> CampaignRunner::run(
     const std::vector<ScenarioSpec>& specs) const {
-  // Phase 1 (serial, cheap): resolve every scenario and prepare every
-  // panel through the same sweep::PanelSweep that run_figure_sweep
-  // drives — identical setup and per-point kernel, so campaign results
-  // are bit-identical to per-scenario runs by construction. All
-  // validation errors surface here, before any task is submitted; tasks
-  // themselves are pure solver math on validated inputs and cannot throw.
-  // Plans live in deques so task lambdas hold stable pointers while plans
-  // for later scenarios are still being appended.
+  // Phase 1 (serial, cheap): resolve every scenario's backend through the
+  // registry and prepare every panel through the same sweep::PanelSweep
+  // that run_panel_sweep drives — identical setup and per-point kernel,
+  // so campaign results are bit-identical to per-scenario runs by
+  // construction. All validation errors surface here, before any task is
+  // submitted; tasks themselves are pure solver math on validated inputs
+  // and cannot throw. Plans live in deques so task lambdas hold stable
+  // pointers while plans for later scenarios are still being appended.
   std::vector<ScenarioResult> results(specs.size());
   std::deque<sweep::PanelSweep> panel_plans;
-  std::deque<sweep::InterleavedPanelSweep> interleaved_plans;
   std::deque<SolvePlan> solve_plans;
-  std::deque<InterleavedSolvePlan> interleaved_solve_plans;
   /// Where each finished panel is moved once the stream drains.
-  std::vector<std::pair<sweep::PanelSweep*, sweep::FigureSeries*>> outputs;
-  std::vector<std::pair<sweep::InterleavedPanelSweep*,
-                        sweep::InterleavedSeries*>>
-      interleaved_outputs;
-  std::size_t task_count = 0;
+  std::vector<std::pair<sweep::PanelSweep*, sweep::PanelSeries*>> outputs;
 
   for (std::size_t s = 0; s < specs.size(); ++s) {
     const ScenarioSpec& spec = specs[s];
@@ -63,79 +52,54 @@ std::vector<ScenarioResult> CampaignRunner::run(
     spec.validate();
     core::ModelParams base = spec.resolve_params();
     // Panels validate their bound in the PanelSweep constructor; the
-    // solve task calls the solver directly, so its bound is checked here
+    // solve task calls the backend directly, so its bound is checked here
     // (tasks must not throw — the pool has no exception barrier).
     if (!(spec.rho > 0.0) || !std::isfinite(spec.rho)) {
       throw std::invalid_argument("CampaignRunner: scenario '" + spec.name +
                                   "': rho must be positive and finite");
     }
 
-    if (spec.interleaved()) {
-      // Interleaved solves defer the cached-solver construction into the
-      // stream, so every argument it would reject is rejected here.
-      if (base.lambda_failstop > 0.0) {
-        throw std::invalid_argument(
-            "CampaignRunner: scenario '" + spec.name +
-            "': interleaved mode requires lambda_failstop = 0");
-      }
-      if (spec.kind() == ScenarioKind::kSolve) {
-        interleaved_solve_plans.push_back({std::move(base), &result});
-        ++task_count;
-        continue;
-      }
-      // Same axes, grids, options and per-point kernel as
-      // SweepEngine::run_interleaved — bit-identical by construction.
-      const std::vector<sweep::SweepParameter> axes =
-          interleaved_panel_axes(spec);
-      const sweep::SweepOptions options = spec.sweep_options(nullptr);
-      result.interleaved_panels.resize(axes.size());
-      for (std::size_t p = 0; p < axes.size(); ++p) {
-        sweep::InterleavedPanelSweep& plan = interleaved_plans.emplace_back(
-            base, spec.configuration, axes[p],
-            sweep::interleaved_grid(axes[p], spec.points,
-                                    spec.segment_limit()),
-            spec.segment_limit(), spec.segments, options);
-        interleaved_outputs.emplace_back(&plan,
-                                         &result.interleaved_panels[p]);
-        task_count += plan.point_count();
-      }
-      continue;
-    }
-
     if (spec.kind() == ScenarioKind::kSolve) {
-      solve_plans.push_back({std::move(base), &result});
-      ++task_count;
+      solve_plans.push_back(
+          {make_backend(spec, std::move(base)), &result});
       continue;
     }
 
-    const std::vector<sweep::SweepParameter> panels =
-        spec.kind() == ScenarioKind::kSweep
-            ? std::vector<sweep::SweepParameter>{*spec.sweep_parameter}
-            : sweep::all_sweep_parameters();
+    // Same axes, grids, options and per-point kernel as
+    // SweepEngine::run_axis — bit-identical by construction.
+    const std::vector<sweep::SweepParameter> axes =
+        scenario_panel_axes(spec);
     const sweep::SweepOptions options = spec.sweep_options(nullptr);
-    result.panels.resize(panels.size());
-    for (std::size_t p = 0; p < panels.size(); ++p) {
+    result.panels.resize(axes.size());
+    for (std::size_t p = 0; p < axes.size(); ++p) {
       sweep::PanelSweep& plan = panel_plans.emplace_back(
-          base, spec.configuration, panels[p],
-          sweep::default_grid(panels[p], spec.points), options);
+          make_backend(spec, base), spec.configuration, axes[p],
+          sweep::panel_grid(axes[p], spec.points, spec.segment_limit()),
+          options);
       outputs.emplace_back(&plan, &result.panels[p]);
-      task_count += plan.point_count();
     }
   }
 
-  // Phase 1.5: build the heavyweight per-panel caches across the pool —
+  // Phase 1.5: build the heavyweight deferred caches across the pool —
   // the interleaved solvers (per-(σ1,σ2,m) curve optimization) and the
-  // exact ρ-panel backends (per-(σ1,σ2) exact curve optimization), each
-  // the dominant cost of its panel. Every plan was fully validated above
-  // so prepare() cannot throw. One extra barrier, paid only by campaigns
-  // that actually carry such panels.
+  // exact backends (per-(σ1,σ2) exact curve optimization), each the
+  // dominant cost of its panel or solve. Which plans need one is the
+  // backend's business (needs_prepare), not a mode branch. Solve
+  // backends prepare here too: left to their stream task, a heavy
+  // interleaved/exact solve would rebuild its whole cache serially on
+  // one worker at whatever point the scheduler placed it — exactly the
+  // tail the longest-first ordering below exists to avoid. Every plan
+  // was fully validated above so prepare() cannot throw. One extra
+  // barrier, paid only by campaigns that actually carry such backends.
   std::vector<std::function<void()>> prepare_tasks;
-  for (sweep::InterleavedPanelSweep& plan : interleaved_plans) {
-    prepare_tasks.push_back([&plan] { plan.prepare(); });
-  }
   for (sweep::PanelSweep& plan : panel_plans) {
     if (plan.needs_prepare()) {
       prepare_tasks.push_back([&plan] { plan.prepare(); });
+    }
+  }
+  for (SolvePlan& plan : solve_plans) {
+    if (plan.backend->needs_prepare()) {
+      prepare_tasks.push_back([&plan] { plan.backend->prepare(); });
     }
   }
   if (!prepare_tasks.empty()) {
@@ -146,39 +110,56 @@ std::vector<ScenarioResult> CampaignRunner::run(
 
   // Phase 2: ONE flattened task stream — every (scenario × panel × point)
   // plus every solve, with no barrier until the campaign's end. Each task
-  // writes only its own slot, so scheduling cannot change a single bit.
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(task_count);
+  // writes only its own slot, so scheduling cannot change a single bit —
+  // which frees the stream to order whole panels longest-first (points ×
+  // the backend's per-point cost weight): the heaviest panels start
+  // earliest, shrinking the tail where a late-started long panel would
+  // idle every other worker (ROADMAP "campaign-level scheduling").
+  struct TaskGroup {
+    double cost = 0.0;
+    sweep::PanelSweep* panel = nullptr;  ///< null for solve groups
+    SolvePlan* solve = nullptr;
+  };
+  std::vector<TaskGroup> groups;
+  groups.reserve(panel_plans.size() + solve_plans.size());
   for (sweep::PanelSweep& plan : panel_plans) {
-    for (std::size_t i = 0; i < plan.point_count(); ++i) {
-      tasks.push_back([&plan, i] { plan.solve_point(i); });
-    }
-  }
-  for (sweep::InterleavedPanelSweep& plan : interleaved_plans) {
-    for (std::size_t i = 0; i < plan.point_count(); ++i) {
-      tasks.push_back([&plan, i] { plan.solve_point(i); });
-    }
+    groups.push_back({static_cast<double>(plan.point_count()) *
+                          plan.cost_weight(),
+                      &plan, nullptr});
   }
   for (SolvePlan& plan : solve_plans) {
-    tasks.push_back([&plan] {
-      const ScenarioSpec& spec = plan.result->spec;
-      // The same cache opt-ins solve_scenario's context gets (one shared
-      // rule — context_options), so campaign and standalone solves stay
-      // bit-identical. Built serially: the task already runs on a worker.
-      const SolverContext context(plan.params, spec.context_options());
-      plan.result->solution =
-          context.best(spec.rho, spec.policy, spec.mode,
-                       spec.min_rho_fallback, &plan.result->used_fallback);
-    });
+    groups.push_back(
+        {plan.backend->capabilities().cost_weight, nullptr, &plan});
   }
-  for (InterleavedSolvePlan& plan : interleaved_solve_plans) {
-    tasks.push_back([&plan] {
-      const ScenarioSpec& spec = plan.result->spec;
-      const core::InterleavedSolver solver(plan.params,
-                                           spec.segment_limit());
-      plan.result->interleaved_solution =
-          spec.segments == 0 ? solver.solve(spec.rho)
-                             : solver.solve_segments(spec.rho, spec.segments);
+  // Stable: equal-cost groups keep scenario order, so the stream itself
+  // stays deterministic (not that results could tell).
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const TaskGroup& a, const TaskGroup& b) {
+                     return a.cost > b.cost;
+                   });
+
+  std::vector<std::function<void()>> tasks;
+  std::size_t task_count = solve_plans.size();
+  for (const sweep::PanelSweep& plan : panel_plans) {
+    task_count += plan.point_count();
+  }
+  tasks.reserve(task_count);
+  for (const TaskGroup& group : groups) {
+    if (group.panel != nullptr) {
+      sweep::PanelSweep* plan = group.panel;
+      for (std::size_t i = 0; i < plan->point_count(); ++i) {
+        tasks.push_back([plan, i] { plan->solve_point(i); });
+      }
+      continue;
+    }
+    SolvePlan* plan = group.solve;
+    tasks.push_back([plan] {
+      const ScenarioSpec& spec = plan->result->spec;
+      // Same backend + solve call as solve_scenario (one shared rule —
+      // the registry), so campaign and standalone solves stay
+      // bit-identical; the cache was prepared in phase 1.5.
+      plan->result->solution =
+          plan->backend->solve(spec.rho, spec.policy, spec.min_rho_fallback);
     });
   }
 
@@ -186,7 +167,6 @@ std::vector<ScenarioResult> CampaignRunner::run(
                       [&tasks](std::size_t i) { tasks[i](); });
 
   for (auto& [plan, series] : outputs) *series = plan->take();
-  for (auto& [plan, series] : interleaved_outputs) *series = plan->take();
   return results;
 }
 

@@ -3,26 +3,23 @@
 #include <vector>
 
 #include "rexspeed/engine/scenario.hpp"
-#include "rexspeed/sweep/interleaved_sweeps.hpp"
+#include "rexspeed/sweep/panel_sweep.hpp"
 #include "rexspeed/sweep/thread_pool.hpp"
 
 namespace rexspeed::engine {
 
 /// Everything one scenario of a campaign produced, dispatched on its kind:
-/// a kSweep scenario fills one panel, a kAllSweeps composite six, and a
-/// kSolve scenario leaves `panels` empty and reports its bound solve in
-/// `solution` / `used_fallback` instead. Interleaved scenarios fill the
-/// `interleaved_*` slots instead of the two-speed ones (their panels are a
-/// different series type).
+/// a kSweep scenario fills one panel, a param=all composite every axis its
+/// backend advertises, and a kSolve scenario leaves `panels` empty and
+/// reports its bound solve in `solution` instead. Panels and solutions
+/// are backend-agnostic (sweep::PanelSeries / core::Solution) — consumers
+/// dispatch on their `kind` tags, not on scenario modes.
 struct ScenarioResult {
   ScenarioSpec spec;
-  std::vector<sweep::FigureSeries> panels;
-  /// Interleaved scenarios only: one panel per axis (ρ and/or segments).
-  std::vector<sweep::InterleavedSeries> interleaved_panels;
-  core::PairSolution solution;  ///< kSolve only; default elsewhere
-  /// Interleaved kSolve only: the best segmented pattern at the bound.
-  core::InterleavedSolution interleaved_solution;
-  bool used_fallback = false;   ///< kSolve only: min-ρ fallback taken
+  std::vector<sweep::PanelSeries> panels;
+  /// kSolve only: the unified solve outcome (Solution::used_fallback
+  /// reports a min-ρ fallback take on pair backends).
+  core::Solution solution;
 };
 
 struct CampaignRunnerOptions {
@@ -34,29 +31,34 @@ struct CampaignRunnerOptions {
 /// grid-point) of a campaign into ONE task stream over a shared ThreadPool,
 /// with no per-panel or per-scenario barriers — the tail of one panel no
 /// longer idles workers while the next panel waits to start, which is
-/// where `run_all_sweeps`' sequential panels lose throughput on small
-/// grids.
+/// where sequential panels lose throughput on small grids.
 ///
-/// The stream has three phases: plan (serial, validates everything —
+/// The stream has three phases: plan (serial, resolves every scenario's
+/// backend through engine::backend_registry and validates everything —
 /// tasks cannot throw), prepare (one pooled barrier building the
-/// heavyweight per-panel caches: interleaved solvers and exact ρ-panel
-/// backends; skipped when no panel needs one), and the flattened point
-/// stream itself. See docs/ARCHITECTURE.md for the full model.
+/// heavyweight deferred caches of every panel and solve whose backend
+/// needs one; skipped when none does), and the flattened point stream
+/// itself. Within the
+/// stream, whole panels are ordered longest-first by estimated cost
+/// (points × the backend's capabilities().cost_weight), so the heaviest
+/// panels start earliest and the stream's tail stays short; ordering
+/// cannot change results (every task writes only its own slot). See
+/// docs/ARCHITECTURE.md for the full model.
 ///
-/// Determinism: every task writes only its own preallocated slot and runs
-/// the same per-point kernel (`sweep::solve_figure_point`) against the same
-/// per-panel inputs as a per-scenario `SweepEngine` run, so campaign
-/// results are bit-identical to running each scenario alone — serial or
-/// parallel, any thread count, any scheduling. Solvers shared across
-/// workers are immutable after their prepare step (the uniform contract
-/// of BiCritSolver / ExactSolver / InterleavedSolver).
+/// Determinism: every task runs the same per-point kernel
+/// (core::SolverBackend::solve_panel_point) against the same per-panel
+/// inputs as a per-scenario SweepEngine run, so campaign results are
+/// bit-identical to running each scenario alone — serial or parallel, any
+/// thread count, any scheduling. Backends shared across workers are
+/// immutable after their prepare step (the uniform SolverBackend
+/// contract).
 class CampaignRunner {
  public:
   explicit CampaignRunner(CampaignRunnerOptions options = {});
 
   /// Runs a whole campaign through one flattened task stream. Scenario
-  /// resolution errors (unknown configuration, invalid overrides) throw
-  /// before any task runs.
+  /// resolution errors (unknown configuration, invalid overrides,
+  /// simulate-only dimensions) throw before any task runs.
   [[nodiscard]] std::vector<ScenarioResult> run(
       const std::vector<ScenarioSpec>& specs) const;
 

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "rexspeed/engine/backend_registry.hpp"
 #include "rexspeed/platform/configuration.hpp"
 
 namespace rexspeed::engine {
@@ -19,25 +20,16 @@ core::ModelParams ScenarioSpec::resolve_params() const {
   return params;
 }
 
-SolverContextOptions ScenarioSpec::context_options(
-    sweep::ThreadPool* pool) const {
-  SolverContextOptions options;
-  options.max_segments = segment_limit();
-  options.exact_cache = mode == core::EvalMode::kExactOptimize;
-  options.pool = pool;
-  return options;
-}
-
-SolverContext ScenarioSpec::make_context(sweep::ThreadPool* pool) const {
-  return SolverContext(resolve_params(), context_options(pool));
-}
-
 void ScenarioSpec::validate() const {
   if (segments > 0 && max_segments > 0) {
     throw std::invalid_argument(
         "scenario '" + name +
         "': segments and max_segments are mutually exclusive (a fixed "
         "count or a search cap, not both)");
+  }
+  if (!(verification_recall >= 0.0) || verification_recall > 1.0) {
+    throw std::invalid_argument(
+        "scenario '" + name + "': verification_recall must be in [0, 1]");
   }
   if (!interleaved()) {
     if (sweep_parameter == sweep::SweepParameter::kSegments) {
@@ -185,15 +177,31 @@ void apply_token(ScenarioSpec& spec, const std::string& key,
       spec.mode = core::EvalMode::kExactEvaluation;
     } else if (value == "exact-opt") {
       spec.mode = core::EvalMode::kExactOptimize;
+    } else if (value == "interleaved") {
+      // The interleaved backend is selected by the segment keys; the mode
+      // name alone defaults to the paper's own pattern through the
+      // interleaved path (m = 1). An explicit segments=/max_segments= key
+      // takes precedence in either order (the default is flagged so a
+      // later explicit key replaces it instead of conflicting).
+      if (!spec.interleaved()) {
+        spec.max_segments = 1;
+        spec.max_segments_defaulted = true;
+      }
     } else {
       throw std::invalid_argument(
           "scenario: unknown mode '" + value +
-          "' (expected first-order, exact-eval or exact-opt)");
+          "' (expected first-order, exact-eval, exact-opt or interleaved)");
     }
   } else if (key == "segments") {
     if (spec.max_segments > 0) {
-      throw std::invalid_argument(
-          "scenario: segments and max_segments are mutually exclusive");
+      // A cap the user never wrote (the mode=interleaved default) yields
+      // to the explicit key; a user-set cap is a genuine conflict.
+      if (!spec.max_segments_defaulted) {
+        throw std::invalid_argument(
+            "scenario: segments and max_segments are mutually exclusive");
+      }
+      spec.max_segments = 0;
+      spec.max_segments_defaulted = false;
     }
     spec.segments = parse_segments(key, value);
   } else if (key == "max_segments") {
@@ -202,6 +210,15 @@ void apply_token(ScenarioSpec& spec, const std::string& key,
           "scenario: segments and max_segments are mutually exclusive");
     }
     spec.max_segments = parse_segments(key, value);
+    spec.max_segments_defaulted = false;
+  } else if (key == "verification_recall") {
+    const double recall = parse_double(key, value);
+    if (!(recall >= 0.0) || recall > 1.0) {
+      throw std::invalid_argument(
+          "scenario: verification_recall must be in [0, 1], got '" + value +
+          "'");
+    }
+    spec.verification_recall = recall;
   } else if (key == "fallback") {
     if (value == "1" || value == "true") {
       spec.min_rho_fallback = true;
@@ -311,9 +328,19 @@ const std::vector<ScenarioSpec>& scenario_registry() {
         "fig13", "all six sweeps on Coastal/Crusoe", "Coastal/Crusoe"));
     registry.push_back(composite("fig14", "all six sweeps on CoastalSSD/Crusoe",
                                  "CoastalSSD/Crusoe"));
+    {
+      // The cached exact-optimization backend over its natural panel: ρ
+      // sweeps share one prepared cache, so every registered backend has a
+      // registered workload.
+      ScenarioSpec spec = panel(
+          "exact_rho", "exact-model optimum vs rho (cached backend)",
+          "Hera/XScale", sweep::SweepParameter::kPerformanceBound);
+      spec.mode = core::EvalMode::kExactOptimize;
+      registry.push_back(std::move(spec));
+    }
     // Interleaved-verification extensions (related work, §6): the paper's
     // pattern is the m = 1 special case; these scenarios surface the
-    // general patterns as a solver mode.
+    // general patterns as a solver backend.
     {
       ScenarioSpec spec = panel(
           "interleaved_rho", "interleaved best-m overhead vs rho",
@@ -352,76 +379,43 @@ const ScenarioSpec& scenario_by_name(const std::string& name) {
                           "'");
 }
 
-core::PairSolution solve_scenario(const ScenarioSpec& spec,
-                                  bool* used_fallback) {
-  const SolverContext context = spec.make_context();
-  return context.best(spec.rho, spec.policy, spec.mode,
-                      spec.min_rho_fallback, used_fallback);
+core::Solution solve_scenario(const ScenarioSpec& spec) {
+  const std::unique_ptr<core::SolverBackend> backend = make_backend(spec);
+  backend->prepare();
+  return backend->solve(spec.rho, spec.policy, spec.min_rho_fallback);
 }
 
-core::InterleavedSolution solve_scenario_interleaved(
-    const ScenarioSpec& spec) {
-  if (!spec.interleaved()) {
-    throw std::invalid_argument(
-        "solve_scenario_interleaved: scenario '" + spec.name +
-        "' is not interleaved (set segments= or max_segments=)");
-  }
-  spec.validate();
-  // Only the interleaved cache is needed here — a full SolverContext
-  // would also pay the two-speed expansions and min-ρ fallbacks that an
-  // interleaved solve never reads (the campaign runner's solve task does
-  // the same).
-  const core::InterleavedSolver solver(spec.resolve_params(),
-                                       spec.segment_limit());
-  return spec.segments == 0 ? solver.solve(spec.rho)
-                            : solver.solve_segments(spec.rho, spec.segments);
+sim::SimulatorOptions simulator_options(const ScenarioSpec& spec) {
+  sim::SimulatorOptions options;
+  options.verification_recall = spec.verification_recall;
+  return options;
 }
 
-std::vector<sweep::SweepParameter> interleaved_panel_axes(
-    const ScenarioSpec& spec) {
-  if (!spec.interleaved()) {
-    throw std::invalid_argument(
-        "interleaved_panel_axes: scenario '" + spec.name +
-        "' is not interleaved (set segments= or max_segments=)");
-  }
-  spec.validate();
-  switch (spec.kind()) {
-    case ScenarioKind::kSweep:
-      return {*spec.sweep_parameter};
-    case ScenarioKind::kAllSweeps:
-      return {sweep::SweepParameter::kPerformanceBound,
-              sweep::SweepParameter::kSegments};
-    case ScenarioKind::kSolve:
-      break;
-  }
-  throw std::invalid_argument(
-      "interleaved_panel_axes: scenario '" + spec.name +
-      "' is a solve (param=none) and produces no panels; use "
-      "solve_scenario_interleaved or CampaignRunner::run_one for its "
-      "solution");
+core::Solution solve_for_simulation(const ScenarioSpec& spec) {
+  ScenarioSpec solver_spec = spec;
+  solver_spec.verification_recall = 1.0;
+  return solve_scenario(solver_spec);
 }
 
 sim::ExecutionPolicy make_policy(const ScenarioSpec& spec) {
-  if (spec.interleaved()) {
-    const core::InterleavedSolution solution =
-        solve_scenario_interleaved(spec);
-    if (!solution.feasible) {
-      throw std::runtime_error(
-          "make_policy: interleaved scenario '" + spec.name +
-          "' is infeasible at rho = " + std::to_string(spec.rho) +
-          " (interleaved mode has no min-rho fallback)");
-    }
-    return sim::ExecutionPolicy::segmented(solution.w_opt, solution.segments,
-                                           solution.sigma1, solution.sigma2);
-  }
-  const core::PairSolution solution = solve_scenario(spec);
-  if (!solution.feasible) {
+  // The simulator bridge accepts simulate-only dimensions (see
+  // solve_for_simulation), so a spec carrying recall < 1 works here
+  // while the solver entry points keep rejecting it.
+  const core::Solution solution = solve_for_simulation(spec);
+  if (!solution.feasible()) {
     throw std::runtime_error(
         "make_policy: scenario '" + spec.name +
         "' is infeasible at rho = " + std::to_string(spec.rho) +
-        " and its min-rho fallback is disabled");
+        (spec.interleaved()
+             ? " (interleaved mode has no min-rho fallback)"
+             : " and its min-rho fallback is disabled"));
   }
-  return sim::ExecutionPolicy::from_solution(solution);
+  if (solution.kind == core::SolutionKind::kInterleaved) {
+    return sim::ExecutionPolicy::segmented(
+        solution.interleaved.w_opt, solution.interleaved.segments,
+        solution.interleaved.sigma1, solution.interleaved.sigma2);
+  }
+  return sim::ExecutionPolicy::from_solution(solution.pair);
 }
 
 }  // namespace rexspeed::engine

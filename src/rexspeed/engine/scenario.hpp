@@ -4,9 +4,9 @@
 #include <string>
 #include <vector>
 
-#include "rexspeed/core/bicrit_solver.hpp"
-#include "rexspeed/engine/solver_context.hpp"
+#include "rexspeed/core/solver_backend.hpp"
 #include "rexspeed/sim/policy.hpp"
+#include "rexspeed/sim/simulator.hpp"
 #include "rexspeed/sweep/figure_sweeps.hpp"
 
 namespace rexspeed::engine {
@@ -20,23 +20,25 @@ struct ParamOverride {
 
 /// What running a scenario produces.
 enum class ScenarioKind {
-  kSolve,      ///< one BiCrit solve at the scenario's bound
+  kSolve,      ///< one solve at the scenario's bound
   kSweep,      ///< one figure panel over `sweep_parameter`
-  kAllSweeps,  ///< all six panels (a Figure 8–14 composite)
+  kAllSweeps,  ///< every panel the scenario's backend supports
 };
 
 /// A named, parseable description of one workload: which platform
 /// configuration to load, which model parameters to override, how to solve
-/// (speed policy, eval mode, bound) and what to sweep. Scenarios are data,
-/// not code — the CLI, benches and examples all resolve them through the
-/// same registry, and new workloads are added by registering a spec, not
-/// by writing another driver. (Full key=value reference: see
-/// docs/scenario_format.md.)
+/// (speed policy, solver backend, bound) and what to sweep. Scenarios are
+/// data, not code — the CLI, benches and examples all resolve them through
+/// the same registry, and new workloads are added by registering a spec,
+/// not by writing another driver. The solver itself is resolved through
+/// engine::backend_registry() (see backend_registry.hpp), so a scenario
+/// never names a solver class — only a mode. (Full key=value reference:
+/// see docs/scenario_format.md.)
 ///
 /// Thread-safety: a plain value type — copy freely; concurrent reads of
 /// one spec are safe, concurrent mutation is the caller's problem. The
-/// contexts it builds (make_context) follow the engine-wide contract:
-/// immutable after construction, shareable across workers.
+/// backends built for it follow the engine-wide contract: immutable after
+/// prepare(), shareable across workers.
 struct ScenarioSpec {
   std::string name;
   std::string description;
@@ -49,16 +51,29 @@ struct ScenarioSpec {
   bool min_rho_fallback = true;
   /// Set for kSweep scenarios; ignored when `all_panels` is true.
   std::optional<sweep::SweepParameter> sweep_parameter;
-  /// True for a Figure 8–14 style six-panel composite — or, on an
-  /// interleaved scenario, for both interleaved panels (ρ + segments).
+  /// True for a Figure 8–14 style composite: every panel axis the
+  /// scenario's backend advertises (six for the pair backends, ρ +
+  /// segments for the interleaved one).
   bool all_panels = false;
   /// Fixed interleaved segment count m (0 = unset). A positive value runs
-  /// the interleaved solver mode with exactly m verifications per pattern;
+  /// the interleaved backend with exactly m verifications per pattern;
   /// m = 1 is the paper's own pattern through the interleaved path.
   unsigned segments = 0;
-  /// Best-segment-count search cap M (0 = unset): the interleaved solver
+  /// Best-segment-count search cap M (0 = unset): the interleaved backend
   /// searches m ∈ [1, M]. Mutually exclusive with `segments`.
   unsigned max_segments = 0;
+  /// True when `max_segments` holds the m = 1 default implied by
+  /// `mode=interleaved` rather than an explicit key — parser bookkeeping
+  /// so a later explicit segments=/max_segments= replaces the default
+  /// instead of tripping the mutual-exclusion check. Never serialized.
+  bool max_segments_defaulted = false;
+  /// Probability that a verification detects a silent error
+  /// (SimulatorOptions::verification_recall). 1 is the paper's guaranteed
+  /// verification. Values below 1 are simulate-only for now: no analytical
+  /// backend models partial recall yet, so backend_registry's factories
+  /// reject such specs with a clear error while `rexspeed simulate` routes
+  /// the value into the simulator (see simulator_options()).
+  double verification_recall = 1.0;
   /// Model-parameter overrides applied on top of the configuration.
   std::vector<ParamOverride> overrides;
 
@@ -67,8 +82,8 @@ struct ScenarioSpec {
     return sweep_parameter ? ScenarioKind::kSweep : ScenarioKind::kSolve;
   }
 
-  /// True when the scenario runs the interleaved solver mode (either
-  /// `segments=` or `max_segments=` was given).
+  /// True when the scenario runs the interleaved backend (either
+  /// `segments=`, `max_segments=` or `mode=interleaved` was given).
   [[nodiscard]] bool interleaved() const noexcept {
     return segments > 0 || max_segments > 0;
   }
@@ -88,20 +103,6 @@ struct ScenarioSpec {
   /// Configuration lookup + overrides → validated model parameters.
   [[nodiscard]] core::ModelParams resolve_params() const;
 
-  /// THE cache opt-in rule, in one place: the interleaved cache when the
-  /// scenario is interleaved, the exact cache when mode=exact-opt.
-  /// Every context built for this spec — make_context here, the campaign
-  /// runner's solve tasks — derives its options from this, so standalone
-  /// and campaign solves stay bit-identical by construction. `pool`,
-  /// when non-null, parallelizes cache construction only.
-  [[nodiscard]] SolverContextOptions context_options(
-      sweep::ThreadPool* pool = nullptr) const;
-
-  /// A cached solver context for the resolved parameters, configured by
-  /// context_options(pool).
-  [[nodiscard]] SolverContext make_context(
-      sweep::ThreadPool* pool = nullptr) const;
-
   /// Sweep options carrying this scenario's ρ, grid size, eval mode and
   /// fallback flag (pool supplied by the caller — usually a SweepEngine).
   [[nodiscard]] sweep::SweepOptions sweep_options(
@@ -115,9 +116,13 @@ void apply_override(core::ModelParams& params, const ParamOverride& override_);
 /// Parses one "key=value" token into a spec. Structural keys: name,
 /// description, config, rho, points, param (a sweep-parameter name, "all"
 /// or "none"), policy (two-speed | single-speed), mode (first-order |
-/// exact-eval | exact-opt), fallback (0 | 1), segments (≥ 1) and
-/// max_segments (≥ 1, mutually exclusive with segments). Every other key
-/// must be a model-parameter override key (see ParamOverride). Throws
+/// exact-eval | exact-opt | interleaved — the backend-registry
+/// vocabulary; mode=interleaved defaults max_segments to 1, and an
+/// explicit segments=/max_segments= key takes precedence in either
+/// order), fallback (0 | 1), segments (≥ 1),
+/// max_segments (≥ 1, mutually exclusive with segments) and
+/// verification_recall (in [0, 1]; simulate-only below 1). Every other
+/// key must be a model-parameter override key (see ParamOverride). Throws
 /// std::invalid_argument on an unknown key or malformed value.
 void apply_token(ScenarioSpec& spec, const std::string& key,
                  const std::string& value);
@@ -128,7 +133,10 @@ void apply_token(ScenarioSpec& spec, const std::string& key,
 
 /// The built-in scenario registry: the paper's Figures 2–14 as data
 /// (fig02…fig07 single panels on Atlas/Crusoe, fig08…fig14 six-panel
-/// composites over the eight configurations).
+/// composites over the eight configurations), plus one scenario per
+/// non-default solver backend (exact_rho, interleaved_rho,
+/// interleaved_segments) so every registered backend has a registered
+/// workload.
 [[nodiscard]] const std::vector<ScenarioSpec>& scenario_registry();
 
 /// Registry lookup; null when unknown.
@@ -137,30 +145,31 @@ void apply_token(ScenarioSpec& spec, const std::string& key,
 /// Registry lookup; throws std::out_of_range when unknown.
 [[nodiscard]] const ScenarioSpec& scenario_by_name(const std::string& name);
 
-/// Solves the scenario at its bound (min-ρ fallback applied per the spec).
-/// `used_fallback`, when non-null, reports whether the fallback was taken.
-[[nodiscard]] core::PairSolution solve_scenario(
-    const ScenarioSpec& spec, bool* used_fallback = nullptr);
+/// Solves the scenario at its bound through its registry backend — any
+/// mode, one entry point. Pair backends apply the spec's speed policy and
+/// min-ρ fallback (Solution::used_fallback reports a fallback take); the
+/// interleaved backend searches or pins the segment count per the spec.
+[[nodiscard]] core::Solution solve_scenario(const ScenarioSpec& spec);
 
-/// Solves an interleaved scenario at its bound: the best segmented
-/// pattern over every speed pair, at the fixed count (`segments=`) or the
-/// best count in [1, max_segments]. Throws std::invalid_argument when the
-/// scenario is not interleaved.
-[[nodiscard]] core::InterleavedSolution solve_scenario_interleaved(
+/// SimulatorOptions induced by the scenario — the bridge for simulate-only
+/// dimensions (currently verification_recall).
+[[nodiscard]] sim::SimulatorOptions simulator_options(
     const ScenarioSpec& spec);
 
-/// The interleaved panel axes a scenario asks for: its single sweep
-/// parameter, or {rho, segments} for an all-panels composite. Validates
-/// the spec. Throws std::invalid_argument for non-interleaved scenarios
-/// and for kSolve scenarios (no panels).
-[[nodiscard]] std::vector<sweep::SweepParameter> interleaved_panel_axes(
-    const ScenarioSpec& spec);
+/// The scenario's solution for simulation purposes: solved with every
+/// simulate-only dimension stripped (verification_recall shapes the
+/// simulation the policy is fed into — simulator_options — never the
+/// solve). THE one place that stripping rule lives; make_policy and the
+/// CLI's simulate path both route here.
+[[nodiscard]] core::Solution solve_for_simulation(const ScenarioSpec& spec);
 
 /// Execution policy induced by the scenario's solution — the bridge into
 /// the fault-injection simulator. Interleaved scenarios yield a segmented
-/// policy (ExecutionPolicy::segmented) carrying the solved count. Throws
-/// std::runtime_error when the scenario is infeasible and its fallback is
-/// disabled (interleaved mode has no min-ρ fallback).
+/// policy (ExecutionPolicy::segmented) carrying the solved count.
+/// Simulate-only dimensions are accepted: the policy is solved at full
+/// recall (verification_recall reaches the simulator through
+/// simulator_options(), never the solve). Throws std::runtime_error when
+/// the scenario is infeasible at its bound.
 [[nodiscard]] sim::ExecutionPolicy make_policy(const ScenarioSpec& spec);
 
 }  // namespace rexspeed::engine

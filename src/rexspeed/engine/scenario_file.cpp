@@ -82,6 +82,12 @@ std::string write_scenario(const ScenarioSpec& spec) {
   if (spec.max_segments > 0) {
     out << "max_segments=" << spec.max_segments << '\n';
   }
+  // Likewise simulate-only dimensions: the default (guaranteed
+  // verifications) emits no line.
+  if (spec.verification_recall != 1.0) {
+    out << "verification_recall=" << format_double(spec.verification_recall)
+        << '\n';
+  }
   for (const ParamOverride& override_ : spec.overrides) {
     out << override_.key << '=' << format_double(override_.value) << '\n';
   }

@@ -1,67 +1,28 @@
 #include "rexspeed/engine/solver_context.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "rexspeed/engine/backend_registry.hpp"
 
 namespace rexspeed::engine {
 
-SolverContext::SolverContext(core::ModelParams params,
-                             const SolverContextOptions& options)
-    : solver_(std::move(params)),
-      min_rho_two_(solver_.min_rho_solution(core::SpeedPolicy::kTwoSpeed)),
-      min_rho_single_(
-          solver_.min_rho_solution(core::SpeedPolicy::kSingleSpeed)) {
-  if (options.max_segments > 0) {
-    interleaved_.emplace(solver_.params(), options.max_segments);
+SolverContext::SolverContext(std::unique_ptr<core::SolverBackend> backend,
+                             sweep::ThreadPool* pool)
+    : backend_(std::move(backend)) {
+  if (!backend_) {
+    throw std::invalid_argument("SolverContext: null backend");
   }
-  if (options.exact_cache) {
-    exact_.emplace(solver_.params(),
-                   sweep::make_parallel_build(options.pool));
-  }
+  backend_->prepare(sweep::make_parallel_build(pool));
 }
 
-SolverContext::SolverContext(core::ModelParams params, unsigned max_segments)
-    : SolverContext(std::move(params),
-                    SolverContextOptions{.max_segments = max_segments}) {}
+SolverContext::SolverContext(core::ModelParams params, core::EvalMode mode,
+                             sweep::ThreadPool* pool)
+    : SolverContext(core::make_mode_backend(std::move(params), mode), pool) {}
 
-const core::InterleavedSolver& SolverContext::interleaved() const {
-  if (!interleaved_) {
-    throw std::logic_error(
-        "SolverContext: built without an interleaved cache (pass "
-        "max_segments > 0)");
-  }
-  return *interleaved_;
-}
-
-const core::ExactSolver& SolverContext::exact() const {
-  if (!exact_) {
-    throw std::logic_error(
-        "SolverContext: built without the exact-optimization cache (set "
-        "SolverContextOptions::exact_cache)");
-  }
-  return *exact_;
-}
-
-core::InterleavedSolution SolverContext::solve_interleaved(
-    double rho, unsigned segments) const {
-  const core::InterleavedSolver& solver = interleaved();
-  return segments == 0 ? solver.solve(rho)
-                       : solver.solve_segments(rho, segments);
-}
-
-core::PairSolution SolverContext::best(double rho, core::SpeedPolicy policy,
-                                       core::EvalMode mode,
-                                       bool min_rho_fallback,
-                                       bool* used_fallback) const {
-  if (used_fallback != nullptr) *used_fallback = false;
-  core::PairSolution best = solve(rho, policy, mode).best;
-  if (!best.feasible && min_rho_fallback) {
-    const core::PairSolution& fallback = min_rho_for(policy, mode);
-    if (fallback.feasible) {
-      best = fallback;
-      if (used_fallback != nullptr) *used_fallback = true;
-    }
-  }
-  return best;
+SolverContext make_context(const ScenarioSpec& spec,
+                           sweep::ThreadPool* pool) {
+  return SolverContext(make_backend(spec), pool);
 }
 
 }  // namespace rexspeed::engine

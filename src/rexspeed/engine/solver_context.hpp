@@ -1,170 +1,100 @@
 #pragma once
 
-#include <optional>
+#include <memory>
 
-#include "rexspeed/core/bicrit_solver.hpp"
-#include "rexspeed/core/exact_solver.hpp"
-#include "rexspeed/core/interleaved.hpp"
+#include "rexspeed/core/solver_backend.hpp"
 #include "rexspeed/sweep/thread_pool.hpp"
 
 namespace rexspeed::engine {
 
-/// Construction options for SolverContext: which optional solver caches
-/// to build alongside the always-on first-order expansions, and an
-/// optional pool for the construction work itself.
-struct SolverContextOptions {
-  /// `max_segments > 0` additionally precomputes the interleaved
-  /// expansions (one per (σ1, σ2, m) up to that segment count — see
-  /// core::InterleavedSolver), enabling the solve_interleaved path. The
-  /// interleaved cache requires λf = 0 and throws std::invalid_argument
-  /// otherwise, at construction — never inside a pool worker.
-  unsigned max_segments = 0;
-  /// True additionally precomputes the exact-optimization cache (one
-  /// pair of exact curve optima per (σ1, σ2) — see core::ExactSolver),
-  /// so EvalMode::kExactOptimize solves route through cached feasibility
-  /// math instead of re-running the full numeric optimization per bound.
-  bool exact_cache = false;
-  /// Optional pool for parallelizing cache CONSTRUCTION (the per-pair
-  /// curve optimizations of the exact cache). Not retained past the
-  /// constructor; the finished context is identical bit for bit whether
-  /// built serially or across any pool.
-  sweep::ThreadPool* pool = nullptr;
-};
+struct ScenarioSpec;
 
-/// A reusable, shareable solver context for one ModelParams bundle.
+/// A thin owner of one PREPARED solver backend — the engine-layer currency
+/// that the CLI, benches and examples drive for point solves. Construction
+/// runs prepare() (optionally across a pool: the finished caches are
+/// identical bit for bit whether built serially or across any schedule),
+/// so every solve afterwards is cheap feasibility math; one context can
+/// serve an entire ρ sweep, both speed policies of a figure point, and
+/// the §4.2 tables.
 ///
-/// Construction pays the O(K²) first-order expansion work (time + energy
-/// expansions, ρ_min, validity flags — via the cached BiCritSolver) plus
-/// the two ρ-independent min-ρ fallback policies, exactly once — and,
-/// opted in through SolverContextOptions, the interleaved and/or exact
-/// per-pair caches. Every solve afterwards is cheap feasibility math on
-/// the cached expansions, so one context can serve an entire ρ sweep
-/// (51 grid points share identical expansions), both speed policies of a
-/// figure point, and the fallback lookups — the engine-layer currency
-/// that SweepEngine, CampaignRunner, the CLI, benches and examples all
-/// drive.
+/// The historical mode branches (routes_exact, the separate interleaved
+/// dispatch, per-mode cache opt-ins) are gone: which caches exist and how
+/// solves route is entirely the backend's business, resolved through
+/// engine::backend_registry() — see make_context().
 ///
-/// Thread-safety contract (shared by BiCritSolver, InterleavedSolver and
-/// ExactSolver): the context is immutable after construction; every
-/// member function is const and touches only the caches built by the
-/// constructor, so one context is safe to share across ThreadPool
-/// workers without synchronization.
+/// Thread-safety: immutable after construction (the backend is prepared
+/// and never mutated again), so one context is safe to share across
+/// ThreadPool workers without synchronization.
 class SolverContext {
  public:
-  /// Builds the context plus whichever optional caches `options` asks
-  /// for. Everything a solve could reject is rejected here — never
-  /// inside a pool worker.
-  SolverContext(core::ModelParams params,
-                const SolverContextOptions& options);
+  /// Wraps and prepares an externally built backend. Throws
+  /// std::invalid_argument on a null backend.
+  explicit SolverContext(std::unique_ptr<core::SolverBackend> backend,
+                         sweep::ThreadPool* pool = nullptr);
 
-  /// Convenience form of the options constructor: `max_segments > 0`
-  /// builds the interleaved cache, nothing else is opted in.
+  /// Convenience: a prepared backend for a bare parameter bundle and
+  /// EvalMode (core::make_mode_backend) — the shape examples and benches
+  /// use when no scenario is involved.
   explicit SolverContext(core::ModelParams params,
-                         unsigned max_segments = 0);
+                         core::EvalMode mode = core::EvalMode::kFirstOrder,
+                         sweep::ThreadPool* pool = nullptr);
 
-  [[nodiscard]] const core::ModelParams& params() const noexcept {
-    return solver_.params();
+  [[nodiscard]] const core::SolverBackend& backend() const noexcept {
+    return *backend_;
   }
-  [[nodiscard]] const core::BiCritSolver& solver() const noexcept {
-    return solver_;
+  [[nodiscard]] const core::ModelParams& params() const noexcept {
+    return backend_->params();
+  }
+  [[nodiscard]] const core::BackendCapabilities& capabilities()
+      const noexcept {
+    return backend_->capabilities();
   }
   [[nodiscard]] std::size_t speed_count() const noexcept {
-    return solver_.params().speeds.size();
+    return params().speeds.size();
   }
 
-  /// Full BiCrit solve at bound `rho`. EvalMode::kExactOptimize routes
-  /// through the cached exact backend when the context was built with
-  /// one (same optima; rho_min/w_min/w_max report the exact feasibility
-  /// floor and active bracket — see ExactSolver::solve), and falls back
-  /// to the per-bound numeric optimization otherwise.
-  [[nodiscard]] core::BiCritSolution solve(
+  /// Best solution at bound `rho` (see SolverBackend::solve). With
+  /// `min_rho_fallback`, an unachievable bound degrades to the backend's
+  /// min-ρ policy when it has one; Solution::used_fallback reports this.
+  [[nodiscard]] core::Solution solve(
       double rho, core::SpeedPolicy policy = core::SpeedPolicy::kTwoSpeed,
-      core::EvalMode mode = core::EvalMode::kFirstOrder) const {
-    if (mode == core::EvalMode::kExactOptimize && exact_) {
-      return exact_->solve(rho, policy);
-    }
-    return solver_.solve(rho, policy, mode);
+      bool min_rho_fallback = false) const {
+    return backend_->solve(rho, policy, min_rho_fallback);
   }
 
-  /// Solve for the speed pair at positions (i, j) of the speed set
-  /// (cached-expansion path; kExactOptimize routes like solve()).
-  [[nodiscard]] core::PairSolution solve_pair(
-      double rho, std::size_t i, std::size_t j,
-      core::EvalMode mode = core::EvalMode::kFirstOrder) const {
-    if (mode == core::EvalMode::kExactOptimize && exact_) {
-      return exact_->solve_pair_by_index(rho, i, j);
-    }
-    return solver_.solve_pair_by_index(rho, i, j, mode);
+  /// Full reporting solve (best + every candidate pair). Requires
+  /// capabilities().pair_table.
+  [[nodiscard]] core::BiCritSolution solve_report(
+      double rho,
+      core::SpeedPolicy policy = core::SpeedPolicy::kTwoSpeed) const {
+    return backend_->solve_report(rho, policy);
   }
 
-  /// The ρ-independent best-effort fallback policy for a speed policy
-  /// (precomputed at construction; see BiCritSolver::min_rho_solution).
-  /// Ranked by the FIRST-ORDER tangency — exact-routed solves through
-  /// best() use the exact-model fallback of ExactSolver instead.
-  [[nodiscard]] const core::PairSolution& min_rho(
-      core::SpeedPolicy policy) const noexcept {
-    return policy == core::SpeedPolicy::kSingleSpeed ? min_rho_single_
-                                                     : min_rho_two_;
+  /// Solves the speed pair at positions (i, j) of the speed set. Requires
+  /// capabilities().pair_table.
+  [[nodiscard]] core::PairSolution solve_pair(double rho, std::size_t i,
+                                              std::size_t j) const {
+    return backend_->solve_pair(rho, i, j);
   }
 
-  /// Best pair at bound `rho`, optionally degrading to the min-ρ fallback
-  /// when nothing satisfies the bound (the paper's figures do this beyond
-  /// the feasibility horizon). Exact-routed solves degrade to the
-  /// exact-model fallback (ExactSolver::min_rho_solution); everything
-  /// else uses the first-order one. `used_fallback`, when non-null,
-  /// reports whether the fallback was taken.
-  [[nodiscard]] core::PairSolution best(
-      double rho, core::SpeedPolicy policy, core::EvalMode mode,
-      bool min_rho_fallback, bool* used_fallback = nullptr) const;
-
-  /// True when the context was built with an interleaved cache.
-  [[nodiscard]] bool has_interleaved() const noexcept {
-    return interleaved_.has_value();
+  /// The backend's min-ρ best-effort policy (infeasible when the backend
+  /// has none — capabilities().min_rho_fallback).
+  [[nodiscard]] core::Solution min_rho(
+      core::SpeedPolicy policy = core::SpeedPolicy::kTwoSpeed) const {
+    return backend_->min_rho(policy);
   }
-
-  /// The cached interleaved solver. Throws std::logic_error when the
-  /// context was built without one (max_segments == 0).
-  [[nodiscard]] const core::InterleavedSolver& interleaved() const;
-
-  /// True when the context was built with the exact-optimization cache.
-  [[nodiscard]] bool has_exact() const noexcept {
-    return exact_.has_value();
-  }
-
-  /// True when solves in `mode` route through the cached exact backend —
-  /// THE routing predicate; callers dispatching on the backend (table
-  /// builders, fallback reporting) should use this rather than
-  /// re-deriving the condition from has_exact().
-  [[nodiscard]] bool routes_exact(core::EvalMode mode) const noexcept {
-    return mode == core::EvalMode::kExactOptimize && exact_.has_value();
-  }
-
-  /// The min-ρ fallback a solve in `mode` would degrade to: the
-  /// exact-model floor for exact-routed modes, the first-order tangency
-  /// otherwise. The reference stays valid for the context's lifetime.
-  [[nodiscard]] const core::PairSolution& min_rho_for(
-      core::SpeedPolicy policy, core::EvalMode mode) const noexcept {
-    return routes_exact(mode) ? exact_->min_rho_solution(policy)
-                              : min_rho(policy);
-  }
-
-  /// The cached exact backend. Throws std::logic_error when the context
-  /// was built without one (SolverContextOptions::exact_cache false).
-  [[nodiscard]] const core::ExactSolver& exact() const;
-
-  /// Best segmented pattern at bound `rho` off the cached expansions:
-  /// `segments == 0` searches every count in [1, max_segments], a positive
-  /// value pins the count. Throws std::logic_error without an interleaved
-  /// cache.
-  [[nodiscard]] core::InterleavedSolution solve_interleaved(
-      double rho, unsigned segments = 0) const;
 
  private:
-  core::BiCritSolver solver_;
-  core::PairSolution min_rho_two_;
-  core::PairSolution min_rho_single_;
-  std::optional<core::InterleavedSolver> interleaved_;
-  std::optional<core::ExactSolver> exact_;
+  std::unique_ptr<core::SolverBackend> backend_;
 };
+
+/// THE context-from-scenario rule, in one place: resolve the spec's
+/// parameters, build its backend through engine::backend_registry(), and
+/// prepare it (across `pool` when given — construction parallelism only;
+/// the pool is not retained). Every driver building a context for a spec
+/// goes through here, so standalone and campaign solves stay bit-identical
+/// by construction.
+[[nodiscard]] SolverContext make_context(const ScenarioSpec& spec,
+                                         sweep::ThreadPool* pool = nullptr);
 
 }  // namespace rexspeed::engine

@@ -1,11 +1,43 @@
 #include "rexspeed/engine/sweep_engine.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "rexspeed/engine/backend_registry.hpp"
+#include "rexspeed/engine/solver_context.hpp"
 
 namespace rexspeed::engine {
 
 SweepEngine::SweepEngine(SweepEngineOptions options)
     : pool_(options.threads) {}
+
+sweep::PanelSeries SweepEngine::run_axis(const ScenarioSpec& spec,
+                                         sweep::SweepParameter axis) const {
+  const sweep::SweepOptions options = spec.sweep_options(pool());
+  return sweep::run_panel_sweep(
+      make_backend(spec), spec.configuration, axis,
+      sweep::panel_grid(axis, options.points, spec.segment_limit()),
+      options);
+}
+
+std::vector<sweep::PanelSeries> SweepEngine::run_scenario(
+    const ScenarioSpec& spec) const {
+  spec.validate();
+  if (spec.kind() == ScenarioKind::kSolve) {
+    // A solve has no panels; silently running all six (the historical
+    // fallthrough) hid scenario-authoring mistakes. Point callers at the
+    // panel-free entry points instead.
+    throw std::invalid_argument(
+        "SweepEngine::run_scenario: scenario '" + spec.name +
+        "' is a solve (param=none) and produces no figure panels; use "
+        "solve_scenario or CampaignRunner::run_one for its solution");
+  }
+  std::vector<sweep::PanelSeries> panels;
+  for (const sweep::SweepParameter axis : scenario_panel_axes(spec)) {
+    panels.push_back(run_axis(spec, axis));
+  }
+  return panels;
+}
 
 sweep::FigureSeries SweepEngine::run_panel(
     const platform::Configuration& config, sweep::SweepParameter parameter,
@@ -19,77 +51,45 @@ sweep::FigureSeries SweepEngine::run(const ScenarioSpec& spec) const {
     throw std::invalid_argument("SweepEngine::run: scenario '" + spec.name +
                                 "' has no sweep parameter");
   }
-  const sweep::SweepOptions options = spec.sweep_options(pool());
-  return sweep::run_figure_sweep(
-      spec.resolve_params(), spec.configuration, *spec.sweep_parameter,
-      sweep::default_grid(*spec.sweep_parameter, options.points), options);
+  return sweep::to_figure_series(run_axis(spec, *spec.sweep_parameter));
 }
 
 std::vector<sweep::FigureSeries> SweepEngine::run_all(
     const ScenarioSpec& spec) const {
-  return sweep::run_all_sweeps(spec.resolve_params(), spec.configuration,
-                               spec.sweep_options(pool()));
-}
-
-std::vector<sweep::FigureSeries> SweepEngine::run_scenario(
-    const ScenarioSpec& spec) const {
-  spec.validate();
-  if (spec.interleaved()) {
-    // Interleaved panels are a different series type; routing them through
-    // the two-speed panels here would silently drop the segmentation.
-    throw std::invalid_argument(
-        "SweepEngine::run_scenario: scenario '" + spec.name +
-        "' runs the interleaved solver mode; use run_interleaved_scenario "
-        "for its panels");
-  }
-  switch (spec.kind()) {
-    case ScenarioKind::kSweep:
-      return {run(spec)};
-    case ScenarioKind::kAllSweeps:
-      return run_all(spec);
-    case ScenarioKind::kSolve:
-      break;
-  }
-  // A solve has no panels; silently running all six (the historical
-  // fallthrough) hid scenario-authoring mistakes. Point callers at the
-  // panel-free entry points instead.
-  throw std::invalid_argument(
-      "SweepEngine::run_scenario: scenario '" + spec.name +
-      "' is a solve (param=none) and produces no figure panels; use "
-      "solve_scenario or CampaignRunner::run_one for its solution");
-}
-
-sweep::InterleavedSeries SweepEngine::run_interleaved(
-    const ScenarioSpec& spec, sweep::SweepParameter parameter) const {
-  const sweep::SweepOptions options = spec.sweep_options(pool());
-  return sweep::run_interleaved_sweep(
-      spec.resolve_params(), spec.configuration, parameter,
-      sweep::interleaved_grid(parameter, options.points,
-                              spec.segment_limit()),
-      spec.segment_limit(), spec.segments, options);
-}
-
-std::vector<sweep::InterleavedSeries> SweepEngine::run_interleaved_scenario(
-    const ScenarioSpec& spec) const {
-  std::vector<sweep::InterleavedSeries> panels;
-  for (const sweep::SweepParameter axis : interleaved_panel_axes(spec)) {
-    panels.push_back(run_interleaved(spec, axis));
+  ScenarioSpec composite = spec;
+  composite.all_panels = true;
+  composite.sweep_parameter.reset();
+  std::vector<sweep::FigureSeries> panels;
+  for (const sweep::PanelSeries& panel : run_scenario(composite)) {
+    panels.push_back(sweep::to_figure_series(panel));
   }
   return panels;
 }
 
+sweep::InterleavedSeries SweepEngine::run_interleaved(
+    const ScenarioSpec& spec, sweep::SweepParameter parameter) const {
+  return sweep::to_interleaved_series(run_axis(spec, parameter));
+}
+
 std::vector<std::vector<sweep::SpeedPairRow>> SweepEngine::speed_pair_tables(
     const ScenarioSpec& spec, const std::vector<double>& bounds) const {
-  // make_context builds the exact cache for mode=exact-opt specs (across
-  // the pool), so each bound's table below is feasibility math instead of
-  // a fresh per-pair numeric optimization.
-  const SolverContext context = spec.make_context(pool());
+  // Capabilities are readable before prepare(), so backends without a
+  // pair table are rejected BEFORE their (possibly expensive) cache is
+  // built — and here rather than inside a pool worker (tasks must not
+  // throw).
+  std::unique_ptr<core::SolverBackend> backend = make_backend(spec);
+  if (!backend->capabilities().pair_table) {
+    throw std::invalid_argument(
+        "SweepEngine::speed_pair_tables: backend '" +
+        std::string(backend->name()) + "' has no speed-pair table");
+  }
+  // The context prepares whatever cache the backend defers (across the
+  // pool), so each bound's table below is feasibility math instead of a
+  // fresh per-pair numeric optimization — one path for every mode.
+  const SolverContext context(std::move(backend), pool());
   std::vector<std::vector<sweep::SpeedPairRow>> tables(bounds.size());
   sweep::parallel_for(pool(), bounds.size(), [&](std::size_t i) {
-    tables[i] = context.routes_exact(spec.mode)
-                    ? sweep::speed_pair_table(context.exact(), bounds[i])
-                    : sweep::speed_pair_table(context.solver(), bounds[i],
-                                              spec.mode);
+    tables[i] = sweep::speed_pair_table(context.backend(), bounds[i]);
   });
   return tables;
 }

@@ -4,8 +4,8 @@
 
 #include "rexspeed/engine/scenario.hpp"
 #include "rexspeed/platform/configuration.hpp"
-#include "rexspeed/sweep/figure_sweeps.hpp"
 #include "rexspeed/sweep/interleaved_sweeps.hpp"
+#include "rexspeed/sweep/panel_sweep.hpp"
 #include "rexspeed/sweep/section42_tables.hpp"
 #include "rexspeed/sweep/thread_pool.hpp"
 
@@ -17,58 +17,58 @@ struct SweepEngineOptions {
   unsigned threads = 0;
 };
 
-/// The shared sweep driver: owns the thread pool, resolves scenarios, and
-/// runs every figure panel through the cached-context sweep path — ρ
-/// panels share one solver per panel (the BiCritSolver expansions for
-/// the closed-form modes, the cached ExactSolver backend for
-/// mode=exact-opt, the InterleavedSolver for segmented scenarios). The
-/// CLI, benches and examples all obtain their panels here, so they
-/// inherit parallel-by-default execution with results bit-identical to a
-/// serial run (each grid point writes only its own slot; the per-point
-/// math is deterministic and independent of scheduling).
+/// The shared sweep driver: owns the thread pool, resolves scenarios
+/// through the backend registry, and runs every panel through ONE generic
+/// backend sweep path (sweep::PanelSweep) — no mode-specific twins. The
+/// CLI, benches and examples all obtain their panels here, so they inherit
+/// parallel-by-default execution with results bit-identical to a serial
+/// run (each grid point writes only its own slot; the per-point math is
+/// deterministic and independent of scheduling).
 ///
 /// Thread-safety: the engine itself is safe to use from one thread at a
-/// time per call, and every solver it shares across its pool workers is
-/// immutable after construction (the uniform contract of BiCritSolver /
-/// ExactSolver / InterleavedSolver / SolverContext).
+/// time per call, and every backend it shares across its pool workers is
+/// immutable after prepare() (the uniform SolverBackend contract).
 class SweepEngine {
  public:
   explicit SweepEngine(SweepEngineOptions options = {});
 
-  /// One figure panel for a configuration (default grid).
+  /// One panel of the scenario over the given axis, through the
+  /// scenario's registry backend. The unified primitive behind every
+  /// other panel entry point.
+  [[nodiscard]] sweep::PanelSeries run_axis(
+      const ScenarioSpec& spec, sweep::SweepParameter axis) const;
+
+  /// Every panel the scenario asks for: its single axis, or — for
+  /// param=all — every axis its backend advertises (six for the pair
+  /// backends, ρ + segments for the interleaved one). A kSolve scenario
+  /// has no panels and is rejected with std::invalid_argument (see
+  /// solve_scenario / CampaignRunner for the panel-free result).
+  [[nodiscard]] std::vector<sweep::PanelSeries> run_scenario(
+      const ScenarioSpec& spec) const;
+
+  /// One figure panel for a configuration (default grid) — pair-backend
+  /// convenience over run_axis, kept for the figure benches.
   [[nodiscard]] sweep::FigureSeries run_panel(
       const platform::Configuration& config,
       sweep::SweepParameter parameter,
       sweep::SweepOptions options = {}) const;
 
-  /// One figure panel for a kSweep scenario.
+  /// One figure panel for a kSweep scenario (pair backends; throws on an
+  /// interleaved spec — its panels are interleaved series).
   [[nodiscard]] sweep::FigureSeries run(const ScenarioSpec& spec) const;
 
-  /// All six panels of a Figure 8–14 composite for any scenario.
+  /// All panels of a composite for any scenario, as figure series (pair
+  /// backends).
   [[nodiscard]] std::vector<sweep::FigureSeries> run_all(
       const ScenarioSpec& spec) const;
 
-  /// Dispatches on the scenario kind: kSweep yields one panel, kAllSweeps
-  /// all six. A kSolve scenario has no panels and is rejected with
-  /// std::invalid_argument (see solve_scenario / CampaignRunner for the
-  /// panel-free result), as is an interleaved scenario (its panels are a
-  /// different series type — use run_interleaved_scenario).
-  [[nodiscard]] std::vector<sweep::FigureSeries> run_scenario(
-      const ScenarioSpec& spec) const;
-
   /// One interleaved panel (overhead vs ρ or vs segment count) for an
-  /// interleaved kSweep scenario, off one cached interleaved solver.
+  /// interleaved scenario — typed convenience over run_axis.
   [[nodiscard]] sweep::InterleavedSeries run_interleaved(
       const ScenarioSpec& spec, sweep::SweepParameter parameter) const;
 
-  /// Every interleaved panel the scenario asks for: its single axis, or
-  /// {rho, segments} for param=all. Rejects non-interleaved and kSolve
-  /// scenarios with std::invalid_argument (see interleaved_panel_axes).
-  [[nodiscard]] std::vector<sweep::InterleavedSeries>
-  run_interleaved_scenario(const ScenarioSpec& spec) const;
-
   /// §4.2-style speed-pair tables for the scenario at each bound, off one
-  /// shared solver context.
+  /// shared prepared backend (any mode with capabilities().pair_table).
   [[nodiscard]] std::vector<std::vector<sweep::SpeedPairRow>>
   speed_pair_tables(const ScenarioSpec& spec,
                     const std::vector<double>& bounds) const;

@@ -7,6 +7,7 @@
 #include "rexspeed/io/gnuplot_writer.hpp"
 #include "rexspeed/sweep/figure_sweeps.hpp"
 #include "rexspeed/sweep/interleaved_sweeps.hpp"
+#include "rexspeed/sweep/panel_sweep.hpp"
 
 namespace rexspeed::io {
 
@@ -79,6 +80,14 @@ std::optional<std::string> export_csv_figure(
 std::optional<std::string> export_csv_figure(
     const sweep::InterleavedSeries& series, const std::string& out_dir) {
   return export_csv(figure_file_stem(series), to_series(series), out_dir);
+}
+
+std::optional<std::string> export_csv_figure(
+    const sweep::PanelSeries& series, const std::string& out_dir) {
+  return series.kind == core::SolutionKind::kPair
+             ? export_csv_figure(sweep::to_figure_series(series), out_dir)
+             : export_csv_figure(sweep::to_interleaved_series(series),
+                                 out_dir);
 }
 
 }  // namespace rexspeed::io

@@ -9,6 +9,7 @@ namespace rexspeed::sweep {
 class Series;
 struct FigureSeries;
 struct InterleavedSeries;
+struct PanelSeries;
 }  // namespace rexspeed::sweep
 
 namespace rexspeed::io {
@@ -42,5 +43,10 @@ std::optional<std::string> export_csv_figure(
 /// Same for an interleaved panel (stem <config>_interleaved_<param>).
 std::optional<std::string> export_csv_figure(
     const sweep::InterleavedSeries& series, const std::string& out_dir);
+
+/// Same for a generic backend panel (kind-dispatched: byte-identical to
+/// the typed overloads).
+std::optional<std::string> export_csv_figure(
+    const sweep::PanelSeries& series, const std::string& out_dir);
 
 }  // namespace rexspeed::io

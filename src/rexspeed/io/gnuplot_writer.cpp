@@ -104,4 +104,19 @@ std::optional<std::string> export_gnuplot_figure(
                               out_dir, /*logscale_x=*/false);
 }
 
+std::string figure_file_stem(const sweep::PanelSeries& series) {
+  return series.kind == core::SolutionKind::kPair
+             ? figure_file_stem(sweep::to_figure_series(series))
+             : figure_file_stem(sweep::to_interleaved_series(series));
+}
+
+std::optional<std::string> export_gnuplot_figure(
+    const sweep::PanelSeries& series, const std::string& out_dir) {
+  return series.kind == core::SolutionKind::kPair
+             ? export_gnuplot_figure(sweep::to_figure_series(series),
+                                     out_dir)
+             : export_gnuplot_figure(sweep::to_interleaved_series(series),
+                                     out_dir);
+}
+
 }  // namespace rexspeed::io

@@ -6,6 +6,7 @@
 
 #include "rexspeed/sweep/figure_sweeps.hpp"
 #include "rexspeed/sweep/interleaved_sweeps.hpp"
+#include "rexspeed/sweep/panel_sweep.hpp"
 #include "rexspeed/sweep/series.hpp"
 
 namespace rexspeed::io {
@@ -35,6 +36,10 @@ void write_gnuplot_script(std::ostream& os, const sweep::Series& series,
 [[nodiscard]] std::string figure_file_stem(
     const sweep::InterleavedSeries& series);
 
+/// Generic-panel stem, dispatching on the panel's solution kind so every
+/// historical stem (and therefore every golden fixture) is preserved.
+[[nodiscard]] std::string figure_file_stem(const sweep::PanelSeries& series);
+
 /// Exports a figure panel as <out_dir>/<config>_<param>.dat plus a
 /// matching .gp script ("/" in the configuration name becomes "_"), so
 /// the paper's plots can be regenerated with a stock gnuplot. Returns the
@@ -46,5 +51,10 @@ std::optional<std::string> export_gnuplot_figure(
 /// Same for an interleaved panel.
 std::optional<std::string> export_gnuplot_figure(
     const sweep::InterleavedSeries& series, const std::string& out_dir);
+
+/// Same for a generic backend panel (kind-dispatched: byte-identical to
+/// the typed overloads).
+std::optional<std::string> export_gnuplot_figure(
+    const sweep::PanelSeries& series, const std::string& out_dir);
 
 }  // namespace rexspeed::io

@@ -1,47 +1,18 @@
 #include "rexspeed/sweep/figure_sweeps.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
-#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "rexspeed/sweep/grid.hpp"
+#include "rexspeed/sweep/panel_sweep.hpp"
 
 namespace rexspeed::sweep {
 
-const char* to_string(SweepParameter parameter) noexcept {
-  switch (parameter) {
-    case SweepParameter::kCheckpointTime:
-      return "C";
-    case SweepParameter::kVerificationTime:
-      return "V";
-    case SweepParameter::kErrorRate:
-      return "lambda";
-    case SweepParameter::kPerformanceBound:
-      return "rho";
-    case SweepParameter::kIdlePower:
-      return "Pidle";
-    case SweepParameter::kIoPower:
-      return "Pio";
-    case SweepParameter::kSegments:
-      return "segments";
-  }
-  return "unknown";
-}
-
 std::optional<SweepParameter> parse_sweep_parameter(
     std::string_view name) noexcept {
-  for (const SweepParameter parameter : all_sweep_parameters()) {
-    if (name == to_string(parameter)) return parameter;
-  }
-  // The segments axis is not one of the six composite panels, so it is not
-  // in all_sweep_parameters(); it still parses as a first-class dimension.
-  if (name == to_string(SweepParameter::kSegments)) {
-    return SweepParameter::kSegments;
-  }
-  return std::nullopt;
+  return core::parse_sweep_axis(name);
 }
 
 double FigurePoint::energy_saving() const noexcept {
@@ -124,146 +95,14 @@ const std::vector<SweepParameter>& all_sweep_parameters() {
   return kParameters;
 }
 
-namespace {
-
-// The two overloads below are the only solver-specific lines of the
-// figure-point kernel: how a best pair is solved (BiCritSolver needs the
-// eval mode; ExactSolver has only one). Everything downstream —
-// fallback policy, point assembly — is shared so the first-order and
-// exact panel paths cannot diverge.
-core::PairSolution solve_best(const core::BiCritSolver& solver, double rho,
-                              core::SpeedPolicy policy,
-                              const SweepOptions& options) {
-  return solver.solve(rho, policy, options.mode).best;
-}
-
-core::PairSolution solve_best(const core::ExactSolver& solver, double rho,
-                              core::SpeedPolicy policy,
-                              const SweepOptions& /*options*/) {
-  return solver.solve(rho, policy).best;
-}
-
-template <typename Solver>
-core::PairSolution best_with_fallback(const Solver& solver, double rho,
-                                      core::SpeedPolicy policy,
-                                      const SweepOptions& options,
-                                      bool& used_fallback) {
-  used_fallback = false;
-  core::PairSolution best = solve_best(solver, rho, policy, options);
-  if (!best.feasible && options.min_rho_fallback) {
-    const core::PairSolution fallback = solver.min_rho_solution(policy);
-    if (fallback.feasible) {
-      best = fallback;
-      used_fallback = true;
-    }
-  }
-  return best;
-}
-
-template <typename Solver>
-FigurePoint solve_figure_point_impl(const Solver& solver, double x,
-                                    double rho,
-                                    const SweepOptions& options) {
-  FigurePoint point;
-  point.x = x;
-  point.two_speed =
-      best_with_fallback(solver, rho, core::SpeedPolicy::kTwoSpeed, options,
-                         point.two_speed_fallback);
-  point.single_speed =
-      best_with_fallback(solver, rho, core::SpeedPolicy::kSingleSpeed,
-                         options, point.single_speed_fallback);
-  return point;
-}
-
-}  // namespace
-
-FigurePoint solve_figure_point(const core::BiCritSolver& solver, double x,
-                               double rho, const SweepOptions& options) {
-  return solve_figure_point_impl(solver, x, rho, options);
-}
-
-FigurePoint solve_figure_point(const core::ExactSolver& solver, double x,
-                               double rho, const SweepOptions& options) {
-  return solve_figure_point_impl(solver, x, rho, options);
-}
-
-PanelSweep::PanelSweep(core::ModelParams base, std::string configuration,
-                       SweepParameter parameter, std::vector<double> grid,
-                       SweepOptions options)
-    : base_(std::move(base)), options_(options), grid_(std::move(grid)) {
-  if (grid_.empty()) {
-    throw std::invalid_argument("PanelSweep: empty grid");
-  }
-  if (parameter == SweepParameter::kSegments) {
-    // The two-speed kernel has no notion of segments; the interleaved
-    // panel family (sweep/interleaved_sweeps.hpp) owns that axis.
-    throw std::invalid_argument(
-        "PanelSweep: the segments axis needs the interleaved solver mode "
-        "(set segments= or max_segments= on the scenario)");
-  }
-  // The pool's workers have no exception barrier (tasks must not throw),
-  // so the bounds the solver would reject are rejected here instead: the
-  // panel's ρ, and — for ρ panels, where each x IS the bound — the grid.
-  if (!(options_.rho > 0.0) || !std::isfinite(options_.rho)) {
-    throw std::invalid_argument("PanelSweep: rho must be positive and "
-                                "finite");
-  }
-  if (parameter == SweepParameter::kPerformanceBound) {
-    for (const double x : grid_) {
-      if (!(x > 0.0) || !std::isfinite(x)) {
-        throw std::invalid_argument(
-            "PanelSweep: rho-sweep grid values must be positive and "
-            "finite");
-      }
-    }
-  }
-  series_.parameter = parameter;
-  series_.configuration = std::move(configuration);
-  series_.rho = options_.rho;
-  series_.points.resize(grid_.size());
-  // ρ sweeps leave the model untouched (apply_parameter is the identity),
-  // so every grid point shares one solver: the O(K²) expansions are
-  // computed once for the whole panel instead of once per point. In
-  // exact-optimize mode the shared solver is the cached exact backend —
-  // its construction is the panel's dominant cost, so it is deferred to
-  // prepare() (the campaign runner builds many across its pool).
-  if (parameter == SweepParameter::kPerformanceBound) {
-    if (options_.mode == core::EvalMode::kExactOptimize) {
-      wants_exact_cache_ = true;
-    } else {
-      shared_.emplace(base_);
-    }
-  }
-}
-
-void PanelSweep::prepare() {
-  if (!wants_exact_cache_ || shared_exact_) return;
-  shared_exact_.emplace(base_, make_parallel_build(options_.pool));
-}
-
-void PanelSweep::solve_point(std::size_t i) {
-  const double x = grid_[i];
-  if (shared_exact_) {
-    series_.points[i] = solve_figure_point(*shared_exact_, x, x, options_);
-  } else if (shared_) {
-    series_.points[i] = solve_figure_point(*shared_, x, x, options_);
-  } else {
-    const core::BiCritSolver solver(
-        apply_parameter(base_, series_.parameter, x));
-    series_.points[i] = solve_figure_point(solver, x, options_.rho, options_);
-  }
-}
-
 FigureSeries run_figure_sweep(const core::ModelParams& base,
                               std::string configuration,
                               SweepParameter parameter,
                               const std::vector<double>& grid,
                               const SweepOptions& options) {
-  PanelSweep panel(base, std::move(configuration), parameter, grid, options);
-  panel.prepare();
-  parallel_for(options.pool, panel.point_count(),
-               [&panel](std::size_t i) { panel.solve_point(i); });
-  return panel.take();
+  return to_figure_series(
+      run_panel_sweep(core::make_mode_backend(base, options.mode),
+                      std::move(configuration), parameter, grid, options));
 }
 
 FigureSeries run_figure_sweep(const platform::Configuration& config,

@@ -6,28 +6,18 @@
 #include <vector>
 
 #include "rexspeed/core/bicrit_solver.hpp"
-#include "rexspeed/core/exact_solver.hpp"
+#include "rexspeed/core/sweep_axis.hpp"
 #include "rexspeed/platform/configuration.hpp"
 #include "rexspeed/sweep/series.hpp"
 #include "rexspeed/sweep/thread_pool.hpp"
 
 namespace rexspeed::sweep {
 
-/// The six parameters the paper sweeps in Figures 2–14, plus the segment
-/// count of the interleaved-verification extension.
-enum class SweepParameter {
-  kCheckpointTime,   ///< C (s)          — Figs. 2, 8–14 row 1
-  kVerificationTime, ///< V (s)          — Figs. 3, 8–14 row 2
-  kErrorRate,        ///< λ (1/s), log   — Figs. 4, 8–14 row 3
-  kPerformanceBound, ///< ρ              — Figs. 5, 8–14 row 4
-  kIdlePower,        ///< Pidle (mW)     — Figs. 6, 8–14 row 5
-  kIoPower,          ///< Pio (mW)       — Figs. 7, 8–14 row 6
-  kSegments,         ///< verifications per pattern m — interleaved panels
-                     ///< only (see interleaved_sweeps.hpp); rejected by the
-                     ///< regular two-speed PanelSweep kernel
-};
-
-[[nodiscard]] const char* to_string(SweepParameter parameter) noexcept;
+/// The sweep layer's historical name for the axis enum, now shared with
+/// core so solver backends can advertise the axes they support
+/// (core::BackendCapabilities::axes) without depending on this layer.
+using SweepParameter = core::SweepAxis;
+using core::to_string;
 
 /// Inverse of to_string: parses a sweep-parameter name ("C", "V",
 /// "lambda", "rho", "Pidle", "Pio", "segments"). Returns nullopt for
@@ -53,6 +43,8 @@ struct FigurePoint {
 };
 
 /// A full figure panel: the swept parameter and one point per x value.
+/// This is the typed pair-backend view of the generic sweep::PanelSeries
+/// (see panel_sweep.hpp), kept as the export/analysis currency.
 struct FigureSeries {
   SweepParameter parameter = SweepParameter::kCheckpointTime;
   std::string configuration;  ///< e.g. "Atlas/Crusoe"
@@ -81,7 +73,7 @@ struct SweepOptions {
 
 /// Default grid for a parameter, matching the paper's axis ranges:
 /// C, V, Pidle, Pio ∈ [0, 5000]; ρ ∈ [1, 3.5]; λ ∈ [1e-6, 1e-2]
-/// geometrically spaced.
+/// geometrically spaced; segments = the integer grid 1..points.
 [[nodiscard]] std::vector<double> default_grid(SweepParameter parameter,
                                                std::size_t points);
 
@@ -91,92 +83,16 @@ struct SweepOptions {
     const core::ModelParams& base, SweepParameter parameter, double value);
 
 /// The six panel parameters of a Figure 8–14 composite, in figure order
-/// (C, V, λ, ρ, Pidle, Pio). This is the panel list every composite runner
-/// iterates, so batched drivers can flatten it themselves.
+/// (C, V, λ, ρ, Pidle, Pio). This is the panel list every pair backend
+/// advertises (capabilities().axes); batched drivers can flatten it
+/// themselves.
 [[nodiscard]] const std::vector<SweepParameter>& all_sweep_parameters();
-
-/// One figure point off a cached solver: both speed policies plus their
-/// min-ρ fallbacks resolve against the same precomputed expansions. This
-/// is the per-grid-point kernel of every sweep.
-[[nodiscard]] FigurePoint solve_figure_point(const core::BiCritSolver& solver,
-                                             double x, double rho,
-                                             const SweepOptions& options);
-
-/// The same kernel off the cached exact backend (options.mode is implied
-/// to be kExactOptimize — the solver has no other mode). Infeasible
-/// bounds degrade to ExactSolver::min_rho_solution, the exact-model
-/// fallback, when options.min_rho_fallback is set.
-[[nodiscard]] FigurePoint solve_figure_point(const core::ExactSolver& solver,
-                                             double x, double rho,
-                                             const SweepOptions& options);
-
-/// One panel prepared for point-by-point execution: base parameters, grid,
-/// the ρ-sweep shared-solver fast path, and the preallocated output
-/// series. `run_figure_sweep` drives one with parallel_for; the campaign
-/// runner flattens many into a single task stream. Both therefore run the
-/// exact same setup and per-point kernel — bit-identical results by
-/// construction, not by parallel maintenance.
-///
-/// ρ panels share ONE solver across the whole grid (apply_parameter is
-/// the identity there): the cached BiCritSolver for the closed-form
-/// modes, and — for EvalMode::kExactOptimize — the cached
-/// core::ExactSolver, so exact-mode ρ sweeps are feasibility math on
-/// precomputed curve optima instead of a full numeric optimization per
-/// point (bench_exact measures the difference).
-///
-/// Construction is two-phase like InterleavedPanelSweep: the constructor
-/// validates everything (cheap, throws), prepare() pays the exact cache's
-/// per-pair curve optimization when the panel needs one — the split lets
-/// the campaign runner build many panels' caches across its pool.
-/// prepare() must complete before the first solve_point and touches only
-/// this panel's cache; solve_point(i) writes only points[i], so distinct
-/// panels prepare — and distinct indices solve — concurrently without
-/// synchronization.
-class PanelSweep {
- public:
-  /// Throws std::invalid_argument on an empty grid.
-  PanelSweep(core::ModelParams base, std::string configuration,
-             SweepParameter parameter, std::vector<double> grid,
-             SweepOptions options);
-
-  [[nodiscard]] std::size_t point_count() const noexcept {
-    return grid_.size();
-  }
-
-  /// True until prepare() has built the cache the panel needs (always
-  /// false for panels that need none) — lets batched drivers skip the
-  /// prepare pass for plans that would no-op.
-  [[nodiscard]] bool needs_prepare() const noexcept {
-    return wants_exact_cache_ && !shared_exact_;
-  }
-
-  /// Builds the exact ρ-panel cache (idempotent; no-op for every other
-  /// panel). Uses options.pool, when set, to parallelize the per-pair
-  /// curve optimization — the cache is bit-identical either way. Must
-  /// complete before the first solve_point; never throws on a
-  /// constructed plan.
-  void prepare();
-
-  /// Solves grid point `i` into its series slot (prepare() first).
-  void solve_point(std::size_t i);
-
-  /// Moves the finished panel out (call once every point is solved).
-  [[nodiscard]] FigureSeries take() { return std::move(series_); }
-
- private:
-  core::ModelParams base_;
-  std::optional<core::BiCritSolver> shared_;       ///< ρ panels only
-  std::optional<core::ExactSolver> shared_exact_;  ///< exact ρ panels only
-  bool wants_exact_cache_ = false;
-  SweepOptions options_;
-  std::vector<double> grid_;
-  FigureSeries series_;
-};
 
 /// Runs one figure panel over an explicit grid, starting from an explicit
 /// parameter bundle (`configuration` is the label recorded in the series).
-/// This is the primitive the configuration overloads delegate to; scenario
-/// drivers use it so model-parameter overrides reach the sweep.
+/// A convenience wrapper over the generic backend panel (panel_sweep.hpp)
+/// for the closed-form modes; scenario drivers use it so model-parameter
+/// overrides reach the sweep.
 [[nodiscard]] FigureSeries run_figure_sweep(
     const core::ModelParams& base, std::string configuration,
     SweepParameter parameter, const std::vector<double>& grid,

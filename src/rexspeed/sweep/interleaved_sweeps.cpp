@@ -1,10 +1,13 @@
 #include "rexspeed/sweep/interleaved_sweeps.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <utility>
+
+#include "rexspeed/core/solver_backend.hpp"
+#include "rexspeed/sweep/panel_sweep.hpp"
 
 namespace rexspeed::sweep {
 
@@ -27,107 +30,13 @@ double InterleavedSeries::max_energy_saving() const noexcept {
 std::vector<double> interleaved_grid(SweepParameter parameter,
                                      std::size_t points,
                                      unsigned max_segments) {
-  if (parameter == SweepParameter::kPerformanceBound) {
-    return default_grid(parameter, points);
-  }
-  if (parameter == SweepParameter::kSegments) {
-    return default_grid(parameter, max_segments);
-  }
-  throw std::invalid_argument(
-      "interleaved_grid: interleaved panels sweep rho or segments, not '" +
-      std::string(to_string(parameter)) + "'");
-}
-
-InterleavedPanelSweep::InterleavedPanelSweep(core::ModelParams base,
-                                             std::string configuration,
-                                             SweepParameter parameter,
-                                             std::vector<double> grid,
-                                             unsigned max_segments,
-                                             unsigned fixed_segments,
-                                             SweepOptions options)
-    : base_(std::move(base)),
-      max_segments_(max_segments),
-      fixed_segments_(fixed_segments),
-      options_(options),
-      grid_(std::move(grid)) {
-  // Everything the deferred prepare() (and the pool's solve_point tasks)
-  // would reject is rejected here instead — the InterleavedSolver
-  // preconditions included, so prepare() cannot throw later.
-  base_.validate();
-  if (base_.lambda_failstop > 0.0) {
-    throw std::invalid_argument(
-        "InterleavedPanelSweep: interleaved panels require "
-        "lambda_failstop = 0 (silent errors only)");
-  }
-  if (max_segments_ == 0) {
-    throw std::invalid_argument(
-        "InterleavedPanelSweep: need at least one segment");
-  }
-  if (grid_.empty()) {
-    throw std::invalid_argument("InterleavedPanelSweep: empty grid");
-  }
-  if (fixed_segments_ > max_segments_) {
-    throw std::invalid_argument(
-        "InterleavedPanelSweep: fixed_segments must be in "
-        "[0, max_segments]");
-  }
   if (parameter != SweepParameter::kPerformanceBound &&
       parameter != SweepParameter::kSegments) {
     throw std::invalid_argument(
-        "InterleavedPanelSweep: interleaved panels sweep rho or segments, "
-        "not '" + std::string(to_string(parameter)) + "'");
+        "interleaved_grid: interleaved panels sweep rho or segments, not '" +
+        std::string(to_string(parameter)) + "'");
   }
-  // The pool's workers have no exception barrier (tasks must not throw),
-  // so everything the solver would reject is rejected here instead.
-  if (!(options_.rho > 0.0) || !std::isfinite(options_.rho)) {
-    throw std::invalid_argument(
-        "InterleavedPanelSweep: rho must be positive and finite");
-  }
-  for (const double x : grid_) {
-    if (parameter == SweepParameter::kPerformanceBound &&
-        (!(x > 0.0) || !std::isfinite(x))) {
-      throw std::invalid_argument(
-          "InterleavedPanelSweep: rho-sweep grid values must be positive "
-          "and finite");
-    }
-    if (parameter == SweepParameter::kSegments) {
-      const double rounded = std::floor(x + 0.5);
-      if (!(rounded >= 1.0) ||
-          rounded > static_cast<double>(max_segments) ||
-          std::abs(x - rounded) > 1e-9) {
-        throw std::invalid_argument(
-            "InterleavedPanelSweep: segments-sweep grid values must be "
-            "integers in [1, max_segments]");
-      }
-    }
-  }
-  series_.parameter = parameter;
-  series_.configuration = std::move(configuration);
-  series_.rho = options_.rho;
-  series_.max_segments = max_segments_;
-  series_.points.resize(grid_.size());
-}
-
-void InterleavedPanelSweep::prepare() {
-  if (!shared_) shared_.emplace(base_, max_segments_);
-}
-
-void InterleavedPanelSweep::solve_point(std::size_t i) {
-  const double x = grid_[i];
-  InterleavedPoint& point = series_.points[i];
-  point.x = x;
-  if (series_.parameter == SweepParameter::kPerformanceBound) {
-    // A pinned count stays pinned across the bound grid (the `segments=M`
-    // semantics of the solve path); 0 searches every count.
-    point.best = fixed_segments_ > 0
-                     ? shared_->solve_segments(x, fixed_segments_)
-                     : shared_->solve(x);
-    point.single = shared_->solve_segments(x, 1);
-  } else {
-    const auto m = static_cast<unsigned>(std::floor(x + 0.5));
-    point.best = shared_->solve_segments(options_.rho, m);
-    point.single = shared_->solve_segments(options_.rho, 1);
-  }
+  return panel_grid(parameter, points, max_segments);
 }
 
 InterleavedSeries run_interleaved_sweep(const core::ModelParams& base,
@@ -137,12 +46,10 @@ InterleavedSeries run_interleaved_sweep(const core::ModelParams& base,
                                         unsigned max_segments,
                                         unsigned fixed_segments,
                                         const SweepOptions& options) {
-  InterleavedPanelSweep panel(base, std::move(configuration), parameter,
-                              grid, max_segments, fixed_segments, options);
-  panel.prepare();
-  parallel_for(options.pool, panel.point_count(),
-               [&panel](std::size_t i) { panel.solve_point(i); });
-  return panel.take();
+  return to_interleaved_series(run_panel_sweep(
+      std::make_unique<core::InterleavedBackend>(base, max_segments,
+                                                 fixed_segments),
+      std::move(configuration), parameter, grid, options));
 }
 
 InterleavedSeries run_interleaved_sweep(const core::ModelParams& base,

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,7 +23,9 @@ struct InterleavedPoint {
 };
 
 /// A full interleaved panel: overhead vs ρ (parameter =
-/// kPerformanceBound) or overhead vs segment count (kSegments).
+/// kPerformanceBound) or overhead vs segment count (kSegments). This is
+/// the typed interleaved-backend view of the generic sweep::PanelSeries
+/// (see panel_sweep.hpp), kept as the export/analysis currency.
 struct InterleavedSeries {
   SweepParameter parameter = SweepParameter::kPerformanceBound;
   std::string configuration;  ///< e.g. "Hera/XScale"
@@ -43,64 +44,12 @@ struct InterleavedSeries {
                                                    std::size_t points,
                                                    unsigned max_segments);
 
-/// One interleaved panel prepared for point-by-point execution — the
-/// interleaved counterpart of PanelSweep, and like it the single setup +
-/// kernel that both run_interleaved_sweep and the campaign runner's
-/// flattened task stream drive, so their results are bit-identical by
-/// construction. Both axes leave the model parameters untouched, so ONE
-/// cached core::InterleavedSolver serves every grid point of the panel.
-///
-/// The construction is two-phase: the constructor validates everything
-/// (cheap, throws), prepare() pays the per-(σ1,σ2,m) curve optimization —
-/// the panel's dominant cost. The split lets the campaign runner build
-/// many panels' solvers across its pool (prepare() cannot throw on a
-/// validated plan) instead of serially at plan time.
-///
-/// prepare() touches only this panel's solver and solve_point(i) writes
-/// only points[i], so distinct panels prepare — and distinct indices
-/// solve — concurrently without synchronization.
-class InterleavedPanelSweep {
- public:
-  /// `fixed_segments` 0 searches every count in [1, max_segments] at each
-  /// ρ point; a positive value pins the count (a `segments=M` scenario),
-  /// matching the solve path's semantics. The segments axis ignores it
-  /// (there x IS the count). Throws std::invalid_argument on an empty
-  /// grid, a parameter outside {kPerformanceBound, kSegments}, a
-  /// non-positive bound or grid value, invalid model params, λf ≠ 0,
-  /// max_segments == 0, or fixed_segments > max_segments — everything a
-  /// later prepare() or solve_point() would otherwise trip over.
-  InterleavedPanelSweep(core::ModelParams base, std::string configuration,
-                        SweepParameter parameter, std::vector<double> grid,
-                        unsigned max_segments, unsigned fixed_segments,
-                        SweepOptions options);
-
-  [[nodiscard]] std::size_t point_count() const noexcept {
-    return grid_.size();
-  }
-
-  /// Builds the cached solver (idempotent). Must complete before the
-  /// first solve_point; never throws on a constructed plan.
-  void prepare();
-
-  /// Solves grid point `i` into its series slot (prepare() first).
-  void solve_point(std::size_t i);
-
-  /// Moves the finished panel out (call once every point is solved).
-  [[nodiscard]] InterleavedSeries take() { return std::move(series_); }
-
- private:
-  core::ModelParams base_;
-  std::optional<core::InterleavedSolver> shared_;
-  unsigned max_segments_;
-  unsigned fixed_segments_;
-  SweepOptions options_;
-  std::vector<double> grid_;
-  InterleavedSeries series_;
-};
-
 /// Runs one interleaved panel over an explicit grid, starting from an
 /// explicit parameter bundle (`configuration` is the label recorded in the
-/// series). `fixed_segments` as in InterleavedPanelSweep. Parallel when
+/// series) — a convenience wrapper building a core::InterleavedBackend and
+/// driving the generic panel sweep (panel_sweep.hpp). `fixed_segments` 0
+/// searches every count in [1, max_segments] at each ρ point; a positive
+/// value pins the count (a `segments=M` scenario). Parallel when
 /// options.pool is set, serial otherwise — bit-identical either way.
 [[nodiscard]] InterleavedSeries run_interleaved_sweep(
     const core::ModelParams& base, std::string configuration,

@@ -1,13 +1,14 @@
 #include "rexspeed/sweep/section42_tables.hpp"
 
 #include <limits>
+#include <memory>
 
 namespace rexspeed::sweep {
 
 namespace {
 
 /// Shared row builder: one row per first speed off a full solve, with the
-/// global best marked — identical whichever solver produced the solution.
+/// global best marked — identical whichever backend produced the solution.
 std::vector<SpeedPairRow> rows_from_solution(
     const core::BiCritSolution& solution, const std::vector<double>& speeds) {
   std::vector<SpeedPairRow> rows;
@@ -39,21 +40,18 @@ std::vector<SpeedPairRow> rows_from_solution(
 }  // namespace
 
 std::vector<SpeedPairRow> speed_pair_table(
-    const core::BiCritSolver& solver, double rho, core::EvalMode mode) {
+    const core::SolverBackend& backend, double rho) {
   return rows_from_solution(
-      solver.solve(rho, core::SpeedPolicy::kTwoSpeed, mode),
-      solver.params().speeds);
-}
-
-std::vector<SpeedPairRow> speed_pair_table(const core::ExactSolver& solver,
-                                           double rho) {
-  return rows_from_solution(solver.solve(rho, core::SpeedPolicy::kTwoSpeed),
-                            solver.params().speeds);
+      backend.solve_report(rho, core::SpeedPolicy::kTwoSpeed),
+      backend.params().speeds);
 }
 
 std::vector<SpeedPairRow> speed_pair_table(const core::ModelParams& params,
                                            double rho, core::EvalMode mode) {
-  return speed_pair_table(core::BiCritSolver(params), rho, mode);
+  const std::unique_ptr<core::SolverBackend> backend =
+      core::make_mode_backend(params, mode);
+  backend->prepare();
+  return speed_pair_table(*backend, rho);
 }
 
 const std::vector<double>& section42_bounds() {

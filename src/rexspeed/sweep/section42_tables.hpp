@@ -2,8 +2,7 @@
 
 #include <vector>
 
-#include "rexspeed/core/bicrit_solver.hpp"
-#include "rexspeed/core/exact_solver.hpp"
+#include "rexspeed/core/solver_backend.hpp"
 
 namespace rexspeed::sweep {
 
@@ -19,21 +18,16 @@ struct SpeedPairRow {
   bool is_global_best = false;
 };
 
-/// Reproduces one §4.2 table for a given performance bound ρ off a cached
-/// solver: one row per available speed σ1 (in speed-set order). Reusing
-/// one solver across the four paper bounds computes the O(K²) expansions
-/// once (engine::SolverContext::solver() hands one out).
+/// Reproduces one §4.2 table for a given performance bound ρ off a
+/// prepared solver backend — THE table entry point; every mode routes here
+/// (the backend must advertise capabilities().pair_table; the interleaved
+/// backend does not and throws std::logic_error). Reusing one backend
+/// across the four paper bounds pays its cache exactly once.
 [[nodiscard]] std::vector<SpeedPairRow> speed_pair_table(
-    const core::BiCritSolver& solver, double rho,
-    core::EvalMode mode = core::EvalMode::kFirstOrder);
+    const core::SolverBackend& backend, double rho);
 
-/// The same table off the cached exact backend (mode is implied:
-/// ExactSolver only answers kExactOptimize). Reusing one solver across
-/// the four paper bounds pays the per-pair curve optimization once.
-[[nodiscard]] std::vector<SpeedPairRow> speed_pair_table(
-    const core::ExactSolver& solver, double rho);
-
-/// Convenience overload building a throwaway solver.
+/// Convenience overload building (and preparing) a throwaway backend for
+/// the mode over the given parameters.
 [[nodiscard]] std::vector<SpeedPairRow> speed_pair_table(
     const core::ModelParams& params, double rho,
     core::EvalMode mode = core::EvalMode::kFirstOrder);

@@ -1,0 +1,254 @@
+// The polymorphic SolverBackend interface: the unified Solution view,
+// capability advertising, the prepare lifecycle, the shared panel-point
+// kernel, and rebind semantics — everything the engine's generic drivers
+// rely on instead of mode branches.
+
+#include "rexspeed/core/solver_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "test_util.hpp"
+
+namespace rexspeed::core {
+namespace {
+
+using test::expect_identical_interleaved;
+using test::expect_identical_pair;
+
+ModelParams hot_params() {
+  ModelParams params = test::params_for("Hera/XScale");
+  params.lambda_silent = 1e-3;
+  params.verification_s = 1.0;
+  return params;
+}
+
+TEST(Solution, CommonViewDispatchesOnTheKind) {
+  PairSolution pair;
+  pair.feasible = true;
+  pair.sigma1 = 0.4;
+  pair.sigma2 = 0.8;
+  pair.w_opt = 1000.0;
+  pair.energy_overhead = 400.0;
+  pair.time_overhead = 2.5;
+  const Solution from_pair = Solution::from_pair(pair, true);
+  EXPECT_EQ(from_pair.kind, SolutionKind::kPair);
+  EXPECT_TRUE(from_pair.feasible());
+  EXPECT_TRUE(from_pair.used_fallback);
+  EXPECT_DOUBLE_EQ(from_pair.sigma1(), 0.4);
+  EXPECT_DOUBLE_EQ(from_pair.sigma2(), 0.8);
+  EXPECT_DOUBLE_EQ(from_pair.w_opt(), 1000.0);
+  EXPECT_DOUBLE_EQ(from_pair.energy_overhead(), 400.0);
+  EXPECT_DOUBLE_EQ(from_pair.time_overhead(), 2.5);
+  EXPECT_EQ(from_pair.segments(), 1u);  // the paper's own pattern
+
+  InterleavedSolution seg;
+  seg.feasible = true;
+  seg.segments = 4;
+  seg.sigma1 = 0.6;
+  seg.sigma2 = 0.4;
+  seg.w_opt = 2000.0;
+  seg.energy_overhead = 350.0;
+  seg.time_overhead = 3.0;
+  const Solution from_seg = Solution::from_interleaved(seg);
+  EXPECT_EQ(from_seg.kind, SolutionKind::kInterleaved);
+  EXPECT_TRUE(from_seg.feasible());
+  EXPECT_FALSE(from_seg.used_fallback);
+  EXPECT_EQ(from_seg.segments(), 4u);
+  EXPECT_DOUBLE_EQ(from_seg.energy_overhead(), 350.0);
+
+  // Default: an infeasible pair solution.
+  const Solution empty;
+  EXPECT_FALSE(empty.feasible());
+}
+
+TEST(ClosedFormBackend, MatchesBiCritSolverBitForBit) {
+  const ModelParams params = test::params_for("Hera/XScale");
+  const BiCritSolver reference(params);
+  for (const EvalMode mode :
+       {EvalMode::kFirstOrder, EvalMode::kExactEvaluation}) {
+    const ClosedFormBackend backend(params, mode);
+    EXPECT_FALSE(backend.needs_prepare());
+    for (const double rho : {1.4, 2.0, 3.0}) {
+      for (const SpeedPolicy policy :
+           {SpeedPolicy::kTwoSpeed, SpeedPolicy::kSingleSpeed}) {
+        expect_identical_pair(backend.solve(rho, policy, false).pair,
+                              reference.solve(rho, policy, mode).best);
+      }
+    }
+    expect_identical_pair(backend.solve_pair(2.0, 0, 1),
+                          reference.solve_pair_by_index(2.0, 0, 1, mode));
+    expect_identical_pair(
+        backend.min_rho(SpeedPolicy::kTwoSpeed).pair,
+        reference.min_rho_solution(SpeedPolicy::kTwoSpeed));
+  }
+}
+
+TEST(ClosedFormBackend, FallbackSemanticsMatchTheHistoricalKernel) {
+  // Atlas/Crusoe at ρ = 1 is infeasible: with the fallback the backend
+  // degrades to the min-ρ policy and flags it; without, it reports the
+  // infeasible solve untouched.
+  const ClosedFormBackend backend(test::params_for("Atlas/Crusoe"),
+                                  EvalMode::kFirstOrder);
+  const Solution with = backend.solve(1.0, SpeedPolicy::kTwoSpeed, true);
+  EXPECT_TRUE(with.feasible());
+  EXPECT_TRUE(with.used_fallback);
+  expect_identical_pair(with.pair,
+                        backend.min_rho(SpeedPolicy::kTwoSpeed).pair);
+  const Solution without =
+      backend.solve(1.0, SpeedPolicy::kTwoSpeed, false);
+  EXPECT_FALSE(without.feasible());
+  EXPECT_FALSE(without.used_fallback);
+}
+
+TEST(ClosedFormBackend, CapabilitiesDescribeThePairFamily) {
+  const ClosedFormBackend backend(test::params_for("Hera/XScale"),
+                                  EvalMode::kFirstOrder);
+  const BackendCapabilities& caps = backend.capabilities();
+  EXPECT_EQ(caps.kind, SolutionKind::kPair);
+  EXPECT_EQ(caps.axes.size(), 6u);
+  EXPECT_TRUE(caps.supports(SweepAxis::kCheckpointTime));
+  EXPECT_FALSE(caps.supports(SweepAxis::kSegments));
+  EXPECT_TRUE(caps.shares_panel_solver(SweepAxis::kPerformanceBound));
+  EXPECT_FALSE(caps.shares_panel_solver(SweepAxis::kErrorRate));
+  EXPECT_TRUE(caps.pair_table);
+  EXPECT_TRUE(caps.min_rho_fallback);
+  EXPECT_EQ(caps.max_segments, 1u);
+  EXPECT_FALSE(caps.validity.empty());
+  // Mode-dependent per-point cost: exact per-bound optimization is the
+  // heaviest closed-form path.
+  const ClosedFormBackend exact(test::params_for("Hera/XScale"),
+                                EvalMode::kExactOptimize);
+  EXPECT_GT(exact.capabilities().cost_weight, caps.cost_weight);
+}
+
+TEST(ClosedFormBackend, SegmentsSolveIsRejected) {
+  const ClosedFormBackend backend(test::params_for("Hera/XScale"),
+                                  EvalMode::kFirstOrder);
+  EXPECT_THROW((void)backend.solve_segments(3.0, 2), std::logic_error);
+}
+
+TEST(ExactOptBackend, PrepareLifecycleAndRouting) {
+  const ModelParams params = test::params_for("Hera/XScale");
+  ExactOptBackend backend(params);
+  EXPECT_TRUE(backend.needs_prepare());
+  EXPECT_THROW((void)backend.exact(), std::logic_error);
+  EXPECT_THROW((void)backend.min_rho(SpeedPolicy::kTwoSpeed),
+               std::logic_error);
+  backend.prepare();
+  EXPECT_FALSE(backend.needs_prepare());
+  backend.prepare();  // idempotent
+
+  const ExactSolver reference(params);
+  expect_identical_pair(
+      backend.solve(2.0, SpeedPolicy::kTwoSpeed, false).pair,
+      reference.solve(2.0, SpeedPolicy::kTwoSpeed).best);
+  expect_identical_pair(backend.solve_pair(2.0, 1, 0),
+                        reference.solve_pair_by_index(2.0, 1, 0));
+  expect_identical_pair(
+      backend.min_rho(SpeedPolicy::kSingleSpeed).pair,
+      reference.min_rho_solution(SpeedPolicy::kSingleSpeed));
+}
+
+TEST(ExactOptBackend, RebindYieldsThePerBoundClosedFormPath) {
+  // Model-axis panels historically solved each point with the per-bound
+  // numeric path off a fresh BiCritSolver — rebind must reproduce exactly
+  // that, not the cached curve structure.
+  const ModelParams params = test::params_for("Hera/XScale");
+  ExactOptBackend backend(params);
+  const auto rebound = backend.rebind(params);
+  EXPECT_FALSE(rebound->needs_prepare());
+  const BiCritSolver reference(params);
+  expect_identical_pair(
+      rebound->solve(2.0, SpeedPolicy::kTwoSpeed, false).pair,
+      reference.solve(2.0, SpeedPolicy::kTwoSpeed,
+                      EvalMode::kExactOptimize)
+          .best);
+}
+
+TEST(InterleavedBackend, ValidatesEagerlyAndMatchesTheSolver) {
+  const ModelParams params = hot_params();
+  InterleavedBackend backend(params, 6);
+  EXPECT_TRUE(backend.needs_prepare());
+  backend.prepare();
+  const InterleavedSolver reference(params, 6);
+  expect_identical_interleaved(
+      backend.solve(5.0, SpeedPolicy::kTwoSpeed, false).interleaved,
+      reference.solve(5.0));
+  expect_identical_interleaved(backend.solve_baseline(5.0, false).interleaved,
+                               reference.solve_segments(5.0, 1));
+  expect_identical_interleaved(backend.solve_segments(5.0, 3).interleaved,
+                               reference.solve_segments(5.0, 3));
+  // No min-ρ fallback in this family: an infeasible Solution, and the
+  // fallback flag on solve is accepted-but-ignored.
+  EXPECT_FALSE(backend.min_rho(SpeedPolicy::kTwoSpeed).feasible());
+  EXPECT_FALSE(
+      backend.solve(5.0, SpeedPolicy::kTwoSpeed, true).used_fallback);
+
+  // A pinned count stays pinned through the generic solve.
+  InterleavedBackend pinned(params, 6, 3);
+  pinned.prepare();
+  expect_identical_interleaved(
+      pinned.solve(5.0, SpeedPolicy::kTwoSpeed, false).interleaved,
+      reference.solve_segments(5.0, 3));
+
+  // Construction-time rejection (never inside a worker).
+  ModelParams failstop = params;
+  failstop.lambda_failstop = 1e-5;
+  EXPECT_THROW(InterleavedBackend(failstop, 4), std::invalid_argument);
+  EXPECT_THROW(InterleavedBackend(params, 0), std::invalid_argument);
+  EXPECT_THROW(InterleavedBackend(params, 4, 5), std::invalid_argument);
+}
+
+TEST(SolverBackend, PanelPointKernelCoversEveryAxisShape) {
+  // The shared per-grid-point kernel: ρ-axis x is the bound, segments-axis
+  // x is the pinned count, model axes use the panel bound.
+  const ModelParams params = hot_params();
+  InterleavedBackend interleaved(params, 6);
+  interleaved.prepare();
+  const InterleavedSolver reference(params, 6);
+
+  const PanelPoint rho_point = interleaved.solve_panel_point(
+      SweepAxis::kPerformanceBound, 5.0, 99.0, false);
+  expect_identical_interleaved(rho_point.primary.interleaved,
+                               reference.solve(5.0));
+  expect_identical_interleaved(rho_point.baseline.interleaved,
+                               reference.solve_segments(5.0, 1));
+
+  const PanelPoint m_point =
+      interleaved.solve_panel_point(SweepAxis::kSegments, 3.0, 5.0, false);
+  expect_identical_interleaved(m_point.primary.interleaved,
+                               reference.solve_segments(5.0, 3));
+  EXPECT_GE(m_point.energy_saving(), 0.0);
+
+  const ClosedFormBackend pair(test::params_for("Hera/XScale"),
+                               EvalMode::kFirstOrder);
+  const BiCritSolver pair_reference(test::params_for("Hera/XScale"));
+  const PanelPoint c_point =
+      pair.solve_panel_point(SweepAxis::kCheckpointTime, 1000.0, 3.0, true);
+  EXPECT_DOUBLE_EQ(c_point.x, 1000.0);
+  // Model axes assume a rebound backend; the bound is the panel's ρ.
+  expect_identical_pair(
+      c_point.primary.pair,
+      pair_reference.solve(3.0, SpeedPolicy::kTwoSpeed).best);
+  expect_identical_pair(
+      c_point.baseline.pair,
+      pair_reference.solve(3.0, SpeedPolicy::kSingleSpeed).best);
+}
+
+TEST(MakeModeBackend, DispatchesOnTheEvalMode) {
+  const ModelParams params = test::params_for("Hera/XScale");
+  EXPECT_STREQ(make_mode_backend(params, EvalMode::kFirstOrder)->name(),
+               "first-order");
+  EXPECT_STREQ(
+      make_mode_backend(params, EvalMode::kExactEvaluation)->name(),
+      "exact-eval");
+  const auto exact = make_mode_backend(params, EvalMode::kExactOptimize);
+  EXPECT_STREQ(exact->name(), "exact-opt");
+  EXPECT_TRUE(exact->needs_prepare());
+}
+
+}  // namespace
+}  // namespace rexspeed::core

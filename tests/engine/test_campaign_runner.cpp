@@ -10,12 +10,12 @@
 namespace rexspeed::engine {
 namespace {
 
-using test::expect_identical_pair;
-using test::expect_identical_series;
+using test::expect_identical_panel;
+using test::expect_identical_solution;
 
 TEST(CampaignRunner, FlattenedParallelCampaignIsBitIdenticalToSerialRuns) {
   // The tentpole requirement: a campaign over several registry scenarios —
-  // single panels, a ρ sweep (shared-solver fast path) and six-panel
+  // single panels, a ρ sweep (shared-backend fast path) and six-panel
   // composites — through one multi-worker pool must reproduce, bit for
   // bit, what each scenario yields when run alone with threads = 1.
   std::vector<ScenarioSpec> specs = {
@@ -36,15 +36,17 @@ TEST(CampaignRunner, FlattenedParallelCampaignIsBitIdenticalToSerialRuns) {
     ASSERT_EQ(results[s].panels.size(), reference.size());
     for (std::size_t p = 0; p < reference.size(); ++p) {
       SCOPED_TRACE(sweep::to_string(reference[p].parameter));
-      expect_identical_series(results[s].panels[p], reference[p]);
+      expect_identical_panel(results[s].panels[p], reference[p]);
     }
   }
 }
 
 TEST(CampaignRunner, WholeRegistryCampaignMatchesPerScenarioSerialRuns) {
   // The acceptance bar: ALL registry scenarios through one pool — the
-  // paper figures and the interleaved extensions alike — every series
-  // bit-identical to running each scenario alone serially.
+  // paper figures, the exact backend and the interleaved extensions
+  // alike — every panel bit-identical to running each scenario alone
+  // serially. One comparison for every mode, now that every backend
+  // produces the same PanelSeries.
   std::vector<ScenarioSpec> specs = scenario_registry();
   for (auto& spec : specs) spec.points = 5;
   const auto results =
@@ -54,20 +56,10 @@ TEST(CampaignRunner, WholeRegistryCampaignMatchesPerScenarioSerialRuns) {
   const SweepEngine serial(SweepEngineOptions{.threads = 1});
   for (std::size_t s = 0; s < specs.size(); ++s) {
     SCOPED_TRACE(specs[s].name);
-    if (specs[s].interleaved()) {
-      const auto reference = serial.run_interleaved_scenario(specs[s]);
-      EXPECT_TRUE(results[s].panels.empty());
-      ASSERT_EQ(results[s].interleaved_panels.size(), reference.size());
-      for (std::size_t p = 0; p < reference.size(); ++p) {
-        test::expect_identical_interleaved_series(
-            results[s].interleaved_panels[p], reference[p]);
-      }
-      continue;
-    }
     const auto reference = serial.run_scenario(specs[s]);
     ASSERT_EQ(results[s].panels.size(), reference.size());
     for (std::size_t p = 0; p < reference.size(); ++p) {
-      expect_identical_series(results[s].panels[p], reference[p]);
+      expect_identical_panel(results[s].panels[p], reference[p]);
     }
   }
 }
@@ -84,7 +76,45 @@ TEST(CampaignRunner, SerialCampaignMatchesParallelCampaign) {
   for (std::size_t s = 0; s < a.size(); ++s) {
     ASSERT_EQ(a[s].panels.size(), b[s].panels.size());
     for (std::size_t p = 0; p < a[s].panels.size(); ++p) {
-      expect_identical_series(a[s].panels[p], b[s].panels[p]);
+      expect_identical_panel(a[s].panels[p], b[s].panels[p]);
+    }
+  }
+}
+
+TEST(CampaignRunner, CostWeightOrderingDoesNotChangeResults) {
+  // The campaign-level scheduler orders whole panels longest-first by
+  // points × the backend's cost weight, so a mixed-mode campaign (cheap
+  // first-order panels up front in scenario order, heavy interleaved and
+  // exact panels last) exercises a genuinely reordered stream. Results
+  // must not move a bit relative to per-scenario serial runs — ordering
+  // is a latency lever, never a semantic one.
+  ScenarioSpec cheap = scenario_by_name("fig02");
+  cheap.points = 9;
+  ScenarioSpec exact = scenario_by_name("exact_rho");
+  exact.points = 5;
+  ScenarioSpec heavy = scenario_by_name("interleaved_rho");
+  heavy.points = 7;
+  const ScenarioSpec solve = parse_scenario("name=pt config=Hera/XScale");
+  const std::vector<ScenarioSpec> specs = {cheap, solve, exact, heavy};
+
+  const SweepEngine serial(SweepEngineOptions{.threads = 1});
+  for (const unsigned threads : {1u, 4u}) {
+    SCOPED_TRACE(threads);
+    const auto results =
+        CampaignRunner(CampaignRunnerOptions{.threads = threads}).run(specs);
+    ASSERT_EQ(results.size(), specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      SCOPED_TRACE(specs[s].name);
+      if (specs[s].kind() == ScenarioKind::kSolve) {
+        expect_identical_solution(results[s].solution,
+                                  solve_scenario(specs[s]));
+        continue;
+      }
+      const auto reference = serial.run_scenario(specs[s]);
+      ASSERT_EQ(results[s].panels.size(), reference.size());
+      for (std::size_t p = 0; p < reference.size(); ++p) {
+        expect_identical_panel(results[s].panels[p], reference[p]);
+      }
     }
   }
 }
@@ -101,16 +131,11 @@ TEST(CampaignRunner, SolveScenariosGetPanelFreeResults) {
   EXPECT_TRUE(results[0].panels.empty());
   EXPECT_TRUE(results[1].panels.empty());
 
-  bool used_fallback = false;
-  expect_identical_pair(results[0].solution,
-                        solve_scenario(plain, &used_fallback));
-  EXPECT_EQ(results[0].used_fallback, used_fallback);
-  EXPECT_FALSE(results[0].used_fallback);
+  expect_identical_solution(results[0].solution, solve_scenario(plain));
+  EXPECT_FALSE(results[0].solution.used_fallback);
 
-  expect_identical_pair(results[1].solution,
-                        solve_scenario(degraded, &used_fallback));
-  EXPECT_EQ(results[1].used_fallback, used_fallback);
-  EXPECT_TRUE(results[1].used_fallback);
+  expect_identical_solution(results[1].solution, solve_scenario(degraded));
+  EXPECT_TRUE(results[1].solution.used_fallback);
 }
 
 TEST(CampaignRunner, MixedKindCampaignKeepsScenarioOrder) {
@@ -126,7 +151,7 @@ TEST(CampaignRunner, MixedKindCampaignKeepsScenarioOrder) {
   EXPECT_EQ(results[0].panels.size(), 1u);
   EXPECT_EQ(results[1].spec.name, "pt");
   EXPECT_TRUE(results[1].panels.empty());
-  EXPECT_TRUE(results[1].solution.feasible);
+  EXPECT_TRUE(results[1].solution.feasible());
   EXPECT_EQ(results[2].spec.name, "fig10");
   EXPECT_EQ(results[2].panels.size(), 6u);
 }
@@ -137,14 +162,14 @@ TEST(CampaignRunner, RunOneHandlesEveryKind) {
   spec.points = 5;
   const auto panel = runner.run_one(spec);
   ASSERT_EQ(panel.panels.size(), 1u);
-  expect_identical_series(
+  expect_identical_panel(
       panel.panels.front(),
-      SweepEngine(SweepEngineOptions{.threads = 1}).run(spec));
+      SweepEngine(SweepEngineOptions{.threads = 1}).run_scenario(spec)[0]);
 
   const auto solve =
       runner.run_one(parse_scenario("config=Coastal/XScale rho=2"));
   EXPECT_TRUE(solve.panels.empty());
-  EXPECT_TRUE(solve.solution.feasible);
+  EXPECT_TRUE(solve.solution.feasible());
 }
 
 TEST(CampaignRunner, EmptyCampaignYieldsNoResults) {
@@ -170,6 +195,11 @@ TEST(CampaignRunner, ResolutionErrorsThrowBeforeAnyTaskRuns) {
   EXPECT_THROW(CampaignRunner(CampaignRunnerOptions{.threads = 4})
                    .run({bad_panel}),
                std::invalid_argument);
+
+  // Simulate-only dimensions are a plan-time rejection too.
+  ScenarioSpec recall = scenario_by_name("fig02");
+  recall.verification_recall = 0.9;
+  EXPECT_THROW(CampaignRunner().run({recall}), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
-// The cached exact backend through the engine layer: SolverContext
-// routing, exact-mode ρ sweeps parallel ≡ serial, campaign ≡ standalone,
-// the regression of ExactSolver against the uncached optimize_exact_pair
+// The cached exact backend through the engine layer: registry routing,
+// exact-mode ρ sweeps parallel ≡ serial, campaign ≡ standalone, the
+// regression of ExactSolver against the uncached optimize_exact_pair
 // path across every registered scenario, and the paper-regime agreement
 // of exact-opt with first-order at small λ.
 
@@ -9,8 +9,10 @@
 #include <stdexcept>
 
 #include "rexspeed/core/exact_solver.hpp"
+#include "rexspeed/engine/backend_registry.hpp"
 #include "rexspeed/engine/campaign_runner.hpp"
 #include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/engine/solver_context.hpp"
 #include "rexspeed/engine/sweep_engine.hpp"
 #include "test_util.hpp"
 
@@ -18,56 +20,61 @@ namespace rexspeed::engine {
 namespace {
 
 using test::expect_identical_pair;
-using test::expect_identical_series;
+using test::expect_identical_panel;
 
 ScenarioSpec exact_rho_spec() {
   return parse_scenario(
       "name=exact config=Hera/XScale mode=exact-opt param=rho points=9");
 }
 
-TEST(ExactBackend, ContextBuildsAndRoutesTheCache) {
+TEST(ExactBackend, ContextRoutesTheCachedBackend) {
   const ScenarioSpec spec = exact_rho_spec();
-  const SolverContext context = spec.make_context();
-  ASSERT_TRUE(context.has_exact());
-  // Routing: the context's exact-opt solve IS the cached backend's solve
+  const SolverContext context = make_context(spec);
+  EXPECT_STREQ(context.backend().name(), "exact-opt");
+  EXPECT_FALSE(context.backend().needs_prepare());
+  // Routing: the context's solve IS the cached backend's solve
   // (deterministic construction → bit-identical).
   const core::ExactSolver standalone(spec.resolve_params());
   expect_identical_pair(
-      context.solve(2.0, core::SpeedPolicy::kTwoSpeed,
-                    core::EvalMode::kExactOptimize).best,
+      context.solve(2.0, core::SpeedPolicy::kTwoSpeed).pair,
       standalone.solve(2.0).best);
+  expect_identical_pair(context.solve_pair(2.0, 0, 1),
+                        standalone.solve_pair_by_index(2.0, 0, 1));
+  // The first-order registry entry keeps the closed-form path.
+  ScenarioSpec first = spec;
+  first.mode = core::EvalMode::kFirstOrder;
+  const SolverContext closed = make_context(first);
+  EXPECT_STREQ(closed.backend().name(), "first-order");
   expect_identical_pair(
-      context.solve_pair(2.0, 0, 1, core::EvalMode::kExactOptimize),
-      standalone.solve_pair_by_index(2.0, 0, 1));
-  // Non-exact modes keep the first-order path.
-  expect_identical_pair(
-      context.solve(2.0, core::SpeedPolicy::kTwoSpeed,
-                    core::EvalMode::kFirstOrder).best,
-      context.solver().solve(2.0, core::SpeedPolicy::kTwoSpeed,
-                             core::EvalMode::kFirstOrder).best);
+      closed.solve(2.0, core::SpeedPolicy::kTwoSpeed).pair,
+      core::BiCritSolver(spec.resolve_params())
+          .solve(2.0, core::SpeedPolicy::kTwoSpeed,
+                 core::EvalMode::kFirstOrder)
+          .best);
 }
 
-TEST(ExactBackend, ContextWithoutCacheThrowsAndFallsBack) {
-  ScenarioSpec spec = exact_rho_spec();
-  spec.mode = core::EvalMode::kFirstOrder;
-  const SolverContext context = spec.make_context();
-  EXPECT_FALSE(context.has_exact());
-  EXPECT_THROW(context.exact(), std::logic_error);
-  // Exact-opt solves still work without the cache — the per-bound
-  // numeric optimization path.
-  const auto sol = context.solve(2.0, core::SpeedPolicy::kTwoSpeed,
-                                 core::EvalMode::kExactOptimize);
-  EXPECT_TRUE(sol.feasible);
+TEST(ExactBackend, UnpreparedBackendRefusesToSolve) {
+  // The exact backend defers its per-pair curve optimization to
+  // prepare(); solving before that is a programming error, reported
+  // instead of silently recomputing per bound.
+  core::ExactOptBackend backend(exact_rho_spec().resolve_params());
+  ASSERT_TRUE(backend.needs_prepare());
+  EXPECT_THROW((void)backend.solve(2.0, core::SpeedPolicy::kTwoSpeed,
+                                   false),
+               std::logic_error);
+  backend.prepare();
+  EXPECT_FALSE(backend.needs_prepare());
+  EXPECT_TRUE(
+      backend.solve(2.0, core::SpeedPolicy::kTwoSpeed, false).feasible());
 }
 
-TEST(ExactBackend, PooledConstructionIsBitIdentical) {
-  const ScenarioSpec spec = exact_rho_spec();
+TEST(ExactBackend, PooledPreparationIsBitIdentical) {
+  const core::ModelParams params = exact_rho_spec().resolve_params();
   sweep::ThreadPool pool(4);
-  SolverContextOptions options;
-  options.exact_cache = true;
-  const SolverContext serial(spec.resolve_params(), options);
-  options.pool = &pool;
-  const SolverContext pooled(spec.resolve_params(), options);
+  core::ExactOptBackend serial(params);
+  serial.prepare();
+  core::ExactOptBackend pooled(params);
+  pooled.prepare(sweep::make_parallel_build(&pool));
   ASSERT_EQ(serial.exact().expansions().size(),
             pooled.exact().expansions().size());
   for (std::size_t i = 0; i < serial.exact().expansions().size(); ++i) {
@@ -88,7 +95,8 @@ TEST(ExactBackend, RhoSweepParallelEqualsSerial) {
   const ScenarioSpec spec = exact_rho_spec();
   const SweepEngine serial({.threads = 1});
   const SweepEngine parallel({.threads = 4});
-  expect_identical_series(serial.run(spec), parallel.run(spec));
+  expect_identical_panel(serial.run_scenario(spec)[0],
+                         parallel.run_scenario(spec)[0]);
 }
 
 TEST(ExactBackend, CampaignMatchesStandaloneSweep) {
@@ -97,28 +105,26 @@ TEST(ExactBackend, CampaignMatchesStandaloneSweep) {
   // parallel runners alike.
   const ScenarioSpec spec = exact_rho_spec();
   const SweepEngine engine({.threads = 1});
-  const sweep::FigureSeries standalone = engine.run(spec);
+  const sweep::PanelSeries standalone = engine.run_scenario(spec)[0];
   for (const unsigned threads : {1u, 4u}) {
     SCOPED_TRACE(threads);
     const CampaignRunner runner({.threads = threads});
     const ScenarioResult result = runner.run_one(spec);
     ASSERT_EQ(result.panels.size(), 1u);
-    expect_identical_series(result.panels[0], standalone);
+    expect_identical_panel(result.panels[0], standalone);
   }
 }
 
 TEST(ExactBackend, ExactSolveScenarioMatchesCampaign) {
-  // kSolve scenarios in exact-opt mode route through the same cached
-  // context in solve_scenario and in the campaign's task stream.
+  // kSolve scenarios in exact-opt mode route through the same registry
+  // backend in solve_scenario and in the campaign's task stream.
   const ScenarioSpec spec = parse_scenario(
       "name=exact_solve config=Atlas/Crusoe mode=exact-opt param=none "
       "rho=2.5");
-  bool used_fallback = false;
-  const core::PairSolution direct = solve_scenario(spec, &used_fallback);
+  const core::Solution direct = solve_scenario(spec);
   const CampaignRunner runner({.threads = 1});
   const ScenarioResult result = runner.run_one(spec);
-  expect_identical_pair(direct, result.solution);
-  EXPECT_EQ(used_fallback, result.used_fallback);
+  test::expect_identical_solution(direct, result.solution);
 }
 
 TEST(ExactBackend, RegressionAcrossRegisteredScenarios) {
@@ -156,14 +162,14 @@ TEST(ExactBackend, ExactOptMatchesFirstOrderInPaperRegime) {
       "name=b config=Hera/XScale mode=first-order param=none rho=2");
   exact.overrides.push_back({"lambda", 1e-7});
   first.overrides.push_back({"lambda", 1e-7});
-  const core::PairSolution a = solve_scenario(exact);
-  const core::PairSolution b = solve_scenario(first);
-  ASSERT_TRUE(a.feasible);
-  ASSERT_TRUE(b.feasible);
-  EXPECT_EQ(a.sigma1_index, b.sigma1_index);
-  EXPECT_EQ(a.sigma2_index, b.sigma2_index);
-  EXPECT_NEAR(a.energy_overhead, b.energy_overhead,
-              1e-2 * b.energy_overhead);
+  const core::Solution a = solve_scenario(exact);
+  const core::Solution b = solve_scenario(first);
+  ASSERT_TRUE(a.feasible());
+  ASSERT_TRUE(b.feasible());
+  EXPECT_EQ(a.pair.sigma1_index, b.pair.sigma1_index);
+  EXPECT_EQ(a.pair.sigma2_index, b.pair.sigma2_index);
+  EXPECT_NEAR(a.energy_overhead(), b.energy_overhead(),
+              1e-2 * b.energy_overhead());
 }
 
 TEST(ExactBackend, SpeedPairTablesRouteThroughTheCache) {
@@ -174,9 +180,9 @@ TEST(ExactBackend, SpeedPairTablesRouteThroughTheCache) {
   const SweepEngine engine({.threads = 1});
   const auto tables = engine.speed_pair_tables(spec, {3.0, 1.775});
   ASSERT_EQ(tables.size(), 2u);
-  const core::BiCritSolver uncached(spec.resolve_params());
-  const auto reference = sweep::speed_pair_table(
-      uncached, 3.0, core::EvalMode::kExactOptimize);
+  const core::ClosedFormBackend uncached(spec.resolve_params(),
+                                         core::EvalMode::kExactOptimize);
+  const auto reference = sweep::speed_pair_table(uncached, 3.0);
   ASSERT_EQ(tables[0].size(), reference.size());
   for (std::size_t i = 0; i < reference.size(); ++i) {
     SCOPED_TRACE(i);

@@ -1,5 +1,5 @@
-// Interleaved verification through the engine layer: scenario keys,
-// SolverContext's cached path, SweepEngine's interleaved panels
+// Interleaved verification through the engine layer: scenario keys, the
+// registry-built InterleavedBackend, SweepEngine's interleaved panels
 // (parallel ≡ serial), the campaign runner's flattened stream
 // (campaign ≡ standalone), and the simulator bridge.
 
@@ -7,8 +7,10 @@
 
 #include <stdexcept>
 
+#include "rexspeed/engine/backend_registry.hpp"
 #include "rexspeed/engine/campaign_runner.hpp"
 #include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/engine/solver_context.hpp"
 #include "rexspeed/engine/sweep_engine.hpp"
 #include "test_util.hpp"
 
@@ -16,7 +18,7 @@ namespace rexspeed::engine {
 namespace {
 
 using test::expect_identical_interleaved;
-using test::expect_identical_interleaved_series;
+using test::expect_identical_panel;
 
 /// The hot-regime spec used throughout: frequent errors + cheap checks,
 /// so the solver genuinely segments.
@@ -45,6 +47,30 @@ TEST(InterleavedScenario, ParsesSegmentKeys) {
   const ScenarioSpec plain = parse_scenario("config=Hera/XScale");
   EXPECT_FALSE(plain.interleaved());
   EXPECT_EQ(plain.segment_limit(), 0u);
+
+  // mode=interleaved alone is the paper's pattern through the
+  // interleaved path (m = 1); explicit segment keys take precedence.
+  const ScenarioSpec by_mode =
+      parse_scenario("config=Hera/XScale mode=interleaved");
+  EXPECT_TRUE(by_mode.interleaved());
+  EXPECT_EQ(by_mode.segment_limit(), 1u);
+  const ScenarioSpec combined =
+      parse_scenario("config=Hera/XScale max_segments=8 mode=interleaved");
+  EXPECT_EQ(combined.segment_limit(), 8u);
+
+  // Explicit segment keys replace the mode's m = 1 default in EITHER
+  // order — the mutual-exclusion check only trips on two user-set keys.
+  const ScenarioSpec mode_then_cap =
+      parse_scenario("config=Hera/XScale mode=interleaved max_segments=8");
+  EXPECT_EQ(mode_then_cap.max_segments, 8u);
+  const ScenarioSpec mode_then_fixed =
+      parse_scenario("config=Hera/XScale mode=interleaved segments=4");
+  EXPECT_EQ(mode_then_fixed.segments, 4u);
+  EXPECT_EQ(mode_then_fixed.max_segments, 0u);
+  const ScenarioSpec fixed_then_mode =
+      parse_scenario("config=Hera/XScale segments=4 mode=interleaved");
+  EXPECT_EQ(fixed_then_mode.segments, 4u);
+  EXPECT_EQ(fixed_then_mode.max_segments, 0u);
 }
 
 TEST(InterleavedScenario, RejectsMalformedSegmentKeys) {
@@ -76,67 +102,75 @@ TEST(InterleavedScenario, RejectsMalformedSegmentKeys) {
 
 TEST(InterleavedScenario, PanelAxesFollowTheSpec) {
   ScenarioSpec spec = hot_spec();
-  ASSERT_EQ(interleaved_panel_axes(spec).size(), 1u);
-  EXPECT_EQ(interleaved_panel_axes(spec)[0],
+  ASSERT_EQ(scenario_panel_axes(spec).size(), 1u);
+  EXPECT_EQ(scenario_panel_axes(spec)[0],
             sweep::SweepParameter::kPerformanceBound);
 
   spec.sweep_parameter = sweep::SweepParameter::kSegments;
-  EXPECT_EQ(interleaved_panel_axes(spec)[0],
+  EXPECT_EQ(scenario_panel_axes(spec)[0],
             sweep::SweepParameter::kSegments);
 
+  // param=all asks the backend: the interleaved backend advertises
+  // exactly the ρ and segments axes.
   spec.sweep_parameter.reset();
   spec.all_panels = true;
-  const auto axes = interleaved_panel_axes(spec);
+  const auto axes = scenario_panel_axes(spec);
   ASSERT_EQ(axes.size(), 2u);
   EXPECT_EQ(axes[0], sweep::SweepParameter::kPerformanceBound);
   EXPECT_EQ(axes[1], sweep::SweepParameter::kSegments);
 
   spec.all_panels = false;  // kSolve: no panels
-  EXPECT_THROW((void)interleaved_panel_axes(spec), std::invalid_argument);
-  EXPECT_THROW(
-      (void)interleaved_panel_axes(parse_scenario("config=Hera/XScale")),
-      std::invalid_argument);
+  EXPECT_THROW((void)scenario_panel_axes(spec), std::invalid_argument);
 }
 
-TEST(SolverContextInterleaved, OptInCacheMatchesDirectSolver) {
+TEST(InterleavedBackendEngine, RegistryBackendMatchesDirectSolver) {
+  // The registry-built backend IS the cached InterleavedSolver path:
+  // bit-identical to driving the solver directly, for the searched and
+  // the pinned form alike.
   const ScenarioSpec spec = hot_spec();
-  const SolverContext context = spec.make_context();
-  ASSERT_TRUE(context.has_interleaved());
-  EXPECT_EQ(context.interleaved().max_segments(), 6u);
+  const SolverContext context = make_context(spec);
+  EXPECT_EQ(context.capabilities().kind, core::SolutionKind::kInterleaved);
+  EXPECT_EQ(context.capabilities().max_segments, 6u);
 
   const core::InterleavedSolver direct(spec.resolve_params(), 6);
-  expect_identical_interleaved(context.solve_interleaved(5.0),
+  expect_identical_interleaved(context.solve(5.0).interleaved,
                                direct.solve(5.0));
-  expect_identical_interleaved(context.solve_interleaved(5.0, 3),
+
+  ScenarioSpec pinned = spec;
+  pinned.max_segments = 0;
+  pinned.segments = 3;
+  const SolverContext pinned_context = make_context(pinned);
+  expect_identical_interleaved(pinned_context.solve(5.0).interleaved,
                                direct.solve_segments(5.0, 3));
 
-  // The regular solve path is untouched by the extra cache.
-  const SolverContext plain(spec.resolve_params());
-  EXPECT_FALSE(plain.has_interleaved());
-  EXPECT_THROW((void)plain.interleaved(), std::logic_error);
-  EXPECT_THROW((void)plain.solve_interleaved(5.0), std::logic_error);
-  test::expect_identical_pair(context.solve(3.0).best,
-                              plain.solve(3.0).best);
+  // The pair backends are untouched by the segment configuration.
+  const ScenarioSpec plain = parse_scenario("config=Hera/XScale");
+  const SolverContext pair_context = make_context(plain);
+  EXPECT_EQ(pair_context.capabilities().kind, core::SolutionKind::kPair);
+  EXPECT_TRUE(pair_context.solve(3.0).feasible());
 }
 
 TEST(InterleavedScenario, SolveUsesFixedOrSearchedCount) {
   ScenarioSpec spec = hot_spec();
   spec.sweep_parameter.reset();
-  const core::InterleavedSolution searched =
-      solve_scenario_interleaved(spec);
-  ASSERT_TRUE(searched.feasible);
-  EXPECT_GT(searched.segments, 1u);
+  const core::Solution searched = solve_scenario(spec);
+  ASSERT_EQ(searched.kind, core::SolutionKind::kInterleaved);
+  ASSERT_TRUE(searched.feasible());
+  EXPECT_GT(searched.segments(), 1u);
 
   ScenarioSpec pinned = spec;
   pinned.max_segments = 0;
   pinned.segments = 2;
-  const core::InterleavedSolution fixed = solve_scenario_interleaved(pinned);
-  ASSERT_TRUE(fixed.feasible);
-  EXPECT_EQ(fixed.segments, 2u);
+  const core::Solution fixed = solve_scenario(pinned);
+  ASSERT_TRUE(fixed.feasible());
+  EXPECT_EQ(fixed.segments(), 2u);
 
-  EXPECT_THROW(
-      (void)solve_scenario_interleaved(parse_scenario("config=Hera/XScale")),
-      std::invalid_argument);
+  // A non-interleaved spec yields a pair solution through the very same
+  // entry point — the mode dispatch lives in the registry now.
+  const core::Solution pair =
+      solve_scenario(parse_scenario("config=Hera/XScale"));
+  EXPECT_EQ(pair.kind, core::SolutionKind::kPair);
+  EXPECT_EQ(pair.segments(), 1u);
 }
 
 TEST(SweepEngineInterleaved, ParallelPanelsAreBitIdenticalToSerial) {
@@ -148,16 +182,16 @@ TEST(SweepEngineInterleaved, ParallelPanelsAreBitIdenticalToSerial) {
   const SweepEngine serial(SweepEngineOptions{.threads = 1});
   ASSERT_NE(parallel.pool(), nullptr);
   EXPECT_EQ(serial.pool(), nullptr);
-  const auto a = parallel.run_interleaved_scenario(spec);
-  const auto b = serial.run_interleaved_scenario(spec);
+  const auto a = parallel.run_scenario(spec);
+  const auto b = serial.run_scenario(spec);
   ASSERT_EQ(a.size(), 2u);
   ASSERT_EQ(b.size(), 2u);
   for (std::size_t p = 0; p < a.size(); ++p) {
     SCOPED_TRACE(sweep::to_string(a[p].parameter));
-    expect_identical_interleaved_series(a[p], b[p]);
+    expect_identical_panel(a[p], b[p]);
   }
   // The segments panel carries the baseline at every x and x = m.
-  const sweep::InterleavedSeries& vs_m = a[1];
+  const sweep::InterleavedSeries vs_m = sweep::to_interleaved_series(a[1]);
   ASSERT_EQ(vs_m.points.size(), 6u);
   for (std::size_t i = 0; i < vs_m.points.size(); ++i) {
     EXPECT_EQ(vs_m.points[i].x, static_cast<double>(i + 1));
@@ -187,19 +221,31 @@ TEST(SweepEngineInterleaved, FixedSegmentCountStaysPinnedAcrossRhoPanel) {
     at_x.sweep_parameter.reset();
     at_x.rho = point.x;
     expect_identical_interleaved(point.best,
-                                 solve_scenario_interleaved(at_x));
+                                 solve_scenario(at_x).interleaved);
   }
   EXPECT_TRUE(any_feasible);
 }
 
-TEST(SweepEngineInterleaved, RegularAndInterleavedEntryPointsAreDisjoint) {
+TEST(SweepEngineInterleaved, OneEntryPointServesEveryBackend) {
+  // run_scenario handles interleaved and pair scenarios alike now — the
+  // historical twin entry points (and the twin panel-sweep classes behind
+  // them) are gone. The panels only differ in their kind tag.
   const SweepEngine engine(SweepEngineOptions{.threads = 1});
-  // run_scenario refuses interleaved specs instead of dropping segments.
-  EXPECT_THROW((void)engine.run_scenario(hot_spec()), std::invalid_argument);
-  // run_interleaved_scenario refuses non-interleaved specs.
-  EXPECT_THROW(
-      (void)engine.run_interleaved_scenario(scenario_by_name("fig02")),
-      std::invalid_argument);
+  const auto segmented = engine.run_scenario(hot_spec());
+  ASSERT_EQ(segmented.size(), 1u);
+  EXPECT_EQ(segmented[0].kind, core::SolutionKind::kInterleaved);
+
+  ScenarioSpec regular = scenario_by_name("fig02");
+  regular.points = 5;
+  const auto pair = engine.run_scenario(regular);
+  ASSERT_EQ(pair.size(), 1u);
+  EXPECT_EQ(pair[0].kind, core::SolutionKind::kPair);
+
+  // The typed views reject the wrong kind instead of mangling it.
+  EXPECT_THROW((void)sweep::to_figure_series(segmented[0]),
+               std::invalid_argument);
+  EXPECT_THROW((void)sweep::to_interleaved_series(pair[0]),
+               std::invalid_argument);
 }
 
 TEST(CampaignRunnerInterleaved, CampaignMatchesStandaloneRuns) {
@@ -220,34 +266,30 @@ TEST(CampaignRunnerInterleaved, CampaignMatchesStandaloneRuns) {
   ASSERT_EQ(results.size(), 3u);
 
   const SweepEngine serial(SweepEngineOptions{.threads = 1});
-  const auto reference = serial.run_interleaved_scenario(panels);
-  ASSERT_EQ(results[0].interleaved_panels.size(), reference.size());
-  EXPECT_TRUE(results[0].panels.empty());
+  const auto reference = serial.run_scenario(panels);
+  ASSERT_EQ(results[0].panels.size(), reference.size());
   for (std::size_t p = 0; p < reference.size(); ++p) {
-    expect_identical_interleaved_series(results[0].interleaved_panels[p],
-                                        reference[p]);
+    expect_identical_panel(results[0].panels[p], reference[p]);
   }
 
   ASSERT_EQ(results[1].panels.size(), 1u);
-  test::expect_identical_series(
-      results[1].panels[0], serial.run_scenario(regular)[0]);
+  expect_identical_panel(results[1].panels[0],
+                         serial.run_scenario(regular)[0]);
 
-  EXPECT_TRUE(results[2].interleaved_panels.empty());
   EXPECT_TRUE(results[2].panels.empty());
-  expect_identical_interleaved(results[2].interleaved_solution,
-                               solve_scenario_interleaved(solve));
+  test::expect_identical_solution(results[2].solution,
+                                  solve_scenario(solve));
 
   // And a serial campaign reproduces the parallel one bit for bit.
   const auto serial_results =
       CampaignRunner(CampaignRunnerOptions{.threads = 1})
           .run({panels, regular, solve});
   for (std::size_t p = 0; p < reference.size(); ++p) {
-    expect_identical_interleaved_series(
-        serial_results[0].interleaved_panels[p],
-        results[0].interleaved_panels[p]);
+    expect_identical_panel(serial_results[0].panels[p],
+                           results[0].panels[p]);
   }
-  expect_identical_interleaved(serial_results[2].interleaved_solution,
-                               results[2].interleaved_solution);
+  test::expect_identical_solution(serial_results[2].solution,
+                                  results[2].solution);
 }
 
 TEST(CampaignRunnerInterleaved, ValidationHappensBeforeAnyTaskRuns) {
@@ -274,12 +316,12 @@ TEST(InterleavedScenario, RegistryScenariosRunEndToEnd) {
   ScenarioSpec vs_rho = scenario_by_name("interleaved_rho");
   vs_rho.points = 5;
   const SweepEngine engine(SweepEngineOptions{.threads = 1});
-  const auto rho_panels = engine.run_interleaved_scenario(vs_rho);
+  const auto rho_panels = engine.run_scenario(vs_rho);
   ASSERT_EQ(rho_panels.size(), 1u);
   EXPECT_EQ(rho_panels[0].points.size(), 5u);
 
   ScenarioSpec vs_m = scenario_by_name("interleaved_segments");
-  const auto m_panels = engine.run_interleaved_scenario(vs_m);
+  const auto m_panels = engine.run_scenario(vs_m);
   ASSERT_EQ(m_panels.size(), 1u);
   EXPECT_EQ(m_panels[0].points.size(), 8u);
   // In its hot regime, segmentation strictly beats the paper pattern.

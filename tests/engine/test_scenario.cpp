@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "rexspeed/engine/solver_context.hpp"
 #include "rexspeed/platform/configuration.hpp"
 #include "test_util.hpp"
 
@@ -85,9 +86,9 @@ TEST(ScenarioParse, OverrideValidationFailsAtResolveTimeForBadValues) {
   EXPECT_THROW(spec.resolve_params(), std::invalid_argument);
 }
 
-TEST(ScenarioRegistry, CoversThePaperFiguresAndInterleavedExtensions) {
+TEST(ScenarioRegistry, CoversThePaperFiguresAndBackendExtensions) {
   const auto& registry = scenario_registry();
-  ASSERT_EQ(registry.size(), 15u);
+  ASSERT_EQ(registry.size(), 16u);
   EXPECT_EQ(registry.front().name, "fig02");
   int panels = 0;
   int composites = 0;
@@ -104,9 +105,15 @@ TEST(ScenarioRegistry, CoversThePaperFiguresAndInterleavedExtensions) {
     if (spec.kind() == ScenarioKind::kSweep) ++panels;
     if (spec.kind() == ScenarioKind::kAllSweeps) ++composites;
   }
-  EXPECT_EQ(panels, 6);       // Figures 2–7
+  EXPECT_EQ(panels, 7);       // Figures 2–7 + the exact-backend rho panel
   EXPECT_EQ(composites, 7);   // Figures 8–14
   EXPECT_EQ(interleaved, 2);  // the related-work extension panels
+
+  // The exact-backend workload keeps its natural shared-cache panel.
+  const ScenarioSpec& exact = scenario_by_name("exact_rho");
+  EXPECT_EQ(exact.mode, core::EvalMode::kExactOptimize);
+  EXPECT_EQ(exact.sweep_parameter,
+            sweep::SweepParameter::kPerformanceBound);
 
   // The interleaved extensions are well-formed: a best-m ρ sweep and an
   // overhead-vs-segments grid, both with a search cap.
@@ -130,32 +137,87 @@ TEST(ScenarioRegistry, LookupByName) {
 
 TEST(ScenarioSolve, MatchesDirectContextSolve) {
   const ScenarioSpec spec = parse_scenario("config=Hera/XScale rho=3");
-  const core::PairSolution via_scenario = solve_scenario(spec);
-  const SolverContext context = spec.make_context();
-  const core::PairSolution direct = context.solve(3.0).best;
-  ASSERT_TRUE(via_scenario.feasible);
-  EXPECT_EQ(via_scenario.sigma1, direct.sigma1);
-  EXPECT_EQ(via_scenario.sigma2, direct.sigma2);
-  EXPECT_EQ(via_scenario.w_opt, direct.w_opt);
-  EXPECT_EQ(via_scenario.energy_overhead, direct.energy_overhead);
+  const core::Solution via_scenario = solve_scenario(spec);
+  const SolverContext context = make_context(spec);
+  const core::PairSolution direct = context.solve(3.0).pair;
+  ASSERT_TRUE(via_scenario.feasible());
+  EXPECT_EQ(via_scenario.sigma1(), direct.sigma1);
+  EXPECT_EQ(via_scenario.sigma2(), direct.sigma2);
+  EXPECT_EQ(via_scenario.w_opt(), direct.w_opt);
+  EXPECT_EQ(via_scenario.energy_overhead(), direct.energy_overhead);
 }
 
 TEST(ScenarioSolve, ReportsFallbackUse) {
-  bool used_fallback = false;
   const ScenarioSpec spec = parse_scenario("config=Atlas/Crusoe rho=1.0");
-  const auto sol = solve_scenario(spec, &used_fallback);
-  EXPECT_TRUE(sol.feasible);
-  EXPECT_TRUE(used_fallback);
+  const core::Solution sol = solve_scenario(spec);
+  EXPECT_TRUE(sol.feasible());
+  EXPECT_TRUE(sol.used_fallback);
+}
+
+TEST(ScenarioRecall, ParsesValidatesAndRoutesToTheSimulator) {
+  // verification_recall= is a validated scenario key, routed into
+  // SimulatorOptions — the simulate-only contract.
+  const ScenarioSpec spec = parse_scenario(
+      "config=Hera/XScale verification_recall=0.8");
+  EXPECT_DOUBLE_EQ(spec.verification_recall, 0.8);
+  EXPECT_DOUBLE_EQ(simulator_options(spec).verification_recall, 0.8);
+  EXPECT_DOUBLE_EQ(
+      simulator_options(parse_scenario("config=Hera/XScale"))
+          .verification_recall,
+      1.0);
+
+  EXPECT_THROW(parse_scenario("verification_recall=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("verification_recall=-0.1"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("verification_recall=maybe"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRecall, SolverModesRejectPartialRecallWithAClearError) {
+  // No analytical backend models partial recall yet: every solver entry
+  // point refuses, naming the key and the escape hatch.
+  ScenarioSpec spec = parse_scenario(
+      "name=sdc config=Hera/XScale verification_recall=0.9");
+  try {
+    (void)solve_scenario(spec);
+    FAIL() << "partial recall must be rejected by solver modes";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("verification_recall"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("simulate"), std::string::npos) << message;
+  }
+  // ...but the simulator bridge still accepts the spec's other settings.
+  spec.verification_recall = 1.0;
+  EXPECT_TRUE(solve_scenario(spec).feasible());
+}
+
+TEST(ScenarioRecall, MakePolicyAcceptsSimulateOnlySpecs) {
+  // make_policy is the simulator bridge: a recall < 1 spec must yield the
+  // same policy as its full-recall twin (recall shapes the simulation,
+  // never the solve).
+  ScenarioSpec spec = parse_scenario("config=Hera/XScale rho=3");
+  ScenarioSpec partial = spec;
+  partial.verification_recall = 0.8;
+  const sim::ExecutionPolicy reference = make_policy(spec);
+  const sim::ExecutionPolicy bridged = make_policy(partial);
+  EXPECT_DOUBLE_EQ(bridged.pattern_work(), reference.pattern_work());
+  ASSERT_EQ(bridged.attempt_speeds().size(),
+            reference.attempt_speeds().size());
+  EXPECT_DOUBLE_EQ(bridged.attempt_speeds()[0],
+                   reference.attempt_speeds()[0]);
+  EXPECT_DOUBLE_EQ(simulator_options(partial).verification_recall, 0.8);
 }
 
 TEST(ScenarioPolicy, BuildsSimulatorPolicyFromSolution) {
   const ScenarioSpec spec = parse_scenario("config=Hera/XScale rho=3");
   const sim::ExecutionPolicy policy = make_policy(spec);
-  const core::PairSolution sol = solve_scenario(spec);
-  EXPECT_DOUBLE_EQ(policy.pattern_work(), sol.w_opt);
+  const core::Solution sol = solve_scenario(spec);
+  EXPECT_DOUBLE_EQ(policy.pattern_work(), sol.w_opt());
   ASSERT_EQ(policy.attempt_speeds().size(), 2u);
-  EXPECT_DOUBLE_EQ(policy.attempt_speeds()[0], sol.sigma1);
-  EXPECT_DOUBLE_EQ(policy.attempt_speeds()[1], sol.sigma2);
+  EXPECT_DOUBLE_EQ(policy.attempt_speeds()[0], sol.sigma1());
+  EXPECT_DOUBLE_EQ(policy.attempt_speeds()[1], sol.sigma2());
 }
 
 TEST(ScenarioPolicy, ThrowsWhenInfeasibleAndFallbackDisabled) {

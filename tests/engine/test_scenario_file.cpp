@@ -46,6 +46,7 @@ void expect_equivalent(const ScenarioSpec& a, const ScenarioSpec& b) {
   EXPECT_EQ(a.all_panels, b.all_panels);
   EXPECT_EQ(a.segments, b.segments);
   EXPECT_EQ(a.max_segments, b.max_segments);
+  EXPECT_EQ(a.verification_recall, b.verification_recall);
   EXPECT_EQ(a.rho, b.rho);          // same grid: ρ bound...
   EXPECT_EQ(a.points, b.points);    // ...and point count
   EXPECT_EQ(a.policy, b.policy);
@@ -101,6 +102,49 @@ TEST(ScenarioWrite, RoundTripsInterleavedKeys) {
 
   EXPECT_EQ(write_scenario(scenario_by_name("fig02")).find("segments"),
             std::string::npos);
+}
+
+TEST(ScenarioWrite, RoundTripsVerificationRecall) {
+  // The simulate-only dimension survives the full cycle; the default
+  // (guaranteed verifications) emits no line at all, keeping pre-existing
+  // files byte-stable.
+  const ScenarioSpec spec = parse_scenario(
+      "name=sdc config=Hera/XScale verification_recall=0.85 param=none");
+  expect_equivalent(parse_scenario(write_scenario(spec)), spec);
+  // The value is written in round-tripping %.17g form; assert the key
+  // line exists (expect_equivalent above pins the value itself).
+  EXPECT_NE(write_scenario(spec).find("verification_recall="),
+            std::string::npos);
+  EXPECT_EQ(write_scenario(scenario_by_name("fig02"))
+                .find("verification_recall"),
+            std::string::npos);
+}
+
+TEST_F(ScenarioFileTest, VerificationRecallRoundTripsThroughFiles) {
+  const std::string path = write_file("sdc.scenario",
+                                      "config=Hera/XScale\n"
+                                      "param=none\n"
+                                      "verification_recall=0.7\n");
+  const ScenarioSpec spec = load_scenario_file(path);
+  EXPECT_DOUBLE_EQ(spec.verification_recall, 0.7);
+
+  const std::string saved = (dir_ / "resaved_sdc.scenario").string();
+  save_scenario_file(spec, saved);
+  expect_equivalent(load_scenario_file(saved), spec);
+
+  // Out-of-range values are rejected with the exact file:line.
+  const std::string bad = write_file(
+      "bad_recall.scenario",
+      "config=Hera/XScale\nverification_recall=1.5\n");
+  try {
+    (void)load_scenario_file(bad);
+    FAIL() << "verification_recall=1.5 must throw";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find(bad + ":2"), std::string::npos) << message;
+    EXPECT_NE(message.find("verification_recall"), std::string::npos)
+        << message;
+  }
 }
 
 TEST_F(ScenarioFileTest, LoadsKeysCommentsAndMultiWordDescriptions) {

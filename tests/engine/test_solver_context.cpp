@@ -1,3 +1,8 @@
+// The thin backend-owning SolverContext: bit-identity of the cached
+// closed-form backend against a legacy per-call reference implementation,
+// fallback semantics through the unified Solution, and the prepared-
+// backend ownership contract.
+
 #include "rexspeed/engine/solver_context.hpp"
 
 #include <gtest/gtest.h>
@@ -10,6 +15,8 @@
 #include "rexspeed/core/exact_expectations.hpp"
 #include "rexspeed/core/feasibility.hpp"
 #include "rexspeed/core/first_order.hpp"
+#include "rexspeed/engine/backend_registry.hpp"
+#include "rexspeed/engine/scenario.hpp"
 #include "rexspeed/platform/configuration.hpp"
 #include "test_util.hpp"
 
@@ -24,7 +31,7 @@ using core::SpeedPolicy;
 // ---------------------------------------------------------------------
 // Reference implementation: the pre-context per-call solver, which
 // re-derived both first-order expansions on every solve_pair call. The
-// cached context must reproduce it bit for bit.
+// cached backend must reproduce it bit for bit.
 // ---------------------------------------------------------------------
 
 PairSolution legacy_solve_pair(const ModelParams& params, double rho,
@@ -99,7 +106,7 @@ void expect_same_solution(const PairSolution& cached,
                           const PairSolution& legacy) {
   EXPECT_EQ(cached.feasible, legacy.feasible);
   if (!cached.feasible || !legacy.feasible) return;
-  // Bit-identical: the context caches the very same expansions the
+  // Bit-identical: the backend caches the very same expansions the
   // per-call path derives, so no tolerance is needed.
   EXPECT_EQ(cached.sigma1, legacy.sigma1);
   EXPECT_EQ(cached.sigma2, legacy.sigma2);
@@ -117,16 +124,16 @@ TEST(SolverContext, MatchesLegacyPerCallSolveOnAllConfigurations) {
                             EvalMode::kExactEvaluation};
   for (const auto& config : platform::all_configurations()) {
     const ModelParams params = ModelParams::from_configuration(config);
-    const SolverContext context(params);
-    for (const double rho : bounds) {
-      for (const EvalMode mode : modes) {
+    for (const EvalMode mode : modes) {
+      const SolverContext context(params, mode);
+      for (const double rho : bounds) {
         for (const SpeedPolicy policy :
              {SpeedPolicy::kTwoSpeed, SpeedPolicy::kSingleSpeed}) {
           SCOPED_TRACE(config.name() + " rho=" + std::to_string(rho));
-          const auto cached = context.solve(rho, policy, mode);
-          const auto legacy = legacy_best(params, rho, policy, mode);
-          EXPECT_EQ(cached.feasible, legacy.feasible);
-          expect_same_solution(cached.best, legacy);
+          const core::Solution cached = context.solve(rho, policy);
+          const PairSolution legacy = legacy_best(params, rho, policy, mode);
+          EXPECT_EQ(cached.feasible(), legacy.feasible);
+          expect_same_solution(cached.pair, legacy);
         }
       }
     }
@@ -136,7 +143,7 @@ TEST(SolverContext, MatchesLegacyPerCallSolveOnAllConfigurations) {
 TEST(SolverContext, PairsMatchLegacyPairByPair) {
   const ModelParams params = test::params_for("Atlas/Crusoe");
   const SolverContext context(params);
-  const auto solution = context.solve(3.0);
+  const core::BiCritSolution solution = context.solve_report(3.0);
   ASSERT_EQ(solution.pairs.size(),
             params.speeds.size() * params.speeds.size());
   for (const auto& pair : solution.pairs) {
@@ -146,43 +153,38 @@ TEST(SolverContext, PairsMatchLegacyPairByPair) {
   }
 }
 
-TEST(SolverContext, MinRhoIsCachedAndMatchesSolver) {
+TEST(SolverContext, MinRhoMatchesBackendSolver) {
   const SolverContext context(test::params_for("Hera/XScale"));
+  const core::BiCritSolver reference(test::params_for("Hera/XScale"));
   for (const SpeedPolicy policy :
        {SpeedPolicy::kTwoSpeed, SpeedPolicy::kSingleSpeed}) {
-    const auto& cached = context.min_rho(policy);
-    const auto fresh = context.solver().min_rho_solution(policy);
-    EXPECT_EQ(cached.feasible, fresh.feasible);
-    EXPECT_EQ(cached.sigma1, fresh.sigma1);
-    EXPECT_EQ(cached.sigma2, fresh.sigma2);
-    EXPECT_EQ(cached.rho_min, fresh.rho_min);
-    EXPECT_EQ(cached.w_opt, fresh.w_opt);
+    const core::Solution cached = context.min_rho(policy);
+    const PairSolution fresh = reference.min_rho_solution(policy);
+    EXPECT_EQ(cached.feasible(), fresh.feasible);
+    EXPECT_EQ(cached.pair.sigma1, fresh.sigma1);
+    EXPECT_EQ(cached.pair.sigma2, fresh.sigma2);
+    EXPECT_EQ(cached.pair.rho_min, fresh.rho_min);
+    EXPECT_EQ(cached.pair.w_opt, fresh.w_opt);
   }
 }
 
-TEST(SolverContext, BestTakesFallbackBeyondFeasibilityHorizon) {
+TEST(SolverContext, SolveTakesFallbackBeyondFeasibilityHorizon) {
   const SolverContext context(test::params_for("Atlas/Crusoe"));
-  bool used_fallback = false;
-  const auto sol = context.best(1.0, SpeedPolicy::kTwoSpeed,
-                                EvalMode::kFirstOrder,
-                                /*min_rho_fallback=*/true, &used_fallback);
-  EXPECT_TRUE(sol.feasible);
-  EXPECT_TRUE(used_fallback);
-  EXPECT_GT(sol.time_overhead, 1.0);
+  const core::Solution sol =
+      context.solve(1.0, SpeedPolicy::kTwoSpeed, /*min_rho_fallback=*/true);
+  EXPECT_TRUE(sol.feasible());
+  EXPECT_TRUE(sol.used_fallback);
+  EXPECT_GT(sol.time_overhead(), 1.0);
 
-  const auto strict = context.best(1.0, SpeedPolicy::kTwoSpeed,
-                                   EvalMode::kFirstOrder,
-                                   /*min_rho_fallback=*/false,
-                                   &used_fallback);
-  EXPECT_FALSE(strict.feasible);
-  EXPECT_FALSE(used_fallback);
+  const core::Solution strict =
+      context.solve(1.0, SpeedPolicy::kTwoSpeed, /*min_rho_fallback=*/false);
+  EXPECT_FALSE(strict.feasible());
+  EXPECT_FALSE(strict.used_fallback);
 
-  bool no_fallback_needed = true;
-  const auto feasible = context.best(3.0, SpeedPolicy::kTwoSpeed,
-                                     EvalMode::kFirstOrder, true,
-                                     &no_fallback_needed);
-  EXPECT_TRUE(feasible.feasible);
-  EXPECT_FALSE(no_fallback_needed);
+  const core::Solution feasible =
+      context.solve(3.0, SpeedPolicy::kTwoSpeed, /*min_rho_fallback=*/true);
+  EXPECT_TRUE(feasible.feasible());
+  EXPECT_FALSE(feasible.used_fallback);
 }
 
 TEST(SolverContext, SolvePairByIndexChecksRange) {
@@ -198,8 +200,23 @@ TEST(SolverContext, SharedAcrossRhoGridMatchesPerPointContexts) {
   const SolverContext shared(params);
   for (double rho = 1.1; rho < 4.0; rho += 0.3) {
     const SolverContext fresh(params);
-    expect_same_solution(shared.solve(rho).best, fresh.solve(rho).best);
+    expect_same_solution(shared.solve(rho).pair, fresh.solve(rho).pair);
   }
+}
+
+TEST(SolverContext, RejectsNullBackend) {
+  EXPECT_THROW(SolverContext(std::unique_ptr<core::SolverBackend>{}),
+               std::invalid_argument);
+}
+
+TEST(SolverContext, MakeContextPreparesTheScenarioBackend) {
+  // make_context is THE context-from-scenario rule: the backend arrives
+  // prepared, whatever it defers (the exact cache here).
+  const ScenarioSpec spec = parse_scenario(
+      "name=ctx config=Hera/XScale mode=exact-opt param=none rho=2");
+  const SolverContext context = make_context(spec);
+  EXPECT_FALSE(context.backend().needs_prepare());
+  EXPECT_TRUE(context.solve(2.0, spec.policy).feasible());
 }
 
 }  // namespace

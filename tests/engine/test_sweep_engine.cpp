@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "rexspeed/engine/solver_context.hpp"
 #include "rexspeed/platform/configuration.hpp"
 #include "test_util.hpp"
 
@@ -119,9 +120,10 @@ TEST(SweepEngine, SpeedPairTablesMatchPerBoundCalls) {
   const auto tables = engine.speed_pair_tables(spec, bounds);
   ASSERT_EQ(tables.size(), bounds.size());
 
-  const SolverContext context = spec.make_context();
+  const SolverContext context = make_context(spec);
   for (std::size_t b = 0; b < bounds.size(); ++b) {
-    const auto expected = sweep::speed_pair_table(context.solver(), bounds[b]);
+    const auto expected =
+        sweep::speed_pair_table(context.backend(), bounds[b]);
     ASSERT_EQ(tables[b].size(), expected.size());
     for (std::size_t r = 0; r < expected.size(); ++r) {
       EXPECT_EQ(tables[b][r].sigma1, expected[r].sigma1);
@@ -141,14 +143,13 @@ TEST(SweepEngine, RhoSweepSharedContextMatchesPerPointSolves) {
   ScenarioSpec spec = scenario_by_name("fig05");
   spec.points = 11;
   const auto series = engine.run(spec);
-  const SolverContext context = spec.make_context();
+  const SolverContext context = make_context(spec);
   for (const auto& point : series.points) {
-    bool used_fallback = false;
-    const auto expected =
-        context.best(point.x, core::SpeedPolicy::kTwoSpeed,
-                     core::EvalMode::kFirstOrder, true, &used_fallback);
-    expect_identical_pair(point.two_speed, expected);
-    EXPECT_EQ(point.two_speed_fallback, used_fallback);
+    const core::Solution expected =
+        context.solve(point.x, core::SpeedPolicy::kTwoSpeed,
+                      /*min_rho_fallback=*/true);
+    expect_identical_pair(point.two_speed, expected.pair);
+    EXPECT_EQ(point.two_speed_fallback, expected.used_fallback);
   }
 }
 

@@ -61,14 +61,17 @@ TEST_F(InterleavedGolden, CampaignExportIsByteExact) {
   const engine::ScenarioResult result =
       engine::CampaignRunner(engine::CampaignRunnerOptions{.threads = 2})
           .run_one(spec);
-  ASSERT_EQ(result.interleaved_panels.size(), 2u);
+  ASSERT_EQ(result.panels.size(), 2u);
 
-  EXPECT_EQ(figure_file_stem(result.interleaved_panels[0]),
+  // The generic panels carry the interleaved kind, and their exports keep
+  // the historical "_interleaved_" stems byte for byte.
+  EXPECT_EQ(result.panels[0].kind, core::SolutionKind::kInterleaved);
+  EXPECT_EQ(figure_file_stem(result.panels[0]),
             "Hera_XScale_interleaved_rho");
-  EXPECT_EQ(figure_file_stem(result.interleaved_panels[1]),
+  EXPECT_EQ(figure_file_stem(result.panels[1]),
             "Hera_XScale_interleaved_segments");
 
-  for (const auto& panel : result.interleaved_panels) {
+  for (const auto& panel : result.panels) {
     const auto csv_stem = export_csv_figure(panel, out_dir_.string());
     const auto gp_stem = export_gnuplot_figure(panel, out_dir_.string());
     ASSERT_TRUE(csv_stem.has_value());

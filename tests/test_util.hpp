@@ -5,9 +5,11 @@
 #include "rexspeed/core/bicrit_solver.hpp"
 #include "rexspeed/core/interleaved.hpp"
 #include "rexspeed/core/model_params.hpp"
+#include "rexspeed/core/solver_backend.hpp"
 #include "rexspeed/platform/configuration.hpp"
 #include "rexspeed/sweep/figure_sweeps.hpp"
 #include "rexspeed/sweep/interleaved_sweeps.hpp"
+#include "rexspeed/sweep/panel_sweep.hpp"
 
 namespace rexspeed::test {
 
@@ -92,6 +94,36 @@ inline void expect_identical_interleaved_series(
     EXPECT_EQ(a.points[i].x, b.points[i].x);
     expect_identical_interleaved(a.points[i].best, b.points[i].best);
     expect_identical_interleaved(a.points[i].single, b.points[i].single);
+  }
+}
+
+/// Bit-identity check for a unified backend solution — dispatches on the
+/// kind tag and reuses the typed checks, so a field added to either
+/// payload is covered exactly once.
+inline void expect_identical_solution(const core::Solution& a,
+                                      const core::Solution& b) {
+  ASSERT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.used_fallback, b.used_fallback);
+  if (a.kind == core::SolutionKind::kInterleaved) {
+    expect_identical_interleaved(a.interleaved, b.interleaved);
+  } else {
+    expect_identical_pair(a.pair, b.pair);
+  }
+}
+
+/// Bit-identity check for a whole generic backend panel.
+inline void expect_identical_panel(const sweep::PanelSeries& a,
+                                   const sweep::PanelSeries& b) {
+  EXPECT_EQ(a.parameter, b.parameter);
+  EXPECT_EQ(a.configuration, b.configuration);
+  EXPECT_EQ(a.rho, b.rho);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.max_segments, b.max_segments);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].x, b.points[i].x);
+    expect_identical_solution(a.points[i].primary, b.points[i].primary);
+    expect_identical_solution(a.points[i].baseline, b.points[i].baseline);
   }
 }
 

@@ -1,24 +1,28 @@
 // rexspeed — unified command-line front end for the library.
 //
-//   rexspeed solve     --config=Hera/XScale --rho=3 [--exact] [--single]
+//   rexspeed solve     --config=Hera/XScale --rho=3 [--mode=MODE] [--single]
 //                      [--segments=M | --max-segments=M]
-//   rexspeed pairs     --config=Hera/XScale --rho=3
+//   rexspeed pairs     --config=Hera/XScale --rho=3 [--mode=MODE]
 //   rexspeed sweep     --config=Atlas/Crusoe --param=C [--points=51]
-//                      [--threads=N] [--out-dir=DIR]
+//                      [--threads=N] [--out-dir=DIR] [--mode=MODE]
 //   rexspeed sweep     --scenario=fig08 [--out-dir=DIR]
 //   rexspeed sweep     --config=Hera/XScale --max-segments=8
 //                      [--param={rho,segments,all}]
 //   rexspeed simulate  --config=Hera/XScale --rho=3 --work=1e6
 //                      [--reps=200] [--seed=1] [--boost=50] [--segments=M]
+//                      [--recall=R]
 //   rexspeed plan      --config=Coastal/XScale --rho=2 --days=90
 //   rexspeed campaign  [--scenario-dir=DIR] [--scenarios=NAME,NAME,...]
 //                      [--points=N] [--threads=N] [--out-dir=DIR]
 //   rexspeed scenarios
+//   rexspeed modes
 //   rexspeed configs
 //
 // Every subcommand is a thin veneer over the engine layer (scenario
-// registry + cached solver contexts + the parallel sweep engine); all of
-// the logic it exercises is unit-tested in tests/.
+// registry + backend registry + the parallel sweep engine); --mode names
+// are resolved through engine::backend_registry(), so a new solver
+// backend shows up here without touching this file. All of the logic the
+// CLI exercises is unit-tested in tests/.
 
 #include <algorithm>
 #include <cstdio>
@@ -32,6 +36,8 @@
 
 #include "rexspeed/core/campaign.hpp"
 #include "rexspeed/core/exact_expectations.hpp"
+#include "rexspeed/core/interleaved.hpp"
+#include "rexspeed/engine/backend_registry.hpp"
 #include "rexspeed/engine/campaign_runner.hpp"
 #include "rexspeed/engine/scenario.hpp"
 #include "rexspeed/engine/scenario_file.hpp"
@@ -48,11 +54,22 @@ using namespace rexspeed;
 
 namespace {
 
+/// Comma-joined registry mode names for the usage text — always current.
+std::string mode_names() {
+  std::string names;
+  for (const auto& entry : engine::backend_registry()) {
+    if (!names.empty()) names += ",";
+    names += entry.name;
+  }
+  return names;
+}
+
 int usage() {
+  const std::string modes = mode_names();
   std::fprintf(
       stderr,
       "usage: rexspeed <command> [options]\n"
-      "  solve     optimal speed pair + pattern size for a bound\n"
+      "  solve     optimal policy + pattern size for a bound\n"
       "            --config=NAME --rho=R [--mode=MODE] [--single]\n"
       "            [--segments=M | --max-segments=M]  interleaved mode\n"
       "  pairs     the per-sigma1 best-second-speed table (paper 4.2)\n"
@@ -60,20 +77,22 @@ int usage() {
       "  sweep     one paper figure panel (or a full composite)\n"
       "            --config=NAME --param={C,V,lambda,rho,Pidle,Pio,all}\n"
       "            [--points=N] [--rho=R] [--threads=N] [--out-dir=DIR]\n"
-      "            [--mode={first-order,exact-eval,exact-opt}]\n"
+      "            [--mode={%s}]\n"
       "            or: --scenario=NAME (see `rexspeed scenarios`)\n"
       "            with --segments/--max-segments: interleaved panels\n"
       "            (--param={rho,segments,all})\n"
       "  simulate  Monte-Carlo validation of the optimal policy\n"
       "            --config=NAME --rho=R [--work=W] [--reps=N]\n"
-      "            [--seed=S] [--boost=B] [--segments=M]\n"
+      "            [--seed=S] [--boost=B] [--segments=M] [--recall=R]\n"
       "  plan      application-level campaign plan\n"
       "            --config=NAME --rho=R --days=D\n"
       "  campaign  batch of scenarios through one flattened task stream\n"
       "            [--scenario-dir=DIR] [--scenarios=NAME,NAME,...]\n"
       "            [--points=N] [--threads=N] [--out-dir=DIR]\n"
       "  scenarios list the registered scenarios (paper figures as data)\n"
-      "  configs   list the eight paper configurations\n");
+      "  modes     list the registered solver backends\n"
+      "  configs   list the eight paper configurations\n",
+      modes.c_str());
   return 2;
 }
 
@@ -94,6 +113,22 @@ engine::ScenarioSpec scenario_from(const io::ArgParser& args) {
   if (const auto param = args.get("param")) {
     engine::apply_token(spec, "param", *param);
   }
+  // --mode takes the backend-registry vocabulary; --exact stays as
+  // shorthand for --mode=exact-opt. Applied before the segment flags so
+  // --mode=interleaved composes with an explicit --segments/--max-segments
+  // in either order (the explicit flag replaces the mode's m = 1 default).
+  const auto mode = args.get("mode");
+  if (mode) engine::apply_token(spec, "mode", *mode);
+  if (args.has_flag("exact")) {
+    if (mode && spec.mode != core::EvalMode::kExactOptimize) {
+      // Silently favoring either flag would hand a script exact-opt
+      // results it believes are first-order (or vice versa).
+      throw std::invalid_argument("--exact conflicts with --mode=" + *mode +
+                                  " (--exact is shorthand for "
+                                  "--mode=exact-opt)");
+    }
+    spec.mode = core::EvalMode::kExactOptimize;
+  }
   const auto segments = args.get("segments");
   const auto max_segments = args.get("max-segments");
   if (segments && max_segments) {
@@ -112,19 +147,8 @@ engine::ScenarioSpec scenario_from(const io::ArgParser& args) {
   if (args.has_flag("single")) {
     spec.policy = core::SpeedPolicy::kSingleSpeed;
   }
-  // --mode takes the scenario-file vocabulary (first-order, exact-eval,
-  // exact-opt); --exact stays as shorthand for --mode=exact-opt.
-  const auto mode = args.get("mode");
-  if (mode) engine::apply_token(spec, "mode", *mode);
-  if (args.has_flag("exact")) {
-    if (mode && spec.mode != core::EvalMode::kExactOptimize) {
-      // Silently favoring either flag would hand a script exact-opt
-      // results it believes are first-order (or vice versa).
-      throw std::invalid_argument("--exact conflicts with --mode=" + *mode +
-                                  " (--exact is shorthand for "
-                                  "--mode=exact-opt)");
-    }
-    spec.mode = core::EvalMode::kExactOptimize;
+  if (const auto recall = args.get("recall")) {
+    engine::apply_token(spec, "verification_recall", *recall);
   }
   return spec;
 }
@@ -151,9 +175,26 @@ int cmd_configs() {
   return 0;
 }
 
+int cmd_modes() {
+  io::TableWriter table({"mode", "panel axes", "description"});
+  for (const auto& entry : engine::backend_registry()) {
+    std::string axes;
+    for (const auto axis : entry.panel_axes) {
+      if (!axes.empty()) axes += ",";
+      axes += sweep::to_string(axis);
+    }
+    table.add_row({entry.name, axes, entry.description});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nSelect one with --mode=NAME on solve/pairs/sweep, or mode=NAME in "
+      "a scenario file.\n");
+  return 0;
+}
+
 int cmd_scenarios() {
   io::TableWriter table(
-      {"scenario", "configuration", "kind", "description"});
+      {"scenario", "configuration", "mode", "kind", "description"});
   for (const auto& spec : engine::scenario_registry()) {
     std::string kind = "solve";
     if (spec.kind() == engine::ScenarioKind::kSweep) {
@@ -161,8 +202,8 @@ int cmd_scenarios() {
     } else if (spec.kind() == engine::ScenarioKind::kAllSweeps) {
       kind = "all sweeps";
     }
-    if (spec.interleaved()) kind = "interleaved " + kind;
-    table.add_row({spec.name, spec.configuration, kind, spec.description});
+    table.add_row({spec.name, spec.configuration,
+                   engine::backend_mode_name(spec), kind, spec.description});
   }
   std::printf("%s", table.str().c_str());
   std::printf(
@@ -173,49 +214,55 @@ int cmd_scenarios() {
 
 int cmd_solve(const io::ArgParser& args) {
   const auto spec = scenario_from(args);
-  if (spec.interleaved()) {
-    const auto sol = engine::solve_scenario_interleaved(spec);
-    if (!sol.feasible) {
+  const engine::SolverContext context = engine::make_context(spec);
+  const core::Solution sol = context.solve(spec.rho, spec.policy);
+  if (!sol.feasible()) {
+    if (sol.kind == core::SolutionKind::kInterleaved) {
       std::printf("infeasible: no segmented pattern satisfies rho = %g "
                   "(up to %u segments)\n",
                   spec.rho, spec.segment_limit());
       return 1;
     }
-    std::printf("sigma1 = %.2f  sigma2 = %.2f  Wopt = %.1f  "
-                "segments = %u\n",
-                sol.sigma1, sol.sigma2, sol.w_opt, sol.segments);
-    std::printf("E/W = %.2f mW   T/W = %.4f s per work unit (bound %g)\n",
-                sol.energy_overhead, sol.time_overhead, spec.rho);
-    return 0;
-  }
-  const engine::SolverContext context = spec.make_context();
-  const auto sol = context.solve(spec.rho, spec.policy, spec.mode);
-  if (!sol.feasible) {
     std::printf("infeasible: no speed pair satisfies rho = %g\n", spec.rho);
-    // In exact mode report the exact-model floor, not the first-order one.
-    const auto& fallback = context.min_rho_for(spec.policy, spec.mode);
-    if (fallback.feasible) {
+    // Report the backend's own floor (the exact-model one for exact-opt,
+    // not the first-order tangency) when it has one.
+    const core::Solution fallback = context.min_rho(spec.policy);
+    if (fallback.feasible()) {
       std::printf("best-effort minimum bound: rho_min = %.4f at "
                   "(%.2f, %.2f)\n",
-                  fallback.rho_min, fallback.sigma1, fallback.sigma2);
+                  fallback.pair.rho_min, fallback.sigma1(),
+                  fallback.sigma2());
     }
     return 1;
   }
-  std::printf("sigma1 = %.2f  sigma2 = %.2f  Wopt = %.1f\n",
-              sol.best.sigma1, sol.best.sigma2, sol.best.w_opt);
+  if (sol.kind == core::SolutionKind::kInterleaved) {
+    std::printf("sigma1 = %.2f  sigma2 = %.2f  Wopt = %.1f  "
+                "segments = %u\n",
+                sol.sigma1(), sol.sigma2(), sol.w_opt(), sol.segments());
+  } else {
+    std::printf("sigma1 = %.2f  sigma2 = %.2f  Wopt = %.1f\n",
+                sol.sigma1(), sol.sigma2(), sol.w_opt());
+  }
   std::printf("E/W = %.2f mW   T/W = %.4f s per work unit (bound %g)\n",
-              sol.best.energy_overhead, sol.best.time_overhead, spec.rho);
+              sol.energy_overhead(), sol.time_overhead(), spec.rho);
   return 0;
 }
 
 int cmd_pairs(const io::ArgParser& args) {
   const auto spec = scenario_from(args);
-  const engine::SolverContext context = spec.make_context();
+  // Capabilities are readable before prepare(), so a table-less backend
+  // is rejected before its (possibly expensive) cache would be built.
+  std::unique_ptr<core::SolverBackend> backend = engine::make_backend(spec);
+  if (!backend->capabilities().pair_table) {
+    std::fprintf(stderr,
+                 "error: mode '%s' has no speed-pair table (paper 4.2 "
+                 "tables need a pair backend)\n",
+                 backend->name());
+    return 2;
+  }
+  const engine::SolverContext context(std::move(backend));
   io::TableWriter table({"sigma1", "best sigma2", "Wopt", "E/W", ""});
-  const auto rows =
-      context.routes_exact(spec.mode)
-          ? sweep::speed_pair_table(context.exact(), spec.rho)
-          : sweep::speed_pair_table(context.solver(), spec.rho, spec.mode);
+  const auto rows = sweep::speed_pair_table(context.backend(), spec.rho);
   for (const auto& row : rows) {
     if (!row.feasible) {
       table.add_row(
@@ -248,8 +295,9 @@ void print_series(const sweep::Series& flat) {
   std::printf("%s", table.str().c_str());
 }
 
-int report_export(const std::optional<std::string>& stem,
+int export_series(const sweep::PanelSeries& series,
                   const std::string& out_dir) {
+  const auto stem = io::export_gnuplot_figure(series, out_dir);
   if (!stem) {
     std::fprintf(stderr, "error: cannot write to --out-dir=%s\n",
                  out_dir.c_str());
@@ -257,16 +305,6 @@ int report_export(const std::optional<std::string>& stem,
   }
   std::printf("wrote %s/%s.dat and .gp\n", out_dir.c_str(), stem->c_str());
   return 0;
-}
-
-int export_series(const sweep::FigureSeries& series,
-                  const std::string& out_dir) {
-  return report_export(io::export_gnuplot_figure(series, out_dir), out_dir);
-}
-
-int export_series(const sweep::InterleavedSeries& series,
-                  const std::string& out_dir) {
-  return report_export(io::export_gnuplot_figure(series, out_dir), out_dir);
 }
 
 int cmd_sweep(const io::ArgParser& args) {
@@ -302,18 +340,9 @@ int cmd_sweep(const io::ArgParser& args) {
   engine_options.threads = static_cast<unsigned>(threads);
   const engine::SweepEngine engine(engine_options);
   const std::string out_dir = args.get_or("out-dir", "");
-  if (spec.interleaved()) {
-    for (const auto& series : engine.run_interleaved_scenario(spec)) {
-      if (out_dir.empty()) {
-        print_series(to_series(series));
-      } else if (const int status = export_series(series, out_dir)) {
-        return status;
-      }
-    }
-    return 0;
-  }
-  const auto panels = engine.run_scenario(spec);
-  for (const auto& series : panels) {
+  // One loop for every backend: the panels carry their own solution kind,
+  // so printing and exporting need no mode dispatch.
+  for (const auto& series : engine.run_scenario(spec)) {
     if (out_dir.empty()) {
       print_series(to_series(series));
     } else if (const int status = export_series(series, out_dir)) {
@@ -327,77 +356,64 @@ int cmd_simulate(const io::ArgParser& args) {
   const auto spec = scenario_from(args);
   auto params = spec.resolve_params();
   const double boost = args.get_double_or("boost", 50.0);
-  if (spec.interleaved()) {
-    // Interleaved mode: simulate the segmented policy and compare against
-    // the interleaved closed forms at the boosted error rate.
-    const auto sol = engine::solve_scenario_interleaved(spec);
-    if (!sol.feasible) {
-      std::printf("infeasible bound\n");
-      return 1;
-    }
-    params.lambda_silent *= boost;
-    const sim::Simulator simulator(params);
-    sim::MonteCarloOptions options;
-    options.replications =
-        static_cast<std::size_t>(args.get_long_or("reps", 200));
-    options.total_work = args.get_double_or("work", 50.0 * sol.w_opt);
-    options.base_seed =
-        static_cast<std::uint64_t>(args.get_long_or("seed", 1));
-    const auto mc = sim::run_monte_carlo(
-        simulator,
-        sim::ExecutionPolicy::segmented(sol.w_opt, sol.segments, sol.sigma1,
-                                        sol.sigma2),
-        options);
-    const double t_model = core::expected_time_interleaved(
-                               params, sol.w_opt, sol.segments, sol.sigma1,
-                               sol.sigma2) /
-                           sol.w_opt;
-    const double e_model = core::expected_energy_interleaved(
-                               params, sol.w_opt, sol.segments, sol.sigma1,
-                               sol.sigma2) /
-                           sol.w_opt;
-    std::printf("policy (%.2f, %.2f), W = %.0f, %u segments, lambda "
-                "boosted x%g\n",
-                sol.sigma1, sol.sigma2, sol.w_opt, sol.segments, boost);
-    std::printf("T/W: model %.4f | simulated %.4f +/- %.4f\n", t_model,
-                mc.time_overhead.mean(), mc.time_ci.half_width());
-    std::printf("E/W: model %.2f | simulated %.2f +/- %.2f\n", e_model,
-                mc.energy_overhead.mean(), mc.energy_ci.half_width());
-    std::printf("errors/run: %.1f silent detected\n",
-                mc.silent_errors.mean());
-    return 0;
-  }
-  const engine::SolverContext context(params);
-  const auto sol = context.solve(spec.rho, spec.policy, spec.mode);
-  if (!sol.feasible) {
+  // A simulate-only spec (verification_recall < 1) still solves for its
+  // policy at full recall — the one shared stripping rule.
+  const core::Solution sol = engine::solve_for_simulation(spec);
+  if (!sol.feasible()) {
     std::printf("infeasible bound\n");
     return 1;
   }
   params.lambda_silent *= boost;
-  const sim::Simulator simulator(params);
+  const sim::Simulator simulator(params, sim::FaultInjector(params),
+                                 engine::simulator_options(spec));
   sim::MonteCarloOptions options;
   options.replications =
       static_cast<std::size_t>(args.get_long_or("reps", 200));
-  options.total_work =
-      args.get_double_or("work", 50.0 * sol.best.w_opt);
+  options.total_work = args.get_double_or("work", 50.0 * sol.w_opt());
   options.base_seed =
       static_cast<std::uint64_t>(args.get_long_or("seed", 1));
-  const auto mc = sim::run_monte_carlo(
-      simulator, sim::ExecutionPolicy::from_solution(sol.best), options);
-  const double t_model = core::time_overhead(params, sol.best.w_opt,
-                                             sol.best.sigma1,
-                                             sol.best.sigma2);
-  const double e_model = core::energy_overhead(params, sol.best.w_opt,
-                                               sol.best.sigma1,
-                                               sol.best.sigma2);
-  std::printf("policy (%.2f, %.2f), W = %.0f, lambda boosted x%g\n",
-              sol.best.sigma1, sol.best.sigma2, sol.best.w_opt, boost);
+
+  double t_model = 0.0;
+  double e_model = 0.0;
+  sim::ExecutionPolicy policy =
+      sim::ExecutionPolicy::single_speed(1.0, 1.0);
+  if (sol.kind == core::SolutionKind::kInterleaved) {
+    const auto& seg = sol.interleaved;
+    policy = sim::ExecutionPolicy::segmented(seg.w_opt, seg.segments,
+                                             seg.sigma1, seg.sigma2);
+    t_model = core::expected_time_interleaved(params, seg.w_opt,
+                                              seg.segments, seg.sigma1,
+                                              seg.sigma2) /
+              seg.w_opt;
+    e_model = core::expected_energy_interleaved(params, seg.w_opt,
+                                                seg.segments, seg.sigma1,
+                                                seg.sigma2) /
+              seg.w_opt;
+    std::printf("policy (%.2f, %.2f), W = %.0f, %u segments, lambda "
+                "boosted x%g\n",
+                seg.sigma1, seg.sigma2, seg.w_opt, seg.segments, boost);
+  } else {
+    policy = sim::ExecutionPolicy::from_solution(sol.pair);
+    t_model = core::time_overhead(params, sol.w_opt(), sol.sigma1(),
+                                  sol.sigma2());
+    e_model = core::energy_overhead(params, sol.w_opt(), sol.sigma1(),
+                                    sol.sigma2());
+    std::printf("policy (%.2f, %.2f), W = %.0f, lambda boosted x%g\n",
+                sol.sigma1(), sol.sigma2(), sol.w_opt(), boost);
+  }
+  const auto mc = sim::run_monte_carlo(simulator, policy, options);
   std::printf("T/W: model %.4f | simulated %.4f +/- %.4f\n", t_model,
               mc.time_overhead.mean(), mc.time_ci.half_width());
   std::printf("E/W: model %.2f | simulated %.2f +/- %.2f\n", e_model,
               mc.energy_overhead.mean(), mc.energy_ci.half_width());
-  std::printf("errors/run: %.1f silent, %.1f fail-stop\n",
+  std::printf("errors/run: %.1f silent detected, %.1f fail-stop\n",
               mc.silent_errors.mean(), mc.failstop_errors.mean());
+  if (spec.verification_recall < 1.0) {
+    std::printf("verification recall %.2f: model overheads assume "
+                "guaranteed verifications; missed errors corrupt "
+                "checkpoints silently\n",
+                spec.verification_recall);
+  }
   return 0;
 }
 
@@ -453,52 +469,27 @@ int cmd_campaign(const io::ArgParser& args) {
 
   const std::string out_dir = args.get_or("out-dir", "");
   io::TableWriter table(
-      {"scenario", "configuration", "kind", "panels", "result"});
+      {"scenario", "configuration", "mode", "kind", "panels", "result"});
   for (const auto& result : results) {
     const auto& spec = result.spec;
-    const std::size_t panel_count =
-        result.panels.size() + result.interleaved_panels.size();
     std::string kind = "solve";
     std::string outcome;
-    if (spec.interleaved() &&
-        spec.kind() == engine::ScenarioKind::kSolve) {
-      kind = "interleaved solve";
+    if (spec.kind() == engine::ScenarioKind::kSolve) {
+      const core::Solution& sol = result.solution;
       char buffer[96];
-      const auto& sol = result.interleaved_solution;
-      if (sol.feasible) {
-        std::snprintf(buffer, sizeof buffer,
-                      "(%.2f, %.2f) m=%u Wopt=%.0f E/W=%.1f", sol.sigma1,
-                      sol.sigma2, sol.segments, sol.w_opt,
-                      sol.energy_overhead);
-      } else {
+      if (!sol.feasible()) {
         std::snprintf(buffer, sizeof buffer, "infeasible at rho=%g",
                       spec.rho);
-      }
-      outcome = buffer;
-    } else if (spec.interleaved()) {
-      kind = spec.kind() == engine::ScenarioKind::kSweep
-                 ? std::string("interleaved ") +
-                       sweep::to_string(*spec.sweep_parameter)
-                 : "interleaved all";
-      double max_saving = 0.0;
-      for (const auto& panel : result.interleaved_panels) {
-        max_saving = std::max(max_saving, panel.max_energy_saving());
-      }
-      char buffer[64];
-      std::snprintf(buffer, sizeof buffer, "max saving %.1f%% vs m=1",
-                    100.0 * max_saving);
-      outcome = buffer;
-    } else if (spec.kind() == engine::ScenarioKind::kSolve) {
-      char buffer[96];
-      if (result.solution.feasible) {
+      } else if (sol.kind == core::SolutionKind::kInterleaved) {
         std::snprintf(buffer, sizeof buffer,
-                      "(%.2f, %.2f) Wopt=%.0f E/W=%.1f%s",
-                      result.solution.sigma1, result.solution.sigma2,
-                      result.solution.w_opt, result.solution.energy_overhead,
-                      result.used_fallback ? " [min-rho]" : "");
+                      "(%.2f, %.2f) m=%u Wopt=%.0f E/W=%.1f", sol.sigma1(),
+                      sol.sigma2(), sol.segments(), sol.w_opt(),
+                      sol.energy_overhead());
       } else {
-        std::snprintf(buffer, sizeof buffer, "infeasible at rho=%g",
-                      spec.rho);
+        std::snprintf(buffer, sizeof buffer,
+                      "(%.2f, %.2f) Wopt=%.0f E/W=%.1f%s", sol.sigma1(),
+                      sol.sigma2(), sol.w_opt(), sol.energy_overhead(),
+                      sol.used_fallback ? " [min-rho]" : "");
       }
       outcome = buffer;
     } else {
@@ -510,34 +501,29 @@ int cmd_campaign(const io::ArgParser& args) {
         max_saving = std::max(max_saving, panel.max_energy_saving());
       }
       char buffer[64];
-      std::snprintf(buffer, sizeof buffer, "max saving %.1f%%",
-                    100.0 * max_saving);
+      std::snprintf(buffer, sizeof buffer, "max saving %.1f%% vs %s",
+                    100.0 * max_saving,
+                    spec.interleaved() ? "m=1" : "single-speed");
       outcome = buffer;
     }
-    table.add_row({spec.name, spec.configuration, kind,
-                   std::to_string(panel_count), outcome});
+    table.add_row({spec.name, spec.configuration,
+                   engine::backend_mode_name(spec), kind,
+                   std::to_string(result.panels.size()), outcome});
 
-    if (!out_dir.empty() && panel_count > 0) {
+    if (!out_dir.empty() && !result.panels.empty()) {
       const std::string scenario_dir = out_dir + "/" + spec.name;
       std::error_code ec;
       std::filesystem::create_directories(scenario_dir, ec);
-      const auto export_panel = [&](const auto& panel) {
+      for (const auto& panel : result.panels) {
         const auto gp = io::export_gnuplot_figure(panel, scenario_dir);
         const auto csv = io::export_csv_figure(panel, scenario_dir);
         if (!gp || !csv) {
           std::fprintf(stderr, "error: cannot write to %s\n",
                        scenario_dir.c_str());
-          return false;
+          return 1;
         }
         std::printf("wrote %s/%s.{dat,gp,csv}\n", scenario_dir.c_str(),
                     gp->c_str());
-        return true;
-      };
-      for (const auto& panel : result.panels) {
-        if (!export_panel(panel)) return 1;
-      }
-      for (const auto& panel : result.interleaved_panels) {
-        if (!export_panel(panel)) return 1;
       }
     }
   }
@@ -575,6 +561,7 @@ int main(int argc, char** argv) try {
   const std::string command = argv[1];
   const io::ArgParser args(argc - 1, argv + 1);
   if (command == "configs") return cmd_configs();
+  if (command == "modes") return cmd_modes();
   if (command == "scenarios") return cmd_scenarios();
   if (command == "solve") return cmd_solve(args);
   if (command == "pairs") return cmd_pairs(args);
