@@ -1,0 +1,186 @@
+// Batched vs pointwise ρ-grid evaluation through the SIMD expansion
+// kernels: one first-order ρ panel (both speed policies at every bound)
+// run twice off identical prepared backends —
+//
+//   pointwise — the historical per-point path: every grid point walks
+//     the K² cached expansions through solve_panel_point;
+//   batched   — PanelSweep's whole-panel path: eval_pairs streams the
+//     SoA cache once per bound through the active kernel tier
+//     (core::SolverBackend::solve_rho_batch), winners reconstructed
+//     per point.
+//
+// The two runs must agree bit for bit (the scalar-reference contract);
+// the bench fails on any mismatch. Emits BENCH_kernels.json with the
+// speedup next to the ≥2× acceptance target. The exact-opt classify
+// path (cached curves + vectorized classification) is reported as a
+// secondary series.
+//
+// Usage: bench_kernels [--points=2001] [--exact-points=201] [--repeats=5]
+//                      [--json=BENCH_kernels.json]
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rexspeed/core/kernels/kernel_dispatch.hpp"
+#include "rexspeed/core/solver_backend.hpp"
+#include "rexspeed/io/cli.hpp"
+#include "rexspeed/platform/configuration.hpp"
+#include "rexspeed/sweep/panel_sweep.hpp"
+
+using namespace rexspeed;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One timed ρ panel in the given batch mode off a fresh backend of the
+/// given mode; repeats keep the minimum (the least-noise estimate).
+struct TimedPanel {
+  sweep::PanelSeries series;
+  double seconds = 0.0;
+};
+
+TimedPanel run_timed(const core::ModelParams& params, core::EvalMode mode,
+                     const std::vector<double>& grid, sweep::BatchMode batch,
+                     std::size_t repeats) {
+  TimedPanel result;
+  result.seconds = 1e300;
+  sweep::SweepOptions options;
+  options.mode = mode;
+  options.batch = batch;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    std::unique_ptr<core::SolverBackend> backend =
+        mode == core::EvalMode::kExactOptimize
+            ? std::unique_ptr<core::SolverBackend>(
+                  std::make_unique<core::ExactOptBackend>(params))
+            : std::make_unique<core::ClosedFormBackend>(params, mode);
+    backend->prepare();  // cache build excluded: the kernels are the story
+    const auto start = Clock::now();
+    sweep::PanelSeries series = sweep::run_panel_sweep(
+        std::move(backend), "bench",
+        sweep::SweepParameter::kPerformanceBound, grid, options);
+    result.seconds = std::min(result.seconds, seconds_since(start));
+    result.series = std::move(series);
+  }
+  return result;
+}
+
+/// Bit-identity between the two runs — any difference is a kernel bug,
+/// not noise, so the bench hard-fails.
+bool panels_identical(const sweep::PanelSeries& a,
+                      const sweep::PanelSeries& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const core::PanelPoint& p = a.points[i];
+    const core::PanelPoint& q = b.points[i];
+    if (p.x != q.x ||
+        p.primary.pair.energy_overhead != q.primary.pair.energy_overhead ||
+        p.primary.pair.w_opt != q.primary.pair.w_opt ||
+        p.primary.pair.sigma1 != q.primary.pair.sigma1 ||
+        p.primary.pair.sigma2 != q.primary.pair.sigma2 ||
+        p.primary.used_fallback != q.primary.used_fallback ||
+        p.baseline.pair.energy_overhead !=
+            q.baseline.pair.energy_overhead) {
+      std::fprintf(stderr, "MISMATCH at x=%g: batched != pointwise\n", p.x);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const io::ArgParser args(argc, argv);
+  const auto points =
+      static_cast<std::size_t>(args.get_long_or("points", 2001));
+  const auto exact_points =
+      static_cast<std::size_t>(args.get_long_or("exact-points", 201));
+  const auto repeats =
+      static_cast<std::size_t>(args.get_long_or("repeats", 5));
+  const std::string json_path = args.get_or("json", "BENCH_kernels.json");
+
+  const auto params = core::ModelParams::from_configuration(
+      platform::configuration_by_name("Hera/XScale"));
+  const char* tier =
+      core::kernels::to_string(core::kernels::active_tier());
+  std::printf("kernel tier: %s\n", tier);
+
+  const std::vector<double> grid = sweep::default_grid(
+      sweep::SweepParameter::kPerformanceBound, points);
+  std::printf("first-order rho sweep: %zu points, %zu pairs/point\n",
+              grid.size(), params.speeds.size() * params.speeds.size());
+  const TimedPanel pointwise =
+      run_timed(params, core::EvalMode::kFirstOrder, grid,
+                sweep::BatchMode::kOff, repeats);
+  const TimedPanel batched =
+      run_timed(params, core::EvalMode::kFirstOrder, grid,
+                sweep::BatchMode::kOn, repeats);
+  if (!panels_identical(batched.series, pointwise.series)) return 1;
+  const double speedup = pointwise.seconds / batched.seconds;
+  std::printf("  pointwise: %9.5f s  (%9.0f points/s)\n", pointwise.seconds,
+              grid.size() / pointwise.seconds);
+  std::printf("  batched:   %9.5f s  (%9.0f points/s)  %.2fx\n",
+              batched.seconds, grid.size() / batched.seconds, speedup);
+
+  const std::vector<double> exact_grid = sweep::default_grid(
+      sweep::SweepParameter::kPerformanceBound, exact_points);
+  std::printf("exact-opt rho sweep: %zu points (classify kernel)\n",
+              exact_grid.size());
+  const TimedPanel exact_pointwise =
+      run_timed(params, core::EvalMode::kExactOptimize, exact_grid,
+                sweep::BatchMode::kOff, repeats);
+  const TimedPanel exact_batched =
+      run_timed(params, core::EvalMode::kExactOptimize, exact_grid,
+                sweep::BatchMode::kOn, repeats);
+  if (!panels_identical(exact_batched.series, exact_pointwise.series)) {
+    return 1;
+  }
+  const double exact_speedup =
+      exact_pointwise.seconds / exact_batched.seconds;
+  std::printf("  pointwise: %9.5f s\n", exact_pointwise.seconds);
+  std::printf("  batched:   %9.5f s  %.2fx\n", exact_batched.seconds,
+              exact_speedup);
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"bench_kernels\",\n"
+       << "  \"kernel_tier\": \"" << tier << "\",\n"
+       << "  \"points\": " << grid.size() << ",\n"
+       << "  \"speed_pairs\": "
+       << params.speeds.size() * params.speeds.size() << ",\n"
+       << "  \"pointwise_s\": " << pointwise.seconds << ",\n"
+       << "  \"batched_s\": " << batched.seconds << ",\n"
+       << "  \"batched_speedup\": " << speedup << ",\n"
+       << "  \"exact_points\": " << exact_grid.size() << ",\n"
+       << "  \"exact_pointwise_s\": " << exact_pointwise.seconds << ",\n"
+       << "  \"exact_batched_s\": " << exact_batched.seconds << ",\n"
+       << "  \"exact_batched_speedup\": " << exact_speedup << ",\n"
+       << "  \"speedup_target\": 2.0,\n"
+       << "  \"bit_identical\": true\n"
+       << "}\n";
+  if (!json) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  if (speedup < 2.0) {
+    std::fprintf(stderr,
+                 "WARNING: batched speedup %.2fx below the 2x target "
+                 "(tier %s)\n",
+                 speedup, tier);
+  }
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "error: %s\n", error.what());
+  return 1;
+}

@@ -66,21 +66,49 @@ PairSolution BiCritSolution::best_for_sigma1(double sigma1) const {
 
 BiCritSolver::BiCritSolver(ModelParams params) : params_(std::move(params)) {
   params_.validate();
-  const std::size_t k = params_.speeds.size();
+  soa_ = ExpansionSoA::build(params_);
+  materialize_cache();
+}
+
+BiCritSolver::BiCritSolver(ModelParams params, ExpansionSoA table)
+    : params_(std::move(params)), soa_(std::move(table)) {
+  params_.validate();
+  if (soa_.k != params_.speeds.size()) {
+    throw std::invalid_argument(
+        "BiCritSolver: expansion table speed count mismatch");
+  }
+  materialize_cache();
+}
+
+void BiCritSolver::materialize_cache() {
+  // The SoA table is the single expansion pass; the per-pair cache is a
+  // pure view materialization of it (bit-identical to building each
+  // PairExpansion directly, since the scalar kernel calls the same
+  // expansion functions and the SIMD tiers are bit-comparable to it).
+  const std::size_t k = soa_.k;
+  cache_.clear();
   cache_.reserve(k * k);
   for (std::size_t i = 0; i < k; ++i) {
     for (std::size_t j = 0; j < k; ++j) {
-      cache_.push_back(PairExpansion::make(params_, params_.speeds[i],
-                                           params_.speeds[j],
-                                           static_cast<int>(i),
-                                           static_cast<int>(j)));
+      const std::size_t s = soa_.slot(i, j);
+      PairExpansion pair;
+      pair.sigma1 = soa_.sigma1[s];
+      pair.sigma2 = soa_.sigma2[s];
+      pair.index1 = static_cast<int>(i);
+      pair.index2 = static_cast<int>(j);
+      pair.time_exp = soa_.time_expansion(s);
+      pair.energy_exp = soa_.energy_expansion(s);
+      pair.first_order_valid = soa_.valid[s] != 0;
+      pair.rho_min = soa_.rho_min[s];
+      cache_.push_back(pair);
     }
   }
 }
 
 PairSolution BiCritSolver::solve_cached_pair(double rho,
                                              const PairExpansion& pair,
-                                             EvalMode mode) const {
+                                             EvalMode mode,
+                                             double w_seed) const {
   if (!(rho > 0.0)) {
     throw std::invalid_argument("BiCritSolver: rho must be positive");
   }
@@ -91,8 +119,9 @@ PairSolution BiCritSolver::solve_cached_pair(double rho,
   sol.sigma2_index = pair.index2;
 
   if (mode == EvalMode::kExactOptimize) {
-    const ExactPairResult exact = optimize_exact_pair(
-        params_, rho, pair.sigma1, pair.sigma2, numeric_options_);
+    const ExactPairResult exact =
+        optimize_exact_pair(params_, rho, pair.sigma1, pair.sigma2, w_seed,
+                            numeric_options_);
     sol.feasible = exact.feasible;
     sol.first_order_valid = pair.first_order_valid;
     sol.rho_min = std::numeric_limits<double>::quiet_NaN();
@@ -207,7 +236,8 @@ PairSolution BiCritSolver::min_rho_solution(SpeedPolicy policy) const {
 }
 
 BiCritSolution BiCritSolver::solve(double rho, SpeedPolicy policy,
-                                   EvalMode mode) const {
+                                   EvalMode mode,
+                                   const PairSeedTable* seeds) const {
   BiCritSolution solution;
   solution.pairs.reserve(cache_.size());
   double best_energy = std::numeric_limits<double>::infinity();
@@ -216,7 +246,10 @@ BiCritSolution BiCritSolver::solve(double rho, SpeedPolicy policy,
         cached.index1 != cached.index2) {
       continue;
     }
-    PairSolution pair = solve_cached_pair(rho, cached, mode);
+    const double w_seed = (seeds != nullptr && mode == EvalMode::kExactOptimize)
+                              ? seeds->seed(cached.index1, cached.index2)
+                              : 0.0;
+    PairSolution pair = solve_cached_pair(rho, cached, mode, w_seed);
     if (pair.feasible && pair.energy_overhead < best_energy) {
       best_energy = pair.energy_overhead;
       solution.best = pair;

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "rexspeed/core/expansion_soa.hpp"
 #include "rexspeed/core/feasibility.hpp"
 #include "rexspeed/core/first_order.hpp"
 #include "rexspeed/core/model_params.hpp"
@@ -56,6 +57,28 @@ struct PairExpansion {
   [[nodiscard]] static PairExpansion make(const ModelParams& params,
                                           double sigma1, double sigma2,
                                           int index1 = -1, int index2 = -1);
+};
+
+/// Per-pair warm-start seeds for the numeric (kExactOptimize) path:
+/// w_opt of pair (i, j) — typically harvested from the same pair's solve
+/// at a neighboring grid point of a parameter sweep — at slot i·K + j.
+/// A seed of 0 means "no seed" (cold-start bracket). Seeds steer only how
+/// fast the per-pair bracketing converges, never where (within numeric
+/// tolerance), so chained sweeps stay equivalent to cold-started ones.
+struct PairSeedTable {
+  std::size_t k = 0;
+  std::vector<double> w_opt;
+
+  [[nodiscard]] bool empty() const noexcept { return w_opt.empty(); }
+  [[nodiscard]] double seed(int i, int j) const noexcept {
+    if (i < 0 || j < 0 || static_cast<std::size_t>(i) >= k ||
+        static_cast<std::size_t>(j) >= k) {
+      return 0.0;
+    }
+    const std::size_t slot =
+        static_cast<std::size_t>(i) * k + static_cast<std::size_t>(j);
+    return slot < w_opt.size() ? w_opt[slot] : 0.0;
+  }
 };
 
 /// Outcome for one speed pair (σ1, σ2).
@@ -122,12 +145,24 @@ struct BiCritSolution {
 /// share across threads without synchronization.
 class BiCritSolver {
  public:
+  /// Builds the K² expansion cache in one structure-of-arrays pass
+  /// through the process-wide active SIMD kernel tier (scalar reference
+  /// is bit-identical by contract).
   explicit BiCritSolver(ModelParams params);
 
-  /// Solves BiCrit for performance bound `rho`.
+  /// Adopts a prebuilt SoA table for the same parameters (the shared-pass
+  /// construction: one ExpansionSoA::build serves this solver and any
+  /// other consumer). Throws std::invalid_argument when the table's speed
+  /// count does not match.
+  BiCritSolver(ModelParams params, ExpansionSoA table);
+
+  /// Solves BiCrit for performance bound `rho`. `seeds`, when non-null,
+  /// warm-starts the per-pair numeric bracketing of kExactOptimize (other
+  /// modes ignore it) — see PairSeedTable.
   [[nodiscard]] BiCritSolution solve(
       double rho, SpeedPolicy policy = SpeedPolicy::kTwoSpeed,
-      EvalMode mode = EvalMode::kFirstOrder) const;
+      EvalMode mode = EvalMode::kFirstOrder,
+      const PairSeedTable* seeds = nullptr) const;
 
   /// Solves a single speed pair. Speeds from the model's speed set hit the
   /// precomputed cache; other values are expanded on the fly.
@@ -158,13 +193,27 @@ class BiCritSolver {
     return cache_;
   }
 
+  /// The structure-of-arrays expansion table the cache was materialized
+  /// from — what the batched ρ-grid kernels stream over.
+  [[nodiscard]] const ExpansionSoA& expansion_table() const noexcept {
+    return soa_;
+  }
+
+  [[nodiscard]] const NumericOptions& numeric_options() const noexcept {
+    return numeric_options_;
+  }
+
  private:
   [[nodiscard]] PairSolution solve_cached_pair(double rho,
                                                const PairExpansion& pair,
-                                               EvalMode mode) const;
+                                               EvalMode mode,
+                                               double w_seed = 0.0) const;
+  void materialize_cache();
 
   ModelParams params_;
   NumericOptions numeric_options_;
+  /// One kernel pass over the K×K speed grid; source of `cache_`.
+  ExpansionSoA soa_;
   /// K² PairExpansions, entry (i, j) at i * K + j.
   std::vector<PairExpansion> cache_;
 };

@@ -47,17 +47,56 @@ ExactExpansion ExactExpansion::make(const ModelParams& params, double sigma1,
   return pair;
 }
 
+ExactExpansion ExactExpansion::make(const ModelParams& params,
+                                    const ExpansionSoA& table, std::size_t i,
+                                    std::size_t j,
+                                    const NumericOptions& options) {
+  // The shared-pass construction: the first-order expansions were already
+  // built once into the SoA table, so only the exact-curve minimizations
+  // remain per pair. The seeds (and therefore the optima) are
+  // bit-identical to the recomputing overload, since the table stores the
+  // same coefficients the expansion functions return.
+  const std::size_t slot = table.slot(i, j);
+  ExactExpansion pair;
+  pair.sigma1 = table.sigma1[slot];
+  pair.sigma2 = table.sigma2[slot];
+  pair.index1 = static_cast<int>(i);
+  pair.index2 = static_cast<int>(j);
+  const OverheadExpansion time_exp = table.time_expansion(slot);
+  const OverheadExpansion energy_exp = table.energy_expansion(slot);
+  pair.first_order_valid = table.valid[slot] != 0;
+  const double time_seed =
+      time_exp.has_interior_minimum() ? time_exp.argmin() : 0.0;
+  const double energy_seed =
+      energy_exp.has_interior_minimum() ? energy_exp.argmin() : 0.0;
+
+  const auto time_per_work = [&](double w) {
+    return time_overhead(params, w, pair.sigma1, pair.sigma2);
+  };
+  const auto energy_per_work = [&](double w) {
+    return energy_overhead(params, w, pair.sigma1, pair.sigma2);
+  };
+  pair.w_time = minimize_unimodal_overhead(time_per_work, time_seed, options);
+  pair.rho_min = time_per_work(pair.w_time);
+  pair.w_energy =
+      minimize_unimodal_overhead(energy_per_work, energy_seed, options);
+  pair.energy_min = energy_per_work(pair.w_energy);
+  pair.time_at_we = time_per_work(pair.w_energy);
+  return pair;
+}
+
 ExactSolver::ExactSolver(ModelParams params, const ParallelFor& parallel_build)
     : params_(std::move(params)) {
   params_.validate();
-  const std::size_t k = params_.speeds.size();
+  // One SoA kernel pass supplies every pair's first-order seeds — the
+  // expansions are no longer recomputed twice per pair (once here, once
+  // by any BiCritSolver for the same parameters' table).
+  const ExpansionSoA table = ExpansionSoA::build(params_);
+  const std::size_t k = table.k;
   cache_.resize(k * k);
-  const auto build = [this, k](std::size_t index) {
-    const std::size_t i = index / k;
-    const std::size_t j = index % k;
-    cache_[index] = ExactExpansion::make(
-        params_, params_.speeds[i], params_.speeds[j], static_cast<int>(i),
-        static_cast<int>(j), options_);
+  const auto build = [this, k, &table](std::size_t index) {
+    cache_[index] =
+        ExactExpansion::make(params_, table, index / k, index % k, options_);
   };
   if (parallel_build) {
     // Every entry is computed independently and written to its own slot,
@@ -66,12 +105,17 @@ ExactSolver::ExactSolver(ModelParams params, const ParallelFor& parallel_build)
   } else {
     for (std::size_t index = 0; index < cache_.size(); ++index) build(index);
   }
+  rho_min_flat_.resize(cache_.size());
+  time_at_we_flat_.resize(cache_.size());
+  for (std::size_t index = 0; index < cache_.size(); ++index) {
+    rho_min_flat_[index] = cache_[index].rho_min;
+    time_at_we_flat_[index] = cache_[index].time_at_we;
+  }
   min_rho_two_ = compute_min_rho(SpeedPolicy::kTwoSpeed);
   min_rho_single_ = compute_min_rho(SpeedPolicy::kSingleSpeed);
 }
 
-PairSolution ExactSolver::solve_cached(double rho,
-                                       const ExactExpansion& pair) const {
+PairSolution ExactSolver::base_solution(const ExactExpansion& pair) const {
   PairSolution sol;
   sol.sigma1 = pair.sigma1;
   sol.sigma2 = pair.sigma2;
@@ -80,21 +124,25 @@ PairSolution ExactSolver::solve_cached(double rho,
   sol.first_order_valid = pair.first_order_valid;
   sol.rho_min = pair.rho_min;
   sol.w_energy = pair.w_energy;
-  if (!(pair.rho_min <= rho)) return sol;  // bound below the exact floor
+  return sol;
+}
 
-  if (pair.time_at_we <= rho) {
-    // The unconstrained energy optimum already satisfies the bound: the
-    // solve is a pure cache lookup (the common case of loose-ρ grid
-    // points, and the reason one solver serves a whole sweep).
-    sol.feasible = true;
-    sol.w_opt = pair.w_energy;
-    sol.w_min = std::min(pair.w_time, pair.w_energy);
-    sol.w_max = std::max(pair.w_time, pair.w_energy);
-    sol.energy_overhead = pair.energy_min;
-    sol.time_overhead = pair.time_at_we;
-    return sol;
-  }
+PairSolution ExactSolver::lookup_solution(const ExactExpansion& pair) const {
+  // The unconstrained energy optimum already satisfies the bound: the
+  // solve is a pure cache lookup (the common case of loose-ρ grid
+  // points, and the reason one solver serves a whole sweep).
+  PairSolution sol = base_solution(pair);
+  sol.feasible = true;
+  sol.w_opt = pair.w_energy;
+  sol.w_min = std::min(pair.w_time, pair.w_energy);
+  sol.w_max = std::max(pair.w_time, pair.w_energy);
+  sol.energy_overhead = pair.energy_min;
+  sol.time_overhead = pair.time_at_we;
+  return sol;
+}
 
+PairSolution ExactSolver::tight_solution(double rho,
+                                         const ExactExpansion& pair) const {
   // The unconstrained energy optimum violates the bound, so the
   // constrained optimum sits on the feasibility boundary between w_time
   // (feasible) and w_energy (not): both curves are unimodal, so energy
@@ -107,6 +155,7 @@ PairSolution ExactSolver::solve_cached(double rho,
   };
   const double w_opt = bisect_boundary(time_per_work, rho, pair.w_time,
                                        pair.w_energy, options_);
+  PairSolution sol = base_solution(pair);
   sol.feasible = true;
   sol.w_opt = w_opt;
   sol.w_min = std::min(pair.w_time, w_opt);
@@ -115,6 +164,15 @@ PairSolution ExactSolver::solve_cached(double rho,
       energy_overhead(params_, w_opt, pair.sigma1, pair.sigma2);
   sol.time_overhead = time_per_work(w_opt);
   return sol;
+}
+
+PairSolution ExactSolver::solve_cached(double rho,
+                                       const ExactExpansion& pair) const {
+  if (!(pair.rho_min <= rho)) {
+    return base_solution(pair);  // bound below the exact floor
+  }
+  if (pair.time_at_we <= rho) return lookup_solution(pair);
+  return tight_solution(rho, pair);
 }
 
 PairSolution ExactSolver::compute_min_rho(SpeedPolicy policy) const {
@@ -166,6 +224,41 @@ BiCritSolution ExactSolver::solve(double rho, SpeedPolicy policy) const {
     solution.pairs.push_back(std::move(pair));
   }
   return solution;
+}
+
+PairSolution ExactSolver::solve_classified(double rho, SpeedPolicy policy,
+                                           const unsigned char* cls) const {
+  if (!(rho > 0.0)) {
+    throw std::invalid_argument("ExactSolver: rho must be positive");
+  }
+  // Same scan as solve() — in cache order, strict-< selection — but the
+  // per-slot branch tests were already answered by the classify kernel
+  // and no PairSolution report is materialized: class-0 slots cost
+  // nothing, class-1 slots cost one comparison against the cached
+  // minimum, and only winners (and class-2 bisections) build solutions.
+  PairSolution best;
+  best.feasible = false;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < cache_.size(); ++s) {
+    const ExactExpansion& pair = cache_[s];
+    if (policy == SpeedPolicy::kSingleSpeed && pair.index1 != pair.index2) {
+      continue;
+    }
+    if (cls[s] == 0) continue;
+    if (cls[s] == 1) {
+      if (pair.energy_min < best_energy) {
+        best_energy = pair.energy_min;
+        best = lookup_solution(pair);
+      }
+      continue;
+    }
+    PairSolution candidate = tight_solution(rho, pair);
+    if (candidate.feasible && candidate.energy_overhead < best_energy) {
+      best_energy = candidate.energy_overhead;
+      best = std::move(candidate);
+    }
+  }
+  return best;
 }
 
 PairSolution ExactSolver::solve_pair_by_index(double rho, std::size_t i,

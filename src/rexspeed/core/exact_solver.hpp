@@ -47,6 +47,15 @@ struct ExactExpansion {
                                            double sigma1, double sigma2,
                                            int index1, int index2,
                                            const NumericOptions& options = {});
+
+  /// Same, but with the first-order expansions (warm-start seeds and the
+  /// validity flag) read from slot (i, j) of a prebuilt SoA table instead
+  /// of being recomputed per pair — the shared-pass construction
+  /// ExactSolver uses. Bit-identical to the overload above.
+  [[nodiscard]] static ExactExpansion make(const ModelParams& params,
+                                           const ExpansionSoA& table,
+                                           std::size_t i, std::size_t j,
+                                           const NumericOptions& options = {});
 };
 
 /// The cached exact-optimization backend: enumerate every speed pair
@@ -101,6 +110,16 @@ class ExactSolver {
   [[nodiscard]] PairSolution solve_pair_by_index(double rho, std::size_t i,
                                                  std::size_t j) const;
 
+  /// Batched selection core: the best pair at `rho` under `policy`,
+  /// driven by a precomputed per-slot class array `cls` (0 = infeasible,
+  /// 1 = cache lookup, 2 = tight; from kernels::classify_pairs over
+  /// rho_mins()/times_at_we()). Bit-identical to solve(rho, policy).best
+  /// — same in-order scan, same strict-< tie-breaking — but without
+  /// materializing the K² PairSolution report, which is what makes whole
+  /// ρ-grids cheap. `cls` must have expansions().size() entries.
+  [[nodiscard]] PairSolution solve_classified(double rho, SpeedPolicy policy,
+                                              const unsigned char* cls) const;
+
   /// Best-effort policy when no pair satisfies the bound: the pair with
   /// the smallest EXACT achievable bound rho_min, run at its time-optimal
   /// pattern size — the exact-model analog of
@@ -123,7 +142,20 @@ class ExactSolver {
     return cache_;
   }
 
+  /// Contiguous per-slot feasibility floors / times-at-optimum, mirrors
+  /// of the cache for the vectorized classify kernel to stream over.
+  [[nodiscard]] const std::vector<double>& rho_mins() const noexcept {
+    return rho_min_flat_;
+  }
+  [[nodiscard]] const std::vector<double>& times_at_we() const noexcept {
+    return time_at_we_flat_;
+  }
+
  private:
+  [[nodiscard]] PairSolution base_solution(const ExactExpansion& pair) const;
+  [[nodiscard]] PairSolution lookup_solution(const ExactExpansion& pair) const;
+  [[nodiscard]] PairSolution tight_solution(double rho,
+                                            const ExactExpansion& pair) const;
   [[nodiscard]] PairSolution solve_cached(double rho,
                                           const ExactExpansion& pair) const;
   [[nodiscard]] PairSolution compute_min_rho(SpeedPolicy policy) const;
@@ -132,6 +164,8 @@ class ExactSolver {
   NumericOptions options_;
   /// K² ExactExpansions, entry (i, j) at i * K + j.
   std::vector<ExactExpansion> cache_;
+  std::vector<double> rho_min_flat_;
+  std::vector<double> time_at_we_flat_;
   PairSolution min_rho_two_;
   PairSolution min_rho_single_;
 };

@@ -1,0 +1,73 @@
+#include "rexspeed/core/expansion_soa.hpp"
+
+#include <limits>
+
+#include "rexspeed/core/kernels/kernel_dispatch.hpp"
+#include "rexspeed/core/model_params.hpp"
+
+namespace rexspeed::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Writes the inert values a padding (or otherwise dead) slot carries:
+/// invalid, infeasible for every bound, and coefficients that keep lane
+/// arithmetic finite (no 0/0) so kernels can process padding unmasked.
+void write_inert_slot(ExpansionSoA& table, std::size_t s) {
+  table.tx[s] = 0.0;
+  table.ty[s] = 1.0;
+  table.tz[s] = 1.0;
+  table.ex[s] = 0.0;
+  table.ey[s] = 1.0;
+  table.ez[s] = 1.0;
+  table.sigma1[s] = 1.0;
+  table.sigma2[s] = 1.0;
+  table.rho_min[s] = kInf;
+  table.we[s] = 1.0;  // √(ez/ey) of the inert coefficients, kept finite
+  table.valid[s] = 0;
+}
+
+}  // namespace
+
+ExpansionSoA ExpansionSoA::build(const ModelParams& params) {
+  return build_with(params, kernels::active_ops());
+}
+
+ExpansionSoA ExpansionSoA::build_with(const ModelParams& params,
+                                      const kernels::KernelOps& ops) {
+  params.validate();
+  ExpansionSoA table;
+  table.k = params.speeds.size();
+  table.count = table.k * table.k;
+  table.padded = (table.count + kLane - 1) / kLane * kLane;
+
+  table.tx.resize(table.padded);
+  table.ty.resize(table.padded);
+  table.tz.resize(table.padded);
+  table.ex.resize(table.padded);
+  table.ey.resize(table.padded);
+  table.ez.resize(table.padded);
+  table.sigma1.resize(table.padded);
+  table.sigma2.resize(table.padded);
+  table.rho_min.resize(table.padded);
+  table.we.resize(table.padded);
+  table.valid.resize(table.padded);
+
+  for (std::size_t i = 0; i < table.k; ++i) {
+    for (std::size_t j = 0; j < table.k; ++j) {
+      table.sigma1[table.slot(i, j)] = params.speeds[i];
+      table.sigma2[table.slot(i, j)] = params.speeds[j];
+    }
+  }
+  ops.build_pair_table(params, table);
+
+  // Padding is canonicalized *after* the op so every tier produces
+  // byte-identical arrays end to end, whatever its tail handling did.
+  for (std::size_t s = table.count; s < table.padded; ++s) {
+    write_inert_slot(table, s);
+  }
+  return table;
+}
+
+}  // namespace rexspeed::core

@@ -205,6 +205,12 @@ InterleavedSolver::InterleavedSolver(ModelParams params,
       }
     }
   }
+  rho_min_flat_.resize(cache_.size());
+  time_at_we_flat_.resize(cache_.size());
+  for (std::size_t index = 0; index < cache_.size(); ++index) {
+    rho_min_flat_[index] = cache_[index].rho_min;
+    time_at_we_flat_[index] = cache_[index].time_at_we;
+  }
 }
 
 InterleavedSolution InterleavedSolver::solve_cached(
@@ -286,6 +292,50 @@ InterleavedSolution InterleavedSolver::solve_segments(
   best.energy_overhead = std::numeric_limits<double>::infinity();
   for (const InterleavedExpansion& expansion : cache_) {
     if (expansion.segments != segments) continue;
+    const InterleavedSolution candidate = solve_cached(rho, expansion);
+    if (candidate.feasible &&
+        candidate.energy_overhead < best.energy_overhead) {
+      best = candidate;
+    }
+  }
+  if (!best.feasible) best.energy_overhead = 0.0;
+  return best;
+}
+
+InterleavedSolution InterleavedSolver::solve_classified(
+    double rho, unsigned segments, const unsigned char* cls) const {
+  if (!(rho > 0.0)) {
+    throw std::invalid_argument("InterleavedSolver: rho must be positive");
+  }
+  if (segments > max_segments_) {
+    throw std::invalid_argument(
+        "InterleavedSolver: segments must be in [0, max_segments]");
+  }
+  // Same scan as solve()/solve_segments() — in cache order, strict-<
+  // selection, same trailing overhead reset — but the feasibility and
+  // lookup branch tests were already answered in bulk by the classify
+  // kernel: class-0 slots are skipped off one byte, class-1 slots cost
+  // one comparison against the cached minimum, and only class-2 slots
+  // (tight bounds) pay the bisection.
+  InterleavedSolution best;
+  if (segments != 0) best.segments = segments;
+  best.energy_overhead = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < cache_.size(); ++s) {
+    const InterleavedExpansion& expansion = cache_[s];
+    if (segments != 0 && expansion.segments != segments) continue;
+    if (cls[s] == 0) continue;
+    if (cls[s] == 1) {
+      if (expansion.energy_min < best.energy_overhead) {
+        best.feasible = true;
+        best.segments = expansion.segments;
+        best.sigma1 = expansion.sigma1;
+        best.sigma2 = expansion.sigma2;
+        best.w_opt = expansion.w_energy;
+        best.energy_overhead = expansion.energy_min;
+        best.time_overhead = expansion.time_at_we;
+      }
+      continue;
+    }
     const InterleavedSolution candidate = solve_cached(rho, expansion);
     if (candidate.feasible &&
         candidate.energy_overhead < best.energy_overhead) {

@@ -96,6 +96,17 @@ class InterleavedSolver {
   [[nodiscard]] InterleavedSolution solve_segments(double rho,
                                                    unsigned segments) const;
 
+  /// Batched selection core: solve() (segments = 0) or
+  /// solve_segments(segments) driven by a precomputed per-slot class
+  /// array `cls` (0 = infeasible, 1 = cache lookup, 2 = tight; from
+  /// kernels::classify_pairs over rho_mins()/times_at_we()). Bit-identical
+  /// to the pointwise calls — same scan order, same strict-< selection —
+  /// but infeasible slots are skipped off one byte, so a whole ρ-grid
+  /// shares a single classification pass per point. `cls` must have
+  /// expansions().size() entries.
+  [[nodiscard]] InterleavedSolution solve_classified(
+      double rho, unsigned segments, const unsigned char* cls) const;
+
   [[nodiscard]] const ModelParams& params() const noexcept { return params_; }
   [[nodiscard]] unsigned max_segments() const noexcept {
     return max_segments_;
@@ -108,6 +119,15 @@ class InterleavedSolver {
     return cache_;
   }
 
+  /// Contiguous per-slot feasibility floors / times-at-optimum, mirrors
+  /// of the cache for the vectorized classify kernel to stream over.
+  [[nodiscard]] const std::vector<double>& rho_mins() const noexcept {
+    return rho_min_flat_;
+  }
+  [[nodiscard]] const std::vector<double>& times_at_we() const noexcept {
+    return time_at_we_flat_;
+  }
+
  private:
   [[nodiscard]] InterleavedSolution solve_cached(
       double rho, const InterleavedExpansion& expansion) const;
@@ -115,6 +135,8 @@ class InterleavedSolver {
   ModelParams params_;
   unsigned max_segments_;
   std::vector<InterleavedExpansion> cache_;
+  std::vector<double> rho_min_flat_;
+  std::vector<double> time_at_we_flat_;
 };
 
 }  // namespace rexspeed::core

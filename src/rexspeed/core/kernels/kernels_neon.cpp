@@ -1,0 +1,265 @@
+// NEON tier: 2-wide double lanes for aarch64, mirroring the AVX2 tier's
+// branch-as-blend structure and the scalar reference's exact IEEE
+// evaluation order (the library builds with -ffp-contract=off, so no
+// fused multiply-adds sneak in). Compares are false on NaN (like scalar
+// ordered compares); the unordered predicates (!=, "not <", "not >=")
+// are built by complementing the ordered opposite.
+
+#include "rexspeed/core/kernels/kernel_dispatch.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "rexspeed/core/expansion_soa.hpp"
+#include "rexspeed/core/model_params.hpp"
+
+namespace rexspeed::core::kernels {
+namespace {
+
+inline float64x2_t blend(float64x2_t a, float64x2_t b, uint64x2_t mask) {
+  return vbslq_f64(mask, b, a);  // mask ? b : a
+}
+inline uint64x2_t not_mask(uint64x2_t m) {
+  return veorq_u64(m, vdupq_n_u64(~UINT64_C(0)));
+}
+// std::max(a, b) = (a < b) ? b : a; std::min(a, b) = (b < a) ? b : a.
+inline float64x2_t std_max(float64x2_t a, float64x2_t b) {
+  return blend(a, b, vcltq_f64(a, b));
+}
+inline float64x2_t std_min(float64x2_t a, float64x2_t b) {
+  return blend(a, b, vcltq_f64(b, a));
+}
+inline float64x2_t copysign_f64(float64x2_t mag, float64x2_t sgn) {
+  const uint64x2_t smask = vdupq_n_u64(UINT64_C(0x8000000000000000));
+  return vbslq_f64(smask, sgn, mag);
+}
+inline uint64x2_t is_finite(float64x2_t a) {
+  return vcltq_f64(vabsq_f64(a),
+                   vdupq_n_f64(std::numeric_limits<double>::infinity()));
+}
+
+void build_pair_table_neon(const ModelParams& params, ExpansionSoA& out) {
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t two = vdupq_n_f64(2.0);
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t ninf =
+      vdupq_n_f64(-std::numeric_limits<double>::infinity());
+  const float64x2_t pinf =
+      vdupq_n_f64(std::numeric_limits<double>::infinity());
+  const float64x2_t lam = vdupq_n_f64(params.total_error_rate());
+  const float64x2_t lf = vdupq_n_f64(params.lambda_failstop);
+  const float64x2_t r = vdupq_n_f64(params.recovery_s);
+  const float64x2_t v = vdupq_n_f64(params.verification_s);
+  const float64x2_t chk = vdupq_n_f64(params.checkpoint_s);
+  const float64x2_t kappa = vdupq_n_f64(params.kappa_mw);
+  const float64x2_t idle = vdupq_n_f64(params.idle_power_mw);
+  const float64x2_t pio = vdupq_n_f64(params.io_total_power());
+
+  for (std::size_t s = 0; s < out.padded; s += 2) {
+    const float64x2_t s1 = vld1q_f64(out.sigma1.data() + s);
+    const float64x2_t s2 = vld1q_f64(out.sigma2.data() + s);
+    const float64x2_t pc1 = vaddq_f64(
+        idle, vmulq_f64(vmulq_f64(vmulq_f64(kappa, s1), s1), s1));
+    const float64x2_t pc2 = vaddq_f64(
+        idle, vmulq_f64(vmulq_f64(vmulq_f64(kappa, s2), s2), s2));
+
+    const float64x2_t tx = vdivq_f64(
+        vsubq_f64(
+            vaddq_f64(one,
+                      vmulq_f64(lam, vaddq_f64(r, vdivq_f64(v, s2)))),
+            vdivq_f64(vmulq_f64(lf, v), s1)),
+        s1);
+    const float64x2_t ty = vsubq_f64(
+        vdivq_f64(lam, vmulq_f64(s1, s2)),
+        vdivq_f64(lf, vmulq_f64(vmulq_f64(two, s1), s1)));
+    const float64x2_t tz = vaddq_f64(chk, vdivq_f64(v, s1));
+
+    const float64x2_t ex = vsubq_f64(
+        vaddq_f64(
+            vdivq_f64(pc1, s1),
+            vdivq_f64(
+                vmulq_f64(lam,
+                          vaddq_f64(vmulq_f64(r, pio),
+                                    vdivq_f64(vmulq_f64(v, pc2), s2))),
+                s1)),
+        vdivq_f64(vmulq_f64(vmulq_f64(lf, v), pc1), vmulq_f64(s1, s1)));
+    const float64x2_t ey = vsubq_f64(
+        vdivq_f64(vmulq_f64(lam, pc2), vmulq_f64(s1, s2)),
+        vdivq_f64(vmulq_f64(lf, pc1),
+                  vmulq_f64(vmulq_f64(two, s1), s1)));
+    const float64x2_t ez = vaddq_f64(
+        vmulq_f64(chk, pio), vdivq_f64(vmulq_f64(v, pc1), s1));
+
+    const float64x2_t min_val = vaddq_f64(
+        tx, vmulq_f64(two, vsqrtq_f64(vmulq_f64(ty, tz))));
+    float64x2_t rho_min = blend(min_val, tx, vcleq_f64(tz, zero));
+    rho_min = blend(rho_min, ninf, vcleq_f64(ty, zero));
+
+    // Energy argmin √(ez/ey) where the interior minimum exists, +inf
+    // otherwise — hoisted here because it is ρ-independent.
+    const uint64x2_t has_interior =
+        vandq_u64(vcgtq_f64(ey, zero), vcgtq_f64(ez, zero));
+    const float64x2_t we =
+        blend(pinf, vsqrtq_f64(vdivq_f64(ez, ey)), has_interior);
+
+    vst1q_f64(out.tx.data() + s, tx);
+    vst1q_f64(out.ty.data() + s, ty);
+    vst1q_f64(out.tz.data() + s, tz);
+    vst1q_f64(out.ex.data() + s, ex);
+    vst1q_f64(out.ey.data() + s, ey);
+    vst1q_f64(out.ez.data() + s, ez);
+    vst1q_f64(out.rho_min.data() + s, rho_min);
+    vst1q_f64(out.we.data() + s, we);
+
+    const uint64x2_t valid =
+        vandq_u64(vcgtq_f64(ty, zero), vcgtq_f64(ey, zero));
+    out.valid[s] = vgetq_lane_u64(valid, 0) ? 1 : 0;
+    out.valid[s + 1] = vgetq_lane_u64(valid, 1) ? 1 : 0;
+  }
+}
+
+void eval_pairs_neon(const ExpansionSoA& table, double rho, double w_cap,
+                     double* w_opt, double* w_min_out, double* w_max_out,
+                     double* energy, unsigned char* feasible) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t two = vdupq_n_f64(2.0);
+  const float64x2_t four = vdupq_n_f64(4.0);
+  const float64x2_t neg_half = vdupq_n_f64(-0.5);
+  const float64x2_t inf =
+      vdupq_n_f64(std::numeric_limits<double>::infinity());
+  const float64x2_t dbl_max =
+      vdupq_n_f64(std::numeric_limits<double>::max());
+  const float64x2_t rho_v = vdupq_n_f64(rho);
+  const float64x2_t cap_v = vdupq_n_f64(w_cap);
+
+  for (std::size_t s = 0; s < table.padded; s += 2) {
+    const float64x2_t a = vld1q_f64(table.ty.data() + s);
+    const float64x2_t b =
+        vsubq_f64(vld1q_f64(table.tx.data() + s), rho_v);
+    const float64x2_t c = vld1q_f64(table.tz.data() + s);
+
+    const float64x2_t disc = vsubq_f64(
+        vmulq_f64(b, b), vmulq_f64(vmulq_f64(four, a), c));
+    const float64x2_t sqrt_disc = vsqrtq_f64(disc);
+    const float64x2_t q =
+        vmulq_f64(neg_half, vaddq_f64(b, copysign_f64(sqrt_disc, b)));
+    const float64x2_t r1 = vdivq_f64(q, a);
+    const float64x2_t r2_from_q = vdivq_f64(c, q);
+    const float64x2_t r2_alt =
+        vsubq_f64(vdivq_f64(vnegq_f64(b), a), r1);
+    const uint64x2_t q_nonzero = not_mask(vceqq_f64(q, zero));
+    const float64x2_t r2 = blend(r2_alt, r2_from_q, q_nonzero);
+    const uint64x2_t swap = vcgtq_f64(r1, r2);
+    const float64x2_t lower_two = blend(r1, r2, swap);
+    const float64x2_t upper_two = blend(r2, r1, swap);
+    const float64x2_t root_one =
+        vdivq_f64(vnegq_f64(b), vmulq_f64(two, a));
+    const uint64x2_t has_roots = not_mask(vcltq_f64(disc, zero));
+    const uint64x2_t two_roots =
+        vandq_u64(has_roots, not_mask(vceqq_f64(disc, zero)));
+    const float64x2_t lower = blend(root_one, lower_two, two_roots);
+    const float64x2_t upper = blend(root_one, upper_two, two_roots);
+
+    const uint64x2_t a_pos = vcgtq_f64(a, zero);
+    const uint64x2_t a_zero = vceqq_f64(a, zero);
+    const uint64x2_t tail = not_mask(vorrq_u64(a_pos, a_zero));
+
+    const uint64x2_t feas_pos =
+        vandq_u64(has_roots, not_mask(vcleq_f64(upper, zero)));
+    const float64x2_t w_min_pos = std_max(lower, zero);
+    const uint64x2_t feas_zero = not_mask(vcgeq_f64(b, zero));
+    const float64x2_t w_min_zero = blend(
+        zero, vdivq_f64(c, vnegq_f64(b)), vcgtq_f64(c, zero));
+    const float64x2_t w_min_tail =
+        blend(zero, std_max(upper, zero), has_roots);
+
+    float64x2_t w_min = blend(w_min_tail, w_min_zero, a_zero);
+    w_min = blend(w_min, w_min_pos, a_pos);
+    const float64x2_t w_max = blend(inf, upper, a_pos);
+    uint64x2_t feas = vorrq_u64(vandq_u64(a_pos, feas_pos),
+                                vandq_u64(a_zero, feas_zero));
+    feas = vorrq_u64(feas, tail);
+
+    const float64x2_t ey = vld1q_f64(table.ey.data() + s);
+    const float64x2_t ez = vld1q_f64(table.ez.data() + s);
+    const uint64x2_t has_interior =
+        vandq_u64(vcgtq_f64(ey, zero), vcgtq_f64(ez, zero));
+    // √(ez/ey) is ρ-independent: streamed from the build-time `we` column
+    // instead of recomputed per grid point.
+    const float64x2_t argmin = vld1q_f64(table.we.data() + s);
+    float64x2_t w_energy = blend(w_max, argmin, has_interior);
+    const uint64x2_t w_max_finite = is_finite(w_max);
+    w_energy = blend(blend(cap_v, w_max, w_max_finite), w_energy,
+                     is_finite(w_energy));
+    const float64x2_t w_clamp = blend(dbl_max, w_max, w_max_finite);
+    const float64x2_t w = std_min(std_max(w_min, w_energy), w_clamp);
+    const float64x2_t ex = vld1q_f64(table.ex.data() + s);
+    const float64x2_t e = vaddq_f64(vaddq_f64(ex, vmulq_f64(ey, w)),
+                                    vdivq_f64(ez, w));
+
+    const uint64x2_t valid = vcombine_u64(
+        vdup_n_u64(table.valid[s] ? ~UINT64_C(0) : 0),
+        vdup_n_u64(table.valid[s + 1] ? ~UINT64_C(0) : 0));
+    const uint64x2_t live = vandq_u64(feas, valid);
+    vst1q_f64(w_opt + s,
+              vreinterpretq_f64_u64(vandq_u64(
+                  vreinterpretq_u64_f64(w), live)));
+    vst1q_f64(w_min_out + s,
+              vreinterpretq_f64_u64(vandq_u64(
+                  vreinterpretq_u64_f64(w_min), live)));
+    vst1q_f64(w_max_out + s,
+              vreinterpretq_f64_u64(vandq_u64(
+                  vreinterpretq_u64_f64(w_max), live)));
+    vst1q_f64(energy + s, blend(inf, e, live));
+    feasible[s] = vgetq_lane_u64(live, 0) ? 1 : 0;
+    feasible[s + 1] = vgetq_lane_u64(live, 1) ? 1 : 0;
+  }
+}
+
+void classify_pairs_neon(const double* rho_min, const double* time_at_we,
+                         std::size_t count, double rho,
+                         unsigned char* cls) {
+  const float64x2_t rho_v = vdupq_n_f64(rho);
+  std::size_t s = 0;
+  for (; s + 2 <= count; s += 2) {
+    const uint64x2_t feas = vcleq_f64(vld1q_f64(rho_min + s), rho_v);
+    const uint64x2_t lookup = vcleq_f64(vld1q_f64(time_at_we + s), rho_v);
+    for (int lane = 0; lane < 2; ++lane) {
+      const std::uint64_t f =
+          lane ? vgetq_lane_u64(feas, 1) : vgetq_lane_u64(feas, 0);
+      const std::uint64_t l =
+          lane ? vgetq_lane_u64(lookup, 1) : vgetq_lane_u64(lookup, 0);
+      cls[s + static_cast<std::size_t>(lane)] = !f ? 0u : (l ? 1u : 2u);
+    }
+  }
+  for (; s < count; ++s) {
+    cls[s] = !(rho_min[s] <= rho) ? 0u : (time_at_we[s] <= rho ? 1u : 2u);
+  }
+}
+
+}  // namespace
+
+const KernelOps& neon_ops() noexcept {
+  static const KernelOps ops{
+      "neon",
+      &build_pair_table_neon,
+      &eval_pairs_neon,
+      &classify_pairs_neon,
+  };
+  return ops;
+}
+
+}  // namespace rexspeed::core::kernels
+
+#else  // non-aarch64 build: the NEON tier is unavailable, alias scalar.
+
+namespace rexspeed::core::kernels {
+const KernelOps& neon_ops() noexcept { return scalar_ops(); }
+}  // namespace rexspeed::core::kernels
+
+#endif

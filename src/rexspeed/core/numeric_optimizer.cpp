@@ -116,6 +116,15 @@ double bisect_boundary(const std::function<double(double)>& overhead,
 ExactPairResult optimize_exact_pair(const ModelParams& params, double rho,
                                     double sigma1, double sigma2,
                                     const NumericOptions& options) {
+  // The seeded overload with a useless seed takes the cold-start bracket,
+  // so this is the exact historical path bit for bit.
+  return optimize_exact_pair(params, rho, sigma1, sigma2, 0.0, options);
+}
+
+ExactPairResult optimize_exact_pair(const ModelParams& params, double rho,
+                                    double sigma1, double sigma2,
+                                    double w_seed,
+                                    const NumericOptions& options) {
   if (!(rho > 0.0)) {
     throw std::invalid_argument("optimize_exact_pair: rho must be positive");
   }
@@ -127,7 +136,8 @@ ExactPairResult optimize_exact_pair(const ModelParams& params, double rho,
   };
 
   ExactPairResult result;
-  const double w_time_opt = minimize_unimodal_overhead(time_per_work, options);
+  const double w_time_opt =
+      minimize_unimodal_overhead(time_per_work, w_seed, options);
   if (time_per_work(w_time_opt) > rho) {
     return result;  // even the fastest pattern violates the bound
   }

@@ -69,6 +69,17 @@ struct ExactPairResult {
     const ModelParams& params, double rho, double sigma1, double sigma2,
     const NumericOptions& options = {});
 
+/// Warm-started variant: `w_seed` (> 0; e.g. the same pair's w_opt at a
+/// neighboring grid point of a parameter sweep) seeds the unconstrained
+/// time minimization the search pivots on, replacing the cold doubling
+/// bracket from W = 1. The seed steers only how fast the bracket closes,
+/// never which optimum it converges to (within numeric tolerance), so
+/// warm-chained sweeps are equivalent to cold-started ones. A
+/// non-positive or non-finite seed IS the cold start above, bit for bit.
+[[nodiscard]] ExactPairResult optimize_exact_pair(
+    const ModelParams& params, double rho, double sigma1, double sigma2,
+    double w_seed, const NumericOptions& options = {});
+
 /// Unconstrained minimizer of the exact time overhead T(W,σ1,σ2)/W — the
 /// classical "minimize expected makespan" objective, used to validate
 /// Theorem 2 against the exact model.

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 #include <utility>
+
+#include "rexspeed/core/kernels/kernel_dispatch.hpp"
 
 namespace rexspeed::core {
 
@@ -79,6 +83,24 @@ PanelPoint SolverBackend::solve_panel_point(SweepAxis axis, double x,
   return point;
 }
 
+void SolverBackend::solve_rho_batch(const double* rhos, std::size_t count,
+                                    bool min_rho_fallback,
+                                    PanelPoint* out) const {
+  // The reference semantics of every batched override: the pointwise
+  // per-grid-point kernel, one bound at a time.
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = solve_panel_point(SweepAxis::kPerformanceBound, rhos[i],
+                               rhos[i], min_rho_fallback);
+  }
+}
+
+PanelPoint SolverBackend::solve_panel_point_seeded(
+    SweepAxis axis, double x, double panel_rho, bool min_rho_fallback,
+    PairSeedTable* /*harvest*/) const {
+  // Backends without a warm-start chain have nothing to harvest.
+  return solve_panel_point(axis, x, panel_rho, min_rho_fallback);
+}
+
 namespace {
 
 /// The six figure axes in composite order — what every pair backend
@@ -108,8 +130,14 @@ Solution pair_solution_with_fallback(PairSolution best,
 // ClosedFormBackend
 // ---------------------------------------------------------------------
 
-ClosedFormBackend::ClosedFormBackend(ModelParams params, EvalMode mode)
+ClosedFormBackend::ClosedFormBackend(ModelParams params, EvalMode mode,
+                                     const PairSeedTable* seeds)
     : solver_(std::move(params)), mode_(mode) {
+  if (seeds != nullptr && mode_ == EvalMode::kExactOptimize) {
+    // Only the numeric mode brackets anything a seed could steer; holding
+    // seeds in other modes would just misleadingly advertise state.
+    seeds_ = *seeds;
+  }
   capabilities_.kind = SolutionKind::kPair;
   capabilities_.axes = pair_axes();
   // ρ sweeps leave the model untouched, so one solver serves the panel;
@@ -120,6 +148,9 @@ ClosedFormBackend::ClosedFormBackend(ModelParams params, EvalMode mode)
   switch (mode_) {
     case EvalMode::kFirstOrder:
       capabilities_.cost_weight = 1.0;
+      // The whole first-order pair table evaluates in one SIMD sweep of
+      // the SoA cache, so ρ grids go through solve_rho_batch.
+      capabilities_.batched_rho = true;
       capabilities_.validity =
           "first-order closed forms; meaningful inside the paper's 5.2 "
           "validity window (sigma2 <= 2 sigma1 (1 + s/f))";
@@ -132,6 +163,9 @@ ClosedFormBackend::ClosedFormBackend(ModelParams params, EvalMode mode)
       break;
     case EvalMode::kExactOptimize:
       capabilities_.cost_weight = 6.0;
+      // The per-bound bracketing accepts per-pair seeds, so model-axis
+      // panels chain warm starts along their grid.
+      capabilities_.warm_start_chain = true;
       capabilities_.validity =
           "full per-bound numeric optimization of the exact model; valid "
           "for any error rates (prefer the cached exact-opt backend for "
@@ -167,7 +201,9 @@ Solution ClosedFormBackend::solve(double rho, SpeedPolicy policy,
   // these per grid point on model-axis panels, so ctor leanness is a hot
   // path property). min_rho_solution is a pure const read of the cached
   // expansions, so sharing one backend across workers stays safe.
-  PairSolution best = solver_.solve(rho, policy, mode_).best;
+  PairSolution best =
+      solver_.solve(rho, policy, mode_, seeds_.empty() ? nullptr : &seeds_)
+          .best;
   if (!best.feasible && min_rho_fallback) {
     PairSolution fallback = solver_.min_rho_solution(policy);
     if (fallback.feasible) {
@@ -194,12 +230,157 @@ PairSolution ClosedFormBackend::solve_pair(double rho, std::size_t i,
 
 BiCritSolution ClosedFormBackend::solve_report(double rho,
                                                SpeedPolicy policy) const {
-  return solver_.solve(rho, policy, mode_);
+  return solver_.solve(rho, policy, mode_,
+                       seeds_.empty() ? nullptr : &seeds_);
 }
 
 std::unique_ptr<SolverBackend> ClosedFormBackend::rebind(
-    ModelParams params) const {
-  return std::make_unique<ClosedFormBackend>(std::move(params), mode_);
+    ModelParams params, const PairSeedTable* seeds) const {
+  return std::make_unique<ClosedFormBackend>(std::move(params), mode_,
+                                             seeds);
+}
+
+void ClosedFormBackend::solve_rho_batch(const double* rhos,
+                                        std::size_t count,
+                                        bool min_rho_fallback,
+                                        PanelPoint* out) const {
+  if (mode_ != EvalMode::kFirstOrder) {
+    // Only the first-order evaluation is expressible as a pure SoA sweep;
+    // the exact-evaluation/optimization modes keep the pointwise loop.
+    SolverBackend::solve_rho_batch(rhos, count, min_rho_fallback, out);
+    return;
+  }
+  const ExpansionSoA& table = solver_.expansion_table();
+  const kernels::KernelOps& ops = kernels::active_ops();
+  const double w_cap = solver_.numeric_options().w_cap;
+  const std::size_t k = table.k;
+  AlignedDoubles w_opt(table.padded);
+  AlignedDoubles w_min(table.padded);
+  AlignedDoubles w_max(table.padded);
+  AlignedDoubles energy(table.padded);
+  std::vector<unsigned char> feasible(table.padded);
+  // Winner selection stays scalar and in-order: the strict < below is the
+  // same tie-break BiCritSolver::solve applies, so the winning slot — and
+  // therefore every bit of the reconstructed solution — matches the
+  // pointwise path. Reductions across SIMD lanes would reorder ties.
+  // The min-ρ fallback is ρ-independent, so the whole batch shares one
+  // lazily-built copy per policy — the same bits min_rho_solution returns
+  // on every per-point call (the solver is immutable and deterministic).
+  std::optional<Solution> fallbacks[2];
+  const auto fallback_for = [&](SpeedPolicy policy) {
+    std::optional<Solution>& cached =
+        fallbacks[policy == SpeedPolicy::kSingleSpeed ? 1 : 0];
+    if (!cached) {
+      PairSolution infeasible_best;  // solve()'s empty-scan outcome
+      cached = pair_solution_with_fallback(std::move(infeasible_best),
+                                           solver_.min_rho_solution(policy),
+                                           min_rho_fallback);
+    }
+    return *cached;
+  };
+  // Winner reconstruction is a pure read-out of the batch outputs: every
+  // field below is the expression solve_cached_pair evaluates on the same
+  // inputs (the kernel arrays are bit-identical to its intermediates by
+  // the eval_pairs contract), so no pair is ever solved twice.
+  const auto winner = [&](std::size_t slot, SpeedPolicy policy) {
+    if (slot >= table.count) return fallback_for(policy);
+    PairSolution sol;
+    sol.sigma1 = table.sigma1[slot];
+    sol.sigma2 = table.sigma2[slot];
+    sol.sigma1_index = static_cast<int>(slot / k);
+    sol.sigma2_index = static_cast<int>(slot % k);
+    sol.feasible = true;  // winners come from the feasible scan below
+    sol.first_order_valid = true;  // feasible ⇒ valid (eval gates on it)
+    sol.rho_min = table.rho_min[slot];
+    sol.w_opt = w_opt[slot];
+    sol.w_min = w_min[slot];
+    sol.w_max = w_max[slot];
+    // w_energy with solve_cached_pair's finite fallbacks: the cached `we`
+    // column is +inf exactly when there is no interior minimum, and both
+    // the no-minimum and the non-finite-argmin branches resolve to
+    // finite(w_max) ? w_max : w_cap — one isfinite covers them all.
+    sol.w_energy = std::isfinite(table.we[slot])
+                       ? table.we[slot]
+                       : (std::isfinite(sol.w_max) ? sol.w_max : w_cap);
+    sol.energy_overhead = energy[slot];
+    sol.time_overhead = table.time_expansion(slot).evaluate(sol.w_opt);
+    return Solution::from_pair(sol);
+  };
+  for (std::size_t p = 0; p < count; ++p) {
+    const double rho = rhos[p];
+    ops.eval_pairs(table, rho, w_cap, w_opt.data(), w_min.data(),
+                   w_max.data(), energy.data(), feasible.data());
+    std::size_t best_two = table.count;
+    std::size_t best_single = table.count;
+    double energy_two = std::numeric_limits<double>::infinity();
+    double energy_single = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < table.count; ++s) {
+      if (feasible[s] != 0 && energy[s] < energy_two) {
+        energy_two = energy[s];
+        best_two = s;
+      }
+    }
+    // Single-speed candidates are the diagonal slots i·(K+1); walking them
+    // directly in ascending order visits the same slots with the same
+    // strict < as the full scan's s/k == s%k filter did.
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t s = i * (k + 1);
+      if (feasible[s] != 0 && energy[s] < energy_single) {
+        energy_single = energy[s];
+        best_single = s;
+      }
+    }
+    PanelPoint point;
+    point.x = rho;
+    point.primary = winner(best_two, SpeedPolicy::kTwoSpeed);
+    point.baseline = winner(best_single, SpeedPolicy::kSingleSpeed);
+    out[p] = point;
+  }
+}
+
+PanelPoint ClosedFormBackend::solve_panel_point_seeded(
+    SweepAxis axis, double x, double panel_rho, bool min_rho_fallback,
+    PairSeedTable* harvest) const {
+  if (axis == SweepAxis::kSegments) {
+    return solve_panel_point(axis, x, panel_rho, min_rho_fallback);
+  }
+  const double rho = axis == SweepAxis::kPerformanceBound ? x : panel_rho;
+  // ONE report serves both policies and the harvest: every pair is solved
+  // once (with this backend's seeds, when chained). The single-speed
+  // baseline is the in-order diagonal scan of the same table — identical
+  // candidates and the same strict-< selection as a second kSingleSpeed
+  // solve, so the same bits at half the pair solves.
+  const BiCritSolution report = solve_report(rho, SpeedPolicy::kTwoSpeed);
+  PanelPoint point;
+  point.x = x;
+  point.primary = pair_solution_with_fallback(
+      report.best, solver_.min_rho_solution(SpeedPolicy::kTwoSpeed),
+      min_rho_fallback);
+  PairSolution single;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (const PairSolution& pair : report.pairs) {
+    if (pair.sigma1_index != pair.sigma2_index) continue;
+    if (pair.feasible && pair.energy_overhead < best_energy) {
+      best_energy = pair.energy_overhead;
+      single = pair;
+    }
+  }
+  point.baseline = pair_solution_with_fallback(
+      std::move(single), solver_.min_rho_solution(SpeedPolicy::kSingleSpeed),
+      min_rho_fallback);
+  if (harvest != nullptr) {
+    const std::size_t k = solver_.params().speeds.size();
+    harvest->k = k;
+    harvest->w_opt.assign(k * k, 0.0);
+    for (const PairSolution& pair : report.pairs) {
+      if (pair.feasible && pair.sigma1_index >= 0 && pair.sigma2_index >= 0) {
+        harvest->w_opt[static_cast<std::size_t>(pair.sigma1_index) * k +
+                       static_cast<std::size_t>(pair.sigma2_index)] =
+            pair.w_opt;
+      }
+    }
+  }
+  return point;
 }
 
 // ---------------------------------------------------------------------
@@ -217,6 +398,11 @@ ExactOptBackend::ExactOptBackend(ModelParams params)
   capabilities_.pair_table = true;
   capabilities_.min_rho_fallback = true;
   capabilities_.cost_weight = 3.0;
+  // ρ grids classify every cached pair in one kernel sweep of the flat
+  // rho_min/time_at_we arrays; model axes rebind to the seeded numeric
+  // path and chain warm starts along the grid.
+  capabilities_.batched_rho = true;
+  capabilities_.warm_start_chain = true;
   capabilities_.validity =
       "cached exact-model curve optima (warm-started from the first-order "
       "argmins where 5.2 holds); valid for any error rates";
@@ -265,11 +451,46 @@ BiCritSolution ExactOptBackend::solve_report(double rho,
 }
 
 std::unique_ptr<SolverBackend> ExactOptBackend::rebind(
-    ModelParams params) const {
+    ModelParams params, const PairSeedTable* seeds) const {
   // Per-point panels on model axes keep the historical per-bound numeric
-  // path (one bound per point makes the cached curve structure useless).
+  // path (one bound per point makes the cached curve structure useless);
+  // the seeds — harvested from the neighboring grid point — are what keep
+  // that path cheap along a chained panel.
   return std::make_unique<ClosedFormBackend>(std::move(params),
-                                             EvalMode::kExactOptimize);
+                                             EvalMode::kExactOptimize,
+                                             seeds);
+}
+
+void ExactOptBackend::solve_rho_batch(const double* rhos, std::size_t count,
+                                      bool min_rho_fallback,
+                                      PanelPoint* out) const {
+  const ExactSolver& solver = exact();
+  const std::vector<double>& rho_mins = solver.rho_mins();
+  const std::vector<double>& times_at_we = solver.times_at_we();
+  const kernels::KernelOps& ops = kernels::active_ops();
+  std::vector<unsigned char> cls(rho_mins.size());
+  // The min-ρ fallbacks are ρ-independent: one copy per policy serves the
+  // whole batch with the bits every per-point call would return.
+  const PairSolution fallback_two =
+      solver.min_rho_solution(SpeedPolicy::kTwoSpeed);
+  const PairSolution fallback_single =
+      solver.min_rho_solution(SpeedPolicy::kSingleSpeed);
+  for (std::size_t p = 0; p < count; ++p) {
+    const double rho = rhos[p];
+    // One classify sweep answers both policies' per-pair branch tests;
+    // the classified scans below are bit-identical to solve(rho, ·).best.
+    ops.classify_pairs(rho_mins.data(), times_at_we.data(), rho_mins.size(),
+                       rho, cls.data());
+    PanelPoint point;
+    point.x = rho;
+    point.primary = pair_solution_with_fallback(
+        solver.solve_classified(rho, SpeedPolicy::kTwoSpeed, cls.data()),
+        fallback_two, min_rho_fallback);
+    point.baseline = pair_solution_with_fallback(
+        solver.solve_classified(rho, SpeedPolicy::kSingleSpeed, cls.data()),
+        fallback_single, min_rho_fallback);
+    out[p] = point;
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -307,6 +528,8 @@ InterleavedBackend::InterleavedBackend(ModelParams params,
   capabilities_.pair_table = false;
   capabilities_.min_rho_fallback = false;
   capabilities_.cost_weight = 8.0;
+  // ρ grids classify every cached (pair, m) slot in one kernel sweep.
+  capabilities_.batched_rho = true;
   capabilities_.max_segments = max_segments_;
   capabilities_.validity =
       "exact segmented expectations (silent errors only, lambda_f = 0); "
@@ -359,10 +582,37 @@ Solution InterleavedBackend::min_rho(SpeedPolicy /*policy*/) const {
 }
 
 std::unique_ptr<SolverBackend> InterleavedBackend::rebind(
-    ModelParams params) const {
+    ModelParams params, const PairSeedTable* /*seeds*/) const {
+  // No warm-start chain: the interleaved minimizations stay cold so the
+  // cached curve data (and the golden fixtures over it) never move.
   return std::make_unique<InterleavedBackend>(std::move(params),
                                               max_segments_,
                                               fixed_segments_);
+}
+
+void InterleavedBackend::solve_rho_batch(const double* rhos,
+                                         std::size_t count,
+                                         bool /*min_rho_fallback*/,
+                                         PanelPoint* out) const {
+  const InterleavedSolver& cached = solver();
+  const std::vector<double>& rho_mins = cached.rho_mins();
+  const std::vector<double>& times_at_we = cached.times_at_we();
+  const kernels::KernelOps& ops = kernels::active_ops();
+  std::vector<unsigned char> cls(rho_mins.size());
+  for (std::size_t p = 0; p < count; ++p) {
+    const double rho = rhos[p];
+    // One classify sweep over every (σ1, σ2, m) slot serves the primary
+    // search and the m = 1 baseline of this grid point.
+    ops.classify_pairs(rho_mins.data(), times_at_we.data(), rho_mins.size(),
+                       rho, cls.data());
+    PanelPoint point;
+    point.x = rho;
+    point.primary = Solution::from_interleaved(
+        cached.solve_classified(rho, fixed_segments_, cls.data()));
+    point.baseline = Solution::from_interleaved(
+        cached.solve_classified(rho, 1, cls.data()));
+    out[p] = point;
+  }
 }
 
 // ---------------------------------------------------------------------

@@ -97,6 +97,16 @@ struct BackendCapabilities {
   bool pair_table = false;
   /// True when the backend has a min-ρ best-effort fallback policy.
   bool min_rho_fallback = false;
+  /// True when solve_rho_batch beats the pointwise loop: the backend
+  /// answers a whole ρ-grid in one batched call against its contiguous
+  /// caches (the SIMD eval/classify kernels). The default implementation
+  /// is always available; this flag is what makes a ρ panel route
+  /// whole-grid instead of per-point.
+  bool batched_rho = false;
+  /// True when rebind() accepts a PairSeedTable and
+  /// solve_panel_point_seeded harvests one — the warm-start chain the
+  /// model-axis panels of the numeric exact mode thread along their grid.
+  bool warm_start_chain = false;
   /// Relative cost of one panel-point solve, used by campaign-level
   /// scheduling to order long panels first. 1.0 = a first-order solve.
   double cost_weight = 1.0;
@@ -195,9 +205,11 @@ class SolverBackend {
   /// panels on non-shared axes (C, V, λ, Pidle, Pio rebuild the model per
   /// grid point by necessity). The result needs no prepare() beyond a
   /// no-op call and reproduces the historical per-point path of its mode
-  /// bit for bit.
+  /// bit for bit. `seeds`, when non-null, warm-starts the rebound
+  /// backend's numeric bracketing (backends advertising warm_start_chain;
+  /// others ignore it) — the chain link of a warm-started panel.
   [[nodiscard]] virtual std::unique_ptr<SolverBackend> rebind(
-      ModelParams params) const = 0;
+      ModelParams params, const PairSeedTable* seeds = nullptr) const = 0;
 
   /// One panel point on any supported axis, off this (already rebound for
   /// model axes) backend: x is the bound on the ρ axis, the pinned count
@@ -206,6 +218,24 @@ class SolverBackend {
   [[nodiscard]] PanelPoint solve_panel_point(SweepAxis axis, double x,
                                              double panel_rho,
                                              bool min_rho_fallback) const;
+
+  /// A whole ρ-grid in one call: out[i] is the panel point at bound
+  /// rhos[i], bit-identical to calling solve_panel_point per point. The
+  /// default IS that pointwise loop; backends advertising batched_rho
+  /// override it to stream the grid against their contiguous caches
+  /// through the active SIMD kernel tier (`out` must hold `count`
+  /// entries). This is how sweep::PanelSweep hands a shared-backend ρ
+  /// panel to the backend in one piece.
+  virtual void solve_rho_batch(const double* rhos, std::size_t count,
+                               bool min_rho_fallback, PanelPoint* out) const;
+
+  /// solve_panel_point plus seed harvesting: backends advertising
+  /// warm_start_chain fill `harvest` (when non-null) with this point's
+  /// per-pair optima, ready to seed the next grid point's rebind. The
+  /// default ignores `harvest` and delegates to solve_panel_point.
+  [[nodiscard]] virtual PanelPoint solve_panel_point_seeded(
+      SweepAxis axis, double x, double panel_rho, bool min_rho_fallback,
+      PairSeedTable* harvest) const;
 };
 
 /// The closed-form backend family: BiCritSolver's cached first-order
@@ -214,7 +244,11 @@ class SolverBackend {
 /// Construction is the complete preparation (needs_prepare() is false).
 class ClosedFormBackend final : public SolverBackend {
  public:
-  ClosedFormBackend(ModelParams params, EvalMode mode);
+  /// `seeds`, when non-null, is copied and warm-starts every
+  /// kExactOptimize pair bracketing (the chain link rebind() forges;
+  /// other modes ignore it).
+  ClosedFormBackend(ModelParams params, EvalMode mode,
+                    const PairSeedTable* seeds = nullptr);
 
   [[nodiscard]] const char* name() const noexcept override;
   [[nodiscard]] const ModelParams& params() const noexcept override {
@@ -238,7 +272,14 @@ class ClosedFormBackend final : public SolverBackend {
   [[nodiscard]] BiCritSolution solve_report(
       double rho, SpeedPolicy policy) const override;
   [[nodiscard]] std::unique_ptr<SolverBackend> rebind(
-      ModelParams params) const override;
+      ModelParams params,
+      const PairSeedTable* seeds = nullptr) const override;
+  void solve_rho_batch(const double* rhos, std::size_t count,
+                       bool min_rho_fallback,
+                       PanelPoint* out) const override;
+  [[nodiscard]] PanelPoint solve_panel_point_seeded(
+      SweepAxis axis, double x, double panel_rho, bool min_rho_fallback,
+      PairSeedTable* harvest) const override;
 
   [[nodiscard]] EvalMode mode() const noexcept { return mode_; }
   [[nodiscard]] const BiCritSolver& solver() const noexcept {
@@ -248,6 +289,7 @@ class ClosedFormBackend final : public SolverBackend {
  private:
   BiCritSolver solver_;
   EvalMode mode_;
+  PairSeedTable seeds_;
   BackendCapabilities capabilities_;
 };
 
@@ -283,7 +325,11 @@ class ExactOptBackend final : public SolverBackend {
   [[nodiscard]] BiCritSolution solve_report(
       double rho, SpeedPolicy policy) const override;
   [[nodiscard]] std::unique_ptr<SolverBackend> rebind(
-      ModelParams params) const override;
+      ModelParams params,
+      const PairSeedTable* seeds = nullptr) const override;
+  void solve_rho_batch(const double* rhos, std::size_t count,
+                       bool min_rho_fallback,
+                       PanelPoint* out) const override;
 
   /// The prepared cache. Throws std::logic_error before prepare().
   [[nodiscard]] const ExactSolver& exact() const;
@@ -325,7 +371,11 @@ class InterleavedBackend final : public SolverBackend {
                                         unsigned segments) const override;
   [[nodiscard]] Solution min_rho(SpeedPolicy policy) const override;
   [[nodiscard]] std::unique_ptr<SolverBackend> rebind(
-      ModelParams params) const override;
+      ModelParams params,
+      const PairSeedTable* seeds = nullptr) const override;
+  void solve_rho_batch(const double* rhos, std::size_t count,
+                       bool min_rho_fallback,
+                       PanelPoint* out) const override;
 
   [[nodiscard]] unsigned max_segments() const noexcept {
     return max_segments_;

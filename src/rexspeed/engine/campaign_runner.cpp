@@ -108,13 +108,14 @@ std::vector<ScenarioResult> CampaignRunner::run(
         [&prepare_tasks](std::size_t i) { prepare_tasks[i](); });
   }
 
-  // Phase 2: ONE flattened task stream — every (scenario × panel × point)
-  // plus every solve, with no barrier until the campaign's end. Each task
-  // writes only its own slot, so scheduling cannot change a single bit —
-  // which frees the stream to order whole panels longest-first (points ×
-  // the backend's per-point cost weight): the heaviest panels start
-  // earliest, shrinking the tail where a late-started long panel would
-  // idle every other worker (ROADMAP "campaign-level scheduling").
+  // Phase 1.75 (serial): measure each panel's actual cost with one timed
+  // probe instead of trusting the backend's static cost_weight prior —
+  // the prior cannot see grid difficulty, kernel tier, or machine, and a
+  // misranked long panel is exactly the tail the ordering exists to
+  // avoid. Per-point probes solve their point 0 for real (the stream
+  // then covers the rest), so probing is nearly free. Ordering cannot
+  // change results — every task writes only its own slot — so the
+  // nondeterministic timings are safe as a sort key.
   struct TaskGroup {
     double cost = 0.0;
     sweep::PanelSweep* panel = nullptr;  ///< null for solve groups
@@ -123,21 +124,27 @@ std::vector<ScenarioResult> CampaignRunner::run(
   std::vector<TaskGroup> groups;
   groups.reserve(panel_plans.size() + solve_plans.size());
   for (sweep::PanelSweep& plan : panel_plans) {
-    groups.push_back({static_cast<double>(plan.point_count()) *
-                          plan.cost_weight(),
-                      &plan, nullptr});
+    groups.push_back({plan.measure_cost(), &plan, nullptr});
   }
   for (SolvePlan& plan : solve_plans) {
-    groups.push_back(
-        {plan.backend->capabilities().cost_weight, nullptr, &plan});
+    // Solves are single post-prepare feasibility lookups — cheapest of
+    // all; rank them below any measured panel.
+    groups.push_back({-plan.backend->capabilities().cost_weight, nullptr,
+                      &plan});
   }
   // Stable: equal-cost groups keep scenario order, so the stream itself
-  // stays deterministic (not that results could tell).
+  // stays deterministic for a given set of timings (not that results
+  // could tell).
   std::stable_sort(groups.begin(), groups.end(),
                    [](const TaskGroup& a, const TaskGroup& b) {
                      return a.cost > b.cost;
                    });
 
+  // Phase 2: ONE flattened task stream — every remaining (scenario ×
+  // panel × point) plus every solve, with no barrier until the campaign's
+  // end, ordered longest-first by the measured costs above. Whole-panel
+  // plans (batched ρ grids, warm-start chains) are one task each: their
+  // points are one backend call or one ordered chain by nature.
   std::vector<std::function<void()>> tasks;
   std::size_t task_count = solve_plans.size();
   for (const sweep::PanelSweep& plan : panel_plans) {
@@ -147,7 +154,13 @@ std::vector<ScenarioResult> CampaignRunner::run(
   for (const TaskGroup& group : groups) {
     if (group.panel != nullptr) {
       sweep::PanelSweep* plan = group.panel;
-      for (std::size_t i = 0; i < plan->point_count(); ++i) {
+      if (plan->granularity() ==
+          sweep::PanelSweep::Granularity::kWholePanel) {
+        tasks.push_back([plan] { plan->solve_all(); });
+        continue;
+      }
+      for (std::size_t i = plan->first_pending(); i < plan->point_count();
+           ++i) {
         tasks.push_back([plan, i] { plan->solve_point(i); });
       }
       continue;

@@ -38,12 +38,17 @@ struct CampaignRunnerOptions {
 /// tasks cannot throw), prepare (one pooled barrier building the
 /// heavyweight deferred caches of every panel and solve whose backend
 /// needs one; skipped when none does), and the flattened point stream
-/// itself. Within the
-/// stream, whole panels are ordered longest-first by estimated cost
-/// (points × the backend's capabilities().cost_weight), so the heaviest
-/// panels start earliest and the stream's tail stays short; ordering
-/// cannot change results (every task writes only its own slot). See
-/// docs/ARCHITECTURE.md for the full model.
+/// itself. Within the stream, whole panels are ordered longest-first by
+/// MEASURED cost: each panel times one probe unit
+/// (sweep::PanelSweep::measure_cost — per-point panels solve their point
+/// 0 for real) and the products probe × remaining-points rank the groups,
+/// so the heaviest panels start earliest and the stream's tail stays
+/// short whatever the grid, kernel tier or machine. Batched ρ panels and
+/// warm-chained model-axis panels enter the stream as ONE whole-panel
+/// task (their points are one backend call or one ordered chain);
+/// everything else stays per-point. Ordering cannot change results (every
+/// task writes only its own slot). See docs/ARCHITECTURE.md for the full
+/// model.
 ///
 /// Determinism: every task runs the same per-point kernel
 /// (core::SolverBackend::solve_panel_point) against the same per-panel

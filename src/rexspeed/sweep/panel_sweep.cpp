@@ -1,6 +1,7 @@
 #include "rexspeed/sweep/panel_sweep.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -123,6 +124,20 @@ PanelSweep::PanelSweep(std::unique_ptr<core::SolverBackend> backend,
     }
   }
   shared_ = caps.shares_panel_solver(parameter);
+  // Batched: the backend takes the whole ρ grid in one call against its
+  // contiguous caches. Chained: a model axis whose per-point rebinds are
+  // warm-started from the neighboring point (order IS the point, so the
+  // panel schedules as one unit). Both are properties of THIS panel's
+  // axis × backend combination, frozen here.
+  batched_ = shared_ && parameter == SweepParameter::kPerformanceBound &&
+             caps.batched_rho && options_.batch != BatchMode::kOff;
+  if (options_.batch == BatchMode::kOn &&
+      parameter == SweepParameter::kPerformanceBound && !caps.batched_rho) {
+    throw std::invalid_argument(
+        std::string("PanelSweep: batch=on but backend '") +
+        backend_->name() + "' does not batch rho grids");
+  }
+  chained_ = !shared_ && caps.warm_start_chain && options_.warm_start_chain;
   series_.parameter = parameter;
   series_.configuration = std::move(configuration);
   series_.rho = options_.rho;
@@ -152,6 +167,73 @@ void PanelSweep::solve_point(std::size_t i) {
       series_.parameter, x, options_.rho, options_.min_rho_fallback);
 }
 
+void PanelSweep::solve_all() {
+  if (batched_) {
+    // The whole ρ grid in one backend call — the kernel-batched path,
+    // bit-identical to the per-point loop by the backend contract.
+    backend_->solve_rho_batch(grid_.data(), grid_.size(),
+                              options_.min_rho_fallback,
+                              series_.points.data());
+    return;
+  }
+  if (chained_) {
+    // Walk the grid in order, seeding each point's per-pair bracketing
+    // from the optima harvested at its neighbor. The first point has no
+    // seeds and runs the cold path bit for bit; later points converge to
+    // the same optima within numeric tolerance, only faster.
+    core::PairSeedTable seeds;
+    core::PairSeedTable harvest;
+    for (std::size_t i = first_pending_; i < grid_.size(); ++i) {
+      const double x = grid_[i];
+      const std::unique_ptr<core::SolverBackend> point_backend =
+          backend_->rebind(
+              apply_parameter(backend_->params(), series_.parameter, x),
+              seeds.empty() ? nullptr : &seeds);
+      point_backend->prepare();
+      series_.points[i] = point_backend->solve_panel_point_seeded(
+          series_.parameter, x, options_.rho, options_.min_rho_fallback,
+          &harvest);
+      std::swap(seeds, harvest);
+    }
+    return;
+  }
+  for (std::size_t i = first_pending_; i < grid_.size(); ++i) {
+    solve_point(i);
+  }
+}
+
+double PanelSweep::measure_cost() {
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  if (granularity() == Granularity::kPerPoint) {
+    // Probe work that counts: point 0 is solved for real and the stream
+    // starts at index 1.
+    solve_point(0);
+    first_pending_ = 1;
+  } else if (batched_) {
+    // One point through the same shared backend — the unit the batched
+    // call amortizes further, so this over- rather than underestimates.
+    (void)backend_->solve_panel_point(series_.parameter, grid_[0],
+                                      options_.rho,
+                                      options_.min_rho_fallback);
+  } else {
+    // Chained panel: one cold per-point rebind — exactly the first link
+    // of the chain, which solve_all() recomputes identically.
+    const std::unique_ptr<core::SolverBackend> point_backend =
+        backend_->rebind(apply_parameter(backend_->params(),
+                                         series_.parameter, grid_[0]));
+    point_backend->prepare();
+    (void)point_backend->solve_panel_point(series_.parameter, grid_[0],
+                                           options_.rho,
+                                           options_.min_rho_fallback);
+  }
+  const double seconds =
+      std::chrono::duration<double>(clock::now() - start).count();
+  const auto remaining =
+      static_cast<double>(point_count() - first_pending_);
+  return seconds * remaining;
+}
+
 PanelSeries run_panel_sweep(std::unique_ptr<core::SolverBackend> backend,
                             std::string configuration,
                             SweepParameter parameter,
@@ -160,8 +242,15 @@ PanelSeries run_panel_sweep(std::unique_ptr<core::SolverBackend> backend,
   PanelSweep panel(std::move(backend), std::move(configuration), parameter,
                    std::move(grid), options);
   panel.prepare();
-  parallel_for(options.pool, panel.point_count(),
-               [&panel](std::size_t i) { panel.solve_point(i); });
+  if (panel.granularity() == PanelSweep::Granularity::kWholePanel) {
+    // Batched and chained panels are one unit by nature; the campaign
+    // stream schedules them the same way, so both drivers stay
+    // bit-identical.
+    panel.solve_all();
+  } else {
+    parallel_for(options.pool, panel.point_count(),
+                 [&panel](std::size_t i) { panel.solve_point(i); });
+  }
   return panel.take();
 }
 

@@ -66,18 +66,29 @@ struct PanelSeries {
 /// solve — concurrently without synchronization.
 class PanelSweep {
  public:
+  /// How the panel's points want to be scheduled: independent per-point
+  /// tasks, or one whole-panel unit (batched ρ grids, where the backend
+  /// takes the entire grid in one call, and warm-start chains, where each
+  /// point seeds the next and order is the point).
+  enum class Granularity { kPerPoint, kWholePanel };
+
   /// Takes ownership of the panel's backend. Throws std::invalid_argument
   /// on a null backend, an empty grid, an axis outside
   /// backend->capabilities().axes, a non-positive/non-finite bound or
-  /// ρ-grid value, or a segments-grid value outside [1, max_segments] —
-  /// everything a later prepare() or solve_point() would otherwise trip
-  /// over.
+  /// ρ-grid value, a segments-grid value outside [1, max_segments], or
+  /// BatchMode::kOn on a ρ panel whose backend cannot batch — everything
+  /// a later prepare() or solve would otherwise trip over.
   PanelSweep(std::unique_ptr<core::SolverBackend> backend,
              std::string configuration, SweepParameter parameter,
              std::vector<double> grid, SweepOptions options);
 
   [[nodiscard]] std::size_t point_count() const noexcept {
     return grid_.size();
+  }
+
+  [[nodiscard]] Granularity granularity() const noexcept {
+    return batched_ || chained_ ? Granularity::kWholePanel
+                                : Granularity::kPerPoint;
   }
 
   /// True until prepare() has built the cache the panel needs (always
@@ -94,13 +105,38 @@ class PanelSweep {
   /// first solve_point; never throws on a constructed plan.
   void prepare();
 
-  /// Solves grid point `i` into its series slot (prepare() first).
+  /// Solves grid point `i` into its series slot (prepare() first). Only
+  /// valid on kPerPoint panels — whole-panel plans go through
+  /// solve_all().
   void solve_point(std::size_t i);
 
+  /// Solves the whole panel into its series slots (prepare() first):
+  /// batched ρ panels hand the entire grid to the backend's
+  /// solve_rho_batch (bit-identical to the per-point loop); warm-chained
+  /// model-axis panels walk the grid in order, seeding each point's
+  /// rebind from its neighbor's harvested optima; anything else runs the
+  /// plain per-point loop serially.
+  void solve_all();
+
   /// Relative cost of one point of this panel (the backend's
-  /// capabilities().cost_weight) — the campaign scheduler's ordering key.
+  /// capabilities().cost_weight) — the campaign scheduler's static
+  /// ordering prior (see measure_cost for the measured key).
   [[nodiscard]] double cost_weight() const noexcept {
     return backend_->capabilities().cost_weight;
+  }
+
+  /// The campaign scheduler's measured ordering key: times one
+  /// representative work unit (seconds) and returns the estimated cost of
+  /// the REMAINING work. Per-point panels solve point 0 for real — the
+  /// stream must then cover indices [first_pending(), point_count()) —
+  /// while whole-panel plans time one point-equivalent probe whose result
+  /// the later solve_all() recomputes identically. Call after prepare().
+  [[nodiscard]] double measure_cost();
+
+  /// First grid index the task stream still owes (1 after a per-point
+  /// measure_cost(), else 0).
+  [[nodiscard]] std::size_t first_pending() const noexcept {
+    return first_pending_;
   }
 
   [[nodiscard]] const core::SolverBackend& backend() const noexcept {
@@ -113,6 +149,9 @@ class PanelSweep {
  private:
   std::unique_ptr<core::SolverBackend> backend_;
   bool shared_ = false;
+  bool batched_ = false;
+  bool chained_ = false;
+  std::size_t first_pending_ = 0;
   SweepOptions options_;
   std::vector<double> grid_;
   PanelSeries series_;

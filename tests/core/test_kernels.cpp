@@ -1,0 +1,185 @@
+// The SIMD expansion-kernel tiers against their scalar reference: the
+// pure tier-selection rule, the dispatch table, and — the load-bearing
+// contract — bit-identical outputs from every available tier for all
+// three kernel ops (build_pair_table, eval_pairs, classify_pairs) over
+// every registered scenario's model parameters. A SIMD tier that rounds
+// one intermediate differently from the scalar order fails here, not in
+// a golden fixture three layers up.
+
+#include "rexspeed/core/kernels/kernel_dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "rexspeed/core/bicrit_solver.hpp"
+#include "rexspeed/core/expansion_soa.hpp"
+#include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/sweep/figure_sweeps.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::core::kernels {
+namespace {
+
+TEST(KernelTierRule, ForceScalarBeatsEveryFeature) {
+  EXPECT_EQ(choose_tier(true, true, true), KernelTier::kScalar);
+  EXPECT_EQ(choose_tier(true, true, false), KernelTier::kScalar);
+  EXPECT_EQ(choose_tier(true, false, true), KernelTier::kScalar);
+  EXPECT_EQ(choose_tier(true, false, false), KernelTier::kScalar);
+}
+
+TEST(KernelTierRule, WidestAvailableTierWins) {
+  EXPECT_EQ(choose_tier(false, false, false), KernelTier::kScalar);
+  EXPECT_EQ(choose_tier(false, true, false), KernelTier::kAVX2);
+  EXPECT_EQ(choose_tier(false, false, true), KernelTier::kNEON);
+  // AVX2 and NEON never coexist on real hardware; the rule still has to
+  // pick deterministically (the native tier of the probing architecture).
+  EXPECT_EQ(choose_tier(false, true, true), KernelTier::kNEON);
+}
+
+TEST(KernelDispatch, ScalarTierIsAlwaysAvailable) {
+  const std::vector<KernelTier> tiers = available_tiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), KernelTier::kScalar);
+  // The active tier is one of the available ones.
+  bool listed = false;
+  for (const KernelTier tier : tiers) {
+    if (tier == active_tier()) listed = true;
+  }
+  EXPECT_TRUE(listed);
+  EXPECT_STREQ(to_string(KernelTier::kScalar), "scalar");
+  EXPECT_STREQ(ops_for_tier(KernelTier::kScalar).name, "scalar");
+  EXPECT_STREQ(active_ops().name, to_string(active_tier()));
+}
+
+TEST(KernelDispatch, EveryOpIsWiredInEveryTier) {
+  for (const KernelTier tier : available_tiers()) {
+    const KernelOps& ops = ops_for_tier(tier);
+    EXPECT_NE(ops.build_pair_table, nullptr) << ops.name;
+    EXPECT_NE(ops.eval_pairs, nullptr) << ops.name;
+    EXPECT_NE(ops.classify_pairs, nullptr) << ops.name;
+  }
+}
+
+/// Bytewise comparison of two double arrays — EXPECT_EQ would call +0.0
+/// and -0.0 equal and NaN unequal; the kernel contract is stricter (the
+/// exact same bits, padding included).
+void expect_same_bits(const AlignedDoubles& a, const AlignedDoubles& b,
+                      const char* label, const char* tier) {
+  ASSERT_EQ(a.size(), b.size()) << label << " (" << tier << ")";
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+      << label << " differs from scalar in tier " << tier;
+}
+
+/// The distinct model-parameter bundles of the whole scenario registry —
+/// every configuration × override combination a figure actually uses.
+std::vector<core::ModelParams> registry_params() {
+  std::vector<core::ModelParams> all;
+  for (const engine::ScenarioSpec& spec : engine::scenario_registry()) {
+    all.push_back(spec.resolve_params());
+  }
+  return all;
+}
+
+TEST(KernelBitIdentity, BuildPairTableMatchesScalarOnEveryTier) {
+  for (const core::ModelParams& params : registry_params()) {
+    const ExpansionSoA reference =
+        ExpansionSoA::build_with(params, scalar_ops());
+    ASSERT_EQ(reference.count, reference.k * reference.k);
+    ASSERT_EQ(reference.padded % ExpansionSoA::kLane, 0u);
+    for (const KernelTier tier : available_tiers()) {
+      const KernelOps& ops = ops_for_tier(tier);
+      const ExpansionSoA table = ExpansionSoA::build_with(params, ops);
+      ASSERT_EQ(table.count, reference.count);
+      ASSERT_EQ(table.padded, reference.padded);
+      expect_same_bits(table.tx, reference.tx, "tx", ops.name);
+      expect_same_bits(table.ty, reference.ty, "ty", ops.name);
+      expect_same_bits(table.tz, reference.tz, "tz", ops.name);
+      expect_same_bits(table.ex, reference.ex, "ex", ops.name);
+      expect_same_bits(table.ey, reference.ey, "ey", ops.name);
+      expect_same_bits(table.ez, reference.ez, "ez", ops.name);
+      expect_same_bits(table.sigma1, reference.sigma1, "sigma1", ops.name);
+      expect_same_bits(table.sigma2, reference.sigma2, "sigma2", ops.name);
+      expect_same_bits(table.rho_min, reference.rho_min, "rho_min",
+                       ops.name);
+      expect_same_bits(table.we, reference.we, "we", ops.name);
+      EXPECT_EQ(table.valid, reference.valid) << ops.name;
+    }
+  }
+}
+
+TEST(KernelBitIdentity, EvalPairsMatchesScalarOnEveryTier) {
+  const NumericOptions numeric;
+  // The bounds every registered ρ panel actually evaluates, plus the
+  // infeasible low end where everything canonicalizes.
+  const std::vector<double> rhos =
+      sweep::default_grid(sweep::SweepParameter::kPerformanceBound, 17);
+  for (const core::ModelParams& params : registry_params()) {
+    const ExpansionSoA table = ExpansionSoA::build_with(params, scalar_ops());
+    const std::size_t n = table.padded;
+    AlignedDoubles ref_w(n), ref_lo(n), ref_hi(n), ref_e(n);
+    AlignedDoubles w(n), lo(n), hi(n), e(n);
+    std::vector<unsigned char> ref_f(n), f(n);
+    for (const double rho : rhos) {
+      scalar_ops().eval_pairs(table, rho, numeric.w_cap, ref_w.data(),
+                              ref_lo.data(), ref_hi.data(), ref_e.data(),
+                              ref_f.data());
+      for (const KernelTier tier : available_tiers()) {
+        const KernelOps& ops = ops_for_tier(tier);
+        ops.eval_pairs(table, rho, numeric.w_cap, w.data(), lo.data(),
+                       hi.data(), e.data(), f.data());
+        expect_same_bits(w, ref_w, "w_opt", ops.name);
+        expect_same_bits(lo, ref_lo, "w_min", ops.name);
+        expect_same_bits(hi, ref_hi, "w_max", ops.name);
+        expect_same_bits(e, ref_e, "energy", ops.name);
+        EXPECT_EQ(f, ref_f) << "feasible differs in tier " << ops.name
+                            << " at rho=" << rho;
+      }
+    }
+  }
+}
+
+TEST(KernelBitIdentity, ClassifyPairsMatchesScalarOnEveryTier) {
+  // The classifier consumes per-pair (ρ_min, time-at-W_E) arrays; the
+  // SoA's rho_min column and time x coefficients are real solver data of
+  // exactly that shape, including infinities from invalid pairs.
+  const std::vector<double> rhos =
+      sweep::default_grid(sweep::SweepParameter::kPerformanceBound, 17);
+  for (const core::ModelParams& params : registry_params()) {
+    const ExpansionSoA table = ExpansionSoA::build_with(params, scalar_ops());
+    const std::size_t n = table.count;
+    std::vector<unsigned char> reference(n), cls(n);
+    for (const double rho : rhos) {
+      scalar_ops().classify_pairs(table.rho_min.data(), table.tx.data(), n,
+                                  rho, reference.data());
+      for (unsigned char c : reference) EXPECT_LE(c, 2);
+      for (const KernelTier tier : available_tiers()) {
+        const KernelOps& ops = ops_for_tier(tier);
+        ops.classify_pairs(table.rho_min.data(), table.tx.data(), n, rho,
+                           cls.data());
+        EXPECT_EQ(cls, reference)
+            << "classification differs in tier " << ops.name
+            << " at rho=" << rho;
+      }
+    }
+  }
+}
+
+TEST(KernelBitIdentity, SolverAdoptionMatchesTheScalarBuild) {
+  // The BiCritSolver materializes its cache from the active tier's build;
+  // its expansion table must be the scalar build bit for bit (the whole
+  // point of the scalar-reference contract: dispatch is invisible).
+  const core::ModelParams params = test::params_for("Hera/XScale");
+  const BiCritSolver solver(params);
+  const ExpansionSoA reference = ExpansionSoA::build_with(params, scalar_ops());
+  const ExpansionSoA& table = solver.expansion_table();
+  ASSERT_EQ(table.count, reference.count);
+  expect_same_bits(table.tx, reference.tx, "tx", "solver");
+  expect_same_bits(table.ey, reference.ey, "ey", "solver");
+  expect_same_bits(table.rho_min, reference.rho_min, "rho_min", "solver");
+  EXPECT_EQ(table.valid, reference.valid);
+}
+
+}  // namespace
+}  // namespace rexspeed::core::kernels

@@ -16,6 +16,7 @@
 //                      [--points=N] [--threads=N] [--out-dir=DIR]
 //   rexspeed scenarios
 //   rexspeed modes
+//   rexspeed kernels
 //   rexspeed configs
 //
 // Every subcommand is a thin veneer over the engine layer (scenario
@@ -37,6 +38,7 @@
 #include "rexspeed/core/campaign.hpp"
 #include "rexspeed/core/exact_expectations.hpp"
 #include "rexspeed/core/interleaved.hpp"
+#include "rexspeed/core/kernels/kernel_dispatch.hpp"
 #include "rexspeed/engine/backend_registry.hpp"
 #include "rexspeed/engine/campaign_runner.hpp"
 #include "rexspeed/engine/scenario.hpp"
@@ -78,6 +80,7 @@ int usage() {
       "            --config=NAME --param={C,V,lambda,rho,Pidle,Pio,all}\n"
       "            [--points=N] [--rho=R] [--threads=N] [--out-dir=DIR]\n"
       "            [--mode={%s}]\n"
+      "            [--batch={auto,on,off}]  batched rho-grid kernels\n"
       "            or: --scenario=NAME (see `rexspeed scenarios`)\n"
       "            with --segments/--max-segments: interleaved panels\n"
       "            (--param={rho,segments,all})\n"
@@ -89,8 +92,10 @@ int usage() {
       "  campaign  batch of scenarios through one flattened task stream\n"
       "            [--scenario-dir=DIR] [--scenarios=NAME,NAME,...]\n"
       "            [--points=N] [--threads=N] [--out-dir=DIR]\n"
+      "            [--batch={auto,on,off}]\n"
       "  scenarios list the registered scenarios (paper figures as data)\n"
       "  modes     list the registered solver backends\n"
+      "  kernels   report the active expansion-kernel tier (SIMD dispatch)\n"
       "  configs   list the eight paper configurations\n",
       modes.c_str());
   return 2;
@@ -112,6 +117,9 @@ engine::ScenarioSpec scenario_from(const io::ArgParser& args) {
   }
   if (const auto param = args.get("param")) {
     engine::apply_token(spec, "param", *param);
+  }
+  if (const auto batch = args.get("batch")) {
+    engine::apply_token(spec, "batch", *batch);
   }
   // --mode takes the backend-registry vocabulary; --exact stays as
   // shorthand for --mode=exact-opt. Applied before the segment flags so
@@ -189,6 +197,24 @@ int cmd_modes() {
   std::printf(
       "\nSelect one with --mode=NAME on solve/pairs/sweep, or mode=NAME in "
       "a scenario file.\n");
+  return 0;
+}
+
+int cmd_kernels() {
+  namespace kernels = core::kernels;
+  std::string available;
+  for (const kernels::KernelTier tier : kernels::available_tiers()) {
+    if (!available.empty()) available += ",";
+    available += kernels::to_string(tier);
+  }
+  std::printf("active tier:     %s\n",
+              kernels::to_string(kernels::active_tier()));
+  std::printf("available tiers: %s\n", available.c_str());
+  std::printf("force scalar:    %s (REXSPEED_FORCE_SCALAR)\n",
+              kernels::active_tier() == kernels::KernelTier::kScalar &&
+                      kernels::available_tiers().size() > 1
+                  ? "yes"
+                  : "no");
   return 0;
 }
 
@@ -457,6 +483,9 @@ int cmd_campaign(const io::ArgParser& args) {
   if (const auto points = args.get("points")) {
     for (auto& spec : specs) engine::apply_token(spec, "points", *points);
   }
+  if (const auto batch = args.get("batch")) {
+    for (auto& spec : specs) engine::apply_token(spec, "batch", *batch);
+  }
 
   const long threads = args.get_long_or("threads", 0);
   if (threads < 0) {
@@ -562,6 +591,7 @@ int main(int argc, char** argv) try {
   const io::ArgParser args(argc - 1, argv + 1);
   if (command == "configs") return cmd_configs();
   if (command == "modes") return cmd_modes();
+  if (command == "kernels") return cmd_kernels();
   if (command == "scenarios") return cmd_scenarios();
   if (command == "solve") return cmd_solve(args);
   if (command == "pairs") return cmd_pairs(args);
