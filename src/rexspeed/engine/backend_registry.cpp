@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "rexspeed/core/recall_solver.hpp"
+
 namespace rexspeed::engine {
 
 namespace {
@@ -50,6 +52,14 @@ const std::vector<BackendEntry>& backend_registry() {
            return std::make_unique<core::InterleavedBackend>(
                std::move(params), spec.segment_limit(), spec.segments);
          }});
+    registry.push_back(
+        {"recall",
+         "first-order optimization under partial verification recall r",
+         sweep::all_sweep_parameters(),
+         [](core::ModelParams params, const ScenarioSpec& spec) {
+           return std::make_unique<core::RecallBackend>(
+               std::move(params), spec.verification_recall);
+         }});
     return registry;
   }();
   return kRegistry;
@@ -76,6 +86,7 @@ const BackendEntry& backend_by_name(const std::string& mode) {
 
 std::string backend_mode_name(const ScenarioSpec& spec) {
   if (spec.interleaved()) return "interleaved";
+  if (spec.recall_mode) return "recall";
   return core::to_mode_name(spec.mode);
 }
 
@@ -83,15 +94,15 @@ std::unique_ptr<core::SolverBackend> make_backend(const ScenarioSpec& spec,
                                                   core::ModelParams params) {
   spec.validate();
   const std::string mode = backend_mode_name(spec);
-  if (spec.verification_recall < 1.0) {
+  if (spec.verification_recall < 1.0 && mode != "recall") {
     std::ostringstream message;
     message << "scenario '" << spec.name
             << "': verification_recall=" << spec.verification_recall
-            << " is simulate-only for now (no analytical backend models "
-               "partial recall); the '"
-            << mode
-            << "' solver backend requires full recall — drop the key or "
-               "use `rexspeed simulate`";
+            << " needs the partial-recall backend, but the '" << mode
+            << "' solver backend requires full recall — set mode=recall "
+               "(first-order optimization over the recall-scaled rate) or "
+               "drop the key; `rexspeed simulate` additionally executes "
+               "partial recall under any mode";
     throw std::invalid_argument(message.str());
   }
   return backend_by_name(mode).factory(std::move(params), spec);

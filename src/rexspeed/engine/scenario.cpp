@@ -31,6 +31,12 @@ void ScenarioSpec::validate() const {
     throw std::invalid_argument(
         "scenario '" + name + "': verification_recall must be in [0, 1]");
   }
+  if (recall_mode && interleaved()) {
+    throw std::invalid_argument(
+        "scenario '" + name +
+        "': mode=recall is a speed-pair backend and cannot combine with "
+        "segments/max_segments (interleaved verification)");
+  }
   if (!interleaved()) {
     if (sweep_parameter == sweep::SweepParameter::kSegments) {
       throw std::invalid_argument(
@@ -172,12 +178,17 @@ void apply_token(ScenarioSpec& spec, const std::string& key,
                                   "' (expected two-speed or single-speed)");
     }
   } else if (key == "mode") {
+    // Like every structural key, a later mode= wins: picking a closed-form
+    // or interleaved mode leaves recall mode, and vice versa.
     if (value == "first-order") {
       spec.mode = core::EvalMode::kFirstOrder;
+      spec.recall_mode = false;
     } else if (value == "exact-eval") {
       spec.mode = core::EvalMode::kExactEvaluation;
+      spec.recall_mode = false;
     } else if (value == "exact-opt") {
       spec.mode = core::EvalMode::kExactOptimize;
+      spec.recall_mode = false;
     } else if (value == "interleaved") {
       // The interleaved backend is selected by the segment keys; the mode
       // name alone defaults to the paper's own pattern through the
@@ -188,10 +199,19 @@ void apply_token(ScenarioSpec& spec, const std::string& key,
         spec.max_segments = 1;
         spec.max_segments_defaulted = true;
       }
+      spec.recall_mode = false;
+    } else if (value == "recall") {
+      // The partial-recall backend: first-order optimization over the
+      // recall-scaled rate. The recall value itself comes from the
+      // verification_recall key (default 1, where the backend is
+      // bit-identical to first-order).
+      spec.recall_mode = true;
+      spec.mode = core::EvalMode::kFirstOrder;
     } else {
       throw std::invalid_argument(
           "scenario: unknown mode '" + value +
-          "' (expected first-order, exact-eval, exact-opt or interleaved)");
+          "' (expected first-order, exact-eval, exact-opt, interleaved or "
+          "recall)");
     }
   } else if (key == "segments") {
     if (spec.max_segments > 0) {
@@ -373,6 +393,17 @@ const std::vector<ScenarioSpec>& scenario_registry() {
       spec.overrides.push_back({"V", 1.0});
       registry.push_back(std::move(spec));
     }
+    {
+      // The partial-recall backend over its natural panel: first-order
+      // optimization at the related work's partial verifications
+      // (r = 0.8), so every registered backend has a registered workload.
+      ScenarioSpec spec = panel(
+          "recall_rho", "partial-recall (r = 0.8) optimum vs rho",
+          "Hera/XScale", sweep::SweepParameter::kPerformanceBound);
+      spec.recall_mode = true;
+      spec.verification_recall = 0.8;
+      registry.push_back(std::move(spec));
+    }
     return registry;
   }();
   return kRegistry;
@@ -404,15 +435,18 @@ sim::SimulatorOptions simulator_options(const ScenarioSpec& spec) {
 }
 
 core::Solution solve_for_simulation(const ScenarioSpec& spec) {
+  // Partial recall IS the recall backend's model; every other mode solves
+  // at full recall and meets the value only inside the simulator.
+  if (spec.recall_mode) return solve_scenario(spec);
   ScenarioSpec solver_spec = spec;
   solver_spec.verification_recall = 1.0;
   return solve_scenario(solver_spec);
 }
 
 sim::ExecutionPolicy make_policy(const ScenarioSpec& spec) {
-  // The simulator bridge accepts simulate-only dimensions (see
+  // The simulator bridge accepts partial recall under any mode (see
   // solve_for_simulation), so a spec carrying recall < 1 works here
-  // while the solver entry points keep rejecting it.
+  // even when its solver entry points would reject it.
   const core::Solution solution = solve_for_simulation(spec);
   if (!solution.feasible()) {
     throw std::runtime_error(

@@ -73,12 +73,18 @@ struct ScenarioSpec {
   /// so a later explicit segments=/max_segments= replaces the default
   /// instead of tripping the mutual-exclusion check. Never serialized.
   bool max_segments_defaulted = false;
+  /// True when the scenario runs the partial-recall analytical backend
+  /// (`mode=recall`): first-order optimization over the recall-scaled
+  /// silent-error rate r·λs (core::RecallBackend). Mutually exclusive
+  /// with the segment keys — the recall backend is a speed-pair backend.
+  bool recall_mode = false;
   /// Probability that a verification detects a silent error
   /// (SimulatorOptions::verification_recall). 1 is the paper's guaranteed
-  /// verification. Values below 1 are simulate-only for now: no analytical
-  /// backend models partial recall yet, so backend_registry's factories
-  /// reject such specs with a clear error while `rexspeed simulate` routes
-  /// the value into the simulator (see simulator_options()).
+  /// verification. Values below 1 are modeled analytically by the recall
+  /// backend (`mode=recall`, see core/recall_solver.hpp) and executed
+  /// faithfully by `rexspeed simulate`; every other solver mode requires
+  /// full recall, and engine::make_backend rejects partial-recall specs
+  /// under them with an error pointing at mode=recall.
   double verification_recall = 1.0;
   /// Model-parameter overrides applied on top of the configuration.
   std::vector<ParamOverride> overrides;
@@ -122,13 +128,14 @@ void apply_override(core::ModelParams& params, const ParamOverride& override_);
 /// Parses one "key=value" token into a spec. Structural keys: name,
 /// description, config, rho, points, param (a sweep-parameter name, "all"
 /// or "none"), policy (two-speed | single-speed), mode (first-order |
-/// exact-eval | exact-opt | interleaved — the backend-registry
+/// exact-eval | exact-opt | interleaved | recall — the backend-registry
 /// vocabulary; mode=interleaved defaults max_segments to 1, and an
 /// explicit segments=/max_segments= key takes precedence in either
 /// order), fallback (0 | 1), batch (auto | on | off — batched vs
 /// pointwise ρ-grid evaluation), segments (≥ 1),
 /// max_segments (≥ 1, mutually exclusive with segments) and
-/// verification_recall (in [0, 1]; simulate-only below 1). Every other
+/// verification_recall (in [0, 1]; below 1 the solver side needs
+/// mode=recall, every mode simulates it). Every other
 /// key must be a model-parameter override key (see ParamOverride). Throws
 /// std::invalid_argument on an unknown key or malformed value.
 void apply_token(ScenarioSpec& spec, const std::string& key,
@@ -142,8 +149,8 @@ void apply_token(ScenarioSpec& spec, const std::string& key,
 /// (fig02…fig07 single panels on Atlas/Crusoe, fig08…fig14 six-panel
 /// composites over the eight configurations), plus one scenario per
 /// non-default solver backend (exact_rho, interleaved_rho,
-/// interleaved_segments) so every registered backend has a registered
-/// workload.
+/// interleaved_segments, recall_rho) so every registered backend has a
+/// registered workload.
 [[nodiscard]] const std::vector<ScenarioSpec>& scenario_registry();
 
 /// Registry lookup; null when unknown.
@@ -163,19 +170,21 @@ void apply_token(ScenarioSpec& spec, const std::string& key,
 [[nodiscard]] sim::SimulatorOptions simulator_options(
     const ScenarioSpec& spec);
 
-/// The scenario's solution for simulation purposes: solved with every
-/// simulate-only dimension stripped (verification_recall shapes the
-/// simulation the policy is fed into — simulator_options — never the
-/// solve). THE one place that stripping rule lives; make_policy and the
+/// The scenario's solution for simulation purposes: non-recall modes are
+/// solved with verification_recall stripped to 1 (for them the value
+/// shapes only the simulation the policy is fed into — simulator_options
+/// — never the solve), while mode=recall keeps it (partial recall IS that
+/// backend's model). THE one place that rule lives; make_policy and the
 /// CLI's simulate path both route here.
 [[nodiscard]] core::Solution solve_for_simulation(const ScenarioSpec& spec);
 
 /// Execution policy induced by the scenario's solution — the bridge into
 /// the fault-injection simulator. Interleaved scenarios yield a segmented
 /// policy (ExecutionPolicy::segmented) carrying the solved count.
-/// Simulate-only dimensions are accepted: the policy is solved at full
-/// recall (verification_recall reaches the simulator through
-/// simulator_options(), never the solve). Throws std::runtime_error when
+/// Partial recall is accepted under any mode: non-recall policies are
+/// solved at full recall (verification_recall reaches their simulator
+/// through simulator_options(), never the solve) while mode=recall
+/// policies are solved recall-aware. Throws std::runtime_error when
 /// the scenario is infeasible at its bound.
 [[nodiscard]] sim::ExecutionPolicy make_policy(const ScenarioSpec& spec);
 

@@ -73,6 +73,9 @@ std::string write_scenario(const ScenarioSpec& spec) {
   const char* mode = "first-order";
   if (spec.mode == core::EvalMode::kExactEvaluation) mode = "exact-eval";
   if (spec.mode == core::EvalMode::kExactOptimize) mode = "exact-opt";
+  // mode=recall forces mode back to kFirstOrder on parse, so emitting the
+  // recall name loses nothing and round-trips the flag.
+  if (spec.recall_mode) mode = "recall";
   out << "mode=" << mode << '\n';
   out << "fallback=" << (spec.min_rho_fallback ? 1 : 0) << '\n';
   // Non-default batch modes only: the default (auto) emits no line, so

@@ -12,6 +12,7 @@
 
 #include "rexspeed/core/exact_solver.hpp"
 #include "rexspeed/core/interleaved.hpp"
+#include "rexspeed/core/recall_solver.hpp"
 #include "test_util.hpp"
 
 namespace rexspeed::engine {
@@ -20,11 +21,11 @@ namespace {
 using test::expect_identical_interleaved;
 using test::expect_identical_pair;
 
-TEST(BackendRegistry, RegistersTheFourModes) {
+TEST(BackendRegistry, RegistersTheFiveModes) {
   const auto& registry = backend_registry();
-  ASSERT_EQ(registry.size(), 4u);
+  ASSERT_EQ(registry.size(), 5u);
   const char* expected[] = {"first-order", "exact-eval", "exact-opt",
-                            "interleaved"};
+                            "interleaved", "recall"};
   for (std::size_t i = 0; i < registry.size(); ++i) {
     EXPECT_EQ(registry[i].name, expected[i]);
     EXPECT_FALSE(registry[i].description.empty()) << registry[i].name;
@@ -36,6 +37,7 @@ TEST(BackendRegistry, RegistersTheFourModes) {
   // ρ and segments.
   EXPECT_EQ(backend_by_name("first-order").panel_axes.size(), 6u);
   EXPECT_EQ(backend_by_name("interleaved").panel_axes.size(), 2u);
+  EXPECT_EQ(backend_by_name("recall").panel_axes.size(), 6u);
 }
 
 TEST(BackendRegistry, UnknownModeErrorNamesTheKnownModes) {
@@ -47,9 +49,10 @@ TEST(BackendRegistry, UnknownModeErrorNamesTheKnownModes) {
     const std::string message = error.what();
     EXPECT_NE(message.find("unknown mode 'warp-drive'"), std::string::npos)
         << message;
-    EXPECT_NE(message.find(
-                  "first-order, exact-eval, exact-opt or interleaved"),
-              std::string::npos)
+    EXPECT_NE(
+        message.find(
+            "first-order, exact-eval, exact-opt, interleaved or recall"),
+        std::string::npos)
         << message;
   }
 }
@@ -70,6 +73,9 @@ TEST(BackendRegistry, ModeNameFollowsTheSpec) {
   EXPECT_EQ(backend_mode_name(
                 parse_scenario("config=Hera/XScale mode=interleaved")),
             "interleaved");
+  EXPECT_EQ(
+      backend_mode_name(parse_scenario("config=Hera/XScale mode=recall")),
+      "recall");
 }
 
 TEST(BackendRegistry, EveryRegisteredScenarioResolvesToABackend) {
@@ -109,6 +115,20 @@ TEST(BackendRegistry, RegistryBackendsMatchThePreRedesignPathsBitForBit) {
                             : direct.solve(spec.rho));
       continue;
     }
+    if (spec.recall_mode) {
+      // The recall backend is first-order over the recall-scaled rate.
+      const core::BiCritSolver direct(core::recall_effective_params(
+          params, spec.verification_recall));
+      core::PairSolution expected =
+          direct.solve(spec.rho, spec.policy, core::EvalMode::kFirstOrder)
+              .best;
+      if (!expected.feasible && spec.min_rho_fallback &&
+          direct.min_rho_solution(spec.policy).feasible) {
+        expected = direct.min_rho_solution(spec.policy);
+      }
+      expect_identical_pair(via_registry.pair, expected);
+      continue;
+    }
     if (spec.mode == core::EvalMode::kExactOptimize) {
       const core::ExactSolver direct(params);
       core::PairSolution expected = direct.solve(spec.rho, spec.policy).best;
@@ -135,15 +155,20 @@ TEST(BackendRegistry, SimulateOnlyDimensionsAreRejectedAtTheChokepoint) {
       "name=recall config=Hera/XScale verification_recall=0.5");
   try {
     (void)make_backend(spec);
-    FAIL() << "partial recall must not reach a solver backend";
+    FAIL() << "partial recall must not reach a full-recall backend";
   } catch (const std::invalid_argument& error) {
     const std::string message = error.what();
     EXPECT_NE(message.find("verification_recall=0.5"), std::string::npos)
         << message;
     EXPECT_NE(message.find("'first-order'"), std::string::npos) << message;
+    EXPECT_NE(message.find("mode=recall"), std::string::npos) << message;
     EXPECT_NE(message.find("rexspeed simulate"), std::string::npos)
         << message;
   }
+  // The same spec in recall mode resolves cleanly.
+  spec = parse_scenario(
+      "name=recall config=Hera/XScale mode=recall verification_recall=0.5");
+  EXPECT_NE(make_backend(spec), nullptr);
 }
 
 TEST(BackendRegistry, InterleavedFactoryHonorsSegmentConfiguration) {

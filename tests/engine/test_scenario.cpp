@@ -88,7 +88,7 @@ TEST(ScenarioParse, OverrideValidationFailsAtResolveTimeForBadValues) {
 
 TEST(ScenarioRegistry, CoversThePaperFiguresAndBackendExtensions) {
   const auto& registry = scenario_registry();
-  ASSERT_EQ(registry.size(), 16u);
+  ASSERT_EQ(registry.size(), 17u);
   EXPECT_EQ(registry.front().name, "fig02");
   int panels = 0;
   int composites = 0;
@@ -105,7 +105,7 @@ TEST(ScenarioRegistry, CoversThePaperFiguresAndBackendExtensions) {
     if (spec.kind() == ScenarioKind::kSweep) ++panels;
     if (spec.kind() == ScenarioKind::kAllSweeps) ++composites;
   }
-  EXPECT_EQ(panels, 7);       // Figures 2–7 + the exact-backend rho panel
+  EXPECT_EQ(panels, 8);       // Figs 2–7 + the exact and recall rho panels
   EXPECT_EQ(composites, 7);   // Figures 8–14
   EXPECT_EQ(interleaved, 2);  // the related-work extension panels
 
@@ -126,6 +126,13 @@ TEST(ScenarioRegistry, CoversThePaperFiguresAndBackendExtensions) {
   EXPECT_EQ(vs_m.sweep_parameter, sweep::SweepParameter::kSegments);
   EXPECT_EQ(vs_m.max_segments, 8u);
   EXPECT_NO_THROW(vs_m.validate());
+
+  // The partial-recall extension panel is a recall-mode ρ sweep.
+  const ScenarioSpec& recall = scenario_by_name("recall_rho");
+  EXPECT_TRUE(recall.recall_mode);
+  EXPECT_EQ(recall.verification_recall, 0.8);
+  EXPECT_EQ(recall.sweep_parameter, sweep::SweepParameter::kPerformanceBound);
+  EXPECT_NO_THROW(recall.validate());
 }
 
 TEST(ScenarioRegistry, LookupByName) {
@@ -174,23 +181,50 @@ TEST(ScenarioRecall, ParsesValidatesAndRoutesToTheSimulator) {
                std::invalid_argument);
 }
 
-TEST(ScenarioRecall, SolverModesRejectPartialRecallWithAClearError) {
-  // No analytical backend models partial recall yet: every solver entry
-  // point refuses, naming the key and the escape hatch.
+TEST(ScenarioRecall, FullRecallModesRejectPartialRecallWithAClearError) {
+  // Only mode=recall models partial recall analytically: every other
+  // solver entry point refuses, naming the key and both escape hatches
+  // (the recall backend and the simulator).
   ScenarioSpec spec = parse_scenario(
       "name=sdc config=Hera/XScale verification_recall=0.9");
   try {
     (void)solve_scenario(spec);
-    FAIL() << "partial recall must be rejected by solver modes";
+    FAIL() << "partial recall must be rejected by full-recall modes";
   } catch (const std::invalid_argument& error) {
     const std::string message = error.what();
     EXPECT_NE(message.find("verification_recall"), std::string::npos)
         << message;
+    EXPECT_NE(message.find("mode=recall"), std::string::npos) << message;
     EXPECT_NE(message.find("simulate"), std::string::npos) << message;
   }
   // ...but the simulator bridge still accepts the spec's other settings.
   spec.verification_recall = 1.0;
   EXPECT_TRUE(solve_scenario(spec).feasible());
+}
+
+TEST(ScenarioRecall, RecallModeSolvesAndRoundTripsThroughTokens) {
+  // mode=recall is a first-class solver mode: it parses, solves, and the
+  // canonical token form round-trips (mode=recall pins EvalMode to
+  // first-order so write/parse is lossless).
+  const ScenarioSpec spec = parse_scenario(
+      "name=sdc config=Hera/XScale mode=recall verification_recall=0.9 "
+      "rho=3");
+  EXPECT_TRUE(spec.recall_mode);
+  EXPECT_EQ(spec.mode, core::EvalMode::kFirstOrder);
+  EXPECT_TRUE(solve_scenario(spec).feasible());
+  // A later mode token turns recall mode back off (last-wins semantics).
+  EXPECT_FALSE(parse_scenario("config=Hera/XScale mode=recall "
+                              "mode=first-order")
+                   .recall_mode);
+  // Recall mode is a speed-pair backend: segments are rejected.
+  EXPECT_THROW(parse_scenario("config=Hera/XScale mode=recall segments=2"),
+               std::invalid_argument);
+  // solve_for_simulation keeps the recall-aware optimum rather than
+  // stripping the key the way full-recall modes do.
+  const core::Solution recall_solve = solve_for_simulation(spec);
+  const core::Solution via_solver = solve_scenario(spec);
+  EXPECT_EQ(recall_solve.w_opt(), via_solver.w_opt());
+  EXPECT_EQ(recall_solve.sigma1(), via_solver.sigma1());
 }
 
 TEST(ScenarioRecall, MakePolicyAcceptsSimulateOnlySpecs) {

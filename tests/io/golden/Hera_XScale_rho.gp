@@ -1,0 +1,4 @@
+set xlabel 'rho'
+set key outside
+set datafile missing '?'
+plot 'Hera_XScale_rho.dat' using 1:2 with linespoints title 'sigma1', 'Hera_XScale_rho.dat' using 1:3 with linespoints title 'sigma2', 'Hera_XScale_rho.dat' using 1:4 with linespoints title 'Wopt2', 'Hera_XScale_rho.dat' using 1:5 with linespoints title 'energy2', 'Hera_XScale_rho.dat' using 1:6 with linespoints title 'sigma', 'Hera_XScale_rho.dat' using 1:7 with linespoints title 'Wopt1', 'Hera_XScale_rho.dat' using 1:8 with linespoints title 'energy1', 'Hera_XScale_rho.dat' using 1:9 with linespoints title 'saving'

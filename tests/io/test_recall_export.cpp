@@ -1,0 +1,82 @@
+// Golden-file test for the campaign CSV/gnuplot export of a partial-recall
+// scenario (mode=recall): the exported artifacts must be BYTE-exact
+// against checked-in fixtures (tests/io/golden/), pinning the recall
+// backend's sweep output and its figure file stem end to end. Any
+// intentional format or solver change must regenerate the fixtures (see
+// the scenario spec in the same directory:
+//   rexspeed campaign --scenario-dir=tests/io/golden
+//                     --scenarios=golden_recall --out-dir=...).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "rexspeed/engine/campaign_runner.hpp"
+#include "rexspeed/engine/scenario_file.hpp"
+#include "rexspeed/io/csv_writer.hpp"
+#include "rexspeed/io/gnuplot_writer.hpp"
+
+namespace rexspeed::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The checked-in fixture directory, located relative to this source file
+/// so the test is independent of the ctest working directory.
+fs::path golden_dir() {
+  return fs::path(__FILE__).parent_path() / "golden";
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class RecallGolden : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    out_dir_ = fs::temp_directory_path() / "rexspeed_recall_golden";
+    fs::remove_all(out_dir_);
+    fs::create_directories(out_dir_);
+  }
+  void TearDown() override { fs::remove_all(out_dir_); }
+
+  fs::path out_dir_;
+};
+
+TEST_F(RecallGolden, CampaignExportIsByteExact) {
+  // The spec comes from the checked-in scenario file, so the fixture
+  // directory fully describes how to regenerate itself.
+  const engine::ScenarioSpec spec = engine::load_scenario_file(
+      (golden_dir() / "golden_recall.scenario").string());
+  ASSERT_TRUE(spec.recall_mode);
+  ASSERT_EQ(spec.verification_recall, 0.8);
+  ASSERT_EQ(spec.kind(), engine::ScenarioKind::kSweep);
+
+  const engine::ScenarioResult result =
+      engine::CampaignRunner(engine::CampaignRunnerOptions{.threads = 2})
+          .run_one(spec);
+  ASSERT_EQ(result.panels.size(), 1u);
+
+  const auto& panel = result.panels[0];
+  const auto csv_stem = export_csv_figure(panel, out_dir_.string());
+  const auto gp_stem = export_gnuplot_figure(panel, out_dir_.string());
+  ASSERT_TRUE(csv_stem.has_value());
+  ASSERT_TRUE(gp_stem.has_value());
+  EXPECT_EQ(*csv_stem, *gp_stem);  // artifacts share one stem
+  for (const char* extension : {".csv", ".dat", ".gp"}) {
+    const std::string filename = *csv_stem + extension;
+    SCOPED_TRACE(filename);
+    EXPECT_EQ(read_file(out_dir_ / filename),
+              read_file(golden_dir() / filename));
+  }
+}
+
+}  // namespace
+}  // namespace rexspeed::io

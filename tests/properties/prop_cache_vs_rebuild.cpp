@@ -1,0 +1,156 @@
+// Property: every expansion/optimization cache answers exactly what a
+// from-scratch rebuild would — for ANY valid model. Three caches are under
+// test: the SoA expansion table (vs the per-pair closed forms it is
+// materialized from), the prepared exact-optimization backend (vs a fresh
+// instance prepared per bound), and the prepared interleaved backend (vs a
+// fresh InterleavedSolver). Caching is a pure speed trade: never a bit of
+// the answer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rexspeed/core/expansion_soa.hpp"
+#include "rexspeed/core/first_order.hpp"
+#include "rexspeed/core/interleaved.hpp"
+#include "rexspeed/core/solver_backend.hpp"
+#include "support/proptest.hpp"
+#include "test_util.hpp"
+
+namespace rexspeed::core {
+namespace {
+
+struct ParamsAndRho {
+  ModelParams params;
+  double rho = 3.0;
+};
+
+struct ParamsAndRhoGen {
+  using Value = ParamsAndRho;
+  proptest::ModelParamsGen params_gen;
+  proptest::RhoGen rho_gen;
+
+  ParamsAndRho operator()(proptest::Rng& rng) const {
+    return {params_gen(rng), rho_gen(rng)};
+  }
+  std::vector<ParamsAndRho> shrink(const ParamsAndRho& value) const {
+    std::vector<ParamsAndRho> out;
+    for (const auto& params : params_gen.shrink(value.params)) {
+      out.push_back({params, value.rho});
+    }
+    for (const double rho : rho_gen.shrink(value.rho)) {
+      out.push_back({value.params, rho});
+    }
+    return out;
+  }
+  std::string describe(const ParamsAndRho& value) const {
+    return params_gen.describe(value.params) + " rho=" +
+           std::to_string(value.rho);
+  }
+};
+
+TEST(PropCacheVsRebuild, ExpansionSoAMatchesPerPairClosedForms) {
+  proptest::PropOptions options;
+  options.iterations = 100;
+  proptest::check(
+      "ExpansionSoA::build slots == per-pair expansions, bit for bit",
+      proptest::ModelParamsGen{},
+      [](const ModelParams& params) {
+        const ExpansionSoA table = ExpansionSoA::build(params);
+        const std::size_t k = params.speeds.size();
+        ASSERT_EQ(table.k, k);
+        for (std::size_t i = 0; i < k; ++i) {
+          for (std::size_t j = 0; j < k; ++j) {
+            SCOPED_TRACE("pair (" + std::to_string(i) + ", " +
+                         std::to_string(j) + ")");
+            const std::size_t s = table.slot(i, j);
+            const double s1 = params.speeds[i];
+            const double s2 = params.speeds[j];
+            const OverheadExpansion t = time_expansion(params, s1, s2);
+            const OverheadExpansion e = energy_expansion(params, s1, s2);
+            EXPECT_EQ(table.tx[s], t.x);
+            EXPECT_EQ(table.ty[s], t.y);
+            EXPECT_EQ(table.tz[s], t.z);
+            EXPECT_EQ(table.ex[s], e.x);
+            EXPECT_EQ(table.ey[s], e.y);
+            EXPECT_EQ(table.ez[s], e.z);
+            EXPECT_EQ(table.sigma1[s], s1);
+            EXPECT_EQ(table.sigma2[s], s2);
+            EXPECT_EQ(table.valid[s] != 0,
+                      first_order_valid(params, s1, s2));
+          }
+        }
+        // Padding slots are inert.
+        for (std::size_t s = table.count; s < table.padded; ++s) {
+          EXPECT_EQ(table.valid[s], 0);
+        }
+      },
+      options);
+}
+
+TEST(PropCacheVsRebuild, PreparedExactOptBackendMatchesFreshInstance) {
+  proptest::PropOptions options;
+  options.iterations = 20;  // two exact-curve preparations per case
+  proptest::check(
+      "one prepared ExactOptBackend == fresh prepare at each bound",
+      ParamsAndRhoGen{},
+      [](const ParamsAndRho& c) {
+        ExactOptBackend shared(c.params);
+        shared.prepare();
+        // The shared cache serves several bounds; a fresh backend pays its
+        // own prepare per bound. Same bits either way.
+        for (const double scale : {1.0, 1.7, 3.1}) {
+          SCOPED_TRACE("rho scale " + std::to_string(scale));
+          ExactOptBackend fresh(c.params);
+          fresh.prepare();
+          test::expect_identical_solution(
+              shared.solve(c.rho * scale, SpeedPolicy::kTwoSpeed, true),
+              fresh.solve(c.rho * scale, SpeedPolicy::kTwoSpeed, true));
+        }
+      },
+      options);
+}
+
+TEST(PropCacheVsRebuild, PreparedInterleavedBackendMatchesFreshSolver) {
+  proptest::PropOptions options;
+  options.iterations = 25;
+  struct Gen {
+    using Value = ParamsAndRho;
+    // The interleaved model requires λf = 0.
+    ParamsAndRhoGen inner{proptest::ModelParamsGen{false}};
+    ParamsAndRho operator()(proptest::Rng& rng) const { return inner(rng); }
+    std::vector<ParamsAndRho> shrink(const ParamsAndRho& value) const {
+      std::vector<ParamsAndRho> out;
+      for (auto& candidate : inner.shrink(value)) {
+        candidate.params.lambda_failstop = 0.0;
+        out.push_back(candidate);
+      }
+      return out;
+    }
+    std::string describe(const ParamsAndRho& value) const {
+      return inner.describe(value);
+    }
+  };
+  proptest::check(
+      "prepared InterleavedBackend == fresh InterleavedSolver",
+      Gen{},
+      [](const ParamsAndRho& c) {
+        constexpr unsigned kCap = 4;
+        InterleavedBackend backend(c.params, kCap);
+        backend.prepare();
+        const InterleavedSolver fresh(c.params, kCap);
+        test::expect_identical_interleaved(
+            backend.solve(c.rho, SpeedPolicy::kTwoSpeed, false).interleaved,
+            fresh.solve(c.rho));
+        for (unsigned m = 1; m <= kCap; ++m) {
+          SCOPED_TRACE("segments " + std::to_string(m));
+          test::expect_identical_interleaved(
+              backend.solve_segments(c.rho, m).interleaved,
+              fresh.solve_segments(c.rho, m));
+        }
+      },
+      options);
+}
+
+}  // namespace
+}  // namespace rexspeed::core

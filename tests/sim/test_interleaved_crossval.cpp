@@ -4,11 +4,11 @@
 // for every segment count 1..8 — with segments = 1 doubling as a
 // regression test of the paper's own (single-verification) model. All
 // runs are seeded; tolerances come from the Welford standard error of the
-// replication means (see interleaved_crossval.hpp).
+// replication means (see support/crossval.hpp).
 
 #include <gtest/gtest.h>
 
-#include "interleaved_crossval.hpp"
+#include "support/crossval.hpp"
 #include "rexspeed/core/exact_expectations.hpp"
 #include "rexspeed/engine/scenario.hpp"
 #include "rexspeed/sim/monte_carlo.hpp"

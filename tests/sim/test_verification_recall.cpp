@@ -3,8 +3,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "rexspeed/core/recall_solver.hpp"
 #include "rexspeed/sim/monte_carlo.hpp"
 #include "rexspeed/sim/simulator.hpp"
+#include "support/crossval.hpp"
 #include "test_util.hpp"
 
 namespace rexspeed::sim {
@@ -92,7 +94,44 @@ TEST(VerificationRecall, MonteCarloTracksCorruptionProbability) {
   const MonteCarloResult mc = run_monte_carlo(sim, policy, options);
   EXPECT_GT(mc.corrupted_runs.mean(), 0.5);  // misses are frequent here
   EXPECT_LE(mc.corrupted_runs.mean(), 1.0);
-  EXPECT_GT(mc.corrupted_checkpoints.mean(), 0.0);
+  // Corrupted checkpoints per pattern track the closed-form per-pattern
+  // corruption probability (core/recall_solver.hpp).
+  const double patterns = options.total_work / policy.pattern_work();
+  const double expected =
+      core::recall_corruption_probability(p, 0.5, 500.0, 0.5, 1.0);
+  EXPECT_NEAR(mc.corrupted_checkpoints.mean() / patterns, expected,
+              4.5 * mc.corrupted_checkpoints.standard_error() / patterns);
+}
+
+TEST(VerificationRecall, SimulatorMatchesRecallClosedForms) {
+  // The pinned regression of the partial-recall exact expectations (the
+  // acceptance grid r ∈ {0.5, 0.8, 0.95}): time, energy AND the committed-
+  // corruption probability must agree with the simulator within the shared
+  // Welford-stderr tolerance (support/crossval.hpp). The property suite
+  // (tests/properties/) runs the same fixture over random models.
+  const core::ModelParams p = noisy();
+  int case_index = 0;
+  for (const double recall : {0.5, 0.8, 0.95}) {
+    test::CrossValOptions options;
+    options.base_seed = 0x9ECA11 + 1000ull * static_cast<std::uint64_t>(
+                                                 ++case_index);
+    test::expect_simulator_matches_recall_model(p, recall, 500.0, 0.5, 1.0,
+                                                options);
+  }
+}
+
+TEST(VerificationRecall, FullRecallMatchesExactExpectations) {
+  // At r = 1 the recall expectations reduce algebraically to the exact
+  // pattern expectations — pin the reduction tightly (the same forms, so
+  // agreement is to rounding, not statistics).
+  const core::ModelParams p = noisy();
+  const double work = 750.0;
+  EXPECT_NEAR(core::expected_time_recall(p, 1.0, work, 0.5, 1.0),
+              core::expected_time(p, work, 0.5, 1.0), 1e-9);
+  EXPECT_NEAR(core::expected_energy_recall(p, 1.0, work, 0.5, 1.0),
+              core::expected_energy(p, work, 0.5, 1.0), 1e-6);
+  EXPECT_EQ(core::recall_corruption_probability(p, 1.0, work, 0.5, 1.0),
+            0.0);
 }
 
 TEST(VerificationRecall, TraceMarksMissedErrors) {

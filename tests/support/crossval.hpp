@@ -1,0 +1,165 @@
+#pragma once
+
+// Reusable simulator-vs-model cross-validation fixture (hoisted from the
+// old tests/sim/interleaved_crossval.hpp so every suite shares ONE copy of
+// the stderr-tolerance logic): Monte-Carlo-estimates the time and energy
+// overheads of an ExecutionPolicy run and asserts agreement with a closed
+// form within a seeded confidence interval. The tolerance is derived from
+// the replications' Welford standard error (stats/welford.hpp): `sigmas`
+// standard errors of the mean, plus an epsilon for the error-free case
+// where the variance collapses to zero.
+//
+// Wrappers cover the three model families with analytical expectations:
+// speed-pair patterns (exact_expectations), interleaved patterns
+// (core/interleaved) and partial-recall patterns (core/recall_solver).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "rexspeed/core/exact_expectations.hpp"
+#include "rexspeed/core/interleaved.hpp"
+#include "rexspeed/core/recall_solver.hpp"
+#include "rexspeed/sim/monte_carlo.hpp"
+#include "rexspeed/sim/simulator.hpp"
+
+namespace rexspeed::test {
+
+struct CrossValOptions {
+  std::size_t replications = 300;
+  /// Whole patterns simulated per replication (more patterns → tighter
+  /// per-replication estimate of the overheads).
+  double patterns_per_replication = 60.0;
+  /// Seeds are fixed so CI runs are reproducible; vary the seed per case,
+  /// never per run.
+  std::uint64_t base_seed = 0x1A7E;
+  /// Widened interval: with many (case × metric) combinations under test,
+  /// a plain 95% interval would flake. 4.5 standard errors keeps the
+  /// family-wise false-alarm rate negligible while still detecting real
+  /// model/simulator mismatches (a 1% bias in either is many standard
+  /// errors at these replication counts).
+  double sigmas = 4.5;
+  /// Relative slack on top of the stderr interval, covering the
+  /// unobserved-rare-branch regime: when an error/retry branch has
+  /// probability so small that NO replication samples it, the Welford
+  /// stderr collapses to zero while the model's expectation still carries
+  /// the branch's tiny contribution. The slack bounds that contribution
+  /// (total branch probability × per-event cost stays well under 1e-3 of
+  /// the overhead once the branch is too rare to sample); it is an order
+  /// of magnitude below the bias level the stderr interval detects, so the
+  /// fixture loses no real sensitivity.
+  double rel_slack = 1e-3;
+};
+
+/// THE shared stderr-tolerance core: runs `policy` under `simulator` and
+/// asserts the observed mean time/energy overheads match the expected
+/// per-work-unit overheads within `sigmas` Welford standard errors.
+/// Returns the Monte-Carlo result so callers can assert further statistics
+/// (e.g. the corrupted-run ratio of partial-recall cases).
+inline sim::MonteCarloResult expect_simulator_matches_model(
+    const sim::Simulator& simulator, const sim::ExecutionPolicy& policy,
+    double expected_time_overhead, double expected_energy_overhead,
+    const CrossValOptions& options = {}) {
+  sim::MonteCarloOptions mc_options;
+  mc_options.replications = options.replications;
+  mc_options.total_work =
+      options.patterns_per_replication * policy.pattern_work();
+  mc_options.base_seed = options.base_seed;
+  const sim::MonteCarloResult mc =
+      sim::run_monte_carlo(simulator, policy, mc_options);
+
+  EXPECT_NEAR(mc.time_overhead.mean(), expected_time_overhead,
+              options.sigmas * mc.time_overhead.standard_error() +
+                  options.rel_slack * std::abs(expected_time_overhead) +
+                  1e-12);
+  EXPECT_NEAR(mc.energy_overhead.mean(), expected_energy_overhead,
+              options.sigmas * mc.energy_overhead.standard_error() +
+                  options.rel_slack * std::abs(expected_energy_overhead) +
+                  1e-9);
+  return mc;
+}
+
+/// Speed-pair pattern (W, σ1, σ2) vs the exact expectations — the paper's
+/// own model family.
+inline sim::MonteCarloResult expect_simulator_matches_pair_model(
+    const core::ModelParams& params, double work, double sigma1,
+    double sigma2, const CrossValOptions& options = {}) {
+  SCOPED_TRACE("pair W=" + std::to_string(work));
+  const sim::Simulator simulator(params);
+  const sim::ExecutionPolicy policy =
+      sim::ExecutionPolicy::two_speed(work, sigma1, sigma2);
+  return expect_simulator_matches_model(
+      simulator, policy, core::time_overhead(params, work, sigma1, sigma2),
+      core::energy_overhead(params, work, sigma1, sigma2), options);
+}
+
+/// Segmented policy (work, segments, σ1, σ2) vs the interleaved closed
+/// forms — keeps the historical per-segment seed offset so the pinned
+/// interleaved cross-validation cases reproduce their pre-hoist runs.
+inline void expect_simulator_matches_interleaved_model(
+    const core::ModelParams& params, double work, unsigned segments,
+    double sigma1, double sigma2, const CrossValOptions& options = {}) {
+  SCOPED_TRACE("segments=" + std::to_string(segments));
+  const sim::Simulator simulator(params);
+  const sim::ExecutionPolicy policy =
+      sim::ExecutionPolicy::segmented(work, segments, sigma1, sigma2);
+  CrossValOptions seeded = options;
+  seeded.base_seed = options.base_seed + segments;
+  expect_simulator_matches_model(
+      simulator, policy,
+      core::expected_time_interleaved(params, work, segments, sigma1,
+                                      sigma2) /
+          work,
+      core::expected_energy_interleaved(params, work, segments, sigma1,
+                                        sigma2) /
+          work,
+      seeded);
+}
+
+/// Partial-recall pattern (W, σ1, σ2) at recall r vs the exact recall
+/// expectations, plus the committed-corruption probability against the
+/// simulator's corrupted-checkpoint ratio.
+inline void expect_simulator_matches_recall_model(
+    const core::ModelParams& params, double recall, double work,
+    double sigma1, double sigma2, const CrossValOptions& options = {}) {
+  SCOPED_TRACE("recall=" + std::to_string(recall));
+  sim::SimulatorOptions sim_options;
+  sim_options.verification_recall = recall;
+  const sim::Simulator simulator(params, sim::FaultInjector(params),
+                                 sim_options);
+  const sim::ExecutionPolicy policy =
+      sim::ExecutionPolicy::two_speed(work, sigma1, sigma2);
+  const sim::MonteCarloResult mc = expect_simulator_matches_model(
+      simulator, policy,
+      core::expected_time_recall(params, recall, work, sigma1, sigma2) /
+          work,
+      core::expected_energy_recall(params, recall, work, sigma1, sigma2) /
+          work,
+      options);
+
+  // Corrupted checkpoints per pattern estimate the per-pattern
+  // committed-corruption probability (every pattern commits exactly one
+  // checkpoint).
+  const double expected_corrupt = core::recall_corruption_probability(
+      params, recall, work, sigma1, sigma2);
+  const double patterns = options.patterns_per_replication;
+  // Corruption is a counting statistic: when the expected number of
+  // corrupt events over the whole run is O(1), every replication can
+  // legitimately observe zero and the empirical stderr collapses. The
+  // Poisson standard error of the rate estimate, √(p/N) over all N
+  // simulated patterns, is the correct floor for that regime (and is of
+  // the same order as the empirical stderr when events are plentiful).
+  const double total_patterns =
+      patterns * static_cast<double>(options.replications);
+  const double poisson_se =
+      std::sqrt(std::max(expected_corrupt, 0.0) / total_patterns);
+  EXPECT_NEAR(
+      mc.corrupted_checkpoints.mean() / patterns, expected_corrupt,
+      options.sigmas *
+              std::max(mc.corrupted_checkpoints.standard_error() / patterns,
+                       poisson_se) +
+          options.rel_slack * expected_corrupt + 1e-12);
+}
+
+}  // namespace rexspeed::test

@@ -1,0 +1,201 @@
+#pragma once
+
+// Small dependency-free property-testing harness in the RapidCheck-under-
+// gtest style (see ROADMAP open item 5): seeded generators with greedy
+// shrinking, driven by proptest::check() inside ordinary TEST bodies.
+//
+//   proptest::check("solver matches simulator", CaseGen{},
+//                   [](const Case& c) { EXPECT_NEAR(...); });
+//
+// check() runs the property body over `iterations` generated cases. Each
+// case has its own seed; the seeds chain deterministically (splitmix64),
+// so one integer pins the whole run. Failures inside the body (any gtest
+// assertion, or an exception) are captured silently during the search and
+// the shrink, then the minimal counterexample is re-run uncaptured so the
+// real assertion diagnostics point at it — prefixed by a single-line
+// `REXSPEED_PROP_SEED=<n> REXSPEED_PROP_ITERS=1` repro command.
+//
+// Environment overrides (absolute, applying to every property):
+//   REXSPEED_PROP_ITERS — iterations per property (CI runs 1000+)
+//   REXSPEED_PROP_SEED  — the first case seed of every property
+//
+// Generators are plain structs:
+//   using Value = ...;
+//   Value operator()(Rng&) const;                 // generate one case
+//   std::vector<Value> shrink(const Value&) const;  // simpler candidates
+//   std::string describe(const Value&) const;     // printed counterexample
+
+#include <gtest/gtest-spi.h>
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rexspeed/core/model_params.hpp"
+#include "rexspeed/engine/scenario.hpp"
+
+namespace rexspeed::proptest {
+
+/// Advances `state` and returns the next value of its splitmix64 stream —
+/// both the per-case random core and the case-to-case seed chain.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic per-case random source over one splitmix64 stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() { return splitmix64(state_); }
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Log-uniform in [lo, hi) — the natural draw for rates and costs that
+  /// span orders of magnitude. Requires 0 < lo < hi.
+  double log_uniform(double lo, double hi);
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+struct PropOptions {
+  /// Per-property default; REXSPEED_PROP_ITERS overrides it absolutely
+  /// (every property in this suite is cheap enough for >= 1000).
+  std::size_t iterations = 100;
+  /// First case seed; REXSPEED_PROP_SEED overrides it.
+  std::uint64_t seed = 0x5EEDF00Dull;
+  /// Cap on greedy shrink steps (each step re-runs the body once per
+  /// candidate until one fails).
+  std::size_t max_shrink_steps = 200;
+};
+
+/// REXSPEED_PROP_ITERS, or options.iterations when unset/malformed.
+[[nodiscard]] std::size_t resolved_iterations(const PropOptions& options);
+/// REXSPEED_PROP_SEED, or options.seed when unset/malformed.
+[[nodiscard]] std::uint64_t resolved_seed(const PropOptions& options);
+
+namespace detail {
+
+/// Runs `body` with every gtest failure intercepted (not reported) and
+/// exceptions swallowed; false when it failed. `failure`, when non-null,
+/// receives a summary of the first failure.
+bool run_captured(const std::function<void()>& body, std::string* failure);
+
+/// Prints the falsification banner: iteration, shrink count, the
+/// single-line seed repro and the counterexample description.
+void report_falsified(const char* property, std::size_t iteration,
+                      std::uint64_t case_seed, std::size_t shrink_steps,
+                      const std::string& description);
+
+}  // namespace detail
+
+/// Runs `body` over generated cases; on failure shrinks greedily, prints
+/// the seed repro line and re-runs the minimal counterexample uncaptured
+/// so its assertion diagnostics reach the test log.
+template <typename Gen, typename Body>
+void check(const char* property, const Gen& gen, const Body& body,
+           PropOptions options = {}) {
+  using Value = typename Gen::Value;
+  const std::size_t iterations = resolved_iterations(options);
+  std::uint64_t chain = resolved_seed(options);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const std::uint64_t case_seed = chain;
+    splitmix64(chain);  // pre-advance: the chain never reuses a case seed
+    Rng rng(case_seed);
+    Value value = gen(rng);
+    if (detail::run_captured([&] { body(value); }, nullptr)) continue;
+
+    // Greedy shrink: adopt the first failing candidate of each round,
+    // stop when a round produces none (or the step cap is hit). Shrinking
+    // is deterministic in `value`, so the seed repro re-finds the same
+    // minimal counterexample.
+    std::size_t steps = 0;
+    bool shrunk = true;
+    while (shrunk && steps < options.max_shrink_steps) {
+      shrunk = false;
+      for (const Value& candidate : gen.shrink(value)) {
+        if (!detail::run_captured([&] { body(candidate); }, nullptr)) {
+          value = candidate;
+          shrunk = true;
+          ++steps;
+          break;
+        }
+      }
+    }
+    detail::report_falsified(property, i, case_seed, steps,
+                             gen.describe(value));
+    body(value);  // uncaptured: the real diagnostics, on the minimal case
+    return;
+  }
+}
+
+// ---------------------------------------------------------------- domain
+// Generators for the library's core value types, biased toward the
+// boundary regions where the closed forms are most stressed: tight
+// feasibility windows (costly C/V), sigma1 ~ sigma2, rates near zero and
+// near the first-order validity edge.
+
+/// Random valid ModelParams.
+struct ModelParamsGen {
+  using Value = core::ModelParams;
+  /// False pins lambda_failstop to 0 (the interleaved backend's domain;
+  /// also the paper's §2–§4 setting).
+  bool allow_failstop = true;
+
+  core::ModelParams operator()(Rng& rng) const;
+  std::vector<core::ModelParams> shrink(const core::ModelParams&) const;
+  std::string describe(const core::ModelParams&) const;
+};
+
+/// Random performance bound, biased toward the tight end (ρ near ρ_min is
+/// where feasibility windows pinch and fallbacks engage).
+struct RhoGen {
+  using Value = double;
+  double min = 1.05;
+  double max = 24.0;
+
+  double operator()(Rng& rng) const;
+  std::vector<double> shrink(const double&) const;
+  std::string describe(const double&) const;
+};
+
+/// Random sorted ρ-grid (the batched-solve input shape).
+struct RhoGridGen {
+  using Value = std::vector<double>;
+  std::size_t min_points = 2;
+  std::size_t max_points = 48;
+
+  std::vector<double> operator()(Rng& rng) const;
+  std::vector<std::vector<double>> shrink(const std::vector<double>&) const;
+  std::string describe(const std::vector<double>&) const;
+};
+
+/// Random segment-search cap, biased low (m = 1 is the paper's pattern).
+struct SegmentCapGen {
+  using Value = unsigned;
+  unsigned max = 8;
+
+  unsigned operator()(Rng& rng) const;
+  std::vector<unsigned> shrink(const unsigned&) const;
+  std::string describe(const unsigned&) const;
+};
+
+/// Random valid ScenarioSpec across every registered mode (round-trip and
+/// registry properties). Always parseable by parse_scenario and writable
+/// by write_scenario.
+struct ScenarioSpecGen {
+  using Value = engine::ScenarioSpec;
+
+  engine::ScenarioSpec operator()(Rng& rng) const;
+  std::vector<engine::ScenarioSpec> shrink(
+      const engine::ScenarioSpec&) const;
+  std::string describe(const engine::ScenarioSpec&) const;
+};
+
+}  // namespace rexspeed::proptest

@@ -39,6 +39,7 @@
 #include "rexspeed/core/exact_expectations.hpp"
 #include "rexspeed/core/interleaved.hpp"
 #include "rexspeed/core/kernels/kernel_dispatch.hpp"
+#include "rexspeed/core/recall_solver.hpp"
 #include "rexspeed/engine/backend_registry.hpp"
 #include "rexspeed/engine/campaign_runner.hpp"
 #include "rexspeed/engine/scenario.hpp"
@@ -382,8 +383,9 @@ int cmd_simulate(const io::ArgParser& args) {
   const auto spec = scenario_from(args);
   auto params = spec.resolve_params();
   const double boost = args.get_double_or("boost", 50.0);
-  // A simulate-only spec (verification_recall < 1) still solves for its
-  // policy at full recall — the one shared stripping rule.
+  // A full-recall-mode spec with verification_recall < 1 still solves for
+  // its policy at full recall — the one shared stripping rule. mode=recall
+  // specs solve recall-aware instead.
   const core::Solution sol = engine::solve_for_simulation(spec);
   if (!sol.feasible()) {
     std::printf("infeasible bound\n");
@@ -420,10 +422,23 @@ int cmd_simulate(const io::ArgParser& args) {
                 seg.sigma1, seg.sigma2, seg.w_opt, seg.segments, boost);
   } else {
     policy = sim::ExecutionPolicy::from_solution(sol.pair);
-    t_model = core::time_overhead(params, sol.w_opt(), sol.sigma1(),
-                                  sol.sigma2());
-    e_model = core::energy_overhead(params, sol.w_opt(), sol.sigma1(),
+    if (spec.recall_mode) {
+      // Recall-exact expectations at the boosted rate: these account for
+      // missed detections, so the simulated columns should match them.
+      t_model = core::expected_time_recall(params, spec.verification_recall,
+                                           sol.w_opt(), sol.sigma1(),
+                                           sol.sigma2()) /
+                sol.w_opt();
+      e_model = core::expected_energy_recall(
+                    params, spec.verification_recall, sol.w_opt(),
+                    sol.sigma1(), sol.sigma2()) /
+                sol.w_opt();
+    } else {
+      t_model = core::time_overhead(params, sol.w_opt(), sol.sigma1(),
                                     sol.sigma2());
+      e_model = core::energy_overhead(params, sol.w_opt(), sol.sigma1(),
+                                      sol.sigma2());
+    }
     std::printf("policy (%.2f, %.2f), W = %.0f, lambda boosted x%g\n",
                 sol.sigma1(), sol.sigma2(), sol.w_opt(), boost);
   }
@@ -435,10 +450,20 @@ int cmd_simulate(const io::ArgParser& args) {
   std::printf("errors/run: %.1f silent detected, %.1f fail-stop\n",
               mc.silent_errors.mean(), mc.failstop_errors.mean());
   if (spec.verification_recall < 1.0) {
-    std::printf("verification recall %.2f: model overheads assume "
-                "guaranteed verifications; missed errors corrupt "
-                "checkpoints silently\n",
-                spec.verification_recall);
+    if (spec.recall_mode) {
+      std::printf("verification recall %.2f (mode=recall): model overheads "
+                  "are recall-exact; corruption probability %.3g per "
+                  "pattern\n",
+                  spec.verification_recall,
+                  core::recall_corruption_probability(
+                      params, spec.verification_recall, sol.w_opt(),
+                      sol.sigma1(), sol.sigma2()));
+    } else {
+      std::printf("verification recall %.2f: model overheads assume "
+                  "guaranteed verifications; missed errors corrupt "
+                  "checkpoints silently (mode=recall models them)\n",
+                  spec.verification_recall);
+    }
   }
   return 0;
 }
