@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "rexspeed/core/solver_backend.hpp"
 #include "rexspeed/engine/scenario.hpp"
 #include "rexspeed/engine/sweep_engine.hpp"
@@ -146,26 +147,18 @@ int main(int argc, char** argv) try {
   std::printf("max energy rel. difference cached vs rebuild: %.2e\n",
               max_rel_err);
 
-  std::ofstream json(json_path);
-  json << "{\n"
-       << "  \"bench\": \"bench_exact\",\n"
-       << "  \"points\": " << grid.size() << ",\n"
-       << "  \"speed_pairs\": "
-       << params.speeds.size() * params.speeds.size() << ",\n"
-       << "  \"per_point_rebuild_s\": " << naive_s << ",\n"
-       << "  \"cached_serial_s\": " << cached_s << ",\n"
-       << "  \"cached_parallel_s\": " << parallel_s << ",\n"
-       << "  \"threads\": " << engine.thread_count() << ",\n"
-       << "  \"cached_speedup\": " << naive_s / cached_s << ",\n"
-       << "  \"parallel_speedup\": " << naive_s / parallel_s << ",\n"
-       << "  \"speedup_target\": 5.0,\n"
-       << "  \"max_energy_rel_err\": " << max_rel_err << "\n"
-       << "}\n";
-  if (!json) {
-    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
-    return 1;
-  }
-  std::printf("wrote %s\n", json_path.c_str());
+  bench::BenchReport report("bench_exact", "Hera/XScale");
+  report.metric("points", grid.size())
+      .metric("speed_pairs", params.speeds.size() * params.speeds.size())
+      .metric("per_point_rebuild_s", naive_s)
+      .metric("cached_serial_s", cached_s)
+      .metric("cached_parallel_s", parallel_s)
+      .metric("threads", engine.thread_count())
+      .metric("cached_speedup", naive_s / cached_s)
+      .metric("parallel_speedup", naive_s / parallel_s)
+      .metric("speedup_target", 5.0)
+      .metric("max_energy_rel_err", max_rel_err);
+  if (!report.write(json_path)) return 1;
   if (naive_s / cached_s < 5.0) {
     std::fprintf(stderr,
                  "WARNING: cached speedup %.2fx below the 5x target\n",

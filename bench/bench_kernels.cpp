@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "rexspeed/core/kernels/kernel_dispatch.hpp"
 #include "rexspeed/core/solver_backend.hpp"
 #include "rexspeed/io/cli.hpp"
@@ -151,28 +152,20 @@ int main(int argc, char** argv) try {
   std::printf("  batched:   %9.5f s  %.2fx\n", exact_batched.seconds,
               exact_speedup);
 
-  std::ofstream json(json_path);
-  json << "{\n"
-       << "  \"bench\": \"bench_kernels\",\n"
-       << "  \"kernel_tier\": \"" << tier << "\",\n"
-       << "  \"points\": " << grid.size() << ",\n"
-       << "  \"speed_pairs\": "
-       << params.speeds.size() * params.speeds.size() << ",\n"
-       << "  \"pointwise_s\": " << pointwise.seconds << ",\n"
-       << "  \"batched_s\": " << batched.seconds << ",\n"
-       << "  \"batched_speedup\": " << speedup << ",\n"
-       << "  \"exact_points\": " << exact_grid.size() << ",\n"
-       << "  \"exact_pointwise_s\": " << exact_pointwise.seconds << ",\n"
-       << "  \"exact_batched_s\": " << exact_batched.seconds << ",\n"
-       << "  \"exact_batched_speedup\": " << exact_speedup << ",\n"
-       << "  \"speedup_target\": 2.0,\n"
-       << "  \"bit_identical\": true\n"
-       << "}\n";
-  if (!json) {
-    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
-    return 1;
-  }
-  std::printf("wrote %s\n", json_path.c_str());
+  bench::BenchReport report("bench_kernels", "Hera/XScale");
+  report.metric("kernel_tier", std::string(tier))
+      .metric("points", grid.size())
+      .metric("speed_pairs", params.speeds.size() * params.speeds.size())
+      .metric("pointwise_s", pointwise.seconds)
+      .metric("batched_s", batched.seconds)
+      .metric("batched_speedup", speedup)
+      .metric("exact_points", exact_grid.size())
+      .metric("exact_pointwise_s", exact_pointwise.seconds)
+      .metric("exact_batched_s", exact_batched.seconds)
+      .metric("exact_batched_speedup", exact_speedup)
+      .metric("speedup_target", 2.0)
+      .metric("bit_identical", true);
+  if (!report.write(json_path)) return 1;
   if (speedup < 2.0) {
     std::fprintf(stderr,
                  "WARNING: batched speedup %.2fx below the 2x target "

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "rexspeed/core/recall_solver.hpp"
 #include "rexspeed/core/solver_backend.hpp"
 #include "rexspeed/io/cli.hpp"
@@ -154,27 +155,19 @@ int main(int argc, char** argv) try {
               "(max time rel. err %.2e)\n",
               simulator_s, simulator_s / closed_form_s, max_rel_err);
 
-  std::ofstream json(json_path);
-  json << "{\n"
-       << "  \"bench\": \"bench_recall\",\n"
-       << "  \"points\": " << grid.size() << ",\n"
-       << "  \"recall\": " << recall << ",\n"
-       << "  \"feasible_points\": " << feasible.size() << ",\n"
-       << "  \"cached_sweep_s\": " << cached_s << ",\n"
-       << "  \"rebuild_sweep_s\": " << rebuild_s << ",\n"
-       << "  \"cached_speedup\": " << rebuild_s / cached_s << ",\n"
-       << "  \"closed_form_s\": " << closed_form_s << ",\n"
-       << "  \"simulator_s\": " << simulator_s << ",\n"
-       << "  \"simulator_replications\": " << replications << ",\n"
-       << "  \"closed_form_speedup\": " << simulator_s / closed_form_s
-       << ",\n"
-       << "  \"max_time_rel_err\": " << max_rel_err << "\n"
-       << "}\n";
-  if (!json) {
-    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
-    return 1;
-  }
-  std::printf("wrote %s\n", json_path.c_str());
+  bench::BenchReport report("bench_recall", "Hera/XScale");
+  report.metric("points", grid.size())
+      .metric("recall", recall)
+      .metric("feasible_points", feasible.size())
+      .metric("cached_sweep_s", cached_s)
+      .metric("rebuild_sweep_s", rebuild_s)
+      .metric("cached_speedup", rebuild_s / cached_s)
+      .metric("closed_form_s", closed_form_s)
+      .metric("simulator_s", simulator_s)
+      .metric("simulator_replications", replications)
+      .metric("closed_form_speedup", simulator_s / closed_form_s)
+      .metric("max_time_rel_err", max_rel_err);
+  if (!report.write(json_path)) return 1;
   return 0;
 } catch (const std::exception& error) {
   std::fprintf(stderr, "error: %s\n", error.what());

@@ -1,0 +1,173 @@
+// Persistent result cache: cold vs warm campaign wall-clock.
+//
+// A 16-scenario campaign (every paper configuration × {exact-opt ρ panel,
+// interleaved ρ panel} — the two heavy-prepare backends) runs twice
+// against the same --cache-dir: cold into a fresh store, then a warm
+// rerun that should be verified fetches end to end. The warm results are
+// compared BIT FOR BIT against the cold ones (serialized-blob equality;
+// the bench hard-fails on any difference or on a hitless warm run), and
+// the cold/warm wall-clocks land in BENCH_store.json with a 5× warm
+// speedup target.
+//
+// Usage: bench_store [--points=11] [--threads=0] [--cache-dir=DIR]
+//                    [--json=BENCH_store.json]
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "rexspeed/engine/campaign_runner.hpp"
+#include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/io/cli.hpp"
+#include "rexspeed/platform/configuration.hpp"
+#include "rexspeed/store/result_store.hpp"
+#include "rexspeed/store/serialize.hpp"
+
+using namespace rexspeed;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string sanitized(std::string name) {
+  for (char& c : name) {
+    if (c == '/') c = '_';
+  }
+  return name;
+}
+
+/// 8 configurations × 2 heavy-prepare backends = the 16-scenario campaign.
+std::vector<engine::ScenarioSpec> make_campaign(std::size_t points) {
+  std::vector<engine::ScenarioSpec> specs;
+  for (const auto& config : platform::all_configurations()) {
+    engine::ScenarioSpec exact;
+    exact.name = "store_exact_" + sanitized(config.name());
+    exact.configuration = config.name();
+    exact.points = points;
+    exact.mode = core::EvalMode::kExactOptimize;
+    exact.sweep_parameter = sweep::SweepParameter::kPerformanceBound;
+    specs.push_back(std::move(exact));
+
+    engine::ScenarioSpec interleaved;
+    interleaved.name = "store_interleaved_" + sanitized(config.name());
+    interleaved.configuration = config.name();
+    interleaved.points = points;
+    interleaved.max_segments = 4;
+    interleaved.sweep_parameter = sweep::SweepParameter::kPerformanceBound;
+    specs.push_back(std::move(interleaved));
+  }
+  return specs;
+}
+
+/// Every panel of every result, serialized — byte equality here IS the
+/// cached ≡ recomputed contract.
+std::string fingerprint(const std::vector<engine::ScenarioResult>& results) {
+  std::string bytes;
+  for (const auto& result : results) {
+    for (const auto& panel : result.panels) {
+      bytes += store::serialize_panel_series(panel);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const io::ArgParser args(argc, argv);
+  const auto points =
+      static_cast<std::size_t>(args.get_long_or("points", 11));
+  const auto threads = static_cast<unsigned>(args.get_long_or("threads", 0));
+  const std::string json_path = args.get_or("json", "BENCH_store.json");
+
+  namespace fs = std::filesystem;
+  const std::string cache_dir = args.get_or(
+      "cache-dir",
+      (fs::temp_directory_path() / "rexspeed-bench-store").string());
+  std::error_code ec;
+  fs::remove_all(cache_dir, ec);  // always start cold
+
+  const std::vector<engine::ScenarioSpec> specs = make_campaign(points);
+  std::printf("store bench: %zu scenarios x %zu points, cache at %s\n\n",
+              specs.size(), points, cache_dir.c_str());
+
+  // Cold: every panel computed, then stored.
+  double cold_s = 0.0;
+  std::string cold_bytes;
+  {
+    const auto cache = store::make_store(cache_dir);
+    const engine::CampaignRunner runner(
+        {.threads = threads, .store = cache.get()});
+    const auto start = Clock::now();
+    const auto results = runner.run(specs);
+    cold_s = seconds_since(start);
+    cold_bytes = fingerprint(results);
+  }
+
+  // Warm: a fresh store handle on the same directory — every panel should
+  // be a verified fetch, no prepare, no solves.
+  double warm_s = 0.0;
+  std::string warm_bytes;
+  std::uint64_t warm_hits = 0;
+  {
+    const auto cache = store::make_store(cache_dir);
+    const engine::CampaignRunner runner(
+        {.threads = threads, .store = cache.get()});
+    const auto start = Clock::now();
+    const auto results = runner.run(specs);
+    warm_s = seconds_since(start);
+    warm_bytes = fingerprint(results);
+    warm_hits = cache->stats().hits;
+  }
+
+  if (warm_bytes != cold_bytes) {
+    std::fprintf(stderr,
+                 "MISMATCH: warm campaign differs from cold (cached results "
+                 "must be bit-identical to recomputed ones)\n");
+    return 1;
+  }
+  if (warm_hits == 0) {
+    std::fprintf(stderr,
+                 "MISMATCH: warm campaign hit the cache 0 times (every "
+                 "panel should be a verified fetch)\n");
+    return 1;
+  }
+
+  const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+  std::printf("cold campaign: %8.3f s\n", cold_s);
+  std::printf("warm campaign: %8.3f s  (%.1fx, %llu hits)\n", warm_s,
+              speedup, static_cast<unsigned long long>(warm_hits));
+  std::printf("warm == cold bit for bit (%zu payload bytes)\n",
+              cold_bytes.size());
+
+  bench::BenchReport report("bench_store", "all");
+  report.metric("scenarios", specs.size())
+      .metric("points", points)
+      .metric("threads", threads)
+      .metric("cold_campaign_s", cold_s)
+      .metric("warm_campaign_s", warm_s)
+      .metric("warm_speedup", speedup)
+      .metric("speedup_target", 5.0)
+      .metric("warm_hits", static_cast<std::size_t>(warm_hits))
+      .metric("bit_identical", true)
+      .metric("payload_bytes", cold_bytes.size());
+  if (!report.write(json_path)) return 1;
+  if (speedup < 5.0) {
+    std::fprintf(stderr,
+                 "WARNING: warm speedup %.2fx below the 5x target\n",
+                 speedup);
+  }
+  fs::remove_all(cache_dir, ec);
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "error: %s\n", error.what());
+  return 1;
+}

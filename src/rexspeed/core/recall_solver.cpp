@@ -145,6 +145,7 @@ RecallBackend::RecallBackend(ModelParams params, double recall)
                 EvalMode::kFirstOrder) {
   params_.validate();
   capabilities_ = delegate_.capabilities();
+  capabilities_.version = "recall-1";
   capabilities_.validity =
       "first-order window over the recall-scaled rate r*lambda_s; "
       "overheads count detected-error re-executions only — "

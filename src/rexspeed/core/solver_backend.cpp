@@ -145,6 +145,7 @@ ClosedFormBackend::ClosedFormBackend(ModelParams params, EvalMode mode,
   capabilities_.shared_axes = {SweepAxis::kPerformanceBound};
   capabilities_.pair_table = true;
   capabilities_.min_rho_fallback = true;
+  capabilities_.version = "cf-1";
   switch (mode_) {
     case EvalMode::kFirstOrder:
       capabilities_.cost_weight = 1.0;
@@ -403,6 +404,7 @@ ExactOptBackend::ExactOptBackend(ModelParams params)
   // path and chain warm starts along the grid.
   capabilities_.batched_rho = true;
   capabilities_.warm_start_chain = true;
+  capabilities_.version = "exact-1";
   capabilities_.validity =
       "cached exact-model curve optima (warm-started from the first-order "
       "argmins where 5.2 holds); valid for any error rates";
@@ -531,6 +533,7 @@ InterleavedBackend::InterleavedBackend(ModelParams params,
   // ρ grids classify every cached (pair, m) slot in one kernel sweep.
   capabilities_.batched_rho = true;
   capabilities_.max_segments = max_segments_;
+  capabilities_.version = "il-1";
   capabilities_.validity =
       "exact segmented expectations (silent errors only, lambda_f = 0); "
       "m = 1 is the paper's own pattern";

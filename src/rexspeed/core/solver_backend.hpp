@@ -116,6 +116,11 @@ struct BackendCapabilities {
   /// Human-readable validity-window note (e.g. the §5.2 first-order
   /// window), surfaced by documentation and diagnostics.
   std::string validity;
+  /// Numeric-contract version tag, hashed into every persistent-cache key
+  /// (store::panel_key / solve_key). Bump it whenever the backend's output
+  /// bits can change — cached entries from older numerics then miss
+  /// instead of resurfacing stale results.
+  std::string version = "1";
 
   [[nodiscard]] bool supports(SweepAxis axis) const noexcept;
   [[nodiscard]] bool shares_panel_solver(SweepAxis axis) const noexcept;

@@ -5,10 +5,15 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "rexspeed/engine/backend_registry.hpp"
+#include "rexspeed/store/result_store.hpp"
+#include "rexspeed/store/serialize.hpp"
+#include "rexspeed/store/store_key.hpp"
 
 namespace rexspeed::engine {
 
@@ -18,16 +23,41 @@ namespace {
 /// validating) at plan time; its heavyweight cache — the dominant cost of
 /// the exact and interleaved modes — is paid by prepare() in the pooled
 /// phase-1.5 barrier alongside the panels'. Inputs are validated in
-/// phase 1, so the task cannot throw.
+/// phase 1, so the task cannot throw. `key`/`info` are set when a result
+/// cache is wired and this solve missed it (the put happens after the
+/// stream drains).
 struct SolvePlan {
   std::unique_ptr<core::SolverBackend> backend;
   ScenarioResult* result = nullptr;
+  std::string key;
+  store::EntryInfo info;
 };
+
+/// One planned (cache-missed) panel: where its finished series lands,
+/// plus the store bookkeeping for the put after the stream drains.
+struct PanelOutput {
+  sweep::PanelSweep* plan = nullptr;
+  sweep::PanelSeries* series = nullptr;
+  std::string key;       ///< content address ("" when uncached)
+  std::string cost_key;  ///< coarse measured-cost table key
+  store::EntryInfo info;
+  double seconds_per_point = 0.0;  ///< measured or persisted
+};
+
+store::EntryInfo provenance(const ScenarioSpec& spec,
+                            const core::SolverBackend& backend) {
+  store::EntryInfo info;
+  info.scenario = spec.name;
+  info.configuration = spec.configuration;
+  info.backend = backend.name();
+  info.backend_version = backend.capabilities().version;
+  return info;
+}
 
 }  // namespace
 
 CampaignRunner::CampaignRunner(CampaignRunnerOptions options)
-    : pool_(options.threads) {}
+    : pool_(options.threads), store_(options.store) {}
 
 std::vector<ScenarioResult> CampaignRunner::run(
     const std::vector<ScenarioSpec>& specs) const {
@@ -42,8 +72,10 @@ std::vector<ScenarioResult> CampaignRunner::run(
   std::vector<ScenarioResult> results(specs.size());
   std::deque<sweep::PanelSweep> panel_plans;
   std::deque<SolvePlan> solve_plans;
-  /// Where each finished panel is moved once the stream drains.
-  std::vector<std::pair<sweep::PanelSweep*, sweep::PanelSeries*>> outputs;
+  /// Where each finished panel is moved once the stream drains, plus its
+  /// store bookkeeping (cache-hit panels never appear here — their result
+  /// slot was filled at plan time).
+  std::vector<PanelOutput> outputs;
 
   for (std::size_t s = 0; s < specs.size(); ++s) {
     const ScenarioSpec& spec = specs[s];
@@ -60,8 +92,32 @@ std::vector<ScenarioResult> CampaignRunner::run(
     }
 
     if (spec.kind() == ScenarioKind::kSolve) {
-      solve_plans.push_back(
-          {make_backend(spec, std::move(base)), &result});
+      std::unique_ptr<core::SolverBackend> backend =
+          make_backend(spec, std::move(base));
+      std::string key;
+      if (store_ != nullptr && spec.cache) {
+        key = store::solve_key(*backend, spec.rho, spec.policy,
+                               spec.min_rho_fallback,
+                               spec.verification_recall);
+        if (const std::optional<std::string> blob = store_->fetch(key)) {
+          // Verified hit: the solve — and, decisively, the backend's
+          // heavyweight prepare — is skipped entirely. A blob of the
+          // wrong payload kind falls through to a recompute.
+          try {
+            result.solution = store::deserialize_solution(*blob);
+            continue;
+          } catch (const store::SerializeError&) {
+          }
+        }
+      }
+      SolvePlan& plan = solve_plans.emplace_back();
+      plan.result = &result;
+      plan.key = std::move(key);
+      plan.info = provenance(spec, *backend);
+      plan.info.kind = "solution";
+      plan.info.axis = "-";
+      plan.info.points = 1;
+      plan.backend = std::move(backend);
       continue;
     }
 
@@ -72,11 +128,44 @@ std::vector<ScenarioResult> CampaignRunner::run(
     const sweep::SweepOptions options = spec.sweep_options(nullptr);
     result.panels.resize(axes.size());
     for (std::size_t p = 0; p < axes.size(); ++p) {
+      std::unique_ptr<core::SolverBackend> backend = make_backend(spec, base);
+      std::vector<double> grid =
+          sweep::panel_grid(axes[p], spec.points, spec.segment_limit());
+      PanelOutput output;
+      if (store_ != nullptr && spec.cache) {
+        output.key = store::panel_key(*backend, spec.configuration, axes[p],
+                                      grid, options,
+                                      spec.verification_recall);
+        output.cost_key = store::cost_key(*backend, axes[p]);
+        if (const std::optional<std::string> blob =
+                store_->fetch(output.key)) {
+          // Verified hit — but only trusted when the payload's shape
+          // matches what this panel would compute (a mismatch means a
+          // collision or a store bug, and recompute is always safe).
+          bool usable = false;
+          try {
+            sweep::PanelSeries cached =
+                store::deserialize_panel_series(*blob);
+            if (cached.parameter == axes[p] &&
+                cached.points.size() == grid.size()) {
+              result.panels[p] = std::move(cached);
+              usable = true;
+            }
+          } catch (const store::SerializeError&) {
+          }
+          if (usable) continue;
+        }
+        output.info = provenance(spec, *backend);
+        output.info.kind = "panel";
+        output.info.axis = core::to_string(axes[p]);
+        output.info.points = grid.size();
+      }
       sweep::PanelSweep& plan = panel_plans.emplace_back(
-          make_backend(spec, base), spec.configuration, axes[p],
-          sweep::panel_grid(axes[p], spec.points, spec.segment_limit()),
+          std::move(backend), spec.configuration, axes[p], std::move(grid),
           options);
-      outputs.emplace_back(&plan, &result.panels[p]);
+      output.plan = &plan;
+      output.series = &result.panels[p];
+      outputs.push_back(std::move(output));
     }
   }
 
@@ -123,8 +212,28 @@ std::vector<ScenarioResult> CampaignRunner::run(
   };
   std::vector<TaskGroup> groups;
   groups.reserve(panel_plans.size() + solve_plans.size());
-  for (sweep::PanelSweep& plan : panel_plans) {
-    groups.push_back({plan.measure_cost(), &plan, nullptr});
+  for (PanelOutput& output : outputs) {
+    sweep::PanelSweep& plan = *output.plan;
+    // A persisted measured cost (recorded by an earlier run of this
+    // backend + axis on this machine) replaces the probe outright: the
+    // ordering is seeded before any timing runs, and the stream covers
+    // the whole grid (no probe point was consumed).
+    if (store_ != nullptr && !output.cost_key.empty()) {
+      if (const std::optional<double> persisted =
+              store_->lookup_cost(output.cost_key)) {
+        output.seconds_per_point = *persisted;
+        groups.push_back(
+            {*persisted * static_cast<double>(plan.point_count()), &plan,
+             nullptr});
+        continue;
+      }
+    }
+    const double remaining_cost = plan.measure_cost();
+    const auto remaining =
+        static_cast<double>(plan.point_count() - plan.first_pending());
+    output.seconds_per_point =
+        remaining > 0.0 ? remaining_cost / remaining : 0.0;
+    groups.push_back({remaining_cost, &plan, nullptr});
   }
   for (SolvePlan& plan : solve_plans) {
     // Solves are single post-prepare feasibility lookups — cheapest of
@@ -179,7 +288,31 @@ std::vector<ScenarioResult> CampaignRunner::run(
   sweep::parallel_for(pool(), tasks.size(),
                       [&tasks](std::size_t i) { tasks[i](); });
 
-  for (auto& [plan, series] : outputs) *series = plan->take();
+  for (PanelOutput& output : outputs) {
+    *output.series = output.plan->take();
+  }
+
+  // Store every missed result (healing any corrupt entry under the same
+  // key) and feed the measured costs back for the next run's ordering.
+  // Serial and after the barrier on purpose: puts touch the filesystem,
+  // not solver state, and a crashed put can only lose cache warmth.
+  if (store_ != nullptr) {
+    for (PanelOutput& output : outputs) {
+      if (output.key.empty()) continue;  // cache=0 scenario
+      output.info.cost_seconds_per_point = output.seconds_per_point;
+      store_->put(output.key, store::serialize_panel_series(*output.series),
+                  output.info);
+      if (output.seconds_per_point > 0.0) {
+        store_->record_cost(output.cost_key, output.seconds_per_point);
+      }
+    }
+    for (SolvePlan& plan : solve_plans) {
+      if (plan.key.empty()) continue;
+      store_->put(plan.key, store::serialize_solution(plan.result->solution),
+                  plan.info);
+    }
+    store_->flush();
+  }
   return results;
 }
 

@@ -6,6 +6,10 @@
 #include "rexspeed/sweep/panel_sweep.hpp"
 #include "rexspeed/sweep/thread_pool.hpp"
 
+namespace rexspeed::store {
+class ResultStore;
+}
+
 namespace rexspeed::engine {
 
 /// Everything one scenario of a campaign produced, dispatched on its kind:
@@ -25,6 +29,17 @@ struct ScenarioResult {
 struct CampaignRunnerOptions {
   /// Worker threads: 0 uses hardware concurrency, 1 forces a serial run.
   unsigned threads = 0;
+  /// Persistent result cache (store::make_store); null runs uncached.
+  /// Before a panel or solve is planned, its content address
+  /// (store::panel_key / solve_key) is looked up: a verified hit fills
+  /// the result slot outright — skipping planning, prepare and every
+  /// point task — and a corrupt or missing entry falls through to a
+  /// normal recompute whose result is stored (and heals the entry) once
+  /// the stream drains. Persisted per-point costs also seed the
+  /// longest-first ordering, replacing that panel's timed probe. Cached
+  /// results are bit-identical to recomputed ones by tested contract, so
+  /// a warm campaign equals a cold one byte for byte.
+  store::ResultStore* store = nullptr;
 };
 
 /// Batched multi-scenario driver: flattens every (scenario × panel ×
@@ -83,6 +98,7 @@ class CampaignRunner {
 
  private:
   mutable sweep::ThreadPool pool_;
+  store::ResultStore* store_ = nullptr;
 };
 
 }  // namespace rexspeed::engine

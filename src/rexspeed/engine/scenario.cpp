@@ -99,14 +99,28 @@ namespace {
 double parse_double(const std::string& key, const std::string& value) {
   std::size_t consumed = 0;
   double parsed = 0.0;
+  bool out_of_range = false;
   try {
     parsed = std::stod(value, &consumed);
+  } catch (const std::out_of_range&) {
+    // "lambda=1e999": syntactically a number, but not representable — a
+    // distinct diagnostic, not "malformed", and never an uncaught escape.
+    out_of_range = true;
+    consumed = value.size();
   } catch (const std::exception&) {
     consumed = 0;
   }
   if (consumed != value.size() || value.empty()) {
     throw std::invalid_argument("scenario: malformed number '" + value +
                                 "' for key '" + key + "'");
+  }
+  // stod happily parses "inf"/"nan" tokens, and 1e999 overflows; neither
+  // is a usable model quantity (points=inf would be cast to size_t — UB —
+  // and an inf rate silently deforms every expectation downstream).
+  if (out_of_range || !std::isfinite(parsed)) {
+    throw std::invalid_argument("scenario: number '" + value + "' for key '" +
+                                key + "' is out of range (values must be "
+                                "finite; inf/nan are rejected)");
   }
   return parsed;
 }
@@ -261,6 +275,15 @@ void apply_token(ScenarioSpec& spec, const std::string& key,
       // the opposite policy; reject like every other key does.
       throw std::invalid_argument("scenario: fallback must be 0, 1, true "
                                   "or false, got '" + value + "'");
+    }
+  } else if (key == "cache") {
+    if (value == "1" || value == "true") {
+      spec.cache = true;
+    } else if (value == "0" || value == "false") {
+      spec.cache = false;
+    } else {
+      throw std::invalid_argument("scenario: cache must be 0, 1, true or "
+                                  "false, got '" + value + "'");
     }
   } else {
     // Everything else must be a model-parameter override; validate the

@@ -86,6 +86,12 @@ struct ScenarioSpec {
   /// full recall, and engine::make_backend rejects partial-recall specs
   /// under them with an error pointing at mode=recall.
   double verification_recall = 1.0;
+  /// False opts this scenario out of the persistent result cache
+  /// (`cache=0`): its panels and solves are neither looked up nor stored,
+  /// whatever `--cache-dir` the run was given. The escape hatch for
+  /// workloads whose entries would only churn the store (one-off
+  /// parameter probes, deliberately cache-busting benches).
+  bool cache = true;
   /// Model-parameter overrides applied on top of the configuration.
   std::vector<ParamOverride> overrides;
 

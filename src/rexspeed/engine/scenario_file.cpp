@@ -89,6 +89,8 @@ std::string write_scenario(const ScenarioSpec& spec) {
   if (spec.max_segments > 0) {
     out << "max_segments=" << spec.max_segments << '\n';
   }
+  // Cache opt-out only when set: the default (cached) has no line.
+  if (!spec.cache) out << "cache=0\n";
   // Likewise simulate-only dimensions: the default (guaranteed
   // verifications) emits no line.
   if (spec.verification_recall != 1.0) {

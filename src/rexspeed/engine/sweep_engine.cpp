@@ -1,23 +1,64 @@
 #include "rexspeed/engine/sweep_engine.hpp"
 
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "rexspeed/engine/backend_registry.hpp"
 #include "rexspeed/engine/solver_context.hpp"
+#include "rexspeed/store/result_store.hpp"
+#include "rexspeed/store/serialize.hpp"
+#include "rexspeed/store/store_key.hpp"
 
 namespace rexspeed::engine {
 
 SweepEngine::SweepEngine(SweepEngineOptions options)
-    : pool_(options.threads) {}
+    : pool_(options.threads), store_(options.store) {}
 
 sweep::PanelSeries SweepEngine::run_axis(const ScenarioSpec& spec,
                                          sweep::SweepParameter axis) const {
   const sweep::SweepOptions options = spec.sweep_options(pool());
-  return sweep::run_panel_sweep(
-      make_backend(spec), spec.configuration, axis,
-      sweep::panel_grid(axis, options.points, spec.segment_limit()),
-      options);
+  std::unique_ptr<core::SolverBackend> backend = make_backend(spec);
+  std::vector<double> grid =
+      sweep::panel_grid(axis, options.points, spec.segment_limit());
+
+  if (store_ == nullptr || !spec.cache) {
+    return sweep::run_panel_sweep(std::move(backend), spec.configuration,
+                                  axis, std::move(grid), options);
+  }
+
+  // Same key derivation and hit discipline as CampaignRunner: a verified
+  // hit whose shape matches this panel replaces the whole sweep
+  // (decisively, the backend's heavyweight prepare); anything else — miss,
+  // corruption, wrong payload kind, shape mismatch — recomputes, and the
+  // recompute is stored under the same key.
+  const std::string key =
+      store::panel_key(*backend, spec.configuration, axis, grid, options,
+                       spec.verification_recall);
+  if (const std::optional<std::string> blob = store_->fetch(key)) {
+    try {
+      sweep::PanelSeries cached = store::deserialize_panel_series(*blob);
+      if (cached.parameter == axis && cached.points.size() == grid.size()) {
+        return cached;
+      }
+    } catch (const store::SerializeError&) {
+    }
+  }
+
+  store::EntryInfo info;
+  info.kind = "panel";
+  info.scenario = spec.name;
+  info.configuration = spec.configuration;
+  info.backend = backend->name();
+  info.backend_version = backend->capabilities().version;
+  info.axis = core::to_string(axis);
+  info.points = grid.size();
+  sweep::PanelSeries series = sweep::run_panel_sweep(
+      std::move(backend), spec.configuration, axis, std::move(grid), options);
+  store_->put(key, store::serialize_panel_series(series), std::move(info));
+  store_->flush();
+  return series;
 }
 
 std::vector<sweep::PanelSeries> SweepEngine::run_scenario(

@@ -9,12 +9,22 @@
 #include "rexspeed/sweep/section42_tables.hpp"
 #include "rexspeed/sweep/thread_pool.hpp"
 
+namespace rexspeed::store {
+class ResultStore;
+}
+
 namespace rexspeed::engine {
 
 struct SweepEngineOptions {
   /// Worker threads: 0 uses hardware concurrency (the default — sweeps
   /// are parallel unless asked otherwise), 1 forces a serial engine.
   unsigned threads = 0;
+  /// Persistent result cache (store::make_store); null runs uncached.
+  /// run_axis looks its panel up by content address before solving, and
+  /// stores a verified-miss recompute afterwards — the same key
+  /// derivation as CampaignRunner, so sweeps and campaigns share entries
+  /// (bit-identical results by tested contract).
+  store::ResultStore* store = nullptr;
 };
 
 /// The shared sweep driver: owns the thread pool, resolves scenarios
@@ -85,6 +95,7 @@ class SweepEngine {
 
  private:
   mutable sweep::ThreadPool pool_;
+  store::ResultStore* store_ = nullptr;
 };
 
 }  // namespace rexspeed::engine

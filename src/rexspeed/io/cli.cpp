@@ -1,5 +1,6 @@
 #include "rexspeed/io/cli.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string_view>
 
@@ -49,6 +50,14 @@ double ArgParser::get_double_or(const std::string& name,
     throw std::invalid_argument("--" + name + ": expected a number, got '" +
                                 *value + "'");
   }
+}
+
+std::vector<std::string> ArgParser::option_names() const {
+  std::vector<std::string> names;
+  names.reserve(options_.size());
+  for (const auto& [name, value] : options_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 long ArgParser::get_long_or(const std::string& name, long fallback) const {

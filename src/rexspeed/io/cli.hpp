@@ -24,6 +24,10 @@ class ArgParser {
   [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
     return positionals_;
   }
+  /// Every `--name[=value]` option seen, sorted — for allowlist-style
+  /// unknown-flag rejection (a typoed flag must fail the run, not be
+  /// silently ignored while the default value is used).
+  [[nodiscard]] std::vector<std::string> option_names() const;
 
  private:
   std::unordered_map<std::string, std::string> options_;

@@ -1,0 +1,227 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rexspeed::store {
+
+/// Thrown on store-level failures the caller must hear about: an
+/// unwritable cache directory, a malformed store spec, an unimplemented
+/// tier. Entry-level corruption is NOT a StoreError — fetch() reports it
+/// as a miss (counted in StoreStats::corrupt) so solvers transparently
+/// recompute.
+class StoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The narinfo-style sidecar persisted next to every entry: key
+/// provenance (what produced the bytes, human-readable) plus the measured
+/// panel cost. `rexspeed cache stats` aggregates these; the campaign
+/// scheduler seeds its longest-first ordering from the cost table (see
+/// record_cost — the sidecar carries the figure for provenance, the
+/// coarser-keyed cost table serves lookups, which by construction happen
+/// on entries that do not exist yet).
+struct EntryInfo {
+  std::string key;             ///< the entry's content-address (hex)
+  std::string kind;            ///< "panel" | "solution"
+  std::string scenario;        ///< producing scenario name ("" = ad hoc)
+  std::string configuration;   ///< "Platform/Processor" label
+  std::string backend;         ///< backend mode name
+  std::string backend_version; ///< capabilities().version at store time
+  std::string axis;            ///< swept axis name ("-" for solutions)
+  std::uint64_t points = 0;    ///< grid points (1 for solutions)
+  std::uint64_t data_size = 0; ///< payload bytes
+  std::string data_hash;       ///< "fnv1a64:<16 hex>" of the payload
+  double cost_seconds_per_point = 0.0;  ///< measured (0 = not measured)
+};
+
+/// Session + on-disk counters. hits/misses/stores/corrupt accumulate
+/// across every process that touched the store (the local tier persists
+/// them on flush); entries/bytes are the current on-disk footprint.
+struct StoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t corrupt = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// One result-cache tier. Keys are content addresses (store_key.hpp);
+/// values are serialized blobs (serialize.hpp). Implementations verify on
+/// fetch: a returned blob has already passed the checksum, and anything
+/// that fails it is reported as a miss with the corrupt counter bumped —
+/// the caller's only obligation is to recompute (and re-put, which heals
+/// the entry).
+class ResultStore {
+ public:
+  virtual ~ResultStore() = default;
+
+  [[nodiscard]] virtual const char* tier_name() const noexcept = 0;
+
+  /// Verified blob bytes, or nullopt on miss/corruption.
+  [[nodiscard]] virtual std::optional<std::string> fetch(
+      const std::string& key) = 0;
+
+  /// Persists a blob + its sidecar (overwrites — healing a corrupt entry
+  /// is a plain re-put). info.key/data_size/data_hash are filled in by
+  /// the store; callers provide provenance and cost.
+  virtual void put(const std::string& key, std::string_view blob,
+                   EntryInfo info) = 0;
+
+  /// Sidecar lookup without touching the payload.
+  [[nodiscard]] virtual std::optional<EntryInfo> info(
+      const std::string& key) = 0;
+
+  /// Measured-cost table: seconds per grid point under a coarse
+  /// (params, backend, axis) key — store_key.hpp's cost_key. Persisted
+  /// across runs; seeds the campaign's longest-first ordering before any
+  /// probe runs.
+  [[nodiscard]] virtual std::optional<double> lookup_cost(
+      const std::string& cost_key) = 0;
+  virtual void record_cost(const std::string& cost_key,
+                           double seconds_per_point) = 0;
+
+  /// Counters (persisted + this session) and the on-disk footprint.
+  [[nodiscard]] virtual StoreStats stats() = 0;
+
+  /// Checksums every entry; returns the keys that fail (corrupt payload,
+  /// bad header, sidecar/payload hash mismatch, orphan sidecar).
+  [[nodiscard]] virtual std::vector<std::string> verify() = 0;
+
+  /// Removes everything verify() flags; returns the removed count.
+  virtual std::size_t gc() = 0;
+
+  /// Persists the session counters (local tier); called by the
+  /// destructor, idempotent.
+  virtual void flush() {}
+};
+
+/// The no-op tier: every fetch misses, every put vanishes. Lets all call
+/// sites wire the store unconditionally — no cache configured means a
+/// NullResultStore, not a null pointer.
+class NullResultStore final : public ResultStore {
+ public:
+  [[nodiscard]] const char* tier_name() const noexcept override {
+    return "null";
+  }
+  [[nodiscard]] std::optional<std::string> fetch(const std::string&) override {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  void put(const std::string&, std::string_view, EntryInfo) override {}
+  [[nodiscard]] std::optional<EntryInfo> info(const std::string&) override {
+    return std::nullopt;
+  }
+  [[nodiscard]] std::optional<double> lookup_cost(
+      const std::string&) override {
+    return std::nullopt;
+  }
+  void record_cost(const std::string&, double) override {}
+  [[nodiscard]] StoreStats stats() override { return stats_; }
+  [[nodiscard]] std::vector<std::string> verify() override { return {}; }
+  std::size_t gc() override { return 0; }
+
+ private:
+  StoreStats stats_;
+};
+
+/// The local on-disk tier. Layout under the cache directory:
+///   entries/<key>.bin    one serialized blob per entry
+///   entries/<key>.info   narinfo-style sidecar ("Field: value" lines)
+///   costs/<hex16>.cost   measured seconds-per-point, one per cost key
+///   stats                cumulative hit/miss/store/corrupt counters
+/// Writes are atomic (temp file + rename) so a killed run never leaves a
+/// half-written entry behind; fetch verifies the blob checksum and the
+/// sidecar's payload hash before returning bytes.
+class LocalResultStore final : public ResultStore {
+ public:
+  /// Creates the directory tree; throws StoreError when that fails.
+  explicit LocalResultStore(std::filesystem::path root);
+  ~LocalResultStore() override;
+
+  LocalResultStore(const LocalResultStore&) = delete;
+  LocalResultStore& operator=(const LocalResultStore&) = delete;
+
+  [[nodiscard]] const char* tier_name() const noexcept override {
+    return "local";
+  }
+  [[nodiscard]] std::optional<std::string> fetch(
+      const std::string& key) override;
+  void put(const std::string& key, std::string_view blob,
+           EntryInfo info) override;
+  [[nodiscard]] std::optional<EntryInfo> info(const std::string& key) override;
+  [[nodiscard]] std::optional<double> lookup_cost(
+      const std::string& cost_key) override;
+  void record_cost(const std::string& cost_key,
+                   double seconds_per_point) override;
+  [[nodiscard]] StoreStats stats() override;
+  [[nodiscard]] std::vector<std::string> verify() override;
+  std::size_t gc() override;
+  void flush() override;
+
+  [[nodiscard]] const std::filesystem::path& root() const noexcept {
+    return root_;
+  }
+
+ private:
+  std::filesystem::path entry_path(const std::string& key) const;
+  std::filesystem::path info_path(const std::string& key) const;
+
+  std::filesystem::path root_;
+  StoreStats session_;  ///< this process's counters, merged on flush()
+};
+
+/// The remote tier: registered so `--cache-dir=https://...` resolves and
+/// fails with a clear "not implemented" instead of an unknown-spec error
+/// — the cross-host half of the sharding roadmap item plugs in here.
+/// Construction succeeds (the spec is valid); fetch/put throw StoreError.
+class RemoteResultStore final : public ResultStore {
+ public:
+  explicit RemoteResultStore(std::string url) : url_(std::move(url)) {}
+
+  [[nodiscard]] const char* tier_name() const noexcept override {
+    return "remote";
+  }
+  [[nodiscard]] std::optional<std::string> fetch(
+      const std::string& key) override;
+  void put(const std::string& key, std::string_view blob,
+           EntryInfo info) override;
+  [[nodiscard]] std::optional<EntryInfo> info(const std::string& key) override;
+  [[nodiscard]] std::optional<double> lookup_cost(
+      const std::string& cost_key) override;
+  void record_cost(const std::string& cost_key,
+                   double seconds_per_point) override;
+  [[nodiscard]] StoreStats stats() override;
+  [[nodiscard]] std::vector<std::string> verify() override;
+  std::size_t gc() override;
+
+  [[nodiscard]] const std::string& url() const noexcept { return url_; }
+
+ private:
+  [[noreturn]] void unimplemented(const char* operation) const;
+
+  std::string url_;
+};
+
+/// Store factory over the `--cache-dir=` / `cache=` vocabulary:
+///   "", "none", "null"          → NullResultStore
+///   "http://…", "https://…",
+///   "s3://…"                    → RemoteResultStore (stub)
+///   anything else, "file://…"   → LocalResultStore at that path
+[[nodiscard]] std::unique_ptr<ResultStore> make_store(const std::string& spec);
+
+/// Renders a sidecar / parses one back ("Field: value" lines, unknown
+/// fields ignored for forward compatibility). parse throws StoreError on
+/// a structurally unusable sidecar (no key line).
+[[nodiscard]] std::string format_entry_info(const EntryInfo& info);
+[[nodiscard]] EntryInfo parse_entry_info(const std::string& text);
+
+}  // namespace rexspeed::store

@@ -1,0 +1,198 @@
+// The campaign ↔ result-store contract: a warm campaign is bit-identical
+// to a cold one (verified fetches replace planning/prepare/solves), a
+// corrupt entry is a transparent recompute that heals the store, a
+// partially-warm cache never leaks between scenarios, cache=0 scenarios
+// are never stored, and cost seeding reorders work without changing any
+// byte of the results.
+
+#include "rexspeed/engine/campaign_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/store/result_store.hpp"
+#include "rexspeed/store/serialize.hpp"
+
+namespace rexspeed::engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A small mixed campaign: a first-order ρ panel, an exact-opt C panel
+/// (heavy prepare — the interesting cache-hit case), and a bound solve.
+std::vector<ScenarioSpec> make_campaign() {
+  std::vector<ScenarioSpec> specs;
+
+  ScenarioSpec rho_panel;
+  rho_panel.name = "cache_rho";
+  rho_panel.configuration = "Hera/XScale";
+  rho_panel.points = 9;
+  rho_panel.sweep_parameter = sweep::SweepParameter::kPerformanceBound;
+  specs.push_back(rho_panel);
+
+  ScenarioSpec exact_panel;
+  exact_panel.name = "cache_exact";
+  exact_panel.configuration = "Atlas/Crusoe";
+  exact_panel.points = 7;
+  exact_panel.mode = core::EvalMode::kExactOptimize;
+  exact_panel.sweep_parameter = sweep::SweepParameter::kCheckpointTime;
+  specs.push_back(exact_panel);
+
+  ScenarioSpec solve;
+  solve.name = "cache_solve";
+  solve.configuration = "Hera/XScale";
+  solve.rho = 3.0;
+  specs.push_back(solve);
+
+  return specs;
+}
+
+/// Serializes every result byte that the store contract promises to
+/// preserve — panel blobs and solve blobs alike.
+std::string fingerprint(const std::vector<ScenarioResult>& results) {
+  std::string bytes;
+  for (const auto& result : results) {
+    for (const auto& panel : result.panels) {
+      bytes += store::serialize_panel_series(panel);
+    }
+    if (result.spec.kind() == ScenarioKind::kSolve) {
+      bytes += store::serialize_solution(result.solution);
+    }
+  }
+  return bytes;
+}
+
+class CampaignCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("rexspeed_campaign_cache_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Runs the campaign against a fresh store handle on dir_; reports the
+  /// handle's session stats through `out_stats` when non-null.
+  std::vector<ScenarioResult> run_cached(
+      const std::vector<ScenarioSpec>& specs,
+      store::StoreStats* out_stats = nullptr) {
+    store::LocalResultStore cache(dir_);
+    const CampaignRunner runner({.threads = 1, .store = &cache});
+    auto results = runner.run(specs);
+    if (out_stats != nullptr) *out_stats = cache.stats();
+    return results;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CampaignCacheTest, WarmCampaignIsBitIdenticalToCold) {
+  const auto specs = make_campaign();
+
+  store::StoreStats cold_stats;
+  const std::string cold = fingerprint(run_cached(specs, &cold_stats));
+  EXPECT_EQ(cold_stats.hits, 0u);
+  EXPECT_GT(cold_stats.stores, 0u);
+
+  store::StoreStats warm_stats;
+  const std::string warm = fingerprint(run_cached(specs, &warm_stats));
+  EXPECT_EQ(warm, cold);
+  EXPECT_GT(warm_stats.hits, 0u);
+  // Cumulative counters: the warm run added hits but no new stores.
+  EXPECT_EQ(warm_stats.stores, cold_stats.stores);
+
+  // And both equal the uncached baseline — caching must be invisible.
+  const CampaignRunner uncached({.threads = 1});
+  EXPECT_EQ(fingerprint(uncached.run(specs)), cold);
+}
+
+TEST_F(CampaignCacheTest, CorruptEntryIsRecomputedAndHealed) {
+  const auto specs = make_campaign();
+  const std::string cold = fingerprint(run_cached(specs));
+
+  // Damage every stored entry: the warm run must detect each corruption,
+  // recompute, still produce identical bytes, and heal the store.
+  for (const auto& file : fs::directory_iterator(dir_ / "entries")) {
+    if (file.path().extension() != ".bin") continue;
+    std::fstream blob(file.path(),
+                      std::ios::in | std::ios::out | std::ios::binary);
+    blob.seekp(0);
+    blob.put('X');
+  }
+
+  store::StoreStats stats;
+  EXPECT_EQ(fingerprint(run_cached(specs, &stats)), cold);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_GT(stats.corrupt, 0u);
+
+  // Healed: the next run is all hits and verify is clean.
+  store::StoreStats healed;
+  EXPECT_EQ(fingerprint(run_cached(specs, &healed)), cold);
+  EXPECT_GT(healed.hits, 0u);
+  store::LocalResultStore cache(dir_);
+  EXPECT_TRUE(cache.verify().empty());
+}
+
+TEST_F(CampaignCacheTest, PartiallyWarmCampaignMatchesStandaloneRuns) {
+  const auto specs = make_campaign();
+
+  // Pre-cache only the first scenario, then run the whole campaign: the
+  // cached panel must not bleed into the cold ones, and every result must
+  // equal its standalone uncached run.
+  {
+    store::LocalResultStore cache(dir_);
+    const CampaignRunner seeder({.threads = 1, .store = &cache});
+    (void)seeder.run_one(specs.front());
+  }
+
+  store::StoreStats stats;
+  const auto mixed = run_cached(specs, &stats);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+
+  const CampaignRunner uncached({.threads = 1});
+  ASSERT_EQ(mixed.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(fingerprint({mixed[i]}),
+              fingerprint({uncached.run_one(specs[i])}))
+        << "scenario " << specs[i].name;
+  }
+}
+
+TEST_F(CampaignCacheTest, CacheOptOutScenarioIsNeverStored) {
+  auto specs = make_campaign();
+  for (auto& spec : specs) spec.cache = false;
+
+  store::StoreStats stats;
+  const std::string first = fingerprint(run_cached(specs, &stats));
+  EXPECT_EQ(stats.stores, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+
+  // Opting out changes persistence, never results.
+  const CampaignRunner uncached({.threads = 1});
+  EXPECT_EQ(fingerprint(uncached.run(specs)), first);
+}
+
+TEST_F(CampaignCacheTest, CostSeedingReordersWithoutChangingResults) {
+  const auto specs = make_campaign();
+  const std::string cold = fingerprint(run_cached(specs));
+
+  // Keep the measured cost table but drop every entry: the rerun seeds
+  // its longest-first ordering from persisted costs (no timed probes)
+  // while recomputing everything — results must not move by a byte.
+  fs::remove_all(dir_ / "entries");
+  store::StoreStats stats;
+  EXPECT_EQ(fingerprint(run_cached(specs, &stats)), cold);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+}  // namespace
+}  // namespace rexspeed::engine

@@ -252,6 +252,79 @@ TEST_F(ScenarioFileTest, MalformedFilesCiteFileAndLine) {
                std::invalid_argument);
 }
 
+TEST_F(ScenarioFileTest, NonFiniteNumbersAreRejectedWithFileAndLine) {
+  const auto message_of = [](const std::string& path) {
+    try {
+      (void)load_scenario_file(path);
+    } catch (const std::invalid_argument& error) {
+      return std::string(error.what());
+    }
+    return std::string();
+  };
+
+  // std::stod overflows 1e999 to +inf and throws std::out_of_range —
+  // which used to escape as a bare "stod" message with no file context.
+  const std::string overflow = write_file(
+      "overflow.scenario", "config=Hera/XScale\nlambda=1e999\n");
+  std::string message = message_of(overflow);
+  EXPECT_NE(message.find(overflow + ":2"), std::string::npos) << message;
+  EXPECT_NE(message.find("1e999"), std::string::npos) << message;
+
+  // "inf" and "nan" PARSE successfully under std::stod; a non-finite
+  // model parameter (or grid size) must be rejected, not propagated into
+  // the solver.
+  const std::string inf_value =
+      write_file("inf.scenario", "config=Hera/XScale\nrho=inf\n");
+  message = message_of(inf_value);
+  EXPECT_NE(message.find(inf_value + ":2"), std::string::npos) << message;
+  EXPECT_NE(message.find("inf"), std::string::npos) << message;
+
+  const std::string nan_value =
+      write_file("nan.scenario", "config=Hera/XScale\nV=nan\n");
+  message = message_of(nan_value);
+  EXPECT_NE(message.find(nan_value + ":2"), std::string::npos) << message;
+
+  const std::string neg_inf =
+      write_file("neg_inf.scenario", "config=Hera/XScale\nlambda=-inf\n");
+  message = message_of(neg_inf);
+  EXPECT_NE(message.find(neg_inf + ":2"), std::string::npos) << message;
+
+  // points=inf previously survived stod and hit an undefined
+  // double→size_t cast downstream.
+  const std::string inf_points =
+      write_file("inf_points.scenario", "config=Hera/XScale\npoints=inf\n");
+  message = message_of(inf_points);
+  EXPECT_NE(message.find(inf_points + ":2"), std::string::npos) << message;
+
+  // Trailing junk after a valid prefix is malformed, not truncated.
+  const std::string trailing =
+      write_file("trailing.scenario", "config=Hera/XScale\nrho=3.0x\n");
+  message = message_of(trailing);
+  EXPECT_NE(message.find(trailing + ":2"), std::string::npos) << message;
+}
+
+TEST_F(ScenarioFileTest, CacheOptOutRoundTripsThroughFiles) {
+  const std::string path = write_file(
+      "uncached.scenario", "config=Hera/XScale\nparam=rho\ncache=0\n");
+  const ScenarioSpec spec = load_scenario_file(path);
+  EXPECT_FALSE(spec.cache);
+
+  // write→load is the identity; the default (cache=1) emits no line so
+  // pre-existing files stay byte-identical.
+  const std::string saved = (dir_ / "resaved.scenario").string();
+  save_scenario_file(spec, saved);
+  EXPECT_FALSE(load_scenario_file(saved).cache);
+  EXPECT_NE(write_scenario(spec).find("cache=0"), std::string::npos);
+
+  ScenarioSpec cached = spec;
+  cached.cache = true;
+  EXPECT_EQ(write_scenario(cached).find("cache="), std::string::npos);
+
+  const std::string bad = write_file(
+      "bad_cache.scenario", "config=Hera/XScale\ncache=sometimes\n");
+  EXPECT_THROW((void)load_scenario_file(bad), std::invalid_argument);
+}
+
 TEST_F(ScenarioFileTest, InterleavedKeysRoundTripThroughFilesAndAreValidated) {
   // Happy path: both interleaved panel axes load from a file and survive
   // save_scenario_file → load_scenario_file.

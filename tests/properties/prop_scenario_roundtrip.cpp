@@ -28,6 +28,7 @@ void expect_specs_equivalent(const ScenarioSpec& a, const ScenarioSpec& b) {
   EXPECT_EQ(a.max_segments, b.max_segments);
   EXPECT_EQ(a.recall_mode, b.recall_mode);
   EXPECT_EQ(a.verification_recall, b.verification_recall);
+  EXPECT_EQ(a.cache, b.cache);
   // Overrides may be re-ordered or merged by a serializer in principle;
   // what must survive is the resolved model.
   const core::ModelParams pa = a.resolve_params();

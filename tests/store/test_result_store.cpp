@@ -1,0 +1,394 @@
+// The persistent result store: hashing primitives against published test
+// vectors, content-address derivation (stability + sensitivity), the
+// local tier's disk contract (roundtrip, sidecars, verify/gc, persisted
+// counters, cost table), and the null/remote tiers.
+
+#include "rexspeed/store/result_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "rexspeed/engine/backend_registry.hpp"
+#include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/store/hash.hpp"
+#include "rexspeed/store/serialize.hpp"
+#include "rexspeed/store/store_key.hpp"
+
+namespace rexspeed::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ResultStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("rexspeed_store_" + std::string(::testing::UnitTest::GetInstance()
+                                                ->current_test_info()
+                                                ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+// ---- hashing primitives --------------------------------------------------
+
+TEST(StoreHash, Sha256MatchesFipsTestVectors) {
+  // FIPS 180-4 appendix examples.
+  EXPECT_EQ(to_hex(Sha256::of("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(to_hex(Sha256::of("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(to_hex(Sha256::of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(StoreHash, Sha256IncrementalMatchesOneShot) {
+  Sha256 incremental;
+  incremental.update("abcdbcdecdefdefgefghfghighij", 28);
+  incremental.update("hijkijkljklmklmnlmnomnopnopq", 28);
+  EXPECT_EQ(to_hex(incremental.finish()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(StoreHash, Fnv1a64MatchesReferenceValues) {
+  EXPECT_EQ(fnv1a64(std::string_view{}), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(to_hex(std::uint64_t{0xaf63dc4c8601ec8cull}),
+            "af63dc4c8601ec8c");
+}
+
+// ---- key derivation ------------------------------------------------------
+
+TEST(StoreKey, PanelKeyIsStableAndIgnoresExecutionKnobs) {
+  engine::ScenarioSpec spec;
+  spec.configuration = "Hera/XScale";
+  const auto backend = engine::make_backend(spec);
+  const std::vector<double> grid = {1.5, 2.0, 3.0};
+  sweep::SweepOptions options;
+
+  const std::string key =
+      panel_key(*backend, spec.configuration,
+                sweep::SweepParameter::kPerformanceBound, grid, options);
+  EXPECT_EQ(key.size(), 64u);  // SHA-256 hex
+  EXPECT_EQ(key,
+            panel_key(*backend, spec.configuration,
+                      sweep::SweepParameter::kPerformanceBound, grid,
+                      options));
+
+  // Bit-identity-contracted execution knobs (batched vs pointwise) must
+  // NOT split the address space: both paths produce the same bytes.
+  sweep::SweepOptions batched = options;
+  batched.batch = sweep::BatchMode::kOn;
+  EXPECT_EQ(key,
+            panel_key(*backend, spec.configuration,
+                      sweep::SweepParameter::kPerformanceBound, grid,
+                      batched));
+
+  // Everything that can change the output bits must change the key.
+  sweep::SweepOptions other_rho = options;
+  other_rho.rho = options.rho + 1.0;
+  EXPECT_NE(key,
+            panel_key(*backend, spec.configuration,
+                      sweep::SweepParameter::kPerformanceBound, grid,
+                      other_rho));
+  sweep::SweepOptions no_chain = options;
+  no_chain.warm_start_chain = false;
+  EXPECT_NE(key,
+            panel_key(*backend, spec.configuration,
+                      sweep::SweepParameter::kPerformanceBound, grid,
+                      no_chain));
+  EXPECT_NE(key, panel_key(*backend, spec.configuration,
+                           sweep::SweepParameter::kCheckpointTime, grid,
+                           options));
+  const std::vector<double> other_grid = {1.5, 2.0, 3.5};
+  EXPECT_NE(key,
+            panel_key(*backend, spec.configuration,
+                      sweep::SweepParameter::kPerformanceBound, other_grid,
+                      options));
+
+  engine::ScenarioSpec exact = spec;
+  exact.mode = core::EvalMode::kExactOptimize;
+  const auto exact_backend = engine::make_backend(exact);
+  EXPECT_NE(key,
+            panel_key(*exact_backend, spec.configuration,
+                      sweep::SweepParameter::kPerformanceBound, grid,
+                      options));
+}
+
+TEST(StoreKey, SolveKeyDependsOnPolicyBoundAndFallback) {
+  engine::ScenarioSpec spec;
+  spec.configuration = "Hera/XScale";
+  const auto backend = engine::make_backend(spec);
+  const std::string key = solve_key(*backend, 3.0,
+                                    core::SpeedPolicy::kTwoSpeed, true);
+  EXPECT_EQ(key, solve_key(*backend, 3.0, core::SpeedPolicy::kTwoSpeed,
+                           true));
+  EXPECT_NE(key, solve_key(*backend, 3.5, core::SpeedPolicy::kTwoSpeed,
+                           true));
+  EXPECT_NE(key, solve_key(*backend, 3.0, core::SpeedPolicy::kSingleSpeed,
+                           true));
+  EXPECT_NE(key, solve_key(*backend, 3.0, core::SpeedPolicy::kTwoSpeed,
+                           false));
+}
+
+TEST(StoreKey, CostKeyIsCoarse) {
+  engine::ScenarioSpec spec;
+  spec.configuration = "Hera/XScale";
+  const auto backend = engine::make_backend(spec);
+  const std::string key =
+      cost_key(*backend, sweep::SweepParameter::kPerformanceBound);
+  EXPECT_EQ(key.size(), 16u);  // FNV-1a 64 hex
+  EXPECT_EQ(key, cost_key(*backend, sweep::SweepParameter::kPerformanceBound));
+  EXPECT_NE(key, cost_key(*backend, sweep::SweepParameter::kCheckpointTime));
+}
+
+// ---- serialization -------------------------------------------------------
+
+TEST(StoreSerialize, SolutionRoundTripsBitForBit) {
+  core::Solution solution;
+  solution.kind = core::SolutionKind::kPair;
+  solution.pair.sigma1 = 0.4;
+  solution.pair.sigma2 = 0.81;
+  solution.pair.sigma1_index = 1;
+  solution.pair.sigma2_index = 3;
+  solution.pair.feasible = true;
+  solution.pair.first_order_valid = false;
+  solution.pair.rho_min = 1.25;
+  solution.pair.w_opt = 2764.25;
+  solution.pair.w_energy = std::numeric_limits<double>::infinity();
+  solution.pair.w_min = 12.5;
+  solution.pair.w_max = std::numeric_limits<double>::quiet_NaN();
+  solution.pair.energy_overhead = 416.8125;
+  solution.pair.time_overhead = 2.6837;
+  solution.used_fallback = true;
+
+  const std::string blob = serialize_solution(solution);
+  EXPECT_EQ(payload_kind(blob), PayloadKind::kSolution);
+  // Serialize(deserialize(x)) is a fixed point — including non-finite
+  // doubles, whose bit patterns must survive the trip untouched.
+  EXPECT_EQ(serialize_solution(deserialize_solution(blob)), blob);
+}
+
+TEST(StoreSerialize, CorruptedBytesAreDetected) {
+  const sweep::PanelSeries series = [] {
+    sweep::PanelSeries s;
+    s.configuration = "Hera/XScale";
+    s.rho = 3.0;
+    s.points.resize(2);
+    s.points[0].x = 1.5;
+    s.points[1].x = 2.5;
+    return s;
+  }();
+  const std::string blob = serialize_panel_series(series);
+  EXPECT_EQ(serialize_panel_series(deserialize_panel_series(blob)), blob);
+
+  std::string corrupt = blob;
+  corrupt[corrupt.size() / 2] ^= 0x01;  // one flipped bit anywhere
+  EXPECT_THROW((void)deserialize_panel_series(corrupt), SerializeError);
+  EXPECT_THROW((void)deserialize_panel_series(blob.substr(0, 10)),
+               SerializeError);
+  EXPECT_THROW((void)deserialize_solution(blob), SerializeError);  // kind
+}
+
+// ---- local tier ----------------------------------------------------------
+
+TEST_F(ResultStoreTest, LocalPutFetchRoundTripsWithSidecar) {
+  LocalResultStore store(dir_);
+  const std::string key(64, 'a');
+  const std::string blob = serialize_solution(core::Solution{});
+
+  EXPECT_FALSE(store.fetch(key).has_value());  // miss first
+
+  EntryInfo info;
+  info.kind = "solution";
+  info.scenario = "fig02";
+  info.configuration = "Hera/XScale";
+  info.backend = "closed-form";
+  info.backend_version = "cf-1";
+  info.axis = "-";
+  info.points = 1;
+  store.put(key, blob, info);
+
+  const auto fetched = store.fetch(key);
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(*fetched, blob);
+
+  const auto sidecar = store.info(key);
+  ASSERT_TRUE(sidecar.has_value());
+  EXPECT_EQ(sidecar->key, key);
+  EXPECT_EQ(sidecar->kind, "solution");
+  EXPECT_EQ(sidecar->scenario, "fig02");
+  EXPECT_EQ(sidecar->backend_version, "cf-1");
+  EXPECT_EQ(sidecar->data_size, blob.size());
+  EXPECT_EQ(sidecar->data_hash,
+            "fnv1a64:" + to_hex(fnv1a64(blob.data(), blob.size())));
+
+  const StoreStats stats = store.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_TRUE(store.verify().empty());
+}
+
+TEST_F(ResultStoreTest, CountersPersistAcrossInstances) {
+  const std::string key(64, 'b');
+  {
+    LocalResultStore store(dir_);
+    (void)store.fetch(key);  // miss
+    store.put(key, serialize_solution(core::Solution{}), EntryInfo{});
+    (void)store.fetch(key);  // hit
+  }  // destructor flushes
+  LocalResultStore reopened(dir_);
+  const StoreStats stats = reopened.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST_F(ResultStoreTest, CorruptEntriesAreMissesUntilHealed) {
+  LocalResultStore store(dir_);
+  const std::string key(64, 'c');
+  const std::string blob = serialize_solution(core::Solution{});
+  store.put(key, blob, EntryInfo{});
+
+  // Flip one payload byte on disk: fetch must report a miss (corrupt
+  // counter bumped), verify must flag the key, and the entry must stay on
+  // disk for inspection until gc or a healing re-put.
+  const fs::path entry = dir_ / "entries" / (key + ".bin");
+  {
+    std::fstream file(entry, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+    file.seekp(9);
+    file.put('\xff');
+  }
+  EXPECT_FALSE(store.fetch(key).has_value());
+  EXPECT_EQ(store.stats().corrupt, 1u);
+  const std::vector<std::string> bad = store.verify();
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad.front(), key);
+
+  store.put(key, blob, EntryInfo{});  // healing re-put
+  EXPECT_TRUE(store.fetch(key).has_value());
+  EXPECT_TRUE(store.verify().empty());
+}
+
+TEST_F(ResultStoreTest, GcRemovesWhatVerifyFlags) {
+  LocalResultStore store(dir_);
+  const std::string good(64, 'd');
+  const std::string bad(64, 'e');
+  store.put(good, serialize_solution(core::Solution{}), EntryInfo{});
+  store.put(bad, serialize_solution(core::Solution{}), EntryInfo{});
+  std::ofstream(dir_ / "entries" / (bad + ".bin"), std::ios::trunc)
+      << "garbage";
+  // An orphan sidecar (no payload) is damage too.
+  std::ofstream(dir_ / "entries" / (std::string(64, 'f') + ".info"))
+      << "Key: " << std::string(64, 'f') << "\n";
+
+  EXPECT_EQ(store.verify().size(), 2u);
+  EXPECT_EQ(store.gc(), 2u);
+  EXPECT_TRUE(store.verify().empty());
+  EXPECT_TRUE(store.fetch(good).has_value());
+  EXPECT_FALSE(store.fetch(bad).has_value());
+}
+
+TEST_F(ResultStoreTest, CostTableRoundTrips) {
+  LocalResultStore store(dir_);
+  const std::string key = "0123456789abcdef";
+  EXPECT_FALSE(store.lookup_cost(key).has_value());
+  store.record_cost(key, 1.25e-4);
+  const auto cost = store.lookup_cost(key);
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_EQ(*cost, 1.25e-4);
+  // Persisted: a fresh instance sees it.
+  LocalResultStore reopened(dir_);
+  EXPECT_TRUE(reopened.lookup_cost(key).has_value());
+}
+
+TEST_F(ResultStoreTest, InvalidKeysAreRejectedNotPathTraversed) {
+  // Keys are lower-case hex by construction; anything else is a caller
+  // bug (and a path-traversal hazard), reported loudly — not a miss.
+  LocalResultStore store(dir_);
+  EXPECT_THROW((void)store.fetch("../../etc/passwd"), StoreError);
+  EXPECT_THROW((void)store.fetch("UPPER"), StoreError);
+  EXPECT_THROW((void)store.fetch(""), StoreError);
+}
+
+// ---- sidecar format ------------------------------------------------------
+
+TEST(StoreSidecar, FormatParseRoundTrips) {
+  EntryInfo info;
+  info.key = std::string(64, 'a');
+  info.kind = "panel";
+  info.scenario = "fig05";
+  info.configuration = "Atlas/Crusoe";
+  info.backend = "exact-opt";
+  info.backend_version = "exact-1";
+  info.axis = "rho";
+  info.points = 51;
+  info.data_size = 4096;
+  info.data_hash = "fnv1a64:0123456789abcdef";
+  info.cost_seconds_per_point = 3.5e-3;
+
+  const EntryInfo parsed = parse_entry_info(format_entry_info(info));
+  EXPECT_EQ(parsed.key, info.key);
+  EXPECT_EQ(parsed.kind, info.kind);
+  EXPECT_EQ(parsed.scenario, info.scenario);
+  EXPECT_EQ(parsed.configuration, info.configuration);
+  EXPECT_EQ(parsed.backend, info.backend);
+  EXPECT_EQ(parsed.backend_version, info.backend_version);
+  EXPECT_EQ(parsed.axis, info.axis);
+  EXPECT_EQ(parsed.points, info.points);
+  EXPECT_EQ(parsed.data_size, info.data_size);
+  EXPECT_EQ(parsed.data_hash, info.data_hash);
+  EXPECT_EQ(parsed.cost_seconds_per_point, info.cost_seconds_per_point);
+
+  // Unknown fields are skipped (forward compatibility); a sidecar with no
+  // usable Key line is structurally broken.
+  EXPECT_EQ(parse_entry_info("Key: abc\nFutureField: 7\n").key, "abc");
+  EXPECT_THROW((void)parse_entry_info("Kind: panel\n"), StoreError);
+}
+
+// ---- null + remote tiers and the factory ---------------------------------
+
+TEST(StoreFactory, DispatchesOnSpecVocabulary) {
+  EXPECT_STREQ(make_store("")->tier_name(), "null");
+  EXPECT_STREQ(make_store("none")->tier_name(), "null");
+  EXPECT_STREQ(make_store("https://cache.example.org")->tier_name(),
+               "remote");
+  EXPECT_STREQ(make_store("s3://bucket/prefix")->tier_name(), "remote");
+  const fs::path dir =
+      fs::temp_directory_path() / "rexspeed_store_factory_local";
+  fs::remove_all(dir);
+  EXPECT_STREQ(make_store("file://" + dir.string())->tier_name(), "local");
+  fs::remove_all(dir);
+}
+
+TEST(StoreTiers, NullStoreMissesAndSwallowsPuts) {
+  NullResultStore store;
+  EXPECT_FALSE(store.fetch("abc").has_value());
+  store.put("abc", "bytes", EntryInfo{});
+  EXPECT_FALSE(store.fetch("abc").has_value());
+  EXPECT_EQ(store.stats().misses, 2u);
+  EXPECT_EQ(store.stats().stores, 0u);
+}
+
+TEST(StoreTiers, RemoteStoreConstructsButThrowsOnUse) {
+  const auto store = make_store("https://cache.example.org/rexspeed");
+  EXPECT_THROW((void)store->fetch(std::string(64, 'a')), StoreError);
+  EXPECT_THROW(store->put(std::string(64, 'a'), "x", EntryInfo{}),
+               StoreError);
+  EXPECT_THROW((void)store->stats(), StoreError);
+}
+
+}  // namespace
+}  // namespace rexspeed::store

@@ -370,6 +370,7 @@ engine::ScenarioSpec ScenarioSpecGen::operator()(Rng& rng) const {
   if (rng.chance(0.2)) {
     spec.overrides.push_back({"V", rng.log_uniform(0.1, 30.0)});
   }
+  spec.cache = rng.chance(0.8);  // cache=0 opt-outs round-trip too
   spec.validate();
   return spec;
 }
@@ -397,6 +398,9 @@ std::vector<engine::ScenarioSpec> ScenarioSpecGen::shrink(
   }
   if (value.recall_mode && value.verification_recall != 1.0) {
     propose([](engine::ScenarioSpec& s) { s.verification_recall = 1.0; });
+  }
+  if (!value.cache) {
+    propose([](engine::ScenarioSpec& s) { s.cache = true; });
   }
   return candidates;
 }

@@ -14,16 +14,25 @@
 //   rexspeed plan      --config=Coastal/XScale --rho=2 --days=90
 //   rexspeed campaign  [--scenario-dir=DIR] [--scenarios=NAME,NAME,...]
 //                      [--points=N] [--threads=N] [--out-dir=DIR]
+//   rexspeed cache     {stats|verify|gc} --cache-dir=DIR
 //   rexspeed scenarios
 //   rexspeed modes
 //   rexspeed kernels
 //   rexspeed configs
+//
+// solve, sweep and campaign additionally take --cache-dir=DIR: a
+// persistent content-addressed result store (store::make_store) that
+// turns reruns into verified fetches.
 //
 // Every subcommand is a thin veneer over the engine layer (scenario
 // registry + backend registry + the parallel sweep engine); --mode names
 // are resolved through engine::backend_registry(), so a new solver
 // backend shows up here without touching this file. All of the logic the
 // CLI exercises is unit-tested in tests/.
+//
+// Exit codes: 0 success, 1 runtime failure (including an infeasible
+// bound), 2 usage error (bad flag/value), 3 unknown name (scenario,
+// configuration, mode), 4 cache-store failure.
 
 #include <algorithm>
 #include <cstdio>
@@ -31,9 +40,12 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <initializer_list>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "rexspeed/core/campaign.hpp"
 #include "rexspeed/core/exact_expectations.hpp"
@@ -52,6 +64,9 @@
 #include "rexspeed/io/table_writer.hpp"
 #include "rexspeed/platform/configuration.hpp"
 #include "rexspeed/sim/monte_carlo.hpp"
+#include "rexspeed/store/result_store.hpp"
+#include "rexspeed/store/serialize.hpp"
+#include "rexspeed/store/store_key.hpp"
 
 using namespace rexspeed;
 
@@ -75,11 +90,13 @@ int usage() {
       "  solve     optimal policy + pattern size for a bound\n"
       "            --config=NAME --rho=R [--mode=MODE] [--single]\n"
       "            [--segments=M | --max-segments=M]  interleaved mode\n"
+      "            [--cache-dir=DIR]\n"
       "  pairs     the per-sigma1 best-second-speed table (paper 4.2)\n"
       "            --config=NAME --rho=R [--mode=MODE]\n"
       "  sweep     one paper figure panel (or a full composite)\n"
       "            --config=NAME --param={C,V,lambda,rho,Pidle,Pio,all}\n"
       "            [--points=N] [--rho=R] [--threads=N] [--out-dir=DIR]\n"
+      "            [--cache-dir=DIR]\n"
       "            [--mode={%s}]\n"
       "            [--batch={auto,on,off}]  batched rho-grid kernels\n"
       "            or: --scenario=NAME (see `rexspeed scenarios`)\n"
@@ -93,13 +110,57 @@ int usage() {
       "  campaign  batch of scenarios through one flattened task stream\n"
       "            [--scenario-dir=DIR] [--scenarios=NAME,NAME,...]\n"
       "            [--points=N] [--threads=N] [--out-dir=DIR]\n"
-      "            [--batch={auto,on,off}]\n"
+      "            [--batch={auto,on,off}] [--cache-dir=DIR]\n"
+      "  cache     inspect a persistent result store\n"
+      "            {stats|verify|gc} --cache-dir=DIR\n"
       "  scenarios list the registered scenarios (paper figures as data)\n"
       "  modes     list the registered solver backends\n"
       "  kernels   report the active expansion-kernel tier (SIMD dispatch)\n"
       "  configs   list the eight paper configurations\n",
       modes.c_str());
   return 2;
+}
+
+/// Flags consumed by scenario_from() — every scenario-driven subcommand
+/// accepts these.
+const std::vector<std::string> kScenarioFlags = {
+    "scenario", "config", "rho",     "points",       "param",  "batch",
+    "mode",     "exact",  "segments", "max-segments", "single", "recall"};
+
+/// kScenarioFlags plus a subcommand's own additions.
+std::vector<std::string> with(std::vector<std::string> base,
+                              std::initializer_list<const char*> extra) {
+  for (const char* flag : extra) base.emplace_back(flag);
+  return base;
+}
+
+/// Allowlist-style flag validation: a typoed `--trheads=4` must fail the
+/// run, not be silently dropped while the default runs instead. Positional
+/// junk is rejected on the same principle (`accepts_positionals` opts the
+/// cache subcommand's action word out).
+void require_known_options(const io::ArgParser& args,
+                           const std::vector<std::string>& allowed,
+                           bool accepts_positionals = false) {
+  for (const std::string& name : args.option_names()) {
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      throw std::invalid_argument("unknown option '--" + name +
+                                  "' (run `rexspeed` for usage)");
+    }
+  }
+  if (!accepts_positionals && !args.positionals().empty()) {
+    throw std::invalid_argument("unexpected argument '" +
+                                args.positionals().front() +
+                                "' (options are --key=value)");
+  }
+}
+
+/// `--cache-dir=` → a persistent result store; null (uncached) without
+/// the flag. Remote URLs and "none" resolve through the same
+/// store::make_store vocabulary.
+std::unique_ptr<store::ResultStore> open_store(const io::ArgParser& args) {
+  const std::string spec = args.get_or("cache-dir", "");
+  if (spec.empty()) return nullptr;
+  return store::make_store(spec);
 }
 
 /// Scenario described by the command line: `--scenario=NAME` pulls a
@@ -239,10 +300,11 @@ int cmd_scenarios() {
   return 0;
 }
 
-int cmd_solve(const io::ArgParser& args) {
-  const auto spec = scenario_from(args);
-  const engine::SolverContext context = engine::make_context(spec);
-  const core::Solution sol = context.solve(spec.rho, spec.policy);
+/// Shared reporting tail for cmd_solve: `context` is null on a cache hit
+/// (only feasible solutions are cached, and those never consult it).
+int report_solution(const engine::ScenarioSpec& spec,
+                    const core::Solution& sol,
+                    const engine::SolverContext* context) {
   if (!sol.feasible()) {
     if (sol.kind == core::SolutionKind::kInterleaved) {
       std::printf("infeasible: no segmented pattern satisfies rho = %g "
@@ -253,12 +315,14 @@ int cmd_solve(const io::ArgParser& args) {
     std::printf("infeasible: no speed pair satisfies rho = %g\n", spec.rho);
     // Report the backend's own floor (the exact-model one for exact-opt,
     // not the first-order tangency) when it has one.
-    const core::Solution fallback = context.min_rho(spec.policy);
-    if (fallback.feasible()) {
-      std::printf("best-effort minimum bound: rho_min = %.4f at "
-                  "(%.2f, %.2f)\n",
-                  fallback.pair.rho_min, fallback.sigma1(),
-                  fallback.sigma2());
+    if (context != nullptr) {
+      const core::Solution fallback = context->min_rho(spec.policy);
+      if (fallback.feasible()) {
+        std::printf("best-effort minimum bound: rho_min = %.4f at "
+                    "(%.2f, %.2f)\n",
+                    fallback.pair.rho_min, fallback.sigma1(),
+                    fallback.sigma2());
+      }
     }
     return 1;
   }
@@ -273,6 +337,54 @@ int cmd_solve(const io::ArgParser& args) {
   std::printf("E/W = %.2f mW   T/W = %.4f s per work unit (bound %g)\n",
               sol.energy_overhead(), sol.time_overhead(), spec.rho);
   return 0;
+}
+
+int cmd_solve(const io::ArgParser& args) {
+  const auto spec = scenario_from(args);
+  const std::unique_ptr<store::ResultStore> cache = open_store(args);
+  std::unique_ptr<core::SolverBackend> backend = engine::make_backend(spec);
+
+  // The CLI solve is a plain bounded solve — no min-rho fallback take —
+  // so its content address says so (min_rho_fallback=false) whatever the
+  // spec's campaign-side flag, keeping cached ≡ recomputed exact. Only
+  // feasible solutions are cached: the infeasible path reports the
+  // backend's min-rho floor, which needs a prepared backend anyway.
+  std::string key;
+  if (cache != nullptr && spec.cache) {
+    key = store::solve_key(*backend, spec.rho, spec.policy,
+                           /*min_rho_fallback=*/false,
+                           spec.verification_recall);
+    if (const std::optional<std::string> blob = cache->fetch(key)) {
+      try {
+        const core::Solution sol = store::deserialize_solution(*blob);
+        if (sol.feasible()) {
+          // Verified hit: the backend's (possibly expensive) prepare is
+          // skipped entirely.
+          cache->flush();
+          return report_solution(spec, sol, nullptr);
+        }
+      } catch (const store::SerializeError&) {
+        // Corrupt payload under a valid envelope: recompute (and re-put,
+        // which heals the entry).
+      }
+    }
+  }
+
+  const engine::SolverContext context(std::move(backend));
+  const core::Solution sol = context.solve(spec.rho, spec.policy);
+  if (!key.empty() && sol.feasible()) {
+    store::EntryInfo info;
+    info.kind = "solution";
+    info.scenario = spec.name;
+    info.configuration = spec.configuration;
+    info.backend = context.backend().name();
+    info.backend_version = context.capabilities().version;
+    info.axis = "-";
+    info.points = 1;
+    cache->put(key, store::serialize_solution(sol), std::move(info));
+    cache->flush();
+  }
+  return report_solution(spec, sol, &context);
 }
 
 int cmd_pairs(const io::ArgParser& args) {
@@ -363,8 +475,10 @@ int cmd_sweep(const io::ArgParser& args) {
                  threads);
     return 2;
   }
+  const std::unique_ptr<store::ResultStore> cache = open_store(args);
   engine::SweepEngineOptions engine_options;
   engine_options.threads = static_cast<unsigned>(threads);
+  engine_options.store = cache.get();
   const engine::SweepEngine engine(engine_options);
   const std::string out_dir = args.get_or("out-dir", "");
   // One loop for every backend: the panels carry their own solution kind,
@@ -517,8 +631,9 @@ int cmd_campaign(const io::ArgParser& args) {
     std::fprintf(stderr, "error: --threads must be >= 0, got %ld\n", threads);
     return 2;
   }
-  engine::CampaignRunner runner(
-      {.threads = static_cast<unsigned>(threads)});
+  const std::unique_ptr<store::ResultStore> cache = open_store(args);
+  engine::CampaignRunner runner({.threads = static_cast<unsigned>(threads),
+                                 .store = cache.get()});
   const auto results = runner.run(specs);
 
   const std::string out_dir = args.get_or("out-dir", "");
@@ -608,24 +723,126 @@ int cmd_plan(const io::ArgParser& args) {
   return 0;
 }
 
+int cmd_cache(const io::ArgParser& args) {
+  const std::vector<std::string>& actions = args.positionals();
+  if (actions.size() != 1) {
+    std::fprintf(stderr,
+                 "usage: rexspeed cache {stats|verify|gc} --cache-dir=DIR\n");
+    return 2;
+  }
+  const std::string& action = actions.front();
+  if (action != "stats" && action != "verify" && action != "gc") {
+    throw std::invalid_argument("unknown cache action '" + action +
+                                "' (stats|verify|gc)");
+  }
+  const std::string spec = args.get_or("cache-dir", "");
+  if (spec.empty()) {
+    throw std::invalid_argument(
+        "--cache-dir=DIR is required (the store to inspect)");
+  }
+  const std::unique_ptr<store::ResultStore> cache = store::make_store(spec);
+  if (action == "stats") {
+    const store::StoreStats stats = cache->stats();
+    std::printf("tier:    %s\n", cache->tier_name());
+    std::printf("entries: %llu (%llu bytes)\n",
+                static_cast<unsigned long long>(stats.entries),
+                static_cast<unsigned long long>(stats.bytes));
+    std::printf("hits:    %llu\n", static_cast<unsigned long long>(stats.hits));
+    std::printf("misses:  %llu\n",
+                static_cast<unsigned long long>(stats.misses));
+    std::printf("stores:  %llu\n",
+                static_cast<unsigned long long>(stats.stores));
+    std::printf("corrupt: %llu\n",
+                static_cast<unsigned long long>(stats.corrupt));
+    return 0;
+  }
+  if (action == "verify") {
+    const std::vector<std::string> bad = cache->verify();
+    if (bad.empty()) {
+      std::printf("ok: every entry verifies\n");
+      return 0;
+    }
+    for (const std::string& key : bad) {
+      std::printf("corrupt: %s\n", key.c_str());
+    }
+    std::fprintf(stderr, "error: %zu bad entries (run `rexspeed cache gc`)\n",
+                 bad.size());
+    return 1;
+  }
+  const std::size_t removed = cache->gc();
+  std::printf("removed %zu bad entries\n", removed);
+  return 0;
+}
+
+/// Dispatch + per-command flag allowlists. Throws propagate to main,
+/// which owns the exception → exit-code mapping.
+int run_command(const std::string& command, const io::ArgParser& args) {
+  if (command == "configs" || command == "modes" || command == "kernels" ||
+      command == "scenarios") {
+    require_known_options(args, {});
+    if (command == "configs") return cmd_configs();
+    if (command == "modes") return cmd_modes();
+    if (command == "kernels") return cmd_kernels();
+    return cmd_scenarios();
+  }
+  if (command == "solve") {
+    require_known_options(args, with(kScenarioFlags, {"cache-dir"}));
+    return cmd_solve(args);
+  }
+  if (command == "pairs") {
+    require_known_options(args, kScenarioFlags);
+    return cmd_pairs(args);
+  }
+  if (command == "sweep") {
+    require_known_options(
+        args, with(kScenarioFlags, {"threads", "out-dir", "cache-dir"}));
+    return cmd_sweep(args);
+  }
+  if (command == "simulate") {
+    require_known_options(args,
+                          with(kScenarioFlags, {"boost", "reps", "work",
+                                                "seed"}));
+    return cmd_simulate(args);
+  }
+  if (command == "plan") {
+    require_known_options(args, with(kScenarioFlags, {"days"}));
+    return cmd_plan(args);
+  }
+  if (command == "campaign") {
+    require_known_options(args, {"scenario-dir", "scenarios", "scenario",
+                                 "points", "batch", "threads", "out-dir",
+                                 "cache-dir"});
+    return cmd_campaign(args);
+  }
+  if (command == "cache") {
+    require_known_options(args, {"cache-dir"},
+                          /*accepts_positionals=*/true);
+    return cmd_cache(args);
+  }
+  return usage();
+}
+
 }  // namespace
 
-int main(int argc, char** argv) try {
+int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const io::ArgParser args(argc - 1, argv + 1);
-  if (command == "configs") return cmd_configs();
-  if (command == "modes") return cmd_modes();
-  if (command == "kernels") return cmd_kernels();
-  if (command == "scenarios") return cmd_scenarios();
-  if (command == "solve") return cmd_solve(args);
-  if (command == "pairs") return cmd_pairs(args);
-  if (command == "sweep") return cmd_sweep(args);
-  if (command == "simulate") return cmd_simulate(args);
-  if (command == "plan") return cmd_plan(args);
-  if (command == "campaign") return cmd_campaign(args);
-  return usage();
-} catch (const std::exception& error) {
-  std::fprintf(stderr, "error: %s\n", error.what());
-  return 1;
+  try {
+    const io::ArgParser args(argc - 1, argv + 1);
+    return run_command(command, args);
+  } catch (const store::StoreError& error) {
+    std::fprintf(stderr, "rexspeed %s: cache error: %s\n", command.c_str(),
+                 error.what());
+    return 4;
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "rexspeed %s: %s\n", command.c_str(), error.what());
+    return 2;
+  } catch (const std::out_of_range& error) {
+    std::fprintf(stderr, "rexspeed %s: %s\n", command.c_str(), error.what());
+    return 3;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "rexspeed %s: error: %s\n", command.c_str(),
+                 error.what());
+    return 1;
+  }
 }
