@@ -1,28 +1,41 @@
 // Flattened-campaign throughput: the whole scenario registry on small
-// (11-point) grids, run two ways with the same thread budget:
+// (11-point) grids, run three ways:
 //
 //   sequential-panel — the pre-campaign path: scenario by scenario,
 //     panel by panel (each panel internally parallel, with a barrier at
 //     every panel boundary);
 //   flattened        — CampaignRunner: every (scenario × panel × point)
 //     in ONE task stream with a single barrier at campaign end, whole
-//     panels ordered longest-first by the backends' cost weights.
+//     panels ordered longest-first by the backends' cost weights;
+//   sharded          — ShardCoordinator: the same campaign fanned out
+//     across --workers forked processes over the frame protocol.
 //
-// Small grids are exactly where the barriers hurt: a panel's tail leaves
-// workers idle while the next panel waits to start. The bench verifies
-// both runs are bit-identical before reporting throughput — one
-// backend-agnostic comparison now that every mode produces the same
-// sweep::PanelSeries.
+// Small grids are exactly where the barriers (and the shard layer's
+// per-panel serialize/ship/deserialize round trip) hurt most, so this is
+// the honest overhead floor, not a flattering large-grid number. The
+// bench verifies all three runs are bit-identical through the store's
+// canonical serializers before reporting throughput, and hard-fails on
+// any divergence.
+//
+// The sharded legs run FIRST: forking a process that carries live pool
+// threads is the hazard the shard layer exists to avoid, so the
+// persistent pooled engines are built only after the last fork.
 //
 // Usage: bench_campaign [--points=11] [--threads=0] [--repeats=3]
+//                       [--workers=4] [--json=BENCH_campaign.json]
 
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <string>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "rexspeed/engine/campaign_runner.hpp"
+#include "rexspeed/engine/shard/shard_coordinator.hpp"
 #include "rexspeed/engine/sweep_engine.hpp"
 #include "rexspeed/io/cli.hpp"
+#include "rexspeed/store/serialize.hpp"
 
 using namespace rexspeed;
 
@@ -34,47 +47,17 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-bool identical_solution(const core::Solution& a, const core::Solution& b) {
-  if (a.kind != b.kind || a.used_fallback != b.used_fallback) return false;
-  if (a.kind == core::SolutionKind::kInterleaved) {
-    return a.interleaved.feasible == b.interleaved.feasible &&
-           a.interleaved.segments == b.interleaved.segments &&
-           a.interleaved.sigma1 == b.interleaved.sigma1 &&
-           a.interleaved.sigma2 == b.interleaved.sigma2 &&
-           a.interleaved.w_opt == b.interleaved.w_opt &&
-           a.interleaved.energy_overhead == b.interleaved.energy_overhead &&
-           a.interleaved.time_overhead == b.interleaved.time_overhead;
-  }
-  return a.pair.feasible == b.pair.feasible &&
-         a.pair.sigma1 == b.pair.sigma1 && a.pair.sigma2 == b.pair.sigma2 &&
-         a.pair.sigma1_index == b.pair.sigma1_index &&
-         a.pair.sigma2_index == b.pair.sigma2_index &&
-         a.pair.w_opt == b.pair.w_opt && a.pair.w_min == b.pair.w_min &&
-         a.pair.w_max == b.pair.w_max &&
-         a.pair.energy_overhead == b.pair.energy_overhead &&
-         a.pair.time_overhead == b.pair.time_overhead;
-}
-
-bool identical_panels(const std::vector<sweep::PanelSeries>& a,
-                      const std::vector<sweep::PanelSeries>& b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t p = 0; p < a.size(); ++p) {
-    if (a[p].parameter != b[p].parameter || a[p].kind != b[p].kind ||
-        a[p].configuration != b[p].configuration || a[p].rho != b[p].rho ||
-        a[p].max_segments != b[p].max_segments ||
-        a[p].points.size() != b[p].points.size()) {
-      return false;
-    }
-    for (std::size_t i = 0; i < a[p].points.size(); ++i) {
-      const auto& pa = a[p].points[i];
-      const auto& pb = b[p].points[i];
-      if (pa.x != pb.x || !identical_solution(pa.primary, pb.primary) ||
-          !identical_solution(pa.baseline, pb.baseline)) {
-        return false;
-      }
+/// Solution + every panel of every result, serialized — byte equality
+/// here IS the merge contract (bit patterns, not tolerances).
+std::string fingerprint(const std::vector<engine::ScenarioResult>& results) {
+  std::string bytes;
+  for (const auto& result : results) {
+    bytes += store::serialize_solution(result.solution);
+    for (const auto& panel : result.panels) {
+      bytes += store::serialize_panel_series(panel);
     }
   }
-  return true;
+  return bytes;
 }
 
 std::size_t point_count(const std::vector<sweep::PanelSeries>& panels) {
@@ -90,14 +73,45 @@ int main(int argc, char** argv) try {
   const auto points = static_cast<std::size_t>(args.get_long_or("points", 11));
   const auto threads = static_cast<unsigned>(args.get_long_or("threads", 0));
   const auto repeats = static_cast<std::size_t>(args.get_long_or("repeats", 3));
+  const auto workers = static_cast<unsigned>(args.get_long_or("workers", 4));
+  const std::string json_path = args.get_or("json", "BENCH_campaign.json");
 
   std::vector<engine::ScenarioSpec> specs = engine::scenario_registry();
   for (auto& spec : specs) spec.points = points;
 
+  engine::shard::ShardOptions shard_options;
+  shard_options.workers = workers;
+
+  // --- sharded legs (all forking happens before any pooled engine) ----
+
+  // Warm-up + the sharded fingerprint for the bit-identity check.
+  std::string sharded_bytes;
+  std::size_t shard_tasks = 0;
+  unsigned shard_spawned = 0;
+  unsigned shard_deaths = 0;
+  {
+    engine::shard::ShardCoordinator coordinator(shard_options);
+    sharded_bytes = fingerprint(coordinator.run(specs));
+    shard_tasks = coordinator.report().tasks;
+    shard_spawned = coordinator.report().workers_spawned;
+    shard_deaths = coordinator.report().worker_deaths;
+  }
+
+  double sharded_s = 0.0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    engine::shard::ShardCoordinator coordinator(shard_options);
+    const auto start = Clock::now();
+    const auto results = coordinator.run(specs);
+    if (results.size() != specs.size()) return 1;
+    sharded_s += seconds_since(start);
+  }
+
+  // --- pooled legs (threads may exist from here on) -------------------
+
   const engine::SweepEngine sequential({.threads = threads});
   const engine::CampaignRunner flattened({.threads = threads});
 
-  // Warm-up + reference results for the bit-identity check.
+  // Warm-up + reference results for both bit-identity checks.
   std::vector<std::vector<sweep::PanelSeries>> reference;
   reference.reserve(specs.size());
   for (const auto& spec : specs) {
@@ -105,19 +119,33 @@ int main(int argc, char** argv) try {
   }
   const auto campaign = flattened.run(specs);
 
-  std::size_t total_points = 0;
-  bool identical = campaign.size() == specs.size();
-  for (std::size_t s = 0; s < campaign.size() && identical; ++s) {
-    identical = identical_panels(campaign[s].panels, reference[s]);
+  std::string reference_panel_bytes;
+  for (const auto& panels : reference) {
+    for (const auto& panel : panels) {
+      reference_panel_bytes += store::serialize_panel_series(panel);
+    }
   }
+  std::string flattened_panel_bytes;
+  std::size_t total_points = 0;
   for (const auto& result : campaign) {
     total_points += point_count(result.panels);
+    for (const auto& panel : result.panels) {
+      flattened_panel_bytes += store::serialize_panel_series(panel);
+    }
   }
+  const bool flattened_identical =
+      campaign.size() == specs.size() &&
+      flattened_panel_bytes == reference_panel_bytes;
+  const bool sharded_identical = sharded_bytes == fingerprint(campaign);
+
   std::printf("registry campaign: %zu scenarios, %zu grid points, "
-              "%u threads, %zu repeats\n",
-              specs.size(), total_points, sequential.thread_count(), repeats);
-  std::printf("flattened vs sequential-panel results bit-identical: %s\n\n",
-              identical ? "yes" : "NO — BUG");
+              "%u threads, %u workers, %zu repeats\n",
+              specs.size(), total_points, sequential.thread_count(), workers,
+              repeats);
+  std::printf("flattened vs sequential-panel bit-identical: %s\n",
+              flattened_identical ? "yes" : "NO — BUG");
+  std::printf("sharded (%u procs) vs flattened bit-identical: %s\n\n",
+              shard_spawned, sharded_identical ? "yes" : "NO — BUG");
 
   double sequential_s = 0.0;
   double flattened_s = 0.0;
@@ -140,8 +168,41 @@ int main(int argc, char** argv) try {
               total / sequential_s);
   std::printf("flattened:        %8.3f s  (%8.0f points/s)\n", flattened_s,
               total / flattened_s);
-  std::printf("flattened speedup: %.2fx\n", sequential_s / flattened_s);
-  return identical ? 0 : 1;
+  std::printf("sharded:          %8.3f s  (%8.0f points/s)\n", sharded_s,
+              total / sharded_s);
+  std::printf("flattened speedup over sequential-panel: %.2fx\n",
+              sequential_s / flattened_s);
+  std::printf("sharded overhead vs flattened:           %.2fx\n",
+              sharded_s / flattened_s);
+
+  bench::BenchReport report("bench_campaign", "registry");
+  report.metric("scenarios", specs.size())
+      .metric("points", points)
+      .metric("grid_points", total_points)
+      .metric("threads", static_cast<unsigned>(sequential.thread_count()))
+      .metric("workers", workers)
+      .metric("repeats", repeats)
+      .metric("sequential_panel_s", sequential_s)
+      .metric("flattened_s", flattened_s)
+      .metric("sharded_s", sharded_s)
+      .metric("flattened_points_per_s", total / flattened_s)
+      .metric("sharded_points_per_s", total / sharded_s)
+      .metric("flattened_speedup", sequential_s / flattened_s)
+      .metric("sharded_overhead_x", sharded_s / flattened_s)
+      .metric("shard_tasks", shard_tasks)
+      .metric("shard_workers_spawned", shard_spawned)
+      .metric("shard_worker_deaths", static_cast<std::size_t>(shard_deaths))
+      .metric("flattened_bit_identical", flattened_identical)
+      .metric("sharded_bit_identical", sharded_identical);
+  if (!report.write(json_path)) return 1;
+
+  if (!flattened_identical || !sharded_identical) {
+    std::fprintf(stderr,
+                 "MISMATCH: campaign paths diverged (all three must be "
+                 "bit-identical)\n");
+    return 1;
+  }
+  return 0;
 } catch (const std::exception& error) {
   std::fprintf(stderr, "error: %s\n", error.what());
   return 1;

@@ -1,0 +1,194 @@
+#include "rexspeed/engine/shard/frame.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+#include "rexspeed/store/hash.hpp"
+#include "rexspeed/store/serialize.hpp"
+
+namespace rexspeed::engine::shard {
+
+namespace {
+
+/// magic + size + tag preceding the payload.
+constexpr std::size_t kHeaderSize = 4 + 4 + 1;
+constexpr std::size_t kChecksumSize = 8;
+
+std::uint32_t read_u32(const char* bytes) {
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<unsigned char>(bytes[i]);
+  }
+  return value;
+}
+
+std::uint64_t read_u64(const char* bytes) {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | static_cast<unsigned char>(bytes[i]);
+  }
+  return value;
+}
+
+bool valid_tag(std::uint8_t tag) {
+  return tag <= static_cast<std::uint8_t>(FrameTag::kShutdown);
+}
+
+/// Decodes one typed payload, converting the store reader's
+/// SerializeError (and a partially consumed buffer) into FrameError — the
+/// payload of a checksum-clean frame must still round-trip exactly.
+template <typename Fn>
+auto decode_payload(const char* what, std::string_view payload, Fn&& fn) {
+  try {
+    store::ByteReader reader(payload);
+    auto value = fn(reader);
+    reader.expect_end();
+    return value;
+  } catch (const store::SerializeError& error) {
+    throw FrameError(std::string("shard frame: bad ") + what +
+                     " payload: " + error.what());
+  }
+}
+
+}  // namespace
+
+std::string encode_frame(FrameTag tag, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw FrameError("shard frame: payload exceeds the frame size cap");
+  }
+  store::ByteWriter writer;
+  writer.u32(kFrameMagic);
+  writer.u32(static_cast<std::uint32_t>(payload.size()));
+  writer.u8(static_cast<std::uint8_t>(tag));
+  writer.raw(payload.data(), payload.size());
+  const std::uint64_t checksum = store::fnv1a64(writer.bytes());
+  writer.u64(checksum);
+  return writer.take();
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (buffer_.size() < kHeaderSize) return std::nullopt;
+  const std::uint32_t magic = read_u32(buffer_.data());
+  if (magic != kFrameMagic) {
+    throw FrameError("shard frame: bad magic (stream desynchronized)");
+  }
+  const std::uint32_t payload_size = read_u32(buffer_.data() + 4);
+  if (payload_size > kMaxFramePayload) {
+    throw FrameError("shard frame: length prefix exceeds the size cap");
+  }
+  const std::size_t total = kHeaderSize + payload_size + kChecksumSize;
+  if (buffer_.size() < total) return std::nullopt;
+  const std::size_t checked = kHeaderSize + payload_size;
+  const std::uint64_t expected = read_u64(buffer_.data() + checked);
+  const std::uint64_t actual =
+      store::fnv1a64(std::string_view(buffer_.data(), checked));
+  if (expected != actual) {
+    throw FrameError("shard frame: checksum mismatch");
+  }
+  const auto tag = static_cast<std::uint8_t>(buffer_[8]);
+  if (!valid_tag(tag)) {
+    throw FrameError("shard frame: unknown tag " + std::to_string(tag));
+  }
+  Frame frame;
+  frame.tag = static_cast<FrameTag>(tag);
+  frame.payload.assign(buffer_, kHeaderSize, payload_size);
+  buffer_.erase(0, total);
+  return frame;
+}
+
+std::string encode_hello(const HelloFrame& hello) {
+  store::ByteWriter writer;
+  writer.u32(hello.protocol);
+  writer.u32(hello.worker);
+  return writer.take();
+}
+
+HelloFrame decode_hello(std::string_view payload) {
+  return decode_payload("hello", payload, [](store::ByteReader& reader) {
+    HelloFrame hello;
+    hello.protocol = reader.u32();
+    hello.worker = reader.u32();
+    return hello;
+  });
+}
+
+std::string encode_assign(const AssignFrame& assign) {
+  store::ByteWriter writer;
+  writer.u32(assign.task);
+  writer.u32(assign.panel);
+  writer.str(assign.spec_text);
+  return writer.take();
+}
+
+AssignFrame decode_assign(std::string_view payload) {
+  return decode_payload("assign", payload, [](store::ByteReader& reader) {
+    AssignFrame assign;
+    assign.task = reader.u32();
+    assign.panel = reader.u32();
+    assign.spec_text = reader.str();
+    return assign;
+  });
+}
+
+std::string encode_result(const ResultFrame& result) {
+  store::ByteWriter writer;
+  writer.u32(result.task);
+  writer.f64(result.seconds_per_point);
+  writer.str(result.blob);
+  return writer.take();
+}
+
+ResultFrame decode_result(std::string_view payload) {
+  return decode_payload("result", payload, [](store::ByteReader& reader) {
+    ResultFrame result;
+    result.task = reader.u32();
+    result.seconds_per_point = reader.f64();
+    result.blob = reader.str();
+    return result;
+  });
+}
+
+std::string encode_failure(const FailureFrame& failure) {
+  store::ByteWriter writer;
+  writer.u32(failure.task);
+  writer.str(failure.message);
+  return writer.take();
+}
+
+FailureFrame decode_failure(std::string_view payload) {
+  return decode_payload("failure", payload, [](store::ByteReader& reader) {
+    FailureFrame failure;
+    failure.task = reader.u32();
+    failure.message = reader.str();
+    return failure;
+  });
+}
+
+bool write_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t written = ::write(fd, bytes.data(), bytes.size());
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(written));
+  }
+  return true;
+}
+
+std::optional<Frame> read_frame(int fd, FrameDecoder& decoder) {
+  for (;;) {
+    if (std::optional<Frame> frame = decoder.next()) return frame;
+    char buffer[4096];
+    const ssize_t count = ::read(fd, buffer, sizeof buffer);
+    if (count == 0) return std::nullopt;
+    if (count < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    decoder.feed(buffer, static_cast<std::size_t>(count));
+  }
+}
+
+}  // namespace rexspeed::engine::shard

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace rexspeed::engine::shard {
+
+/// Thrown on any structurally damaged frame: bad magic, an oversized or
+/// inconsistent length prefix, an unknown tag, a checksum mismatch, or a
+/// payload that does not decode. The coordinator treats a FrameError from
+/// a worker's stream as that worker having died (its in-flight work is
+/// requeued); a worker treats one from the coordinator as a shutdown.
+class FrameError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Frame types of the coordinator <-> worker protocol. Values are wire
+/// bytes — append new tags, never renumber.
+enum class FrameTag : std::uint8_t {
+  kHello = 0,     ///< worker → coordinator: protocol version + worker id
+  kAssign = 1,    ///< coordinator → worker: one panel or solve task
+  kResult = 2,    ///< worker → coordinator: the task's serialized result
+  kFailure = 3,   ///< worker → coordinator: the task threw (message)
+  kShutdown = 4,  ///< coordinator → worker: drain and exit
+};
+
+/// Protocol version carried by every kHello. Bump on any wire change; the
+/// coordinator kills mismatched workers instead of guessing at frames.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Magic leading every frame ("RXSF" little-endian), so a desynchronized
+/// stream fails on the next frame boundary instead of misparsing.
+inline constexpr std::uint32_t kFrameMagic = 0x46535852u;
+
+/// Upper bound on one frame's payload — far above any real panel blob,
+/// low enough that a garbage length prefix cannot drive a huge
+/// allocation before the checksum would catch it.
+inline constexpr std::uint32_t kMaxFramePayload = 256u * 1024u * 1024u;
+
+/// One decoded frame: the tag plus its raw payload bytes (typed payloads
+/// below encode into / decode out of `payload`).
+struct Frame {
+  FrameTag tag = FrameTag::kHello;
+  std::string payload;
+};
+
+/// Wire layout (all integers little-endian):
+///   u32 magic | u32 payload size | u8 tag | payload | u64 FNV-1a checksum
+/// The checksum covers every byte before it (magic, size, tag, payload),
+/// so a flipped bit anywhere in the frame is detected — the same
+/// single-bit guarantee the store's RXSC envelope carries one layer down
+/// (result payloads are RXSC blobs, giving corrupt results two
+/// independent checks).
+[[nodiscard]] std::string encode_frame(FrameTag tag, std::string_view payload);
+
+/// Incremental decoder over a frame stream. feed() appends raw bytes;
+/// next() yields the following complete frame, nullopt while the buffer
+/// holds only a prefix, and throws FrameError on structural damage
+/// (after which the stream is unusable — the peer is treated as dead).
+class FrameDecoder {
+ public:
+  void feed(const char* data, std::size_t size) { buffer_.append(data, size); }
+
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// True when bytes are buffered but no complete frame is available —
+  /// EOF in this state means the peer died mid-frame.
+  [[nodiscard]] bool mid_frame() const noexcept { return !buffer_.empty(); }
+
+ private:
+  std::string buffer_;
+};
+
+// --------------------------------------------------------- typed payloads
+// Each frame kind's payload, encoded with the store's canonical
+// little-endian ByteWriter/ByteReader (serialize.hpp) so doubles travel
+// as bit patterns. decode_* throws FrameError when the payload does not
+// round-trip exactly.
+
+/// Sentinel panel index marking a kSolve task (panels use real indices).
+inline constexpr std::uint32_t kSolveTask = 0xffffffffu;
+
+struct HelloFrame {
+  std::uint32_t protocol = kProtocolVersion;
+  std::uint32_t worker = 0;
+};
+
+struct AssignFrame {
+  std::uint32_t task = 0;   ///< coordinator-side task id, echoed back
+  std::uint32_t panel = 0;  ///< panel index, or kSolveTask
+  /// The scenario as engine::write_scenario text — parse_scenario
+  /// round-trips it to an equivalent spec (tested contract), which is the
+  /// socket seam: a future rexspeedd worker needs nothing but the frame.
+  std::string spec_text;
+};
+
+struct ResultFrame {
+  std::uint32_t task = 0;
+  /// Measured seconds per grid point (0 when cached or unmeasured) — the
+  /// cross-process half of the measured-cost feedback.
+  double seconds_per_point = 0.0;
+  /// store/serialize.hpp RXSC blob: a PanelSeries for panel tasks, a
+  /// Solution for solve tasks. Bit-exact round trip by tested contract,
+  /// so the coordinator's merge is byte-identical to in-process results.
+  std::string blob;
+};
+
+struct FailureFrame {
+  std::uint32_t task = 0;
+  std::string message;
+};
+
+[[nodiscard]] std::string encode_hello(const HelloFrame& hello);
+[[nodiscard]] HelloFrame decode_hello(std::string_view payload);
+
+[[nodiscard]] std::string encode_assign(const AssignFrame& assign);
+[[nodiscard]] AssignFrame decode_assign(std::string_view payload);
+
+[[nodiscard]] std::string encode_result(const ResultFrame& result);
+[[nodiscard]] ResultFrame decode_result(std::string_view payload);
+
+[[nodiscard]] std::string encode_failure(const FailureFrame& failure);
+[[nodiscard]] FailureFrame decode_failure(std::string_view payload);
+
+// ------------------------------------------------------------- fd helpers
+// Blocking frame I/O over pipe (later: socket) file descriptors, shared
+// by the worker loop and the coordinator's synchronous sends.
+
+/// Writes the whole byte string, retrying short writes and EINTR. False
+/// on any hard error (EPIPE after the peer died — callers treat the peer
+/// as gone, they do not crash; SIGPIPE must be ignored by the process).
+[[nodiscard]] bool write_all(int fd, std::string_view bytes);
+
+/// Reads until `decoder` yields a frame. nullopt on EOF or a read error;
+/// throws FrameError on a corrupt stream.
+[[nodiscard]] std::optional<Frame> read_frame(int fd, FrameDecoder& decoder);
+
+}  // namespace rexspeed::engine::shard

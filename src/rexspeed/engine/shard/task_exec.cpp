@@ -1,0 +1,148 @@
+#include "rexspeed/engine/shard/task_exec.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rexspeed/engine/backend_registry.hpp"
+#include "rexspeed/store/result_store.hpp"
+#include "rexspeed/store/serialize.hpp"
+#include "rexspeed/store/store_key.hpp"
+
+namespace rexspeed::engine::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+store::EntryInfo provenance(const ScenarioSpec& spec,
+                            const core::SolverBackend& backend) {
+  store::EntryInfo info;
+  info.scenario = spec.name;
+  info.configuration = spec.configuration;
+  info.backend = backend.name();
+  info.backend_version = backend.capabilities().version;
+  return info;
+}
+
+// Out of line (GCC 12's -Wrestrict trips on the short-string assignments
+// once inlined into execute_solve).
+[[gnu::noinline]] store::EntryInfo solve_provenance(
+    const ScenarioSpec& spec, const core::SolverBackend& backend) {
+  store::EntryInfo info = provenance(spec, backend);
+  info.kind = std::string("solution");
+  info.axis = std::string("-");
+  info.points = 1;
+  return info;
+}
+
+}  // namespace
+
+sweep::PanelSeries execute_panel(const ScenarioSpec& spec,
+                                 std::size_t panel_index,
+                                 store::ResultStore* cache,
+                                 double* seconds_per_point) {
+  if (seconds_per_point != nullptr) *seconds_per_point = 0.0;
+  spec.validate();
+  const std::vector<sweep::SweepParameter> axes = scenario_panel_axes(spec);
+  if (panel_index >= axes.size()) {
+    throw std::invalid_argument("shard: scenario '" + spec.name +
+                                "' has no panel " +
+                                std::to_string(panel_index));
+  }
+  const sweep::SweepParameter axis = axes[panel_index];
+  const sweep::SweepOptions options = spec.sweep_options(nullptr);
+  std::unique_ptr<core::SolverBackend> backend = make_backend(spec);
+  std::vector<double> grid =
+      sweep::panel_grid(axis, spec.points, spec.segment_limit());
+
+  // Same lookup-before-plan and shape check as CampaignRunner::run — a
+  // verified hit of the right shape skips planning and prepare outright.
+  std::string key;
+  std::string cost_key;
+  store::EntryInfo info;
+  if (cache != nullptr && spec.cache) {
+    key = store::panel_key(*backend, spec.configuration, axis, grid, options,
+                           spec.verification_recall);
+    cost_key = store::cost_key(*backend, axis);
+    if (const std::optional<std::string> blob = cache->fetch(key)) {
+      try {
+        sweep::PanelSeries cached = store::deserialize_panel_series(*blob);
+        if (cached.parameter == axis && cached.points.size() == grid.size()) {
+          return cached;
+        }
+      } catch (const store::SerializeError&) {
+      }
+    }
+    info = provenance(spec, *backend);
+    info.kind = "panel";
+    info.axis = core::to_string(axis);
+    info.points = grid.size();
+  }
+
+  sweep::PanelSweep plan(std::move(backend), spec.configuration, axis,
+                         std::move(grid), options);
+  const Clock::time_point start = Clock::now();
+  if (plan.needs_prepare()) plan.prepare();
+  if (plan.granularity() == sweep::PanelSweep::Granularity::kWholePanel) {
+    plan.solve_all();
+  } else {
+    for (std::size_t i = 0; i < plan.point_count(); ++i) {
+      plan.solve_point(i);
+    }
+  }
+  const double per_point =
+      seconds_since(start) / static_cast<double>(plan.point_count());
+  if (seconds_per_point != nullptr) *seconds_per_point = per_point;
+  sweep::PanelSeries series = plan.take();
+
+  if (!key.empty()) {
+    info.cost_seconds_per_point = per_point;
+    cache->put(key, store::serialize_panel_series(series), std::move(info));
+    if (per_point > 0.0) cache->record_cost(cost_key, per_point);
+    // Workers exit via _exit (skipping destructors), so persist eagerly.
+    cache->flush();
+  }
+  return series;
+}
+
+core::Solution execute_solve(const ScenarioSpec& spec,
+                             store::ResultStore* cache) {
+  spec.validate();
+  if (!(spec.rho > 0.0) || !std::isfinite(spec.rho)) {
+    throw std::invalid_argument("shard: scenario '" + spec.name +
+                                "': rho must be positive and finite");
+  }
+  std::unique_ptr<core::SolverBackend> backend = make_backend(spec);
+  std::string key;
+  if (cache != nullptr && spec.cache) {
+    key = store::solve_key(*backend, spec.rho, spec.policy,
+                           spec.min_rho_fallback, spec.verification_recall);
+    if (const std::optional<std::string> blob = cache->fetch(key)) {
+      try {
+        return store::deserialize_solution(*blob);
+      } catch (const store::SerializeError&) {
+      }
+    }
+  }
+  if (backend->needs_prepare()) backend->prepare();
+  const core::Solution solution =
+      backend->solve(spec.rho, spec.policy, spec.min_rho_fallback);
+  if (!key.empty()) {
+    cache->put(key, store::serialize_solution(solution),
+               solve_provenance(spec, *backend));
+    cache->flush();
+  }
+  return solution;
+}
+
+}  // namespace rexspeed::engine::shard

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+
+#include "rexspeed/core/solver_backend.hpp"
+#include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/sweep/panel_sweep.hpp"
+
+namespace rexspeed::store {
+class ResultStore;
+}
+
+namespace rexspeed::engine::shard {
+
+/// Computes panel `panel_index` of a validated scenario exactly as the
+/// in-process CampaignRunner does: the same make_backend resolution, the
+/// same sweep::PanelSweep setup, grid and per-point kernel — so a panel
+/// computed in a worker process is bit-identical to the same panel of a
+/// serial campaign, whatever process solved it (the shard merge's
+/// bit-identity contract rests on this plus the serializer's bit-exact
+/// round trip).
+///
+/// `cache`, when non-null and the spec opts in, is consulted first (a
+/// verified, shape-matched hit skips the solve) and fed the computed
+/// series plus the measured per-point cost afterwards — workers sharing
+/// one --cache-dir exchange hits and measured costs through it.
+/// `seconds_per_point`, when non-null, receives the measured cost
+/// (0 on a cache hit).
+[[nodiscard]] sweep::PanelSeries execute_panel(const ScenarioSpec& spec,
+                                               std::size_t panel_index,
+                                               store::ResultStore* cache,
+                                               double* seconds_per_point);
+
+/// Computes a kSolve scenario's bound solve exactly as the campaign's
+/// solve task does (same backend, same solve call), with the same
+/// cache-around semantics as execute_panel.
+[[nodiscard]] core::Solution execute_solve(const ScenarioSpec& spec,
+                                           store::ResultStore* cache);
+
+}  // namespace rexspeed::engine::shard

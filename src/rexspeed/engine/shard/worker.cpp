@@ -1,0 +1,113 @@
+#include "rexspeed/engine/shard/worker.hpp"
+
+#include <csignal>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unistd.h>
+
+#include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/engine/shard/frame.hpp"
+#include "rexspeed/engine/shard/task_exec.hpp"
+#include "rexspeed/store/result_store.hpp"
+#include "rexspeed/store/serialize.hpp"
+
+namespace rexspeed::engine::shard {
+
+namespace {
+
+/// Computes one assignment into a result frame. Specs were validated by
+/// the coordinator before any fork, so a throw here is exceptional — it
+/// becomes a kFailure frame, not a dead worker.
+ResultFrame compute(const AssignFrame& assign, store::ResultStore* cache) {
+  const ScenarioSpec spec = parse_scenario(assign.spec_text);
+  ResultFrame result;
+  result.task = assign.task;
+  if (assign.panel == kSolveTask) {
+    result.blob = store::serialize_solution(execute_solve(spec, cache));
+  } else {
+    result.blob = store::serialize_panel_series(
+        execute_panel(spec, assign.panel, cache, &result.seconds_per_point));
+  }
+  return result;
+}
+
+}  // namespace
+
+void run_worker(int command_fd, int result_fd, const WorkerConfig& config) {
+  // A coordinator that died leaves result writes failing with EPIPE, not
+  // a process-killing SIGPIPE; the write_all failure path exits cleanly.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::unique_ptr<store::ResultStore> cache;
+  if (!config.cache_spec.empty()) {
+    try {
+      cache = store::make_store(config.cache_spec);
+    } catch (const std::exception&) {
+      cache = nullptr;  // an unusable store degrades to uncached compute
+    }
+  }
+
+  HelloFrame hello;
+  hello.worker = config.index;
+  if (!write_all(result_fd, encode_frame(FrameTag::kHello,
+                                         encode_hello(hello)))) {
+    _exit(0);
+  }
+  const WorkerFault& fault = config.fault;
+  if (fault.kind == WorkerFault::Kind::kExitAtStart &&
+      fault.worker == config.index) {
+    _exit(fault.exit_code);
+  }
+
+  FrameDecoder decoder;
+  unsigned assignments = 0;
+  for (;;) {
+    std::optional<Frame> frame;
+    try {
+      frame = read_frame(command_fd, decoder);
+    } catch (const FrameError&) {
+      _exit(1);  // corrupt command stream: nothing sane left to serve
+    }
+    if (!frame || frame->tag == FrameTag::kShutdown) _exit(0);
+    if (frame->tag != FrameTag::kAssign) continue;  // ignore stray frames
+
+    AssignFrame assign;
+    try {
+      assign = decode_assign(frame->payload);
+    } catch (const FrameError&) {
+      _exit(1);
+    }
+    ++assignments;
+
+    std::string reply;
+    try {
+      const ResultFrame result = compute(assign, cache.get());
+      if (fault.kind == WorkerFault::Kind::kKillMidPanel &&
+          fault.worker == config.index && assignments == fault.nth) {
+        // The panel was computed but never reported — from the
+        // coordinator's side this is a crash mid-panel, and the work must
+        // be requeued. SIGKILL cannot be caught, so nothing below runs.
+        raise(SIGKILL);
+      }
+      reply = encode_frame(FrameTag::kResult, encode_result(result));
+    } catch (const std::exception& error) {
+      FailureFrame failure;
+      failure.task = assign.task;
+      failure.message = error.what();
+      reply = encode_frame(FrameTag::kFailure, encode_failure(failure));
+    }
+    if (fault.kind == WorkerFault::Kind::kTruncateResult &&
+        fault.worker == config.index && assignments == fault.nth) {
+      // Half a frame, then gone: the pipe closes mid-frame and the
+      // coordinator's decoder must never surface a partial result.
+      (void)write_all(result_fd,
+                      std::string_view(reply).substr(0, reply.size() / 2));
+      _exit(0);
+    }
+    if (!write_all(result_fd, reply)) _exit(0);
+  }
+}
+
+}  // namespace rexspeed::engine::shard

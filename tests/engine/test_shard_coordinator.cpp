@@ -1,0 +1,125 @@
+// The shard coordinator's merge contract: a campaign sharded across N
+// worker processes is BYTE-identical to the serial in-process
+// CampaignRunner — for every registry scenario, every tested worker
+// count, cold or warm store — and its report accounts for every task.
+// Identity is asserted through the store's serializers (bit patterns,
+// not tolerances); this is the ctest-enforced acceptance criterion, not
+// just a CI smoke diff.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "rexspeed/engine/campaign_runner.hpp"
+#include "rexspeed/engine/scenario.hpp"
+#include "rexspeed/engine/shard/shard_coordinator.hpp"
+#include "rexspeed/store/result_store.hpp"
+#include "support/result_identity.hpp"
+
+namespace rexspeed::engine::shard {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The whole scenario registry at a small grid — every backend mode,
+/// every panel kind, composites and solves included, but cheap enough
+/// to run several full campaigns per suite.
+std::vector<ScenarioSpec> small_registry() {
+  std::vector<ScenarioSpec> specs = scenario_registry();
+  for (ScenarioSpec& spec : specs) spec.points = 3;
+  return specs;
+}
+
+ShardOptions shard_options(unsigned workers, std::string cache_spec = "") {
+  ShardOptions options;
+  options.workers = workers;
+  options.cache_spec = std::move(cache_spec);
+  return options;
+}
+
+TEST(ShardCoordinator, MatchesSerialRunnerAtEveryWorkerCount) {
+  const std::vector<ScenarioSpec> specs = small_registry();
+  const std::vector<ScenarioResult> expected = test::serial_reference(specs);
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ShardCoordinator coordinator(shard_options(workers));
+    const std::vector<ScenarioResult> actual = coordinator.run(specs);
+    test::expect_identical_results(actual, expected);
+    const ShardReport& report = coordinator.report();
+    EXPECT_GT(report.tasks, 0u);
+    EXPECT_EQ(report.cache_hits, 0u);  // uncached run
+    EXPECT_EQ(report.completed_by_workers, report.tasks);
+    EXPECT_EQ(report.completed_in_process, 0u);
+    EXPECT_EQ(report.requeued, 0u);
+    EXPECT_EQ(report.worker_deaths, 0u);
+    EXPECT_TRUE(report.incidents.empty());
+    EXPECT_LE(report.workers_spawned, workers);
+    EXPECT_GE(report.workers_spawned, 1u);
+  }
+}
+
+TEST(ShardCoordinator, SharedStoreFlowsHitsAcrossProcesses) {
+  const fs::path dir = fs::temp_directory_path() / "rexspeed_shard_store";
+  fs::remove_all(dir);
+  const std::vector<ScenarioSpec> specs = small_registry();
+  const std::vector<ScenarioResult> expected = test::serial_reference(specs);
+
+  // Cold: workers compute everything and write the shared store.
+  ShardCoordinator cold(shard_options(2, dir.string()));
+  test::expect_identical_results(cold.run(specs), expected);
+  const std::size_t computed = cold.report().completed_by_workers;
+  EXPECT_EQ(computed, cold.report().tasks);
+  EXPECT_GT(computed, 0u);
+
+  // Warm: the coordinator serves every slot from the store the workers
+  // populated — nothing left to distribute, no process forked.
+  ShardCoordinator warm(shard_options(4, dir.string()));
+  test::expect_identical_results(warm.run(specs), expected);
+  EXPECT_EQ(warm.report().cache_hits, computed);
+  EXPECT_EQ(warm.report().tasks, 0u);
+  EXPECT_EQ(warm.report().workers_spawned, 0u);
+
+  // Cross-runner warmth: an in-process CampaignRunner reading the same
+  // directory gets identical bytes — worker-written and runner-written
+  // entries are interchangeable.
+  {
+    const std::unique_ptr<store::ResultStore> store =
+        store::make_store(dir.string());
+    const CampaignRunner runner({.threads = 1, .store = store.get()});
+    test::expect_identical_results(runner.run(specs), expected);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ShardCoordinator, WorkerFleetIsClampedToTaskCount) {
+  // One sweep panel = one task: asking for 8 workers must fork 1, not 7
+  // idle processes.
+  ScenarioSpec spec = scenario_registry().front();
+  spec.points = 3;
+  ShardCoordinator coordinator(shard_options(8));
+  const std::vector<ScenarioResult> results = coordinator.run({spec});
+  EXPECT_EQ(coordinator.report().workers_spawned,
+            coordinator.report().tasks);
+  test::expect_identical_results(results, test::serial_reference({spec}));
+}
+
+TEST(ShardCoordinator, ValidationErrorsThrowBeforeForking) {
+  ScenarioSpec spec = scenario_registry().front();
+  spec.rho = -1.0;  // the solve-bound check CampaignRunner also enforces
+  ShardCoordinator coordinator(shard_options(2));
+  EXPECT_THROW((void)coordinator.run({spec}), std::invalid_argument);
+  EXPECT_EQ(coordinator.report().workers_spawned, 0u);
+}
+
+TEST(ShardCoordinator, EmptyCampaignSpawnsNothing) {
+  ShardCoordinator coordinator(shard_options(4));
+  EXPECT_TRUE(coordinator.run({}).empty());
+  EXPECT_EQ(coordinator.report().workers_spawned, 0u);
+  EXPECT_EQ(coordinator.report().tasks, 0u);
+}
+
+}  // namespace
+}  // namespace rexspeed::engine::shard

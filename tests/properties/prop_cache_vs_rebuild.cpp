@@ -111,29 +111,31 @@ TEST(PropCacheVsRebuild, PreparedExactOptBackendMatchesFreshInstance) {
       options);
 }
 
+/// ParamsAndRhoGen constrained to the interleaved model's λf = 0.
+struct SilentParamsAndRhoGen {
+  using Value = ParamsAndRho;
+  ParamsAndRhoGen inner{proptest::ModelParamsGen{false},
+                        proptest::RhoGen{}};
+  ParamsAndRho operator()(proptest::Rng& rng) const { return inner(rng); }
+  std::vector<ParamsAndRho> shrink(const ParamsAndRho& value) const {
+    std::vector<ParamsAndRho> out;
+    for (auto& candidate : inner.shrink(value)) {
+      candidate.params.lambda_failstop = 0.0;
+      out.push_back(candidate);
+    }
+    return out;
+  }
+  std::string describe(const ParamsAndRho& value) const {
+    return inner.describe(value);
+  }
+};
+
 TEST(PropCacheVsRebuild, PreparedInterleavedBackendMatchesFreshSolver) {
   proptest::PropOptions options;
   options.iterations = 25;
-  struct Gen {
-    using Value = ParamsAndRho;
-    // The interleaved model requires λf = 0.
-    ParamsAndRhoGen inner{proptest::ModelParamsGen{false}};
-    ParamsAndRho operator()(proptest::Rng& rng) const { return inner(rng); }
-    std::vector<ParamsAndRho> shrink(const ParamsAndRho& value) const {
-      std::vector<ParamsAndRho> out;
-      for (auto& candidate : inner.shrink(value)) {
-        candidate.params.lambda_failstop = 0.0;
-        out.push_back(candidate);
-      }
-      return out;
-    }
-    std::string describe(const ParamsAndRho& value) const {
-      return inner.describe(value);
-    }
-  };
   proptest::check(
       "prepared InterleavedBackend == fresh InterleavedSolver",
-      Gen{},
+      SilentParamsAndRhoGen{},
       [](const ParamsAndRho& c) {
         constexpr unsigned kCap = 4;
         InterleavedBackend backend(c.params, kCap);

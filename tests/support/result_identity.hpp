@@ -1,0 +1,51 @@
+#pragma once
+
+// Byte-level campaign-result comparison via the store's canonical
+// serializers — the same representation shard workers ship results in.
+// "Identical" here means every double's bit pattern matches (NaNs and
+// signed zeros included), which is the contract the shard merge and the
+// result cache both promise; EXPECT_DOUBLE_EQ would be too weak.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rexspeed/engine/campaign_runner.hpp"
+#include "rexspeed/store/serialize.hpp"
+
+namespace rexspeed::test {
+
+inline void expect_identical_results(
+    const std::vector<engine::ScenarioResult>& actual,
+    const std::vector<engine::ScenarioResult>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t s = 0; s < actual.size(); ++s) {
+    SCOPED_TRACE("scenario '" + expected[s].spec.name + "' [" +
+                 std::to_string(s) + "]");
+    EXPECT_EQ(store::serialize_solution(actual[s].solution),
+              store::serialize_solution(expected[s].solution));
+    ASSERT_EQ(actual[s].panels.size(), expected[s].panels.size());
+    for (std::size_t p = 0; p < actual[s].panels.size(); ++p) {
+      SCOPED_TRACE("panel " + std::to_string(p));
+      EXPECT_EQ(store::serialize_panel_series(actual[s].panels[p]),
+                store::serialize_panel_series(expected[s].panels[p]));
+    }
+  }
+}
+
+/// The serial in-process reference the shard suites compare against.
+/// Scoped helper on purpose: the runner's ThreadPool must be destroyed
+/// BEFORE a ShardCoordinator forks (forking a process that carries live
+/// threads is exactly the hazard the shard layer avoids by forking
+/// first).
+inline std::vector<engine::ScenarioResult> serial_reference(
+    const std::vector<engine::ScenarioSpec>& specs) {
+  engine::CampaignRunnerOptions options;
+  options.threads = 1;
+  const engine::CampaignRunner runner(options);
+  return runner.run(specs);
+}
+
+}  // namespace rexspeed::test

@@ -57,6 +57,7 @@
 #include "rexspeed/engine/scenario.hpp"
 #include "rexspeed/engine/scenario_file.hpp"
 #include "rexspeed/engine/solver_context.hpp"
+#include "rexspeed/engine/shard/shard_coordinator.hpp"
 #include "rexspeed/engine/sweep_engine.hpp"
 #include "rexspeed/io/cli.hpp"
 #include "rexspeed/io/csv_writer.hpp"
@@ -111,6 +112,8 @@ int usage() {
       "            [--scenario-dir=DIR] [--scenarios=NAME,NAME,...]\n"
       "            [--points=N] [--threads=N] [--out-dir=DIR]\n"
       "            [--batch={auto,on,off}] [--cache-dir=DIR]\n"
+      "            [--workers=N]  shard across N worker processes\n"
+      "            (byte-identical results; overrides --threads)\n"
       "  cache     inspect a persistent result store\n"
       "            {stats|verify|gc} --cache-dir=DIR\n"
       "  scenarios list the registered scenarios (paper figures as data)\n"
@@ -631,10 +634,50 @@ int cmd_campaign(const io::ArgParser& args) {
     std::fprintf(stderr, "error: --threads must be >= 0, got %ld\n", threads);
     return 2;
   }
-  const std::unique_ptr<store::ResultStore> cache = open_store(args);
-  engine::CampaignRunner runner({.threads = static_cast<unsigned>(threads),
-                                 .store = cache.get()});
-  const auto results = runner.run(specs);
+  std::vector<engine::ScenarioResult> results;
+  std::string footer;
+  if (args.get("workers")) {
+    // Sharded path: fork worker PROCESSES before any thread pool exists
+    // (forking a multithreaded parent is undefined enough to avoid) and
+    // let the coordinator open its own store handle — workers open
+    // theirs on the same directory. Results are byte-identical to the
+    // in-process runner by tested contract.
+    const long workers = args.get_long_or("workers", 0);
+    if (workers < 1) {
+      std::fprintf(stderr, "error: --workers must be >= 1, got %ld\n",
+                   workers);
+      return 2;
+    }
+    engine::shard::ShardOptions options;
+    options.workers = static_cast<unsigned>(workers);
+    options.cache_spec = args.get_or("cache-dir", "");
+    engine::shard::ShardCoordinator coordinator(options);
+    results = coordinator.run(specs);
+    const engine::shard::ShardReport& report = coordinator.report();
+    for (const engine::shard::ShardIncident& incident : report.incidents) {
+      std::fprintf(stderr, "incident: %s\n", incident.detail.c_str());
+    }
+    char buffer[192];
+    std::snprintf(buffer, sizeof buffer,
+                  "\n%zu scenarios across %u worker processes (%zu tasks, "
+                  "%zu cache hits, %zu by workers, %zu in-process, "
+                  "%zu requeued, %u deaths)\n",
+                  results.size(), report.workers_spawned, report.tasks,
+                  report.cache_hits, report.completed_by_workers,
+                  report.completed_in_process, report.requeued,
+                  report.worker_deaths);
+    footer = buffer;
+  } else {
+    const std::unique_ptr<store::ResultStore> cache = open_store(args);
+    engine::CampaignRunner runner({.threads = static_cast<unsigned>(threads),
+                                   .store = cache.get()});
+    results = runner.run(specs);
+    char buffer[96];
+    std::snprintf(buffer, sizeof buffer,
+                  "\n%zu scenarios through one pool (%u threads)\n",
+                  results.size(), runner.thread_count());
+    footer = buffer;
+  }
 
   const std::string out_dir = args.get_or("out-dir", "");
   io::TableWriter table(
@@ -697,8 +740,7 @@ int cmd_campaign(const io::ArgParser& args) {
     }
   }
   std::printf("%s", table.str().c_str());
-  std::printf("\n%zu scenarios through one pool (%u threads)\n",
-              results.size(), runner.thread_count());
+  std::printf("%s", footer.c_str());
   return 0;
 }
 
@@ -811,7 +853,7 @@ int run_command(const std::string& command, const io::ArgParser& args) {
   if (command == "campaign") {
     require_known_options(args, {"scenario-dir", "scenarios", "scenario",
                                  "points", "batch", "threads", "out-dir",
-                                 "cache-dir"});
+                                 "cache-dir", "workers"});
     return cmd_campaign(args);
   }
   if (command == "cache") {
